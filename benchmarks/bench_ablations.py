@@ -1,0 +1,57 @@
+"""Ablations — cipher choice and mechanism attribution (§5).
+
+Shape criteria: XOR-DSR (the related-work baseline) loses to the
+informed disclosure attack while QARMA and XEX-XTEA defend; the cost
+ordering follows engine latency (xor < qarma < xex); CIP alone decides
+the interrupt-context attack.
+"""
+
+import pytest
+from conftest import bench_scale, write_artifact
+
+from repro.analysis.ablations import (
+    CIPHERS,
+    cip_ablation,
+    cipher_cost_comparison,
+    format_ablations,
+    informed_disclosure_attack,
+)
+
+
+@pytest.fixture(scope="module")
+def disclosure():
+    return [informed_disclosure_attack(cipher) for cipher in CIPHERS]
+
+
+@pytest.fixture(scope="module")
+def costs():
+    return cipher_cost_comparison(scale=bench_scale())
+
+
+def test_ablations(benchmark, disclosure, costs):
+    cip = cip_ablation()
+    artifact = format_ablations(disclosure, costs, cip)
+    write_artifact("ablations.txt", artifact)
+    print("\n" + artifact)
+
+    by_cipher = {row.cipher: row for row in disclosure}
+    # §5: "all of these works suffer memory disclosures, due to the
+    # weak XOR-based encryption".
+    assert by_cipher["xor"].mask_recovered
+    assert by_cipher["xor"].forged_root
+    # Cryptographically strong ciphers resist the same playbook.
+    assert not by_cipher["qarma"].forged_root
+    assert not by_cipher["xex"].forged_root
+
+    cost = {row.cipher: row.null_call_cycles for row in costs}
+    assert cost["xor"] <= cost["qarma"] <= cost["xex"]
+
+    # The interrupt window is CIP's alone.
+    assert cip.with_mechanism_blocked
+    assert not cip.without_mechanism_blocked
+
+    benchmark.pedantic(
+        lambda: informed_disclosure_attack("qarma"),
+        iterations=1,
+        rounds=2,
+    )

@@ -1,0 +1,58 @@
+"""§4.4.1 — CLB performance study.
+
+Shape criteria: hit ratio grows monotonically with entry count and is
+around 50% or better at 8 entries (paper: 51.7%); enabling the CLB
+recovers a substantial part of the CLB-less overhead (paper: 4.5% →
+2.6%).
+"""
+
+import pytest
+from conftest import bench_scale, write_artifact
+
+from repro.analysis import clb_study, format_clb_study
+from repro.bench.runner import run_workload
+from repro.bench.workloads import unixbench
+from repro.kernel import KernelConfig
+
+
+@pytest.fixture(scope="module")
+def points():
+    return clb_study(scale=bench_scale())
+
+
+def test_clb_study(benchmark, points):
+    artifact = format_clb_study(points)
+    write_artifact("clb_study.txt", artifact)
+    print("\n" + artifact)
+
+    by_entries = {p.entries: p for p in points}
+    ratios = [p.hit_ratio_pct for p in points]
+    assert ratios == sorted(ratios), "hit ratio must grow with entries"
+    assert by_entries[0].hit_ratio_pct == 0.0
+    assert by_entries[8].hit_ratio_pct >= 45.0, (
+        "8 entries should serve about half of all operations (paper: 51.7%)"
+    )
+    assert by_entries[8].overhead_pct < by_entries[0].overhead_pct, (
+        "the CLB must reduce full-protection overhead"
+    )
+    recovered = (
+        by_entries[0].overhead_pct - by_entries[8].overhead_pct
+    ) / by_entries[0].overhead_pct
+    assert recovered >= 0.1, "the CLB should recover a tangible fraction"
+
+    benchmark.pedantic(
+        lambda: run_workload(
+            unixbench.SUITE[7], KernelConfig.full(clb_entries=8),
+            bench_scale(),
+        ),
+        iterations=1,
+        rounds=2,
+    )
+
+
+def test_diminishing_returns(points):
+    """Going from 8 to 32 entries buys much less than 0 to 8."""
+    by_entries = {p.entries: p for p in points}
+    gain_0_8 = by_entries[8].hit_ratio_pct - by_entries[0].hit_ratio_pct
+    gain_8_32 = by_entries[32].hit_ratio_pct - by_entries[8].hit_ratio_pct
+    assert gain_0_8 > gain_8_32

@@ -1,0 +1,57 @@
+"""Figure 5a — UnixBench overheads for RA / FP / NON-CONTROL / FULL.
+
+Shape criteria: FULL overhead in low single digits on average (paper:
+2.6%), RA below FULL, FP and NON-CONTROL small, every configuration
+computing identical results.
+"""
+
+import pytest
+from conftest import bench_scale, write_artifact
+
+from repro.bench.overhead import (
+    PAPER_FULL_AVERAGE,
+    averages,
+    format_figure,
+    overhead_table,
+)
+from repro.bench.runner import measure_matrix, run_workload
+from repro.bench.workloads import unixbench
+from repro.kernel import KernelConfig
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return measure_matrix(unixbench.SUITE, scale=bench_scale())
+
+
+def test_figure5a(benchmark, matrix):
+    rows = overhead_table(matrix)
+    artifact = format_figure(
+        "Figure 5a — UnixBench-shaped suite, overhead vs baseline",
+        rows,
+        paper_full_average=PAPER_FULL_AVERAGE["unixbench"],
+    )
+    write_artifact("fig5a_unixbench.txt", artifact)
+    print("\n" + artifact)
+
+    avg = averages(rows)
+    assert 0.5 <= avg["full"] <= 8.0, "FULL must be low single digits"
+    assert avg["ra"] < avg["full"], "RA alone must cost less than FULL"
+    assert avg["fp"] <= avg["full"]
+    assert avg["noncontrol"] <= avg["full"]
+
+    benchmark.pedantic(
+        lambda: run_workload(
+            unixbench.SUITE[0], KernelConfig.full(), bench_scale()
+        ),
+        iterations=1,
+        rounds=2,
+    )
+
+
+def test_results_identical_across_configs(matrix):
+    by_workload = {}
+    for (workload, config), measurement in matrix.items():
+        by_workload.setdefault(workload, set()).add(measurement.exit_code)
+    for workload, exit_codes in by_workload.items():
+        assert len(exit_codes) == 1, f"{workload} diverges: {exit_codes}"

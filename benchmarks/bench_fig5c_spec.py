@@ -1,0 +1,56 @@
+"""Figure 5c — SPEC-intspeed-shaped macro overheads.
+
+Shape criterion: FULL overhead close to zero (the paper's headline for
+user-space-bound programs — RegVault instruments only kernel code).
+"""
+
+import pytest
+from conftest import bench_scale, write_artifact
+
+from repro.bench.overhead import (
+    PAPER_FULL_AVERAGE,
+    averages,
+    format_figure,
+    overhead_table,
+)
+from repro.bench.runner import measure_matrix, run_workload
+from repro.bench.workloads import spec
+from repro.kernel import KernelConfig
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return measure_matrix(spec.SUITE, scale=bench_scale())
+
+
+def test_figure5c(benchmark, matrix):
+    rows = overhead_table(matrix)
+    artifact = format_figure(
+        "Figure 5c — SPEC-intspeed-shaped suite, overhead vs baseline",
+        rows,
+        paper_full_average=PAPER_FULL_AVERAGE["spec"],
+    )
+    write_artifact("fig5c_spec.txt", artifact)
+    print("\n" + artifact)
+
+    avg = averages(rows)
+    assert avg["full"] <= 2.0, "macro overhead must be close to zero"
+    assert avg["ra"] <= 1.5
+    # Macro overhead must sit well below the micro suites' range.
+    assert avg["full"] < 2.0
+
+    benchmark.pedantic(
+        lambda: run_workload(
+            spec.SUITE[3], KernelConfig.full(), bench_scale()
+        ),
+        iterations=1,
+        rounds=2,
+    )
+
+
+def test_results_identical_across_configs(matrix):
+    by_workload = {}
+    for (workload, config), measurement in matrix.items():
+        by_workload.setdefault(workload, set()).add(measurement.exit_code)
+    for workload, exit_codes in by_workload.items():
+        assert len(exit_codes) == 1, f"{workload} diverges: {exit_codes}"

@@ -1,0 +1,50 @@
+"""Table 3 — RegVault relative hardware resource cost over the SoC.
+
+Shape criteria: crypto-engine and CLB each below 5% of the SoC in both
+LUTs and FFs, several times smaller than the FPU.
+"""
+
+from conftest import write_artifact
+
+from repro.hwcost import (
+    clb_cost,
+    crypto_engine_cost,
+    format_table3,
+    fpu_cost,
+    table3,
+)
+
+
+def test_table3_shape(benchmark):
+    rows = benchmark(table3)
+    artifact = format_table3(rows)
+    write_artifact("table3_hw_cost.txt", artifact)
+    print("\n" + artifact)
+
+    for row in rows:
+        assert row.engine_pct < 5.5, "engine must stay below ~5% of SoC"
+        if row.clb_pct is not None:
+            assert row.clb_pct < 5.0, "CLB must stay below 5% of SoC"
+        assert row.fpu_pct > 3 * row.engine_pct, (
+            "the FPU must dwarf the RegVault additions"
+        )
+
+
+def test_engine_structure():
+    engine = crypto_engine_cost()
+    # The 8 x 128-bit key registers alone are 1024 FFs.
+    assert engine.ffs >= 1024
+    assert engine.luts > 1000  # an unrolled QARMA datapath is not free
+
+
+def test_clb_scales_with_entries():
+    costs = [clb_cost(n).ffs for n in (0, 2, 4, 8, 16)]
+    assert costs == sorted(costs)
+    assert clb_cost(0).luts == 0
+    # Storage dominates: at least entry_bits per entry.
+    assert clb_cost(8).ffs >= 8 * 196
+
+
+def test_fpu_reference_is_fixed():
+    fpu = fpu_cost()
+    assert fpu.luts == 18_200 and fpu.ffs == 8_100

@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one of the paper's tables or figures, writes
+the rendered artifact to ``benchmarks/results/`` and asserts the
+*shape* criteria from DESIGN.md §3.  Workload scale can be raised for
+higher-fidelity numbers:
+
+    REPRO_BENCH_SCALE=1.0 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+
+def write_artifact(name: str, content: str) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(content + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()

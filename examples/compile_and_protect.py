@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""See what the RegVault compiler does to your code (§2.4).
+
+Defines a small "kernel module" with an annotated struct, compiles it
+under the baseline and the full-protection configuration, and prints
+the two assembly listings side by side so the inserted ``cre``/``crd``
+primitives, the widened layout and the return-address protection are
+visible.
+
+Run:  python examples/compile_and_protect.py
+"""
+
+from repro.compiler import (
+    Annotation,
+    Field,
+    Function,
+    FunctionType,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    StructType,
+)
+from repro.compiler.ir import Const, GlobalVar
+from repro.compiler.layout import LayoutEngine
+from repro.compiler.pipeline import CompileOptions, compile_module
+
+CRED = StructType("cred", (
+    Field("usage", I32),
+    Field("uid", I32, Annotation.RAND_INTEGRITY),
+    Field("session_key", I64, Annotation.RAND_INTEGRITY),
+    Field("note", I64, Annotation.RAND),
+))
+
+
+def build_module() -> Module:
+    module = Module("demo")
+    module.add_struct(CRED)
+    module.add_global(GlobalVar("init_cred", CRED))
+
+    bump = Function("bump_uid", FunctionType(I64, ()))
+    module.add_function(bump)
+    b = IRBuilder(bump)
+    b.block("entry")
+    cred = b.addr_of_global("init_cred")
+    uid = b.load_field(cred, CRED, "uid")      # -> crd after load
+    new_uid = b.add(uid, Const(1))
+    b.store_field(cred, CRED, "uid", new_uid)  # -> cre before store
+    b.ret(new_uid)
+
+    caller = Function("caller", FunctionType(I64, ()))
+    module.add_function(caller)
+    b = IRBuilder(caller)
+    b.block("entry")
+    result = b.call("bump_uid")                 # -> RA protection visible
+    b.ret(result)
+    return module
+
+
+def show_layouts() -> None:
+    print("== struct cred layout ==")
+    for honor, label in ((False, "baseline"), (True, "RegVault")):
+        layout = LayoutEngine(honor_annotations=honor).struct_layout(CRED)
+        slots = ", ".join(
+            f"{s.name}@{s.offset}(+{s.size})" for s in layout.slots
+        )
+        print(f"{label:>9}: size={layout.size:3d}  {slots}")
+    print()
+
+
+def show_assembly() -> None:
+    module = build_module()
+    for options in (CompileOptions.baseline(), CompileOptions.full()):
+        compiled = compile_module(module, options)
+        print(f"== {options.name} build ==")
+        print(compiled.asm)
+
+
+if __name__ == "__main__":
+    show_layouts()
+    show_assembly()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""fork() under RegVault: typed copying of protected credentials (§2.4.2).
+
+Spawning a thread copies the parent's credentials.  A naive byte-wise
+memcpy would move ciphertexts to new addresses where their tweaks no
+longer match — so RegVault's compiler routes struct copies through a
+typed copy that decrypts each annotated field with the source address
+and re-encrypts with the destination address.
+
+This example shows all three facets:
+
+1. the child really inherits uid 1000 (the copy is semantically right),
+2. parent and child ciphertexts differ (the re-encryption is real),
+3. a raw byte copy planted by the attacker integrity-faults on use.
+
+Run:  python examples/fork_and_creds.py
+"""
+
+from repro.compiler import Function, FunctionType, I64, IRBuilder, Module
+from repro.compiler.ir import Const
+from repro.kernel import KernelConfig, KernelSession
+from repro.kernel.structs import (
+    CRED,
+    SYS_EXIT,
+    SYS_GETUID,
+    SYS_SPAWN,
+    SYS_WRITE,
+    SYS_YIELD,
+)
+
+
+def user_program() -> Module:
+    module = Module("user")
+
+    child = Function("child_main", FunctionType(I64, ()))
+    module.add_function(child)
+    cb = IRBuilder(child)
+    cb.block("entry")
+    uid = cb.intrinsic("ecall", [Const(SYS_GETUID)], returns=True)
+    ok = cb.cmp("eq", uid, Const(1000))
+    ch = cb.add(cb.mul(ok, Const(ord("C") - ord("X"))), Const(ord("X")))
+    cb.intrinsic("ecall", [Const(SYS_WRITE), ch], returns=True)
+    cb.intrinsic("ecall", [Const(SYS_EXIT), Const(0)], returns=True)
+    cb.ret(Const(0))
+
+    main = Function("main", FunctionType(I64, ()))
+    module.add_function(main)
+    b = IRBuilder(main)
+    b.block("entry")
+    entry = b.addr_of_func("child_main")
+    b.intrinsic("ecall", [Const(SYS_SPAWN), entry], returns=True)
+    b.intrinsic("ecall", [Const(SYS_YIELD)], returns=True)
+    b.intrinsic("ecall", [Const(SYS_EXIT), Const(0)], returns=True)
+    b.ret(Const(0))
+    return module
+
+
+def main() -> None:
+    session = KernelSession(KernelConfig.full(), user_program())
+    result = session.run()
+
+    uid_off = session.image.field_offset(CRED, "uid")
+    parent_ct = session.read_u64(session.thread_field_addr(0, "cred") + uid_off)
+    child_ct = session.read_u64(session.thread_field_addr(1, "cred") + uid_off)
+
+    print("1. child inherited the parent's uid:",
+          "yes" if "C" in result.console else "NO")
+    print(f"2. parent uid ciphertext: {parent_ct:#018x}")
+    print(f"   child  uid ciphertext: {child_ct:#018x}")
+    print("   re-encrypted under the child's address:",
+          "yes" if parent_ct != child_ct else "NO")
+
+    # 3. the attacker's naive byte copy.
+    session2 = KernelSession(KernelConfig.full(), user_program())
+    session2.run_until("sys_yield")
+    size = session2.image.layout.sizeof(CRED)
+    src = session2.thread_field_addr(0, "cred")
+    dst = session2.thread_field_addr(1, "cred")
+    session2.machine.memory.write_bytes(
+        dst, session2.machine.memory.read_bytes(src, size)
+    )
+    outcome = session2.resume()
+    print("3. raw byte-copied credentials:",
+          "integrity fault (rejected)" if outcome.integrity_fault
+          else f"accepted?! exit={outcome.exit_code}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Chain-based interrupt context protection in action (§2.4.3).
+
+Two threads share the CPU under a fast timer.  While the victim thread
+is preempted, the attacker flips bits in its saved interrupt context.
+The original kernel resumes the thread with silently corrupted
+registers; the CIP kernel detects the corruption through the chained
+zero-terminator check and traps.
+
+Run:  python examples/interrupt_protection.py
+"""
+
+import dataclasses
+
+from repro.compiler import Function, FunctionType, I64, IRBuilder, Module
+from repro.compiler.ir import Const, Move
+from repro.kernel import KernelConfig, KernelSession
+from repro.kernel.structs import (
+    CTX_T6_SLOT,
+    SYS_EXIT,
+    SYS_GETPID,
+    SYS_WRITE,
+)
+
+MARKER = 0x5AFE_C0DE_5AFE_C0DE
+
+
+def user_program() -> Module:
+    module = Module("user")
+    main = Function("main", FunctionType(I64, ()))
+    module.add_function(main)
+    b = IRBuilder(main)
+    b.block("entry")
+
+    def syscall(number, *args):
+        return b.intrinsic("ecall", [Const(number), *args], returns=True)
+
+    pid = syscall(SYS_GETPID)
+    first = b.cmp("eq", pid, Const(0))
+    b.cond_br(first, "victim", "other")
+
+    b.block("victim")
+    marker = b.move(Const(MARKER))
+    spin = b.func.new_reg(I64, "spin")
+    b._emit(Move(spin, Const(0)))
+    b.br("busy")
+    b.block("busy")
+    b._emit(Move(spin, b.add(spin, 1)))
+    b.cond_br(b.cmp("lt", spin, 6000), "busy", "verify")
+    b.block("verify")
+    ok = b.cmp("eq", marker, Const(MARKER))
+    b.cond_br(ok, "intact", "corrupt")
+    b.block("intact")
+    syscall(SYS_WRITE, Const(ord("K")))
+    syscall(SYS_EXIT, Const(0))
+    b.br("end")
+    b.block("corrupt")
+    syscall(SYS_WRITE, Const(ord("C")))
+    syscall(SYS_EXIT, Const(1))
+    b.br("end")
+    b.block("end")
+    b.ret(Const(0))
+
+    b.block("other")
+    syscall(SYS_WRITE, Const(ord("!")))
+    waste = b.func.new_reg(I64, "waste")
+    b._emit(Move(waste, Const(0)))
+    b.br("wait")
+    b.block("wait")
+    b._emit(Move(waste, b.add(waste, 1)))
+    b.cond_br(b.cmp("lt", waste, 100000), "wait", "done")
+    b.block("done")
+    syscall(SYS_EXIT, Const(0))
+    b.ret(Const(0))
+    return module
+
+
+def demo(config: KernelConfig) -> None:
+    config = dataclasses.replace(config, num_threads=2, timer_interval=2_500)
+    print(f"--- kernel: {config.name} (CIP {'on' if config.cip else 'off'}) ---")
+    session = KernelSession(config, user_program())
+    session.run_until("sys_write")          # victim preempted, thread 1 runs
+
+    ctx = session.thread_field_addr(0, "ctx")
+    kind = session.context_kind(0)
+    print(f"  victim's saved context kind: {'CIP chain' if kind else 'plain'}")
+    print("  saved slots (s0, s1):",
+          hex(session.read_u64(ctx + 8 * 8)),
+          hex(session.read_u64(ctx + 8 * 9)))
+
+    # Corrupt every temporary and callee-saved slot (not ra/sp/args).
+    for slot in (5, 6, 7, 8, 9, *range(18, 31)):
+        addr = ctx + 8 * slot
+        session.write_u64(addr, session.read_u64(addr) ^ 0xFF00FF)
+    print("  attacker flipped bits in the saved context...")
+
+    result = session.resume()
+    if "C" in result.console:
+        print("  RESULT: victim resumed with corrupted registers — "
+              "the attack was silent")
+    elif result.integrity_fault:
+        print("  RESULT: CIP terminator check failed on restore — "
+              "RegVault trapped the corruption")
+    else:
+        print(f"  RESULT: exit={result.exit_code} console={result.console!r}")
+    print()
+
+
+if __name__ == "__main__":
+    demo(KernelConfig.baseline())
+    demo(KernelConfig.full())

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Privilege escalation, with and without RegVault (§3.2.2, Table 4).
+
+Boots two kernels — the unprotected original and the RegVault build —
+runs the same user program, and performs the classic rooting move in
+both: overwrite ``cred.uid``/``cred.euid`` with zero through an
+arbitrary-write exploit primitive, then let the user ask ``getuid()``
+and attempt the root-only ``setuid(0)``.
+
+Run:  python examples/privilege_escalation.py
+"""
+
+from repro.compiler import Function, FunctionType, I64, IRBuilder, Module
+from repro.compiler.ir import Const
+from repro.kernel import KernelConfig, KernelSession
+from repro.kernel.structs import CRED, SYS_EXIT, SYS_GETUID, SYS_SETUID, SYS_WRITE
+
+
+def user_program() -> Module:
+    """getuid(); try setuid(0); report over the console; exit."""
+    module = Module("user")
+    main = Function("main", FunctionType(I64, ()))
+    module.add_function(main)
+    b = IRBuilder(main)
+    b.block("entry")
+
+    def syscall(number, *args):
+        return b.intrinsic("ecall", [Const(number), *args], returns=True)
+
+    uid = syscall(SYS_GETUID)
+    grabbed = syscall(SYS_SETUID, Const(0))
+    rooted = b.and_(b.cmp("eq", uid, Const(0)),
+                    b.cmp("eq", grabbed, Const(0)))
+    b.cond_br(rooted, "owned", "normal")
+    b.block("owned")
+    syscall(SYS_WRITE, Const(ord("R")))  # R = root obtained
+    syscall(SYS_EXIT, Const(0))
+    b.br("end")
+    b.block("normal")
+    syscall(SYS_WRITE, Const(ord("u")))  # u = still an ordinary user
+    syscall(SYS_EXIT, Const(1))
+    b.br("end")
+    b.block("end")
+    b.ret(Const(0))
+    return module
+
+
+def attack(config: KernelConfig) -> None:
+    print(f"--- kernel: {config.name} ---")
+    session = KernelSession(config, user_program())
+
+    # Run the boot, pause at the first user instruction.
+    session.run_until(session.image.user_program.entry)
+
+    # The exploit primitive: arbitrary kernel memory write.
+    cred = session.thread_field_addr(0, "cred")
+    for field in ("uid", "euid"):
+        addr = cred + session.image.field_offset(CRED, field)
+        before = session.read_u64(addr)
+        print(f"  cred.{field} @ {addr:#x}: {before:#x} -> 0")
+        if config.noncontrol:
+            session.write_u64(addr, 0)   # protected slot is 8 bytes
+        else:
+            session.write_u32(addr, 0)
+
+    result = session.resume()
+    if "R" in result.console:
+        print("  RESULT: attacker is root (getuid()==0, setuid(0) ok)")
+    elif result.integrity_fault:
+        print("  RESULT: RegVault integrity fault — kernel trapped the "
+              "corrupted credential before it was ever used")
+    else:
+        print(f"  RESULT: exit={result.exit_code} console={result.console!r}")
+    print()
+
+
+if __name__ == "__main__":
+    attack(KernelConfig.baseline())
+    attack(KernelConfig.full())

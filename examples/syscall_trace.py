@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Trace a getuid() syscall through the protected kernel.
+
+Uses the execution tracer to watch a single system call cross the
+user/kernel boundary: the trap vector, the dispatcher, the credential
+load with its `crd` decryption, and the return path.  Prints every
+RegVault primitive executed along the way.
+
+Run:  python examples/syscall_trace.py
+"""
+
+from repro.compiler import Function, FunctionType, I64, IRBuilder, Module
+from repro.compiler.ir import Const
+from repro.kernel import KernelConfig, KernelSession
+from repro.kernel.structs import SYS_EXIT, SYS_GETUID
+from repro.machine.debug import Tracer
+
+
+def user_program() -> Module:
+    module = Module("user")
+    main = Function("main", FunctionType(I64, ()))
+    module.add_function(main)
+    b = IRBuilder(main)
+    b.block("entry")
+    uid = b.intrinsic("ecall", [Const(SYS_GETUID)], returns=True)
+    b.intrinsic("ecall", [Const(SYS_EXIT), uid], returns=True)
+    b.ret(Const(0))
+    return module
+
+
+def main() -> None:
+    session = KernelSession(KernelConfig.full(), user_program())
+
+    # Fast-forward the boot, stop at the user entry.
+    session.run_until(session.image.user_program.entry)
+
+    symbols = dict(session.image.kernel_program.symbols)
+    symbols.update(session.image.user_program.symbols)
+    tracer = Tracer(session.machine, symbols=symbols)
+
+    # Trace until sys_getuid returns into the dispatcher.
+    tracer.step(count=4000, until_pc=session.symbol("sys_exit"))
+
+    print("== functions crossed ==")
+    seen = []
+    for location in tracer.calls():
+        if not seen or seen[-1] != location:
+            seen.append(location)
+    print("  " + " -> ".join(seen[:14]))
+
+    print("\n== RegVault primitives executed ==")
+    for entry in tracer.crypto_instructions():
+        print(f"  {entry}")
+
+    print("\n== last instructions before sys_exit ==")
+    print(tracer.format_tail(8))
+
+    result = session.resume()
+    print(f"\nfinal exit code (the uid): {result.exit_code}")
+
+
+if __name__ == "__main__":
+    main()

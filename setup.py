@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools 65 without the ``wheel`` package,
+so PEP 517 editable builds fail with "invalid command 'bdist_wheel'".
+Keeping a classic ``setup.py`` lets ``pip install -e . --no-use-pep517``
+(and plain ``pip install -e .`` on newer toolchains) work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""RegVault (DAC 2022) reproduction.
+
+Hardware-assisted selective data randomization for operating-system
+kernels, rebuilt as an executable Python model: QARMA-64 primitives and
+key registers, an RV64 simulator with the ``cre``/``crd`` ISA
+extension and a cryptographic lookaside buffer, an instrumenting
+compiler, a miniature protected kernel, the Table-4 penetration suite
+and the Figure-5 benchmark harness.
+
+High-level entry points:
+
+>>> from repro.kernel import KernelConfig
+>>> from repro.kernel.api import boot_and_run
+>>> boot_and_run(KernelConfig.full()).exit_code
+42
+
+See README.md for the tour, DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+__paper__ = (
+    "Xu, Lin, Yuan, Shen, Zhou, Chang, Wu, Ren: "
+    "RegVault: Hardware Assisted Selective Data Randomization for "
+    "Operating System Kernels. DAC 2022."
+)

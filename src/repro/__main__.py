@@ -1,0 +1,205 @@
+"""Command-line front end: ``python -m repro <command>``.
+
+Commands
+--------
+``boot``      boot the protected kernel and report the run
+``pentest``   run the Table-4 attack matrix (original vs RegVault)
+``table3``    print the hardware resource-cost table
+``clb``       run the CLB sizing study
+``ablation``  run the cipher/mechanism ablations
+``figure``    measure one Figure-5 suite (5a/5b/5c)
+``ripe``      run the RIPE-style attack matrix
+``disasm``    disassemble a kernel symbol from a fresh build
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_boot(args) -> int:
+    import dataclasses
+
+    from repro.kernel import KernelConfig
+    from repro.kernel.api import boot_and_run
+
+    config = (
+        KernelConfig.full() if args.protected else KernelConfig.baseline()
+    )
+    config = dataclasses.replace(config, cipher=args.cipher)
+    result = boot_and_run(config)
+    print(f"kernel:       {config.name} (cipher: {config.cipher})")
+    print(f"halt:         {result.halt_reason}")
+    print(f"exit code:    {result.exit_code}")
+    print(f"cycles:       {result.cycles}")
+    print(f"instructions: {result.instructions}")
+    return 0
+
+
+def _cmd_pentest(args) -> int:
+    from repro.attacks.suite import format_table, run_suite
+
+    results = run_suite()
+    print(format_table(results))
+    if args.verbose:
+        print()
+        for result in results:
+            print(f"{result.attack:40s} {result.config:10s} {result.outcome}")
+    defended = all(r.blocked for r in results if r.config != "baseline")
+    return 0 if defended else 1
+
+
+def _cmd_table3(args) -> int:
+    from repro.hwcost import format_table3
+
+    print(format_table3())
+    return 0
+
+
+def _cmd_clb(args) -> int:
+    from repro.analysis import clb_study, format_clb_study
+
+    print(format_clb_study(clb_study(scale=args.scale)))
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    from repro.analysis.ablations import (
+        CIPHERS,
+        cip_ablation,
+        cipher_cost_comparison,
+        format_ablations,
+        informed_disclosure_attack,
+    )
+
+    disclosure = [informed_disclosure_attack(c) for c in CIPHERS]
+    costs = cipher_cost_comparison(scale=args.scale)
+    print(format_ablations(disclosure, costs, cip_ablation()))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.bench.overhead import (
+        PAPER_FULL_AVERAGE,
+        format_figure,
+        overhead_table,
+    )
+    from repro.bench.runner import measure_matrix
+    from repro.bench.workloads import lmbench, spec, unixbench
+
+    suites = {
+        "5a": ("unixbench", unixbench.SUITE),
+        "5b": ("lmbench", lmbench.SUITE),
+        "5c": ("spec", spec.SUITE),
+    }
+    suite_name, suite = suites[args.which]
+    matrix = measure_matrix(suite, scale=args.scale)
+    rows = overhead_table(matrix)
+    print(format_figure(
+        f"Figure {args.which} — {suite_name} suite, overhead vs baseline",
+        rows,
+        paper_full_average=PAPER_FULL_AVERAGE[suite_name],
+    ))
+    return 0
+
+
+def _cmd_ripe(args) -> int:
+    from repro.attacks.ripe import format_matrix, run_matrix
+
+    print(format_matrix(run_matrix()))
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    import dataclasses
+
+    from repro.isa import decode, disassemble
+    from repro.kernel import KernelConfig
+    from repro.kernel.build import build_kernel
+    from repro.machine.debug import SymbolTable
+
+    config = (
+        KernelConfig.full() if args.protected else KernelConfig.baseline()
+    )
+    image = build_kernel(config)
+    program = image.kernel_program
+    try:
+        start = image.symbol(args.symbol)
+    except Exception:
+        print(f"unknown symbol {args.symbol!r}", file=sys.stderr)
+        return 1
+    table = SymbolTable(dict(program.symbols))
+    section = program.sections[".text"]
+    offset = start - section.base
+    if not 0 <= offset < len(section.data):
+        print(f"{args.symbol} is not in .text", file=sys.stderr)
+        return 1
+    ends = sorted(
+        a for a in program.symbols.values() if a > start
+    )
+    end = min(ends[0] if ends else start + args.max_bytes,
+              start + args.max_bytes)
+    for address in range(start, end, 4):
+        word = int.from_bytes(
+            section.data[address - section.base:address - section.base + 4],
+            "little",
+        )
+        try:
+            text = disassemble(decode(word))
+        except Exception:
+            text = f".word {word:#010x}"
+        print(f"{address:#010x} <{table.resolve(address)}>: {text}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="RegVault (DAC 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    boot = sub.add_parser("boot", help="boot a kernel and report")
+    boot.add_argument("--baseline", dest="protected", action="store_false",
+                      help="boot the unprotected kernel")
+    boot.add_argument("--cipher", choices=("qarma", "xor", "xex"),
+                      default="qarma")
+    boot.set_defaults(func=_cmd_boot)
+
+    pentest = sub.add_parser("pentest", help="run the Table-4 matrix")
+    pentest.add_argument("-v", "--verbose", action="store_true")
+    pentest.set_defaults(func=_cmd_pentest)
+
+    table3 = sub.add_parser("table3", help="hardware cost table")
+    table3.set_defaults(func=_cmd_table3)
+
+    clb = sub.add_parser("clb", help="CLB sizing study")
+    clb.add_argument("--scale", type=float, default=0.4)
+    clb.set_defaults(func=_cmd_clb)
+
+    ablation = sub.add_parser("ablation", help="cipher/mechanism ablations")
+    ablation.add_argument("--scale", type=float, default=0.3)
+    ablation.set_defaults(func=_cmd_ablation)
+
+    figure = sub.add_parser("figure", help="measure a Figure-5 suite")
+    figure.add_argument("which", choices=("5a", "5b", "5c"))
+    figure.add_argument("--scale", type=float, default=0.4)
+    figure.set_defaults(func=_cmd_figure)
+
+    ripe = sub.add_parser("ripe", help="RIPE-style attack matrix")
+    ripe.set_defaults(func=_cmd_ripe)
+
+    disasm = sub.add_parser("disasm", help="disassemble a kernel symbol")
+    disasm.add_argument("symbol")
+    disasm.add_argument("--baseline", dest="protected",
+                        action="store_false")
+    disasm.add_argument("--max-bytes", type=int, default=256)
+    disasm.set_defaults(func=_cmd_disasm)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Analysis utilities: the CLB sizing study and shared table rendering."""
+
+from repro.analysis.breakdown import crypto_breakdown, format_breakdown
+from repro.analysis.clb_study import ClbPoint, clb_study, format_clb_study
+
+__all__ = [
+    "ClbPoint",
+    "clb_study",
+    "format_clb_study",
+    "crypto_breakdown",
+    "format_breakdown",
+]

@@ -1,0 +1,118 @@
+"""CLB performance study (§4.4.1).
+
+The paper collects run-time information from UnixBench and reports:
+
+* an 8-entry CLB achieves a 51.7% hit ratio ("most decryption
+  instructions can find the corresponding plaintext result in the CLB");
+* the CLB cuts the full-protection UnixBench overhead from 4.5% to
+  2.6%.
+
+This study sweeps the CLB entry count over the UnixBench-shaped suite
+under full protection and reports the aggregate hit ratio and the
+overhead against the unprotected baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.runner import run_workload
+from repro.bench.workloads import unixbench
+from repro.kernel import KernelConfig
+
+DEFAULT_ENTRY_SWEEP = (0, 1, 2, 4, 8, 16, 32)
+
+#: Paper reference points.
+PAPER_HIT_RATIO_8 = 51.7
+PAPER_OVERHEAD_NO_CLB = 4.5
+PAPER_OVERHEAD_CLB8 = 2.6
+
+
+@dataclass(frozen=True)
+class ClbPoint:
+    """One CLB size: aggregate behavior over the whole suite.
+
+    ``dec_hit_ratio_pct`` is the paper's headline metric ("most
+    decryption instructions can find the corresponding plaintext result
+    from the CLB"); ``hit_ratio_pct`` covers both directions.
+    """
+
+    entries: int
+    hit_ratio_pct: float
+    dec_hit_ratio_pct: float
+    overhead_pct: float
+    crypto_ops: int
+
+
+def clb_study(
+    entries_sweep=DEFAULT_ENTRY_SWEEP,
+    workloads=None,
+    scale: float = 0.5,
+) -> list[ClbPoint]:
+    workloads = workloads if workloads is not None else unixbench.SUITE
+    baseline_cycles = {}
+    for workload in workloads:
+        measurement = run_workload(
+            workload, KernelConfig.baseline(), scale
+        )
+        baseline_cycles[workload.name] = measurement.cycles
+
+    points = []
+    for entries in entries_sweep:
+        config = KernelConfig.full(clb_entries=entries)
+        total_hits = 0
+        total_accesses = 0
+        dec_ratios = []
+        total_ops = 0
+        overheads = []
+        for workload in workloads:
+            measurement = run_workload(workload, config, scale)
+            base = baseline_cycles[workload.name]
+            overheads.append(
+                100.0 * (measurement.cycles - base) / base
+            )
+            total_ops += measurement.crypto_ops
+            total_accesses += measurement.crypto_ops
+            total_hits += round(
+                measurement.clb_hit_ratio * measurement.crypto_ops
+            )
+            dec_ratios.append(measurement.clb_dec_hit_ratio)
+        points.append(ClbPoint(
+            entries=entries,
+            hit_ratio_pct=(
+                100.0 * total_hits / total_accesses if total_accesses else 0.0
+            ),
+            dec_hit_ratio_pct=100.0 * sum(dec_ratios) / len(dec_ratios),
+            overhead_pct=sum(overheads) / len(overheads),
+            crypto_ops=total_ops,
+        ))
+    return points
+
+
+def format_clb_study(points: list[ClbPoint]) -> str:
+    lines = [
+        "CLB study (UnixBench-shaped suite, full protection)  [§4.4.1]",
+        "",
+        f"{'entries':>8} {'hit ratio':>10} {'dec hits':>9} {'overhead':>9}",
+        "-" * 41,
+    ]
+    for point in points:
+        lines.append(
+            f"{point.entries:>8} {point.hit_ratio_pct:9.1f}% "
+            f"{point.dec_hit_ratio_pct:8.1f}% "
+            f"{point.overhead_pct:8.2f}%"
+        )
+    by_entries = {p.entries: p for p in points}
+    if 0 in by_entries and 8 in by_entries:
+        lines += [
+            "",
+            f"paper:    8 entries -> {PAPER_HIT_RATIO_8:.1f}% decryption "
+            f"hit ratio; overhead {PAPER_OVERHEAD_NO_CLB:.1f}% -> "
+            f"{PAPER_OVERHEAD_CLB8:.1f}% with the CLB",
+            f"measured: 8 entries -> "
+            f"{by_entries[8].dec_hit_ratio_pct:.1f}% decryption hit "
+            f"ratio; overhead "
+            f"{by_entries[0].overhead_pct:.2f}% -> "
+            f"{by_entries[8].overhead_pct:.2f}% with the CLB",
+        ]
+    return "\n".join(lines)

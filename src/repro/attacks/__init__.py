@@ -1,0 +1,24 @@
+"""Penetration-test suite (Table 4).
+
+Eight attacks from the paper's security evaluation, each staged through
+the threat model's exploit primitive — arbitrary kernel memory
+read/write — against a running kernel:
+
+1. return-oriented programming (saved return address overwrite),
+2. jump-oriented programming (function pointer overwrite),
+3. sensitive data corruption,
+4. sensitive data disclosure (keyring key leak),
+5. privilege escalation (``cred.uid`` overwrite),
+6. SELinux bypass (``selinux_state`` flag overwrite),
+7. interrupt context corruption,
+8. spatial code-pointer substitution.
+
+Every attack runs against both the original and the RegVault kernel and
+reports whether the attacker's goal was reached or the protection
+stopped it.
+"""
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.suite import ALL_ATTACKS, run_attack, run_suite
+
+__all__ = ["Attack", "AttackResult", "ALL_ATTACKS", "run_attack", "run_suite"]

@@ -1,0 +1,86 @@
+"""Attack framework plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler import Function, FunctionType, I64, IRBuilder, Module
+from repro.compiler.ir import Const
+from repro.kernel import KernelConfig, KernelSession
+from repro.kernel.api import RunResult
+
+#: Exit code the kernel-resident gadget produces when hijacked control
+#: flow reaches it.
+GADGET_EXIT = 0xAA
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack against one kernel build."""
+
+    attack: str
+    config: str
+    #: The attacker reached their goal (root, leak, hijack, ...).
+    succeeded: bool
+    #: The protection observably stopped the attack (trap/garbage).
+    blocked: bool
+    outcome: str
+
+    @property
+    def symbol(self) -> str:
+        """Table-4 style cell: ``x`` (attack lands) / ``v`` (defended)."""
+        return "x" if self.succeeded else "v"
+
+
+class Attack:
+    """Base class: build a scenario, stage the exploit, classify."""
+
+    name = "abstract"
+    number = 0
+
+    def run(self, config: KernelConfig) -> AttackResult:
+        raise NotImplementedError
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def user_program(body) -> Module:
+        """User module whose main is built by ``body(b, syscall)``."""
+        module = Module("user")
+        main = Function("main", FunctionType(I64, ()))
+        module.add_function(main)
+        builder = IRBuilder(main)
+        builder.block("entry")
+
+        def syscall(number, *args):
+            return builder.intrinsic(
+                "ecall", [Const(number), *args], returns=True
+            )
+
+        body(builder, syscall)
+        builder.ret(Const(0))
+        return module
+
+    def result(
+        self,
+        config: KernelConfig,
+        succeeded: bool,
+        outcome: str,
+    ) -> AttackResult:
+        return AttackResult(
+            attack=self.name,
+            config=config.name,
+            succeeded=succeeded,
+            blocked=not succeeded,
+            outcome=outcome,
+        )
+
+    @staticmethod
+    def describe(result: RunResult) -> str:
+        if result.exit_code == GADGET_EXIT:
+            return "gadget executed (control flow hijacked)"
+        if result.integrity_fault:
+            return "RegVault integrity fault (panic)"
+        if result.panicked:
+            return f"kernel panic, trap cause {result.panic_cause}"
+        return f"exit code {result.exit_code}"

@@ -1,0 +1,48 @@
+"""Attack 3 — sensitive data corruption.
+
+The attacker overwrites an integrity-protected field (``cred.gid``)
+with a chosen value and the kernel later consumes it.
+
+* Original kernel: the corrupted value is silently accepted —
+  ``getgid`` returns the attacker's number.
+* RegVault: the field is a QARMA ciphertext with 32 zero-check bits;
+  the attacker's plaintext write fails the ``crd`` integrity check and
+  the kernel traps (Figure 2b).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack
+from repro.compiler.ir import Const
+from repro.kernel import KernelConfig, KernelSession
+from repro.kernel.structs import CRED, SYS_EXIT, SYS_GETGID
+
+EVIL_GID = 0x31337
+
+
+class CorruptionAttack(Attack):
+    name = "sensitive data corruption"
+    number = 3
+
+    def run(self, config: KernelConfig):
+        def body(b, syscall):
+            gid = syscall(SYS_GETGID)
+            syscall(SYS_EXIT, gid)
+
+        session = KernelSession(config, self.user_program(body))
+        assert session.run_until(session.image.user_program.entry)
+        gid_addr = session.thread_field_addr(0, "cred") + (
+            session.image.field_offset(CRED, "gid")
+        )
+        if config.noncontrol:
+            # Protected layout: the gid slot is a full ciphertext word.
+            session.write_u64(gid_addr, EVIL_GID)
+        else:
+            session.write_u32(gid_addr, EVIL_GID)
+
+        result = session.resume()
+        return self.result(
+            config,
+            succeeded=result.exit_code == (EVIL_GID & 0xFFFF),
+            outcome=self.describe(result),
+        )

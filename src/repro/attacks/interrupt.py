@@ -1,0 +1,118 @@
+"""Attack 7 — interrupt context corruption (§2.4.3, [Azad BH'20]).
+
+A timer interrupt preempts the victim thread mid-computation and dumps
+*all* of its live registers into the interrupt context.  While the
+victim is descheduled, the attacker tampers with the saved register
+values.
+
+* Original kernel: the context is plaintext; the victim resumes with
+  silently corrupted registers (its in-register markers are destroyed
+  and nothing notices).
+* RegVault (CIP): every saved register is a link in the decryption
+  chain; corruption anywhere cascades into the zero-terminator check on
+  restore, which traps (Figure 4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.attacks.base import Attack
+from repro.compiler.ir import Const, Move
+from repro.compiler.types import I64
+from repro.kernel import KernelConfig, KernelSession
+from repro.kernel.structs import SYS_EXIT, SYS_GETPID, SYS_WRITE, SYS_YIELD
+
+MARKER = 0x13579BDF2468ACE0
+INTACT = 0x60
+CORRUPTED = 0x6C
+
+#: Saved-context slots of the temporaries and callee-saved registers
+#: (x5-x9, x18-x30 — everything but ra/sp/gp/tp and the a-registers).
+CALLEE_SAVED_SLOTS = (5, 6, 7, 8, 9) + tuple(range(18, 31))
+
+
+class InterruptCorruptionAttack(Attack):
+    name = "interrupt context corruption"
+    number = 7
+
+    def run(self, config: KernelConfig):
+        # Two threads, and a timer short enough to preempt the victim's
+        # busy loop.
+        config = dataclasses.replace(
+            config, num_threads=2, timer_interval=2_500
+        )
+
+        def body(b, syscall):
+            pid = syscall(SYS_GETPID)
+            first = b.cmp("eq", pid, Const(0))
+            b.cond_br(first, "victim", "accomplice")
+
+            b.block("victim")
+            # Markers live in callee-saved registers across a busy loop
+            # long enough to be timer-preempted.  Verdict on console:
+            # 'C' = silently corrupted, 'K' = intact.
+            markers = [b.move(Const(MARKER + i)) for i in range(6)]
+            spin = b.func.new_reg(I64, "spin")
+            b._emit(Move(spin, Const(0)))
+            b.br("busy")
+            b.block("busy")
+            b._emit(Move(spin, b.add(spin, 1)))
+            more = b.cmp("lt", spin, 6000)
+            b.cond_br(more, "busy", "check")
+            b.block("check")
+            intact = b.move(Const(1))
+            for i, marker in enumerate(markers):
+                ok = b.cmp("eq", marker, Const(MARKER + i))
+                intact = b.and_(intact, ok)
+            b.cond_br(intact, "clean", "dirty")
+            b.block("clean")
+            syscall(SYS_WRITE, Const(ord("K")))
+            syscall(SYS_EXIT, Const(INTACT))
+            b.br("dirty")
+            b.block("dirty")
+            syscall(SYS_WRITE, Const(ord("C")))
+            syscall(SYS_EXIT, Const(CORRUPTED))
+            b.br("victim_end")
+            b.block("victim_end")
+            b.ret(Const(0))
+
+            b.block("accomplice")
+            # Runs when the tick preempts the victim; signals the
+            # attacker (breakpointed on sys_write), then spins so the
+            # next tick hands control back to the victim.
+            syscall(SYS_WRITE, Const(ord("!")))
+            waste = b.func.new_reg(I64, "waste")
+            b._emit(Move(waste, Const(0)))
+            b.br("wait")
+            b.block("wait")
+            b._emit(Move(waste, b.add(waste, 1)))
+            again = b.cmp("lt", waste, 100000)
+            b.cond_br(again, "wait", "give_up")
+            b.block("give_up")
+            syscall(SYS_EXIT, Const(INTACT))
+
+        session = KernelSession(config, self.user_program(body))
+        # The accomplice only runs after the victim was preempted by
+        # the timer — its saved context is an *interrupt* context.
+        assert session.run_until("sys_write"), "victim was never preempted"
+
+        ctx = session.thread_field_addr(0, "ctx")
+        assert session.context_kind(0) == (1 if config.cip else 0), (
+            "expected an interrupt-saved context"
+        )
+        for slot in CALLEE_SAVED_SLOTS:
+            address = ctx + 8 * slot
+            session.write_u64(address, session.read_u64(address) ^ 0xFF00FF)
+
+        result = session.resume()
+        corrupted_silently = "C" in result.console
+        return self.result(
+            config,
+            succeeded=corrupted_silently,
+            outcome=(
+                "silent register corruption on resume"
+                if corrupted_silently
+                else self.describe(result)
+            ),
+        )

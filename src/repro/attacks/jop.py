@@ -1,0 +1,43 @@
+"""Attack 2 — jump-oriented programming via function-pointer overwrite.
+
+The syscall table is kernel data; the attacker overwrites the
+``SYS_NOP`` entry with a gadget address and has the victim thread issue
+that syscall.
+
+* Original kernel: the dispatcher loads the planted pointer and
+  ``jalr``s straight into the gadget.
+* RegVault (``fp``): table entries are ciphertext under the dedicated
+  function-pointer key; the planted plaintext address decrypts to
+  garbage, and the indirect jump faults (§3.1.2).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, GADGET_EXIT
+from repro.compiler.ir import Const
+from repro.kernel import KernelConfig, KernelSession
+from repro.kernel.structs import SYS_EXIT, SYS_NOP
+
+
+class JopAttack(Attack):
+    name = "jump-oriented programming"
+    number = 2
+
+    def run(self, config: KernelConfig):
+        def body(b, syscall):
+            syscall(SYS_NOP)          # the hijacked call
+            syscall(SYS_EXIT, Const(7))
+
+        session = KernelSession(config, self.user_program(body))
+        # Boot fully (the table is initialized at boot), then strike
+        # before the user program runs.
+        assert session.run_until(session.image.user_program.entry)
+        entry_addr = session.symbol("syscall_table") + 8 * SYS_NOP
+        session.write_u64(entry_addr, session.symbol("attack_gadget"))
+
+        result = session.resume()
+        return self.result(
+            config,
+            succeeded=result.exit_code == GADGET_EXIT,
+            outcome=self.describe(result),
+        )

@@ -1,0 +1,53 @@
+"""Attack 4 — sensitive data disclosure (keyring key leak, §3.2.1).
+
+The victim installs a cryptographic key in the kernel keyring; the
+attacker dumps the keyring with an arbitrary-read primitive.
+
+* Original kernel: keyring payloads sit in memory as plaintext — the
+  attacker walks away with the key.
+* RegVault: payloads are QARMA ciphertext under the keyring key
+  register, whose value is neither in memory nor CSR-readable; the dump
+  yields only ciphertext.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack
+from repro.compiler.ir import Const
+from repro.kernel import KernelConfig, KernelSession
+from repro.kernel.structs import KERNEL_KEY, SYS_ADD_KEY, SYS_EXIT
+
+SECRET_LO = 0x5EC2E7000000AAAA
+SECRET_HI = 0x5EC2E7000000BBBB
+
+
+class LeakAttack(Attack):
+    name = "sensitive data disclosure"
+    number = 4
+
+    def run(self, config: KernelConfig):
+        def body(b, syscall):
+            syscall(SYS_ADD_KEY, Const(SECRET_LO), Const(SECRET_HI))
+            # Signal "key installed" and keep running so the attacker
+            # strikes while the key is resident.
+            syscall(0x7, Const(0), Const(0))  # harmless second add_key
+            syscall(SYS_EXIT, Const(0))
+
+        session = KernelSession(config, self.user_program(body))
+        # Run to completion; the keyring retains the key at rest.
+        final = session.run()
+        assert final.exit_code == 0
+
+        slot0 = session.symbol("keyring")
+        lo_addr = slot0 + session.image.field_offset(KERNEL_KEY, "payload_lo")
+        hi_addr = slot0 + session.image.field_offset(KERNEL_KEY, "payload_hi")
+        dumped_lo = session.read_u64(lo_addr)
+        dumped_hi = session.read_u64(hi_addr)
+
+        leaked = dumped_lo == SECRET_LO and dumped_hi == SECRET_HI
+        outcome = (
+            "plaintext key recovered from memory"
+            if leaked
+            else f"dump yields ciphertext ({dumped_lo:#x})"
+        )
+        return self.result(config, succeeded=leaked, outcome=outcome)

@@ -1,0 +1,56 @@
+"""Attack 5 — privilege escalation by corrupting ``cred.uid`` (§3.2.2).
+
+The classic Android/Linux rooting move: write 0 over the uid/euid
+fields, then ask the kernel who you are.
+
+* Original kernel: ``getuid`` returns 0 and ``setuid(0)`` succeeds —
+  the attacker is root.
+* RegVault: the fields are ``__rand_integrity`` ciphertext; the zeroed
+  slots fail the integrity check at the next credential load and the
+  kernel traps instead of granting root.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack
+from repro.compiler.ir import Const
+from repro.kernel import KernelConfig, KernelSession
+from repro.kernel.structs import CRED, SYS_EXIT, SYS_GETUID, SYS_SETUID
+
+ROOT_MARKER = 0x900D  # exit code when the attacker verifies uid == 0
+
+
+class PrivilegeEscalationAttack(Attack):
+    name = "privilege escalation"
+    number = 5
+
+    def run(self, config: KernelConfig):
+        def body(b, syscall):
+            uid = syscall(SYS_GETUID)
+            is_root = b.cmp("eq", uid, Const(0))
+            grabbed = syscall(SYS_SETUID, Const(0))   # root-only operation
+            setuid_ok = b.cmp("eq", grabbed, Const(0))
+            both = b.and_(is_root, setuid_ok)
+            b.cond_br(both, "rooted", "not_rooted")
+            b.block("rooted")
+            syscall(SYS_EXIT, Const(ROOT_MARKER))
+            b.br("not_rooted")
+            b.block("not_rooted")
+            syscall(SYS_EXIT, Const(1))
+
+        session = KernelSession(config, self.user_program(body))
+        assert session.run_until(session.image.user_program.entry)
+        cred_base = session.thread_field_addr(0, "cred")
+        for field_name in ("uid", "euid"):
+            addr = cred_base + session.image.field_offset(CRED, field_name)
+            if config.noncontrol:
+                session.write_u64(addr, 0)
+            else:
+                session.write_u32(addr, 0)
+
+        result = session.resume()
+        return self.result(
+            config,
+            succeeded=result.exit_code == ROOT_MARKER,
+            outcome=self.describe(result),
+        )

@@ -1,0 +1,335 @@
+"""RIPE-style parametrized attack matrix.
+
+The paper ports the RIPE suite [Wilander et al., ACSAC'11] to its
+RISC-V kernel; RIPE's contribution is systematic *dimensions* rather
+than individual exploits.  This module reproduces that idea for the
+data RegVault protects:
+
+* **targets** — the protected data classes of Table 2 reachable
+  through the running kernel (cred uid, selinux flag, syscall-table
+  pointer, keyring payload);
+* **techniques** —
+
+  - ``overwrite``: plant a chosen plaintext value directly;
+  - ``substitute``: splice in the valid ciphertext of the *same kind*
+    of data from a different address (spatial substitution);
+  - ``replay``: capture the target's own ciphertext, let the kernel
+    legitimately change the value, then restore the stale bytes
+    (temporal substitution).
+
+Expected outcomes: the unprotected kernel loses to everything; RegVault
+stops all overwrites and spatial substitutions (integrity check and
+address tweak, §4.3.1).  **Replay is a documented limitation**: the
+tweak binds ciphertext to an address, not to a version, so replaying a
+value the *same slot* previously held decrypts cleanly.  The paper does
+not claim replay protection (CoDaRR's re-randomization, discussed in
+§5, targets exactly this gap); the matrix makes the boundary explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.base import Attack
+from repro.compiler.ir import Const
+from repro.kernel import KernelConfig, KernelSession
+from repro.kernel.structs import (
+    CRED,
+    SELINUX_STATE,
+    SYS_EXIT,
+    SYS_GETGID,
+    SYS_GETUID,
+    SYS_NOP,
+    SYS_SELINUX_CHECK,
+    SYS_SETGID,
+)
+
+TARGETS = ("cred_uid", "selinux_enforcing", "syscall_ptr")
+TECHNIQUES = ("overwrite", "substitute", "replay")
+
+#: Marker exit codes.
+ATTACK_WON = 0xA7
+CLEAN = 0x0C
+
+
+@dataclass(frozen=True)
+class RipeResult:
+    target: str
+    technique: str
+    config: str
+    succeeded: bool
+    outcome: str
+
+    @property
+    def symbol(self) -> str:
+        return "x" if self.succeeded else "v"
+
+
+def _cross_thread_program():
+    """Thread 0 (root) idles; thread 1 (victim, uid 1000) checks its
+    uid after the attack window."""
+
+    def body(b, syscall):
+        pid = syscall(1)                       # SYS_GETPID
+        first = b.cmp("eq", pid, Const(0))
+        b.cond_br(first, "rootside", "victim")
+        b.block("rootside")
+        syscall(5)                             # yield to the victim
+        syscall(SYS_EXIT, Const(CLEAN))
+        b.br("end")
+        b.block("victim")
+        syscall(SYS_NOP)                       # attack window marker
+        uid = syscall(SYS_GETUID)
+        rooted = b.cmp("eq", uid, Const(0))
+        b.cond_br(rooted, "won", "clean")
+        b.block("won")
+        syscall(4, Const(ord("R")))            # SYS_WRITE: rooted
+        syscall(SYS_EXIT, Const(ATTACK_WON))
+        b.br("end")
+        b.block("clean")
+        syscall(4, Const(ord("u")))            # SYS_WRITE: still a user
+        syscall(SYS_EXIT, Const(CLEAN))
+        b.br("end")
+        b.block("end")
+
+    return Attack.user_program(body)
+
+
+def _user_program(target: str):
+    """A victim that reports whether the attacker's goal value became
+    effective."""
+
+    def body(b, syscall):
+        if target == "cred_uid":
+            # Phase marker, then consume the (possibly tampered) uid.
+            syscall(SYS_NOP)                       # attack window marker
+            uid = syscall(SYS_GETUID)
+            rooted = b.cmp("eq", uid, Const(0))
+            b.cond_br(rooted, "won", "clean")
+        elif target == "selinux_enforcing":
+            syscall(SYS_NOP)
+            allowed = syscall(SYS_SELINUX_CHECK, Const(7))  # denied normally
+            bypassed = b.cmp("ne", allowed, Const(0))
+            b.cond_br(bypassed, "won", "clean")
+        else:  # syscall_ptr: call SYS_NOP; substituted ptr hijacks it
+            result = syscall(SYS_NOP, Const(ATTACK_WON))
+            b.cond_br(b.cmp("eq", result, Const(0)), "clean", "won")
+        b.block("won")
+        syscall(SYS_EXIT, Const(ATTACK_WON))
+        b.br("end")
+        b.block("clean")
+        syscall(SYS_EXIT, Const(CLEAN))
+        b.br("end")
+        b.block("end")
+        # Attack.user_program appends the final ret.
+
+    return Attack.user_program(body)
+
+
+def _replay_program():
+    """For cred_uid replay: the kernel legitimately changes gid after
+    the attacker snapshots it, then the victim re-reads it."""
+
+    def body(b, syscall):
+        g1 = syscall(SYS_GETGID)                # force initial use (0: root)
+        syscall(SYS_NOP)                        # snapshot window
+        syscall(SYS_SETGID, Const(7))           # legitimate change by root
+        syscall(SYS_NOP)                        # restore window
+        g2 = syscall(SYS_GETGID)
+        same = b.cmp("eq", g2, g1)
+        b.cond_br(same, "stale", "fresh")
+        b.block("stale")
+        syscall(SYS_EXIT, Const(ATTACK_WON))    # old value effective again
+        b.br("end")
+        b.block("fresh")
+        syscall(SYS_EXIT, Const(CLEAN))
+        b.br("end")
+        b.block("end")
+        # Attack.user_program appends the final ret.
+
+    return Attack.user_program(body)
+
+
+def _target_address(session: KernelSession, target: str) -> int:
+    if target == "cred_uid":
+        return session.thread_field_addr(0, "cred") + (
+            session.image.field_offset(CRED, "uid")
+        )
+    if target == "selinux_enforcing":
+        return session.field_addr("selinux_state", SELINUX_STATE, "enforcing")
+    return session.symbol("syscall_table") + 8 * SYS_NOP
+
+
+def _decoy_address(session: KernelSession, target: str) -> int:
+    """A valid same-class ciphertext at a different address."""
+    if target == "cred_uid":
+        # euid holds the same plaintext under a different tweak.
+        return session.thread_field_addr(0, "cred") + (
+            session.image.field_offset(CRED, "euid")
+        )
+    if target == "selinux_enforcing":
+        return session.field_addr(
+            "selinux_state", SELINUX_STATE, "initialized"
+        )
+    return session.symbol("syscall_table") + 8 * SYS_EXIT
+
+
+def run_cell(target: str, technique: str, config: KernelConfig) -> RipeResult:
+    """Run one (target, technique, config) matrix cell."""
+    if technique == "replay":
+        return _run_root_replay(config)
+
+    if target == "cred_uid" and technique == "substitute":
+        return _run_cross_thread_substitution(config)
+
+    session = KernelSession(config, _user_program(target))
+    if target == "syscall_ptr":
+        # Plant before the dispatcher ever reads the table entry.
+        assert session.run_until(session.image.user_program.entry)
+    else:
+        assert session.run_until("sys_nop"), "victim never reached the window"
+    address = _target_address(session, target)
+
+    if technique == "overwrite":
+        evil = {"cred_uid": 0, "selinux_enforcing": 0,
+                "syscall_ptr": session.symbol("attack_gadget")}[target]
+        if config.noncontrol or target == "syscall_ptr":
+            session.write_u64(address, evil)
+        else:
+            session.write_u32(address, evil)
+    elif technique == "substitute":
+        session.write_u64(address, session.read_u64(
+            _decoy_address(session, target)
+        ))
+
+    result = session.resume()
+    succeeded = result.exit_code in (ATTACK_WON, 0xAA)
+    return RipeResult(
+        target=target,
+        technique=technique,
+        config=config.name,
+        succeeded=succeeded,
+        outcome=_describe(result),
+    )
+
+
+def _run_cross_thread_substitution(config: KernelConfig) -> RipeResult:
+    """Spatial substitution on credentials: splice the *root* thread's
+    valid uid ciphertext over the victim thread's slot."""
+    import dataclasses
+
+    config = dataclasses.replace(
+        config, root_thread=True, num_threads=2
+    )
+    session = KernelSession(config, _cross_thread_program())
+    assert session.run_until("sys_nop"), "victim never reached the window"
+    uid_off = session.image.field_offset(CRED, "uid")
+    donor = session.thread_field_addr(0, "cred") + uid_off     # uid 0
+    victim = session.thread_field_addr(1, "cred") + uid_off    # uid 1000
+    session.write_u64(victim, session.read_u64(donor))
+
+    result = session.resume()
+    rooted = "R" in result.console
+    return RipeResult(
+        target="cred_uid",
+        technique="substitute",
+        config=config.name,
+        succeeded=rooted,
+        outcome="victim became root" if rooted else _describe(result),
+    )
+
+
+def _run_root_replay(config: KernelConfig) -> RipeResult:
+    """Temporal replay against a root thread whose setgid(0)
+    legitimately rewrites the gid field between the attacker's snapshot
+    and splice."""
+    import dataclasses
+
+    config = dataclasses.replace(config, root_thread=True)
+    session = KernelSession(config, _replay_program())
+    assert session.run_until("sys_nop")        # snapshot window
+    gid_addr = session.thread_field_addr(0, "cred") + (
+        session.image.field_offset(CRED, "gid")
+    )
+    snapshot = session.read_u64(gid_addr)
+    before = snapshot
+
+    # Step off the breakpoint, then resume past setgid(0): the kernel
+    # rewrites gid legitimately before the second marker.
+    session.machine.hart.step()
+    assert session.run_until("sys_nop")        # restore window
+    changed = session.read_u64(gid_addr)
+    # Splice the stale ciphertext back (temporal substitution).
+    session.write_u64(gid_addr, snapshot)
+    result = session.resume()
+
+    succeeded = result.exit_code == ATTACK_WON and changed != before
+    outcome = (
+        "stale ciphertext replayed cleanly (no versioning in the tweak)"
+        if succeeded
+        else _describe(result)
+    )
+    return RipeResult(
+        target="cred_gid",
+        technique="replay",
+        config=config.name,
+        succeeded=succeeded,
+        outcome=outcome,
+    )
+
+
+def _describe(result) -> str:
+    if result.integrity_fault:
+        return "integrity fault"
+    if result.panicked:
+        return f"kernel panic (cause {result.panic_cause})"
+    if result.exit_code == ATTACK_WON:
+        return "attacker goal reached"
+    if result.exit_code == CLEAN:
+        return "no effect"
+    return f"exit {result.exit_code:#x}"
+
+
+def run_matrix(configs=None) -> list[RipeResult]:
+    if configs is None:
+        configs = (KernelConfig.baseline(), KernelConfig.full())
+    results = []
+    for target in TARGETS:
+        for technique in ("overwrite", "substitute"):
+            for config in configs:
+                results.append(run_cell(target, technique, config))
+    for config in configs:
+        results.append(_run_root_replay(config))
+    return results
+
+
+def format_matrix(results: list[RipeResult]) -> str:
+    lines = [
+        "RIPE-style attack matrix (x = attack effective, v = stopped)",
+        "",
+        f"{'target':20s} {'technique':12s} {'baseline':>9s} {'full':>6s}",
+        "-" * 52,
+    ]
+    cells = {}
+    order = []
+    for result in results:
+        key = (result.target, result.technique)
+        cells[(key, result.config)] = result
+        if key not in order:
+            order.append(key)
+    for key in order:
+        target, technique = key
+        base = cells.get((key, "baseline"))
+        full = cells.get((key, "full"))
+        lines.append(
+            f"{target:20s} {technique:12s} "
+            f"{base.symbol if base else '?':>9s} "
+            f"{full.symbol if full else '?':>6s}"
+        )
+    lines += [
+        "",
+        "replay note: address tweaks bind ciphertext to a location, not",
+        "a version — stale-value replay is outside RegVault's guarantees",
+        "(the paper's §5 points to CoDaRR-style re-randomization).",
+    ]
+    return "\n".join(lines)

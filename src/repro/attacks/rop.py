@@ -1,0 +1,56 @@
+"""Attack 1 — return-oriented programming (RIPE-style).
+
+While the kernel executes a non-leaf function (``sys_encrypt``), the
+attacker overwrites its saved return address on the kernel stack with a
+gadget address.
+
+* Original kernel: the epilogue loads the planted address and returns
+  into the gadget — hijack complete.
+* RegVault (``ra``): the prologue stored ``creak(ra)`` (tweak = sp, per
+  thread key ``a``); the epilogue runs ``crdak`` on the attacker's
+  plaintext pointer and produces garbage, so the return jumps to an
+  illegal address and traps (§3.1.1, "any corrupted pointers ... are
+  decrypted into garbage values").
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, GADGET_EXIT
+from repro.compiler.ir import Const
+from repro.kernel import KernelConfig, KernelSession
+from repro.kernel.structs import SYS_ADD_KEY, SYS_ENCRYPT, SYS_EXIT
+
+VICTIM = "sys_encrypt"
+
+
+class RopAttack(Attack):
+    name = "return-oriented programming"
+    number = 1
+
+    def run(self, config: KernelConfig):
+        def body(b, syscall):
+            slot = syscall(SYS_ADD_KEY, Const(0x1111), Const(0x2222))
+            syscall(SYS_ENCRYPT, Const(0x42), slot)
+            syscall(SYS_EXIT, Const(7))
+
+        session = KernelSession(config, self.user_program(body))
+        frame = session.image.kernel_compiled.frames[VICTIM]
+        assert frame.ra_offset is not None, "victim must be non-leaf"
+
+        # Pause at the victim's entry: sp still has the caller's value.
+        assert session.run_until(VICTIM), "victim never executed"
+        sp_entry = session.machine.hart.regs.by_name("sp")
+        ra_slot = sp_entry - frame.frame_size + frame.ra_offset
+
+        # Let the prologue save (and maybe encrypt) the return address,
+        # then plant the gadget pointer.
+        for _ in range(40):
+            session.machine.hart.step()
+        session.write_u64(ra_slot, session.symbol("attack_gadget"))
+
+        result = session.resume()
+        return self.result(
+            config,
+            succeeded=result.exit_code == GADGET_EXIT,
+            outcome=self.describe(result),
+        )

@@ -1,0 +1,57 @@
+"""Attack 6 — SELinux bypass by flag overwrite (§3.2.3, [Shen BH'17]).
+
+Zero ``selinux_state.initialized`` (and ``enforcing``): the access
+control logic then treats every request as allowed.
+
+* Original kernel: a permission that policy denies is granted after the
+  overwrite — enforcement is off.
+* RegVault: the flags are ``__rand_integrity``-protected; the zeroed
+  ciphertext slots trip the integrity check inside the next hook call.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack
+from repro.compiler.ir import Const
+from repro.kernel import KernelConfig, KernelSession
+from repro.kernel.selinux import POLICY_ALLOW_BELOW
+from repro.kernel.structs import SELINUX_STATE, SYS_EXIT, SYS_SELINUX_CHECK
+
+#: A permission the toy policy always denies.
+FORBIDDEN_PERM = POLICY_ALLOW_BELOW + 3
+BYPASSED = 0xB1
+DENIED = 0xD0
+
+
+class SelinuxBypassAttack(Attack):
+    name = "SELinux bypass"
+    number = 6
+
+    def run(self, config: KernelConfig):
+        def body(b, syscall):
+            allowed = syscall(SYS_SELINUX_CHECK, Const(FORBIDDEN_PERM))
+            got_through = b.cmp("ne", allowed, Const(0))
+            b.cond_br(got_through, "bypassed", "denied")
+            b.block("bypassed")
+            syscall(SYS_EXIT, Const(BYPASSED))
+            b.br("denied")
+            b.block("denied")
+            syscall(SYS_EXIT, Const(DENIED))
+
+        session = KernelSession(config, self.user_program(body))
+        assert session.run_until(session.image.user_program.entry)
+        for field_name in ("initialized", "enforcing"):
+            addr = session.field_addr(
+                "selinux_state", SELINUX_STATE, field_name
+            )
+            if config.noncontrol:
+                session.write_u64(addr, 0)
+            else:
+                session.write_u32(addr, 0)
+
+        result = session.resume()
+        return self.result(
+            config,
+            succeeded=result.exit_code == BYPASSED,
+            outcome=self.describe(result),
+        )

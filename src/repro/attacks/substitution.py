@@ -1,0 +1,49 @@
+"""Attack 8 — spatial code-pointer substitution.
+
+The attacker cannot forge a valid ciphertext, but can *copy* one: the
+(possibly encrypted) ``sys_exit`` entry of the syscall table is copied
+over the ``sys_nop`` entry.  A victim calling the harmless syscall then
+executes the substituted one with attacker-chosen arguments.
+
+* Original kernel: pointers are interchangeable — the substitution
+  works and ``SYS_NOP`` terminates the machine with the attacker's
+  exit code.
+* RegVault: the storage address is the encryption tweak, so the copied
+  ciphertext decrypts to garbage at its new location and the dispatch
+  faults ("the address-based randomization thwarts spatial substitution
+  attacks", §4.3.1).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack
+from repro.compiler.ir import Const
+from repro.kernel import KernelConfig, KernelSession
+from repro.kernel.structs import SYS_EXIT, SYS_NOP
+
+HIJACK_CODE = 0x7E
+
+
+class SubstitutionAttack(Attack):
+    name = "spatial code-pointer substitution"
+    number = 8
+
+    def run(self, config: KernelConfig):
+        def body(b, syscall):
+            # A "harmless" syscall with a loaded argument; if the table
+            # was substituted this is really exit(HIJACK_CODE).
+            syscall(SYS_NOP, Const(HIJACK_CODE))
+            syscall(SYS_EXIT, Const(1))
+
+        session = KernelSession(config, self.user_program(body))
+        assert session.run_until(session.image.user_program.entry)
+        table = session.symbol("syscall_table")
+        exit_entry = session.read_u64(table + 8 * SYS_EXIT)
+        session.write_u64(table + 8 * SYS_NOP, exit_entry)
+
+        result = session.resume()
+        return self.result(
+            config,
+            succeeded=result.exit_code == HIJACK_CODE,
+            outcome=self.describe(result),
+        )

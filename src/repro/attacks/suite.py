@@ -1,0 +1,70 @@
+"""Run the full penetration-test matrix (Table 4)."""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.corruption import CorruptionAttack
+from repro.attacks.interrupt import InterruptCorruptionAttack
+from repro.attacks.jop import JopAttack
+from repro.attacks.leak import LeakAttack
+from repro.attacks.privilege import PrivilegeEscalationAttack
+from repro.attacks.rop import RopAttack
+from repro.attacks.selinux_bypass import SelinuxBypassAttack
+from repro.attacks.substitution import SubstitutionAttack
+from repro.kernel import KernelConfig
+
+#: The paper's eight penetration tests, in Table 4 order.
+ALL_ATTACKS: tuple[type[Attack], ...] = (
+    RopAttack,
+    JopAttack,
+    CorruptionAttack,
+    LeakAttack,
+    PrivilegeEscalationAttack,
+    SelinuxBypassAttack,
+    InterruptCorruptionAttack,
+    SubstitutionAttack,
+)
+
+
+def run_attack(
+    attack_cls: type[Attack], config: KernelConfig
+) -> AttackResult:
+    return attack_cls().run(config)
+
+
+def run_suite(
+    configs: tuple[KernelConfig, ...] | None = None,
+) -> list[AttackResult]:
+    """Run every attack against every config (default: original vs full)."""
+    if configs is None:
+        configs = (KernelConfig.baseline(), KernelConfig.full())
+    results = []
+    for attack_cls in ALL_ATTACKS:
+        for config in configs:
+            results.append(run_attack(attack_cls, config))
+    return results
+
+
+def format_table(results: list[AttackResult]) -> str:
+    """Render the Table 4 matrix."""
+    configs = []
+    for result in results:
+        if result.config not in configs:
+            configs.append(result.config)
+    attacks = []
+    for result in results:
+        if result.attack not in attacks:
+            attacks.append(result.attack)
+    cell = {(r.attack, r.config): r for r in results}
+
+    header = f"{'Attack':40s}" + "".join(f"{c:>12s}" for c in configs)
+    rows = [header, "-" * len(header)]
+    for attack in attacks:
+        row = f"{attack:40s}"
+        for config in configs:
+            result = cell[(attack, config)]
+            row += f"{result.symbol:>12s}"
+        rows.append(row)
+    rows.append("")
+    rows.append("x = attack succeeds      v = attack stopped")
+    return "\n".join(rows)

@@ -1,0 +1,20 @@
+"""Benchmark harness for the paper's performance evaluation (Figure 5).
+
+Three synthetic suites mirror the structure of the paper's benchmarks:
+
+* :mod:`repro.bench.workloads.unixbench` — UnixBench-shaped, syscall-
+  oriented mixes (Figure 5a);
+* :mod:`repro.bench.workloads.lmbench` — LMbench-shaped latency micros
+  (Figure 5b);
+* :mod:`repro.bench.workloads.spec` — SPEC-CPU2017-intspeed-shaped
+  userspace macros (Figure 5c).
+
+Each workload compiles once per protection configuration and executes
+on the cycle-accurate simulator; overheads are cycle ratios against the
+baseline build, never wall-clock.
+"""
+
+from repro.bench.runner import Measurement, run_workload, measure_matrix
+from repro.bench.workloads.base import Workload
+
+__all__ = ["Workload", "Measurement", "run_workload", "measure_matrix"]

@@ -1,0 +1,90 @@
+"""Overhead computation and Figure-5-style reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.runner import Measurement
+
+#: Paper reference points for the suite averages (§4.4).
+PAPER_FULL_AVERAGE = {
+    "unixbench": 2.6,
+    "lmbench": 2.5,
+    "spec": 0.0,
+}
+
+CONFIG_ORDER = ("ra", "fp", "noncontrol", "full")
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    workload: str
+    overhead_pct: dict  # config name -> percent vs baseline
+
+    def get(self, config: str) -> float:
+        return self.overhead_pct.get(config, float("nan"))
+
+
+def overhead_table(
+    matrix: dict[tuple[str, str], Measurement],
+) -> list[OverheadRow]:
+    """Relative cycle overhead per workload per config vs baseline."""
+    workloads = []
+    for workload, _ in matrix:
+        if workload not in workloads:
+            workloads.append(workload)
+    rows = []
+    for workload in workloads:
+        base = matrix[(workload, "baseline")].cycles
+        pct = {}
+        for config in CONFIG_ORDER:
+            if (workload, config) in matrix:
+                cycles = matrix[(workload, config)].cycles
+                pct[config] = 100.0 * (cycles - base) / base
+        rows.append(OverheadRow(workload, pct))
+    return rows
+
+
+def averages(rows: list[OverheadRow]) -> dict:
+    out = {}
+    for config in CONFIG_ORDER:
+        values = [
+            row.get(config) for row in rows
+            if config in row.overhead_pct
+        ]
+        if values:
+            out[config] = sum(values) / len(values)
+    return out
+
+
+def format_figure(
+    title: str,
+    rows: list[OverheadRow],
+    paper_full_average: float | None = None,
+) -> str:
+    """Render a Figure-5-style text table."""
+    configs = [
+        c for c in CONFIG_ORDER
+        if any(c in row.overhead_pct for row in rows)
+    ]
+    header = f"{'workload':16s}" + "".join(
+        f"{c.upper():>12s}" for c in configs
+    )
+    lines = [title, "", header, "-" * len(header)]
+    for row in rows:
+        line = f"{row.workload:16s}"
+        for config in configs:
+            line += f"{row.get(config):11.2f}%"
+        lines.append(line)
+    lines.append("-" * len(header))
+    avg = averages(rows)
+    line = f"{'average':16s}"
+    for config in configs:
+        line += f"{avg.get(config, float('nan')):11.2f}%"
+    lines.append(line)
+    if paper_full_average is not None:
+        lines.append(
+            f"\npaper FULL average: {paper_full_average:.1f}%   "
+            f"measured FULL average: {avg.get('full', float('nan')):.2f}%"
+        )
+    return "\n".join(lines)

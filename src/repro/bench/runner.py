@@ -1,0 +1,114 @@
+"""Workload execution and measurement.
+
+Cycle accounting excludes boot: measurement starts when the first user
+instruction executes (the paper benchmarks steady-state scores, not
+kernel bring-up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.workloads.base import Workload
+from repro.errors import ReproError
+from repro.kernel import KernelConfig, KernelSession
+from repro.machine import HaltReason
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One workload run under one configuration."""
+
+    workload: str
+    config: str
+    cycles: int
+    instructions: int
+    crypto_ops: int
+    clb_hit_ratio: float
+    clb_dec_hit_ratio: float
+    exit_code: int
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+def run_workload(
+    workload: Workload,
+    config: KernelConfig,
+    scale: float = 1.0,
+) -> Measurement:
+    """Build, boot and measure one workload under one config."""
+    import dataclasses
+
+    config = dataclasses.replace(config, num_threads=workload.num_threads)
+    session = KernelSession(config, workload.module(scale))
+    # Fast-forward boot; measure from the first user instruction.
+    reached = session.run_until(
+        session.image.user_program.entry, max_steps=workload.max_steps
+    )
+    if not reached:
+        raise ReproError(
+            f"{workload.name}/{config.name}: never reached user space"
+        )
+    start_cycles = session.machine.hart.cycles
+    start_instr = session.machine.hart.instret
+    session.machine.engine.reset_stats()
+
+    result = session.run(max_steps=workload.max_steps)
+    if result.halt_reason is not HaltReason.SHUTDOWN:
+        raise ReproError(
+            f"{workload.name}/{config.name}: did not finish "
+            f"({result.halt_reason})"
+        )
+    if result.panicked:
+        raise ReproError(
+            f"{workload.name}/{config.name}: kernel panic "
+            f"(cause {result.panic_cause})"
+        )
+    clb = session.clb_stats
+    dec_accesses = clb.dec_hits + clb.dec_misses
+    return Measurement(
+        workload=workload.name,
+        config=config.name,
+        cycles=result.cycles - start_cycles,
+        instructions=result.instructions - start_instr,
+        crypto_ops=session.stats.operations,
+        clb_hit_ratio=clb.hit_ratio,
+        clb_dec_hit_ratio=(
+            clb.dec_hits / dec_accesses if dec_accesses else 0.0
+        ),
+        exit_code=result.exit_code,
+    )
+
+
+def measure_matrix(
+    workloads,
+    configs=None,
+    scale: float = 1.0,
+) -> dict[tuple[str, str], Measurement]:
+    """Measure every workload under every config."""
+    if configs is None:
+        configs = KernelConfig.figure5_matrix()
+    matrix = {}
+    for workload in workloads:
+        for config in configs:
+            measurement = run_workload(workload, config, scale)
+            matrix[(workload.name, config.name)] = measurement
+    return matrix
+
+
+def correctness_check(workloads, configs=None, scale: float = 0.2) -> None:
+    """Assert every workload computes the same result in every config."""
+    if configs is None:
+        configs = KernelConfig.figure5_matrix()
+    for workload in workloads:
+        exit_codes = set()
+        for config in configs:
+            measurement = run_workload(workload, config, scale)
+            exit_codes.add(measurement.exit_code)
+        if len(exit_codes) != 1:
+            raise ReproError(
+                f"{workload.name}: exit codes diverge across configs: "
+                f"{sorted(exit_codes)}"
+            )

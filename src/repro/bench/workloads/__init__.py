@@ -1,0 +1,6 @@
+"""Synthetic workload suites (see package docstring of repro.bench)."""
+
+from repro.bench.workloads.base import Workload, LoopBuilder
+from repro.bench.workloads import lmbench, spec, unixbench
+
+__all__ = ["Workload", "LoopBuilder", "unixbench", "lmbench", "spec"]

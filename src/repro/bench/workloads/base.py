@@ -1,0 +1,108 @@
+"""Workload construction helpers.
+
+A :class:`Workload` is a named factory for a user-space IR module (plus
+the kernel configuration knobs it needs).  :class:`LoopBuilder` wraps
+the IR builder with counted-loop and syscall conveniences so workload
+definitions stay compact and readable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.compiler import Function, FunctionType, I64, IRBuilder, Module
+from repro.compiler.ir import Const, Move, VReg
+from repro.kernel.structs import SYS_EXIT
+
+
+class LoopBuilder:
+    """IRBuilder wrapper with loops, syscalls and unique labels."""
+
+    def __init__(self, builder: IRBuilder):
+        self.b = builder
+        self._labels = itertools.count()
+
+    def fresh(self, prefix: str) -> str:
+        return f"{prefix}_{next(self._labels)}"
+
+    def syscall(self, number: int, *args):
+        return self.b.intrinsic(
+            "ecall",
+            [Const(number), *[
+                Const(a) if isinstance(a, int) else a for a in args
+            ]],
+            returns=True,
+        )
+
+    def loop(self, count, body: Callable) -> None:
+        """Emit ``for i in range(count): body(i)``.
+
+        ``body(lb, i)`` receives this LoopBuilder and the loop counter
+        vreg; it must not terminate the current block.
+        """
+        b = self.b
+        head = self.fresh("loop")
+        done = self.fresh("done")
+        i = b.func.new_reg(I64, "i")
+        b._emit(Move(i, Const(0)))
+        b.br(head)
+        b.block(head)
+        body(self, i)
+        b._emit(Move(i, b.add(i, 1)))
+        limit = count if isinstance(count, (VReg, Const)) else Const(count)
+        again = b.cmp("lt", i, limit)
+        b.cond_br(again, head, done)
+        b.block(done)
+
+    def accumulate(self, name: str = "acc"):
+        """A mutable accumulator register initialized to zero."""
+        acc = self.b.func.new_reg(I64, name)
+        self.b._emit(Move(acc, Const(0)))
+        return acc
+
+    def add_into(self, acc, value) -> None:
+        self.b._emit(Move(acc, self.b.add(acc, value)))
+
+    def set(self, reg, value) -> None:
+        self.b._emit(Move(reg, value if not isinstance(value, int)
+                          else Const(value)))
+
+    def exit(self, code) -> None:
+        self.syscall(SYS_EXIT, code)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named benchmark scenario.
+
+    ``build(scale)`` returns the user module; ``scale`` shrinks or
+    grows iteration counts (tests run at ~0.1, benches at 1.0).
+    """
+
+    name: str
+    suite: str
+    build: Callable[[float], Module]
+    description: str = ""
+    num_threads: int = 1
+    max_steps: int = 8_000_000
+
+    def module(self, scale: float = 1.0) -> Module:
+        return self.build(scale)
+
+
+def make_user_module(body: Callable[[LoopBuilder], None]) -> Module:
+    """Standard single-main user module scaffold."""
+    module = Module("user")
+    main = Function("main", FunctionType(I64, ()))
+    module.add_function(main)
+    builder = IRBuilder(main)
+    builder.block("entry")
+    body(LoopBuilder(builder))
+    builder.ret(Const(0))
+    return module
+
+
+def scaled(count: int, scale: float, minimum: int = 2) -> int:
+    return max(minimum, int(count * scale))

@@ -1,0 +1,191 @@
+"""LMbench-shaped latency micro-suite (Figure 5b).
+
+LMbench measures individual kernel-path latencies.  Each workload here
+is a tight loop over one kernel operation; per-operation latency is the
+measured cycles divided by iterations.  These are the harshest cases
+for RegVault (the whole measured path is instrumented kernel code), so
+their overheads bound what user programs can ever observe (§4.4.2).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import Const
+from repro.compiler.types import ArrayType, I64
+from repro.bench.workloads.base import (
+    LoopBuilder,
+    Workload,
+    make_user_module,
+    scaled,
+)
+from repro.kernel.structs import (
+    SYS_EXIT,
+    SYS_GETPPID,
+    SYS_NOP,
+    SYS_SELINUX_CHECK,
+    SYS_SPAWN,
+    SYS_TRANSLATE,
+    SYS_WRITE,
+    SYS_YIELD,
+)
+
+
+def _null_syscall(scale: float):
+    """lat_syscall null: the cheapest possible kernel round trip."""
+
+    def body(lb: LoopBuilder):
+        acc = lb.accumulate()
+        lb.loop(
+            scaled(100, scale),
+            lambda lb2, i: lb2.add_into(acc, lb2.syscall(SYS_GETPPID)),
+        )
+        lb.exit(Const(0))
+
+    return make_user_module(body)
+
+
+def _null_io(scale: float):
+    """lat_syscall write: one-byte writes."""
+
+    def body(lb: LoopBuilder):
+        acc = lb.accumulate()
+        lb.loop(
+            scaled(100, scale),
+            lambda lb2, i: lb2.add_into(
+                acc, lb2.syscall(SYS_WRITE, Const(ord("w")))
+            ),
+        )
+        lb.exit(Const(0))
+
+    return make_user_module(body)
+
+
+def _stat(scale: float):
+    """lat_syscall stat analogue: a permission-checking path that
+    touches protected kernel data (selinux_state)."""
+
+    def body(lb: LoopBuilder):
+        acc = lb.accumulate()
+        lb.loop(
+            scaled(100, scale),
+            lambda lb2, i: lb2.add_into(
+                acc, lb2.syscall(SYS_SELINUX_CHECK, 2)
+            ),
+        )
+        lb.exit(Const(0))
+
+    return make_user_module(body)
+
+
+def _page_fault(scale: float):
+    """lat_pagefault analogue: page-table walks via sys_translate."""
+
+    def body(lb: LoopBuilder):
+        b = lb.b
+        acc = lb.accumulate()
+        lb.syscall(9, Const(0x4000_0000), Const(0x0900_8000))  # map once
+
+        def iteration(lb2, i):
+            va = lb2.b.add(Const(0x4000_0000), lb2.b.and_(i, 0xFFF))
+            lb2.add_into(acc, lb2.syscall(SYS_TRANSLATE, va))
+
+        lb.loop(scaled(80, scale), iteration)
+        lb.exit(Const(0))
+
+    return make_user_module(body)
+
+
+def _ctx_switch(scale: float):
+    """lat_ctx: forced context switches between two threads."""
+
+    def body(lb: LoopBuilder):
+        lb.loop(scaled(50, scale), lambda lb2, i: lb2.syscall(SYS_YIELD))
+        lb.exit(Const(0))
+
+    return make_user_module(body)
+
+
+def _signal(scale: float):
+    """lat_sig analogue: trap in, minimal work, trap out."""
+
+    def body(lb: LoopBuilder):
+        acc = lb.accumulate()
+        lb.loop(
+            scaled(100, scale),
+            lambda lb2, i: lb2.add_into(acc, lb2.syscall(SYS_NOP)),
+        )
+        lb.exit(Const(0))
+
+    return make_user_module(body)
+
+
+def _mem_lat(scale: float):
+    """lat_mem_rd: user-space pointer chasing — the control case where
+    the kernel is not involved at all."""
+
+    def body(lb: LoopBuilder):
+        b = lb.b
+        size = 64
+        b.local("chain", ArrayType(I64, size))
+        base = b.addr_of_local("chain")
+        # Build a stride-17 cycle through the array.
+        def link(lb2, i):
+            b = lb2.b
+            nxt = b.remu(b.mul(b.add(i, 1), 17), size)
+            slot = b.add(base, b.shl(i, 3))
+            b.raw_store(slot, b.add(base, b.shl(nxt, 3)))
+
+        lb.loop(size, link)
+        ptr = b.move(base, "ptr")
+        from repro.compiler.ir import Move
+
+        def chase(lb2, i):
+            b = lb2.b
+            b._emit(Move(ptr, b.raw_load(ptr)))
+
+        lb.loop(scaled(900, scale), chase)
+        lb.exit(Const(0))
+
+    return make_user_module(body)
+
+
+def _proc_fork(scale: float):
+    """lat_proc fork: spawn + child exit + slot reclaim per iteration."""
+    from repro.compiler import Function, FunctionType, I64, IRBuilder, Module
+    from repro.compiler.ir import Const as C
+
+    module = Module("user")
+    child = Function("child_main", FunctionType(I64, ()))
+    module.add_function(child)
+    cb = IRBuilder(child)
+    cb.block("entry")
+    cb.intrinsic("ecall", [C(SYS_EXIT), C(0)], returns=True)
+    cb.ret(C(0))
+
+    main = Function("main", FunctionType(I64, ()))
+    module.add_function(main)
+    mb = IRBuilder(main)
+    mb.block("entry")
+    lb = LoopBuilder(mb)
+    entry = mb.addr_of_func("child_main")
+
+    def iteration(lb1, i):
+        lb1.syscall(SYS_SPAWN, entry)
+        lb1.syscall(SYS_YIELD)
+
+    lb.loop(scaled(25, scale), iteration)
+    lb.exit(C(0))
+    mb.ret(C(0))
+    return module
+
+
+SUITE: tuple[Workload, ...] = (
+    Workload("null_call", "lmbench", _null_syscall, "lat_syscall null"),
+    Workload("null_io", "lmbench", _null_io, "lat_syscall write"),
+    Workload("stat", "lmbench", _stat, "protected-data permission path"),
+    Workload("page_fault", "lmbench", _page_fault, "page-table walk"),
+    Workload("ctx", "lmbench", _ctx_switch, "context switch",
+             num_threads=2),
+    Workload("signal", "lmbench", _signal, "signal delivery analogue"),
+    Workload("proc_fork", "lmbench", _proc_fork, "process fork latency"),
+    Workload("mem_rd", "lmbench", _mem_lat, "user memory latency control"),
+)

@@ -1,0 +1,288 @@
+"""SPEC-CPU2017-intspeed-shaped macro suite (Figure 5c).
+
+SPEC programs are userspace-bound: they enter the kernel only at the
+edges (and through timer ticks).  RegVault instruments *kernel* code
+only — its instructions are not even executable in user mode — so the
+paper reports close-to-zero overhead here.  Each workload mimics the
+computational character of one intspeed component.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import Const, Move
+from repro.compiler.types import ArrayType, I64
+from repro.bench.workloads.base import (
+    LoopBuilder,
+    Workload,
+    make_user_module,
+    scaled,
+)
+from repro.kernel.structs import SYS_NOP
+
+
+def _perlbench(scale: float):
+    """Branchy byte-crunching (interpreter dispatch character)."""
+
+    def body(lb: LoopBuilder):
+        b = lb.b
+        acc = lb.accumulate()
+
+        def iteration(lb2, i):
+            b = lb2.b
+            op = b.and_(i, 7)
+            is_add = b.cmp("eq", op, 0)
+            is_mul = b.cmp("eq", op, 1)
+            is_xor = b.cmp("eq", op, 2)
+            value = b.add(
+                b.mul(is_add, b.add(i, 13)),
+                b.add(
+                    b.mul(is_mul, b.mul(i, 3)),
+                    b.mul(is_xor, b.xor(i, 0x55)),
+                ),
+            )
+            lb2.add_into(acc, value)
+
+        lb.loop(scaled(2500, scale), iteration)
+        lb.syscall(SYS_NOP)
+        lb.exit(b.and_(acc, 0xFF))
+
+    return make_user_module(body)
+
+
+def _gcc(scale: float):
+    """Function-call-heavy tree evaluation (compiler character)."""
+
+    def build(scale_inner):
+        from repro.compiler import Function, FunctionType, IRBuilder, Module
+
+        module = Module("user")
+        # eval(node) -> value; recursion depth driven by node number.
+        evaluate = Function("evaluate", FunctionType(I64, (I64,)), ["n"])
+        module.add_function(evaluate)
+        b = IRBuilder(evaluate)
+        b.block("entry")
+        n = evaluate.params[0]
+        small = b.cmp("le", n, 1)
+        b.cond_br(small, "leaf", "node")
+        b.block("leaf")
+        b.ret(b.add(n, 1))
+        b.block("node")
+        left = b.call("evaluate", [b.shr(n, 1)])
+        right = b.call("evaluate", [b.sub(b.shr(n, 1), 1)])
+        combined = b.add(b.mul(left, 3), right)
+        b.ret(b.and_(combined, 0xFFFF))
+
+        main = Function("main", FunctionType(I64, ()))
+        module.add_function(main)
+        mb = IRBuilder(main)
+        mb.block("entry")
+        lb = LoopBuilder(mb)
+        acc = lb.accumulate()
+        lb.loop(
+            scaled(20, scale_inner),
+            lambda lb2, i: lb2.add_into(
+                acc, lb2.b.call("evaluate", [lb2.b.add(i, 100)])
+            ),
+        )
+        lb.exit(mb.and_(acc, 0xFF))
+        mb.ret(Const(0))
+        return module
+
+    return build(scale)
+
+
+def _mcf(scale: float):
+    """Pointer-chasing over a linked structure (cache-hostile)."""
+
+    def body(lb: LoopBuilder):
+        b = lb.b
+        size = 128
+        b.local("nodes", ArrayType(I64, size))
+        base = b.addr_of_local("nodes")
+
+        def link(lb2, i):
+            b = lb2.b
+            nxt = b.remu(b.mul(b.add(i, 1), 53), size)
+            b.raw_store(b.add(base, b.shl(i, 3)),
+                        b.add(base, b.shl(nxt, 3)))
+
+        lb.loop(size, link)
+        ptr = b.move(base, "ptr")
+        acc = lb.accumulate()
+
+        def chase(lb2, i):
+            b = lb2.b
+            b._emit(Move(ptr, b.raw_load(ptr)))
+            lb2.add_into(acc, ptr)
+
+        lb.loop(scaled(2000, scale), chase)
+        lb.syscall(SYS_NOP)
+        lb.exit(b.and_(acc, 0xFF))
+
+    return make_user_module(body)
+
+
+def _xz(scale: float):
+    """Bit-twiddling compression kernel."""
+
+    def body(lb: LoopBuilder):
+        b = lb.b
+        acc = lb.accumulate()
+        state = b.move(Const(0x9E3779B97F4A7C15), "state")
+
+        def iteration(lb2, i):
+            b = lb2.b
+            s = b.xor(state, b.shr(state, 12))
+            s = b.xor(s, b.shl(s, 25))
+            s = b.xor(s, b.shr(s, 27))
+            b._emit(Move(state, s))
+            lb2.add_into(acc, b.and_(s, 0xFF))
+
+        lb.loop(scaled(2200, scale), iteration)
+        lb.syscall(SYS_NOP)
+        lb.exit(b.and_(acc, 0xFF))
+
+    return make_user_module(body)
+
+
+def _deepsjeng(scale: float):
+    """Recursive game-tree search (negamax character)."""
+
+    def build(scale_inner):
+        from repro.compiler import Function, FunctionType, IRBuilder, Module
+
+        module = Module("user")
+        search = Function(
+            "search", FunctionType(I64, (I64, I64)), ["depth", "pos"]
+        )
+        module.add_function(search)
+        b = IRBuilder(search)
+        b.block("entry")
+        depth, pos = search.params
+        leaf = b.cmp("le", depth, 0)
+        b.cond_br(leaf, "eval", "expand")
+        b.block("eval")
+        b.ret(b.and_(b.mul(pos, 2654435761), 0xFF))
+        b.block("expand")
+        child1 = b.call("search", [b.sub(depth, 1), b.add(pos, 1)])
+        child2 = b.call("search", [b.sub(depth, 1), b.xor(pos, depth)])
+        best = b.cmp("gt", child1, child2)
+        score = b.add(b.mul(best, child1),
+                      b.mul(b.xor(best, 1), child2))
+        b.ret(score)
+
+        main = Function("main", FunctionType(I64, ()))
+        module.add_function(main)
+        mb = IRBuilder(main)
+        mb.block("entry")
+        lb = LoopBuilder(mb)
+        acc = lb.accumulate()
+        depth = 6 if scale_inner >= 0.5 else 4
+        lb.loop(
+            scaled(12, scale_inner),
+            lambda lb2, i: lb2.add_into(
+                acc, lb2.b.call("search", [Const(depth), i])
+            ),
+        )
+        lb.exit(mb.and_(acc, 0xFF))
+        mb.ret(Const(0))
+        return module
+
+    return build(scale)
+
+
+def _x264(scale: float):
+    """Dense array arithmetic (SAD/MC loops)."""
+
+    def body(lb: LoopBuilder):
+        b = lb.b
+        size = 64
+        b.local("frame_a", ArrayType(I64, size))
+        b.local("frame_b", ArrayType(I64, size))
+        a = b.addr_of_local("frame_a")
+        bb = b.addr_of_local("frame_b")
+        lb.loop(size, lambda lb2, i: lb2.b.raw_store(
+            lb2.b.add(a, lb2.b.shl(i, 3)), lb2.b.mul(i, 9)
+        ))
+        lb.loop(size, lambda lb2, i: lb2.b.raw_store(
+            lb2.b.add(bb, lb2.b.shl(i, 3)), lb2.b.mul(i, 7)
+        ))
+        acc = lb.accumulate()
+
+        def sad_pass(lb1, p):
+            def sad(lb2, i):
+                b = lb2.b
+                off = b.shl(b.and_(i, size - 1), 3)
+                va = b.raw_load(b.add(a, off))
+                vb = b.raw_load(b.add(bb, off))
+                diff = b.sub(va, vb)
+                neg = b.cmp("lt", diff, 0)
+                mag = b.sub(b.xor(diff, b.sub(Const(0), neg)),
+                            b.sub(Const(0), neg))
+                lb2.add_into(acc, mag)
+
+            lb1.loop(160, sad)
+
+        lb.loop(scaled(10, scale), sad_pass)
+        lb.syscall(SYS_NOP)
+        lb.exit(b.and_(acc, 0xFF))
+
+    return make_user_module(body)
+
+
+def _leela(scale: float):
+    """Branch-heavy board evaluation loops."""
+
+    def body(lb: LoopBuilder):
+        b = lb.b
+        acc = lb.accumulate()
+
+        def iteration(lb2, i):
+            b = lb2.b
+            row = b.remu(i, 19)
+            col = b.remu(b.mul(i, 7), 19)
+            edge_r = b.or_(b.cmp("eq", row, 0), b.cmp("eq", row, 18))
+            edge_c = b.or_(b.cmp("eq", col, 0), b.cmp("eq", col, 18))
+            weight = b.add(b.mul(edge_r, 3), b.mul(edge_c, 2))
+            lb2.add_into(acc, b.add(weight, b.and_(i, 1)))
+
+        lb.loop(scaled(2000, scale), iteration)
+        lb.syscall(SYS_NOP)
+        lb.exit(b.and_(acc, 0xFF))
+
+    return make_user_module(body)
+
+
+def _exchange2(scale: float):
+    """Permutation/puzzle enumeration (tight nested loops)."""
+
+    def body(lb: LoopBuilder):
+        b = lb.b
+        acc = lb.accumulate()
+
+        def outer(lb1, i):
+            def inner(lb2, j):
+                b = lb2.b
+                v = b.add(b.mul(i, 9), j)
+                ok = b.cmp("ne", b.remu(v, 9), 0)
+                lb2.add_into(acc, b.mul(ok, v))
+
+            lb1.loop(81, inner)
+
+        lb.loop(scaled(28, scale), outer)
+        lb.syscall(SYS_NOP)
+        lb.exit(b.and_(acc, 0xFF))
+
+    return make_user_module(body)
+
+
+SUITE: tuple[Workload, ...] = (
+    Workload("perlbench", "spec", _perlbench, "interpreter dispatch"),
+    Workload("gcc", "spec", _gcc, "recursive tree evaluation"),
+    Workload("mcf", "spec", _mcf, "pointer chasing"),
+    Workload("xz", "spec", _xz, "bit-twiddling compression"),
+    Workload("deepsjeng", "spec", _deepsjeng, "game-tree search"),
+    Workload("x264", "spec", _x264, "dense array arithmetic"),
+    Workload("leela", "spec", _leela, "board evaluation"),
+    Workload("exchange2", "spec", _exchange2, "puzzle enumeration"),
+)

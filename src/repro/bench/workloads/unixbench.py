@@ -1,0 +1,264 @@
+"""UnixBench-shaped workload suite (Figure 5a).
+
+Each workload mirrors the *structure* of a UnixBench item: the same
+mix of user computation and kernel interaction, scaled to simulator-
+friendly iteration counts.  UnixBench is syscall-oriented, so the paper
+uses it (with LMbench) as the upper bound of RegVault's overhead
+(§4.4.2).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import Const
+from repro.compiler.types import ArrayType, I64
+from repro.bench.workloads.base import (
+    LoopBuilder,
+    Workload,
+    make_user_module,
+    scaled,
+)
+from repro.kernel.structs import (
+    SYS_EXIT,
+    SYS_GETPID,
+    SYS_GETUID,
+    SYS_MAP_PAGE,
+    SYS_NOP,
+    SYS_SELINUX_CHECK,
+    SYS_SETUID,
+    SYS_SPAWN,
+    SYS_TRANSLATE,
+    SYS_WRITE,
+    SYS_YIELD,
+)
+
+
+def _dhrystone(scale: float):
+    """Integer/branch/call mix with a light syscall every iteration
+    block — the classic 'dhry2reg' profile."""
+
+    def body(lb: LoopBuilder):
+        b = lb.b
+        acc = lb.accumulate()
+
+        def iteration(lb2, i):
+            b = lb2.b
+            x = b.add(b.mul(i, 13), 7)
+            y = b.xor(x, b.shl(i, 3))
+            z = b.sub(b.mul(y, 3), b.shr(x, 2))
+            cond = b.cmp("lt", b.and_(z, 7), 4)
+            lb2.add_into(acc, b.add(z, cond))
+
+        def block(lb1, j):
+            lb1.loop(40, iteration)
+            lb1.add_into(acc, lb1.syscall(SYS_GETPID))
+
+        lb.loop(scaled(25, scale), block)
+        lb.exit(b.and_(acc, 0xFF))
+
+    return make_user_module(body)
+
+
+def _whetstone(scale: float):
+    """Arithmetic-intensity profile (integer stand-in for the FP loop)."""
+
+    def body(lb: LoopBuilder):
+        b = lb.b
+        acc = lb.accumulate()
+
+        def iteration(lb2, i):
+            b = lb2.b
+            x = b.add(i, 3)
+            y = b.div(b.mul(x, 1_000_003), b.add(b.and_(i, 63), 1))
+            z = b.rem(y, 911)
+            lb2.add_into(acc, z)
+
+        lb.loop(scaled(700, scale), iteration)
+        lb.syscall(SYS_NOP)
+        lb.exit(b.and_(acc, 0xFF))
+
+    return make_user_module(body)
+
+
+def _execl(scale: float):
+    """Process-image churn analogue: credential and policy queries
+    dominate, little user compute (execl throughput is kernel-bound)."""
+
+    def body(lb: LoopBuilder):
+        b = lb.b
+        acc = lb.accumulate()
+
+        def iteration(lb2, i):
+            lb2.add_into(acc, lb2.syscall(SYS_GETUID))
+            lb2.add_into(acc, lb2.syscall(SYS_SETUID, 0))
+            lb2.add_into(acc, lb2.syscall(SYS_SELINUX_CHECK, 2))
+            # exec-side user work: argument marshalling.
+            x = lb2.b.mul(i, 31)
+            lb2.loop(20, lambda lb3, j: lb3.add_into(
+                acc, lb3.b.xor(x, j)
+            ))
+
+        lb.loop(scaled(30, scale), iteration)
+        lb.exit(b.and_(acc, 0xFF))
+
+    return make_user_module(body)
+
+
+def _file_copy(scale: float):
+    """File-copy profile: user-space buffer shuffling with a write
+    syscall per block (UnixBench fscopy)."""
+
+    def body(lb: LoopBuilder):
+        b = lb.b
+        b.local("src", ArrayType(I64, 32))
+        b.local("dst", ArrayType(I64, 32))
+        src = b.addr_of_local("src")
+        dst = b.addr_of_local("dst")
+        acc = lb.accumulate()
+
+        def copy_word(lb2, j):
+            b = lb2.b
+            offset = b.shl(b.and_(j, 31), 3)
+            value = b.raw_load(b.add(src, offset))
+            b.raw_store(b.add(dst, offset), b.add(value, j))
+
+        def block(lb1, i):
+            lb1.loop(64, copy_word)
+            lb1.add_into(acc, lb1.syscall(SYS_WRITE, Const(ord("."))))
+
+        lb.loop(scaled(18, scale), block)
+        lb.exit(b.and_(acc, 0xFF))
+
+    return make_user_module(body)
+
+
+def _pipe_throughput(scale: float):
+    """Pipe throughput: back-to-back small writes (syscall-dense)."""
+
+    def body(lb: LoopBuilder):
+        b = lb.b
+        acc = lb.accumulate()
+
+        def iteration(lb2, i):
+            lb2.add_into(acc, lb2.syscall(SYS_WRITE, Const(ord("p"))))
+            # pipe-buffer bookkeeping in user space
+            lb2.loop(12, lambda lb3, j: lb3.add_into(acc, j))
+
+        lb.loop(scaled(60, scale), iteration)
+        lb.exit(b.and_(acc, 0xFF))
+
+    return make_user_module(body)
+
+
+def _context_switch(scale: float):
+    """Pipe-based context switching: two threads yielding in turn."""
+
+    def body(lb: LoopBuilder):
+        b = lb.b
+        acc = lb.accumulate()
+
+        def iteration(lb2, i):
+            lb2.syscall(SYS_YIELD)
+            lb2.loop(10, lambda lb3, j: lb3.add_into(acc, j))
+
+        lb.loop(scaled(40, scale), iteration)
+        lb.exit(Const(0))
+
+    return make_user_module(body)
+
+
+def _process_creation(scale: float):
+    """Process creation: real fork-lite cycles — spawn a child (typed
+    cred copy, fresh keys and address space, sealed context), let it
+    run to exit, reclaim the slot (UnixBench ``spawn``)."""
+    from repro.compiler import Function, FunctionType, I64, IRBuilder, Module
+    from repro.compiler.ir import Const as C
+
+    module = Module("user")
+
+    child = Function("child_main", FunctionType(I64, ()))
+    module.add_function(child)
+    cb = IRBuilder(child)
+    cb.block("entry")
+    cb.intrinsic("ecall", [C(SYS_EXIT), C(0)], returns=True)
+    cb.ret(C(0))
+
+    main = Function("main", FunctionType(I64, ()))
+    module.add_function(main)
+    mb = IRBuilder(main)
+    mb.block("entry")
+    lb = LoopBuilder(mb)
+    acc = lb.accumulate()
+    entry = mb.addr_of_func("child_main")
+
+    def iteration(lb1, i):
+        tid = lb1.syscall(SYS_SPAWN, entry)
+        lb1.add_into(acc, tid)
+        lb1.syscall(SYS_YIELD)             # child runs and exits
+        # Parent-side setup work between forks.
+        lb1.loop(20, lambda lb2, j: lb2.add_into(acc, j))
+
+    lb.loop(scaled(20, scale), iteration)
+    lb.exit(mb.and_(acc, 0xFF))
+    mb.ret(C(0))
+    return module
+
+
+def _syscall_overhead(scale: float):
+    """The pure syscall loop (UnixBench 'System Call Overhead')."""
+
+    def body(lb: LoopBuilder):
+        b = lb.b
+        acc = lb.accumulate()
+        lb.loop(
+            scaled(120, scale),
+            lambda lb2, i: lb2.add_into(acc, lb2.syscall(SYS_GETPID)),
+        )
+        lb.exit(b.and_(acc, 0xFF))
+
+    return make_user_module(body)
+
+
+def _shell(scale: float):
+    """Shell-scripts profile: a broad mix of everything above."""
+
+    def body(lb: LoopBuilder):
+        b = lb.b
+        acc = lb.accumulate()
+
+        def iteration(lb2, i):
+            b = lb2.b
+            lb2.add_into(acc, lb2.syscall(SYS_GETUID))
+            lb2.loop(30, lambda lb3, j: lb3.add_into(
+                acc, lb3.b.mul(j, 3)
+            ))
+            lb2.add_into(acc, lb2.syscall(SYS_SELINUX_CHECK, 1))
+            lb2.loop(30, lambda lb3, j: lb3.add_into(
+                acc, lb3.b.xor(j, i)
+            ))
+            lb2.syscall(SYS_WRITE, Const(ord("$")))
+
+        lb.loop(scaled(20, scale), iteration)
+        lb.exit(b.and_(acc, 0xFF))
+
+    return make_user_module(body)
+
+
+SUITE: tuple[Workload, ...] = (
+    Workload("dhrystone", "unixbench", _dhrystone,
+             "register-heavy integer mix (dhry2reg)"),
+    Workload("whetstone", "unixbench", _whetstone,
+             "arithmetic kernel (whetstone-double stand-in)"),
+    Workload("execl", "unixbench", _execl,
+             "process-image churn: cred + policy checks"),
+    Workload("file_copy", "unixbench", _file_copy,
+             "buffered copy with per-block writes"),
+    Workload("pipe", "unixbench", _pipe_throughput,
+             "pipe throughput (syscall-dense)"),
+    Workload("context1", "unixbench", _context_switch,
+             "pipe-based context switching", num_threads=2),
+    Workload("spawn", "unixbench", _process_creation,
+             "process creation (mm setup)"),
+    Workload("syscall", "unixbench", _syscall_overhead,
+             "system call overhead"),
+    Workload("shell", "unixbench", _shell, "shell-script mix"),
+)

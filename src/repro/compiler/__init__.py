@@ -1,0 +1,51 @@
+"""Mini compiler with RegVault instrumentation (§2.4).
+
+Plays the role of the paper's extended Clang/LLVM 11: a typed IR with
+annotation-aware struct layout, an instrumentation pass that wraps loads
+and stores of annotated data in ``cre``/``crd`` primitives, sensitive-
+value dataflow, a linear-scan register allocator with protected spill
+slots, and an RV64 code generator.
+"""
+
+from repro.compiler.types import (
+    Annotation,
+    ArrayType,
+    Field,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    VoidType,
+    I8,
+    I16,
+    I32,
+    I64,
+    VOID,
+)
+from repro.compiler.ir import Module, Function, Block, VReg, Const
+from repro.compiler.builder import IRBuilder
+from repro.compiler.pipeline import CompileOptions, compile_module
+
+__all__ = [
+    "Annotation",
+    "ArrayType",
+    "Field",
+    "FunctionType",
+    "IntType",
+    "PointerType",
+    "StructType",
+    "VoidType",
+    "I8",
+    "I16",
+    "I32",
+    "I64",
+    "VOID",
+    "Module",
+    "Function",
+    "Block",
+    "VReg",
+    "Const",
+    "IRBuilder",
+    "CompileOptions",
+    "compile_module",
+]

@@ -1,0 +1,290 @@
+"""Convenience builder for constructing IR.
+
+The kernel, the workloads and the tests all build IR through this API:
+
+>>> from repro.compiler import *
+>>> from repro.compiler.builder import IRBuilder
+>>> module = Module("demo")
+>>> func = Function("add2", FunctionType(I64, (I64,)))
+>>> _ = module.add_function(func)
+>>> b = IRBuilder(func)
+>>> entry = b.block("entry")
+>>> result = b.add(func.params[0], 2)
+>>> b.ret(result)
+Ret(value=...)
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+from repro.compiler.ir import (
+    AddrOfFunc,
+    AddrOfGlobal,
+    AddrOfLocal,
+    BinOp,
+    Block,
+    Br,
+    Call,
+    CallIndirect,
+    Cmp,
+    CondBr,
+    Const,
+    CryptoOp,
+    FieldAddr,
+    Function,
+    IndexAddr,
+    Intrinsic,
+    Load,
+    Move,
+    Operand,
+    RawLoad,
+    RawStore,
+    Ret,
+    Store,
+    VReg,
+)
+from repro.compiler.types import (
+    Annotation,
+    PointerType,
+    StructType,
+    Type,
+    I64,
+)
+from repro.crypto.keys import KeySelect
+from repro.errors import IRError
+
+
+def _as_operand(value) -> Operand:
+    if isinstance(value, (VReg, Const)):
+        return value
+    if isinstance(value, int):
+        return Const(value)
+    raise IRError(f"cannot use {value!r} as an operand")
+
+
+class IRBuilder:
+    """Appends instructions to the current block of a function."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.current: Block | None = None
+
+    # -- blocks -------------------------------------------------------------
+
+    def block(self, label: str) -> Block:
+        """Create a block and make it current."""
+        block = self.func.add_block(label)
+        self.current = block
+        return block
+
+    def switch_to(self, label: str) -> Block:
+        self.current = self.func.block(label)
+        return self.current
+
+    def _emit(self, instr):
+        if self.current is None:
+            raise IRError("no current block")
+        if self.current.terminator is not None:
+            raise IRError(
+                f"block {self.current.label} already terminated"
+            )
+        self.current.instructions.append(instr)
+        return instr
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def _binop(self, op: str, lhs, rhs, name: str = "") -> VReg:
+        result = self.func.new_reg(I64, name)
+        self._emit(BinOp(op, result, _as_operand(lhs), _as_operand(rhs)))
+        return result
+
+    def add(self, lhs, rhs, name: str = "") -> VReg:
+        return self._binop("add", lhs, rhs, name)
+
+    def sub(self, lhs, rhs, name: str = "") -> VReg:
+        return self._binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs, rhs, name: str = "") -> VReg:
+        return self._binop("mul", lhs, rhs, name)
+
+    def div(self, lhs, rhs, name: str = "") -> VReg:
+        return self._binop("div", lhs, rhs, name)
+
+    def divu(self, lhs, rhs, name: str = "") -> VReg:
+        return self._binop("divu", lhs, rhs, name)
+
+    def rem(self, lhs, rhs, name: str = "") -> VReg:
+        return self._binop("rem", lhs, rhs, name)
+
+    def remu(self, lhs, rhs, name: str = "") -> VReg:
+        return self._binop("remu", lhs, rhs, name)
+
+    def and_(self, lhs, rhs, name: str = "") -> VReg:
+        return self._binop("and", lhs, rhs, name)
+
+    def or_(self, lhs, rhs, name: str = "") -> VReg:
+        return self._binop("or", lhs, rhs, name)
+
+    def xor(self, lhs, rhs, name: str = "") -> VReg:
+        return self._binop("xor", lhs, rhs, name)
+
+    def shl(self, lhs, rhs, name: str = "") -> VReg:
+        return self._binop("shl", lhs, rhs, name)
+
+    def shr(self, lhs, rhs, name: str = "") -> VReg:
+        return self._binop("shr", lhs, rhs, name)
+
+    def sra(self, lhs, rhs, name: str = "") -> VReg:
+        return self._binop("sra", lhs, rhs, name)
+
+    def cmp(self, op: str, lhs, rhs, name: str = "") -> VReg:
+        result = self.func.new_reg(I64, name)
+        self._emit(Cmp(op, result, _as_operand(lhs), _as_operand(rhs)))
+        return result
+
+    def move(self, source, name: str = "") -> VReg:
+        result = self.func.new_reg(I64, name)
+        self._emit(Move(result, _as_operand(source)))
+        return result
+
+    def const(self, value: int) -> Const:
+        return Const(value)
+
+    # -- memory ----------------------------------------------------------------
+
+    def load(self, ptr, type_: Type, annotation=Annotation.NONE,
+             name: str = "", key=None) -> VReg:
+        result = self.func.new_reg(type_, name)
+        self._emit(Load(result, _as_operand(ptr), type_, annotation, key))
+        return result
+
+    def store(self, ptr, value, type_: Type,
+              annotation=Annotation.NONE, key=None) -> None:
+        self._emit(
+            Store(_as_operand(ptr), _as_operand(value), type_, annotation, key)
+        )
+
+    def raw_load(self, ptr, width: int = 8, signed: bool = False,
+                 name: str = "") -> VReg:
+        result = self.func.new_reg(I64, name)
+        self._emit(RawLoad(result, _as_operand(ptr), width, signed))
+        return result
+
+    def raw_store(self, ptr, value, width: int = 8) -> None:
+        self._emit(RawStore(_as_operand(ptr), _as_operand(value), width))
+
+    def field_addr(self, base, struct: StructType, field: str,
+                   name: str = "") -> VReg:
+        field_obj = struct.field_named(field)
+        result = self.func.new_reg(
+            PointerType(field_obj.type), name or f"&{field}"
+        )
+        self._emit(FieldAddr(result, _as_operand(base), struct, field))
+        return result
+
+    def load_field(self, base, struct: StructType, field: str,
+                   name: str = "") -> VReg:
+        """Load ``base->field`` honoring its annotation."""
+        field_obj = struct.field_named(field)
+        addr = self.field_addr(base, struct, field)
+        return self.load(
+            addr, field_obj.type, field_obj.annotation, name or field,
+            key=field_obj.key,
+        )
+
+    def store_field(self, base, struct: StructType, field: str, value) -> None:
+        """Store ``base->field`` honoring its annotation."""
+        field_obj = struct.field_named(field)
+        addr = self.field_addr(base, struct, field)
+        self.store(addr, value, field_obj.type, field_obj.annotation,
+                   key=field_obj.key)
+
+    def index_addr(self, base, index, stride: int = 0, name: str = "",
+                   elem_type=None,
+                   elem_annotation=Annotation.NONE) -> VReg:
+        result = self.func.new_reg(I64, name)
+        self._emit(
+            IndexAddr(result, _as_operand(base), _as_operand(index),
+                      stride, elem_type, elem_annotation)
+        )
+        return result
+
+    def local(self, name: str, type_: Type = I64,
+              annotation=Annotation.NONE) -> str:
+        """Declare a stack local; returns its name for addr_of_local."""
+        self.func.add_local(name, type_, annotation)
+        return name
+
+    def addr_of_local(self, local: str, name: str = "") -> VReg:
+        result = self.func.new_reg(I64, name or f"&{local}")
+        self._emit(AddrOfLocal(result, local))
+        return result
+
+    def addr_of_global(self, symbol: str, name: str = "") -> VReg:
+        result = self.func.new_reg(I64, name or f"&{symbol}")
+        self._emit(AddrOfGlobal(result, symbol))
+        return result
+
+    def addr_of_func(self, func_name: str, name: str = "") -> VReg:
+        result = self.func.new_reg(I64, name or f"&{func_name}")
+        self._emit(AddrOfFunc(result, func_name))
+        return result
+
+    # -- crypto (manual instrumentation, Table 2 "Manual") -----------------------
+
+    def crypto_enc(self, value, tweak, key: KeySelect,
+                   byte_range=(7, 0), name: str = "") -> VReg:
+        result = self.func.new_reg(I64, name)
+        self._emit(
+            CryptoOp(result, "enc", _as_operand(value), _as_operand(tweak),
+                     key, byte_range)
+        )
+        return result
+
+    def crypto_dec(self, value, tweak, key: KeySelect,
+                   byte_range=(7, 0), name: str = "") -> VReg:
+        result = self.func.new_reg(I64, name)
+        self._emit(
+            CryptoOp(result, "dec", _as_operand(value), _as_operand(tweak),
+                     key, byte_range)
+        )
+        return result
+
+    # -- calls ---------------------------------------------------------------
+
+    def call(self, func_name: str, args=(), returns: bool = True,
+             name: str = "") -> VReg | None:
+        result = self.func.new_reg(I64, name) if returns else None
+        self._emit(Call(result, func_name, [_as_operand(a) for a in args]))
+        return result
+
+    def call_indirect(self, target, args=(), returns: bool = True,
+                      name: str = "") -> VReg | None:
+        result = self.func.new_reg(I64, name) if returns else None
+        self._emit(
+            CallIndirect(result, _as_operand(target),
+                         [_as_operand(a) for a in args])
+        )
+        return result
+
+    def intrinsic(self, intr_name: str, args=(), returns: bool = False,
+                  name: str = "") -> VReg | None:
+        result = self.func.new_reg(I64, name) if returns else None
+        self._emit(
+            Intrinsic(result, intr_name, [_as_operand(a) for a in args])
+        )
+        return result
+
+    # -- control flow -----------------------------------------------------------
+
+    def br(self, target: str):
+        return self._emit(Br(target))
+
+    def cond_br(self, cond, then_target: str, else_target: str):
+        return self._emit(
+            CondBr(_as_operand(cond), then_target, else_target)
+        )
+
+    def ret(self, value=None):
+        operand = None if value is None else _as_operand(value)
+        return self._emit(Ret(operand))

@@ -1,0 +1,468 @@
+"""RV64 + RegVault code generation.
+
+Consumes lowered IR (post-instrumentation) and an :class:`Allocation`,
+emits assembly text for :mod:`repro.isa.assembler`.
+
+RegVault-specific duties:
+
+* **return-address protection** (§3.1.1): non-leaf prologues run
+  ``creak ra, ra[7:0], sp`` before saving ``ra``; epilogues reload and
+  ``crdak ra, ra, sp, [7:0]`` before returning.  The stack pointer is
+  the tweak, the per-thread key register ``a`` is the key;
+* **protected spill slots** (§2.4.4): slot accesses flagged by the
+  allocator are wrapped in ``cre``/``crd`` with the spill key ``g`` and
+  the slot address as the tweak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler import ir
+from repro.compiler.layout import LayoutEngine
+from repro.compiler.regalloc import Allocation, allocate
+from repro.compiler.types import ArrayType, StructType
+from repro.crypto.keys import KeySelect
+from repro.errors import CodegenError
+from repro.machine.devices import CLINT_MTIMECMP, SYSCON_ADDR, UART_BASE
+
+#: Scratch registers reserved by the allocator for codegen use.
+T_ADDR = "t4"   # addresses, right-hand operands
+T_VAL = "t5"    # values, results
+T_AUX = "t6"    # indirect-call targets, wide constants
+
+
+@dataclass
+class CodegenOptions:
+    """Backend protection switches (subset of the paper's configs)."""
+
+    ra: bool = True
+    protect_spills: bool = True
+    ra_key: KeySelect = KeySelect.A
+    spill_key: KeySelect = KeySelect.G
+
+
+_BINOP_ASM = {
+    "add": "add", "sub": "sub", "mul": "mul",
+    "div": "div", "divu": "divu", "rem": "rem", "remu": "remu",
+    "and": "and", "or": "or", "xor": "xor",
+    "shl": "sll", "shr": "srl", "sra": "sra",
+    "addw": "addw", "subw": "subw", "mulw": "mulw",
+}
+
+_BINOP_IMM = {
+    "add": "addi", "and": "andi", "or": "ori", "xor": "xori",
+    "shl": "slli", "shr": "srli", "sra": "srai", "addw": "addiw",
+}
+
+_LOAD_ASM = {
+    (1, True): "lb", (1, False): "lbu",
+    (2, True): "lh", (2, False): "lhu",
+    (4, True): "lw", (4, False): "lwu",
+    (8, True): "ld", (8, False): "ld",
+}
+
+_STORE_ASM = {1: "sb", 2: "sh", 4: "sw", 8: "sd"}
+
+
+class FunctionCodegen:
+    """Emits assembly for a single lowered function."""
+
+    def __init__(
+        self,
+        func: ir.Function,
+        layout: LayoutEngine,
+        options: CodegenOptions,
+    ):
+        self.func = func
+        self.layout = layout
+        self.options = options
+        self.allocation: Allocation = allocate(
+            func, protect_spills=options.protect_spills
+        )
+        self.lines: list[str] = []
+        self.is_leaf = not self._has_calls()
+        self._frame_layout()
+
+    # -- frame -------------------------------------------------------------------
+
+    def _has_calls(self) -> bool:
+        for block in self.func.blocks:
+            for instr in block.instructions:
+                if isinstance(instr, (ir.Call, ir.CallIndirect)):
+                    return True
+        return False
+
+    def _frame_layout(self) -> None:
+        offset = 0
+        self.slot_offsets: dict[int, int] = {}
+        for slot in range(self.allocation.num_slots):
+            self.slot_offsets[slot] = offset
+            offset += 8
+        self.local_offsets: dict[str, int] = {}
+        for local in self.func.locals.values():
+            align = self.layout.alignof(local.type, local.annotation)
+            size = self.layout.sizeof(local.type, local.annotation)
+            offset = (offset + align - 1) & ~(align - 1)
+            self.local_offsets[local.name] = offset
+            offset += size
+        self.saved_offsets: dict[str, int] = {}
+        for reg in self.allocation.used_callee_saved:
+            self.saved_offsets[reg] = offset
+            offset += 8
+        self.ra_offset = None
+        if not self.is_leaf:
+            self.ra_offset = offset
+            offset += 8
+        self.frame_size = (offset + 15) & ~15
+        if self.frame_size > 2032:
+            raise CodegenError(
+                f"{self.func.name}: frame of {self.frame_size} bytes exceeds "
+                "the single-addi limit"
+            )
+
+    # -- emission helpers ---------------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append(f"    {line}")
+
+    def label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    def _block_label(self, block_label: str) -> str:
+        return f".L_{self.func.name}_{block_label}"
+
+    @property
+    def _epilogue_label(self) -> str:
+        return f".L_{self.func.name}_epilogue"
+
+    # -- operand access -----------------------------------------------------------
+
+    def _read(self, operand: ir.Operand, scratch: str) -> str:
+        """Materialize an operand into a register; returns the register."""
+        if isinstance(operand, ir.Const):
+            if operand.value == 0:
+                return "zero"
+            self.emit(f"li {scratch}, {operand.value}")
+            return scratch
+        kind, where = self.allocation.location(operand.id)
+        if kind == "reg":
+            return where
+        offset = self.slot_offsets[where]
+        self.emit(f"ld {scratch}, {offset}(sp)")
+        if where in self.allocation.protected_slots:
+            tweak = T_AUX if scratch != T_AUX else T_ADDR
+            self.emit(f"addi {tweak}, sp, {offset}")
+            self.emit(
+                f"crd{self.options.spill_key.letter}k "
+                f"{scratch}, {scratch}, {tweak}, [7:0]"
+            )
+        return scratch
+
+    def _dest(self, result: ir.VReg) -> str:
+        """Register that will hold the result (committed afterwards)."""
+        kind, where = self.allocation.location(result.id)
+        return where if kind == "reg" else T_VAL
+
+    def _commit(self, result: ir.VReg, reg: str) -> None:
+        """Store a result register back to its spill slot if needed."""
+        kind, where = self.allocation.location(result.id)
+        if kind == "reg":
+            if where != reg:
+                self.emit(f"mv {where}, {reg}")
+            return
+        offset = self.slot_offsets[where]
+        if where in self.allocation.protected_slots:
+            self.emit(f"addi {T_AUX}, sp, {offset}")
+            self.emit(
+                f"cre{self.options.spill_key.letter}k "
+                f"{reg}, {reg}[7:0], {T_AUX}"
+            )
+        self.emit(f"sd {reg}, {offset}(sp)")
+
+    # -- prologue / epilogue ---------------------------------------------------------
+
+    def _prologue(self) -> None:
+        self.label(self.func.name)
+        if self.frame_size:
+            self.emit(f"addi sp, sp, -{self.frame_size}")
+        if self.ra_offset is not None:
+            if self.options.ra:
+                self.emit(f"cre{self.options.ra_key.letter}k ra, ra[7:0], sp")
+            self.emit(f"sd ra, {self.ra_offset}(sp)")
+        for reg, offset in self.saved_offsets.items():
+            self.emit(f"sd {reg}, {offset}(sp)")
+        # Move incoming arguments to their allocated homes.
+        for index, param in enumerate(self.func.params):
+            if param.id not in self.allocation.registers and (
+                param.id not in self.allocation.slots
+            ):
+                continue  # unused parameter
+            kind, where = self.allocation.location(param.id)
+            if kind == "reg":
+                self.emit(f"mv {where}, a{index}")
+            else:
+                self._commit(param, f"a{index}")
+
+    def _epilogue(self) -> None:
+        self.label(self._epilogue_label)
+        for reg, offset in self.saved_offsets.items():
+            self.emit(f"ld {reg}, {offset}(sp)")
+        if self.ra_offset is not None:
+            self.emit(f"ld ra, {self.ra_offset}(sp)")
+            if self.options.ra:
+                self.emit(f"crd{self.options.ra_key.letter}k ra, ra, sp, [7:0]")
+        if self.frame_size:
+            self.emit(f"addi sp, sp, {self.frame_size}")
+        self.emit("ret")
+
+    # -- instruction emission ----------------------------------------------------------
+
+    def generate(self) -> list[str]:
+        self._prologue()
+        for block in self.func.blocks:
+            self.label(self._block_label(block.label))
+            for instr in block.instructions:
+                self._gen_instr(instr)
+        self._epilogue()
+        return self.lines
+
+    def _gen_instr(self, instr: ir.Instr) -> None:
+        method = getattr(self, f"_gen_{type(instr).__name__}", None)
+        if method is None:
+            raise CodegenError(f"cannot lower {type(instr).__name__}")
+        method(instr)
+
+    def _gen_BinOp(self, instr: ir.BinOp) -> None:
+        dest = self._dest(instr.result)
+        lhs = self._read(instr.lhs, T_VAL)
+        op = instr.op
+        if (
+            isinstance(instr.rhs, ir.Const)
+            and op in _BINOP_IMM
+            and -2048 <= instr.rhs.value <= 2047
+        ):
+            if op in ("shl", "shr", "sra") and not (
+                0 <= instr.rhs.value <= 63
+            ):
+                raise CodegenError(f"bad shift amount {instr.rhs.value}")
+            self.emit(f"{_BINOP_IMM[op]} {dest}, {lhs}, {instr.rhs.value}")
+        else:
+            rhs = self._read(instr.rhs, T_ADDR)
+            self.emit(f"{_BINOP_ASM[op]} {dest}, {lhs}, {rhs}")
+        self._commit(instr.result, dest)
+
+    def _gen_Cmp(self, instr: ir.Cmp) -> None:
+        dest = self._dest(instr.result)
+        lhs = self._read(instr.lhs, T_VAL)
+        rhs = self._read(instr.rhs, T_ADDR)
+        op = instr.op
+        if op == "eq":
+            self.emit(f"xor {dest}, {lhs}, {rhs}")
+            self.emit(f"sltiu {dest}, {dest}, 1")
+        elif op == "ne":
+            self.emit(f"xor {dest}, {lhs}, {rhs}")
+            self.emit(f"sltu {dest}, zero, {dest}")
+        elif op in ("lt", "ltu"):
+            slt = "slt" if op == "lt" else "sltu"
+            self.emit(f"{slt} {dest}, {lhs}, {rhs}")
+        elif op in ("gt", "gtu"):
+            slt = "slt" if op == "gt" else "sltu"
+            self.emit(f"{slt} {dest}, {rhs}, {lhs}")
+        elif op in ("ge", "geu"):
+            slt = "slt" if op == "ge" else "sltu"
+            self.emit(f"{slt} {dest}, {lhs}, {rhs}")
+            self.emit(f"xori {dest}, {dest}, 1")
+        elif op in ("le", "leu"):
+            slt = "slt" if op == "le" else "sltu"
+            self.emit(f"{slt} {dest}, {rhs}, {lhs}")
+            self.emit(f"xori {dest}, {dest}, 1")
+        else:
+            raise CodegenError(f"unknown comparison {op}")
+        self._commit(instr.result, dest)
+
+    def _gen_Move(self, instr: ir.Move) -> None:
+        dest = self._dest(instr.result)
+        if isinstance(instr.source, ir.Const):
+            self.emit(f"li {dest}, {instr.source.value}")
+        else:
+            src = self._read(instr.source, T_VAL)
+            if src != dest:
+                self.emit(f"mv {dest}, {src}")
+        self._commit(instr.result, dest)
+
+    def _gen_RawLoad(self, instr: ir.RawLoad) -> None:
+        dest = self._dest(instr.result)
+        addr = self._read(instr.ptr, T_ADDR)
+        mnemonic = _LOAD_ASM[(instr.width, instr.signed)]
+        self.emit(f"{mnemonic} {dest}, 0({addr})")
+        self._commit(instr.result, dest)
+
+    def _gen_RawStore(self, instr: ir.RawStore) -> None:
+        addr = self._read(instr.ptr, T_ADDR)
+        value = self._read(instr.value, T_VAL)
+        self.emit(f"{_STORE_ASM[instr.width]} {value}, 0({addr})")
+
+    def _gen_CryptoOp(self, instr: ir.CryptoOp) -> None:
+        dest = self._dest(instr.result)
+        value = self._read(instr.value, T_VAL)
+        tweak = self._read(instr.tweak, T_ADDR)
+        end, start = instr.byte_range
+        letter = instr.key.letter
+        if instr.op == "enc":
+            self.emit(f"cre{letter}k {dest}, {value}[{end}:{start}], {tweak}")
+        else:
+            self.emit(f"crd{letter}k {dest}, {value}, {tweak}, [{end}:{start}]")
+        self._commit(instr.result, dest)
+
+    def _gen_AddrOfLocal(self, instr: ir.AddrOfLocal) -> None:
+        dest = self._dest(instr.result)
+        offset = self.local_offsets[instr.local]
+        self.emit(f"addi {dest}, sp, {offset}")
+        self._commit(instr.result, dest)
+
+    def _gen_AddrOfGlobal(self, instr: ir.AddrOfGlobal) -> None:
+        dest = self._dest(instr.result)
+        self.emit(f"la {dest}, {instr.symbol}")
+        self._commit(instr.result, dest)
+
+    def _gen_AddrOfFunc(self, instr: ir.AddrOfFunc) -> None:
+        dest = self._dest(instr.result)
+        self.emit(f"la {dest}, {instr.func}")
+        self._commit(instr.result, dest)
+
+    def _gen_Call(self, instr: ir.Call) -> None:
+        self._setup_args(instr.args)
+        self.emit(f"call {instr.func}")
+        if instr.result is not None:
+            self._commit(instr.result, "a0")
+
+    def _gen_CallIndirect(self, instr: ir.CallIndirect) -> None:
+        # Arguments first (their loads may use all scratch registers),
+        # then the target into t6, which the argument moves never touch.
+        self._setup_args(instr.args)
+        target = self._read(instr.target, T_AUX)
+        if target != T_AUX:
+            self.emit(f"mv {T_AUX}, {target}")
+        self.emit(f"jalr ra, 0({T_AUX})")
+        if instr.result is not None:
+            self._commit(instr.result, "a0")
+
+    def _setup_args(self, args: list[ir.Operand]) -> None:
+        if len(args) > 8:
+            raise CodegenError("more than 8 call arguments")
+        for index, arg in enumerate(args):
+            reg = self._read(arg, T_VAL)
+            self.emit(f"mv a{index}, {reg}")
+
+    def _gen_Intrinsic(self, instr: ir.Intrinsic) -> None:
+        name = instr.name
+        if name == "ecall":
+            # args: syscall number, then up to 6 arguments.
+            number, *rest = instr.args
+            for index, arg in enumerate(rest):
+                reg = self._read(arg, T_VAL)
+                self.emit(f"mv a{index}, {reg}")
+            reg = self._read(number, T_VAL)
+            self.emit(f"mv a7, {reg}")
+            self.emit("ecall")
+            if instr.result is not None:
+                self._commit(instr.result, "a0")
+        elif name == "halt":
+            code = instr.args[0] if instr.args else ir.Const(0)
+            reg = self._read(code, T_VAL)
+            if reg != T_VAL:
+                self.emit(f"mv {T_VAL}, {reg}")
+            self.emit(f"slli {T_VAL}, {T_VAL}, 16")
+            self.emit(f"li {T_AUX}, 0x5555")
+            self.emit(f"or {T_VAL}, {T_VAL}, {T_AUX}")
+            self.emit(f"li {T_AUX}, {SYSCON_ADDR}")
+            self.emit(f"sw {T_VAL}, 0({T_AUX})")
+        elif name == "putc":
+            reg = self._read(instr.args[0], T_VAL)
+            self.emit(f"li {T_AUX}, {UART_BASE}")
+            self.emit(f"sb {reg}, 0({T_AUX})")
+        elif name == "csrr":
+            if not isinstance(instr.args[0], ir.Const):
+                raise CodegenError("csrr needs a constant CSR number")
+            dest = self._dest(instr.result)
+            self.emit(f"csrr {dest}, {instr.args[0].value}")
+            self._commit(instr.result, dest)
+        elif name == "csrw":
+            if not isinstance(instr.args[0], ir.Const):
+                raise CodegenError("csrw needs a constant CSR number")
+            reg = self._read(instr.args[1], T_VAL)
+            self.emit(f"csrw {instr.args[0].value}, {reg}")
+        elif name == "read_cycle":
+            dest = self._dest(instr.result)
+            self.emit(f"csrr {dest}, cycle")
+            self._commit(instr.result, dest)
+        elif name == "read_instret":
+            dest = self._dest(instr.result)
+            self.emit(f"csrr {dest}, instret")
+            self._commit(instr.result, dest)
+        elif name == "set_timer":
+            reg = self._read(instr.args[0], T_VAL)
+            self.emit(f"li {T_AUX}, {CLINT_MTIMECMP}")
+            self.emit(f"sd {reg}, 0({T_AUX})")
+        elif name == "wfi":
+            self.emit("wfi")
+        elif name == "fence":
+            self.emit("fence")
+        elif name == "mret":
+            self.emit("mret")
+        elif name == "breakpoint":
+            self.emit("ebreak")
+        else:
+            raise CodegenError(f"unknown intrinsic {name}")
+
+    def _gen_Br(self, instr: ir.Br) -> None:
+        self.emit(f"j {self._block_label(instr.target)}")
+
+    def _gen_CondBr(self, instr: ir.CondBr) -> None:
+        cond = self._read(instr.cond, T_VAL)
+        self.emit(f"bnez {cond}, {self._block_label(instr.then_target)}")
+        self.emit(f"j {self._block_label(instr.else_target)}")
+
+    def _gen_Ret(self, instr: ir.Ret) -> None:
+        if instr.value is not None:
+            reg = self._read(instr.value, T_VAL)
+            if reg != "a0":
+                self.emit(f"mv a0, {reg}")
+        self.emit(f"j {self._epilogue_label}")
+
+
+def emit_globals(module: ir.Module, layout: LayoutEngine) -> list[str]:
+    """Emit data sections.
+
+    Globals with runtime (dict/list) initializers are emitted zeroed —
+    their contents are installed by the generated ``__init_globals``
+    function so that protected fields are encrypted with the live keys.
+    """
+    by_section: dict[str, list[str]] = {}
+    for gvar in module.globals.values():
+        lines = by_section.setdefault(gvar.section, [])
+        size = layout.sizeof(gvar.type, gvar.annotation)
+        align = layout.alignof(gvar.type, gvar.annotation)
+        lines.append(f".align {max(align, 8).bit_length() - 1}")
+        lines.append(f"{gvar.name}:")
+        if isinstance(gvar.init, bytes):
+            if gvar.annotation.protected:
+                raise CodegenError(
+                    f"global {gvar.name}: byte init cannot be protected"
+                )
+            escaped = "".join(f"\\x{b:02x}" for b in gvar.init)
+            lines.append(f'.ascii "{escaped}"')
+            if size > len(gvar.init):
+                lines.append(f".zero {size - len(gvar.init)}")
+        elif isinstance(gvar.init, int) and not gvar.annotation.protected:
+            lines.append(f".dword {gvar.init}")
+            if size > 8:
+                lines.append(f".zero {size - 8}")
+        else:
+            lines.append(f".zero {max(size, 8)}")
+    out = []
+    for section, lines in by_section.items():
+        out.append(section)
+        out.extend(lines)
+    return out

@@ -1,0 +1,223 @@
+"""RegVault instrumentation pass (§2.4.2).
+
+Lowers typed :class:`Load`/:class:`Store`/address instructions into raw
+memory operations, inserting ``cre`` before stores and ``crd`` after
+loads of protected data:
+
+* annotated scalar fields (``__rand`` / ``__rand_integrity``) use their
+  **storage address as the tweak** to defeat spatial substitution;
+* function-pointer loads/stores are instrumented when the ``fp``
+  compiler option is on, with the dedicated function-pointer key
+  (Table 2);
+* ``__rand_integrity`` 64-bit data is split into two ciphertext words
+  (Figure 2c): low half encrypted with range [3:0] at ``addr``, high
+  half with range [7:4] at ``addr + 8``, reassembled with ``or``.
+
+The pass is layout-aware: field offsets and array strides are resolved
+against the active :class:`~repro.compiler.layout.LayoutEngine`, so the
+same IR compiles to both the baseline and the protected kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler import ir
+from repro.compiler.layout import LayoutEngine
+from repro.compiler.types import (
+    Annotation,
+    IntType,
+    PointerType,
+    Type,
+    integrity_range_for,
+)
+from repro.crypto.keys import KeySelect
+from repro.errors import IRError
+
+
+@dataclass
+class InstrumentOptions:
+    """Which protections the compiler applies (paper's build configs)."""
+
+    #: Honor ``__rand``/``__rand_integrity`` annotations (non-control data).
+    noncontrol: bool = True
+    #: Instrument function-pointer loads/stores (compiler option, §2.4.1).
+    fp: bool = True
+    #: Default key for annotated non-control data.
+    data_key: KeySelect = KeySelect.D
+    #: Dedicated key for function pointers (§3.1.2).
+    fp_key: KeySelect = KeySelect.B
+
+
+def _natural_width(type_: Type) -> tuple[int, bool]:
+    """(bytes, signed) for a raw access of an unprotected value."""
+    if isinstance(type_, PointerType):
+        return 8, False
+    if isinstance(type_, IntType):
+        return type_.size, type_.bits < 64
+    raise IRError(f"cannot load/store value of type {type_}")
+
+
+class InstrumentPass:
+    """Rewrites one function in place."""
+
+    def __init__(self, layout: LayoutEngine, options: InstrumentOptions):
+        self.layout = layout
+        self.options = options
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _should_protect(self, type_: Type, annotation: Annotation) -> bool:
+        if annotation.protected and self.options.noncontrol:
+            return True
+        if (
+            self.options.fp
+            and isinstance(type_, PointerType)
+            and type_.is_function_pointer
+        ):
+            return True
+        return False
+
+    def _key_for(
+        self, type_: Type, annotation: Annotation, override: KeySelect | None
+    ) -> KeySelect:
+        if override is not None:
+            return override
+        if isinstance(type_, PointerType) and type_.is_function_pointer:
+            return self.options.fp_key
+        return self.options.data_key
+
+    @staticmethod
+    def _is_split(type_: Type, annotation: Annotation) -> bool:
+        """True for the two-ciphertext 64-bit integrity scheme (Fig 2c)."""
+        if not annotation.has_integrity:
+            return False
+        if isinstance(type_, PointerType):
+            return True
+        return isinstance(type_, IntType) and type_.bits == 64
+
+    # -- the pass ---------------------------------------------------------------
+
+    def run(self, func: ir.Function) -> None:
+        for block in func.blocks:
+            new_instrs: list[ir.Instr] = []
+            for instr in block.instructions:
+                if isinstance(instr, ir.Load):
+                    new_instrs.extend(self._lower_load(func, instr))
+                elif isinstance(instr, ir.Store):
+                    new_instrs.extend(self._lower_store(func, instr))
+                elif isinstance(instr, ir.FieldAddr):
+                    new_instrs.extend(self._lower_field_addr(func, instr))
+                elif isinstance(instr, ir.IndexAddr):
+                    new_instrs.extend(self._lower_index_addr(func, instr))
+                else:
+                    new_instrs.append(instr)
+            block.instructions = new_instrs
+
+    def _lower_field_addr(self, func, instr: ir.FieldAddr):
+        layout = self.layout.struct_layout(instr.struct)
+        offset = layout.slot(instr.field).offset
+        return [
+            ir.BinOp("add", instr.result, instr.base, ir.Const(offset))
+        ]
+
+    def _lower_index_addr(self, func: ir.Function, instr: ir.IndexAddr):
+        if instr.elem_type is not None:
+            stride = self.layout.sizeof(instr.elem_type, instr.elem_annotation)
+        else:
+            stride = instr.stride
+        if stride <= 0:
+            raise IRError("IndexAddr with non-positive stride")
+        # base + index * stride, folded when the index is constant.
+        if isinstance(instr.index, ir.Const):
+            return [
+                ir.BinOp(
+                    "add", instr.result, instr.base,
+                    ir.Const(instr.index.value * stride),
+                )
+            ]
+        scaled = func.new_reg(name="idx_scaled")
+        return [
+            ir.BinOp("mul", scaled, instr.index, ir.Const(stride)),
+            ir.BinOp("add", instr.result, instr.base, scaled),
+        ]
+
+    def _lower_load(self, func: ir.Function, instr: ir.Load):
+        protect = self._should_protect(instr.type, instr.annotation)
+        if not protect:
+            width, signed = _natural_width(instr.type)
+            return [ir.RawLoad(instr.result, instr.ptr, width, signed)]
+
+        key = self._key_for(instr.type, instr.annotation, instr.key)
+        annotation = (
+            instr.annotation
+            if instr.annotation.protected
+            else Annotation.RAND  # fp protection without explicit annotation
+        )
+        if self._is_split(instr.type, annotation):
+            lo_ct = func.new_reg(name="ct_lo")
+            hi_ct = func.new_reg(name="ct_hi")
+            hi_addr = func.new_reg(name="addr_hi")
+            lo_pt = func.new_reg(name="pt_lo")
+            hi_pt = func.new_reg(name="pt_hi")
+            return [
+                ir.RawLoad(lo_ct, instr.ptr, 8),
+                ir.BinOp("add", hi_addr, instr.ptr, ir.Const(8)),
+                ir.RawLoad(hi_ct, hi_addr, 8),
+                ir.CryptoOp(lo_pt, "dec", lo_ct, instr.ptr, key, (3, 0)),
+                ir.CryptoOp(hi_pt, "dec", hi_ct, hi_addr, key, (7, 4)),
+                ir.BinOp("or", instr.result, lo_pt, hi_pt),
+            ]
+        byte_range = integrity_range_for(instr.type)
+        if not annotation.has_integrity:
+            byte_range = (7, 0)
+        ciphertext = func.new_reg(name="ct")
+        return [
+            ir.RawLoad(ciphertext, instr.ptr, 8),
+            ir.CryptoOp(
+                instr.result, "dec", ciphertext, instr.ptr, key, byte_range
+            ),
+        ]
+
+    def _lower_store(self, func: ir.Function, instr: ir.Store):
+        protect = self._should_protect(instr.type, instr.annotation)
+        if not protect:
+            width, _ = _natural_width(instr.type)
+            return [ir.RawStore(instr.ptr, instr.value, width)]
+
+        key = self._key_for(instr.type, instr.annotation, instr.key)
+        annotation = (
+            instr.annotation
+            if instr.annotation.protected
+            else Annotation.RAND
+        )
+        if self._is_split(instr.type, annotation):
+            lo_ct = func.new_reg(name="ct_lo")
+            hi_ct = func.new_reg(name="ct_hi")
+            hi_addr = func.new_reg(name="addr_hi")
+            return [
+                ir.CryptoOp(lo_ct, "enc", instr.value, instr.ptr, key, (3, 0)),
+                ir.BinOp("add", hi_addr, instr.ptr, ir.Const(8)),
+                ir.CryptoOp(hi_ct, "enc", instr.value, hi_addr, key, (7, 4)),
+                ir.RawStore(instr.ptr, lo_ct, 8),
+                ir.RawStore(hi_addr, hi_ct, 8),
+            ]
+        byte_range = integrity_range_for(instr.type)
+        if not annotation.has_integrity:
+            byte_range = (7, 0)
+        ciphertext = func.new_reg(name="ct")
+        return [
+            ir.CryptoOp(
+                ciphertext, "enc", instr.value, instr.ptr, key, byte_range
+            ),
+            ir.RawStore(instr.ptr, ciphertext, 8),
+        ]
+
+
+def count_crypto_ops(func: ir.Function) -> int:
+    """Number of crypto primitives in a lowered function (test helper)."""
+    return sum(
+        isinstance(instr, ir.CryptoOp)
+        for block in func.blocks
+        for instr in block.instructions
+    )

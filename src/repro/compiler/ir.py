@@ -1,0 +1,530 @@
+"""Typed intermediate representation.
+
+A small non-SSA IR with virtual registers, basic blocks and explicit
+terminators.  High-level memory operations (:class:`Load`/:class:`Store`
+through typed pointers) are lowered by the RegVault instrumentation pass
+into raw accesses plus :class:`CryptoOp` where annotations require it;
+the code generator only ever sees the lowered forms.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field as dc_field
+
+from repro.compiler.types import (
+    Annotation,
+    FunctionType,
+    PointerType,
+    StructType,
+    Type,
+    I64,
+    VOID,
+)
+from repro.crypto.keys import KeySelect
+from repro.errors import IRError
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register."""
+
+    id: int
+    type: Type
+    name: str = ""
+
+    def __str__(self) -> str:
+        suffix = f".{self.name}" if self.name else ""
+        return f"%v{self.id}{suffix}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """An integer constant operand."""
+
+    value: int
+    type: Type = I64
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Operand = VReg | Const
+
+
+class Instr:
+    """Base class for IR instructions.
+
+    Subclasses that define a value declare a ``result: VReg`` field;
+    the others carry a plain ``result = None`` class attribute so that
+    generic passes can test ``instr.result is not None`` uniformly.
+    """
+
+    def operands(self) -> list[Operand]:
+        """All value operands read by this instruction."""
+        return []
+
+
+@dataclass
+class BinOp(Instr):
+    op: str  # add sub mul div divu rem remu and or xor shl shr sra
+    result: VReg
+    lhs: Operand
+    rhs: Operand
+
+    VALID = {
+        "add", "sub", "mul", "div", "divu", "rem", "remu",
+        "and", "or", "xor", "shl", "shr", "sra",
+        "addw", "subw", "mulw",
+    }
+
+    def __post_init__(self):
+        if self.op not in self.VALID:
+            raise IRError(f"unknown binop {self.op!r}")
+
+    def operands(self):
+        return [self.lhs, self.rhs]
+
+    def __str__(self):
+        return f"{self.result} = {self.op} {self.lhs}, {self.rhs}"
+
+
+@dataclass
+class Cmp(Instr):
+    op: str  # eq ne lt le gt ge ltu leu gtu geu (signed unless suffixed u)
+    result: VReg
+    lhs: Operand
+    rhs: Operand
+
+    VALID = {"eq", "ne", "lt", "le", "gt", "ge", "ltu", "leu", "gtu", "geu"}
+
+    def __post_init__(self):
+        if self.op not in self.VALID:
+            raise IRError(f"unknown comparison {self.op!r}")
+
+    def operands(self):
+        return [self.lhs, self.rhs]
+
+    def __str__(self):
+        return f"{self.result} = cmp.{self.op} {self.lhs}, {self.rhs}"
+
+
+@dataclass
+class Move(Instr):
+    result: VReg
+    source: Operand
+
+    def operands(self):
+        return [self.source]
+
+    def __str__(self):
+        return f"{self.result} = {self.source}"
+
+
+@dataclass
+class Load(Instr):
+    """Typed load through a pointer; carries the field annotation.
+
+    Lowered by the instrumentation pass into RawLoad (+ CryptoOp when
+    the annotation is protected and the pass is enabled).
+    """
+
+    result: VReg
+    ptr: Operand
+    type: Type
+    annotation: Annotation = Annotation.NONE
+    key: KeySelect | None = None  # per-field key override (Table 2)
+
+    def operands(self):
+        return [self.ptr]
+
+    def __str__(self):
+        note = f" {self.annotation.value}" if self.annotation.protected else ""
+        return f"{self.result} = load {self.type}{note}, {self.ptr}"
+
+
+@dataclass
+class Store(Instr):
+    """Typed store through a pointer; carries the field annotation."""
+
+    result = None
+
+    ptr: Operand
+    value: Operand
+    type: Type
+    annotation: Annotation = Annotation.NONE
+    key: KeySelect | None = None  # per-field key override (Table 2)
+
+    def operands(self):
+        return [self.ptr, self.value]
+
+    def __str__(self):
+        note = f" {self.annotation.value}" if self.annotation.protected else ""
+        return f"store {self.type}{note} {self.value}, {self.ptr}"
+
+
+@dataclass
+class RawLoad(Instr):
+    """Untyped memory read of ``width`` bytes (post-lowering)."""
+
+    result: VReg
+    ptr: Operand
+    width: int = 8
+    signed: bool = False
+
+    def operands(self):
+        return [self.ptr]
+
+    def __str__(self):
+        return f"{self.result} = raw_load.{self.width} {self.ptr}"
+
+
+@dataclass
+class RawStore(Instr):
+    """Untyped memory write of ``width`` bytes (post-lowering)."""
+
+    result = None
+
+    ptr: Operand
+    value: Operand
+    width: int = 8
+
+    def operands(self):
+        return [self.ptr, self.value]
+
+    def __str__(self):
+        return f"raw_store.{self.width} {self.value}, {self.ptr}"
+
+
+@dataclass
+class CryptoOp(Instr):
+    """A ``cre``/``crd`` primitive (inserted by instrumentation or
+    written manually for the kernel-keys path, Table 2)."""
+
+    result: VReg
+    op: str  # "enc" or "dec"
+    value: Operand
+    tweak: Operand
+    key: KeySelect
+    byte_range: tuple[int, int]  # (end, start)
+
+    def __post_init__(self):
+        if self.op not in ("enc", "dec"):
+            raise IRError(f"bad crypto op {self.op!r}")
+        end, start = self.byte_range
+        if not 0 <= start <= end <= 7:
+            raise IRError(f"bad byte range {self.byte_range}")
+
+    def operands(self):
+        return [self.value, self.tweak]
+
+    def __str__(self):
+        end, start = self.byte_range
+        return (
+            f"{self.result} = crypto.{self.op}[{self.key.letter}] "
+            f"{self.value}, tweak={self.tweak}, [{end}:{start}]"
+        )
+
+
+@dataclass
+class FieldAddr(Instr):
+    """Address of ``base->field`` for a struct pointer."""
+
+    result: VReg
+    base: Operand
+    struct: StructType
+    field: str
+
+    def operands(self):
+        return [self.base]
+
+    def __str__(self):
+        return f"{self.result} = &({self.base})->{self.field}"
+
+
+@dataclass
+class IndexAddr(Instr):
+    """Address of ``base[index]``.
+
+    The stride is either a fixed byte count or, when ``elem_type`` is
+    set, resolved from the layout engine at lowering time (annotated
+    element storage differs between baseline and RegVault builds).
+    """
+
+    result: VReg
+    base: Operand
+    index: Operand
+    stride: int = 0
+    elem_type: Type | None = None
+    elem_annotation: Annotation = Annotation.NONE
+
+    def operands(self):
+        return [self.base, self.index]
+
+    def __str__(self):
+        stride = self.stride if self.elem_type is None else str(self.elem_type)
+        return f"{self.result} = &({self.base})[{self.index} * {stride}]"
+
+
+@dataclass
+class AddrOfLocal(Instr):
+    result: VReg
+    local: str
+
+    def __str__(self):
+        return f"{self.result} = &local {self.local}"
+
+
+@dataclass
+class AddrOfGlobal(Instr):
+    result: VReg
+    symbol: str
+
+    def __str__(self):
+        return f"{self.result} = &global {self.symbol}"
+
+
+@dataclass
+class AddrOfFunc(Instr):
+    result: VReg
+    func: str
+
+    def __str__(self):
+        return f"{self.result} = &func {self.func}"
+
+
+@dataclass
+class Call(Instr):
+    result: VReg | None
+    func: str
+    args: list[Operand] = dc_field(default_factory=list)
+
+    def operands(self):
+        return list(self.args)
+
+    def __str__(self):
+        prefix = f"{self.result} = " if self.result else ""
+        args = ", ".join(str(a) for a in self.args)
+        return f"{prefix}call {self.func}({args})"
+
+
+@dataclass
+class CallIndirect(Instr):
+    result: VReg | None
+    target: Operand
+    args: list[Operand] = dc_field(default_factory=list)
+
+    def operands(self):
+        return [self.target, *self.args]
+
+    def __str__(self):
+        prefix = f"{self.result} = " if self.result else ""
+        args = ", ".join(str(a) for a in self.args)
+        return f"{prefix}call_indirect ({self.target})({args})"
+
+
+@dataclass
+class Intrinsic(Instr):
+    """Escape hatch to machine features (ecall, csr, uart, halt...)."""
+
+    result: VReg | None
+    name: str
+    args: list[Operand] = dc_field(default_factory=list)
+
+    VALID = {
+        "ecall", "halt", "putc", "csrr", "csrw",
+        "read_cycle", "read_instret", "wfi", "fence", "mret",
+        "set_timer", "breakpoint",
+    }
+
+    def __post_init__(self):
+        if self.name not in self.VALID:
+            raise IRError(f"unknown intrinsic {self.name!r}")
+
+    def operands(self):
+        return list(self.args)
+
+    def __str__(self):
+        prefix = f"{self.result} = " if self.result else ""
+        args = ", ".join(str(a) for a in self.args)
+        return f"{prefix}@{self.name}({args})"
+
+
+# -- terminators ---------------------------------------------------------------
+
+
+class Terminator(Instr):
+    result = None
+
+    def successors(self) -> list[str]:
+        return []
+
+
+@dataclass
+class Br(Terminator):
+    target: str
+
+    def __str__(self):
+        return f"br {self.target}"
+
+    def successors(self):
+        return [self.target]
+
+
+@dataclass
+class CondBr(Terminator):
+    cond: Operand
+    then_target: str
+    else_target: str
+
+    def operands(self):
+        return [self.cond]
+
+    def __str__(self):
+        return f"br {self.cond} ? {self.then_target} : {self.else_target}"
+
+    def successors(self):
+        return [self.then_target, self.else_target]
+
+
+@dataclass
+class Ret(Terminator):
+    value: Operand | None = None
+
+    def operands(self):
+        return [self.value] if self.value is not None else []
+
+    def __str__(self):
+        return f"ret {self.value}" if self.value is not None else "ret"
+
+
+# -- containers ------------------------------------------------------------------
+
+
+@dataclass
+class Block:
+    label: str
+    instructions: list[Instr] = dc_field(default_factory=list)
+
+    @property
+    def terminator(self) -> Terminator | None:
+        if self.instructions and isinstance(self.instructions[-1], Terminator):
+            return self.instructions[-1]
+        return None
+
+    def __str__(self):
+        body = "\n".join(f"  {i}" for i in self.instructions)
+        return f"{self.label}:\n{body}"
+
+
+@dataclass
+class Local:
+    """A stack-allocated variable."""
+
+    name: str
+    type: Type
+    annotation: Annotation = Annotation.NONE
+
+
+class Function:
+    """An IR function: params, locals, blocks, vreg factory."""
+
+    def __init__(self, name: str, ftype: FunctionType,
+                 param_names: list[str] | None = None):
+        if len(ftype.params) > 8:
+            raise IRError("at most 8 parameters supported (a0-a7)")
+        self.name = name
+        self.type = ftype
+        self._vreg_counter = itertools.count()
+        self.params: list[VReg] = []
+        param_names = param_names or [f"arg{i}" for i in range(len(ftype.params))]
+        for ptype, pname in zip(ftype.params, param_names):
+            self.params.append(self.new_reg(ptype, pname))
+        self.locals: dict[str, Local] = {}
+        self.blocks: list[Block] = []
+        #: Filled by the sensitivity pass: ids of sensitive vregs.
+        self.sensitive: set[int] = set()
+
+    def new_reg(self, type_: Type = I64, name: str = "") -> VReg:
+        return VReg(next(self._vreg_counter), type_, name)
+
+    def add_local(self, name: str, type_: Type,
+                  annotation: Annotation = Annotation.NONE) -> Local:
+        if name in self.locals:
+            raise IRError(f"duplicate local {name!r} in {self.name}")
+        local = Local(name, type_, annotation)
+        self.locals[name] = local
+        return local
+
+    def add_block(self, label: str) -> Block:
+        if any(b.label == label for b in self.blocks):
+            raise IRError(f"duplicate block {label!r} in {self.name}")
+        block = Block(label)
+        self.blocks.append(block)
+        return block
+
+    def block(self, label: str) -> Block:
+        for b in self.blocks:
+            if b.label == label:
+                return b
+        raise IRError(f"no block {label!r} in {self.name}")
+
+    @property
+    def entry(self) -> Block:
+        if not self.blocks:
+            raise IRError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def __str__(self):
+        params = ", ".join(f"{p.type} {p}" for p in self.params)
+        blocks = "\n".join(str(b) for b in self.blocks)
+        return f"define {self.type.ret} @{self.name}({params}) {{\n{blocks}\n}}"
+
+
+@dataclass
+class GlobalVar:
+    """A module-level variable.
+
+    ``init`` may be ``None`` (zero-filled), bytes (used verbatim) or a
+    dict of field name -> int for struct types (applied after layout).
+    """
+
+    name: str
+    type: Type
+    init: bytes | dict | int | None = None
+    annotation: Annotation = Annotation.NONE
+    section: str = ".data"
+
+
+class Module:
+    """A translation unit: struct types, globals and functions."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.structs: dict[str, StructType] = {}
+        self.globals: dict[str, GlobalVar] = {}
+        self.functions: dict[str, Function] = {}
+
+    def add_struct(self, struct: StructType) -> StructType:
+        self.structs[struct.name] = struct
+        return struct
+
+    def add_global(self, gvar: GlobalVar) -> GlobalVar:
+        if gvar.name in self.globals:
+            raise IRError(f"duplicate global {gvar.name!r}")
+        self.globals[gvar.name] = gvar
+        return gvar
+
+    def add_function(self, func: Function) -> Function:
+        if func.name in self.functions:
+            raise IRError(f"duplicate function {func.name!r}")
+        self.functions[func.name] = func
+        return func
+
+    def function(self, name: str) -> Function:
+        if name not in self.functions:
+            raise IRError(f"no function {name!r}")
+        return self.functions[name]
+
+    def __str__(self):
+        return "\n\n".join(str(f) for f in self.functions.values())

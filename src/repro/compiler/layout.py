@@ -1,0 +1,127 @@
+"""Annotation-aware struct layout.
+
+Layout depends on whether non-control-data protection is enabled: the
+baseline kernel build ignores annotations (natural sizes), the RegVault
+build expands annotated fields to ciphertext-block storage.  This is
+exactly what the paper's annotation macros do at compile time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.types import (
+    Annotation,
+    ArrayType,
+    StructType,
+    Type,
+    storage_align,
+    storage_size,
+)
+from repro.errors import IRError
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+@dataclass(frozen=True)
+class FieldSlot:
+    """Resolved placement of one field."""
+
+    name: str
+    offset: int
+    size: int
+    type: Type
+    annotation: Annotation
+
+
+@dataclass(frozen=True)
+class StructLayout:
+    """Resolved placement of all fields of a struct."""
+
+    struct: StructType
+    slots: tuple[FieldSlot, ...]
+    size: int
+    align: int
+
+    def slot(self, name: str) -> FieldSlot:
+        for s in self.slots:
+            if s.name == name:
+                return s
+        raise IRError(f"struct {self.struct.name} has no field {name!r}")
+
+
+class LayoutEngine:
+    """Computes (and caches) layouts under a protection policy.
+
+    ``honor_annotations=False`` reproduces the unprotected baseline
+    layout; ``True`` applies RegVault storage expansion.
+    """
+
+    def __init__(self, honor_annotations: bool = True):
+        self.honor_annotations = honor_annotations
+        self._cache: dict[str, StructLayout] = {}
+
+    def effective_annotation(self, annotation: Annotation) -> Annotation:
+        return annotation if self.honor_annotations else Annotation.NONE
+
+    def struct_layout(self, struct: StructType) -> StructLayout:
+        cached = self._cache.get(struct.name)
+        if cached is not None and cached.struct == struct:
+            return cached
+
+        offset = 0
+        max_align = 1
+        slots = []
+        for field in struct.fields:
+            annotation = self.effective_annotation(field.annotation)
+            if isinstance(field.type, StructType):
+                if annotation.protected:
+                    raise IRError(
+                        "annotations apply to scalar fields, not nested "
+                        f"structs ({struct.name}.{field.name})"
+                    )
+                inner = self.struct_layout(field.type)
+                size, align = inner.size, inner.align
+            elif isinstance(field.type, ArrayType):
+                if annotation.protected:
+                    element_size = storage_size(field.type.element, annotation)
+                    align = storage_align(field.type.element, annotation)
+                    size = element_size * field.type.count
+                else:
+                    size, align = field.type.size, field.type.align
+            else:
+                size = storage_size(field.type, annotation)
+                align = storage_align(field.type, annotation)
+            offset = _align_up(offset, align)
+            slots.append(
+                FieldSlot(field.name, offset, size, field.type, annotation)
+            )
+            offset += size
+            max_align = max(max_align, align)
+
+        layout = StructLayout(
+            struct=struct,
+            slots=tuple(slots),
+            size=_align_up(offset, max_align) if offset else 0,
+            align=max_align,
+        )
+        self._cache[struct.name] = layout
+        return layout
+
+    def sizeof(self, type_: Type, annotation: Annotation = Annotation.NONE) -> int:
+        annotation = self.effective_annotation(annotation)
+        if isinstance(type_, StructType):
+            return self.struct_layout(type_).size
+        if isinstance(type_, ArrayType):
+            return self.sizeof(type_.element, annotation) * type_.count
+        return storage_size(type_, annotation)
+
+    def alignof(self, type_: Type, annotation: Annotation = Annotation.NONE) -> int:
+        annotation = self.effective_annotation(annotation)
+        if isinstance(type_, StructType):
+            return self.struct_layout(type_).align
+        if isinstance(type_, ArrayType):
+            return self.alignof(type_.element, annotation)
+        return storage_align(type_, annotation)

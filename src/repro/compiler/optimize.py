@@ -1,0 +1,216 @@
+"""Scalar optimizations: constant folding, copy propagation, DCE.
+
+Runs after the RegVault instrumentation pass (so address arithmetic
+materialized by lowering gets cleaned up) and before register
+allocation.  Scope is deliberately conservative:
+
+* analyses are per-block (no global value numbering) except DCE,
+  which is function-wide;
+* ``Move`` results may be redefined (loop variables), so copy/constant
+  information is only propagated for single-definition registers;
+* crypto operations are **never** folded or eliminated: a ``crd`` can
+  trap (its execution is an architectural side effect), and constant-
+  folding a ``cre`` would require the key material, which the compiler
+  must not embed.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+from repro.utils.bits import MASK64, to_signed64, to_unsigned64
+
+_FOLDABLE = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << (b & 63),
+    "shr": lambda a, b: (a & MASK64) >> (b & 63),
+    "sra": lambda a, b: to_signed64(a) >> (b & 63),
+}
+
+_CMP_FOLD = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: to_signed64(a) < to_signed64(b),
+    "le": lambda a, b: to_signed64(a) <= to_signed64(b),
+    "gt": lambda a, b: to_signed64(a) > to_signed64(b),
+    "ge": lambda a, b: to_signed64(a) >= to_signed64(b),
+    "ltu": lambda a, b: (a & MASK64) < (b & MASK64),
+    "leu": lambda a, b: (a & MASK64) <= (b & MASK64),
+    "gtu": lambda a, b: (a & MASK64) > (b & MASK64),
+    "geu": lambda a, b: (a & MASK64) >= (b & MASK64),
+}
+
+#: Instruction classes whose execution has effects beyond their result.
+_SIDE_EFFECTS = (
+    ir.Store,
+    ir.RawStore,
+    ir.Call,
+    ir.CallIndirect,
+    ir.Intrinsic,
+    ir.CryptoOp,        # crd traps; cre consumes key state
+    ir.Terminator,
+)
+
+
+def _redefined_registers(func: ir.Function) -> set[int]:
+    """Registers defined more than once (mutable loop variables)."""
+    seen: set[int] = set()
+    redefined: set[int] = set()
+    for block in func.blocks:
+        for instr in block.instructions:
+            if instr.result is not None:
+                if instr.result.id in seen:
+                    redefined.add(instr.result.id)
+                seen.add(instr.result.id)
+    return redefined
+
+
+def fold_constants(func: ir.Function) -> int:
+    """Block-local constant folding and copy propagation.
+
+    Returns the number of instructions simplified.
+    """
+    redefined = _redefined_registers(func)
+    changed = 0
+
+    for block in func.blocks:
+        constants: dict[int, int] = {}
+        copies: dict[int, ir.Operand] = {}
+
+        def resolve(operand: ir.Operand) -> ir.Operand:
+            if isinstance(operand, ir.VReg):
+                if operand.id in constants:
+                    return ir.Const(constants[operand.id])
+                if operand.id in copies:
+                    return copies[operand.id]
+            return operand
+
+        new_instructions = []
+        for instr in block.instructions:
+            if isinstance(instr, ir.BinOp):
+                lhs, rhs = resolve(instr.lhs), resolve(instr.rhs)
+                if (
+                    isinstance(lhs, ir.Const)
+                    and isinstance(rhs, ir.Const)
+                    and instr.op in _FOLDABLE
+                    and instr.result.id not in redefined
+                ):
+                    value = to_unsigned64(
+                        _FOLDABLE[instr.op](lhs.value, rhs.value)
+                    )
+                    constants[instr.result.id] = value
+                    new_instructions.append(
+                        ir.Move(instr.result, ir.Const(to_signed64(value)))
+                    )
+                    changed += 1
+                    continue
+                if lhs is not instr.lhs or rhs is not instr.rhs:
+                    changed += 1
+                new_instructions.append(
+                    ir.BinOp(instr.op, instr.result, lhs, rhs)
+                )
+                continue
+            if isinstance(instr, ir.Cmp):
+                lhs, rhs = resolve(instr.lhs), resolve(instr.rhs)
+                if (
+                    isinstance(lhs, ir.Const)
+                    and isinstance(rhs, ir.Const)
+                    and instr.result.id not in redefined
+                ):
+                    value = int(_CMP_FOLD[instr.op](lhs.value, rhs.value))
+                    constants[instr.result.id] = value
+                    new_instructions.append(
+                        ir.Move(instr.result, ir.Const(value))
+                    )
+                    changed += 1
+                    continue
+                new_instructions.append(
+                    ir.Cmp(instr.op, instr.result, lhs, rhs)
+                )
+                continue
+            if isinstance(instr, ir.Move):
+                source = resolve(instr.source)
+                if instr.result.id not in redefined:
+                    if isinstance(source, ir.Const):
+                        constants[instr.result.id] = to_unsigned64(
+                            source.value
+                        )
+                    elif (
+                        isinstance(source, ir.VReg)
+                        and source.id not in redefined
+                    ):
+                        copies[instr.result.id] = source
+                new_instructions.append(ir.Move(instr.result, source))
+                continue
+
+            # Generic: rewrite operands where we can (keeps the original
+            # instruction object shape via dataclass replace).
+            new_instructions.append(_rewrite_operands(instr, resolve))
+        block.instructions = new_instructions
+    return changed
+
+
+def _rewrite_operands(instr: ir.Instr, resolve) -> ir.Instr:
+    import dataclasses
+
+    replacements = {}
+    for field in dataclasses.fields(instr):
+        value = getattr(instr, field.name)
+        if isinstance(value, (ir.VReg, ir.Const)) and field.name not in (
+            "result",
+        ):
+            resolved = resolve(value)
+            if resolved is not value:
+                replacements[field.name] = resolved
+        elif isinstance(value, list) and value and isinstance(
+            value[0], (ir.VReg, ir.Const)
+        ):
+            resolved_list = [resolve(item) for item in value]
+            if any(a is not b for a, b in zip(resolved_list, value)):
+                replacements[field.name] = resolved_list
+    if not replacements:
+        return instr
+    return dataclasses.replace(instr, **replacements)
+
+
+def eliminate_dead_code(func: ir.Function) -> int:
+    """Remove result-producing instructions whose values are never used.
+
+    Side-effecting instructions (stores, calls, intrinsics, crypto
+    operations, terminators) are always kept.  Iterates to a fixpoint.
+    Returns the number of instructions removed.
+    """
+    removed_total = 0
+    while True:
+        used: set[int] = set()
+        for block in func.blocks:
+            for instr in block.instructions:
+                for operand in instr.operands():
+                    if isinstance(operand, ir.VReg):
+                        used.add(operand.id)
+
+        removed = 0
+        for block in func.blocks:
+            kept = []
+            for instr in block.instructions:
+                if isinstance(instr, _SIDE_EFFECTS):
+                    kept.append(instr)
+                elif instr.result is not None and instr.result.id not in used:
+                    removed += 1
+                else:
+                    kept.append(instr)
+            block.instructions = kept
+        removed_total += removed
+        if not removed:
+            return removed_total
+
+
+def optimize_function(func: ir.Function) -> dict:
+    """Run the pipeline; returns simplification statistics."""
+    folded = fold_constants(func)
+    removed = eliminate_dead_code(func)
+    return {"folded": folded, "removed": removed}

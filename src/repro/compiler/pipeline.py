@@ -1,0 +1,222 @@
+"""Compiler driver: options, pass ordering, module assembly.
+
+``compile_module`` turns an IR :class:`~repro.compiler.ir.Module` into
+assembly text under a protection configuration, mirroring the paper's
+build matrix (baseline / RA / FP / NON-CONTROL / FULL, Figure 5):
+
+1. build ``__init_globals`` from declarative global initializers (so
+   protected data is encrypted with the live keys at runtime),
+2. RegVault instrumentation (annotation + function-pointer lowering),
+3. sensitivity analysis,
+4. register allocation with spill protection,
+5. RV64 code generation and data-section emission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.compiler import ir
+from repro.compiler.builder import IRBuilder
+from repro.compiler.codegen import CodegenOptions, FunctionCodegen, emit_globals
+from repro.compiler.instrument import InstrumentOptions, InstrumentPass
+from repro.compiler.layout import LayoutEngine
+from repro.compiler.sensitivity import analyze_sensitivity
+from repro.compiler.types import (
+    Annotation,
+    ArrayType,
+    FunctionType,
+    PointerType,
+    StructType,
+    VOID,
+)
+from repro.crypto.keys import KeySelect
+from repro.errors import IRError
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """One protection configuration (paper §4.4.2)."""
+
+    name: str = "full"
+    #: Run scalar optimizations (folding, copy-prop, DCE) after lowering.
+    optimize: bool = True
+    #: Return-address protection (compiler option, §3.1.1).
+    ra: bool = True
+    #: Function-pointer protection (compiler option, §3.1.2).
+    fp: bool = True
+    #: Honor __rand/__rand_integrity annotations (§3.2).
+    noncontrol: bool = True
+    #: Register-spilling protection (§2.4.4).
+    protect_spills: bool = True
+
+    @classmethod
+    def baseline(cls) -> "CompileOptions":
+        return cls("baseline", ra=False, fp=False, noncontrol=False,
+                   protect_spills=False)
+
+    @classmethod
+    def ra_only(cls) -> "CompileOptions":
+        return cls("ra", ra=True, fp=False, noncontrol=False,
+                   protect_spills=False)
+
+    @classmethod
+    def fp_only(cls) -> "CompileOptions":
+        return cls("fp", ra=False, fp=True, noncontrol=False,
+                   protect_spills=False)
+
+    @classmethod
+    def noncontrol_only(cls) -> "CompileOptions":
+        return cls("noncontrol", ra=False, fp=False, noncontrol=True,
+                   protect_spills=False)
+
+    @classmethod
+    def full(cls) -> "CompileOptions":
+        return cls("full", ra=True, fp=True, noncontrol=True,
+                   protect_spills=True)
+
+    @property
+    def any_protection(self) -> bool:
+        return self.ra or self.fp or self.noncontrol or self.protect_spills
+
+
+@dataclass
+class FrameInfo:
+    """Stack frame facts for one compiled function."""
+
+    frame_size: int
+    ra_offset: int | None  # None for leaf functions (ra never saved)
+
+
+@dataclass
+class CompiledModule:
+    """Assembly plus the metadata consumers need (kernel, attacks, tests)."""
+
+    asm: str
+    layout: LayoutEngine
+    options: CompileOptions
+    function_names: list[str] = field(default_factory=list)
+    frames: dict[str, FrameInfo] = field(default_factory=dict)
+
+
+INIT_GLOBALS_NAME = "__init_globals"
+
+
+def _build_init_globals(module: ir.Module) -> ir.Function | None:
+    """Generate a function that installs declarative global initializers.
+
+    Because the stores go through the typed IR, protected fields come out
+    encrypted with the storage-address tweaks — the moral equivalent of
+    the paper's boot-time randomization of statically allocated data
+    (§3.2.4 re-allocates static page tables for the same reason).
+    """
+    specs = [
+        g for g in module.globals.values()
+        if isinstance(g.init, (dict, list))
+        or (isinstance(g.init, int) and g.annotation.protected)
+    ]
+    if not specs:
+        return None
+    func = ir.Function(INIT_GLOBALS_NAME, FunctionType(VOID, ()))
+    builder = IRBuilder(func)
+    builder.block("entry")
+
+    def value_operand(value):
+        if isinstance(value, tuple) and value[0] == "func":
+            return builder.addr_of_func(value[1])
+        if isinstance(value, int):
+            return ir.Const(value)
+        raise IRError(f"unsupported initializer value {value!r}")
+
+    for gvar in specs:
+        base = builder.addr_of_global(gvar.name)
+        if isinstance(gvar.init, dict):
+            if not isinstance(gvar.type, StructType):
+                raise IRError(
+                    f"dict initializer on non-struct global {gvar.name}"
+                )
+            for field_name, value in gvar.init.items():
+                builder.store_field(
+                    base, gvar.type, field_name, value_operand(value)
+                )
+        elif isinstance(gvar.init, list):
+            if not isinstance(gvar.type, ArrayType):
+                raise IRError(
+                    f"list initializer on non-array global {gvar.name}"
+                )
+            element = gvar.type.element
+            for index, value in enumerate(gvar.init):
+                addr = builder.index_addr(
+                    base, ir.Const(index), elem_type=element,
+                    elem_annotation=gvar.annotation,
+                )
+                builder.store(
+                    addr, value_operand(value), element, gvar.annotation
+                )
+        else:  # annotated scalar
+            builder.store(base, ir.Const(gvar.init), gvar.type,
+                          gvar.annotation)
+    builder.ret()
+    return func
+
+
+def compile_module(
+    module: ir.Module, options: CompileOptions | None = None
+) -> CompiledModule:
+    """Compile ``module`` under ``options`` (default: full protection).
+
+    The module is not mutated: lowering runs on a deep copy, so one IR
+    module can be compiled under every protection configuration (that is
+    how the Figure 5 benchmark matrix is produced).
+    """
+    import copy
+
+    options = options or CompileOptions.full()
+    layout = LayoutEngine(honor_annotations=options.noncontrol)
+
+    from repro.compiler.verify import verify_module
+
+    verify_module(module)
+    module = copy.deepcopy(module)
+    init_func = _build_init_globals(module)
+    functions = dict(module.functions)
+    if init_func is not None:
+        if INIT_GLOBALS_NAME in functions:
+            raise IRError(f"{INIT_GLOBALS_NAME} is reserved")
+        functions[INIT_GLOBALS_NAME] = init_func
+
+    instrument = InstrumentPass(
+        layout,
+        InstrumentOptions(noncontrol=options.noncontrol, fp=options.fp),
+    )
+    codegen_options = CodegenOptions(
+        ra=options.ra, protect_spills=options.protect_spills
+    )
+
+    lines: list[str] = [".text"]
+    names: list[str] = []
+    frames: dict[str, FrameInfo] = {}
+    for func in functions.values():
+        instrument.run(func)
+        if options.optimize:
+            from repro.compiler.optimize import optimize_function
+
+            optimize_function(func)
+        analyze_sensitivity(func)
+        generator = FunctionCodegen(func, layout, codegen_options)
+        lines.extend(generator.generate())
+        lines.append("")
+        names.append(func.name)
+        frames[func.name] = FrameInfo(
+            frame_size=generator.frame_size,
+            ra_offset=generator.ra_offset,
+        )
+
+    lines.extend(emit_globals(module, layout))
+    return CompiledModule(
+        asm="\n".join(lines) + "\n",
+        layout=layout,
+        options=options,
+        function_names=names,
+        frames=frames,
+    )

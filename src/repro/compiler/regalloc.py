@@ -1,0 +1,293 @@
+"""Liveness analysis and linear-scan register allocation.
+
+Implements the register discipline the paper's backend needs:
+
+* virtual registers are mapped to physical registers by linear scan;
+* values live across calls are only placed in callee-saved registers;
+* **sensitive values** (see :mod:`repro.compiler.sensitivity`) receive a
+  high spill cost, so they are "less likely to be spilled" (§2.4.4);
+* when ``protect_spills`` is on, a sensitive value that crosses a call
+  is *not* handed to a callee-saved register (the callee would spill it
+  to its own frame in plaintext) — it is forced into an **encrypted
+  spill slot** instead, realizing the paper's cross-call spilling
+  protection.
+
+Spilled sensitive values are flagged so the code generator wraps their
+slot accesses in ``cre``/``crd`` with the dedicated spill key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler import ir
+
+#: Allocatable caller-saved registers (t4-t6 are reserved as scratch).
+CALLER_SAVED_POOL = ("t0", "t1", "t2", "t3")
+#: Allocatable callee-saved registers.
+CALLEE_SAVED_POOL = (
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11"
+)
+#: Codegen scratch registers (never allocated).
+SCRATCH = ("t4", "t5", "t6")
+
+#: Instructions that clobber caller-saved state.
+_CALL_LIKE = (ir.Call, ir.CallIndirect)
+
+
+def _is_call_like(instr: ir.Instr) -> bool:
+    if isinstance(instr, _CALL_LIKE):
+        return True
+    return isinstance(instr, ir.Intrinsic) and instr.name == "ecall"
+
+
+@dataclass
+class Interval:
+    """Live interval of one virtual register."""
+
+    vreg: int
+    start: int
+    end: int
+    sensitive: bool = False
+    crosses_call: bool = False
+
+    def overlaps_position(self, pos: int) -> bool:
+        return self.start <= pos <= self.end
+
+
+@dataclass
+class Allocation:
+    """Result of register allocation for a function."""
+
+    #: vreg id -> physical register name.
+    registers: dict[int, str] = field(default_factory=dict)
+    #: vreg id -> spill slot index.
+    slots: dict[int, int] = field(default_factory=dict)
+    #: spill slot indices that must be encrypted (sensitive data).
+    protected_slots: set[int] = field(default_factory=set)
+    #: callee-saved registers the prologue must save.
+    used_callee_saved: list[str] = field(default_factory=list)
+    num_slots: int = 0
+
+    def location(self, vreg_id: int) -> tuple[str, int | str]:
+        if vreg_id in self.registers:
+            return ("reg", self.registers[vreg_id])
+        if vreg_id in self.slots:
+            return ("slot", self.slots[vreg_id])
+        raise KeyError(f"vreg {vreg_id} was never allocated")
+
+
+# ---------------------------------------------------------------- liveness --
+
+
+def _defs_uses(instr: ir.Instr) -> tuple[set[int], set[int]]:
+    defs = {instr.result.id} if instr.result is not None else set()
+    uses = {
+        op.id for op in instr.operands() if isinstance(op, ir.VReg)
+    }
+    return defs, uses
+
+
+def block_liveness(func: ir.Function) -> tuple[dict, dict]:
+    """Backward dataflow; returns (live_in, live_out) per block label."""
+    gen: dict[str, set[int]] = {}
+    kill: dict[str, set[int]] = {}
+    succ: dict[str, list[str]] = {}
+    for block in func.blocks:
+        g: set[int] = set()
+        k: set[int] = set()
+        for instr in block.instructions:
+            defs, uses = _defs_uses(instr)
+            g |= uses - k
+            k |= defs
+        gen[block.label] = g
+        kill[block.label] = k
+        terminator = block.terminator
+        succ[block.label] = terminator.successors() if terminator else []
+
+    live_in = {b.label: set() for b in func.blocks}
+    live_out = {b.label: set() for b in func.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(func.blocks):
+            label = block.label
+            out: set[int] = set()
+            for s in succ[label]:
+                out |= live_in[s]
+            new_in = gen[label] | (out - kill[label])
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+    return live_in, live_out
+
+
+# ----------------------------------------------------------- interval build --
+
+
+def build_intervals(func: ir.Function) -> tuple[list[Interval], list[int]]:
+    """Number instructions, build per-vreg intervals, find call positions."""
+    live_in, live_out = block_liveness(func)
+
+    position = 0
+    block_bounds: dict[str, tuple[int, int]] = {}
+    instr_positions: list[tuple[int, ir.Instr]] = []
+    for block in func.blocks:
+        start = position
+        for instr in block.instructions:
+            instr_positions.append((position, instr))
+            position += 2
+        block_bounds[block.label] = (start, max(start, position - 2))
+
+    starts: dict[int, int] = {}
+    ends: dict[int, int] = {}
+    def_positions: dict[int, set[int]] = {}
+
+    def extend(vreg_id: int, pos: int) -> None:
+        if vreg_id not in starts or pos < starts[vreg_id]:
+            starts[vreg_id] = pos
+        if vreg_id not in ends or pos > ends[vreg_id]:
+            ends[vreg_id] = pos
+
+    # Parameters are live from before the first instruction.
+    for param in func.params:
+        extend(param.id, -1)
+
+    for pos, instr in instr_positions:
+        defs, uses = _defs_uses(instr)
+        for v in defs:
+            extend(v, pos)
+            def_positions.setdefault(v, set()).add(pos)
+        for v in uses:
+            extend(v, pos)
+
+    for block in func.blocks:
+        b_start, b_end = block_bounds[block.label]
+        for v in live_in[block.label]:
+            extend(v, b_start)
+        for v in live_out[block.label]:
+            extend(v, b_end)
+
+    call_positions = [
+        pos for pos, instr in instr_positions if _is_call_like(instr)
+    ]
+
+    intervals = []
+    for vreg_id, start in starts.items():
+        end = ends[vreg_id]
+        defs = def_positions.get(vreg_id, set())
+        # A call clobbers caller-saved state.  The interval survives it
+        # unless the call IS its defining instruction (the value is
+        # born after the clobber) or its final use (arguments are read
+        # into a-registers before the jump).
+        crosses = any(
+            start <= cp <= end
+            and not (cp == start and cp in defs)
+            and cp != end
+            for cp in call_positions
+        )
+        intervals.append(
+            Interval(
+                vreg=vreg_id,
+                start=start,
+                end=end,
+                sensitive=vreg_id in func.sensitive,
+                crosses_call=crosses,
+            )
+        )
+    intervals.sort(key=lambda iv: (iv.start, iv.end))
+    return intervals, call_positions
+
+
+# -------------------------------------------------------------- linear scan --
+
+
+def allocate(func: ir.Function, protect_spills: bool = True) -> Allocation:
+    """Linear-scan allocation with RegVault spill policies."""
+    intervals, _ = build_intervals(func)
+    allocation = Allocation()
+
+    free_caller = list(CALLER_SAVED_POOL)
+    free_callee = list(CALLEE_SAVED_POOL)
+    active: list[tuple[Interval, str, bool]] = []  # (interval, reg, is_callee)
+    next_slot = 0
+
+    def assign_slot(interval: Interval) -> None:
+        nonlocal next_slot
+        allocation.slots[interval.vreg] = next_slot
+        if interval.sensitive and protect_spills:
+            allocation.protected_slots.add(next_slot)
+        next_slot += 1
+
+    def expire(current_start: int) -> None:
+        still_active = []
+        for entry in active:
+            interval, reg, is_callee = entry
+            if interval.end < current_start:
+                (free_callee if is_callee else free_caller).append(reg)
+            else:
+                still_active.append(entry)
+        active[:] = still_active
+
+    for interval in intervals:
+        expire(interval.start)
+
+        needs_callee = interval.crosses_call
+        if needs_callee and interval.sensitive and protect_spills:
+            # Cross-call spilling protection: do not let a callee spill
+            # this plaintext; keep it in an encrypted caller slot.
+            assign_slot(interval)
+            continue
+
+        pool = free_callee if needs_callee else free_caller
+        fallback = free_callee if not needs_callee else None
+        if pool:
+            reg = pool.pop(0)
+            is_callee = pool is free_callee
+        elif fallback:
+            reg = fallback.pop(0)
+            is_callee = True
+        else:
+            # Spill: evict the longest-living compatible non-sensitive
+            # interval if it outlives us, else spill ourselves.
+            candidates = [
+                entry for entry in active
+                if entry[2] == needs_callee or entry[2]
+            ]
+            victim = None
+            for entry in sorted(
+                candidates,
+                key=lambda e: (e[0].sensitive, -e[0].end),
+            ):
+                if (
+                    e_compatible(entry, needs_callee)
+                    and entry[0].end > interval.end
+                ):
+                    victim = entry
+                    break
+            if victim is not None and not victim[0].sensitive:
+                # Retroactively demote the victim to a spill slot for its
+                # whole interval (allocation precedes codegen, so its def
+                # will simply be committed to the slot instead).
+                active.remove(victim)
+                allocation.registers.pop(victim[0].vreg, None)
+                assign_slot(victim[0])
+                reg, is_callee = victim[1], victim[2]
+            else:
+                assign_slot(interval)
+                continue
+
+        if is_callee and reg not in allocation.used_callee_saved:
+            allocation.used_callee_saved.append(reg)
+        allocation.registers[interval.vreg] = reg
+        active.append((interval, reg, is_callee))
+
+    allocation.num_slots = next_slot
+    return allocation
+
+
+def e_compatible(entry: tuple[Interval, str, bool], needs_callee: bool) -> bool:
+    """A victim is compatible if its register satisfies our pool need."""
+    _, _, is_callee = entry
+    return is_callee or not needs_callee

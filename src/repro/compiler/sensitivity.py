@@ -1,0 +1,55 @@
+"""Sensitive-register identification (§2.4.4).
+
+The paper marks as sensitive: (1) the plaintext registers of RegVault
+cryptographic operations, and (2) registers propagated from or to other
+sensitive registers.  Here that becomes a dataflow fixpoint over virtual
+registers of the lowered IR:
+
+* seeds: results of ``crypto.dec`` and the value operand of
+  ``crypto.enc`` (both hold plaintext of protected data);
+* forward propagation: the result of a ``Move``/``BinOp`` with a
+  sensitive operand is sensitive.
+
+The result feeds the register allocator (sensitive values are costly to
+spill) and the spill-protection pass (if they do spill, the slot is
+encrypted).
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+
+
+def analyze_sensitivity(func: ir.Function) -> set[int]:
+    """Return (and record on the function) the set of sensitive vreg ids."""
+    sensitive: set[int] = set()
+
+    # Seeds.
+    for block in func.blocks:
+        for instr in block.instructions:
+            if isinstance(instr, ir.CryptoOp):
+                if instr.op == "dec":
+                    sensitive.add(instr.result.id)
+                elif isinstance(instr.value, ir.VReg):
+                    sensitive.add(instr.value.id)
+
+    # Forward propagation through value-preserving/derived operations.
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            for instr in block.instructions:
+                if isinstance(instr, (ir.Move, ir.BinOp)):
+                    if instr.result.id in sensitive:
+                        continue
+                    for operand in instr.operands():
+                        if (
+                            isinstance(operand, ir.VReg)
+                            and operand.id in sensitive
+                        ):
+                            sensitive.add(instr.result.id)
+                            changed = True
+                            break
+
+    func.sensitive = sensitive
+    return sensitive

@@ -1,0 +1,217 @@
+"""Type system with RegVault annotations.
+
+The paper marks sensitive data with field-sensitive annotation macros on
+*types* (§2.4.1):
+
+* ``__rand`` — confidentiality only;
+* ``__rand_integrity`` — confidentiality and integrity.
+
+"These macros set storage sizes and alignments properly": an annotated
+field's in-memory representation is ciphertext, and ciphertext blocks
+are 64-bit, so annotated sub-64-bit fields widen to 8 bytes and
+64-bit-with-integrity fields widen to 16 bytes (two ciphertext words,
+Figure 2c).  :func:`storage_size` and :func:`storage_align` implement
+that contract; :mod:`repro.compiler.layout` applies it to structs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field as dc_field
+
+from repro.errors import IRError
+
+
+class Annotation(enum.Enum):
+    """RegVault protection annotations for struct fields."""
+
+    NONE = "none"
+    RAND = "__rand"
+    RAND_INTEGRITY = "__rand_integrity"
+
+    @property
+    def protected(self) -> bool:
+        return self is not Annotation.NONE
+
+    @property
+    def has_integrity(self) -> bool:
+        return self is Annotation.RAND_INTEGRITY
+
+
+class Type:
+    """Base class for IR types."""
+
+    size = 0       # natural (unannotated) size in bytes
+    align = 1
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class VoidType(Type):
+    size = 0
+    align = 1
+
+    def __str__(self) -> str:
+        return "void"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, VoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    bits: int
+
+    def __post_init__(self):
+        if self.bits not in (8, 16, 32, 64):
+            raise IRError(f"unsupported integer width {self.bits}")
+
+    @property
+    def size(self) -> int:
+        return self.bits // 8
+
+    @property
+    def align(self) -> int:
+        return self.bits // 8
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    pointee: Type
+
+    size = 8
+    align = 8
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+    @property
+    def is_function_pointer(self) -> bool:
+        return isinstance(self.pointee, FunctionType)
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    ret: Type
+    params: tuple[Type, ...]
+
+    size = 0
+    align = 1
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        return f"{self.ret}({params})"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+    count: int
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+    @property
+    def size(self) -> int:
+        return self.element.size * self.count
+
+    @property
+    def align(self) -> int:
+        return self.element.align
+
+
+@dataclass(frozen=True)
+class Field:
+    """A struct field, optionally annotated.
+
+    ``key`` selects which RegVault key register protects the field
+    (Table 2 dedicates keys per data class to defeat cross-data-type
+    substitution); ``None`` uses the default non-control-data key.
+
+    >>> Field("uid", I32, Annotation.RAND_INTEGRITY)   # kuid_t uid __rand_integrity
+    ... # doctest: +ELLIPSIS
+    Field(name='uid', type=i32, annotation=<Annotation.RAND_INTEGRITY: '__rand_integrity'>, key=None)
+    """
+
+    name: str
+    type: Type
+    annotation: Annotation = Annotation.NONE
+    key: object | None = None  # KeySelect; object to avoid import cycle
+
+
+@dataclass(frozen=True)
+class StructType(Type):
+    name: str
+    fields: tuple[Field, ...] = dc_field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+    def field_named(self, name: str) -> Field:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise IRError(f"struct {self.name} has no field {name!r}")
+
+    @property
+    def has_protected_fields(self) -> bool:
+        return any(f.annotation.protected for f in self.fields)
+
+
+# Singletons for common types.
+VOID = VoidType()
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+
+
+def storage_size(type_: Type, annotation: Annotation) -> int:
+    """In-memory bytes a value occupies under an annotation.
+
+    Unannotated data keeps its natural size.  Annotated data is stored
+    as QARMA ciphertext blocks:
+
+    * <= 32-bit integers and ``__rand`` 64-bit data / pointers: one
+      64-bit ciphertext (8 bytes);
+    * ``__rand_integrity`` 64-bit data: two 64-bit ciphertexts
+      (16 bytes, Figure 2c — each half carries 32 data bits plus 32
+      zero-check bits).
+    """
+    if not annotation.protected:
+        return type_.size
+    if isinstance(type_, PointerType):
+        if annotation.has_integrity:
+            return 16
+        return 8
+    if isinstance(type_, IntType):
+        if type_.bits == 64 and annotation.has_integrity:
+            return 16
+        return 8
+    raise IRError(f"cannot annotate type {type_} with {annotation.value}")
+
+
+def storage_align(type_: Type, annotation: Annotation) -> int:
+    """Alignment of a value's in-memory representation."""
+    return 8 if annotation.protected else type_.align
+
+
+def integrity_range_for(type_: Type) -> tuple[int, int]:
+    """The ``[e:s]`` byte range used when encrypting a single-block value.
+
+    Full-width (pointer / ``__rand`` i64) data uses [7:0]; narrower data
+    uses a partial range so the zero bytes outside it provide the
+    integrity check (Figure 2a/2b).
+    """
+    if isinstance(type_, PointerType):
+        return (7, 0)
+    if isinstance(type_, IntType):
+        return {8: (0, 0), 16: (1, 0), 32: (3, 0), 64: (7, 0)}[type_.bits]
+    raise IRError(f"no integrity range for type {type_}")

@@ -1,0 +1,116 @@
+"""IR well-formedness verification.
+
+Catches malformed IR before it reaches lowering/codegen, where the
+failure modes are much harder to diagnose (silent wrong code, assembler
+errors pointing at generated text).  Checked properties:
+
+* every block ends in exactly one terminator, with no instructions
+  after it;
+* every branch target names an existing block;
+* every virtual register is defined exactly once (the IR is not SSA,
+  but only :class:`~repro.compiler.ir.Move` may redefine — mutable
+  loop variables are Moves by construction);
+* every used register has a definition somewhere in the function
+  (parameters count as definitions);
+* locals referenced by ``AddrOfLocal`` are declared;
+* call arities match the callee's signature when the callee is known.
+
+``verify_module`` walks every function and raises
+:class:`~repro.errors.IRError` listing all findings.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ir
+from repro.errors import IRError
+
+
+def verify_function(func: ir.Function, module: ir.Module | None = None) -> None:
+    """Raise :class:`IRError` when the function is malformed."""
+    problems: list[str] = []
+    labels = {block.label for block in func.blocks}
+
+    if not func.blocks:
+        raise IRError(f"{func.name}: function has no blocks")
+
+    defined: set[int] = {param.id for param in func.params}
+    move_targets: set[int] = set()
+
+    # Pass 1: definitions, terminator discipline, branch targets.
+    for block in func.blocks:
+        if not block.instructions:
+            problems.append(f"block {block.label} is empty")
+            continue
+        terminator = block.instructions[-1]
+        if not isinstance(terminator, ir.Terminator):
+            problems.append(f"block {block.label} lacks a terminator")
+        for index, instr in enumerate(block.instructions):
+            if isinstance(instr, ir.Terminator):
+                if index != len(block.instructions) - 1:
+                    problems.append(
+                        f"block {block.label}: instructions after "
+                        f"terminator at position {index}"
+                    )
+                for target in instr.successors():
+                    if target not in labels:
+                        problems.append(
+                            f"block {block.label}: branch to unknown "
+                            f"block {target!r}"
+                        )
+            result = instr.result
+            if result is not None:
+                if isinstance(instr, ir.Move):
+                    move_targets.add(result.id)
+                elif result.id in defined and result.id not in move_targets:
+                    problems.append(
+                        f"%v{result.id} defined more than once "
+                        f"(in block {block.label})"
+                    )
+                defined.add(result.id)
+
+    # Pass 2: uses, locals, call arities.
+    for block in func.blocks:
+        for instr in block.instructions:
+            for operand in instr.operands():
+                if isinstance(operand, ir.VReg) and operand.id not in defined:
+                    problems.append(
+                        f"block {block.label}: use of undefined "
+                        f"%v{operand.id} in `{instr}`"
+                    )
+            if isinstance(instr, ir.AddrOfLocal):
+                if instr.local not in func.locals:
+                    problems.append(
+                        f"block {block.label}: unknown local "
+                        f"{instr.local!r}"
+                    )
+            if isinstance(instr, ir.Call) and module is not None:
+                callee = module.functions.get(instr.func)
+                if callee is not None and len(instr.args) != len(
+                    callee.type.params
+                ):
+                    problems.append(
+                        f"block {block.label}: call to {instr.func} with "
+                        f"{len(instr.args)} args, expects "
+                        f"{len(callee.type.params)}"
+                    )
+
+    if problems:
+        summary = "\n  ".join(problems)
+        raise IRError(f"{func.name}: malformed IR:\n  {summary}")
+
+
+def verify_module(module: ir.Module) -> None:
+    """Verify every function; report the first offender fully."""
+    for func in module.functions.values():
+        verify_function(func, module)
+    for gvar in module.globals.values():
+        if isinstance(gvar.init, list):
+            from repro.compiler.types import ArrayType
+
+            if isinstance(gvar.type, ArrayType) and (
+                len(gvar.init) > gvar.type.count
+            ):
+                raise IRError(
+                    f"global {gvar.name}: {len(gvar.init)} initializers "
+                    f"for {gvar.type.count} elements"
+                )

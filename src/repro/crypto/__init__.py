@@ -1,0 +1,27 @@
+"""RegVault cryptographic layer.
+
+Contains the QARMA-64 tweakable block cipher (the randomization primitive
+chosen by the paper, §2.3.1), the `cre`/`crd` instruction semantics, the
+key-register file and the cryptographic lookaside buffer (CLB).
+"""
+
+from repro.crypto.qarma import Qarma64, qarma64_decrypt, qarma64_encrypt
+from repro.crypto.keys import KeyRegister, KeySelect
+from repro.crypto.primitives import ByteRange, cre, crd
+from repro.crypto.clb import CLB, CLBStats
+from repro.crypto.engine import CryptoEngine, EngineStats
+
+__all__ = [
+    "Qarma64",
+    "qarma64_encrypt",
+    "qarma64_decrypt",
+    "KeyRegister",
+    "KeySelect",
+    "ByteRange",
+    "cre",
+    "crd",
+    "CLB",
+    "CLBStats",
+    "CryptoEngine",
+    "EngineStats",
+]

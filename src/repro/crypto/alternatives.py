@@ -1,0 +1,137 @@
+"""Alternative randomization ciphers for ablation studies (§5).
+
+The paper positions QARMA against two alternatives:
+
+* **XOR-based DSR** (Bhatkar & Sekar; HARD; CoDaRR): data XORed with a
+  per-class mask.  "All of these works suffer memory disclosures, due
+  to the weak XOR-based encryption" — one known plaintext/ciphertext
+  pair recovers the mask, after which the attacker forges arbitrary
+  valid ciphertexts.  :class:`XorDsrCipher` reproduces that weakness
+  verbatim so the ablation benchmark can demonstrate it.
+
+* **Other lightweight tweakable block ciphers** ("like CRAFT, are
+  compatible with RegVault architecture").  :class:`XexXteaCipher` is
+  such a drop-in: the standard XEX construction over the XTEA block
+  cipher — a genuine tweakable strong cipher with a different
+  cost point (two block operations per primitive).
+
+Both expose the ``encrypt(block, tweak, key128)`` /
+``decrypt(block, tweak, key128)`` interface of
+:class:`repro.crypto.qarma.Qarma64`, so the crypto-engine, the ISA and
+the whole kernel stack run unmodified on top of either.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+from repro.utils.bits import MASK64, rotl64
+
+#: Nominal engine latencies (cycles on a CLB miss) per cipher, used by
+#: the ablation benchmarks.  QARMA completes in 3 cycles (§4.2); XOR is
+#: a single gate delay; XEX needs two serial block operations.
+CIPHER_MISS_CYCLES = {"qarma": 3, "xor": 1, "xex": 7}
+
+
+class XorDsrCipher:
+    """Data-space-randomization-style XOR masking (intentionally weak).
+
+    ``c = p ^ fold(key) ^ tweak`` — involutive, keyed, tweakable in the
+    trivial sense.  Integrity ranges still "work" mechanically (an
+    uninformed corruption garbles the zero bytes), but anyone holding a
+    single (p, c, tweak) triple recovers ``fold(key)`` exactly and can
+    then forge ciphertexts that decrypt to chosen values with valid
+    zero-checks.
+    """
+
+    rounds = 1
+    sbox_index = -1
+
+    @staticmethod
+    def _mask(key128: int) -> int:
+        if not 0 <= key128 < (1 << 128):
+            raise CryptoError("key must be a 128-bit integer")
+        return ((key128 >> 64) ^ key128) & MASK64
+
+    def encrypt(self, plaintext: int, tweak: int, key128: int) -> int:
+        self._check(plaintext, tweak)
+        return (plaintext ^ self._mask(key128) ^ tweak) & MASK64
+
+    def decrypt(self, ciphertext: int, tweak: int, key128: int) -> int:
+        return self.encrypt(ciphertext, tweak, key128)  # involution
+
+    @staticmethod
+    def _check(block: int, tweak: int) -> None:
+        if not 0 <= block <= MASK64 or not 0 <= tweak <= MASK64:
+            raise CryptoError("block and tweak must be 64-bit integers")
+
+
+class XexXteaCipher:
+    """XEX-mode tweakable cipher over the XTEA block cipher.
+
+    ``delta = E_k(tweak)``; ``c = E_k(p ^ delta) ^ delta``.  A classic
+    construction giving a secure tweakable cipher from any strong block
+    cipher — standing in for the paper's CRAFT compatibility claim.
+    """
+
+    DELTA = 0x9E3779B9
+    ROUNDS = 32
+    MASK32 = 0xFFFFFFFF
+
+    rounds = ROUNDS
+    sbox_index = -1
+
+    def _block_encrypt(self, block: int, key128: int) -> int:
+        k = [(key128 >> (32 * i)) & self.MASK32 for i in range(4)]
+        v0 = block & self.MASK32
+        v1 = (block >> 32) & self.MASK32
+        total = 0
+        for _ in range(self.ROUNDS):
+            v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1)
+                        ^ (total + k[total & 3]))) & self.MASK32
+            total = (total + self.DELTA) & self.MASK32
+            v1 = (v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0)
+                        ^ (total + k[(total >> 11) & 3]))) & self.MASK32
+        return (v1 << 32) | v0
+
+    def _block_decrypt(self, block: int, key128: int) -> int:
+        k = [(key128 >> (32 * i)) & self.MASK32 for i in range(4)]
+        v0 = block & self.MASK32
+        v1 = (block >> 32) & self.MASK32
+        total = (self.DELTA * self.ROUNDS) & self.MASK32
+        for _ in range(self.ROUNDS):
+            v1 = (v1 - ((((v0 << 4) ^ (v0 >> 5)) + v0)
+                        ^ (total + k[(total >> 11) & 3]))) & self.MASK32
+            total = (total - self.DELTA) & self.MASK32
+            v0 = (v0 - ((((v1 << 4) ^ (v1 >> 5)) + v1)
+                        ^ (total + k[total & 3]))) & self.MASK32
+        return (v1 << 32) | v0
+
+    def encrypt(self, plaintext: int, tweak: int, key128: int) -> int:
+        self._check(plaintext, tweak, key128)
+        delta = self._block_encrypt(tweak, key128)
+        return self._block_encrypt(plaintext ^ delta, key128) ^ delta
+
+    def decrypt(self, ciphertext: int, tweak: int, key128: int) -> int:
+        self._check(ciphertext, tweak, key128)
+        delta = self._block_encrypt(tweak, key128)
+        return self._block_decrypt(ciphertext ^ delta, key128) ^ delta
+
+    @staticmethod
+    def _check(block: int, tweak: int, key128: int) -> None:
+        if not 0 <= block <= MASK64 or not 0 <= tweak <= MASK64:
+            raise CryptoError("block and tweak must be 64-bit integers")
+        if not 0 <= key128 < (1 << 128):
+            raise CryptoError("key must be a 128-bit integer")
+
+
+def make_cipher(name: str):
+    """Cipher factory for :class:`repro.kernel.config.KernelConfig`."""
+    from repro.crypto.qarma import Qarma64
+
+    if name == "qarma":
+        return Qarma64()
+    if name == "xor":
+        return XorDsrCipher()
+    if name == "xex":
+        return XexXteaCipher()
+    raise CryptoError(f"unknown cipher {name!r}")

@@ -1,0 +1,143 @@
+"""RegVault key registers.
+
+The paper (§2.3.1) extends the CSR space with dedicated key registers:
+a master key ``m`` and seven general keys ``a``–``g``.  Each key is
+128 bits (the QARMA key size).  Access rules:
+
+* user space has **no access** to any key register;
+* the kernel may **write** general key registers but never read them;
+* the kernel may neither read nor write the **master** key — it can only
+  *use* it through ``cre``/``crd`` instructions (e.g. to wrap per-thread
+  keys stored in memory).
+
+This module holds the storage and naming; the privilege enforcement
+lives in :mod:`repro.machine.csr` (CSR access) and
+:mod:`repro.crypto.engine` (instruction executability).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CryptoError
+from repro.utils.bits import MASK64
+
+
+class KeySelect(enum.IntEnum):
+    """3-bit key selection index, as stored in CLB entries (§2.3.3)."""
+
+    A = 0
+    B = 1
+    C = 2
+    D = 3
+    E = 4
+    F = 5
+    G = 6
+    M = 7  # master key
+
+    @classmethod
+    def from_letter(cls, letter: str) -> "KeySelect":
+        """Map the mnemonic letter in ``cre[x]k`` to a selector."""
+        try:
+            return cls[letter.upper()]
+        except KeyError:
+            raise CryptoError(f"unknown key register letter {letter!r}") from None
+
+    @property
+    def letter(self) -> str:
+        return self.name.lower()
+
+    @property
+    def is_master(self) -> bool:
+        return self is KeySelect.M
+
+
+#: Conventional key assignment used by our kernel build (Table 2 requires
+#: dedicated keys per protected class to defeat cross-data-type
+#: substitution).
+KEY_ROLES = {
+    KeySelect.A: "return addresses (per-thread)",
+    KeySelect.B: "function pointers",
+    KeySelect.C: "interrupt context (CIP, per-thread)",
+    KeySelect.D: "annotated non-control data",
+    KeySelect.E: "kernel keyring",
+    KeySelect.F: "PGD pointers",
+    KeySelect.G: "register spill slots",
+    KeySelect.M: "master key (wraps per-thread keys in memory)",
+}
+
+
+@dataclass
+class KeyRegister:
+    """A single 128-bit key register, stored as (hi, lo) 64-bit words."""
+
+    hi: int = 0
+    lo: int = 0
+
+    def __post_init__(self) -> None:
+        self._check(self.hi)
+        self._check(self.lo)
+
+    @staticmethod
+    def _check(word: int) -> None:
+        if not 0 <= word <= MASK64:
+            raise CryptoError("key words must be 64-bit integers")
+
+    @property
+    def value(self) -> int:
+        """The full 128-bit key."""
+        return (self.hi << 64) | self.lo
+
+    @value.setter
+    def value(self, key128: int) -> None:
+        if not 0 <= key128 < (1 << 128):
+            raise CryptoError("key must be a 128-bit integer")
+        self.hi = (key128 >> 64) & MASK64
+        self.lo = key128 & MASK64
+
+
+@dataclass
+class KeyFile:
+    """The eight RegVault key registers.
+
+    Reads and writes here are *raw* — privilege rules are enforced by the
+    CSR layer.  The key file notifies a listener (the CLB) whenever a key
+    changes, so stale cached results are invalidated (§2.3.3).
+    """
+
+    registers: dict[KeySelect, KeyRegister] = field(
+        default_factory=lambda: {sel: KeyRegister() for sel in KeySelect}
+    )
+
+    def __post_init__(self) -> None:
+        self._listeners: list = []
+
+    def key(self, ksel: KeySelect) -> int:
+        """Return the 128-bit key for selector ``ksel``."""
+        return self.registers[ksel].value
+
+    def set_key(self, ksel: KeySelect, key128: int) -> None:
+        """Install a full 128-bit key and invalidate dependent CLB entries."""
+        self.registers[ksel].value = key128
+        self._notify(ksel)
+
+    def set_word(self, ksel: KeySelect, *, hi: int | None = None,
+                 lo: int | None = None) -> None:
+        """Write one 64-bit half of a key register (the CSR write shape)."""
+        reg = self.registers[ksel]
+        if hi is not None:
+            reg._check(hi)
+            reg.hi = hi
+        if lo is not None:
+            reg._check(lo)
+            reg.lo = lo
+        self._notify(ksel)
+
+    def add_listener(self, callback) -> None:
+        """Register ``callback(ksel)`` to run on every key update."""
+        self._listeners.append(callback)
+
+    def _notify(self, ksel: KeySelect) -> None:
+        for callback in self._listeners:
+            callback(ksel)

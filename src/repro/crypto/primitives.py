@@ -1,0 +1,143 @@
+"""Semantics of the RegVault cryptographic primitives (Table 1, §2.3.1).
+
+``cre[x]k rd, rs[e:s], rt`` — context-aware register encrypt: select
+bytes ``[e:s]`` of ``rs`` (zeroing all others), encrypt under key ``x``
+with the tweak in ``rt``, put the 64-bit ciphertext in ``rd``.
+
+``crd[x]k rd, rs, rt, [e:s]`` — context-aware register decrypt: decrypt
+``rs`` under key ``x`` and tweak ``rt``; if any byte *outside* ``[e:s]``
+of the plaintext is non-zero, the integrity check fails and an exception
+is raised; otherwise put the plaintext in ``rd``.
+
+These functions are the pure semantics used by both the crypto-engine
+(instruction execution) and higher-level tooling (kernel build helpers,
+attack analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.qarma import Qarma64
+from repro.errors import CryptoError, IntegrityViolation
+from repro.utils.bits import MASK64
+
+
+@dataclass(frozen=True)
+class ByteRange:
+    """An inclusive byte range ``[end:start]`` within a 64-bit register.
+
+    Byte 0 is the least-significant byte.  ``ByteRange(7, 0)`` selects the
+    whole register (pointer randomization, Figure 2a); ``ByteRange(3, 0)``
+    selects the low 32 bits (Figure 2b); ``ByteRange(7, 4)`` the high 32
+    bits (Figure 2c).
+    """
+
+    end: int
+    start: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.start <= self.end <= 7):
+            raise CryptoError(
+                f"invalid byte range [{self.end}:{self.start}] "
+                "(need 0 <= start <= end <= 7)"
+            )
+
+    @property
+    def mask(self) -> int:
+        """64-bit mask with ones over the selected bytes."""
+        width = (self.end - self.start + 1) * 8
+        return ((1 << width) - 1) << (self.start * 8)
+
+    @property
+    def num_bytes(self) -> int:
+        return self.end - self.start + 1
+
+    @property
+    def is_full(self) -> bool:
+        """True when the range covers the whole register.
+
+        A full range leaves no zero bytes for the integrity check, so the
+        primitive provides confidentiality only (used for pointers).
+        """
+        return self.end == 7 and self.start == 0
+
+    def select(self, value: int) -> int:
+        """Keep the selected bytes of ``value`` in place, zero the rest."""
+        return value & self.mask
+
+    def __str__(self) -> str:
+        return f"[{self.end}:{self.start}]"
+
+    @classmethod
+    def parse(cls, text: str) -> "ByteRange":
+        """Parse the assembly syntax ``[e:s]``."""
+        text = text.strip()
+        if not (text.startswith("[") and text.endswith("]")):
+            raise CryptoError(f"malformed byte range {text!r}")
+        body = text[1:-1]
+        parts = body.split(":")
+        if len(parts) != 2:
+            raise CryptoError(f"malformed byte range {text!r}")
+        try:
+            end, start = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise CryptoError(f"malformed byte range {text!r}") from None
+        return cls(end, start)
+
+
+#: The three canonical ranges from Figure 2.
+FULL_RANGE = ByteRange(7, 0)
+LOW_HALF = ByteRange(3, 0)
+HIGH_HALF = ByteRange(7, 4)
+
+
+def cre(
+    value: int,
+    byte_range: ByteRange,
+    tweak: int,
+    key128: int,
+    cipher: Qarma64 | None = None,
+) -> int:
+    """Pure semantics of ``cre[x]k``: range-select then encrypt.
+
+    Bytes outside ``byte_range`` are forced to zero before encryption
+    (Table 1: "for integrity checking purpose").
+    """
+    cipher = cipher or _default_cipher()
+    plaintext = byte_range.select(value & MASK64)
+    return cipher.encrypt(plaintext, tweak & MASK64, key128)
+
+
+def crd(
+    value: int,
+    byte_range: ByteRange,
+    tweak: int,
+    key128: int,
+    cipher: Qarma64 | None = None,
+) -> int:
+    """Pure semantics of ``crd[x]k``: decrypt then integrity-check.
+
+    Raises :class:`IntegrityViolation` when any plaintext byte outside
+    ``byte_range`` is non-zero.  For the full range the check is vacuous
+    (confidentiality-only protection, as for pointers).
+    """
+    cipher = cipher or _default_cipher()
+    plaintext = cipher.decrypt(value & MASK64, tweak & MASK64, key128)
+    outside = plaintext & ~byte_range.mask & MASK64
+    if outside:
+        raise IntegrityViolation(
+            f"crd integrity check failed: plaintext {plaintext:#018x} has "
+            f"non-zero bytes outside {byte_range}"
+        )
+    return plaintext
+
+
+_CIPHER: Qarma64 | None = None
+
+
+def _default_cipher() -> Qarma64:
+    global _CIPHER
+    if _CIPHER is None:
+        _CIPHER = Qarma64()
+    return _CIPHER

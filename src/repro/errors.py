@@ -1,0 +1,71 @@
+"""Exception hierarchy for the RegVault reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can distinguish simulator faults (which model architectural traps)
+from plain Python usage errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CryptoError(ReproError):
+    """Problems inside the cryptographic layer (bad key/tweak widths...)."""
+
+
+class IntegrityViolation(ReproError):
+    """A `crd` decryption found non-zero bytes outside the selected range.
+
+    Architecturally this is an exception raised by the crypto-engine; the
+    hart converts it into a trap with cause
+    :data:`repro.machine.trap.Cause.REGVAULT_INTEGRITY_FAULT`.
+    """
+
+
+class PrivilegeError(ReproError):
+    """An operation was attempted from an insufficient privilege level."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded (field out of range...)."""
+
+
+class DecodeError(ReproError):
+    """A 32-bit word does not decode to a known instruction."""
+
+
+class AssemblerError(ReproError):
+    """Syntax or semantic error in assembly source."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class MemoryFault(ReproError):
+    """Access to unmapped or protected simulated memory."""
+
+    def __init__(self, address: int, message: str = "memory fault"):
+        self.address = address
+        super().__init__(f"{message} at {address:#x}")
+
+
+class IRError(ReproError):
+    """Malformed IR detected by the builder or verifier."""
+
+
+class CodegenError(ReproError):
+    """The backend could not lower an IR construct."""
+
+
+class KernelError(ReproError):
+    """Kernel build or runtime orchestration error."""
+
+
+class AttackError(ReproError):
+    """An attack scenario could not be staged (missing symbol...)."""

@@ -1,0 +1,104 @@
+"""Table 3 generation: relative hardware cost over the entire SoC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hwcost.components import (
+    ResourceEstimate,
+    clb_cost,
+    crypto_engine_cost,
+    fpu_cost,
+    rocket_soc_cost,
+)
+
+#: Paper's reference percentages (Table 3) for shape comparison.
+PAPER_TABLE3 = {
+    (0, "lut"): {"engine": 4.88, "clb": None, "fpu": 25.28},
+    (0, "ff"): {"engine": 4.79, "clb": None, "fpu": 12.40},
+    (8, "lut"): {"engine": 4.42, "clb": 4.30, "fpu": 24.39},
+    (8, "ff"): {"engine": 4.55, "clb": 4.84, "fpu": 11.78},
+}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    clb_entries: int
+    resource: str            # "lut" or "ff"
+    engine_pct: float
+    clb_pct: float | None
+    fpu_pct: float
+    paper_engine_pct: float
+    paper_clb_pct: float | None
+    paper_fpu_pct: float
+
+
+def _pct(part: int, total: int) -> float:
+    return 100.0 * part / total
+
+
+def table3(clb_configs: tuple[int, ...] = (0, 8)) -> list[Table3Row]:
+    """Compute the relative-cost table for the requested CLB sizes.
+
+    Percentages are taken over the *entire SoC including RegVault*,
+    matching the paper's "relative hardware resource cost over the
+    entire SoC".
+    """
+    soc = rocket_soc_cost()
+    fpu = fpu_cost()
+    rows = []
+    for entries in clb_configs:
+        engine = crypto_engine_cost()
+        clb = clb_cost(entries)
+        total_luts = soc.luts + engine.luts + clb.luts
+        total_ffs = soc.ffs + engine.ffs + clb.ffs
+        paper_lut = PAPER_TABLE3.get((entries, "lut"), {})
+        paper_ff = PAPER_TABLE3.get((entries, "ff"), {})
+        rows.append(Table3Row(
+            clb_entries=entries,
+            resource="lut",
+            engine_pct=_pct(engine.luts, total_luts),
+            clb_pct=_pct(clb.luts, total_luts) if entries else None,
+            fpu_pct=_pct(fpu.luts, total_luts),
+            paper_engine_pct=paper_lut.get("engine", float("nan")),
+            paper_clb_pct=paper_lut.get("clb"),
+            paper_fpu_pct=paper_lut.get("fpu", float("nan")),
+        ))
+        rows.append(Table3Row(
+            clb_entries=entries,
+            resource="ff",
+            engine_pct=_pct(engine.ffs, total_ffs),
+            clb_pct=_pct(clb.ffs, total_ffs) if entries else None,
+            fpu_pct=_pct(fpu.ffs, total_ffs),
+            paper_engine_pct=paper_ff.get("engine", float("nan")),
+            paper_clb_pct=paper_ff.get("clb"),
+            paper_fpu_pct=paper_ff.get("fpu", float("nan")),
+        ))
+    return rows
+
+
+def format_table3(rows: list[Table3Row] | None = None) -> str:
+    rows = rows if rows is not None else table3()
+    out = [
+        "Table 3: RegVault relative hardware resource cost over the "
+        "entire SoC, compared with FPU",
+        "",
+        f"{'CLB':>4} {'res':>5} | {'engine %':>9} {'CLB %':>7} "
+        f"{'FPU %':>7} | {'paper eng':>9} {'paper CLB':>9} "
+        f"{'paper FPU':>9}",
+        "-" * 74,
+    ]
+    for row in rows:
+        clb = f"{row.clb_pct:7.2f}" if row.clb_pct is not None else "    N/A"
+        paper_clb = (
+            f"{row.paper_clb_pct:9.2f}"
+            if row.paper_clb_pct is not None
+            else "      N/A"
+        )
+        out.append(
+            f"{row.clb_entries:>4} {row.resource.upper():>5} | "
+            f"{row.engine_pct:9.2f} {clb} {row.fpu_pct:7.2f} | "
+            f"{row.paper_engine_pct:9.2f} {paper_clb} "
+            f"{row.paper_fpu_pct:9.2f}"
+        )
+    return "\n".join(out)

@@ -1,0 +1,23 @@
+"""RISC-V RV64IM + RegVault instruction set support.
+
+Provides instruction encodings (including the ``cre``/``crd`` extension on
+the custom-0/custom-1 opcodes), a decoder, an encoder, a two-pass text
+assembler and a disassembler.
+"""
+
+from repro.isa.instructions import Instruction, InstrFormat
+from repro.isa.decoder import decode
+from repro.isa.encoder import encode
+from repro.isa.assembler import Assembler, Program, assemble
+from repro.isa.disassembler import disassemble
+
+__all__ = [
+    "Instruction",
+    "InstrFormat",
+    "decode",
+    "encode",
+    "Assembler",
+    "Program",
+    "assemble",
+    "disassemble",
+]

@@ -1,0 +1,645 @@
+"""Two-pass text assembler for RV64IM + RegVault.
+
+Accepts the subset of GNU-as syntax the rest of this project emits:
+
+* labels (``name:``), comments (``#`` or ``;`` to end of line),
+* sections ``.text`` / ``.data`` / ``.rodata`` / ``.bss``,
+* data directives ``.byte .half .word .dword .zero .align .ascii .asciz``
+  (``.dword`` accepts label references — used for function-pointer
+  tables),
+* constants ``.equ name, value``,
+* all RV64IM instructions, CSR instructions (by CSR name or number),
+* the RegVault primitives ``cre[x]k rd, rs[e:s], rt`` and
+  ``crd[x]k rd, rs, rt, [e:s]``,
+* the usual pseudo-instructions (``li la mv call ret j beqz ...``).
+
+The assembler produces a :class:`Program`: per-section byte images with
+base addresses, a symbol table and the entry point (``_start`` when
+defined, otherwise the start of ``.text``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.crypto.primitives import ByteRange
+from repro.errors import AssemblerError, EncodingError
+from repro.isa import instructions as tab
+from repro.isa.csrdefs import CSR_NAMES
+from repro.isa.encoder import encode
+from repro.isa.instructions import (
+    Instruction,
+    InstrFormat,
+    REGISTER_ALIASES,
+    parse_crypto_mnemonic,
+)
+from repro.utils.bits import sign_extend
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_CRYPTO_ENC_RE = re.compile(
+    r"^(?P<rs>[\w.$]+)\s*\[\s*(?P<e>\d)\s*:\s*(?P<s>\d)\s*\]$"
+)
+_MEM_RE = re.compile(r"^(?P<off>[^()]*)\(\s*(?P<base>[\w.$]+)\s*\)$")
+
+#: Default section load addresses (all within 31 bits so ``la`` can use
+#: the lui/addi pair without 64-bit materialization).
+DEFAULT_BASES = {
+    ".text": 0x0001_0000,
+    ".rodata": 0x0300_0000,
+    ".data": 0x0400_0000,
+    ".bss": 0x0600_0000,
+}
+
+
+@dataclass
+class Section:
+    """An output section being filled by the assembler."""
+
+    name: str
+    base: int
+    data: bytearray = field(default_factory=bytearray)
+
+    @property
+    def pc(self) -> int:
+        return self.base + len(self.data)
+
+    def align(self, alignment: int) -> None:
+        while len(self.data) % alignment:
+            self.data.append(0)
+
+
+@dataclass
+class Program:
+    """Result of assembling a source file."""
+
+    sections: dict[str, Section]
+    symbols: dict[str, int]
+    entry: int
+
+    def flatten(self) -> list[tuple[int, bytes]]:
+        """Return (base_address, bytes) for every non-empty section."""
+        return [
+            (section.base, bytes(section.data))
+            for section in self.sections.values()
+            if section.data
+        ]
+
+    def symbol(self, name: str) -> int:
+        if name not in self.symbols:
+            raise AssemblerError(f"undefined symbol {name!r}")
+        return self.symbols[name]
+
+
+@dataclass
+class _PendingInstr:
+    """An instruction recorded in pass 1, encoded in pass 2."""
+
+    address: int
+    section: str
+    offset: int  # byte offset within the section
+    mnemonic: str
+    operands: list[str]
+    line: int
+
+
+@dataclass
+class _PendingData:
+    """A data word that references a symbol (e.g. ``.dword handler``)."""
+
+    section: str
+    offset: int
+    size: int
+    expr: str
+    line: int
+
+
+class Assembler:
+    """Two-pass assembler; see module docstring for the accepted syntax."""
+
+    def __init__(self, bases: dict[str, int] | None = None):
+        merged = dict(DEFAULT_BASES)
+        if bases:
+            merged.update(bases)
+        self._bases = merged
+
+    # -- public API -----------------------------------------------------------
+
+    def assemble(self, source: str) -> Program:
+        sections: dict[str, Section] = {}
+        symbols: dict[str, int] = {}
+        pending_instrs: list[_PendingInstr] = []
+        pending_data: list[_PendingData] = []
+        current: Section | None = None
+
+        def section(name: str) -> Section:
+            if name not in sections:
+                if name not in self._bases:
+                    raise AssemblerError(f"unknown section {name!r}")
+                sections[name] = Section(name, self._bases[name])
+            return sections[name]
+
+        current = section(".text")
+
+        for lineno, raw_line in enumerate(source.splitlines(), start=1):
+            line = self._strip_comment(raw_line).strip()
+            while line:
+                match = _LABEL_RE.match(line)
+                if match:
+                    label = match.group(1)
+                    if label in symbols:
+                        raise AssemblerError(
+                            f"duplicate label {label!r}", lineno
+                        )
+                    symbols[label] = current.pc
+                    line = line[match.end():].strip()
+                    continue
+                break
+            if not line:
+                continue
+
+            if line.startswith("."):
+                current = self._directive(
+                    line, lineno, current, section, symbols, pending_data
+                )
+                continue
+
+            mnemonic, operands = self._split_instruction(line)
+            expanded = self._expand_pseudo(mnemonic, operands, lineno, symbols)
+            for exp_mnemonic, exp_operands in expanded:
+                current.align(4)
+                pending_instrs.append(
+                    _PendingInstr(
+                        address=current.pc,
+                        section=current.name,
+                        offset=len(current.data),
+                        mnemonic=exp_mnemonic,
+                        operands=exp_operands,
+                        line=lineno,
+                    )
+                )
+                current.data.extend(b"\x00\x00\x00\x00")
+
+        # Pass 2: encode instructions and patch symbolic data.
+        for pending in pending_instrs:
+            instruction = self._build_instruction(pending, symbols)
+            try:
+                word = encode(instruction)
+            except EncodingError as error:
+                raise AssemblerError(str(error), pending.line) from error
+            sec = sections[pending.section]
+            sec.data[pending.offset:pending.offset + 4] = word.to_bytes(
+                4, "little"
+            )
+
+        for datum in pending_data:
+            value = self._eval(datum.expr, symbols, datum.line)
+            sec = sections[datum.section]
+            sec.data[datum.offset:datum.offset + datum.size] = (
+                value & ((1 << (8 * datum.size)) - 1)
+            ).to_bytes(datum.size, "little")
+
+        entry = symbols.get("_start", sections[".text"].base)
+        return Program(sections=sections, symbols=symbols, entry=entry)
+
+    # -- pass 1 helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _strip_comment(line: str) -> str:
+        out = []
+        in_string = False
+        for ch in line:
+            if ch == '"':
+                in_string = not in_string
+            if not in_string and ch in "#;":
+                break
+            out.append(ch)
+        return "".join(out)
+
+    def _directive(
+        self, line, lineno, current, section, symbols, pending_data
+    ) -> Section:
+        parts = line.split(None, 1)
+        name = parts[0]
+        rest = parts[1].strip() if len(parts) > 1 else ""
+
+        if name in (".text", ".data", ".rodata", ".bss"):
+            return section(name)
+        if name == ".section":
+            return section(rest.split(",")[0].strip())
+        if name in (".global", ".globl", ".option", ".file", ".size", ".type"):
+            return current
+        if name == ".align":
+            alignment = 1 << self._eval(rest, symbols, lineno)
+            current.align(alignment)
+            return current
+        if name == ".balign":
+            current.align(self._eval(rest, symbols, lineno))
+            return current
+        if name in (".equ", ".set"):
+            const_name, _, expr = rest.partition(",")
+            symbols[const_name.strip()] = self._eval(
+                expr.strip(), symbols, lineno
+            )
+            return current
+        if name == ".zero":
+            current.data.extend(b"\x00" * self._eval(rest, symbols, lineno))
+            return current
+        if name in (".byte", ".half", ".word", ".dword", ".quad"):
+            size = {".byte": 1, ".half": 2, ".word": 4,
+                    ".dword": 8, ".quad": 8}[name]
+            current.align(min(size, 8))
+            for item in self._split_commas(rest):
+                item = item.strip()
+                if self._is_literal(item, symbols):
+                    value = self._eval(item, symbols, lineno)
+                    current.data.extend(
+                        (value & ((1 << (8 * size)) - 1)).to_bytes(
+                            size, "little"
+                        )
+                    )
+                else:
+                    pending_data.append(
+                        _PendingData(
+                            section=current.name,
+                            offset=len(current.data),
+                            size=size,
+                            expr=item,
+                            line=lineno,
+                        )
+                    )
+                    current.data.extend(b"\x00" * size)
+            return current
+        if name in (".ascii", ".asciz", ".string"):
+            text = rest.strip()
+            if not (text.startswith('"') and text.endswith('"')):
+                raise AssemblerError(f"malformed string {rest!r}", lineno)
+            decoded = (
+                text[1:-1]
+                .encode()
+                .decode("unicode_escape")
+                .encode("latin-1")
+            )
+            current.data.extend(decoded)
+            if name in (".asciz", ".string"):
+                current.data.append(0)
+            return current
+        raise AssemblerError(f"unknown directive {name!r}", lineno)
+
+    @staticmethod
+    def _split_instruction(line: str) -> tuple[str, list[str]]:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        if len(parts) == 1:
+            return mnemonic, []
+        return mnemonic, Assembler._split_commas(parts[1])
+
+    @staticmethod
+    def _split_commas(text: str) -> list[str]:
+        return [piece.strip() for piece in text.split(",") if piece.strip()]
+
+    # -- expression evaluation ---------------------------------------------------
+
+    def _is_literal(self, expr: str, symbols: dict[str, int]) -> bool:
+        try:
+            self._eval(expr, symbols, 0, allow_undefined=False)
+            return True
+        except AssemblerError:
+            return False
+
+    def _eval(
+        self,
+        expr: str,
+        symbols: dict[str, int],
+        lineno: int,
+        allow_undefined: bool = False,
+    ) -> int:
+        """Evaluate ``literal``, ``symbol``, or ``symbol +/- literal``."""
+        expr = expr.strip()
+        if not expr:
+            raise AssemblerError("empty expression", lineno)
+        for op_pos in range(len(expr) - 1, 0, -1):
+            if expr[op_pos] in "+-" and expr[op_pos - 1] not in "+-eE(":
+                left = expr[:op_pos].strip()
+                right = expr[op_pos:].strip()
+                try:
+                    return self._eval(left, symbols, lineno) + int(right, 0)
+                except (ValueError, AssemblerError):
+                    continue
+        if len(expr) == 3 and expr[0] == "'" and expr[2] == "'":
+            return ord(expr[1])
+        try:
+            return int(expr, 0)
+        except ValueError:
+            pass
+        if expr in symbols:
+            return symbols[expr]
+        if allow_undefined:
+            return 0
+        raise AssemblerError(f"cannot evaluate expression {expr!r}", lineno)
+
+    # -- pseudo-instruction expansion -------------------------------------------
+
+    def _expand_pseudo(
+        self,
+        mnemonic: str,
+        ops: list[str],
+        lineno: int,
+        symbols: dict[str, int],
+    ) -> list[tuple[str, list[str]]]:
+        def expect(count: int) -> None:
+            if len(ops) != count:
+                raise AssemblerError(
+                    f"{mnemonic} expects {count} operands, got {len(ops)}",
+                    lineno,
+                )
+
+        if mnemonic == "nop":
+            return [("addi", ["zero", "zero", "0"])]
+        if mnemonic == "mv":
+            expect(2)
+            return [("addi", [ops[0], ops[1], "0"])]
+        if mnemonic == "not":
+            expect(2)
+            return [("xori", [ops[0], ops[1], "-1"])]
+        if mnemonic == "neg":
+            expect(2)
+            return [("sub", [ops[0], "zero", ops[1]])]
+        if mnemonic == "negw":
+            expect(2)
+            return [("subw", [ops[0], "zero", ops[1]])]
+        if mnemonic == "sext.w":
+            expect(2)
+            return [("addiw", [ops[0], ops[1], "0"])]
+        if mnemonic == "seqz":
+            expect(2)
+            return [("sltiu", [ops[0], ops[1], "1"])]
+        if mnemonic == "snez":
+            expect(2)
+            return [("sltu", [ops[0], "zero", ops[1]])]
+        if mnemonic == "sltz":
+            expect(2)
+            return [("slt", [ops[0], ops[1], "zero"])]
+        if mnemonic == "sgtz":
+            expect(2)
+            return [("slt", [ops[0], "zero", ops[1]])]
+        if mnemonic in ("beqz", "bnez", "bltz", "bgez"):
+            expect(2)
+            base = {"beqz": "beq", "bnez": "bne",
+                    "bltz": "blt", "bgez": "bge"}[mnemonic]
+            return [(base, [ops[0], "zero", ops[1]])]
+        if mnemonic == "blez":
+            expect(2)
+            return [("bge", ["zero", ops[0], ops[1]])]
+        if mnemonic == "bgtz":
+            expect(2)
+            return [("blt", ["zero", ops[0], ops[1]])]
+        if mnemonic in ("bgt", "ble", "bgtu", "bleu"):
+            expect(3)
+            base = {"bgt": "blt", "ble": "bge",
+                    "bgtu": "bltu", "bleu": "bgeu"}[mnemonic]
+            return [(base, [ops[1], ops[0], ops[2]])]
+        if mnemonic == "j":
+            expect(1)
+            return [("jal", ["zero", ops[0]])]
+        if mnemonic == "jal" and len(ops) == 1:
+            return [("jal", ["ra", ops[0]])]
+        if mnemonic == "call":
+            expect(1)
+            return [("jal", ["ra", ops[0]])]
+        if mnemonic == "tail":
+            expect(1)
+            return [("jal", ["zero", ops[0]])]
+        if mnemonic == "jr":
+            expect(1)
+            return [("jalr", ["zero", "0(" + ops[0] + ")"])]
+        if mnemonic == "jalr" and len(ops) == 1:
+            return [("jalr", ["ra", "0(" + ops[0] + ")"])]
+        if mnemonic == "ret":
+            expect(0)
+            return [("jalr", ["zero", "0(ra)"])]
+        if mnemonic == "csrr":
+            expect(2)
+            return [("csrrs", [ops[0], ops[1], "zero"])]
+        if mnemonic == "csrw":
+            expect(2)
+            return [("csrrw", ["zero", ops[0], ops[1]])]
+        if mnemonic == "csrs":
+            expect(2)
+            return [("csrrs", ["zero", ops[0], ops[1]])]
+        if mnemonic == "csrc":
+            expect(2)
+            return [("csrrc", ["zero", ops[0], ops[1]])]
+        if mnemonic == "csrwi":
+            expect(2)
+            return [("csrrwi", ["zero", ops[0], ops[1]])]
+        if mnemonic == "li":
+            expect(2)
+            value = self._eval(ops[1], symbols, lineno)
+            return self._expand_li(ops[0], value, lineno)
+        if mnemonic == "la":
+            expect(2)
+            # Fixed two-instruction form; the address is resolved in pass 2
+            # via %hi/%lo operand markers.
+            return [
+                ("lui", [ops[0], f"%hi({ops[1]})"]),
+                ("addi", [ops[0], ops[0], f"%lo({ops[1]})"]),
+            ]
+        return [(mnemonic, ops)]
+
+    def _expand_li(
+        self, rd: str, value: int, lineno: int
+    ) -> list[tuple[str, list[str]]]:
+        """Materialize an arbitrary 64-bit constant."""
+        if not -(1 << 63) <= value < (1 << 64):
+            raise AssemblerError(f"li constant out of range: {value:#x}", lineno)
+        value = sign_extend(value, 64)
+        if -2048 <= value <= 2047:
+            return [("addi", [rd, "zero", str(value)])]
+        if -(1 << 31) <= value < (1 << 31):
+            hi = (value + 0x800) >> 12
+            lo = value - (hi << 12)
+            out: list[tuple[str, list[str]]] = []
+            if hi:
+                out.append(("lui", [rd, f"%hi({value})"]))
+                if lo:
+                    out.append(("addiw", [rd, rd, str(lo)]))
+            else:
+                out.append(("addi", [rd, "zero", str(lo)]))
+            return out
+        # 64-bit constant: materialize the top 32 bits, then append the low
+        # 32 bits in 11/11/10-bit chunks (each fits a signed 12-bit addi).
+        upper = value >> 32
+        lower = value & 0xFFFFFFFF
+        out = self._expand_li(rd, sign_extend(upper, 32), lineno)
+        out.append(("slli", [rd, rd, "11"]))
+        out.append(("addi", [rd, rd, str((lower >> 21) & 0x7FF)]))
+        out.append(("slli", [rd, rd, "11"]))
+        out.append(("addi", [rd, rd, str((lower >> 10) & 0x7FF)]))
+        out.append(("slli", [rd, rd, "10"]))
+        out.append(("addi", [rd, rd, str(lower & 0x3FF)]))
+        return out
+
+    # -- pass 2: operand resolution ------------------------------------------
+
+    def _build_instruction(
+        self, pending: _PendingInstr, symbols: dict[str, int]
+    ) -> Instruction:
+        m = pending.mnemonic
+        ops = pending.operands
+        lineno = pending.line
+
+        def reg(op: str) -> int:
+            name = op.strip().lower()
+            if name not in REGISTER_ALIASES:
+                raise AssemblerError(f"unknown register {op!r}", lineno)
+            return REGISTER_ALIASES[name]
+
+        def imm(op: str) -> int:
+            op = op.strip()
+            if op.startswith("%hi(") and op.endswith(")"):
+                address = self._eval(op[4:-1], symbols, lineno)
+                return sign_extend(((address + 0x800) >> 12) << 12, 32)
+            if op.startswith("%lo(") and op.endswith(")"):
+                address = self._eval(op[4:-1], symbols, lineno)
+                hi = (address + 0x800) >> 12
+                return address - (hi << 12)
+            return self._eval(op, symbols, lineno)
+
+        def expect(count: int) -> None:
+            if len(ops) != count:
+                raise AssemblerError(
+                    f"{m} expects {count} operands, got {len(ops)}", lineno
+                )
+
+        crypto = parse_crypto_mnemonic(m)
+        if crypto is not None:
+            is_encrypt, ksel = crypto
+            expect(3 if is_encrypt else 4)
+            if is_encrypt:
+                match = _CRYPTO_ENC_RE.match(ops[1])
+                if not match:
+                    raise AssemblerError(
+                        f"{m}: second operand must be rs[e:s], got {ops[1]!r}",
+                        lineno,
+                    )
+                byte_range = ByteRange(int(match["e"]), int(match["s"]))
+                return Instruction(
+                    m, InstrFormat.CRYPTO,
+                    rd=reg(ops[0]), rs1=reg(match["rs"]), rs2=reg(ops[2]),
+                    ksel=ksel, byte_range=byte_range,
+                )
+            byte_range = ByteRange.parse(ops[3])
+            return Instruction(
+                m, InstrFormat.CRYPTO,
+                rd=reg(ops[0]), rs1=reg(ops[1]), rs2=reg(ops[2]),
+                ksel=ksel, byte_range=byte_range,
+            )
+
+        if m in tab.R_TYPE or m in tab.R_TYPE_32:
+            expect(3)
+            return Instruction(
+                m, InstrFormat.R, rd=reg(ops[0]), rs1=reg(ops[1]),
+                rs2=reg(ops[2]),
+            )
+        if (
+            m in tab.I_TYPE_ALU
+            or m in tab.I_TYPE_SHIFT
+            or m in tab.I_TYPE_ALU_32
+            or m in tab.I_TYPE_SHIFT_32
+        ):
+            expect(3)
+            return Instruction(
+                m, InstrFormat.I, rd=reg(ops[0]), rs1=reg(ops[1]),
+                imm=imm(ops[2]),
+            )
+        if m in tab.LOADS:
+            expect(2)
+            offset, base = self._memory_operand(ops[1], lineno)
+            return Instruction(
+                m, InstrFormat.I, rd=reg(ops[0]), rs1=reg(base),
+                imm=imm(offset),
+            )
+        if m in tab.STORES:
+            expect(2)
+            offset, base = self._memory_operand(ops[1], lineno)
+            return Instruction(
+                m, InstrFormat.S, rs2=reg(ops[0]), rs1=reg(base),
+                imm=imm(offset),
+            )
+        if m in tab.BRANCHES:
+            expect(3)
+            target = self._eval(ops[2], symbols, lineno)
+            return Instruction(
+                m, InstrFormat.B, rs1=reg(ops[0]), rs2=reg(ops[1]),
+                imm=target - pending.address,
+            )
+        if m in ("lui", "auipc"):
+            expect(2)
+            value = imm(ops[1])
+            if -(1 << 19) <= value < (1 << 19) and not (
+                ops[1].startswith("%hi")
+            ):
+                # Accept both raw 20-bit immediates and full byte addresses.
+                value = sign_extend((value << 12) & 0xFFFFFFFF, 32)
+            return Instruction(m, InstrFormat.U, rd=reg(ops[0]), imm=value)
+        if m == "jal":
+            expect(2)
+            target = self._eval(ops[1], symbols, lineno)
+            return Instruction(
+                m, InstrFormat.J, rd=reg(ops[0]),
+                imm=target - pending.address,
+            )
+        if m == "jalr":
+            expect(2)
+            offset, base = self._memory_operand(ops[1], lineno)
+            return Instruction(
+                m, InstrFormat.I, rd=reg(ops[0]), rs1=reg(base),
+                imm=imm(offset),
+            )
+        if m == "fence":
+            return Instruction(m, InstrFormat.I)
+        if m in tab.CSR_OPS:
+            expect(3)
+            csr = self._csr_number(ops[1], lineno)
+            if m.endswith("i"):
+                uimm = imm(ops[2])
+                if not 0 <= uimm <= 31:
+                    raise AssemblerError(
+                        f"CSR immediate out of range: {uimm}", lineno
+                    )
+                return Instruction(
+                    m, InstrFormat.CSRI, rd=reg(ops[0]), rs1=uimm, csr=csr
+                )
+            return Instruction(
+                m, InstrFormat.CSR, rd=reg(ops[0]), rs1=reg(ops[2]), csr=csr
+            )
+        if m in tab.SYSTEM_OPS:
+            expect(0)
+            return Instruction(m, InstrFormat.SYSTEM)
+
+        raise AssemblerError(f"unknown mnemonic {m!r}", lineno)
+
+    @staticmethod
+    def _memory_operand(op: str, lineno: int) -> tuple[str, str]:
+        match = _MEM_RE.match(op.strip())
+        if not match:
+            raise AssemblerError(
+                f"malformed memory operand {op!r} (expected off(reg))", lineno
+            )
+        offset = match["off"].strip() or "0"
+        return offset, match["base"]
+
+    def _csr_number(self, op: str, lineno: int) -> int:
+        name = op.strip().lower()
+        if name in CSR_NAMES:
+            return CSR_NAMES[name]
+        try:
+            return int(name, 0)
+        except ValueError:
+            raise AssemblerError(f"unknown CSR {op!r}", lineno) from None
+
+
+def assemble(source: str, bases: dict[str, int] | None = None) -> Program:
+    """Assemble ``source`` and return the :class:`Program`."""
+    return Assembler(bases).assemble(source)

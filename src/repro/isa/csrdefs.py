@@ -1,0 +1,93 @@
+"""CSR address assignments (standard RISC-V + RegVault key registers).
+
+The RegVault key registers live in the custom supervisor read/write CSR
+range (0x5C0+).  Each 128-bit key register occupies two CSR addresses
+(low and high 64-bit halves).  The master key ``m`` is deliberately NOT
+addressable: the paper forbids the kernel from reading or writing it —
+it can only be *used* through ``cremk``/``crdmk`` instructions.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import KeySelect
+
+# -- standard machine-mode CSRs -------------------------------------------
+MSTATUS = 0x300
+MISA = 0x301
+MEDELEG = 0x302
+MIDELEG = 0x303
+MIE = 0x304
+MTVEC = 0x305
+MSCRATCH = 0x340
+MEPC = 0x341
+MCAUSE = 0x342
+MTVAL = 0x343
+MIP = 0x344
+MHARTID = 0xF14
+MCYCLE = 0xB00
+MINSTRET = 0xB02
+
+# -- standard supervisor-mode CSRs ------------------------------------------
+SSTATUS = 0x100
+SIE = 0x104
+STVEC = 0x105
+SSCRATCH = 0x140
+SEPC = 0x141
+SCAUSE = 0x142
+STVAL = 0x143
+SIP = 0x144
+SATP = 0x180
+
+# -- user counters -----------------------------------------------------------
+CYCLE = 0xC00
+TIME = 0xC01
+INSTRET = 0xC02
+
+# -- RegVault key registers (custom S-mode range, write-only) ---------------
+KEY_CSR_BASE = 0x5C0
+
+#: (ksel, half) -> csr address; half 0 = low 64 bits, 1 = high 64 bits.
+KEY_CSRS: dict[tuple[KeySelect, int], int] = {}
+#: csr address -> (ksel, half)
+KEY_CSR_LOOKUP: dict[int, tuple[KeySelect, int]] = {}
+for _ksel in KeySelect:
+    if _ksel is KeySelect.M:
+        continue  # master key is not CSR-addressable
+    for _half in (0, 1):
+        _addr = KEY_CSR_BASE + int(_ksel) * 2 + _half
+        KEY_CSRS[(_ksel, _half)] = _addr
+        KEY_CSR_LOOKUP[_addr] = (_ksel, _half)
+
+#: Assembly-visible CSR names.
+CSR_NAMES: dict[str, int] = {
+    "mstatus": MSTATUS,
+    "misa": MISA,
+    "medeleg": MEDELEG,
+    "mideleg": MIDELEG,
+    "mie": MIE,
+    "mtvec": MTVEC,
+    "mscratch": MSCRATCH,
+    "mepc": MEPC,
+    "mcause": MCAUSE,
+    "mtval": MTVAL,
+    "mip": MIP,
+    "mhartid": MHARTID,
+    "mcycle": MCYCLE,
+    "minstret": MINSTRET,
+    "sstatus": SSTATUS,
+    "sie": SIE,
+    "stvec": STVEC,
+    "sscratch": SSCRATCH,
+    "sepc": SEPC,
+    "scause": SCAUSE,
+    "stval": STVAL,
+    "sip": SIP,
+    "satp": SATP,
+    "cycle": CYCLE,
+    "time": TIME,
+    "instret": INSTRET,
+}
+for (_ksel, _half), _addr in KEY_CSRS.items():
+    CSR_NAMES[f"kreg{_ksel.letter}_{'hi' if _half else 'lo'}"] = _addr
+
+CSR_NUM_TO_NAME = {num: name for name, num in CSR_NAMES.items()}

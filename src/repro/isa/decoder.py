@@ -1,0 +1,186 @@
+"""32-bit word -> Instruction decoder."""
+
+from __future__ import annotations
+
+from repro.crypto.keys import KeySelect
+from repro.crypto.primitives import ByteRange
+from repro.errors import DecodeError
+from repro.isa import instructions as tab
+from repro.isa.instructions import Instruction, InstrFormat
+from repro.utils.bits import bits, sign_extend
+
+# Reverse lookup tables built once at import time.
+_R_BY_FUNCT = {v: k for k, v in tab.R_TYPE.items()}
+_R32_BY_FUNCT = {v: k for k, v in tab.R_TYPE_32.items()}
+_I_ALU_BY_F3 = {v: k for k, v in tab.I_TYPE_ALU.items()}
+_SHIFT_BY_F3 = {f3: m for m, (_, f3) in tab.I_TYPE_SHIFT.items()}
+_SHIFT32_BY = {(f7, f3): m for m, (f7, f3) in tab.I_TYPE_SHIFT_32.items()}
+_LOAD_BY_F3 = {v: k for k, v in tab.LOADS.items()}
+_STORE_BY_F3 = {v: k for k, v in tab.STORES.items()}
+_BRANCH_BY_F3 = {v: k for k, v in tab.BRANCHES.items()}
+_CSR_BY_F3 = {v: k for k, v in tab.CSR_OPS.items()}
+_SYSTEM_BY_WORD = {v: k for k, v in tab.SYSTEM_OPS.items()}
+
+
+def _fields(word: int) -> tuple[int, int, int, int, int]:
+    return (
+        bits(word, 11, 7),    # rd
+        bits(word, 19, 15),   # rs1
+        bits(word, 24, 20),   # rs2
+        bits(word, 14, 12),   # funct3
+        bits(word, 31, 25),   # funct7
+    )
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit instruction word.
+
+    Raises :class:`DecodeError` for unrecognized encodings — the hart
+    converts this into an illegal-instruction trap.
+    """
+    if not 0 <= word < (1 << 32):
+        raise DecodeError(f"instruction word out of range: {word:#x}")
+    opcode = word & 0x7F
+    rd, rs1, rs2, funct3, funct7 = _fields(word)
+
+    if opcode == tab.OPCODE_OP:
+        mnemonic = _R_BY_FUNCT.get((funct7, funct3))
+        if mnemonic is None:
+            raise DecodeError(f"unknown OP encoding {word:#010x}")
+        return Instruction(mnemonic, InstrFormat.R, rd=rd, rs1=rs1, rs2=rs2)
+
+    if opcode == tab.OPCODE_OP_32:
+        mnemonic = _R32_BY_FUNCT.get((funct7, funct3))
+        if mnemonic is None:
+            raise DecodeError(f"unknown OP-32 encoding {word:#010x}")
+        return Instruction(mnemonic, InstrFormat.R, rd=rd, rs1=rs1, rs2=rs2)
+
+    if opcode == tab.OPCODE_OP_IMM:
+        if funct3 in _SHIFT_BY_F3 and funct3 != 0b000:
+            funct6 = bits(word, 31, 26)
+            shamt = bits(word, 25, 20)
+            if funct3 == 0b001:
+                mnemonic = "slli"
+                if funct6 != 0:
+                    raise DecodeError(f"bad slli encoding {word:#010x}")
+            else:
+                if funct6 == 0b000000:
+                    mnemonic = "srli"
+                elif funct6 == 0b010000:
+                    mnemonic = "srai"
+                else:
+                    raise DecodeError(f"bad shift encoding {word:#010x}")
+            return Instruction(mnemonic, InstrFormat.I, rd=rd, rs1=rs1, imm=shamt)
+        mnemonic = _I_ALU_BY_F3.get(funct3)
+        if mnemonic is None:
+            raise DecodeError(f"unknown OP-IMM encoding {word:#010x}")
+        return Instruction(
+            mnemonic, InstrFormat.I, rd=rd, rs1=rs1,
+            imm=sign_extend(bits(word, 31, 20), 12),
+        )
+
+    if opcode == tab.OPCODE_OP_IMM_32:
+        if funct3 == 0b000:
+            return Instruction(
+                "addiw", InstrFormat.I, rd=rd, rs1=rs1,
+                imm=sign_extend(bits(word, 31, 20), 12),
+            )
+        shamt = bits(word, 24, 20)
+        mnemonic = _SHIFT32_BY.get((funct7, funct3))
+        if mnemonic is None:
+            raise DecodeError(f"unknown OP-IMM-32 encoding {word:#010x}")
+        return Instruction(mnemonic, InstrFormat.I, rd=rd, rs1=rs1, imm=shamt)
+
+    if opcode == tab.OPCODE_LOAD:
+        mnemonic = _LOAD_BY_F3.get(funct3)
+        if mnemonic is None:
+            raise DecodeError(f"unknown LOAD encoding {word:#010x}")
+        return Instruction(
+            mnemonic, InstrFormat.I, rd=rd, rs1=rs1,
+            imm=sign_extend(bits(word, 31, 20), 12),
+        )
+
+    if opcode == tab.OPCODE_STORE:
+        mnemonic = _STORE_BY_F3.get(funct3)
+        if mnemonic is None:
+            raise DecodeError(f"unknown STORE encoding {word:#010x}")
+        imm = (bits(word, 31, 25) << 5) | bits(word, 11, 7)
+        return Instruction(
+            mnemonic, InstrFormat.S, rs1=rs1, rs2=rs2,
+            imm=sign_extend(imm, 12),
+        )
+
+    if opcode == tab.OPCODE_BRANCH:
+        mnemonic = _BRANCH_BY_F3.get(funct3)
+        if mnemonic is None:
+            raise DecodeError(f"unknown BRANCH encoding {word:#010x}")
+        imm = (
+            (bits(word, 31, 31) << 12)
+            | (bits(word, 7, 7) << 11)
+            | (bits(word, 30, 25) << 5)
+            | (bits(word, 11, 8) << 1)
+        )
+        return Instruction(
+            mnemonic, InstrFormat.B, rs1=rs1, rs2=rs2,
+            imm=sign_extend(imm, 13),
+        )
+
+    if opcode == tab.OPCODE_LUI:
+        return Instruction(
+            "lui", InstrFormat.U, rd=rd, imm=sign_extend(word & 0xFFFFF000, 32)
+        )
+
+    if opcode == tab.OPCODE_AUIPC:
+        return Instruction(
+            "auipc", InstrFormat.U, rd=rd, imm=sign_extend(word & 0xFFFFF000, 32)
+        )
+
+    if opcode == tab.OPCODE_JAL:
+        imm = (
+            (bits(word, 31, 31) << 20)
+            | (bits(word, 19, 12) << 12)
+            | (bits(word, 20, 20) << 11)
+            | (bits(word, 30, 21) << 1)
+        )
+        return Instruction("jal", InstrFormat.J, rd=rd, imm=sign_extend(imm, 21))
+
+    if opcode == tab.OPCODE_JALR:
+        if funct3 != 0:
+            raise DecodeError(f"bad jalr encoding {word:#010x}")
+        return Instruction(
+            "jalr", InstrFormat.I, rd=rd, rs1=rs1,
+            imm=sign_extend(bits(word, 31, 20), 12),
+        )
+
+    if opcode == tab.OPCODE_MISC_MEM:
+        return Instruction("fence", InstrFormat.I, rd=rd, rs1=rs1)
+
+    if opcode == tab.OPCODE_SYSTEM:
+        if word in _SYSTEM_BY_WORD:
+            return Instruction(_SYSTEM_BY_WORD[word], InstrFormat.SYSTEM)
+        mnemonic = _CSR_BY_F3.get(funct3)
+        if mnemonic is None:
+            raise DecodeError(f"unknown SYSTEM encoding {word:#010x}")
+        fmt = InstrFormat.CSRI if mnemonic.endswith("i") else InstrFormat.CSR
+        return Instruction(
+            mnemonic, fmt, rd=rd, rs1=rs1, csr=bits(word, 31, 20)
+        )
+
+    if opcode in (tab.OPCODE_CRE, tab.OPCODE_CRD):
+        is_encrypt = opcode == tab.OPCODE_CRE
+        if funct7 & 0b1000000:
+            raise DecodeError(f"reserved RegVault encoding {word:#010x}")
+        end, start = (funct7 >> 3) & 0b111, funct7 & 0b111
+        if start > end:
+            raise DecodeError(
+                f"invalid RegVault byte range [{end}:{start}] in {word:#010x}"
+            )
+        ksel = KeySelect(funct3)
+        return Instruction(
+            tab.crypto_mnemonic(is_encrypt, ksel),
+            InstrFormat.CRYPTO,
+            rd=rd, rs1=rs1, rs2=rs2,
+            ksel=ksel, byte_range=ByteRange(end, start),
+        )
+
+    raise DecodeError(f"unknown opcode {opcode:#04x} in word {word:#010x}")

@@ -1,0 +1,60 @@
+"""Instruction -> canonical assembly text."""
+
+from __future__ import annotations
+
+from repro.isa import instructions as tab
+from repro.isa.instructions import ABI_NAMES, Instruction, InstrFormat
+
+
+def _reg(num: int) -> str:
+    return ABI_NAMES[num]
+
+
+def disassemble(ins: Instruction) -> str:
+    """Render an instruction in the same syntax the assembler accepts.
+
+    Branch/jump targets are shown as relative offsets (``. + imm``) since
+    a lone instruction has no label context.
+    """
+    m = ins.mnemonic
+
+    if ins.fmt is InstrFormat.CRYPTO:
+        if m.startswith("cre"):
+            return (
+                f"{m} {_reg(ins.rd)}, {_reg(ins.rs1)}{ins.byte_range}, "
+                f"{_reg(ins.rs2)}"
+            )
+        return (
+            f"{m} {_reg(ins.rd)}, {_reg(ins.rs1)}, {_reg(ins.rs2)}, "
+            f"{ins.byte_range}"
+        )
+
+    if m in tab.R_TYPE or m in tab.R_TYPE_32:
+        return f"{m} {_reg(ins.rd)}, {_reg(ins.rs1)}, {_reg(ins.rs2)}"
+    if (
+        m in tab.I_TYPE_ALU
+        or m in tab.I_TYPE_SHIFT
+        or m in tab.I_TYPE_ALU_32
+        or m in tab.I_TYPE_SHIFT_32
+    ):
+        return f"{m} {_reg(ins.rd)}, {_reg(ins.rs1)}, {ins.imm}"
+    if m in tab.LOADS:
+        return f"{m} {_reg(ins.rd)}, {ins.imm}({_reg(ins.rs1)})"
+    if m in tab.STORES:
+        return f"{m} {_reg(ins.rs2)}, {ins.imm}({_reg(ins.rs1)})"
+    if m in tab.BRANCHES:
+        return f"{m} {_reg(ins.rs1)}, {_reg(ins.rs2)}, . + {ins.imm}"
+    if m in ("lui", "auipc"):
+        return f"{m} {_reg(ins.rd)}, {(ins.imm >> 12) & 0xFFFFF:#x}"
+    if m == "jal":
+        return f"jal {_reg(ins.rd)}, . + {ins.imm}"
+    if m == "jalr":
+        return f"jalr {_reg(ins.rd)}, {ins.imm}({_reg(ins.rs1)})"
+    if m == "fence":
+        return "fence"
+    if m in tab.CSR_OPS:
+        operand = ins.rs1 if ins.fmt is InstrFormat.CSRI else _reg(ins.rs1)
+        return f"{m} {_reg(ins.rd)}, {ins.csr:#x}, {operand}"
+    if m in tab.SYSTEM_OPS:
+        return m
+    return f"<unknown {m}>"

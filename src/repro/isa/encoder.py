@@ -1,0 +1,174 @@
+"""Instruction -> 32-bit word encoder."""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa import instructions as tab
+from repro.isa.instructions import Instruction, InstrFormat
+from repro.utils.bits import mask
+
+
+def _check_reg(value: int, what: str) -> int:
+    if not 0 <= value <= 31:
+        raise EncodingError(f"{what} out of range: {value}")
+    return value
+
+
+def _check_imm(value: int, bits: int, what: str) -> int:
+    low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not low <= value <= high:
+        raise EncodingError(
+            f"{what} {value} does not fit in {bits}-bit signed immediate"
+        )
+    return value & mask(bits)
+
+
+def _encode_r(opcode: int, funct3: int, funct7: int, ins: Instruction) -> int:
+    return (
+        (funct7 << 25)
+        | (_check_reg(ins.rs2, "rs2") << 20)
+        | (_check_reg(ins.rs1, "rs1") << 15)
+        | (funct3 << 12)
+        | (_check_reg(ins.rd, "rd") << 7)
+        | opcode
+    )
+
+
+def _encode_i(opcode: int, funct3: int, ins: Instruction) -> int:
+    imm = _check_imm(ins.imm, 12, "immediate")
+    return (
+        (imm << 20)
+        | (_check_reg(ins.rs1, "rs1") << 15)
+        | (funct3 << 12)
+        | (_check_reg(ins.rd, "rd") << 7)
+        | opcode
+    )
+
+
+def _encode_s(opcode: int, funct3: int, ins: Instruction) -> int:
+    imm = _check_imm(ins.imm, 12, "store offset")
+    return (
+        ((imm >> 5) << 25)
+        | (_check_reg(ins.rs2, "rs2") << 20)
+        | (_check_reg(ins.rs1, "rs1") << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+    )
+
+
+def _encode_b(opcode: int, funct3: int, ins: Instruction) -> int:
+    if ins.imm % 2:
+        raise EncodingError(f"branch offset must be even, got {ins.imm}")
+    imm = _check_imm(ins.imm, 13, "branch offset")
+    return (
+        (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (_check_reg(ins.rs2, "rs2") << 20)
+        | (_check_reg(ins.rs1, "rs1") << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | opcode
+    )
+
+
+def _encode_u(opcode: int, ins: Instruction) -> int:
+    imm = ins.imm
+    if not -(1 << 31) <= imm < (1 << 32):
+        raise EncodingError(f"U-type immediate out of range: {imm:#x}")
+    if imm & 0xFFF:
+        raise EncodingError("U-type immediate must be 4KiB aligned")
+    return ((imm & 0xFFFFF000) & 0xFFFFFFFF) | (_check_reg(ins.rd, "rd") << 7) | opcode
+
+
+def _encode_j(opcode: int, ins: Instruction) -> int:
+    if ins.imm % 2:
+        raise EncodingError(f"jump offset must be even, got {ins.imm}")
+    imm = _check_imm(ins.imm, 21, "jump offset")
+    return (
+        (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (_check_reg(ins.rd, "rd") << 7)
+        | opcode
+    )
+
+
+def _encode_crypto(ins: Instruction) -> int:
+    """RegVault encoding: funct7[5:0] = (end << 3) | start, funct3 = ksel."""
+    opcode = tab.OPCODE_CRE if ins.mnemonic.startswith("cre") else tab.OPCODE_CRD
+    funct7 = (ins.byte_range.end << 3) | ins.byte_range.start
+    return _encode_r(opcode, int(ins.ksel), funct7, ins)
+
+
+def encode(ins: Instruction) -> int:
+    """Encode an :class:`Instruction` into its 32-bit machine word."""
+    m = ins.mnemonic
+
+    if m in tab.R_TYPE:
+        funct7, funct3 = tab.R_TYPE[m]
+        return _encode_r(tab.OPCODE_OP, funct3, funct7, ins)
+    if m in tab.R_TYPE_32:
+        funct7, funct3 = tab.R_TYPE_32[m]
+        return _encode_r(tab.OPCODE_OP_32, funct3, funct7, ins)
+    if m in tab.I_TYPE_ALU:
+        return _encode_i(tab.OPCODE_OP_IMM, tab.I_TYPE_ALU[m], ins)
+    if m in tab.I_TYPE_SHIFT:
+        funct6, funct3 = tab.I_TYPE_SHIFT[m]
+        if not 0 <= ins.imm <= 63:
+            raise EncodingError(f"shift amount out of range: {ins.imm}")
+        return (
+            (((funct6 << 6) | ins.imm) << 20)
+            | (_check_reg(ins.rs1, "rs1") << 15)
+            | (funct3 << 12)
+            | (_check_reg(ins.rd, "rd") << 7)
+            | tab.OPCODE_OP_IMM
+        )
+    if m in tab.I_TYPE_ALU_32:
+        return _encode_i(tab.OPCODE_OP_IMM_32, tab.I_TYPE_ALU_32[m], ins)
+    if m in tab.I_TYPE_SHIFT_32:
+        funct7, funct3 = tab.I_TYPE_SHIFT_32[m]
+        if not 0 <= ins.imm <= 31:
+            raise EncodingError(f"shift amount out of range: {ins.imm}")
+        return (
+            ((funct7 << 5 | ins.imm) << 20)
+            | (_check_reg(ins.rs1, "rs1") << 15)
+            | (funct3 << 12)
+            | (_check_reg(ins.rd, "rd") << 7)
+            | tab.OPCODE_OP_IMM_32
+        )
+    if m in tab.LOADS:
+        return _encode_i(tab.OPCODE_LOAD, tab.LOADS[m], ins)
+    if m in tab.STORES:
+        return _encode_s(tab.OPCODE_STORE, tab.STORES[m], ins)
+    if m in tab.BRANCHES:
+        return _encode_b(tab.OPCODE_BRANCH, tab.BRANCHES[m], ins)
+    if m == "lui":
+        return _encode_u(tab.OPCODE_LUI, ins)
+    if m == "auipc":
+        return _encode_u(tab.OPCODE_AUIPC, ins)
+    if m == "jal":
+        return _encode_j(tab.OPCODE_JAL, ins)
+    if m == "jalr":
+        return _encode_i(tab.OPCODE_JALR, 0b000, ins)
+    if m == "fence":
+        return _encode_i(tab.OPCODE_MISC_MEM, 0b000, ins)
+    if m in tab.CSR_OPS:
+        funct3 = tab.CSR_OPS[m]
+        if not 0 <= ins.csr <= 0xFFF:
+            raise EncodingError(f"CSR number out of range: {ins.csr:#x}")
+        return (
+            (ins.csr << 20)
+            | (_check_reg(ins.rs1, "rs1/uimm") << 15)
+            | (funct3 << 12)
+            | (_check_reg(ins.rd, "rd") << 7)
+            | tab.OPCODE_SYSTEM
+        )
+    if m in tab.SYSTEM_OPS:
+        return tab.SYSTEM_OPS[m]
+    if ins.fmt is InstrFormat.CRYPTO:
+        return _encode_crypto(ins)
+
+    raise EncodingError(f"cannot encode mnemonic {m!r}")

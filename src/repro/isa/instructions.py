@@ -1,0 +1,222 @@
+"""Decoded instruction representation and instruction tables.
+
+Each machine instruction is represented by an :class:`Instruction` with a
+mnemonic and the operand fields relevant to its format.  The same object
+is produced by the decoder and consumed by the encoder, the assembler,
+the disassembler and the hart's execute stage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeySelect
+from repro.crypto.primitives import ByteRange
+
+
+class InstrFormat(enum.Enum):
+    """RISC-V base encoding formats, plus the RegVault crypto format."""
+
+    R = "R"
+    I = "I"  # noqa: E741 - canonical RISC-V format name
+    S = "S"
+    B = "B"
+    U = "U"
+    J = "J"
+    CSR = "CSR"
+    CSRI = "CSRI"
+    SYSTEM = "SYSTEM"
+    CRYPTO = "CRYPTO"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded (or to-be-encoded) instruction.
+
+    Fields not used by the instruction's format are left at defaults.
+    ``imm`` is always the *sign-extended* immediate value.
+    """
+
+    mnemonic: str
+    fmt: InstrFormat
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    csr: int = 0
+    ksel: KeySelect = KeySelect.A
+    byte_range: ByteRange = ByteRange(0, 0)
+
+    def __str__(self) -> str:
+        from repro.isa.disassembler import disassemble
+
+        return disassemble(self)
+
+
+#: ABI register names, indexed by register number.
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+#: Accepted register spellings -> register number.
+REGISTER_ALIASES: dict[str, int] = {}
+for _num, _name in enumerate(ABI_NAMES):
+    REGISTER_ALIASES[_name] = _num
+    REGISTER_ALIASES[f"x{_num}"] = _num
+REGISTER_ALIASES["fp"] = 8  # frame pointer is s0
+
+# ---------------------------------------------------------------------------
+# Instruction tables: mnemonic -> (format, opcode, funct3, funct7/funct6/...)
+# ---------------------------------------------------------------------------
+
+OPCODE_LUI = 0b0110111
+OPCODE_AUIPC = 0b0010111
+OPCODE_JAL = 0b1101111
+OPCODE_JALR = 0b1100111
+OPCODE_BRANCH = 0b1100011
+OPCODE_LOAD = 0b0000011
+OPCODE_STORE = 0b0100011
+OPCODE_OP_IMM = 0b0010011
+OPCODE_OP_IMM_32 = 0b0011011
+OPCODE_OP = 0b0110011
+OPCODE_OP_32 = 0b0111011
+OPCODE_MISC_MEM = 0b0001111
+OPCODE_SYSTEM = 0b1110011
+#: RegVault extension opcodes (RISC-V custom-0 / custom-1).
+OPCODE_CRE = 0b0001011  # custom-0
+OPCODE_CRD = 0b0101011  # custom-1
+
+#: R-type: mnemonic -> (funct7, funct3)
+R_TYPE = {
+    "add": (0b0000000, 0b000),
+    "sub": (0b0100000, 0b000),
+    "sll": (0b0000000, 0b001),
+    "slt": (0b0000000, 0b010),
+    "sltu": (0b0000000, 0b011),
+    "xor": (0b0000000, 0b100),
+    "srl": (0b0000000, 0b101),
+    "sra": (0b0100000, 0b101),
+    "or": (0b0000000, 0b110),
+    "and": (0b0000000, 0b111),
+    "mul": (0b0000001, 0b000),
+    "mulh": (0b0000001, 0b001),
+    "mulhsu": (0b0000001, 0b010),
+    "mulhu": (0b0000001, 0b011),
+    "div": (0b0000001, 0b100),
+    "divu": (0b0000001, 0b101),
+    "rem": (0b0000001, 0b110),
+    "remu": (0b0000001, 0b111),
+}
+
+#: R-type on the 32-bit ("W") opcode.
+R_TYPE_32 = {
+    "addw": (0b0000000, 0b000),
+    "subw": (0b0100000, 0b000),
+    "sllw": (0b0000000, 0b001),
+    "srlw": (0b0000000, 0b101),
+    "sraw": (0b0100000, 0b101),
+    "mulw": (0b0000001, 0b000),
+    "divw": (0b0000001, 0b100),
+    "divuw": (0b0000001, 0b101),
+    "remw": (0b0000001, 0b110),
+    "remuw": (0b0000001, 0b111),
+}
+
+#: I-type ALU ops: mnemonic -> funct3
+I_TYPE_ALU = {
+    "addi": 0b000,
+    "slti": 0b010,
+    "sltiu": 0b011,
+    "xori": 0b100,
+    "ori": 0b110,
+    "andi": 0b111,
+}
+
+#: Shift-immediate ops (RV64: 6-bit shamt): mnemonic -> (funct6, funct3)
+I_TYPE_SHIFT = {
+    "slli": (0b000000, 0b001),
+    "srli": (0b000000, 0b101),
+    "srai": (0b010000, 0b101),
+}
+
+#: 32-bit immediate ALU / shifts.
+I_TYPE_ALU_32 = {"addiw": 0b000}
+I_TYPE_SHIFT_32 = {
+    "slliw": (0b0000000, 0b001),
+    "srliw": (0b0000000, 0b101),
+    "sraiw": (0b0100000, 0b101),
+}
+
+#: Loads: mnemonic -> funct3
+LOADS = {
+    "lb": 0b000,
+    "lh": 0b001,
+    "lw": 0b010,
+    "ld": 0b011,
+    "lbu": 0b100,
+    "lhu": 0b101,
+    "lwu": 0b110,
+}
+
+#: Stores: mnemonic -> funct3
+STORES = {
+    "sb": 0b000,
+    "sh": 0b001,
+    "sw": 0b010,
+    "sd": 0b011,
+}
+
+#: Branches: mnemonic -> funct3
+BRANCHES = {
+    "beq": 0b000,
+    "bne": 0b001,
+    "blt": 0b100,
+    "bge": 0b101,
+    "bltu": 0b110,
+    "bgeu": 0b111,
+}
+
+#: CSR ops: mnemonic -> funct3
+CSR_OPS = {
+    "csrrw": 0b001,
+    "csrrs": 0b010,
+    "csrrc": 0b011,
+    "csrrwi": 0b101,
+    "csrrsi": 0b110,
+    "csrrci": 0b111,
+}
+
+#: SYSTEM instructions with fixed 32-bit encodings.
+SYSTEM_OPS = {
+    "ecall": 0x00000073,
+    "ebreak": 0x00100073,
+    "sret": 0x10200073,
+    "mret": 0x30200073,
+    "wfi": 0x10500073,
+}
+
+#: Sizes in bytes accessed by each load/store mnemonic.
+ACCESS_SIZE = {
+    "lb": 1, "lbu": 1, "sb": 1,
+    "lh": 2, "lhu": 2, "sh": 2,
+    "lw": 4, "lwu": 4, "sw": 4,
+    "ld": 8, "sd": 8,
+}
+
+
+def crypto_mnemonic(is_encrypt: bool, ksel: KeySelect) -> str:
+    """Build the assembly mnemonic, e.g. ``creak`` or ``crdmk``."""
+    return f"{'cre' if is_encrypt else 'crd'}{ksel.letter}k"
+
+
+def parse_crypto_mnemonic(mnemonic: str) -> tuple[bool, KeySelect] | None:
+    """Recognize ``cre[x]k``/``crd[x]k``; return (is_encrypt, ksel) or None."""
+    if len(mnemonic) == 5 and mnemonic.endswith("k"):
+        prefix, letter = mnemonic[:3], mnemonic[3]
+        if prefix in ("cre", "crd") and letter in "abcdefgm":
+            return prefix == "cre", KeySelect.from_letter(letter)
+    return None

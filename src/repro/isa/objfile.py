@@ -1,0 +1,120 @@
+"""A minimal object-file format for assembled programs.
+
+Lets kernels and workloads be built once and shipped/loaded without the
+assembler — the moral equivalent of an ELF for this toolchain.  The
+format ("RVO1") is deliberately simple and versioned:
+
+```
+magic    4s   b"RVO1"
+entry    <Q
+nsect    <I
+  per section:  name-len <H, name, base <Q, size <Q, bytes
+nsym     <I
+  per symbol:   name-len <H, name, value <Q
+crc32    <I   over everything before it
+```
+
+All integers little-endian.  :func:`save_program`/:func:`load_program`
+work on paths or file objects; :func:`dumps`/:func:`loads` on bytes.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+
+from repro.errors import ReproError
+from repro.isa.assembler import Program, Section
+
+MAGIC = b"RVO1"
+
+
+class ObjFileError(ReproError):
+    """Malformed or corrupted object file."""
+
+
+def dumps(program: Program) -> bytes:
+    """Serialize a Program to bytes."""
+    out = io.BytesIO()
+    out.write(MAGIC)
+    out.write(struct.pack("<Q", program.entry))
+
+    sections = [s for s in program.sections.values()]
+    out.write(struct.pack("<I", len(sections)))
+    for section in sections:
+        name = section.name.encode()
+        out.write(struct.pack("<H", len(name)))
+        out.write(name)
+        out.write(struct.pack("<QQ", section.base, len(section.data)))
+        out.write(bytes(section.data))
+
+    symbols = sorted(program.symbols.items())
+    out.write(struct.pack("<I", len(symbols)))
+    for name_str, value in symbols:
+        name = name_str.encode()
+        out.write(struct.pack("<H", len(name)))
+        out.write(name)
+        out.write(struct.pack("<Q", value))
+
+    body = out.getvalue()
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+def loads(blob: bytes) -> Program:
+    """Deserialize a Program from bytes (CRC-checked)."""
+    if len(blob) < len(MAGIC) + 4:
+        raise ObjFileError("object file truncated")
+    body, (crc,) = blob[:-4], struct.unpack("<I", blob[-4:])
+    if zlib.crc32(body) != crc:
+        raise ObjFileError("object file checksum mismatch")
+
+    stream = io.BytesIO(body)
+    if stream.read(4) != MAGIC:
+        raise ObjFileError("bad magic (not an RVO1 object file)")
+
+    def read(fmt: str):
+        size = struct.calcsize(fmt)
+        data = stream.read(size)
+        if len(data) != size:
+            raise ObjFileError("object file truncated")
+        return struct.unpack(fmt, data)
+
+    def read_name() -> str:
+        (length,) = read("<H")
+        raw = stream.read(length)
+        if len(raw) != length:
+            raise ObjFileError("object file truncated")
+        return raw.decode()
+
+    (entry,) = read("<Q")
+    (nsect,) = read("<I")
+    sections: dict[str, Section] = {}
+    for _ in range(nsect):
+        name = read_name()
+        base, size = read("<QQ")
+        data = stream.read(size)
+        if len(data) != size:
+            raise ObjFileError("object file truncated")
+        sections[name] = Section(name, base, bytearray(data))
+
+    (nsym,) = read("<I")
+    symbols: dict[str, int] = {}
+    for _ in range(nsym):
+        name = read_name()
+        (value,) = read("<Q")
+        symbols[name] = value
+
+    return Program(sections=sections, symbols=symbols, entry=entry)
+
+
+def save_program(program: Program, path) -> None:
+    """Write a Program to ``path``."""
+    with open(path, "wb") as handle:
+        handle.write(dumps(program))
+
+
+def load_program(path) -> Program:
+    """Read a Program from ``path``."""
+    with open(path, "rb") as handle:
+        return loads(handle.read())

@@ -1,0 +1,27 @@
+"""Miniature operating-system kernel protected by RegVault.
+
+This package plays the role of the paper's modified Linux v5.8.18: a
+small event-driven kernel, written in the project's IR and compiled by
+the RegVault-instrumenting compiler, that runs on the simulated RV64
+machine.  It implements the six protected data classes of Table 2:
+
+==================  =======================  ==========================
+Data                Tweak                    Mechanism
+==================  =======================  ==========================
+Return addresses    stack pointer            compiler option (``ra``)
+Function pointers   storage address          compiler option (``fp``)
+Kernel keys         storage address          manual ``cre``/``crd``
+Cred struct         storage address          ``__rand_integrity``
+SELinux state       storage address          ``__rand_integrity``
+PGD pointers        storage address          annotation + key ``f``
+==================  =======================  ==========================
+
+plus the chain-based interrupt context protection (CIP, §2.4.3) in the
+trap entry/exit path and protected register spilling (§2.4.4) in the
+compiler backend.
+"""
+
+from repro.kernel.config import KernelConfig
+from repro.kernel.api import KernelSession
+
+__all__ = ["KernelConfig", "KernelSession"]

@@ -1,0 +1,113 @@
+"""Syscall auditing and CPU-time accounting.
+
+Real kernels spend substantial work on every trap besides the handler
+itself: entry bookkeeping, audit hooks, seccomp-style policy walks and
+per-task time accounting (Linux's syscall path is thousands of cycles
+long even for ``getppid``).  This module reproduces a representative
+slice of that work so the simulated kernel's trap-path length — and
+therefore RegVault's *relative* overhead — is in a realistic regime
+rather than being dominated by an unrealistically thin dispatcher.
+
+The audit table also exercises protected non-control data in the hot
+path: per-syscall counters live next to a policy word whose load/store
+traffic mirrors how Linux consults credentials/policy state on entry.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import IRBuilder
+from repro.compiler.ir import Const, Function, GlobalVar, Module, Move
+from repro.compiler.types import ArrayType, Field, FunctionType, I64, StructType, VOID
+from repro.kernel.structs import NUM_SYSCALLS, THREAD_INFO
+
+#: Per-syscall audit record.
+AUDIT_RECORD = StructType("audit_record", (
+    Field("count", I64),
+    Field("total_cycles", I64),
+    Field("last_arg", I64),
+    Field("filter_word", I64),
+))
+
+#: Number of seccomp-style filter rules walked on every entry.
+FILTER_RULES = 8
+
+
+def build_accounting(module: Module) -> None:
+    module.add_struct(AUDIT_RECORD)
+    module.add_global(
+        GlobalVar("audit_table", ArrayType(AUDIT_RECORD, NUM_SYSCALLS))
+    )
+    module.add_global(
+        GlobalVar("seccomp_filter", ArrayType(I64, FILTER_RULES))
+    )
+    _build_audit_entry(module)
+    _build_audit_exit(module)
+
+
+def _build_audit_entry(module: Module) -> None:
+    """audit_entry(nr, arg0) -> entry timestamp.
+
+    Walks the seccomp-style filter (every rule compares the syscall
+    number and argument against a pattern), then charges the audit
+    record — the shape of Linux's syscall-entry work.
+    """
+    func = Function(
+        "audit_entry", FunctionType(I64, (I64, I64)), ["nr", "arg0"]
+    )
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    nr, arg0 = func.params
+
+    # Filter walk: accumulate a decision word over all rules.
+    filt = b.addr_of_global("seccomp_filter")
+    decision = b.func.new_reg(I64, "decision")
+    b._emit(Move(decision, Const(0)))
+    i = b.func.new_reg(I64, "i")
+    b._emit(Move(i, Const(0)))
+    b.br("rules")
+
+    b.block("rules")
+    rule = b.raw_load(b.add(filt, b.shl(i, 3)))
+    matches_nr = b.cmp("eq", b.and_(rule, 0xFF), nr)
+    matches_arg = b.cmp("eq", b.shr(rule, 8), b.and_(arg0, 0xFF))
+    hit = b.and_(matches_nr, matches_arg)
+    b._emit(Move(decision, b.or_(decision, hit)))
+    b._emit(Move(i, b.add(i, 1)))
+    more = b.cmp("lt", i, FILTER_RULES)
+    b.cond_br(more, "rules", "charge")
+
+    b.block("charge")
+    table = b.addr_of_global("audit_table")
+    record = b.index_addr(table, nr, elem_type=AUDIT_RECORD)
+    count = b.load_field(record, AUDIT_RECORD, "count")
+    b.store_field(record, AUDIT_RECORD, "count", b.add(count, 1))
+    b.store_field(record, AUDIT_RECORD, "last_arg", arg0)
+    b.store_field(record, AUDIT_RECORD, "filter_word", decision)
+    b.ret(b.intrinsic("read_cycle", returns=True))
+
+
+def _build_audit_exit(module: Module) -> None:
+    """audit_exit(nr, entry_stamp): cycle accounting on the way out."""
+    func = Function(
+        "audit_exit", FunctionType(VOID, (I64, I64)), ["nr", "stamp"]
+    )
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    nr, stamp = func.params
+    now = b.intrinsic("read_cycle", returns=True)
+    spent = b.sub(now, stamp)
+
+    table = b.addr_of_global("audit_table")
+    record = b.index_addr(table, nr, elem_type=AUDIT_RECORD)
+    total = b.load_field(record, AUDIT_RECORD, "total_cycles")
+    b.store_field(record, AUDIT_RECORD, "total_cycles", b.add(total, spent))
+
+    # Per-task accounting (utime/stime analogue).
+    current = b.raw_load(b.addr_of_global("current"))
+    count = b.load_field(current, THREAD_INFO, "syscall_count")
+    b.store_field(current, THREAD_INFO, "syscall_count", b.add(count, 1))
+    cycles = b.load_field(current, THREAD_INFO, "kernel_cycles")
+    b.store_field(current, THREAD_INFO, "kernel_cycles", b.add(cycles, spent))
+    b.ret()

@@ -1,0 +1,205 @@
+"""KernelSession — boot, run and inspect a RegVault-protected kernel.
+
+The session owns the simulated machine, plays the hardware's part
+(installing the master key at reset — the kernel never sees it), loads
+the kernel and user images and exposes the inspection/attack surface
+used by :mod:`repro.attacks` and the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ir import Module
+from repro.crypto.engine import CryptoEngine
+from repro.crypto.keys import KeySelect
+from repro.errors import KernelError
+from repro.kernel.build import KernelImage, build_kernel
+from repro.kernel.config import KernelConfig
+from repro.kernel import layout as kmap
+from repro.kernel.syscalls import PANIC_BASE
+from repro.machine.machine import HaltReason, Machine
+from repro.machine.trap import Cause
+
+#: Deterministic "hardware" master key installed at reset.
+DEFAULT_MASTER_KEY = 0x6D61737465726B65795F68772F726567
+
+
+@dataclass
+class RunResult:
+    """Outcome of a kernel run."""
+
+    halt_reason: HaltReason | None
+    exit_code: int
+    console: str
+    cycles: int
+    instructions: int
+
+    @property
+    def panicked(self) -> bool:
+        return (
+            self.halt_reason is HaltReason.SHUTDOWN
+            and PANIC_BASE <= self.exit_code < PANIC_BASE + 0x100
+        )
+
+    @property
+    def panic_cause(self) -> int | None:
+        return (self.exit_code - PANIC_BASE) if self.panicked else None
+
+    @property
+    def integrity_fault(self) -> bool:
+        return self.panic_cause == int(Cause.REGVAULT_INTEGRITY_FAULT)
+
+    @property
+    def access_fault(self) -> bool:
+        return self.panic_cause in (
+            int(Cause.INSTRUCTION_ACCESS_FAULT),
+            int(Cause.LOAD_ACCESS_FAULT),
+            int(Cause.STORE_ACCESS_FAULT),
+            int(Cause.INSTRUCTION_MISALIGNED),
+            int(Cause.ILLEGAL_INSTRUCTION),
+        )
+
+
+class KernelSession:
+    """One booted machine + kernel + user program."""
+
+    def __init__(
+        self,
+        config: KernelConfig | None = None,
+        user_module: Module | None = None,
+        master_key: int = DEFAULT_MASTER_KEY,
+        image: KernelImage | None = None,
+    ):
+        self.config = config or KernelConfig.full()
+        self.image = image if image is not None else build_kernel(
+            self.config, user_module
+        )
+        from repro.crypto.alternatives import CIPHER_MISS_CYCLES, make_cipher
+
+        engine = CryptoEngine(
+            clb_entries=self.config.clb_entries,
+            cipher=make_cipher(self.config.cipher),
+            miss_cycles=CIPHER_MISS_CYCLES[self.config.cipher],
+        )
+        self.machine = Machine(engine=engine)
+        self.machine.memory.load_program(self.image.kernel_program)
+        self.machine.memory.load_program(self.image.user_program)
+        self.machine.memory.map_region(
+            "stacks", kmap.STACK_REGION, kmap.STACK_REGION_SIZE
+        )
+        self.machine.memory.map_region(
+            "page_pool", kmap.PAGE_POOL, kmap.PAGE_POOL_SIZE
+        )
+        # Hardware installs the master key at reset; the kernel can use
+        # it through cremk/crdmk but can never read or write it.
+        engine.key_file.set_key(KeySelect.M, master_key)
+        self.machine.hart.pc = self.image.kernel_program.entry
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, max_steps: int = 20_000_000) -> RunResult:
+        reason = self.machine.run(max_steps)
+        return self._result(reason)
+
+    def run_until(self, symbol_or_pc, max_steps: int = 20_000_000) -> bool:
+        """Run until a pc (or named symbol) is about to execute."""
+        pc = (
+            symbol_or_pc
+            if isinstance(symbol_or_pc, int)
+            else self.image.symbol(symbol_or_pc)
+        )
+        return self.machine.run_until(pc, max_steps)
+
+    def resume(self, max_steps: int = 20_000_000) -> RunResult:
+        return self.run(max_steps)
+
+    def _result(self, reason) -> RunResult:
+        return RunResult(
+            halt_reason=reason,
+            exit_code=self.machine.exit_code,
+            console=self.machine.console,
+            cycles=self.machine.hart.cycles,
+            instructions=self.machine.hart.instret,
+        )
+
+    # -- inspection / attack primitives ---------------------------------------------
+
+    def symbol(self, name: str) -> int:
+        return self.image.symbol(name)
+
+    def read_u64(self, address: int) -> int:
+        """Arbitrary kernel memory read (the threat model's primitive)."""
+        return self.machine.memory.read_u64(address)
+
+    def write_u64(self, address: int, value: int) -> None:
+        """Arbitrary kernel memory write (the threat model's primitive)."""
+        self.machine.memory.write_u64(address, value)
+
+    def read_u32(self, address: int) -> int:
+        return self.machine.memory.read_u32(address)
+
+    def write_u32(self, address: int, value: int) -> None:
+        self.machine.memory.write_u32(address, value)
+
+    def field_addr(self, symbol: str, struct, field_name: str) -> int:
+        return self.image.global_field_addr(symbol, struct, field_name)
+
+    def thread_field_addr(self, tid: int, field_name: str) -> int:
+        return self.image.thread_field_addr(tid, field_name)
+
+    def context_kind(self, tid: int) -> int:
+        """Decode a thread's saved-context kind marker (0 plain, 1 CIP).
+
+        In CIP builds the marker is sealed under the thread's interrupt
+        key; this debug helper unseals it through the engine (something
+        an attacker cannot do — the key is not CSR-readable).
+        """
+        from repro.crypto.keys import KeySelect
+        from repro.crypto.primitives import ByteRange, crd
+
+        ctx = self.thread_field_addr(tid, "ctx")
+        raw = self.read_u64(ctx)
+        if not self.config.cip:
+            return raw
+        key = self.thread_interrupt_key(tid)
+        return crd(raw, ByteRange(0, 0), ctx, key,
+                   cipher=self.machine.engine.cipher)
+
+    def thread_interrupt_key(self, tid: int) -> int:
+        """Unwrap a thread's interrupt key (debug view).
+
+        The key sits in thread_info wrapped under the master key
+        (§3.1.1); the session plays the hardware, so it may use the
+        master key — the attacker cannot.
+        """
+        from repro.crypto.keys import KeySelect
+        from repro.crypto.primitives import FULL_RANGE, crd
+
+        master = self.machine.engine.key_file.key(KeySelect.M)
+        halves = []
+        for field in ("wrapped_int_key_lo", "wrapped_int_key_hi"):
+            addr = self.thread_field_addr(tid, field)
+            wrapped = self.read_u64(addr)
+            halves.append(
+                crd(wrapped, FULL_RANGE, addr, master,
+                    cipher=self.machine.engine.cipher)
+            )
+        return (halves[1] << 64) | halves[0]
+
+    @property
+    def stats(self):
+        return self.machine.engine.stats
+
+    @property
+    def clb_stats(self):
+        return self.machine.engine.clb.stats
+
+
+def boot_and_run(
+    config: KernelConfig | None = None,
+    user_module: Module | None = None,
+    max_steps: int = 20_000_000,
+) -> RunResult:
+    """Convenience one-shot: build, boot, run to completion."""
+    return KernelSession(config, user_module).run(max_steps)

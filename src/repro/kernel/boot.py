@@ -1,0 +1,60 @@
+"""Boot assembly: reset vector, key generation, first thread entry.
+
+At reset the hardware holds the master key (installed by the session —
+the kernel can never see it).  The boot path:
+
+1. installs the trap vector and a kernel stack,
+2. generates the general key registers from the entropy device and
+   writes them through the write-only key CSRs (§2.3.1),
+3. calls ``kernel_main`` (IR) which initializes every subsystem,
+4. drops to user mode through the common ``trap_exit`` path, which
+   unwraps thread 0's per-thread keys and unseals its context.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.layout import KERNEL_STACK_TOP
+from repro.machine.devices import RNG_ADDR
+
+#: Key CSRs initialized at boot (per-thread keys a/c are rewritten on
+#: context switches; b/d/e/f/g are global class keys, Table 2).
+BOOT_KEY_CSRS = (
+    "krega_lo", "krega_hi",
+    "kregb_lo", "kregb_hi",
+    "kregc_lo", "kregc_hi",
+    "kregd_lo", "kregd_hi",
+    "krege_lo", "krege_hi",
+    "kregf_lo", "kregf_hi",
+    "kregg_lo", "kregg_hi",
+)
+
+
+def generate_boot(generate_keys: bool) -> list[str]:
+    lines = [
+        "_start:",
+        "    la t0, trap_vector",
+        "    csrw mtvec, t0",
+        f"    li sp, {KERNEL_STACK_TOP}",
+        "    li t0, 128",            # mie.MTIE: allow the machine timer
+        "    csrw mie, t0",
+    ]
+    if generate_keys:
+        lines.append(f"    li t1, {RNG_ADDR}")
+        for csr in BOOT_KEY_CSRS:
+            lines += [
+                "    ld t2, 0(t1)",
+                f"    csrw {csr}, t2",
+            ]
+        lines.append("    li t2, 0")   # do not leave key material behind
+    lines += [
+        "    call kernel_main",
+        # Enter thread 0 in user mode: clear mstatus.MPP, then take the
+        # common exit path (key reload + context restore + mret).
+        "    csrr t0, mstatus",
+        "    li t1, 0x1800",
+        "    not t1, t1",
+        "    and t0, t0, t1",
+        "    csrw mstatus, t0",
+        "    j trap_exit",
+    ]
+    return lines

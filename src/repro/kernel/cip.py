@@ -1,0 +1,110 @@
+"""Saved-context accessors for the kernel.
+
+The chain-based interrupt context protection itself lives in the trap
+assembly (:mod:`repro.kernel.entry`).  The kernel-side accessors here
+touch only **syscall** contexts, which are saved plain (CIP guards the
+asynchronous-interrupt window — see the entry module's docstring), so
+they compile to ordinary loads and stores in every configuration:
+
+* ``cip_regs_get(ctx, index)`` — read saved ``x<index>``;
+* ``cip_regs_set(ctx, index, value)`` — write saved ``x<index>``
+  (syscall return values go to saved a0);
+* ``cip_syscall_args(ctx, buf)`` — gather saved a0, a1, a2, a7;
+* ``cip_seal(ctx, sp)`` — build a pristine plain context for a new
+  thread (kind marker 0, zeros, x2 = initial user stack pointer).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import IRBuilder
+from repro.compiler.ir import Const, Function, Module
+from repro.compiler.types import FunctionType, I64, VOID
+from repro.crypto.keys import KeySelect
+from repro.kernel.structs import CTX_T6_SLOT
+
+#: Key register dedicated to the interrupt context (per thread).
+CIP_KEY = KeySelect.C
+
+#: Number of chained registers (x1..x30).
+CHAIN_LEN = 30
+
+
+def build_cip_helpers(module: Module, cip: bool) -> None:
+    """Add the saved-context accessors to the kernel module.
+
+    The register accessors are identical in all configurations because
+    syscall contexts are always plain (the differentiated save/restore
+    lives in the trap assembly); only ``cip_seal`` differs — in CIP
+    builds it must produce a *sealed* kind marker, since the exit path
+    integrity-checks the marker before routing the restore.
+    """
+    _build_regs_get(module)
+    _build_regs_set(module)
+    _build_syscall_args(module)
+    _build_seal(module, cip)
+
+
+def _build_regs_get(module: Module) -> None:
+    func = Function("cip_regs_get", FunctionType(I64, (I64, I64)),
+                    ["ctx", "index"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    ctx, index = func.params
+    addr = b.add(ctx, b.shl(index, 3))
+    b.ret(b.raw_load(addr))
+
+
+def _build_regs_set(module: Module) -> None:
+    func = Function(
+        "cip_regs_set", FunctionType(VOID, (I64, I64, I64)),
+        ["ctx", "index", "value"],
+    )
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    ctx, index, value = func.params
+    addr = b.add(ctx, b.shl(index, 3))
+    b.raw_store(addr, value)
+    b.ret()
+
+
+def _build_syscall_args(module: Module) -> None:
+    """``cip_syscall_args(ctx, buf)``: copy saved a0,a1,a2,a7 to buf."""
+    func = Function(
+        "cip_syscall_args", FunctionType(VOID, (I64, I64)), ["ctx", "buf"]
+    )
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    ctx, buf = func.params
+    for out_index, reg_index in enumerate((10, 11, 12, 17)):
+        value = b.raw_load(b.add(ctx, Const(8 * reg_index)))
+        b.raw_store(b.add(buf, Const(8 * out_index)), value)
+    b.ret()
+
+
+def _build_seal(module: Module, cip: bool) -> None:
+    """``cip_seal(ctx, sp)``: pristine plain context for thread entry.
+
+    In CIP builds the kind marker is ``enc(0)`` under the interrupt key
+    currently loaded in key register ``c`` — the caller (threads_init)
+    loads the *owning thread's* key first, because the marker is
+    unsealed with that thread's key on every trap exit.
+    """
+    from repro.kernel.structs import CTX_T6_HI_SLOT
+
+    func = Function("cip_seal", FunctionType(VOID, (I64, I64)), ["ctx", "sp"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    ctx, sp = func.params
+    if cip:
+        sealed = b.crypto_enc(Const(0), ctx, CIP_KEY, (0, 0))
+        b.raw_store(ctx, sealed)
+    else:
+        b.raw_store(ctx, Const(0))
+    for i in range(1, CTX_T6_HI_SLOT + 1):
+        addr = b.add(ctx, Const(8 * i))
+        b.raw_store(addr, sp if i == 2 else Const(0))
+    b.ret()

@@ -1,0 +1,109 @@
+"""Kernel build configuration (the paper's protection matrix, §4.4.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.compiler.pipeline import CompileOptions
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """One kernel build + machine configuration.
+
+    The four Figure-5 configurations map to:
+
+    ========== ==== ==== =========== ===== =====
+    name        ra   fp  noncontrol  spill  cip
+    ========== ==== ==== =========== ===== =====
+    baseline    no   no      no        no    no
+    ra          yes  no      no        no    no
+    fp          no   yes     no        no    no
+    noncontrol  no   no      yes       no    no
+    full        yes  yes     yes       yes   yes
+    ========== ==== ==== =========== ===== =====
+    """
+
+    name: str = "full"
+    ra: bool = True
+    fp: bool = True
+    noncontrol: bool = True
+    protect_spills: bool = True
+    #: Chain-based interrupt context protection (§2.4.3).
+    cip: bool = True
+    #: CLB entries in the crypto-engine (0 disables the CLB).
+    clb_entries: int = 8
+    #: Randomization cipher: "qarma" (the paper), "xor" (DSR baseline,
+    #: intentionally weak — §5), or "xex" (XEX-XTEA, the CRAFT-style
+    #: drop-in alternative).
+    cipher: str = "qarma"
+    #: Timer interrupt interval in cycles (0 disables the tick).
+    timer_interval: int = 20_000
+    #: Number of kernel threads (all start at the user entry point;
+    #: multi-threaded workloads branch on getpid).
+    num_threads: int = 1
+    #: Boot thread 0 with uid/gid 0 (used by attack scenarios that need
+    #: a legitimate privileged actor).
+    root_thread: bool = False
+
+    @property
+    def compile_options(self) -> CompileOptions:
+        return CompileOptions(
+            name=self.name,
+            ra=self.ra,
+            fp=self.fp,
+            noncontrol=self.noncontrol,
+            protect_spills=self.protect_spills,
+        )
+
+    @property
+    def uses_keys(self) -> bool:
+        """Does any protection require per-thread key reloads?"""
+        return self.ra or self.cip
+
+    @property
+    def any_protection(self) -> bool:
+        return (
+            self.ra or self.fp or self.noncontrol
+            or self.protect_spills or self.cip
+        )
+
+    # -- the paper's build matrix ---------------------------------------------
+
+    @classmethod
+    def baseline(cls, **kwargs) -> "KernelConfig":
+        return cls(name="baseline", ra=False, fp=False, noncontrol=False,
+                   protect_spills=False, cip=False, **kwargs)
+
+    @classmethod
+    def ra_only(cls, **kwargs) -> "KernelConfig":
+        return cls(name="ra", ra=True, fp=False, noncontrol=False,
+                   protect_spills=False, cip=False, **kwargs)
+
+    @classmethod
+    def fp_only(cls, **kwargs) -> "KernelConfig":
+        return cls(name="fp", ra=False, fp=True, noncontrol=False,
+                   protect_spills=False, cip=False, **kwargs)
+
+    @classmethod
+    def noncontrol_only(cls, **kwargs) -> "KernelConfig":
+        return cls(name="noncontrol", ra=False, fp=False, noncontrol=True,
+                   protect_spills=False, cip=False, **kwargs)
+
+    @classmethod
+    def full(cls, **kwargs) -> "KernelConfig":
+        return cls(name="full", **kwargs)
+
+    def with_clb(self, entries: int) -> "KernelConfig":
+        return replace(self, clb_entries=entries)
+
+    @classmethod
+    def figure5_matrix(cls) -> list["KernelConfig"]:
+        """The five builds evaluated in Figure 5."""
+        return [
+            cls.baseline(),
+            cls.ra_only(),
+            cls.fp_only(),
+            cls.noncontrol_only(),
+            cls.full(),
+        ]

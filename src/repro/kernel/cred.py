@@ -1,0 +1,102 @@
+"""User credentials (§3.2.2).
+
+The attacker's classic move is overwriting ``cred.uid`` to 0 to become
+root.  Here the uid/gid family is ``__rand_integrity``-annotated, so
+every load/store goes through ``crd``/``cre`` with the storage address
+as tweak: an overwritten field raises an integrity exception on the
+next credential check instead of granting root.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import IRBuilder
+from repro.compiler.ir import Const, Function, Module
+from repro.compiler.types import FunctionType, I64, VOID
+from repro.kernel.structs import CRED, THREAD_INFO, SYSCALL_FN
+
+
+def current_cred(b: IRBuilder):
+    """Address of the current thread's cred struct."""
+    current_ptr = b.addr_of_global("current")
+    thread = b.raw_load(current_ptr, name="current")
+    return b.field_addr(thread, THREAD_INFO, "cred")
+
+
+def build_cred(module: Module) -> None:
+    _build_cred_init(module)
+    _build_getuid(module)
+    _build_setuid(module)
+    _build_getgid(module)
+    _build_setgid(module)
+
+
+def _build_cred_init(module: Module) -> None:
+    """cred_init(cred_ptr, uid, gid): installs initial credentials."""
+    func = Function(
+        "cred_init", FunctionType(VOID, (I64, I64, I64)),
+        ["cred", "uid", "gid"],
+    )
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    cred, uid, gid = func.params
+    b.store_field(cred, CRED, "usage", Const(1))
+    b.store_field(cred, CRED, "uid", uid)
+    b.store_field(cred, CRED, "gid", gid)
+    b.store_field(cred, CRED, "euid", uid)
+    b.store_field(cred, CRED, "egid", gid)
+    b.store_field(cred, CRED, "securebits", Const(0))
+    b.ret()
+
+
+def _build_getuid(module: Module) -> None:
+    func = Function("sys_getuid", SYSCALL_FN, ["a0", "a1", "a2"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    cred = current_cred(b)
+    b.ret(b.load_field(cred, CRED, "uid"))
+
+
+def _build_getgid(module: Module) -> None:
+    func = Function("sys_getgid", SYSCALL_FN, ["a0", "a1", "a2"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    cred = current_cred(b)
+    b.ret(b.load_field(cred, CRED, "gid"))
+
+
+def _build_setuid(module: Module) -> None:
+    """setuid succeeds only for root (euid == 0), like the real thing."""
+    func = Function("sys_setuid", SYSCALL_FN, ["uid", "a1", "a2"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    cred = current_cred(b)
+    euid = b.load_field(cred, CRED, "euid")
+    is_root = b.cmp("eq", euid, 0)
+    b.cond_br(is_root, "allow", "deny")
+    b.block("allow")
+    b.store_field(cred, CRED, "uid", func.params[0])
+    b.store_field(cred, CRED, "euid", func.params[0])
+    b.ret(Const(0))
+    b.block("deny")
+    b.ret(Const(-1))
+
+
+def _build_setgid(module: Module) -> None:
+    func = Function("sys_setgid", SYSCALL_FN, ["gid", "a1", "a2"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    cred = current_cred(b)
+    euid = b.load_field(cred, CRED, "euid")
+    is_root = b.cmp("eq", euid, 0)
+    b.cond_br(is_root, "allow", "deny")
+    b.block("allow")
+    b.store_field(cred, CRED, "gid", func.params[0])
+    b.store_field(cred, CRED, "egid", func.params[0])
+    b.ret(Const(0))
+    b.block("deny")
+    b.ret(Const(-1))

@@ -1,0 +1,260 @@
+"""Trap entry/exit assembly (context save/restore).
+
+RegVault's chain-based protection targets the **interrupt context**
+(§2.4.3): asynchronously interrupted threads have *all* live register
+state dumped to memory, which [Azad, BlackHat'20] shows is the classic
+window for leaking and corrupting register values.  System calls are a
+voluntary, ABI-defined boundary; their save path stays plain (this is
+also what makes the paper's syscall-heavy micro-benchmarks average only
+~2.5% overhead).
+
+So the trap vector inspects ``mcause`` before saving:
+
+* **interrupt** (mcause bit 63 set) and CIP enabled → chain save: each
+  register is encrypted in reverse dependency order so its tweak (the
+  *previous* register's plaintext, Figure 4) is still live; the first
+  element is tweaked by its storage address, a zero terminator is
+  encrypted under the last register and verified with a partial-range
+  ``crd`` on restore — corruption anywhere in the chain cascades into
+  that check and traps.  Two pieces sit outside the chain and carry
+  their own integrity:
+
+  - the saved **user t6** (x31 doubles as the save-area pointer during
+    the sequence; its user value parks in ``mscratch``) is sealed with
+    the Figure-2c split scheme — two ciphertext halves with ranges
+    [3:0]/[7:4], each zero-checked on restore;
+  - the **context-kind marker** (slot 0) is ``enc(kind)`` with range
+    [0:0] under the same per-thread key, so an attacker can neither
+    corrupt it nor downgrade a CIP context to a plain one;
+
+* **syscall/exception** → classic plain save (the kind marker is still
+  sealed in CIP builds, so the routing itself stays unforgeable).
+
+The per-thread interrupt key register ``c`` ("to defeat cross-thread
+substitution attacks") and the per-thread RA key ``a`` are unwrapped
+from ``thread_info`` (master-key wrapped, §3.1.1) by the exit path
+whenever the scheduler switched threads.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.structs import (
+    CTX_T6_HI_SLOT,
+    CTX_T6_SLOT,
+    CTX_TERMINATOR_SLOT,
+)
+from repro.kernel.layout import KERNEL_STACK_TOP
+
+#: Key letters.
+RA_KEY = "a"
+CIP_KEY = "c"
+
+#: Context kinds recorded (sealed, in CIP builds) in slot 0.
+KIND_PLAIN = 0
+KIND_CIP = 1
+
+
+def _x(i: int) -> str:
+    return f"x{i}"
+
+
+def _plain_save_body(sealed_kind: bool) -> list[str]:
+    """Save x1..x30 + user t6; assumes t6 = ctx base, user t6 in
+    mscratch.  Marks the context as plain."""
+    lines = []
+    for i in range(1, 31):
+        lines.append(f"    sd {_x(i)}, {8 * i}(t6)")
+    lines += [
+        "    csrr x1, mscratch",
+        f"    sd x1, {8 * CTX_T6_SLOT}(t6)",
+    ]
+    if sealed_kind:
+        # kind = enc(0) under the thread's interrupt key, tweak = &slot0.
+        lines += [
+            f"    cre{CIP_KEY}k x1, x0[0:0], t6",
+            "    sd x1, 0(t6)",
+        ]
+    else:
+        lines.append("    sd zero, 0(t6)")
+    lines.append("    csrw mscratch, t6")
+    return lines
+
+
+def _cip_save_body() -> list[str]:
+    """Chain-encrypt x1..x30 + terminator + split-sealed user t6 + the
+    sealed kind marker (see module doc).
+
+    Entry state: t6 = ctx base, user t6 parked in mscratch."""
+    term_off = 8 * CTX_TERMINATOR_SLOT
+    t6_lo_off = 8 * CTX_T6_SLOT
+    t6_hi_off = 8 * CTX_T6_HI_SLOT
+    lines = [
+        "    csrw sscratch, t6",
+        # Zero terminator first, while x30 (its tweak) is still live.
+        f"    cre{CIP_KEY}k t6, x0[0:0], x30",
+        "    csrrw t6, sscratch, t6",    # t6 = base; sscratch = term ct
+    ]
+    # x30 .. x2, each tweaked by its predecessor's live plaintext.
+    for i in range(30, 1, -1):
+        lines += [
+            f"    cre{CIP_KEY}k {_x(i)}, {_x(i)}[7:0], {_x(i - 1)}",
+            f"    sd {_x(i)}, {8 * i}(t6)",
+        ]
+    lines += [
+        # x1: first chain element, tweaked by its storage address.
+        "    addi x2, t6, 8",
+        f"    cre{CIP_KEY}k x1, x1[7:0], x2",
+        "    sd x1, 8(t6)",
+        # Terminator ciphertext from sscratch into its slot.
+        "    csrr x1, sscratch",
+        f"    sd x1, {term_off}(t6)",
+        # User t6 from mscratch: Figure-2c split with integrity, each
+        # half tweaked by its own slot address.
+        "    csrr x1, mscratch",
+        f"    addi x2, t6, {t6_lo_off}",
+        f"    cre{CIP_KEY}k x3, x1[3:0], x2",
+        f"    sd x3, {t6_lo_off}(t6)",
+        f"    addi x2, t6, {t6_hi_off}",
+        f"    cre{CIP_KEY}k x3, x1[7:4], x2",
+        f"    sd x3, {t6_hi_off}(t6)",
+        # Sealed kind marker: enc(1) with range [0:0], tweak = &slot0.
+        "    li x1, 1",
+        f"    cre{CIP_KEY}k x1, x1[0:0], t6",
+        "    sd x1, 0(t6)",
+        "    csrw mscratch, t6",
+    ]
+    return lines
+
+
+def generate_trap_entry(cip: bool) -> list[str]:
+    """Assembly for the trap vector: save context, call the dispatcher."""
+    lines = [
+        "trap_vector:",
+        "    csrrw t6, mscratch, t6",   # t6 = ctx base; user t6 parked
+    ]
+    if cip:
+        lines += [
+            # Route on mcause: interrupts (bit 63) take the CIP path.
+            "    csrw sscratch, t6",
+            "    csrr t6, mcause",
+            "    bltz t6, trap_save_cip",
+            "    csrr t6, sscratch",
+        ]
+        lines += _plain_save_body(sealed_kind=True)
+        lines += ["    j trap_save_done"]
+        lines += ["trap_save_cip:", "    csrr t6, sscratch"]
+        lines += _cip_save_body()
+        lines += ["trap_save_done:"]
+    else:
+        lines += _plain_save_body(sealed_kind=False)
+
+    lines += [
+        # Kernel environment: fresh stack, cause/epc to the dispatcher.
+        f"    li sp, {KERNEL_STACK_TOP}",
+        "    csrr a0, mcause",
+        "    csrr a1, mepc",
+        "    call trap_dispatch",
+        "    j trap_exit",
+    ]
+    return lines
+
+
+def _plain_restore_body() -> list[str]:
+    """Restore a plain context; assumes t6 = ctx base."""
+    lines = []
+    for i in range(1, 31):
+        lines.append(f"    ld {_x(i)}, {8 * i}(t6)")
+    lines += [
+        f"    ld t6, {8 * CTX_T6_SLOT}(t6)",
+        "    mret",
+    ]
+    return lines
+
+
+def _cip_restore_body() -> list[str]:
+    """Chain-decrypt and verify a CIP context; t6 = ctx base.
+
+    The split-sealed user t6 is recovered *first* (every x-register is
+    still free) and parked in ``sscratch`` until the final swap."""
+    term_off = 8 * CTX_TERMINATOR_SLOT
+    t6_lo_off = 8 * CTX_T6_SLOT
+    t6_hi_off = 8 * CTX_T6_HI_SLOT
+    lines = [
+        # User t6: two integrity-checked halves, then reassembled.
+        f"    addi x1, t6, {t6_lo_off}",
+        f"    ld x2, {t6_lo_off}(t6)",
+        f"    crd{CIP_KEY}k x2, x2, x1, [3:0]",
+        f"    addi x1, t6, {t6_hi_off}",
+        f"    ld x3, {t6_hi_off}(t6)",
+        f"    crd{CIP_KEY}k x3, x3, x1, [7:4]",
+        "    or x2, x2, x3",
+        "    csrw sscratch, x2",        # park user t6
+        # x1: chain start, tweak = its slot address.
+        "    addi x2, t6, 8",
+        "    ld x1, 8(t6)",
+        f"    crd{CIP_KEY}k x1, x1, x2, [7:0]",
+    ]
+    for i in range(2, 31):
+        lines += [
+            f"    ld {_x(i)}, {8 * i}(t6)",
+            f"    crd{CIP_KEY}k {_x(i)}, {_x(i)}, {_x(i - 1)}, [7:0]",
+        ]
+    lines += [
+        # Terminator check.  x1 is parked in the consumed kind slot
+        # rather than in mscratch: the check below is the one restore
+        # instruction that can trap, and a trap taken here must find
+        # mscratch still pointing at the context area (otherwise the
+        # re-entrant save would write through a garbage pointer).
+        "    sd x1, 0(t6)",
+        f"    ld x1, {term_off}(t6)",
+        f"    crd{CIP_KEY}k x1, x1, x30, [0:0]",   # traps if corrupted
+        "    ld x1, 0(t6)",              # x1 = user x1
+        "    csrrw t6, sscratch, t6",    # t6 = user t6; sscratch = junk
+        "    mret",
+    ]
+    return lines
+
+
+def generate_trap_exit(cip: bool, reload_keys: bool) -> list[str]:
+    """Assembly for the return path: reload keys if needed, restore by
+    (integrity-checked) context kind, mret."""
+    lines = ["trap_exit:"]
+
+    if reload_keys:
+        lines += [
+            "    la t0, __need_key_reload",
+            "    ld t1, 0(t0)",
+            "    beqz t1, trap_exit_restore",
+            "    sd zero, 0(t0)",
+            "    la t0, current",
+            "    ld t0, 0(t0)",
+        ]
+        for field_off_symbol, csr in (
+            ("THREAD_WRAPPED_RA_LO", "krega_lo"),
+            ("THREAD_WRAPPED_RA_HI", "krega_hi"),
+            ("THREAD_WRAPPED_INT_LO", "kregc_lo"),
+            ("THREAD_WRAPPED_INT_HI", "kregc_hi"),
+        ):
+            lines += [
+                f"    addi t1, t0, {field_off_symbol}",
+                "    ld t2, 0(t1)",
+                "    crdmk t2, t2, t1, [7:0]",
+                f"    csrw {csr}, t2",
+            ]
+
+    lines.append("trap_exit_restore:")
+    lines.append("    csrr t6, mscratch")
+
+    if cip:
+        lines += [
+            # Unseal the kind marker; forging or corrupting it traps.
+            "    ld t0, 0(t6)",
+            f"    crd{CIP_KEY}k t0, t0, t6, [0:0]",
+            "    bnez t0, trap_restore_cip",
+        ]
+        lines += _plain_restore_body()
+        lines += ["trap_restore_cip:"]
+        lines += _cip_restore_body()
+    else:
+        lines += _plain_restore_body()
+    return lines

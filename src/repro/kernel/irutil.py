@@ -1,0 +1,28 @@
+"""Small helpers shared by the kernel's IR builders."""
+
+from __future__ import annotations
+
+from repro.compiler.builder import IRBuilder
+from repro.compiler.ir import Const, VReg
+from repro.isa.csrdefs import CSR_NAMES
+from repro.machine.devices import RNG_ADDR
+
+
+def csr_write(b: IRBuilder, name: str, value) -> None:
+    """Emit a CSR write by name."""
+    b.intrinsic("csrw", [Const(CSR_NAMES[name]), value])
+
+
+def csr_read(b: IRBuilder, name: str) -> VReg:
+    """Emit a CSR read by name."""
+    return b.intrinsic("csrr", [Const(CSR_NAMES[name])], returns=True)
+
+
+def rng_read(b: IRBuilder) -> VReg:
+    """Read a 64-bit word from the hardware entropy device."""
+    addr = b.move(Const(RNG_ADDR))
+    return b.raw_load(addr, name="entropy")
+
+
+def halt(b: IRBuilder, code) -> None:
+    b.intrinsic("halt", [code if not isinstance(code, int) else Const(code)])

@@ -1,0 +1,153 @@
+"""Kernel keyring (§3.2.1) — manually instrumented key protection.
+
+Table 2 marks "Kernel Keys" as *manually* instrumented: the keyring
+code itself places ``cre`` before the store during key setup and
+``crd`` immediately after the load inside the crypto functions, using
+the dedicated keyring key register ``e`` and the storage address as
+tweak.  The payload therefore never exists in memory as plaintext —
+an arbitrary-read attacker dumps ciphertext (see the disclosure attack
+in :mod:`repro.attacks.leak`).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import IRBuilder
+from repro.compiler.ir import Const, Function, GlobalVar, Module, Move
+from repro.compiler.types import ArrayType, FunctionType, I64, VOID
+from repro.crypto.keys import KeySelect
+from repro.kernel.structs import KERNEL_KEY, KEYRING_SLOTS, SYSCALL_FN
+
+#: Dedicated key register for the keyring (Table 2 / KEY_ROLES).
+KEYRING_KEY = KeySelect.E
+
+
+def build_keyring(module: Module, protect: bool = True) -> None:
+    """``protect=False`` builds the original kernel's keyring: payloads
+    stored as plaintext (the state of affairs §3.2.1 sets out to fix)."""
+    module.add_global(
+        GlobalVar("keyring", ArrayType(KERNEL_KEY, KEYRING_SLOTS))
+    )
+    module.add_global(GlobalVar("keyring_next_id", I64, init=1))
+    _build_slot_addr(module)
+    _build_add_key(module, protect)
+    _build_get_half(module, protect)
+    _build_sys_add_key(module)
+    _build_sys_encrypt(module)
+
+
+def _build_slot_addr(module: Module) -> None:
+    """keyring_slot(index) -> &keyring[index]."""
+    func = Function("keyring_slot", FunctionType(I64, (I64,)), ["index"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    base = b.addr_of_global("keyring")
+    addr = b.index_addr(base, func.params[0], elem_type=KERNEL_KEY)
+    b.ret(addr)
+
+
+def _build_add_key(module: Module, protect: bool) -> None:
+    """keyring_add(lo, hi) -> slot index or -1.
+
+    Key setup phase: the payload halves are encrypted *before* being
+    stored (manual ``cre`` with the field addresses as tweaks).
+    """
+    func = Function("keyring_add", FunctionType(I64, (I64, I64)), ["lo", "hi"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    lo, hi = func.params
+    index = b.func.new_reg(I64, "index")
+    b._emit(Move(index, Const(0)))
+    b.br("scan")
+
+    b.block("scan")
+    in_bounds = b.cmp("lt", index, KEYRING_SLOTS)
+    b.cond_br(in_bounds, "probe", "fail")
+
+    b.block("probe")
+    slot = b.call("keyring_slot", [index])
+    in_use = b.load_field(slot, KERNEL_KEY, "in_use")
+    free = b.cmp("eq", in_use, 0)
+    b.cond_br(free, "install", "next")
+
+    b.block("next")
+    b._emit(Move(index, b.add(index, 1)))
+    b.br("scan")
+
+    b.block("install")
+    id_ptr = b.addr_of_global("keyring_next_id")
+    key_id = b.raw_load(id_ptr)
+    b.raw_store(id_ptr, b.add(key_id, 1))
+    b.store_field(slot, KERNEL_KEY, "id", key_id)
+    # Manual instrumentation: encrypt the payload with the storage
+    # address as tweak, then store the ciphertext.
+    lo_addr = b.field_addr(slot, KERNEL_KEY, "payload_lo")
+    hi_addr = b.field_addr(slot, KERNEL_KEY, "payload_hi")
+    if protect:
+        lo_ct = b.crypto_enc(lo, lo_addr, KEYRING_KEY, (7, 0))
+        hi_ct = b.crypto_enc(hi, hi_addr, KEYRING_KEY, (7, 0))
+        b.raw_store(lo_addr, lo_ct)
+        b.raw_store(hi_addr, hi_ct)
+    else:
+        b.raw_store(lo_addr, lo)
+        b.raw_store(hi_addr, hi)
+    b.store_field(slot, KERNEL_KEY, "in_use", Const(1))
+    b.ret(index)
+
+    b.block("fail")
+    b.ret(Const(-1))
+
+
+def _build_get_half(module: Module, protect: bool) -> None:
+    """keyring_get_half(index, which) -> plaintext payload word.
+
+    The decrypt happens immediately after the load — the plaintext key
+    exists only in registers (and in protected spill slots).
+    """
+    func = Function(
+        "keyring_get_half", FunctionType(I64, (I64, I64)),
+        ["index", "which"],
+    )
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    slot = b.call("keyring_slot", [func.params[0]])
+    want_hi = b.cmp("ne", func.params[1], 0)
+    b.cond_br(want_hi, "high", "low")
+
+    b.block("low")
+    lo_addr = b.field_addr(slot, KERNEL_KEY, "payload_lo")
+    lo_ct = b.raw_load(lo_addr)
+    if protect:
+        b.ret(b.crypto_dec(lo_ct, lo_addr, KEYRING_KEY, (7, 0)))
+    else:
+        b.ret(lo_ct)
+
+    b.block("high")
+    hi_addr = b.field_addr(slot, KERNEL_KEY, "payload_hi")
+    hi_ct = b.raw_load(hi_addr)
+    if protect:
+        b.ret(b.crypto_dec(hi_ct, hi_addr, KEYRING_KEY, (7, 0)))
+    else:
+        b.ret(hi_ct)
+
+
+def _build_sys_add_key(module: Module) -> None:
+    func = Function("sys_add_key", SYSCALL_FN, ["lo", "hi", "a2"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    b.ret(b.call("keyring_add", [func.params[0], func.params[1]]))
+
+
+def _build_sys_encrypt(module: Module) -> None:
+    """sys_encrypt(block, slot): XTEA-encrypt with a keyring key."""
+    func = Function("sys_encrypt", SYSCALL_FN, ["block", "slot", "a2"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    block, slot = func.params[0], func.params[1]
+    lo = b.call("keyring_get_half", [slot, Const(0)])
+    hi = b.call("keyring_get_half", [slot, Const(1)])
+    b.ret(b.call("xtea_encrypt", [block, lo, hi]))

@@ -1,0 +1,44 @@
+"""Kernel and user memory map.
+
+All addresses stay below 2^31 so ``la`` materializes them with a
+lui/addi pair (see :mod:`repro.isa.assembler`).
+"""
+
+from __future__ import annotations
+
+#: Kernel sections use the assembler defaults:
+KERNEL_TEXT = 0x0001_0000
+KERNEL_RODATA = 0x0300_0000
+KERNEL_DATA = 0x0400_0000
+KERNEL_BSS = 0x0600_0000
+
+#: User program sections.
+USER_TEXT = 0x0100_0000
+USER_DATA = 0x0500_0000
+USER_BSS = 0x0700_0000
+
+USER_BASES = {
+    ".text": USER_TEXT,
+    ".rodata": USER_DATA + 0x0008_0000,
+    ".data": USER_DATA,
+    ".bss": USER_BSS,
+}
+
+#: Stack region (mapped by the session).
+STACK_REGION = 0x0800_0000
+STACK_REGION_SIZE = 0x0010_0000
+
+#: Kernel stack occupies the top of the stack region.
+KERNEL_STACK_TOP = STACK_REGION + STACK_REGION_SIZE
+
+#: Per-thread user stacks, 64 KiB apart, below the kernel stack.
+USER_STACK_STRIDE = 0x0001_0000
+
+
+def user_stack_top(tid: int) -> int:
+    return STACK_REGION + USER_STACK_STRIDE * (tid + 1)
+
+
+#: Page-table pool (the kernel "re-allocates page tables" here, §3.2.4).
+PAGE_POOL = 0x0900_0000
+PAGE_POOL_SIZE = 0x0080_0000

@@ -1,0 +1,174 @@
+"""Page-table management with randomized PGD pointers (§3.2.4).
+
+Page tables are globally writable kernel data; an attacker who can find
+them can rewrite permissions ("Getting Physical").  RegVault hides
+their location by randomizing every stored *PGD pointer* (the
+``mm_struct.pgd`` field is ``__rand`` with the dedicated key ``f`` and
+the storage address as tweak), and allocates the tables dynamically so
+nothing static reveals them.
+
+The model uses a two-level table: level 1 indexed by va[29:21], level 2
+by va[20:12], 4 KiB pages, entry valid bit 0.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import IRBuilder
+from repro.compiler.ir import Const, Function, GlobalVar, Module
+from repro.compiler.types import FunctionType, I64
+from repro.kernel.layout import PAGE_POOL
+from repro.kernel.structs import MM_STRUCT, SYSCALL_FN, THREAD_INFO
+
+PAGE_SIZE = 4096
+ENTRIES = 512
+VALID = 1
+
+
+def current_mm(b: IRBuilder):
+    current_ptr = b.addr_of_global("current")
+    thread = b.raw_load(current_ptr, name="current")
+    return b.field_addr(thread, THREAD_INFO, "mm")
+
+
+def build_pagetable(module: Module) -> None:
+    module.add_global(GlobalVar("page_pool_next", I64, init=PAGE_POOL))
+    _build_zero_page(module)
+    _build_pt_alloc(module)
+    _build_mm_init(module)
+    _build_mm_map_page(module)
+    _build_map_page(module)
+    _build_translate(module)
+
+
+def _build_zero_page(module: Module) -> None:
+    """mm_zero_page(pa): scrub a freshly mapped page.
+
+    Fresh pages handed to a new process must not leak prior contents;
+    this is the classic (crypto-free) bulk of fork/page-fault work.
+    """
+    func = Function("mm_zero_page", FunctionType(I64, (I64,)), ["pa"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    from repro.compiler.ir import Move
+
+    addr = b.func.new_reg(I64, "addr")
+    b._emit(Move(addr, func.params[0]))
+    end = b.add(func.params[0], Const(PAGE_SIZE))
+    b.br("loop")
+    b.block("loop")
+    b.raw_store(addr, Const(0))
+    b._emit(Move(addr, b.add(addr, 8)))
+    more = b.cmp("ltu", addr, end)
+    b.cond_br(more, "loop", "done")
+    b.block("done")
+    b.ret(Const(0))
+
+
+def _build_pt_alloc(module: Module) -> None:
+    """pt_alloc() -> physical address of a fresh zeroed page."""
+    func = Function("pt_alloc", FunctionType(I64, ()))
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    next_ptr = b.addr_of_global("page_pool_next")
+    page = b.raw_load(next_ptr)
+    b.raw_store(next_ptr, b.add(page, PAGE_SIZE))
+    b.ret(page)
+
+
+def _build_mm_init(module: Module) -> None:
+    """mm_init(mm): allocate the PGD; store its pointer randomized."""
+    func = Function("mm_init", FunctionType(I64, (I64,)), ["mm"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    pgd = b.call("pt_alloc")
+    # The annotated store: in memory, mm->pgd is QARMA ciphertext under
+    # key f, tweaked by &mm->pgd.
+    b.store_field(func.params[0], MM_STRUCT, "pgd", pgd)
+    b.store_field(func.params[0], MM_STRUCT, "page_count", Const(0))
+    b.ret(pgd)
+
+
+def _build_mm_map_page(module: Module) -> None:
+    """mm_map_page(mm, va, pa): install a 4 KiB translation in ``mm``.
+
+    Shared by the syscall below and by fork's child address-space
+    setup (sys_spawn)."""
+    func = Function(
+        "mm_map_page", FunctionType(I64, (I64, I64, I64)),
+        ["mm", "va", "pa"],
+    )
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    mm, va, pa = func.params
+    pgd = b.load_field(mm, MM_STRUCT, "pgd")     # decrypts the pointer
+    index1 = b.and_(b.shr(va, 21), ENTRIES - 1)
+    l1_entry_addr = b.add(pgd, b.shl(index1, 3))
+    l1_entry = b.raw_load(l1_entry_addr)
+    present = b.and_(l1_entry, VALID)
+    has_l2 = b.cmp("ne", present, 0)
+    b.cond_br(has_l2, "have_l2", "alloc_l2")
+
+    b.block("alloc_l2")
+    new_l2 = b.call("pt_alloc")
+    b.raw_store(l1_entry_addr, b.or_(new_l2, VALID))
+    b.br("install")
+
+    b.block("have_l2")
+    b.br("install")
+
+    b.block("install")
+    l1_entry2 = b.raw_load(l1_entry_addr)
+    l2_base = b.and_(l1_entry2, ~(PAGE_SIZE - 1) & 0xFFFFFFFFFFFFFFFF)
+    index2 = b.and_(b.shr(va, 12), ENTRIES - 1)
+    l2_entry_addr = b.add(l2_base, b.shl(index2, 3))
+    page_base = b.and_(pa, ~(PAGE_SIZE - 1) & 0xFFFFFFFFFFFFFFFF)
+    b.raw_store(l2_entry_addr, b.or_(page_base, VALID))
+    count = b.load_field(mm, MM_STRUCT, "page_count")
+    b.store_field(mm, MM_STRUCT, "page_count", b.add(count, 1))
+    b.ret(Const(0))
+
+
+def _build_map_page(module: Module) -> None:
+    """sys_map_page(va, pa): install a translation in the current mm."""
+    func = Function("sys_map_page", SYSCALL_FN, ["va", "pa", "a2"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    mm = current_mm(b)
+    b.ret(b.call("mm_map_page", [mm, func.params[0], func.params[1]]))
+
+
+def _build_translate(module: Module) -> None:
+    """sys_translate(va) -> physical address or -1."""
+    func = Function("sys_translate", SYSCALL_FN, ["va", "a1", "a2"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    va = func.params[0]
+    mm = current_mm(b)
+    pgd = b.load_field(mm, MM_STRUCT, "pgd")
+    index1 = b.and_(b.shr(va, 21), ENTRIES - 1)
+    l1_entry = b.raw_load(b.add(pgd, b.shl(index1, 3)))
+    l1_valid = b.and_(l1_entry, VALID)
+    ok1 = b.cmp("ne", l1_valid, 0)
+    b.cond_br(ok1, "level2", "miss")
+
+    b.block("level2")
+    l2_base = b.and_(l1_entry, ~(PAGE_SIZE - 1) & 0xFFFFFFFFFFFFFFFF)
+    index2 = b.and_(b.shr(va, 12), ENTRIES - 1)
+    l2_entry = b.raw_load(b.add(l2_base, b.shl(index2, 3)))
+    l2_valid = b.and_(l2_entry, VALID)
+    ok2 = b.cmp("ne", l2_valid, 0)
+    b.cond_br(ok2, "hit", "miss")
+
+    b.block("hit")
+    page = b.and_(l2_entry, ~(PAGE_SIZE - 1) & 0xFFFFFFFFFFFFFFFF)
+    offset = b.and_(va, PAGE_SIZE - 1)
+    b.ret(b.or_(page, offset))
+
+    b.block("miss")
+    b.ret(Const(-1))

@@ -1,0 +1,357 @@
+"""Threads, per-thread keys and the round-robin scheduler.
+
+Implements the paper's per-thread key discipline (§3.1.1, §2.4.3):
+
+* at thread creation, fresh RA and interrupt keys are drawn from the
+  entropy device, **wrapped with the master key** (``cremk`` with the
+  storage address as tweak) and stored in ``thread_info``;
+* on a context switch the scheduler flips ``__need_key_reload``; the
+  trap exit path unwraps the incoming thread's keys (``crdmk``) and
+  writes them to key registers ``a`` and ``c``, so every thread's
+  return addresses and interrupt contexts are encrypted under its own
+  keys — this is what defeats cross-thread substitution.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import IRBuilder
+from repro.compiler.ir import Const, Function, GlobalVar, Module, Move
+from repro.compiler.types import ArrayType, FunctionType, I64, VOID
+from repro.crypto.keys import KeySelect
+from repro.isa.csrdefs import KEY_CSRS
+from repro.kernel.config import KernelConfig
+from repro.kernel.irutil import csr_write, halt, rng_read
+from repro.kernel.layout import user_stack_top
+from repro.kernel.structs import CRED, MAX_THREADS, SYSCALL_FN, THREAD_INFO
+
+
+def _num_slots(config: KernelConfig) -> int:
+    return max(config.num_threads, MAX_THREADS)
+
+
+def build_sched(module: Module, config: KernelConfig) -> None:
+    module.add_global(
+        GlobalVar("threads", ArrayType(THREAD_INFO, _num_slots(config)))
+    )
+    module.add_global(GlobalVar("current", I64))
+    module.add_global(GlobalVar("__need_key_reload", I64))
+    module.add_global(GlobalVar("tick_count", I64))
+    _build_thread_at(module)
+    _build_threads_init(module, config)
+    _build_pick_next(module, config)
+    _build_switch_to(module)
+    _build_tick(module, config)
+    _build_sys_yield(module)
+    _build_sys_exit(module, config)
+    _build_sys_getpid(module)
+    _build_sys_getppid(module)
+    _build_sys_spawn(module, config)
+    _build_sys_ticks(module)
+
+
+def _build_thread_at(module: Module) -> None:
+    """thread_at(index) -> &threads[index]."""
+    func = Function("thread_at", FunctionType(I64, (I64,)), ["index"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    base = b.addr_of_global("threads")
+    b.ret(b.index_addr(base, func.params[0], elem_type=THREAD_INFO))
+
+
+def _wrap_key_half(b: IRBuilder, thread, field: str, value) -> None:
+    """Wrap a fresh key word under the master key; store the ciphertext."""
+    addr = b.field_addr(thread, THREAD_INFO, field)
+    wrapped = b.crypto_enc(value, addr, KeySelect.M, (7, 0))
+    b.raw_store(addr, wrapped)
+
+
+def _build_threads_init(module: Module, config: KernelConfig) -> None:
+    """threads_init(user_entry): create every thread, seal contexts."""
+    func = Function(
+        "threads_init", FunctionType(VOID, (I64,)), ["user_entry"]
+    )
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    user_entry = func.params[0]
+
+    for tid in range(_num_slots(config)):
+        thread = b.call("thread_at", [Const(tid)])
+        b.store_field(thread, THREAD_INFO, "tid", Const(tid))
+        if tid >= config.num_threads:
+            # Spare slot for sys_spawn: dead until claimed.
+            b.store_field(thread, THREAD_INFO, "state", Const(0))
+            continue
+        b.store_field(thread, THREAD_INFO, "state", Const(1))
+        b.store_field(thread, THREAD_INFO, "epc", user_entry)
+        b.store_field(
+            thread, THREAD_INFO, "user_sp", Const(user_stack_top(tid))
+        )
+        b.store_field(thread, THREAD_INFO, "user_entry", user_entry)
+
+        if config.uses_keys:
+            # Fresh per-thread keys, wrapped for storage (§3.1.1).
+            ra_lo, ra_hi = rng_read(b), rng_read(b)
+            _wrap_key_half(b, thread, "wrapped_ra_key_lo", ra_lo)
+            _wrap_key_half(b, thread, "wrapped_ra_key_hi", ra_hi)
+            int_lo, int_hi = rng_read(b), rng_read(b)
+            _wrap_key_half(b, thread, "wrapped_int_key_lo", int_lo)
+            _wrap_key_half(b, thread, "wrapped_int_key_hi", int_hi)
+            if config.cip:
+                # cip_seal encrypts the kind marker under key c; it
+                # must be THIS thread's key (the exit path unseals with
+                # the owning thread's key after the reload).
+                csr_write(b, "kregc_lo", int_lo)
+                csr_write(b, "kregc_hi", int_hi)
+
+        ctx = b.field_addr(thread, THREAD_INFO, "ctx")
+        b.call(
+            "cip_seal", [ctx, Const(user_stack_top(tid))], returns=False
+        )
+
+        cred = b.field_addr(thread, THREAD_INFO, "cred")
+        initial_id = 0 if (config.root_thread and tid == 0) else 1000
+        b.call(
+            "cred_init", [cred, Const(initial_id), Const(initial_id)],
+            returns=False,
+        )
+        mm = b.field_addr(thread, THREAD_INFO, "mm")
+        b.call("mm_init", [mm])
+
+    # Thread 0 runs first: expose its context and request a key reload.
+    first = b.call("thread_at", [Const(0)])
+    current_ptr = b.addr_of_global("current")
+    b.raw_store(current_ptr, first)
+    ctx0 = b.field_addr(first, THREAD_INFO, "ctx")
+    csr_write(b, "mscratch", ctx0)
+    flag = b.addr_of_global("__need_key_reload")
+    b.raw_store(flag, Const(1))
+    b.ret()
+
+
+def _build_pick_next(module: Module, config: KernelConfig) -> None:
+    """sched_pick_next() -> next runnable thread (or current if none)."""
+    func = Function("sched_pick_next", FunctionType(I64, ()))
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    current_ptr = b.addr_of_global("current")
+    current = b.raw_load(current_ptr)
+    tid = b.load_field(current, THREAD_INFO, "tid")
+    offset = b.func.new_reg(I64, "offset")
+    b._emit(Move(offset, Const(1)))
+    b.br("scan")
+
+    b.block("scan")
+    in_range = b.cmp("le", offset, _num_slots(config))
+    b.cond_br(in_range, "probe", "none")
+
+    b.block("probe")
+    index = b.remu(b.add(tid, offset), _num_slots(config))
+    candidate = b.call("thread_at", [index])
+    state = b.load_field(candidate, THREAD_INFO, "state")
+    runnable = b.cmp("ne", state, 0)
+    b.cond_br(runnable, "found", "advance")
+
+    b.block("advance")
+    b._emit(Move(offset, b.add(offset, 1)))
+    b.br("scan")
+
+    b.block("found")
+    b.ret(candidate)
+    b.block("none")
+    b.ret(current)
+
+
+def _build_switch_to(module: Module) -> None:
+    """sched_switch_to(thread): make it current; exit path reloads keys."""
+    func = Function("sched_switch_to", FunctionType(VOID, (I64,)), ["next"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    next_thread = func.params[0]
+    current_ptr = b.addr_of_global("current")
+    b.raw_store(current_ptr, next_thread)
+    ctx = b.field_addr(next_thread, THREAD_INFO, "ctx")
+    csr_write(b, "mscratch", ctx)
+    flag = b.addr_of_global("__need_key_reload")
+    b.raw_store(flag, Const(1))
+    b.ret()
+
+
+def _build_tick(module: Module, config: KernelConfig) -> None:
+    """sched_tick(): timer interrupt body — re-arm, maybe switch."""
+    func = Function("sched_tick", FunctionType(VOID, ()))
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    ticks = b.addr_of_global("tick_count")
+    b.raw_store(ticks, b.add(b.raw_load(ticks), 1))
+    if config.timer_interval:
+        now = b.intrinsic("read_cycle", returns=True)
+        b.intrinsic("set_timer", [b.add(now, Const(config.timer_interval))])
+    nxt = b.call("sched_pick_next")
+    current = b.raw_load(b.addr_of_global("current"))
+    same = b.cmp("eq", nxt, current)
+    b.cond_br(same, "out", "switch")
+    b.block("switch")
+    b.call("sched_switch_to", [nxt], returns=False)
+    b.br("out")
+    b.block("out")
+    b.ret()
+
+
+def _build_sys_yield(module: Module) -> None:
+    func = Function("sys_yield", SYSCALL_FN, ["a0", "a1", "a2"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    nxt = b.call("sched_pick_next")
+    current = b.raw_load(b.addr_of_global("current"))
+    same = b.cmp("eq", nxt, current)
+    b.cond_br(same, "out", "switch")
+    b.block("switch")
+    b.call("sched_switch_to", [nxt], returns=False)
+    b.br("out")
+    b.block("out")
+    b.ret(Const(0))
+
+
+def _build_sys_exit(module: Module, config: KernelConfig) -> None:
+    func = Function("sys_exit", SYSCALL_FN, ["code", "a1", "a2"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    current = b.raw_load(b.addr_of_global("current"))
+    b.store_field(current, THREAD_INFO, "state", Const(0))
+    nxt = b.call("sched_pick_next")
+    state = b.load_field(nxt, THREAD_INFO, "state")
+    alive = b.cmp("ne", state, 0)
+    b.cond_br(alive, "switch", "shutdown")
+    b.block("switch")
+    b.call("sched_switch_to", [nxt], returns=False)
+    b.ret(Const(0))
+    b.block("shutdown")
+    halt(b, func.params[0])
+    b.ret(Const(0))
+
+
+def _build_sys_getpid(module: Module) -> None:
+    func = Function("sys_getpid", SYSCALL_FN, ["a0", "a1", "a2"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    current = b.raw_load(b.addr_of_global("current"))
+    b.ret(b.load_field(current, THREAD_INFO, "tid"))
+
+
+def _build_sys_getppid(module: Module) -> None:
+    func = Function("sys_getppid", SYSCALL_FN, ["a0", "a1", "a2"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    b.ret(Const(0))
+
+
+def _build_sys_spawn(module: Module, config: KernelConfig) -> None:
+    """sys_spawn(entry) -> child tid, or -1 when no slot is free.
+
+    The fork-lite path: claims a dead thread slot, **copies the
+    caller's credentials through the typed copy** (the paper's memcpy
+    handling, §2.4.2 — annotated fields are re-encrypted under the
+    child's storage addresses), gives the child a fresh address space,
+    fresh wrapped per-thread keys and a sealed context, and makes it
+    runnable at ``entry``.
+    """
+    func = Function("sys_spawn", SYSCALL_FN, ["entry", "a1", "a2"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry_block")
+    entry = func.params[0]
+    index = b.func.new_reg(I64, "index")
+    b._emit(Move(index, Const(0)))
+    b.br("scan")
+
+    b.block("scan")
+    in_range = b.cmp("lt", index, _num_slots(config))
+    b.cond_br(in_range, "probe", "fail")
+
+    b.block("probe")
+    child = b.call("thread_at", [index])
+    state = b.load_field(child, THREAD_INFO, "state")
+    free = b.cmp("eq", state, 0)
+    b.cond_br(free, "claim", "next")
+
+    b.block("next")
+    b._emit(Move(index, b.add(index, 1)))
+    b.br("scan")
+
+    b.block("claim")
+    b.store_field(child, THREAD_INFO, "epc", entry)
+    b.store_field(child, THREAD_INFO, "user_entry", entry)
+    sp = b.add(Const(user_stack_top(0)), b.mul(index, Const(0x1_0000)))
+    b.store_field(child, THREAD_INFO, "user_sp", sp)
+    b.store_field(child, THREAD_INFO, "syscall_count", Const(0))
+    b.store_field(child, THREAD_INFO, "kernel_cycles", Const(0))
+
+    if config.uses_keys:
+        ra_lo, ra_hi = rng_read(b), rng_read(b)
+        _wrap_key_half(b, child, "wrapped_ra_key_lo", ra_lo)
+        _wrap_key_half(b, child, "wrapped_ra_key_hi", ra_hi)
+        int_lo, int_hi = rng_read(b), rng_read(b)
+        _wrap_key_half(b, child, "wrapped_int_key_lo", int_lo)
+        _wrap_key_half(b, child, "wrapped_int_key_hi", int_hi)
+        if config.cip:
+            # Seal the child's context under ITS interrupt key...
+            csr_write(b, "kregc_lo", int_lo)
+            csr_write(b, "kregc_hi", int_hi)
+
+    ctx = b.field_addr(child, THREAD_INFO, "ctx")
+    b.call("cip_seal", [ctx, sp], returns=False)
+
+    if config.uses_keys and config.cip:
+        # ...then restore the caller's interrupt key (write-only CSRs:
+        # re-derive it by unwrapping the stored copy, §3.1.1).
+        current = b.raw_load(b.addr_of_global("current"))
+        for field_name, csr in (
+            ("wrapped_int_key_lo", "kregc_lo"),
+            ("wrapped_int_key_hi", "kregc_hi"),
+        ):
+            addr = b.field_addr(current, THREAD_INFO, field_name)
+            wrapped = b.raw_load(addr)
+            plain = b.crypto_dec(wrapped, addr, KeySelect.M, (7, 0))
+            csr_write(b, csr, plain)
+
+    # Fork semantics: the child inherits the caller's credentials —
+    # via the typed copy, so every annotated field is re-encrypted
+    # with the child's field addresses as tweaks.
+    current = b.raw_load(b.addr_of_global("current"))
+    src_cred = b.field_addr(current, THREAD_INFO, "cred")
+    dst_cred = b.field_addr(child, THREAD_INFO, "cred")
+    b.call("copy_cred", [dst_cred, src_cred], returns=False)
+
+    mm = b.field_addr(child, THREAD_INFO, "mm")
+    b.call("mm_init", [mm])
+    # Fork builds the child's initial address space: back its stack
+    # with fresh, scrubbed pages — the page-table population and page
+    # zeroing are real fork's dominant (crypto-free) cost.
+    for page in range(8):
+        va = b.sub(sp, Const(0x1000 * (page + 1)))
+        backing = b.call("pt_alloc")
+        b.call("mm_map_page", [mm, va, backing])
+        b.call("mm_zero_page", [backing], returns=False)
+
+    b.store_field(child, THREAD_INFO, "state", Const(1))
+    b.ret(index)
+
+    b.block("fail")
+    b.ret(Const(-1))
+
+
+def _build_sys_ticks(module: Module) -> None:
+    func = Function("sys_ticks", SYSCALL_FN, ["a0", "a1", "a2"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    b.ret(b.raw_load(b.addr_of_global("tick_count")))

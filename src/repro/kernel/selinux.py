@@ -1,0 +1,70 @@
+"""Security feature switches (§3.2.3).
+
+Mirrors the SELinux weak spot the paper describes: all access decisions
+funnel through flag fields in a global ``selinux_state``.  Zeroing
+``initialized`` (or ``enforcing``) in the unprotected kernel disables
+enforcement outright [Shen, BlackHat'17].  Under RegVault the fields
+are ``__rand_integrity``-protected, so the overwrite trips an
+integrity exception at the next check.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import IRBuilder
+from repro.compiler.ir import Const, Function, GlobalVar, Module
+from repro.compiler.types import FunctionType, I64, VOID
+from repro.kernel.structs import SELINUX_STATE, SYSCALL_FN
+
+#: Permissions below this are granted by the toy policy.
+POLICY_ALLOW_BELOW = 4
+
+
+def build_selinux(module: Module) -> None:
+    module.add_global(GlobalVar("selinux_state", SELINUX_STATE))
+    _build_init(module)
+    _build_check(module)
+
+
+def _build_init(module: Module) -> None:
+    func = Function("selinux_init", FunctionType(VOID, ()))
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    state = b.addr_of_global("selinux_state")
+    b.store_field(state, SELINUX_STATE, "lock", Const(0))
+    b.store_field(state, SELINUX_STATE, "disabled", Const(0))
+    b.store_field(state, SELINUX_STATE, "enforcing", Const(1))
+    b.store_field(state, SELINUX_STATE, "initialized", Const(1))
+    b.store_field(state, SELINUX_STATE, "policy_seq", Const(1))
+    b.ret()
+
+
+def _build_check(module: Module) -> None:
+    """sys_selinux_check(perm): 1 = allowed, 0 = denied.
+
+    Keeps the real kernel's logic shape: an uninitialized or
+    non-enforcing state grants everything — that is precisely what the
+    attack exploits by clearing the flags.
+    """
+    func = Function("sys_selinux_check", SYSCALL_FN, ["perm", "a1", "a2"])
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    state = b.addr_of_global("selinux_state")
+    initialized = b.load_field(state, SELINUX_STATE, "initialized")
+    is_init = b.cmp("ne", initialized, 0)
+    b.cond_br(is_init, "check_enforcing", "allow")
+
+    b.block("check_enforcing")
+    enforcing = b.load_field(state, SELINUX_STATE, "enforcing")
+    is_enforcing = b.cmp("ne", enforcing, 0)
+    b.cond_br(is_enforcing, "enforce", "allow")
+
+    b.block("enforce")
+    permitted = b.cmp("lt", func.params[0], POLICY_ALLOW_BELOW)
+    b.cond_br(permitted, "allow", "deny")
+
+    b.block("allow")
+    b.ret(Const(1))
+    b.block("deny")
+    b.ret(Const(0))

@@ -1,0 +1,131 @@
+"""Kernel data structures (the protected data of Table 2).
+
+Annotations follow the paper:
+
+* ``cred`` uid/gid family: ``__rand_integrity`` (§3.2.2) — corrupting
+  them must raise an integrity exception, not yield garbage;
+* ``selinux_state`` control fields: ``__rand_integrity`` except the
+  lock (§3.2.3);
+* ``mm_struct.pgd``: ``__rand`` with the dedicated PGD key ``f``
+  (§3.2.4) — a corrupted pointer decrypts to garbage and faults;
+* keyring payloads are *manually* instrumented (§3.2.1), so the struct
+  carries no annotation — see :mod:`repro.kernel.keyring`.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.types import (
+    Annotation,
+    ArrayType,
+    Field,
+    FunctionType,
+    I32,
+    I64,
+    PointerType,
+    StructType,
+)
+from repro.crypto.keys import KeySelect
+
+#: Context-save slots: kind marker (0), x1..x30 (1-30), the CIP zero
+#: terminator (31), and user t6 saved as two integrity-checked
+#: ciphertext halves (32/33, the Figure-2c split scheme).
+NUM_CTX_SLOTS = 34
+#: Slot index of the CIP zero terminator.
+CTX_TERMINATOR_SLOT = 31
+#: Slot indices of the saved user t6 (x31) halves.
+CTX_T6_SLOT = 32
+CTX_T6_HI_SLOT = 33
+
+#: struct cred (§3.2.2) — uid/gid family integrity-protected.
+CRED = StructType("cred", (
+    Field("usage", I32),
+    Field("uid", I32, Annotation.RAND_INTEGRITY),
+    Field("gid", I32, Annotation.RAND_INTEGRITY),
+    Field("euid", I32, Annotation.RAND_INTEGRITY),
+    Field("egid", I32, Annotation.RAND_INTEGRITY),
+    Field("securebits", I64),
+))
+
+#: struct selinux_state (§3.2.3) — all fields but the lock protected.
+SELINUX_STATE = StructType("selinux_state", (
+    Field("lock", I64),  # "except the lock fields"
+    Field("disabled", I32, Annotation.RAND_INTEGRITY),
+    Field("enforcing", I32, Annotation.RAND_INTEGRITY),
+    Field("initialized", I32, Annotation.RAND_INTEGRITY),
+    Field("policy_seq", I64),
+))
+
+#: struct mm_struct (§3.2.4) — the PGD pointer is randomized with the
+#: dedicated key so spatial substitution across mms fails.
+MM_STRUCT = StructType("mm_struct", (
+    Field("pgd", PointerType(I64), Annotation.RAND, key=KeySelect.F),
+    Field("page_count", I64),
+))
+
+#: One kernel keyring entry (§3.2.1).  The payload words hold QARMA
+#: ciphertext produced by *manual* instrumentation with key ``e``.
+KERNEL_KEY = StructType("kernel_key", (
+    Field("id", I64),
+    Field("in_use", I64),
+    Field("payload_lo", I64),   # ciphertext at rest (manual cre/crd)
+    Field("payload_hi", I64),
+))
+
+#: Size of the keyring table.
+KEYRING_SLOTS = 4
+
+#: struct thread_info — the per-thread kernel bookkeeping.  The paper
+#: adds "a per thread key field to the thread_info, ... encrypted by
+#: the master key in memory and written to key register on context
+#: switches" (§3.1.1); CIP adds a per-thread interrupt key (§2.4.3).
+#: The context array and key fields are deliberately placed before any
+#: annotated member so their offsets are identical in every build.
+THREAD_INFO = StructType("thread_info", (
+    Field("tid", I64),
+    Field("state", I64),            # 0 = dead, 1 = runnable
+    Field("epc", I64),              # resume pc
+    Field("ctx", ArrayType(I64, NUM_CTX_SLOTS)),
+    Field("wrapped_ra_key_lo", I64),
+    Field("wrapped_ra_key_hi", I64),
+    Field("wrapped_int_key_lo", I64),
+    Field("wrapped_int_key_hi", I64),
+    Field("syscall_count", I64),
+    Field("kernel_cycles", I64),
+    Field("user_sp", I64),
+    Field("user_entry", I64),
+    Field("cred", CRED),
+    Field("mm", MM_STRUCT),
+))
+
+#: Syscall handler signature: (a0, a1, a2) -> result.
+SYSCALL_FN = FunctionType(I64, (I64, I64, I64))
+SYSCALL_FN_PTR = PointerType(SYSCALL_FN)
+
+#: The syscall table: an array of function pointers.  Loading an entry
+#: goes through the function-pointer protection (§3.1.2) when enabled.
+NUM_SYSCALLS = 20
+
+#: Thread slots available in the thread table (spawn fills dead slots).
+MAX_THREADS = 4
+
+#: Syscall numbers.
+SYS_NOP = 0
+SYS_GETPID = 1
+SYS_GETUID = 2
+SYS_SETUID = 3
+SYS_WRITE = 4
+SYS_YIELD = 5
+SYS_SELINUX_CHECK = 6
+SYS_ADD_KEY = 7
+SYS_ENCRYPT = 8
+SYS_MAP_PAGE = 9
+SYS_TRANSLATE = 10
+SYS_EXIT = 11
+SYS_GETGID = 12
+SYS_SETGID = 13
+SYS_READ_CYCLE = 14
+SYS_GETPPID = 15
+SYS_SPAWN = 16
+SYS_TICKS = 17
+
+ALL_STRUCTS = (CRED, SELINUX_STATE, MM_STRUCT, KERNEL_KEY, THREAD_INFO)

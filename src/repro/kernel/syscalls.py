@@ -1,0 +1,196 @@
+"""Syscall table and trap dispatcher.
+
+The syscall table is an array of function pointers living in kernel
+data — exactly the kind of control data JOP attacks overwrite.  With
+the ``fp`` option enabled the entries are stored encrypted (key ``b``,
+storage-address tweak) and every dispatch decrypts them, so a planted
+pointer decrypts to garbage and faults (§3.1.2).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import IRBuilder
+from repro.compiler.ir import Const, Function, GlobalVar, Module
+from repro.compiler.types import ArrayType, FunctionType, I64, VOID
+from repro.kernel.config import KernelConfig
+from repro.kernel.irutil import csr_write, halt
+from repro.kernel.structs import (
+    NUM_SYSCALLS,
+    SYS_ADD_KEY,
+    SYS_ENCRYPT,
+    SYS_EXIT,
+    SYS_GETGID,
+    SYS_GETPID,
+    SYS_GETPPID,
+    SYS_GETUID,
+    SYS_MAP_PAGE,
+    SYS_NOP,
+    SYS_READ_CYCLE,
+    SYS_SELINUX_CHECK,
+    SYS_SPAWN,
+    SYS_TICKS,
+    SYS_SETGID,
+    SYS_SETUID,
+    SYS_TRANSLATE,
+    SYS_WRITE,
+    SYS_YIELD,
+    SYSCALL_FN,
+    SYSCALL_FN_PTR,
+    THREAD_INFO,
+)
+
+#: mcause value of the machine timer interrupt.
+TIMER_CAUSE = (1 << 63) | 7
+#: mcause of an environment call from U-mode.
+ECALL_U = 8
+#: Exit-code base for kernel panics (0x100 | cause).
+PANIC_BASE = 0x100
+
+#: syscall number -> handler function name.
+SYSCALL_HANDLERS = {
+    SYS_NOP: "sys_nop",
+    SYS_GETPID: "sys_getpid",
+    SYS_GETUID: "sys_getuid",
+    SYS_SETUID: "sys_setuid",
+    SYS_WRITE: "sys_write",
+    SYS_YIELD: "sys_yield",
+    SYS_SELINUX_CHECK: "sys_selinux_check",
+    SYS_ADD_KEY: "sys_add_key",
+    SYS_ENCRYPT: "sys_encrypt",
+    SYS_MAP_PAGE: "sys_map_page",
+    SYS_TRANSLATE: "sys_translate",
+    SYS_EXIT: "sys_exit",
+    SYS_GETGID: "sys_getgid",
+    SYS_SETGID: "sys_setgid",
+    SYS_READ_CYCLE: "sys_read_cycle",
+    SYS_GETPPID: "sys_getppid",
+    SYS_SPAWN: "sys_spawn",
+    SYS_TICKS: "sys_ticks",
+}
+
+
+def build_syscalls(module: Module, config: KernelConfig) -> None:
+    table_init = [
+        ("func", SYSCALL_HANDLERS.get(i, "sys_nop"))
+        for i in range(NUM_SYSCALLS)
+    ]
+    module.add_global(
+        GlobalVar(
+            "syscall_table",
+            ArrayType(SYSCALL_FN_PTR, NUM_SYSCALLS),
+            init=table_init,
+        )
+    )
+    _build_misc_handlers(module)
+    _build_dispatch(module, config)
+    _build_kernel_main(module, config)
+
+
+def _build_misc_handlers(module: Module) -> None:
+    nop = Function("sys_nop", SYSCALL_FN, ["a0", "a1", "a2"])
+    module.add_function(nop)
+    b = IRBuilder(nop)
+    b.block("entry")
+    b.ret(Const(0))
+
+    write = Function("sys_write", SYSCALL_FN, ["ch", "a1", "a2"])
+    module.add_function(write)
+    b = IRBuilder(write)
+    b.block("entry")
+    b.intrinsic("putc", [write.params[0]])
+    b.ret(Const(1))
+
+    cycles = Function("sys_read_cycle", SYSCALL_FN, ["a0", "a1", "a2"])
+    module.add_function(cycles)
+    b = IRBuilder(cycles)
+    b.block("entry")
+    b.ret(b.intrinsic("read_cycle", returns=True))
+
+
+def _build_dispatch(module: Module, config: KernelConfig) -> None:
+    """trap_dispatch(cause, epc) — called by the trap entry assembly."""
+    func = Function(
+        "trap_dispatch", FunctionType(VOID, (I64, I64)), ["cause", "epc"]
+    )
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    cause, epc = func.params
+
+    current = b.raw_load(b.addr_of_global("current"))
+    ctx = b.field_addr(current, THREAD_INFO, "ctx")
+
+    is_syscall = b.cmp("eq", cause, ECALL_U)
+    b.cond_br(is_syscall, "syscall", "not_syscall")
+
+    # ---- system call -------------------------------------------------------
+    b.block("syscall")
+    b.store_field(current, THREAD_INFO, "epc", b.add(epc, 4))
+    b.local("argbuf", ArrayType(I64, 4))
+    buf = b.addr_of_local("argbuf")
+    b.call("cip_syscall_args", [ctx, buf], returns=False)
+    number = b.raw_load(b.add(buf, 24))                    # saved a7
+    in_range = b.cmp("ltu", number, NUM_SYSCALLS)
+    b.cond_br(in_range, "do_syscall", "bad_syscall")
+
+    b.block("bad_syscall")
+    b.call("cip_regs_set", [ctx, Const(10), Const(-38)], returns=False)
+    b.br("ret_to_user")
+
+    b.block("do_syscall")
+    arg0 = b.raw_load(buf)
+    arg1 = b.raw_load(b.add(buf, 8))
+    arg2 = b.raw_load(b.add(buf, 16))
+    stamp = b.call("audit_entry", [number, arg0])
+    table = b.addr_of_global("syscall_table")
+    entry = b.index_addr(table, number, elem_type=SYSCALL_FN_PTR)
+    handler = b.load(entry, SYSCALL_FN_PTR)   # fp-protected when enabled
+    result = b.call_indirect(handler, [arg0, arg1, arg2])
+    # `current` may have changed (yield/exit); the return value belongs
+    # to the thread that made the syscall.
+    b.call("cip_regs_set", [ctx, Const(10), result], returns=False)
+    b.call("audit_exit", [number, stamp], returns=False)
+    b.br("ret_to_user")
+
+    # ---- not a syscall --------------------------------------------------------
+    b.block("not_syscall")
+    is_timer = b.cmp("eq", cause, Const(TIMER_CAUSE))
+    b.cond_br(is_timer, "timer", "panic")
+
+    b.block("timer")
+    b.store_field(current, THREAD_INFO, "epc", epc)
+    b.call("sched_tick", returns=False)
+    b.br("ret_to_user")
+
+    b.block("panic")
+    # Unexpected trap (including RegVault integrity faults): halt with
+    # a recognizable exit code so the attack framework observes it.
+    code = b.or_(b.and_(cause, 0xFF), Const(PANIC_BASE))
+    halt(b, code)
+    b.ret()
+
+    # ---- common return --------------------------------------------------------
+    b.block("ret_to_user")
+    now_current = b.raw_load(b.addr_of_global("current"))
+    resume = b.load_field(now_current, THREAD_INFO, "epc")
+    csr_write(b, "mepc", resume)
+    b.ret()
+
+
+def _build_kernel_main(module: Module, config: KernelConfig) -> None:
+    """kernel_main(): subsystem bring-up, then back to boot assembly."""
+    func = Function("kernel_main", FunctionType(VOID, ()))
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    b.call("__init_globals", returns=False)
+    b.call("selinux_init", returns=False)
+    user_entry = b.raw_load(b.addr_of_global("__user_entry"))
+    b.call("threads_init", [user_entry], returns=False)
+    if config.timer_interval:
+        now = b.intrinsic("read_cycle", returns=True)
+        b.intrinsic("set_timer", [b.add(now, Const(config.timer_interval))])
+    current = b.raw_load(b.addr_of_global("current"))
+    resume = b.load_field(current, THREAD_INFO, "epc")
+    csr_write(b, "mepc", resume)
+    b.ret()

@@ -1,0 +1,108 @@
+"""In-kernel XTEA cipher (the crypto-subsystem consumer of keyring keys).
+
+The paper's proof of concept protects the AES engine of the Linux
+crypto subsystem (§3.2.1).  AES needs table lookups that would bloat
+this mini kernel, so the in-kernel cipher here is XTEA — the protected
+property is identical: the *keyring key material* feeding the cipher is
+ciphertext at rest and is decrypted by RegVault primitives immediately
+after being loaded (see :mod:`repro.kernel.keyring`); the cipher itself
+only ever sees plaintext key words in registers.
+
+This substitution is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import IRBuilder
+from repro.compiler.ir import Const, Function, Module, Move
+from repro.compiler.types import FunctionType, I64
+
+DELTA = 0x9E3779B9
+ROUNDS = 32
+MASK32 = 0xFFFFFFFF
+
+
+def build_xtea(module: Module) -> None:
+    _build(module, encrypt=True)
+    _build(module, encrypt=False)
+
+
+def _mask32(b: IRBuilder, value):
+    return b.and_(value, Const(MASK32))
+
+
+def _key_word(b: IRBuilder, key_base, index):
+    """k[index & 3] from a 4-word key array on the stack."""
+    masked = b.and_(index, 3)
+    addr = b.add(key_base, b.shl(masked, 3))
+    return b.raw_load(addr)
+
+
+def _build(module: Module, encrypt: bool) -> None:
+    """xtea_{en,de}crypt(block, key_lo, key_hi) -> block'.
+
+    ``key_lo``/``key_hi`` carry k0|k1<<32 and k2|k3<<32 (the 128-bit
+    XTEA key), arriving in registers straight from the keyring decrypt.
+    """
+    name = "xtea_encrypt" if encrypt else "xtea_decrypt"
+    func = Function(
+        name, FunctionType(I64, (I64, I64, I64)),
+        ["block", "key_lo", "key_hi"],
+    )
+    module.add_function(func)
+    b = IRBuilder(func)
+    b.block("entry")
+    block, key_lo, key_hi = func.params
+
+    # Spill the four 32-bit key words to a small stack array so the
+    # round function can index k[sum & 3].
+    from repro.compiler.types import ArrayType
+
+    b.local("keywords", ArrayType(I64, 4))
+    key_base = b.addr_of_local("keywords")
+    b.raw_store(key_base, _mask32(b, key_lo))
+    b.raw_store(b.add(key_base, 8), b.shr(key_lo, 32))
+    b.raw_store(b.add(key_base, 16), _mask32(b, key_hi))
+    b.raw_store(b.add(key_base, 24), b.shr(key_hi, 32))
+
+    v0 = b.func.new_reg(I64, "v0")
+    v1 = b.func.new_reg(I64, "v1")
+    total = b.func.new_reg(I64, "sum")
+    i = b.func.new_reg(I64, "i")
+    b._emit(Move(v0, _mask32(b, block)))
+    b._emit(Move(v1, b.shr(block, 32)))
+    initial_sum = 0 if encrypt else (DELTA * ROUNDS) & 0xFFFFFFFFFFFFFFFF
+    b._emit(Move(total, Const(initial_sum & MASK32)))
+    b._emit(Move(i, Const(0)))
+    b.br("loop")
+
+    b.block("loop")
+
+    def feistel(v, sum_value, key_index_source):
+        shifted_l = b.shl(v, 4)
+        shifted_r = b.shr(v, 5)
+        mixed = b.add(b.xor(shifted_l, shifted_r), v)
+        key = _key_word(b, key_base, key_index_source)
+        return _mask32(b, b.xor(mixed, b.add(sum_value, key)))
+
+    if encrypt:
+        delta0 = feistel(v1, total, total)
+        b._emit(Move(v0, _mask32(b, b.add(v0, delta0))))
+        new_sum = _mask32(b, b.add(total, Const(DELTA)))
+        b._emit(Move(total, new_sum))
+        delta1 = feistel(v0, total, b.shr(total, 11))
+        b._emit(Move(v1, _mask32(b, b.add(v1, delta1))))
+    else:
+        delta1 = feistel(v0, total, b.shr(total, 11))
+        b._emit(Move(v1, _mask32(b, b.sub(v1, delta1))))
+        new_sum = _mask32(b, b.sub(total, Const(DELTA)))
+        b._emit(Move(total, new_sum))
+        delta0 = feistel(v1, total, total)
+        b._emit(Move(v0, _mask32(b, b.sub(v0, delta0))))
+
+    b._emit(Move(i, b.add(i, 1)))
+    more = b.cmp("lt", i, ROUNDS)
+    b.cond_br(more, "loop", "done")
+
+    b.block("done")
+    b.ret(b.or_(v0, b.shl(v1, 32)))

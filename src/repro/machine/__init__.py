@@ -1,0 +1,29 @@
+"""Simulated RV64 machine with the RegVault extension.
+
+The machine models what the paper prototypes on a Rocket core: an
+in-order RV64IM hart with M/S/U privilege levels, a trap unit, a
+CLINT-style timer, MMIO console/power devices, a cycle-cost timing model
+and the RegVault crypto-engine wired into the pipeline.
+"""
+
+from repro.machine.memory import Memory, MemoryRegion
+from repro.machine.regfile import RegisterFile
+from repro.machine.csr import CSRFile
+from repro.machine.trap import Cause, Trap
+from repro.machine.timing import CostModel
+from repro.machine.hart import Hart, PrivilegeLevel
+from repro.machine.machine import Machine, HaltReason
+
+__all__ = [
+    "Memory",
+    "MemoryRegion",
+    "RegisterFile",
+    "CSRFile",
+    "Cause",
+    "Trap",
+    "CostModel",
+    "Hart",
+    "PrivilegeLevel",
+    "Machine",
+    "HaltReason",
+]

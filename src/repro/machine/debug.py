@@ -1,0 +1,143 @@
+"""Execution tracing and symbolization.
+
+Development tooling for the simulated machine: an instruction tracer
+that records (pc, disassembly, register writes) per step and resolves
+addresses against program symbol tables.  Used by the examples and
+invaluable when extending the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.decoder import decode
+from repro.isa.disassembler import disassemble
+from repro.isa.instructions import ABI_NAMES
+from repro.machine.csr import MIP_MTIP
+
+
+class SymbolTable:
+    """Address → nearest preceding symbol resolution."""
+
+    def __init__(self, symbols: dict[str, int] | None = None):
+        self._sorted: list[tuple[int, str]] = []
+        if symbols:
+            self.add_all(symbols)
+
+    def add_all(self, symbols: dict[str, int]) -> None:
+        for name, address in symbols.items():
+            self._sorted.append((address, name))
+        self._sorted.sort()
+
+    def resolve(self, address: int) -> str:
+        """``symbol+offset`` for the nearest preceding symbol."""
+        import bisect
+
+        index = bisect.bisect_right(self._sorted, (address, "\xff")) - 1
+        if index < 0:
+            return f"{address:#x}"
+        base, name = self._sorted[index]
+        offset = address - base
+        return name if offset == 0 else f"{name}+{offset:#x}"
+
+
+@dataclass
+class TraceEntry:
+    """One executed instruction."""
+
+    pc: int
+    text: str
+    location: str
+    written: dict[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        writes = ", ".join(
+            f"{reg}={value:#x}" for reg, value in self.written.items()
+        )
+        suffix = f"   # {writes}" if writes else ""
+        return f"{self.pc:#010x} <{self.location}>: {self.text}{suffix}"
+
+
+class Tracer:
+    """Steps a machine while recording an instruction trace.
+
+    >>> tracer = Tracer(machine, symbols=program.symbols)  # doctest: +SKIP
+    >>> tracer.step(100)                                   # doctest: +SKIP
+    >>> print(tracer.format_tail(5))                       # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        machine,
+        symbols: dict[str, int] | None = None,
+        max_entries: int = 10_000,
+    ):
+        self.machine = machine
+        self.symbols = SymbolTable(symbols)
+        self.max_entries = max_entries
+        self.entries: list[TraceEntry] = []
+
+    def step(self, count: int = 1, until_pc: int | None = None) -> int:
+        """Execute up to ``count`` instructions, tracing each.
+
+        Stops early at ``until_pc`` or machine shutdown; returns the
+        number of instructions traced.
+        """
+        machine = self.machine
+        hart = machine.hart
+        executed = 0
+        for _ in range(count):
+            if machine.syscon.shutdown_requested:
+                break
+            pc = hart.pc
+            if until_pc is not None and pc == until_pc:
+                break
+            try:
+                word = machine.bus.read_u32(pc)
+                text = disassemble(decode(word))
+            except Exception:
+                text = "<unfetchable>"
+            before = list(hart.regs._regs)
+            machine.clint.mtime = hart.cycles
+            hart.csrs.set_mip_bit(MIP_MTIP, machine.clint.timer_pending)
+            hart.step()
+            written = {
+                ABI_NAMES[i]: after
+                for i, (prev, after) in enumerate(
+                    zip(before, hart.regs._regs)
+                )
+                if prev != after
+            }
+            self._record(TraceEntry(
+                pc=pc,
+                text=text,
+                location=self.symbols.resolve(pc),
+                written=written,
+            ))
+            executed += 1
+        return executed
+
+    def _record(self, entry: TraceEntry) -> None:
+        self.entries.append(entry)
+        if len(self.entries) > self.max_entries:
+            del self.entries[: len(self.entries) - self.max_entries]
+
+    # -- reporting ---------------------------------------------------------
+
+    def format_tail(self, count: int = 20) -> str:
+        return "\n".join(str(entry) for entry in self.entries[-count:])
+
+    def calls(self) -> list[str]:
+        """Locations of function entries observed (offset 0 hits)."""
+        return [
+            entry.location
+            for entry in self.entries
+            if "+" not in entry.location and ":" not in entry.location
+        ]
+
+    def crypto_instructions(self) -> list[TraceEntry]:
+        """All RegVault primitives executed."""
+        return [
+            entry for entry in self.entries
+            if entry.text.startswith(("cre", "crd"))
+        ]

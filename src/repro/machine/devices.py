@@ -1,0 +1,142 @@
+"""Memory-mapped devices: CLINT timer, UART console, SYSCON power.
+
+Addresses follow common RISC-V platform conventions (QEMU ``virt``):
+
+* CLINT at ``0x0200_0000`` — ``mtimecmp`` at +0x4000, ``mtime`` at
+  +0xBFF8; ``mtime`` advances with the hart's cycle counter.
+* SYSCON at ``0x0201_0000`` — writing ``0x5555`` powers off (tests and
+  workloads use this to halt the machine with an exit code in the upper
+  bits).
+* UART at ``0x1000_0000`` — write-only byte register collecting console
+  output.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bits import MASK64
+
+CLINT_BASE = 0x0200_0000
+CLINT_MTIMECMP = CLINT_BASE + 0x4000
+CLINT_MTIME = CLINT_BASE + 0xBFF8
+CLINT_SIZE = 0x10000
+
+SYSCON_ADDR = 0x0201_0000
+SYSCON_POWEROFF = 0x5555
+
+UART_BASE = 0x1000_0000
+UART_SIZE = 0x100
+
+RNG_ADDR = 0x0202_0000
+
+
+class Device:
+    """Protocol for a memory-mapped device."""
+
+    base = 0
+    size = 0
+
+    def contains(self, address: int, length: int) -> bool:
+        return self.base <= address and address + length <= self.base + self.size
+
+    def read(self, address: int, size: int) -> int:
+        raise NotImplementedError
+
+    def write(self, address: int, size: int, value: int) -> None:
+        raise NotImplementedError
+
+
+class Clint(Device):
+    """Core-local interruptor: machine timer."""
+
+    base = CLINT_BASE
+    size = CLINT_SIZE
+
+    def __init__(self):
+        self.mtime = 0
+        self.mtimecmp = MASK64  # never fires until programmed
+
+    def read(self, address: int, size: int) -> int:
+        if address == CLINT_MTIME:
+            return self.mtime
+        if address == CLINT_MTIMECMP:
+            return self.mtimecmp
+        return 0
+
+    def write(self, address: int, size: int, value: int) -> None:
+        if address == CLINT_MTIME:
+            self.mtime = value & MASK64
+        elif address == CLINT_MTIMECMP:
+            self.mtimecmp = value & MASK64
+
+    @property
+    def timer_pending(self) -> bool:
+        return self.mtime >= self.mtimecmp
+
+
+class Syscon(Device):
+    """Power controller; a write requests shutdown."""
+
+    base = SYSCON_ADDR
+    size = 8
+
+    def __init__(self):
+        self.shutdown_requested = False
+        self.exit_code = 0
+
+    def read(self, address: int, size: int) -> int:
+        return 0
+
+    def write(self, address: int, size: int, value: int) -> None:
+        if (value & 0xFFFF) == SYSCON_POWEROFF:
+            self.shutdown_requested = True
+            self.exit_code = (value >> 16) & 0xFFFF
+
+
+class Uart(Device):
+    """Write-only console."""
+
+    base = UART_BASE
+    size = UART_SIZE
+
+    def __init__(self):
+        self.output = bytearray()
+
+    def read(self, address: int, size: int) -> int:
+        return 0
+
+    def write(self, address: int, size: int, value: int) -> None:
+        if address == self.base:
+            self.output.append(value & 0xFF)
+
+    @property
+    def text(self) -> str:
+        return self.output.decode("utf-8", errors="replace")
+
+
+class Rng(Device):
+    """Hardware entropy source (deterministic in simulation).
+
+    The kernel reads 64-bit words from this device to generate the
+    general key registers at boot — the paper's kernel "can write
+    general key registers" but never sees the master key, which is
+    installed by hardware at reset (see KernelSession).
+    """
+
+    base = RNG_ADDR
+    size = 8
+
+    #: splitmix64 constants.
+    _GAMMA = 0x9E3779B97F4A7C15
+
+    def __init__(self, seed: int = 0x243F6A8885A308D3):
+        self.state = seed & MASK64
+
+    def read(self, address: int, size: int) -> int:
+        self.state = (self.state + self._GAMMA) & MASK64
+        z = self.state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+        return z ^ (z >> 31)
+
+    def write(self, address: int, size: int, value: int) -> None:
+        self.state = value & MASK64  # reseed

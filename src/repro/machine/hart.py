@@ -1,0 +1,522 @@
+"""The simulated RV64IM hart with the RegVault extension.
+
+Models an in-order, single-issue core (the paper's Rocket baseline):
+fetch, decode (memoized), execute, trap.  The RegVault crypto-engine is
+invoked by the ``cre``/``crd`` instructions; its privilege gate and
+integrity faults surface as architectural traps.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.crypto.engine import CryptoEngine
+from repro.errors import (
+    DecodeError,
+    IntegrityViolation,
+    MemoryFault,
+    PrivilegeError,
+)
+from repro.isa import csrdefs
+from repro.isa import instructions as tab
+from repro.isa.decoder import decode
+from repro.isa.instructions import Instruction
+from repro.machine.csr import (
+    CSRFile,
+    MIE_MTIE,
+    MIP_MTIP,
+    MSTATUS_MIE,
+    MSTATUS_MPIE,
+    MSTATUS_MPP_MASK,
+    MSTATUS_MPP_SHIFT,
+)
+from repro.machine.regfile import RegisterFile
+from repro.machine.timing import CostModel
+from repro.machine.trap import Cause, Trap, mcause_value
+from repro.utils.bits import (
+    MASK64,
+    sign_extend,
+    to_signed64,
+    to_unsigned64,
+)
+
+
+class PrivilegeLevel(enum.IntEnum):
+    USER = 0
+    SUPERVISOR = 1
+    MACHINE = 3
+
+
+class Hart:
+    """One hardware thread.
+
+    Parameters
+    ----------
+    bus:
+        Object with ``read_u8/16/32/64`` and ``write_u8/16/32/64``
+        methods (a :class:`repro.machine.machine.SystemBus` or a bare
+        :class:`repro.machine.memory.Memory`).
+    engine:
+        The RegVault crypto-engine (key registers + CLB + QARMA).
+    cost_model:
+        Cycle accounting; see :mod:`repro.machine.timing`.
+    """
+
+    def __init__(
+        self,
+        bus,
+        engine: CryptoEngine | None = None,
+        cost_model: CostModel | None = None,
+    ):
+        self.bus = bus
+        self.engine = engine if engine is not None else CryptoEngine()
+        self.cost = cost_model or CostModel()
+        self.regs = RegisterFile()
+        self.csrs = CSRFile(self.engine.key_file)
+        self.pc = 0
+        self.privilege = PrivilegeLevel.MACHINE
+        self.cycles = 0
+        self.instret = 0
+        self.waiting_for_interrupt = False
+        self._decode_cache: dict[int, Instruction] = {}
+        self.csrs.counter_hooks[csrdefs.CYCLE] = lambda: self.cycles
+        self.csrs.counter_hooks[csrdefs.TIME] = lambda: self.cycles
+        self.csrs.counter_hooks[csrdefs.INSTRET] = lambda: self.instret
+        self.csrs.counter_hooks[csrdefs.MCYCLE] = lambda: self.cycles
+        self.csrs.counter_hooks[csrdefs.MINSTRET] = lambda: self.instret
+        self._dispatch = self._build_dispatch()
+
+    # ------------------------------------------------------------------ step --
+
+    def step(self) -> None:
+        """Execute one instruction (or take one pending interrupt)."""
+        if self._take_pending_interrupt():
+            return
+        pc = self.pc
+        try:
+            word = self._fetch(pc)
+            ins = self._decode_cache.get(word)
+            if ins is None:
+                try:
+                    ins = decode(word)
+                except DecodeError:
+                    raise Trap(Cause.ILLEGAL_INSTRUCTION, tval=word) from None
+                self._decode_cache[word] = ins
+            handler = self._dispatch.get(ins.mnemonic)
+            if handler is None:
+                raise Trap(Cause.ILLEGAL_INSTRUCTION, tval=word)
+            next_pc = handler(ins, pc)
+            self.pc = (pc + 4) if next_pc is None else next_pc
+            self.instret += 1
+        except Trap as trap:
+            self._enter_trap(trap, pc)
+
+    def _fetch(self, pc: int) -> int:
+        if pc % 4:
+            raise Trap(Cause.INSTRUCTION_MISALIGNED, tval=pc)
+        try:
+            return self.bus.read_u32(pc)
+        except MemoryFault:
+            raise Trap(Cause.INSTRUCTION_ACCESS_FAULT, tval=pc) from None
+
+    # ------------------------------------------------------------- interrupts --
+
+    def _take_pending_interrupt(self) -> bool:
+        mip = self.csrs.raw_read(csrdefs.MIP)
+        mie = self.csrs.raw_read(csrdefs.MIE)
+        pending = mip & mie
+        if not pending & MIP_MTIP:
+            return False
+        enabled = (
+            self.privilege < PrivilegeLevel.MACHINE
+            or self.csrs.mstatus & MSTATUS_MIE
+        )
+        if not enabled:
+            return False
+        self.waiting_for_interrupt = False
+        self._enter_trap(
+            Trap(Cause.MACHINE_TIMER_INTERRUPT, interrupt=True), self.pc
+        )
+        return True
+
+    # ------------------------------------------------------------------ traps --
+
+    def _enter_trap(self, trap: Trap, pc: int) -> None:
+        """Trap into machine mode (this model does not delegate)."""
+        self.csrs.raw_write(csrdefs.MEPC, pc)
+        self.csrs.raw_write(
+            csrdefs.MCAUSE, mcause_value(trap.cause, trap.interrupt)
+        )
+        self.csrs.raw_write(csrdefs.MTVAL, trap.tval)
+        mstatus = self.csrs.mstatus
+        mpie = 1 if mstatus & MSTATUS_MIE else 0
+        mstatus &= ~(MSTATUS_MIE | MSTATUS_MPIE | MSTATUS_MPP_MASK) & MASK64
+        mstatus |= mpie << 7
+        mstatus |= int(self.privilege) << MSTATUS_MPP_SHIFT
+        self.csrs.mstatus = mstatus
+        self.privilege = PrivilegeLevel.MACHINE
+        mtvec = self.csrs.raw_read(csrdefs.MTVEC)
+        if mtvec == 0:
+            raise Trap(trap.cause, trap.tval, trap.interrupt)
+        self.pc = mtvec & ~0b11
+        self.cycles += self.cost.trap_entry
+
+    def _mret(self, ins: Instruction, pc: int) -> int:
+        if self.privilege != PrivilegeLevel.MACHINE:
+            raise Trap(Cause.ILLEGAL_INSTRUCTION)
+        mstatus = self.csrs.mstatus
+        previous = (mstatus & MSTATUS_MPP_MASK) >> MSTATUS_MPP_SHIFT
+        mie = 1 if mstatus & MSTATUS_MPIE else 0
+        mstatus &= ~(MSTATUS_MIE | MSTATUS_MPIE | MSTATUS_MPP_MASK) & MASK64
+        mstatus |= mie << 3
+        mstatus |= MSTATUS_MPIE
+        self.csrs.mstatus = mstatus
+        self.privilege = PrivilegeLevel(previous)
+        self.cycles += self.cost.trap_return
+        return self.csrs.raw_read(csrdefs.MEPC)
+
+    # ---------------------------------------------------------------- dispatch --
+
+    def _build_dispatch(self):
+        d = {}
+
+        # ALU register-register.
+        d["add"] = self._alu(lambda a, b: a + b)
+        d["sub"] = self._alu(lambda a, b: a - b)
+        d["sll"] = self._alu(lambda a, b: a << (b & 63))
+        d["slt"] = self._alu(
+            lambda a, b: int(to_signed64(a) < to_signed64(b))
+        )
+        d["sltu"] = self._alu(lambda a, b: int(a < b))
+        d["xor"] = self._alu(lambda a, b: a ^ b)
+        d["srl"] = self._alu(lambda a, b: a >> (b & 63))
+        d["sra"] = self._alu(lambda a, b: to_signed64(a) >> (b & 63))
+        d["or"] = self._alu(lambda a, b: a | b)
+        d["and"] = self._alu(lambda a, b: a & b)
+        d["mul"] = self._alu(lambda a, b: a * b)
+        d["mulh"] = self._alu(
+            lambda a, b: (to_signed64(a) * to_signed64(b)) >> 64
+        )
+        d["mulhsu"] = self._alu(lambda a, b: (to_signed64(a) * b) >> 64)
+        d["mulhu"] = self._alu(lambda a, b: (a * b) >> 64)
+        d["div"] = self._alu(self._div)
+        d["divu"] = self._alu(self._divu)
+        d["rem"] = self._alu(self._rem)
+        d["remu"] = self._alu(self._remu)
+
+        # 32-bit ("W") register-register.
+        d["addw"] = self._alu_w(lambda a, b: a + b)
+        d["subw"] = self._alu_w(lambda a, b: a - b)
+        d["sllw"] = self._alu_w(lambda a, b: a << (b & 31))
+        d["srlw"] = self._alu_w(lambda a, b: (a & 0xFFFFFFFF) >> (b & 31))
+        d["sraw"] = self._alu_w(
+            lambda a, b: sign_extend(a & 0xFFFFFFFF, 32) >> (b & 31)
+        )
+        d["mulw"] = self._alu_w(lambda a, b: a * b)
+        d["divw"] = self._alu_w(self._div32)
+        d["divuw"] = self._alu_w(self._divu32)
+        d["remw"] = self._alu_w(self._rem32)
+        d["remuw"] = self._alu_w(self._remu32)
+
+        # ALU immediates.
+        d["addi"] = self._alu_imm(lambda a, i: a + i)
+        d["slti"] = self._alu_imm(lambda a, i: int(to_signed64(a) < i))
+        d["sltiu"] = self._alu_imm(lambda a, i: int(a < to_unsigned64(i)))
+        d["xori"] = self._alu_imm(lambda a, i: a ^ to_unsigned64(i))
+        d["ori"] = self._alu_imm(lambda a, i: a | to_unsigned64(i))
+        d["andi"] = self._alu_imm(lambda a, i: a & to_unsigned64(i))
+        d["slli"] = self._alu_imm(lambda a, i: a << i)
+        d["srli"] = self._alu_imm(lambda a, i: a >> i)
+        d["srai"] = self._alu_imm(lambda a, i: to_signed64(a) >> i)
+        d["addiw"] = self._alu_imm_w(lambda a, i: a + i)
+        d["slliw"] = self._alu_imm_w(lambda a, i: a << i)
+        d["srliw"] = self._alu_imm_w(lambda a, i: (a & 0xFFFFFFFF) >> i)
+        d["sraiw"] = self._alu_imm_w(
+            lambda a, i: sign_extend(a & 0xFFFFFFFF, 32) >> i
+        )
+
+        # Memory.
+        for mnemonic in tab.LOADS:
+            d[mnemonic] = self._make_load(mnemonic)
+        for mnemonic in tab.STORES:
+            d[mnemonic] = self._make_store(mnemonic)
+
+        # Control flow.
+        d["beq"] = self._branch(lambda a, b: a == b)
+        d["bne"] = self._branch(lambda a, b: a != b)
+        d["blt"] = self._branch(
+            lambda a, b: to_signed64(a) < to_signed64(b)
+        )
+        d["bge"] = self._branch(
+            lambda a, b: to_signed64(a) >= to_signed64(b)
+        )
+        d["bltu"] = self._branch(lambda a, b: a < b)
+        d["bgeu"] = self._branch(lambda a, b: a >= b)
+        d["jal"] = self._jal
+        d["jalr"] = self._jalr
+        d["lui"] = self._lui
+        d["auipc"] = self._auipc
+
+        # System.
+        d["fence"] = self._fence
+        d["ecall"] = self._ecall
+        d["ebreak"] = self._ebreak
+        d["mret"] = self._mret
+        d["sret"] = self._mret  # single-trap-level model: sret behaves as mret
+        d["wfi"] = self._wfi
+        for mnemonic in tab.CSR_OPS:
+            d[mnemonic] = self._make_csr(mnemonic)
+
+        # RegVault.
+        from repro.crypto.keys import KeySelect
+
+        for ksel in KeySelect:
+            d[tab.crypto_mnemonic(True, ksel)] = self._make_crypto(True)
+            d[tab.crypto_mnemonic(False, ksel)] = self._make_crypto(False)
+
+        return d
+
+    # -- handler factories -------------------------------------------------------
+
+    def _alu(self, op):
+        def handler(ins: Instruction, pc: int):
+            self.regs.write(ins.rd, op(self.regs[ins.rs1], self.regs[ins.rs2]))
+            self.cycles += self.cost.cost(ins.mnemonic)
+            return None
+
+        return handler
+
+    def _alu_w(self, op):
+        def handler(ins: Instruction, pc: int):
+            result = op(self.regs[ins.rs1], self.regs[ins.rs2])
+            self.regs.write(ins.rd, to_unsigned64(sign_extend(result, 32)))
+            self.cycles += self.cost.cost(ins.mnemonic)
+            return None
+
+        return handler
+
+    def _alu_imm(self, op):
+        def handler(ins: Instruction, pc: int):
+            self.regs.write(ins.rd, op(self.regs[ins.rs1], ins.imm))
+            self.cycles += self.cost.cost(ins.mnemonic)
+            return None
+
+        return handler
+
+    def _alu_imm_w(self, op):
+        def handler(ins: Instruction, pc: int):
+            result = op(self.regs[ins.rs1], ins.imm)
+            self.regs.write(ins.rd, to_unsigned64(sign_extend(result, 32)))
+            self.cycles += self.cost.cost(ins.mnemonic)
+            return None
+
+        return handler
+
+    @staticmethod
+    def _div(a, b):
+        sa, sb = to_signed64(a), to_signed64(b)
+        if sb == 0:
+            return MASK64
+        if sa == -(1 << 63) and sb == -1:
+            return a
+        quotient = abs(sa) // abs(sb)
+        return -quotient if (sa < 0) != (sb < 0) else quotient
+
+    @staticmethod
+    def _divu(a, b):
+        return MASK64 if b == 0 else a // b
+
+    @staticmethod
+    def _rem(a, b):
+        sa, sb = to_signed64(a), to_signed64(b)
+        if sb == 0:
+            return a
+        if sa == -(1 << 63) and sb == -1:
+            return 0
+        remainder = abs(sa) % abs(sb)
+        return -remainder if sa < 0 else remainder
+
+    @staticmethod
+    def _remu(a, b):
+        return a if b == 0 else a % b
+
+    @staticmethod
+    def _div32(a, b):
+        sa = sign_extend(a & 0xFFFFFFFF, 32)
+        sb = sign_extend(b & 0xFFFFFFFF, 32)
+        if sb == 0:
+            return -1
+        if sa == -(1 << 31) and sb == -1:
+            return sa
+        quotient = abs(sa) // abs(sb)
+        return -quotient if (sa < 0) != (sb < 0) else quotient
+
+    @staticmethod
+    def _divu32(a, b):
+        ua, ub = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+        return 0xFFFFFFFF if ub == 0 else ua // ub
+
+    @staticmethod
+    def _rem32(a, b):
+        sa = sign_extend(a & 0xFFFFFFFF, 32)
+        sb = sign_extend(b & 0xFFFFFFFF, 32)
+        if sb == 0:
+            return sa
+        if sa == -(1 << 31) and sb == -1:
+            return 0
+        remainder = abs(sa) % abs(sb)
+        return -remainder if sa < 0 else remainder
+
+    @staticmethod
+    def _remu32(a, b):
+        ua, ub = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+        return ua if ub == 0 else ua % ub
+
+    def _make_load(self, mnemonic: str):
+        size = tab.ACCESS_SIZE[mnemonic]
+        signed = not mnemonic.endswith("u") and mnemonic != "ld"
+        reader = {
+            1: lambda a: self.bus.read_u8(a),
+            2: lambda a: self.bus.read_u16(a),
+            4: lambda a: self.bus.read_u32(a),
+            8: lambda a: self.bus.read_u64(a),
+        }[size]
+
+        def handler(ins: Instruction, pc: int):
+            address = (self.regs[ins.rs1] + ins.imm) & MASK64
+            try:
+                value = reader(address)
+            except MemoryFault:
+                raise Trap(Cause.LOAD_ACCESS_FAULT, tval=address) from None
+            if signed:
+                value = to_unsigned64(sign_extend(value, size * 8))
+            self.regs.write(ins.rd, value)
+            self.cycles += self.cost.load
+            return None
+
+        return handler
+
+    def _make_store(self, mnemonic: str):
+        size = tab.ACCESS_SIZE[mnemonic]
+        writer = {
+            1: lambda a, v: self.bus.write_u8(a, v),
+            2: lambda a, v: self.bus.write_u16(a, v),
+            4: lambda a, v: self.bus.write_u32(a, v),
+            8: lambda a, v: self.bus.write_u64(a, v),
+        }[size]
+
+        def handler(ins: Instruction, pc: int):
+            address = (self.regs[ins.rs1] + ins.imm) & MASK64
+            try:
+                writer(address, self.regs[ins.rs2])
+            except MemoryFault:
+                raise Trap(Cause.STORE_ACCESS_FAULT, tval=address) from None
+            self.cycles += self.cost.store
+            return None
+
+        return handler
+
+    def _branch(self, condition):
+        def handler(ins: Instruction, pc: int):
+            taken = condition(self.regs[ins.rs1], self.regs[ins.rs2])
+            self.cycles += self.cost.cost(ins.mnemonic, branch_taken=taken)
+            return (pc + ins.imm) & MASK64 if taken else None
+
+        return handler
+
+    def _jal(self, ins: Instruction, pc: int):
+        self.regs.write(ins.rd, pc + 4)
+        self.cycles += self.cost.jump
+        return (pc + ins.imm) & MASK64
+
+    def _jalr(self, ins: Instruction, pc: int):
+        target = (self.regs[ins.rs1] + ins.imm) & MASK64 & ~1
+        self.regs.write(ins.rd, pc + 4)
+        self.cycles += self.cost.jump
+        return target
+
+    def _lui(self, ins: Instruction, pc: int):
+        self.regs.write(ins.rd, to_unsigned64(ins.imm))
+        self.cycles += self.cost.default
+        return None
+
+    def _auipc(self, ins: Instruction, pc: int):
+        self.regs.write(ins.rd, (pc + ins.imm) & MASK64)
+        self.cycles += self.cost.default
+        return None
+
+    def _fence(self, ins: Instruction, pc: int):
+        self.cycles += self.cost.default
+        return None
+
+    def _ecall(self, ins: Instruction, pc: int):
+        cause = {
+            PrivilegeLevel.USER: Cause.ECALL_FROM_U,
+            PrivilegeLevel.SUPERVISOR: Cause.ECALL_FROM_S,
+            PrivilegeLevel.MACHINE: Cause.ECALL_FROM_M,
+        }[self.privilege]
+        raise Trap(cause)
+
+    def _ebreak(self, ins: Instruction, pc: int):
+        raise Trap(Cause.BREAKPOINT, tval=pc)
+
+    def _wfi(self, ins: Instruction, pc: int):
+        self.waiting_for_interrupt = True
+        self.cycles += self.cost.default
+        return None
+
+    def _make_csr(self, mnemonic: str):
+        write_op = mnemonic in ("csrrw", "csrrwi")
+        set_op = mnemonic in ("csrrs", "csrrsi")
+        immediate = mnemonic.endswith("i")
+
+        def handler(ins: Instruction, pc: int):
+            operand = ins.rs1 if immediate else self.regs[ins.rs1]
+            reads = not (write_op and ins.rd == 0)
+            writes = write_op or (not immediate and ins.rs1 != 0) or (
+                immediate and ins.rs1 != 0
+            )
+            old = self.csrs.read(ins.csr, self.privilege) if reads else 0
+            if writes:
+                if write_op:
+                    new = operand
+                elif set_op:
+                    new = old | operand
+                else:
+                    new = old & ~operand & MASK64
+                self.csrs.write(ins.csr, new, self.privilege)
+            self.regs.write(ins.rd, old)
+            self.cycles += self.cost.csr
+            return None
+
+        return handler
+
+    def _make_crypto(self, is_encrypt: bool):
+        def handler(ins: Instruction, pc: int):
+            value = self.regs[ins.rs1]
+            tweak = self.regs[ins.rs2]
+            try:
+                if is_encrypt:
+                    result, op_cycles = self.engine.encrypt(
+                        ins.ksel, value, ins.byte_range, tweak,
+                        privilege=int(self.privilege),
+                    )
+                else:
+                    result, op_cycles = self.engine.decrypt(
+                        ins.ksel, value, ins.byte_range, tweak,
+                        privilege=int(self.privilege),
+                    )
+            except PrivilegeError:
+                raise Trap(Cause.ILLEGAL_INSTRUCTION, tval=pc) from None
+            except IntegrityViolation:
+                # A failed decrypt still consumed the engine latency.
+                self.cycles += self.engine.miss_cycles
+                raise Trap(
+                    Cause.REGVAULT_INTEGRITY_FAULT, tval=pc
+                ) from None
+            self.regs.write(ins.rd, result)
+            # Engine latency: 1 cycle on a CLB hit, 3 on a miss (§4.2).
+            self.cycles += op_cycles
+            return None
+
+        return handler

@@ -1,0 +1,154 @@
+"""Sparse simulated physical memory.
+
+Memory is organized as explicitly mapped regions backed by 4 KiB pages
+allocated on demand.  Accesses outside any mapped region raise
+:class:`MemoryFault`, which the hart converts into access-fault traps —
+this is what makes a garbage-decrypted pointer *observable* as a crash,
+exactly the paper's argument for pointer randomization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemoryFault
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A mapped address range [base, base + size)."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        return self.base <= address and address + length <= self.end
+
+
+class Memory:
+    """Sparse byte-addressable memory with region mapping.
+
+    ``strict=False`` turns the whole address space into one implicit
+    region (useful for small unit tests); the kernel and benchmarks run
+    with ``strict=True``.
+    """
+
+    def __init__(self, strict: bool = True):
+        self.strict = strict
+        self.regions: list[MemoryRegion] = []
+        self._pages: dict[int, bytearray] = {}
+
+    # -- mapping ---------------------------------------------------------------
+
+    def map_region(self, name: str, base: int, size: int) -> MemoryRegion:
+        """Map [base, base+size); overlapping an existing region is an error."""
+        if size <= 0:
+            raise ValueError(f"region {name!r} must have positive size")
+        region = MemoryRegion(name, base, size)
+        for existing in self.regions:
+            if base < existing.end and existing.base < region.end:
+                raise ValueError(
+                    f"region {name!r} overlaps {existing.name!r}"
+                )
+        self.regions.append(region)
+        return region
+
+    def is_mapped(self, address: int, length: int = 1) -> bool:
+        if not self.strict:
+            return True
+        return any(r.contains(address, length) for r in self.regions)
+
+    def region_at(self, address: int) -> MemoryRegion | None:
+        for region in self.regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def _check(self, address: int, length: int) -> None:
+        if address < 0:
+            raise MemoryFault(address, "negative address")
+        if not self.is_mapped(address, length):
+            raise MemoryFault(address, "access to unmapped memory")
+
+    # -- raw byte access -------------------------------------------------------
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        self._check(address, length)
+        out = bytearray(length)
+        offset = 0
+        while offset < length:
+            page_index = (address + offset) >> PAGE_SHIFT
+            page_offset = (address + offset) & (PAGE_SIZE - 1)
+            chunk = min(length - offset, PAGE_SIZE - page_offset)
+            page = self._pages.get(page_index)
+            if page is not None:
+                out[offset:offset + chunk] = page[
+                    page_offset:page_offset + chunk
+                ]
+            offset += chunk
+        return bytes(out)
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        self._check(address, len(data))
+        offset = 0
+        length = len(data)
+        while offset < length:
+            page_index = (address + offset) >> PAGE_SHIFT
+            page_offset = (address + offset) & (PAGE_SIZE - 1)
+            chunk = min(length - offset, PAGE_SIZE - page_offset)
+            page = self._pages.get(page_index)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[page_index] = page
+            page[page_offset:page_offset + chunk] = data[
+                offset:offset + chunk
+            ]
+            offset += chunk
+
+    # -- typed access -----------------------------------------------------------
+
+    def read_u8(self, address: int) -> int:
+        return self.read_bytes(address, 1)[0]
+
+    def read_u16(self, address: int) -> int:
+        return int.from_bytes(self.read_bytes(address, 2), "little")
+
+    def read_u32(self, address: int) -> int:
+        return int.from_bytes(self.read_bytes(address, 4), "little")
+
+    def read_u64(self, address: int) -> int:
+        return int.from_bytes(self.read_bytes(address, 8), "little")
+
+    def write_u8(self, address: int, value: int) -> None:
+        self.write_bytes(address, bytes([value & 0xFF]))
+
+    def write_u16(self, address: int, value: int) -> None:
+        self.write_bytes(address, (value & 0xFFFF).to_bytes(2, "little"))
+
+    def write_u32(self, address: int, value: int) -> None:
+        self.write_bytes(address, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def write_u64(self, address: int, value: int) -> None:
+        self.write_bytes(
+            address, (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+        )
+
+    # -- program loading ---------------------------------------------------------
+
+    def load_program(self, program) -> None:
+        """Map and copy every section of an assembled Program."""
+        for section in program.sections.values():
+            if not section.data:
+                continue
+            size = (len(section.data) + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+            if not self.is_mapped(section.base, len(section.data)):
+                self.map_region(section.name, section.base, size)
+            self.write_bytes(section.base, bytes(section.data))

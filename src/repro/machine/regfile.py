@@ -1,0 +1,41 @@
+"""General-purpose register file (x0..x31, x0 hardwired to zero)."""
+
+from __future__ import annotations
+
+from repro.isa.instructions import ABI_NAMES
+from repro.utils.bits import MASK64
+
+
+class RegisterFile:
+    """32 64-bit registers; writes to x0 are discarded."""
+
+    __slots__ = ("_regs",)
+
+    def __init__(self):
+        self._regs = [0] * 32
+
+    def read(self, index: int) -> int:
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        if index:
+            self._regs[index] = value & MASK64
+
+    def __getitem__(self, index: int) -> int:
+        return self._regs[index]
+
+    def __setitem__(self, index: int, value: int) -> None:
+        self.write(index, value)
+
+    def by_name(self, name: str) -> int:
+        return self._regs[ABI_NAMES.index(name)]
+
+    def set_by_name(self, name: str, value: int) -> None:
+        self.write(ABI_NAMES.index(name), value)
+
+    def snapshot(self) -> dict[str, int]:
+        """Named register dump (handy for debugging and attack forensics)."""
+        return {name: self._regs[i] for i, name in enumerate(ABI_NAMES)}
+
+    def reset(self) -> None:
+        self._regs = [0] * 32

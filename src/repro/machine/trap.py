@@ -1,0 +1,53 @@
+"""Trap causes and the Trap control-flow exception.
+
+Exception causes follow the RISC-V privileged specification; the
+RegVault integrity fault uses cause 24, the first cause number the spec
+reserves for custom use — the paper says a failed ``crd`` integrity
+check "raises an exception" (§2.3.1), and this is that exception.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Cause(enum.IntEnum):
+    """Synchronous exception and interrupt cause codes."""
+
+    # Synchronous exceptions.
+    INSTRUCTION_MISALIGNED = 0
+    INSTRUCTION_ACCESS_FAULT = 1
+    ILLEGAL_INSTRUCTION = 2
+    BREAKPOINT = 3
+    LOAD_MISALIGNED = 4
+    LOAD_ACCESS_FAULT = 5
+    STORE_MISALIGNED = 6
+    STORE_ACCESS_FAULT = 7
+    ECALL_FROM_U = 8
+    ECALL_FROM_S = 9
+    ECALL_FROM_M = 11
+    #: Custom cause: RegVault crd integrity check failed (§2.3.1).
+    REGVAULT_INTEGRITY_FAULT = 24
+
+    # Interrupts (reported with the interrupt bit set in mcause).
+    SUPERVISOR_TIMER_INTERRUPT = 5
+    MACHINE_TIMER_INTERRUPT = 7
+
+
+#: Bit 63 of mcause marks interrupts.
+INTERRUPT_BIT = 1 << 63
+
+
+def mcause_value(cause: Cause, interrupt: bool) -> int:
+    return (INTERRUPT_BIT | int(cause)) if interrupt else int(cause)
+
+
+class Trap(Exception):
+    """Control-flow exception raised during execute; caught by the hart."""
+
+    def __init__(self, cause: Cause, tval: int = 0, interrupt: bool = False):
+        self.cause = cause
+        self.tval = tval
+        self.interrupt = interrupt
+        kind = "interrupt" if interrupt else "exception"
+        super().__init__(f"{kind} {cause.name} (tval={tval:#x})")

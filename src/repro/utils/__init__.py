@@ -1,0 +1,21 @@
+"""Shared low-level helpers (bit manipulation, formatting)."""
+
+from repro.utils.bits import (
+    MASK64,
+    mask,
+    rotl64,
+    rotr64,
+    sign_extend,
+    to_signed64,
+    to_unsigned64,
+)
+
+__all__ = [
+    "MASK64",
+    "mask",
+    "rotl64",
+    "rotr64",
+    "sign_extend",
+    "to_signed64",
+    "to_unsigned64",
+]

@@ -1,0 +1,77 @@
+"""64-bit word arithmetic helpers.
+
+The simulator models an RV64 machine, so almost every value is a 64-bit
+unsigned word.  Python integers are unbounded; these helpers keep values
+inside the machine's word size and convert between signed and unsigned
+views where the ISA requires it.
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+
+
+def mask(bits: int) -> int:
+    """Return a mask of ``bits`` low ones, e.g. ``mask(12) == 0xFFF``."""
+    if bits < 0:
+        raise ValueError(f"bit count must be non-negative, got {bits}")
+    return (1 << bits) - 1
+
+
+def rotl64(value: int, amount: int) -> int:
+    """Rotate a 64-bit value left by ``amount`` bits."""
+    amount %= 64
+    value &= MASK64
+    return ((value << amount) | (value >> (64 - amount))) & MASK64 if amount else value
+
+
+def rotr64(value: int, amount: int) -> int:
+    """Rotate a 64-bit value right by ``amount`` bits."""
+    amount %= 64
+    value &= MASK64
+    return ((value >> amount) | (value << (64 - amount))) & MASK64 if amount else value
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` of ``value`` to a Python int.
+
+    >>> sign_extend(0xFFF, 12)
+    -1
+    >>> sign_extend(0x7FF, 12)
+    2047
+    """
+    value &= mask(bits)
+    sign_bit = 1 << (bits - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def to_signed64(value: int) -> int:
+    """Interpret a 64-bit unsigned word as a signed integer."""
+    return sign_extend(value, 64)
+
+
+def to_unsigned64(value: int) -> int:
+    """Truncate a signed integer to its 64-bit unsigned representation."""
+    return value & MASK64
+
+
+def to_signed32(value: int) -> int:
+    """Interpret a 32-bit unsigned word as a signed integer."""
+    return sign_extend(value, 32)
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` of ``value`` (0 = LSB)."""
+    return (value >> index) & 1
+
+
+def bits(value: int, high: int, low: int) -> int:
+    """Return the inclusive bit-field ``value[high:low]``.
+
+    >>> bits(0b101100, 3, 2)
+    3
+    """
+    if high < low:
+        raise ValueError(f"invalid bit range [{high}:{low}]")
+    return (value >> low) & mask(high - low + 1)

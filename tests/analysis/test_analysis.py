@@ -1,0 +1,77 @@
+"""Analysis-layer tests (CLB study and ablations) at reduced scale."""
+
+import pytest
+
+from repro.analysis.ablations import (
+    cip_ablation,
+    cipher_cost_comparison,
+    format_ablations,
+    informed_disclosure_attack,
+)
+from repro.analysis.clb_study import ClbPoint, clb_study, format_clb_study
+from repro.bench.workloads import unixbench
+
+pytestmark = pytest.mark.slow
+
+
+class TestClbStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        # Two sizes and two workloads keep this test fast; the full
+        # sweep lives in benchmarks/bench_clb_study.py.
+        return clb_study(
+            entries_sweep=(0, 8),
+            workloads=unixbench.SUITE[6:9],
+            scale=0.15,
+        )
+
+    def test_clb_improves_overhead(self, points):
+        by_entries = {p.entries: p for p in points}
+        assert by_entries[8].overhead_pct < by_entries[0].overhead_pct
+
+    def test_hit_ratio_zero_without_clb(self, points):
+        by_entries = {p.entries: p for p in points}
+        assert by_entries[0].hit_ratio_pct == 0.0
+        assert by_entries[8].hit_ratio_pct > 20.0
+
+    def test_formatting(self, points):
+        text = format_clb_study(points)
+        assert "CLB study" in text
+        assert "paper" in text
+
+
+class TestCipherAblation:
+    def test_xor_dsr_falls_to_disclosure(self):
+        outcome = informed_disclosure_attack("xor")
+        assert outcome.mask_recovered
+        assert outcome.forged_root
+
+    def test_qarma_resists_disclosure(self):
+        outcome = informed_disclosure_attack("qarma")
+        assert not outcome.mask_recovered
+        assert not outcome.forged_root
+
+    def test_xex_resists_disclosure(self):
+        outcome = informed_disclosure_attack("xex")
+        assert not outcome.forged_root
+
+    def test_cost_comparison_ordering(self):
+        rows = cipher_cost_comparison(scale=0.1)
+        by_cipher = {r.cipher: r for r in rows}
+        assert (
+            by_cipher["xor"].null_call_cycles
+            <= by_cipher["qarma"].null_call_cycles
+            <= by_cipher["xex"].null_call_cycles
+        )
+
+    def test_cip_is_the_deciding_mechanism(self):
+        ablation = cip_ablation()
+        assert ablation.with_mechanism_blocked
+        assert not ablation.without_mechanism_blocked
+
+    def test_report_rendering(self):
+        disclosure = [informed_disclosure_attack("xor")]
+        costs = cipher_cost_comparison(scale=0.1)
+        text = format_ablations(disclosure, costs, cip_ablation())
+        assert "ATTACKER WINS" in text
+        assert "Mechanism ablation" in text

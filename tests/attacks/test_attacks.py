@@ -1,0 +1,109 @@
+"""Penetration tests (Table 4): all attacks land on the original kernel
+and every one is stopped by full RegVault protection.
+
+Beyond the paper's original-vs-RegVault matrix, the second test class
+attributes each defence to the specific mechanism that provides it.
+"""
+
+import pytest
+
+from repro.attacks.corruption import CorruptionAttack
+from repro.attacks.interrupt import InterruptCorruptionAttack
+from repro.attacks.jop import JopAttack
+from repro.attacks.leak import LeakAttack
+from repro.attacks.privilege import PrivilegeEscalationAttack
+from repro.attacks.rop import RopAttack
+from repro.attacks.selinux_bypass import SelinuxBypassAttack
+from repro.attacks.substitution import SubstitutionAttack
+from repro.attacks.suite import ALL_ATTACKS, format_table, run_suite
+from repro.kernel import KernelConfig
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("attack_cls", ALL_ATTACKS,
+                         ids=lambda cls: cls.__name__)
+class TestTable4:
+    def test_succeeds_on_original(self, attack_cls):
+        result = attack_cls().run(KernelConfig.baseline())
+        assert result.succeeded, (
+            f"{result.attack} should land on the unprotected kernel: "
+            f"{result.outcome}"
+        )
+
+    def test_blocked_by_regvault(self, attack_cls):
+        result = attack_cls().run(KernelConfig.full())
+        assert result.blocked, (
+            f"{result.attack} should be stopped by RegVault: "
+            f"{result.outcome}"
+        )
+
+
+class TestDefenceAttribution:
+    """Which single mechanism stops which attack."""
+
+    def test_ra_protection_stops_rop(self):
+        assert RopAttack().run(KernelConfig.ra_only()).blocked
+
+    def test_rop_not_stopped_by_unrelated_protections(self):
+        assert RopAttack().run(KernelConfig.noncontrol_only()).succeeded
+
+    def test_fp_protection_stops_jop(self):
+        assert JopAttack().run(KernelConfig.fp_only()).blocked
+
+    def test_jop_not_stopped_by_ra_protection(self):
+        assert JopAttack().run(KernelConfig.ra_only()).succeeded
+
+    def test_fp_protection_stops_substitution(self):
+        assert SubstitutionAttack().run(KernelConfig.fp_only()).blocked
+
+    def test_noncontrol_stops_corruption(self):
+        assert CorruptionAttack().run(KernelConfig.noncontrol_only()).blocked
+
+    def test_noncontrol_stops_leak(self):
+        assert LeakAttack().run(KernelConfig.noncontrol_only()).blocked
+
+    def test_noncontrol_stops_privilege_escalation(self):
+        assert PrivilegeEscalationAttack().run(
+            KernelConfig.noncontrol_only()
+        ).blocked
+
+    def test_noncontrol_stops_selinux_bypass(self):
+        assert SelinuxBypassAttack().run(
+            KernelConfig.noncontrol_only()
+        ).blocked
+
+    def test_privilege_escalation_beats_partial_protection(self):
+        """RA-only protection does not shield non-control data."""
+        assert PrivilegeEscalationAttack().run(
+            KernelConfig.ra_only()
+        ).succeeded
+
+    def test_cip_stops_interrupt_corruption(self):
+        assert InterruptCorruptionAttack().run(KernelConfig.full()).blocked
+
+    def test_interrupt_corruption_beats_plain_save(self):
+        """Without CIP the corruption lands silently, even with every
+        other protection active."""
+        config = KernelConfig(
+            name="no-cip", ra=True, fp=True, noncontrol=True,
+            protect_spills=True, cip=False,
+        )
+        assert InterruptCorruptionAttack().run(config).succeeded
+
+
+class TestSuiteRunner:
+    def test_full_matrix_shape(self):
+        results = run_suite()
+        assert len(results) == len(ALL_ATTACKS) * 2
+        for result in results:
+            if result.config == "baseline":
+                assert result.succeeded
+            else:
+                assert result.blocked
+
+    def test_table_rendering(self):
+        results = run_suite((KernelConfig.baseline(), KernelConfig.full()))
+        table = format_table(results)
+        assert "baseline" in table and "full" in table
+        assert table.count("x") >= len(ALL_ATTACKS)

@@ -1,0 +1,55 @@
+"""RIPE-style matrix tests (and the replay limitation)."""
+
+import pytest
+
+from repro.attacks.ripe import (
+    TARGETS,
+    _run_root_replay,
+    format_matrix,
+    run_cell,
+    run_matrix,
+)
+from repro.kernel import KernelConfig
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("target", TARGETS)
+@pytest.mark.parametrize("technique", ["overwrite", "substitute"])
+class TestMatrixCells:
+    def test_baseline_falls(self, target, technique):
+        result = run_cell(target, technique, KernelConfig.baseline())
+        assert result.succeeded, (
+            f"{target}/{technique} should land on the original kernel: "
+            f"{result.outcome}"
+        )
+
+    def test_regvault_defends(self, target, technique):
+        result = run_cell(target, technique, KernelConfig.full())
+        assert not result.succeeded, (
+            f"{target}/{technique} should be stopped: {result.outcome}"
+        )
+
+
+class TestReplayLimitation:
+    """Temporal replay is outside RegVault's guarantees — assert the
+    boundary explicitly so it stays documented rather than silently
+    assumed away."""
+
+    def test_replay_succeeds_even_under_full_protection(self):
+        result = _run_root_replay(KernelConfig.full())
+        assert result.succeeded
+        assert "replay" in result.technique
+
+    def test_replay_succeeds_on_baseline(self):
+        assert _run_root_replay(KernelConfig.baseline()).succeeded
+
+
+class TestMatrixRunner:
+    def test_matrix_shape(self):
+        results = run_matrix()
+        # 3 targets x 2 techniques x 2 configs + 2 replay cells.
+        assert len(results) == 14
+        text = format_matrix(results)
+        assert "replay" in text
+        assert text.count("x") >= 7

@@ -1,0 +1,197 @@
+"""IRBuilder API tests: construction helpers and misuse errors."""
+
+import pytest
+
+from repro.compiler import (
+    Annotation,
+    Field,
+    Function,
+    FunctionType,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    StructType,
+)
+from repro.compiler.ir import (
+    BinOp,
+    Call,
+    Cmp,
+    Const,
+    CryptoOp,
+    FieldAddr,
+    Load,
+    Store,
+)
+from repro.crypto.keys import KeySelect
+from repro.errors import IRError
+
+
+def fresh():
+    func = Function("f", FunctionType(I64, (I64,)), ["p"])
+    return func, IRBuilder(func)
+
+
+class TestConstruction:
+    def test_operand_coercion(self):
+        func, b = fresh()
+        b.block("entry")
+        result = b.add(func.params[0], 5)
+        instr = func.blocks[0].instructions[0]
+        assert isinstance(instr, BinOp)
+        assert instr.rhs == Const(5)
+        b.ret(result)
+
+    def test_all_binops_exposed(self):
+        func, b = fresh()
+        b.block("entry")
+        p = func.params[0]
+        for method in ("add", "sub", "mul", "div", "divu", "rem", "remu",
+                       "and_", "or_", "xor", "shl", "shr", "sra"):
+            getattr(b, method)(p, 3)
+        b.ret(p)
+        ops = [i.op for i in func.blocks[0].instructions
+               if isinstance(i, BinOp)]
+        assert len(ops) == 13
+
+    def test_cmp_validates_op(self):
+        func, b = fresh()
+        b.block("entry")
+        with pytest.raises(IRError):
+            b.cmp("approx", func.params[0], 1)
+
+    def test_field_helpers_carry_annotation_and_key(self):
+        struct = StructType("s", (
+            Field("x", I32, Annotation.RAND_INTEGRITY, key=KeySelect.F),
+        ))
+        func, b = fresh()
+        b.block("entry")
+        b.load_field(func.params[0], struct, "x")
+        b.store_field(func.params[0], struct, "x", 7)
+        b.ret(Const(0))
+        loads = [i for i in func.blocks[0].instructions
+                 if isinstance(i, Load)]
+        stores = [i for i in func.blocks[0].instructions
+                  if isinstance(i, Store)]
+        assert loads[0].annotation is Annotation.RAND_INTEGRITY
+        assert loads[0].key is KeySelect.F
+        assert stores[0].key is KeySelect.F
+
+    def test_crypto_helpers(self):
+        func, b = fresh()
+        b.block("entry")
+        ct = b.crypto_enc(func.params[0], 0x1000, KeySelect.E, (7, 0))
+        b.crypto_dec(ct, 0x1000, KeySelect.E, (7, 0))
+        b.ret(Const(0))
+        crypto = [i for i in func.blocks[0].instructions
+                  if isinstance(i, CryptoOp)]
+        assert [c.op for c in crypto] == ["enc", "dec"]
+        assert crypto[0].key is KeySelect.E
+
+    def test_call_with_no_return(self):
+        func, b = fresh()
+        b.block("entry")
+        result = b.call("g", [Const(1)], returns=False)
+        assert result is None
+        b.ret(Const(0))
+        call = [i for i in func.blocks[0].instructions
+                if isinstance(i, Call)][0]
+        assert call.result is None
+
+
+class TestMisuse:
+    def test_emit_without_block(self):
+        func, b = fresh()
+        with pytest.raises(IRError, match="no current block"):
+            b.add(1, 2)
+
+    def test_emit_after_terminator(self):
+        func, b = fresh()
+        b.block("entry")
+        b.ret(Const(0))
+        with pytest.raises(IRError, match="terminated"):
+            b.add(1, 2)
+
+    def test_duplicate_block_label(self):
+        func, b = fresh()
+        b.block("entry")
+        with pytest.raises(IRError, match="duplicate block"):
+            b.block("entry")
+
+    def test_duplicate_local(self):
+        func, b = fresh()
+        b.block("entry")
+        b.local("buf", I64)
+        with pytest.raises(IRError, match="duplicate local"):
+            b.local("buf", I64)
+
+    def test_bad_operand_type(self):
+        func, b = fresh()
+        b.block("entry")
+        with pytest.raises(IRError):
+            b.add("not-an-operand", 1)
+
+    def test_too_many_params(self):
+        with pytest.raises(IRError, match="at most 8"):
+            Function("f", FunctionType(I64, (I64,) * 9))
+
+    def test_unknown_intrinsic(self):
+        func, b = fresh()
+        b.block("entry")
+        with pytest.raises(IRError, match="unknown intrinsic"):
+            b.intrinsic("fly_to_the_moon")
+
+    def test_switch_to_unknown_block(self):
+        func, b = fresh()
+        b.block("entry")
+        b.ret(Const(0))
+        with pytest.raises(IRError):
+            b.switch_to("nope")
+
+    def test_module_duplicate_function(self):
+        module = Module("m")
+        module.add_function(Function("f", FunctionType(I64, ())))
+        with pytest.raises(IRError, match="duplicate function"):
+            module.add_function(Function("f", FunctionType(I64, ())))
+
+    def test_module_duplicate_global(self):
+        from repro.compiler.ir import GlobalVar
+
+        module = Module("m")
+        module.add_global(GlobalVar("g", I64))
+        with pytest.raises(IRError, match="duplicate global"):
+            module.add_global(GlobalVar("g", I64))
+
+
+class TestStrRepresentations:
+    """IR printing is part of the debugging surface."""
+
+    def test_function_prints(self):
+        func, b = fresh()
+        b.block("entry")
+        value = b.add(func.params[0], 1)
+        compare = b.cmp("lt", value, 10)
+        b.cond_br(compare, "entry2", "entry3")
+        b.block("entry2")
+        b.ret(value)
+        b.block("entry3")
+        b.ret(Const(0))
+        text = str(func)
+        assert "define" in text
+        assert "cmp.lt" in text
+        assert "entry2" in text
+
+    def test_instruction_strs(self):
+        struct = StructType("s", (Field("x", I64, Annotation.RAND),))
+        func, b = fresh()
+        b.block("entry")
+        addr = b.field_addr(func.params[0], struct, "x")
+        b.load_field(func.params[0], struct, "x")
+        ct = b.crypto_enc(func.params[0], 1, KeySelect.A)
+        b.ret(ct)
+        listing = "\n".join(
+            str(i) for i in func.blocks[0].instructions
+        )
+        assert "->x" in listing
+        assert "__rand" in listing
+        assert "crypto.enc[a]" in listing

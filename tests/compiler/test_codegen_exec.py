@@ -1,0 +1,311 @@
+"""Compile-and-execute tests: generated code runs correctly on the machine
+under every protection configuration."""
+
+import pytest
+
+from repro.compiler import (
+    Annotation,
+    Field,
+    FunctionType,
+    Function,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    PointerType,
+    StructType,
+    VOID,
+)
+from repro.compiler.ir import Const, GlobalVar
+from repro.compiler.pipeline import CompileOptions, compile_module
+from repro.isa import assemble
+from repro.machine import HaltReason
+from tests.conftest import machine_with_keys
+
+ALL_CONFIGS = [
+    CompileOptions.baseline(),
+    CompileOptions.ra_only(),
+    CompileOptions.fp_only(),
+    CompileOptions.noncontrol_only(),
+    CompileOptions.full(),
+]
+
+STARTUP = "_start:\n    call main\nhang:\n    j hang\n"
+
+
+def run_module(module, options, max_steps=2_000_000):
+    compiled = compile_module(module, options)
+    program = assemble(STARTUP + compiled.asm)
+    machine = machine_with_keys(program)
+    reason = machine.run(max_steps)
+    assert reason is HaltReason.SHUTDOWN, f"did not halt: {reason}"
+    return machine
+
+
+def simple_main(module, body):
+    main = Function("main", FunctionType(I64, ()))
+    module.add_function(main)
+    builder = IRBuilder(main)
+    builder.block("entry")
+    result = body(builder)
+    builder.intrinsic("halt", [result])
+    builder.ret()
+    return module
+
+
+@pytest.mark.parametrize("options", ALL_CONFIGS, ids=lambda o: o.name)
+class TestAllConfigs:
+    def test_arithmetic(self, options):
+        module = simple_main(Module(), lambda b: b.add(b.mul(6, 7), 58))
+        assert run_module(module, options).exit_code == 100
+
+    def test_loop(self, options):
+        def body(b):
+            total = b.func.new_reg(I64, "total")
+            i = b.func.new_reg(I64, "i")
+            from repro.compiler.ir import Move
+
+            b._emit(Move(total, Const(0)))
+            b._emit(Move(i, Const(1)))
+            b.br("loop")
+            b.block("loop")
+            new_total = b.add(total, i)
+            b._emit(Move(total, new_total))
+            new_i = b.add(i, 1)
+            b._emit(Move(i, new_i))
+            cond = b.cmp("le", i, 100)
+            b.cond_br(cond, "loop", "done")
+            b.block("done")
+            return total
+
+        module = simple_main(Module(), body)
+        assert run_module(module, options).exit_code == 5050
+
+    def test_calls_and_recursion(self, options):
+        module = Module()
+        fact = Function("fact", FunctionType(I64, (I64,)), ["n"])
+        module.add_function(fact)
+        b = IRBuilder(fact)
+        b.block("entry")
+        cond = b.cmp("le", fact.params[0], 1)
+        b.cond_br(cond, "base", "rec")
+        b.block("base")
+        b.ret(Const(1))
+        b.block("rec")
+        n1 = b.sub(fact.params[0], 1)
+        sub = b.call("fact", [n1])
+        b.ret(b.mul(fact.params[0], sub))
+
+        simple_main(module, lambda bb: bb.call("fact", [Const(7)]))
+        assert run_module(module, options).exit_code == 5040
+
+    def test_annotated_struct_roundtrip(self, options):
+        module = Module()
+        cred = module.add_struct(StructType("cred", (
+            Field("uid", I32, Annotation.RAND_INTEGRITY),
+            Field("token", I64, Annotation.RAND_INTEGRITY),
+            Field("mask", I64, Annotation.RAND),
+        )))
+        module.add_global(GlobalVar("the_cred", cred))
+
+        def body(b):
+            base = b.addr_of_global("the_cred")
+            b.store_field(base, cred, "uid", 1234)
+            b.store_field(base, cred, "token", 0x1122334455667788)
+            b.store_field(base, cred, "mask", 0xFF)
+            uid = b.load_field(base, cred, "uid")
+            token = b.load_field(base, cred, "token")
+            mask = b.load_field(base, cred, "mask")
+            token_low = b.and_(token, 0xFFF)
+            partial = b.add(uid, token_low)     # 1234 + 0x788
+            return b.add(partial, mask)          # + 255
+
+        module = simple_main(module, body)
+        expected = 1234 + 0x788 + 255
+        assert run_module(module, options).exit_code == expected
+
+    def test_indirect_call_through_global_table(self, options):
+        module = Module()
+        handler_type = FunctionType(I64, (I64,))
+        fn_ptr = PointerType(handler_type)
+
+        double = Function("double", handler_type, ["x"])
+        module.add_function(double)
+        b = IRBuilder(double)
+        b.block("entry")
+        b.ret(b.add(double.params[0], double.params[0]))
+
+        triple = Function("triple", handler_type, ["x"])
+        module.add_function(triple)
+        b = IRBuilder(triple)
+        b.block("entry")
+        two = b.add(triple.params[0], triple.params[0])
+        b.ret(b.add(two, triple.params[0]))
+
+        ops = module.add_struct(StructType("ops", (
+            Field("first", fn_ptr),
+            Field("second", fn_ptr),
+        )))
+        module.add_global(GlobalVar("optable", ops, init={
+            "first": ("func", "double"),
+            "second": ("func", "triple"),
+        }))
+
+        def body(b):
+            b.call("__init_globals", returns=False)
+            base = b.addr_of_global("optable")
+            first = b.load_field(base, ops, "first")
+            second = b.load_field(base, ops, "second")
+            r1 = b.call_indirect(first, [Const(10)])
+            r2 = b.call_indirect(second, [Const(10)])
+            return b.add(r1, r2)
+
+        module = simple_main(module, body)
+        assert run_module(module, options).exit_code == 50
+
+    def test_locals_and_addressing(self, options):
+        module = Module()
+
+        def body(b):
+            b.local("buffer", I64)
+            addr = b.addr_of_local("buffer")
+            b.raw_store(addr, Const(0x55AA))
+            return b.raw_load(addr)
+
+        module = simple_main(module, body)
+        assert run_module(module, options).exit_code == 0x55AA
+
+    def test_many_live_values_force_spills(self, options):
+        """More live values than registers: spill paths must be correct."""
+        module = Module()
+
+        def body(b):
+            values = [b.add(Const(i), Const(i * 3)) for i in range(20)]
+            total = values[0]
+            for value in values[1:]:
+                total = b.add(total, value)
+            return total
+
+        module = simple_main(module, body)
+        expected = sum(i + i * 3 for i in range(20))
+        assert run_module(module, options).exit_code == expected
+
+    def test_division_and_comparison(self, options):
+        module = simple_main(
+            Module(),
+            lambda b: b.add(
+                b.div(Const(-100), Const(7)),       # -14
+                b.add(
+                    b.mul(b.cmp("lt", Const(-5), Const(3)), 1000),
+                    b.rem(Const(100), Const(30)),    # 10
+                ),
+            ),
+        )
+        machine = run_module(module, options)
+        assert machine.exit_code == (1000 + 10 - 14)
+
+
+class TestProtectionBehaviour:
+    def test_encrypted_at_rest(self):
+        """With noncontrol protection, plaintext never hits memory."""
+        module = Module()
+        secret = module.add_struct(StructType("s", (
+            Field("value", I64, Annotation.RAND),
+        )))
+        module.add_global(GlobalVar("the_secret", secret))
+
+        def body(b):
+            base = b.addr_of_global("the_secret")
+            b.store_field(base, secret, "value", 0x1DEA1DEA)
+            return b.load_field(base, secret, "value")
+
+        module = simple_main(module, body)
+        compiled = compile_module(module, CompileOptions.full())
+        program = assemble(STARTUP + compiled.asm)
+        machine = machine_with_keys(program)
+        machine.run()
+        assert machine.exit_code == 0x1DEA & 0xFFFF or machine.exit_code == 0x1DEA1DEA & 0xFFFF
+        stored = machine.read_u64(program.symbols["the_secret"])
+        assert stored != 0x1DEA1DEA
+        assert stored != 0
+
+    def test_baseline_plaintext_at_rest(self):
+        module = Module()
+        secret = module.add_struct(StructType("s", (
+            Field("value", I64, Annotation.RAND),
+        )))
+        module.add_global(GlobalVar("the_secret", secret))
+
+        def body(b):
+            base = b.addr_of_global("the_secret")
+            b.store_field(base, secret, "value", 0x1DEA1DEA)
+            return b.load_field(base, secret, "value")
+
+        module = simple_main(module, body)
+        compiled = compile_module(module, CompileOptions.baseline())
+        program = assemble(STARTUP + compiled.asm)
+        machine = machine_with_keys(program)
+        machine.run()
+        assert machine.read_u64(program.symbols["the_secret"]) == 0x1DEA1DEA
+
+    def test_ra_protection_emits_primitives(self):
+        module = Module()
+        leaf = Function("leaf", FunctionType(I64, ()))
+        module.add_function(leaf)
+        b = IRBuilder(leaf)
+        b.block("entry")
+        b.ret(Const(1))
+
+        caller = Function("main", FunctionType(I64, ()))
+        module.add_function(caller)
+        b = IRBuilder(caller)
+        b.block("entry")
+        result = b.call("leaf")
+        b.intrinsic("halt", [result])
+        b.ret()
+
+        asm_protected = compile_module(module, CompileOptions.ra_only()).asm
+        asm_baseline = compile_module(module, CompileOptions.baseline()).asm
+        assert "creak ra, ra[7:0], sp" in asm_protected
+        assert "crdak ra, ra, sp, [7:0]" in asm_protected
+        assert "creak" not in asm_baseline
+
+    def test_leaf_functions_need_no_ra_crypto(self):
+        module = Module()
+        leaf = Function("leaf", FunctionType(I64, ()))
+        module.add_function(leaf)
+        b = IRBuilder(leaf)
+        b.block("entry")
+        b.ret(Const(1))
+        asm = compile_module(module, CompileOptions.ra_only()).asm
+        assert "creak" not in asm  # ra never spills to memory in a leaf
+
+    def test_full_config_more_cycles_than_baseline(self):
+        module = Module()
+        cred = module.add_struct(StructType("c", (
+            Field("uid", I32, Annotation.RAND_INTEGRITY),
+        )))
+        module.add_global(GlobalVar("g", cred))
+
+        def body(b):
+            base = b.addr_of_global("g")
+            total = b.move(0)
+            from repro.compiler.ir import Move
+
+            b.br("loop")
+            b.block("loop")
+            b.store_field(base, cred, "uid", 7)
+            uid = b.load_field(base, cred, "uid")
+            new_total = b.add(total, uid)
+            b._emit(Move(total, new_total))
+            cond = b.cmp("lt", total, 70)
+            b.cond_br(cond, "loop", "done")
+            b.block("done")
+            return total
+
+        module = simple_main(module, body)
+        fast = run_module(module, CompileOptions.baseline())
+        slow = run_module(module, CompileOptions.full())
+        assert fast.exit_code == slow.exit_code == 70
+        assert slow.hart.cycles > fast.hart.cycles
+        assert slow.engine.stats.operations >= 20

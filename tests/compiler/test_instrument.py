@@ -1,0 +1,246 @@
+"""Instrumentation pass tests (§2.4.2)."""
+
+import pytest
+
+from repro.compiler import ir
+from repro.compiler.builder import IRBuilder
+from repro.compiler.instrument import (
+    InstrumentOptions,
+    InstrumentPass,
+    count_crypto_ops,
+)
+from repro.compiler.layout import LayoutEngine
+from repro.compiler.sensitivity import analyze_sensitivity
+from repro.compiler.types import (
+    Annotation,
+    Field,
+    FunctionType,
+    I32,
+    I64,
+    PointerType,
+    StructType,
+    VOID,
+)
+from repro.crypto.keys import KeySelect
+
+CRED = StructType("cred", (
+    Field("uid", I32, Annotation.RAND_INTEGRITY),
+    Field("blob", I64, Annotation.RAND_INTEGRITY),
+    Field("note", I64, Annotation.RAND),
+    Field("plain", I64),
+))
+
+
+def lowered(build, noncontrol=True, fp=True):
+    func = ir.Function("f", FunctionType(VOID, (I64,)))
+    builder = IRBuilder(func)
+    builder.block("entry")
+    build(builder, func)
+    builder.ret()
+    InstrumentPass(
+        LayoutEngine(honor_annotations=noncontrol),
+        InstrumentOptions(noncontrol=noncontrol, fp=fp),
+    ).run(func)
+    return func
+
+
+def ops_of(func, cls):
+    return [
+        instr for block in func.blocks for instr in block.instructions
+        if isinstance(instr, cls)
+    ]
+
+
+class TestAnnotatedAccess:
+    def test_i32_load_gets_decrypt(self):
+        func = lowered(
+            lambda b, f: b.load_field(f.params[0], CRED, "uid")
+        )
+        crypto = ops_of(func, ir.CryptoOp)
+        assert len(crypto) == 1
+        assert crypto[0].op == "dec"
+        assert crypto[0].byte_range == (3, 0)
+        assert crypto[0].key is KeySelect.D
+
+    def test_i32_store_gets_encrypt(self):
+        func = lowered(
+            lambda b, f: b.store_field(f.params[0], CRED, "uid", 1000)
+        )
+        crypto = ops_of(func, ir.CryptoOp)
+        assert len(crypto) == 1
+        assert crypto[0].op == "enc"
+
+    def test_tweak_is_storage_address(self):
+        """Spatial substitution defence: tweak == field address."""
+        func = lowered(
+            lambda b, f: b.load_field(f.params[0], CRED, "uid")
+        )
+        crypto = ops_of(func, ir.CryptoOp)[0]
+        raw = ops_of(func, ir.RawLoad)[0]
+        assert crypto.tweak == raw.ptr
+
+    def test_i64_integrity_split_load(self):
+        """Figure 2c: two loads, two decrypts with [3:0]/[7:4], one or."""
+        func = lowered(
+            lambda b, f: b.load_field(f.params[0], CRED, "blob")
+        )
+        crypto = ops_of(func, ir.CryptoOp)
+        assert len(crypto) == 2
+        assert {c.byte_range for c in crypto} == {(3, 0), (7, 4)}
+        assert len(ops_of(func, ir.RawLoad)) == 2
+        ors = [
+            i for i in ops_of(func, ir.BinOp) if i.op == "or"
+        ]
+        assert len(ors) == 1
+
+    def test_i64_integrity_split_store(self):
+        func = lowered(
+            lambda b, f: b.store_field(f.params[0], CRED, "blob", 5)
+        )
+        crypto = ops_of(func, ir.CryptoOp)
+        assert len(crypto) == 2
+        assert all(c.op == "enc" for c in crypto)
+        assert len(ops_of(func, ir.RawStore)) == 2
+
+    def test_rand_only_uses_full_range(self):
+        """__rand (confidentiality only): one block, range [7:0]."""
+        func = lowered(
+            lambda b, f: b.load_field(f.params[0], CRED, "note")
+        )
+        crypto = ops_of(func, ir.CryptoOp)
+        assert len(crypto) == 1
+        assert crypto[0].byte_range == (7, 0)
+
+    def test_unannotated_field_not_instrumented(self):
+        func = lowered(
+            lambda b, f: b.load_field(f.params[0], CRED, "plain")
+        )
+        assert count_crypto_ops(func) == 0
+
+    def test_disabled_noncontrol_skips_instrumentation(self):
+        func = lowered(
+            lambda b, f: b.load_field(f.params[0], CRED, "uid"),
+            noncontrol=False,
+        )
+        assert count_crypto_ops(func) == 0
+        # And the raw load uses the natural 4-byte width.
+        assert ops_of(func, ir.RawLoad)[0].width == 4
+
+    def test_key_override(self):
+        pgd = StructType("mm", (
+            Field("pgd", PointerType(I64), Annotation.RAND,
+                  key=KeySelect.F),
+        ))
+        func = lowered(lambda b, f: b.load_field(f.params[0], pgd, "pgd"))
+        assert ops_of(func, ir.CryptoOp)[0].key is KeySelect.F
+
+
+class TestFunctionPointers:
+    FNPTR = PointerType(FunctionType(I64, (I64,)))
+    TABLE = StructType("ops", (Field("handler", FNPTR),))
+
+    def test_fp_load_instrumented(self):
+        func = lowered(
+            lambda b, f: b.load_field(f.params[0], self.TABLE, "handler")
+        )
+        crypto = ops_of(func, ir.CryptoOp)
+        assert len(crypto) == 1
+        assert crypto[0].key is KeySelect.B       # dedicated FP key
+        assert crypto[0].byte_range == (7, 0)     # garbage-on-corruption
+
+    def test_fp_disabled(self):
+        func = lowered(
+            lambda b, f: b.load_field(f.params[0], self.TABLE, "handler"),
+            fp=False,
+        )
+        assert count_crypto_ops(func) == 0
+
+    def test_data_pointer_not_treated_as_fp(self):
+        table = StructType("d", (Field("next", PointerType(I64)),))
+        func = lowered(
+            lambda b, f: b.load_field(f.params[0], table, "next")
+        )
+        assert count_crypto_ops(func) == 0
+
+
+class TestAddressLowering:
+    def test_field_addr_becomes_offset_add(self):
+        func = lowered(
+            lambda b, f: b.field_addr(f.params[0], CRED, "note")
+        )
+        adds = ops_of(func, ir.BinOp)
+        assert adds[0].op == "add"
+        # protected layout: uid @0(8 bytes), blob @8(16), note @24
+        assert adds[0].rhs == ir.Const(24)
+
+    def test_field_offsets_differ_between_configs(self):
+        protected = lowered(
+            lambda b, f: b.field_addr(f.params[0], CRED, "plain")
+        )
+        baseline = lowered(
+            lambda b, f: b.field_addr(f.params[0], CRED, "plain"),
+            noncontrol=False,
+        )
+        off_protected = ops_of(protected, ir.BinOp)[0].rhs.value
+        off_baseline = ops_of(baseline, ir.BinOp)[0].rhs.value
+        assert off_protected > off_baseline
+
+    def test_index_addr_constant_folds(self):
+        func = lowered(
+            lambda b, f: b.index_addr(f.params[0], ir.Const(3), stride=8)
+        )
+        add = ops_of(func, ir.BinOp)[0]
+        assert add.op == "add" and add.rhs == ir.Const(24)
+
+    def test_index_addr_dynamic(self):
+        def build(b, f):
+            b.index_addr(f.params[0], f.params[0], stride=16)
+
+        func = ir.Function("f", FunctionType(VOID, (I64,)))
+        builder = IRBuilder(func)
+        builder.block("entry")
+        build(builder, func)
+        builder.ret()
+        InstrumentPass(LayoutEngine(), InstrumentOptions()).run(func)
+        ops = [i.op for i in ops_of(func, ir.BinOp)]
+        assert ops == ["mul", "add"]
+
+
+class TestSensitivity:
+    def test_decrypted_value_is_sensitive(self):
+        func = lowered(
+            lambda b, f: b.load_field(f.params[0], CRED, "uid")
+        )
+        sensitive = analyze_sensitivity(func)
+        dec = ops_of(func, ir.CryptoOp)[0]
+        assert dec.result.id in sensitive
+
+    def test_propagation_through_arithmetic(self):
+        def build(b, f):
+            uid = b.load_field(f.params[0], CRED, "uid")
+            doubled = b.add(uid, uid)
+            b.store_field(f.params[0], CRED, "uid", doubled)
+
+        func = lowered(build)
+        sensitive = analyze_sensitivity(func)
+        # decrypted uid and its derived value are both sensitive
+        assert len(sensitive) >= 2
+
+    def test_to_be_encrypted_value_is_sensitive(self):
+        def build(b, f):
+            secret = b.add(f.params[0], 1)
+            b.store_field(f.params[0], CRED, "uid", secret)
+
+        func = lowered(build)
+        sensitive = analyze_sensitivity(func)
+        enc = ops_of(func, ir.CryptoOp)[0]
+        assert enc.value.id in sensitive
+
+    def test_unrelated_values_not_sensitive(self):
+        def build(b, f):
+            b.add(f.params[0], 1)
+            b.load_field(f.params[0], CRED, "plain")
+
+        func = lowered(build)
+        sensitive = analyze_sensitivity(func)
+        assert not sensitive

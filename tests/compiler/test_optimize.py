@@ -1,0 +1,216 @@
+"""Optimizer tests: folding, copy propagation, DCE, safety."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import Function, FunctionType, I64, IRBuilder, Module
+from repro.compiler.ir import (
+    BinOp,
+    Call,
+    Const,
+    CryptoOp,
+    Move,
+    RawStore,
+)
+from repro.compiler.optimize import (
+    eliminate_dead_code,
+    fold_constants,
+    optimize_function,
+)
+from repro.crypto.keys import KeySelect
+from repro.utils.bits import MASK64, to_unsigned64
+
+
+def fresh(ret_params=(I64,)):
+    func = Function("f", FunctionType(I64, ret_params),
+                    [f"p{i}" for i in range(len(ret_params))])
+    return func, IRBuilder(func)
+
+
+def instr_count(func):
+    return sum(len(block.instructions) for block in func.blocks)
+
+
+class TestConstantFolding:
+    def test_folds_arithmetic_chain(self):
+        func, b = fresh()
+        b.block("entry")
+        x = b.add(Const(2), Const(3))
+        y = b.mul(x, Const(10))
+        z = b.xor(y, Const(0xFF))
+        b.ret(z)
+        fold_constants(func)
+        # The final value must be a constant move.
+        moves = [
+            i for block in func.blocks for i in block.instructions
+            if isinstance(i, Move) and isinstance(i.source, Const)
+        ]
+        assert any(
+            to_unsigned64(m.source.value) == (50 ^ 0xFF) for m in moves
+        )
+
+    def test_folds_comparisons(self):
+        func, b = fresh()
+        b.block("entry")
+        c = b.cmp("lt", Const(-5), Const(3))
+        b.ret(c)
+        fold_constants(func)
+        moves = [
+            i for block in func.blocks for i in block.instructions
+            if isinstance(i, Move)
+        ]
+        assert moves and moves[0].source == Const(1)
+
+    def test_copy_propagation(self):
+        func, b = fresh()
+        b.block("entry")
+        x = b.add(func.params[0], Const(1))
+        y = b.move(x)
+        z = b.add(y, Const(2))
+        b.ret(z)
+        fold_constants(func)
+        add_z = [
+            i for block in func.blocks for i in block.instructions
+            if isinstance(i, BinOp) and i.result.id == z.id
+        ][0]
+        assert add_z.lhs.id == x.id   # y was bypassed
+
+    def test_does_not_fold_redefined_registers(self):
+        """Loop counters (multiply-defined Moves) must not be folded."""
+        func, b = fresh()
+        b.block("entry")
+        i = func.new_reg(I64, "i")
+        b._emit(Move(i, Const(0)))
+        b.br("loop")
+        b.block("loop")
+        b._emit(Move(i, b.add(i, 1)))
+        cond = b.cmp("lt", i, 10)
+        b.cond_br(cond, "loop", "out")
+        b.block("out")
+        b.ret(i)
+        fold_constants(func)
+        # The loop exit compare must still reference the register.
+        from repro.compiler.ir import Cmp
+
+        cmps = [
+            instr for block in func.blocks for instr in block.instructions
+            if isinstance(instr, Cmp)
+        ]
+        assert cmps and not isinstance(cmps[0].lhs, Const)
+
+    def test_never_folds_crypto(self):
+        func, b = fresh()
+        b.block("entry")
+        ct = b.crypto_enc(Const(5), Const(9), KeySelect.A, (7, 0))
+        b.ret(ct)
+        fold_constants(func)
+        crypto = [
+            i for block in func.blocks for i in block.instructions
+            if isinstance(i, CryptoOp)
+        ]
+        assert len(crypto) == 1
+
+
+class TestDeadCodeElimination:
+    def test_removes_unused_values(self):
+        func, b = fresh()
+        b.block("entry")
+        b.add(func.params[0], Const(1))     # dead
+        b.mul(func.params[0], Const(2))     # dead
+        live = b.sub(func.params[0], Const(3))
+        b.ret(live)
+        before = instr_count(func)
+        removed = eliminate_dead_code(func)
+        assert removed == 2
+        assert instr_count(func) == before - 2
+
+    def test_removes_transitively_dead_chains(self):
+        func, b = fresh()
+        b.block("entry")
+        x = b.add(func.params[0], Const(1))
+        y = b.mul(x, Const(2))              # x only feeds y...
+        b.xor(y, Const(3))                  # ...y only feeds dead xor
+        b.ret(func.params[0])
+        removed = eliminate_dead_code(func)
+        assert removed == 3
+
+    def test_keeps_stores_and_calls(self):
+        func, b = fresh()
+        b.block("entry")
+        b.raw_store(func.params[0], Const(1))
+        b.call("other", [Const(2)])
+        b.ret(Const(0))
+        assert eliminate_dead_code(func) == 0
+
+    def test_keeps_crypto_even_when_result_unused(self):
+        """A crd's trap is a side effect: it must never be removed."""
+        func, b = fresh()
+        b.block("entry")
+        b.crypto_dec(func.params[0], Const(1), KeySelect.A, (3, 0))
+        b.ret(Const(0))
+        assert eliminate_dead_code(func) == 0
+
+
+class TestEndToEnd:
+    def _run(self, optimize):
+        from repro.compiler.pipeline import CompileOptions, compile_module
+        from repro.isa import assemble
+        from tests.conftest import machine_with_keys
+
+        module = Module("m")
+        main = Function("main", FunctionType(I64, ()))
+        module.add_function(main)
+        b = IRBuilder(main)
+        b.block("entry")
+        x = b.add(Const(20), Const(22))
+        b.mul(x, Const(0))                      # dead
+        waste = b.add(Const(1), Const(2))       # dead
+        b.intrinsic("halt", [x])
+        b.ret(Const(0))
+
+        import dataclasses
+
+        options = dataclasses.replace(
+            CompileOptions.full(), optimize=optimize
+        )
+        compiled = compile_module(module, options)
+        program = assemble(
+            "_start:\n    call main\nhang:\n    j hang\n" + compiled.asm
+        )
+        machine = machine_with_keys(program)
+        machine.run()
+        return machine, compiled
+
+    def test_same_result_fewer_instructions(self):
+        plain_machine, plain = self._run(optimize=False)
+        opt_machine, opt = self._run(optimize=True)
+        assert plain_machine.exit_code == opt_machine.exit_code == 42
+        assert opt_machine.hart.instret < plain_machine.hart.instret
+
+    @given(st.integers(0, MASK64), st.integers(0, MASK64))
+    @settings(max_examples=30, deadline=None)
+    def test_folding_matches_machine_semantics(self, a, b_value):
+        """Folded constants agree with what the hart would compute."""
+        from repro.compiler.ir import Cmp
+
+        for op, py in (("add", lambda x, y: x + y),
+                       ("xor", lambda x, y: x ^ y),
+                       ("mul", lambda x, y: x * y)):
+            func, b = fresh(())
+            b.block("entry")
+            r = b._binop(op, Const(a), Const(b_value))
+            b.ret(r)
+            fold_constants(func)
+            move = [
+                i for block in func.blocks for i in block.instructions
+                if isinstance(i, Move)
+            ][0]
+            assert to_unsigned64(move.source.value) == to_unsigned64(
+                py(a, b_value)
+            )
+
+    def test_kernel_builds_identically_correct_with_optimizer(self):
+        from repro.kernel import KernelConfig
+        from repro.kernel.api import boot_and_run
+
+        assert boot_and_run(KernelConfig.full()).exit_code == 42

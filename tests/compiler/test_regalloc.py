@@ -1,0 +1,247 @@
+"""Register allocation unit tests: liveness, intervals, policies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import Function, FunctionType, I64, IRBuilder, Module
+from repro.compiler.ir import Call, Const, Move
+from repro.compiler.regalloc import (
+    CALLEE_SAVED_POOL,
+    CALLER_SAVED_POOL,
+    SCRATCH,
+    allocate,
+    block_liveness,
+    build_intervals,
+)
+from repro.compiler.sensitivity import analyze_sensitivity
+
+
+def make_func(body):
+    func = Function("f", FunctionType(I64, (I64,)), ["p"])
+    builder = IRBuilder(func)
+    builder.block("entry")
+    body(builder, func)
+    return func
+
+
+class TestLiveness:
+    def test_straight_line(self):
+        def body(b, f):
+            x = b.add(f.params[0], 1)
+            b.ret(x)
+
+        func = make_func(body)
+        live_in, live_out = block_liveness(func)
+        assert live_in["entry"] == {func.params[0].id}
+        assert live_out["entry"] == set()
+
+    def test_loop_carried_value(self):
+        def body(b, f):
+            acc = f.new_reg(I64, "acc")
+            b._emit(Move(acc, Const(0)))
+            b.br("loop")
+            b.block("loop")
+            b._emit(Move(acc, b.add(acc, 1)))
+            cond = b.cmp("lt", acc, 10)
+            b.cond_br(cond, "loop", "out")
+            b.block("out")
+            b.ret(acc)
+            return acc
+
+        func = make_func(body)
+        live_in, live_out = block_liveness(func)
+        acc_id = next(
+            i.result.id for i in func.blocks[0].instructions
+            if isinstance(i, Move)
+        )
+        assert acc_id in live_in["loop"]
+        assert acc_id in live_out["loop"]  # back edge keeps it live
+
+
+class TestIntervals:
+    def test_param_interval_starts_before_code(self):
+        def body(b, f):
+            b.call("g", [])
+            b.ret(f.params[0])   # param live across the call
+
+        func = make_func(body)
+        intervals, calls = build_intervals(func)
+        param = next(iv for iv in intervals if iv.vreg == func.params[0].id)
+        assert param.start == -1
+        assert param.crosses_call
+
+    def test_call_result_does_not_cross_its_own_call(self):
+        def body(b, f):
+            result = b.call("g", [])
+            b.ret(result)
+
+        func = make_func(body)
+        intervals, _ = build_intervals(func)
+        result_iv = max(intervals, key=lambda iv: iv.start)
+        assert not result_iv.crosses_call
+
+    def test_value_consumed_by_call_does_not_cross_it(self):
+        def body(b, f):
+            x = b.add(f.params[0], 1)
+            b.call("g", [x])
+            b.ret(Const(0))
+
+        func = make_func(body)
+        intervals, _ = build_intervals(func)
+        x_iv = [iv for iv in intervals if iv.vreg != func.params[0].id][0]
+        assert not x_iv.crosses_call
+
+    def test_ecall_counts_as_call(self):
+        def body(b, f):
+            x = b.add(f.params[0], 1)
+            b.intrinsic("ecall", [Const(0)], returns=True)
+            b.ret(b.add(x, 1))
+
+        func = make_func(body)
+        intervals, calls = build_intervals(func)
+        assert calls, "ecall must appear as a call position"
+        x_iv = sorted(
+            (iv for iv in intervals if iv.vreg != func.params[0].id),
+            key=lambda iv: iv.start,
+        )[0]
+        assert x_iv.crosses_call
+
+
+class TestAllocationPolicies:
+    def test_no_scratch_registers_allocated(self):
+        def body(b, f):
+            values = [b.add(f.params[0], i) for i in range(30)]
+            total = values[0]
+            for value in values[1:]:
+                total = b.add(total, value)
+            b.ret(total)
+
+        func = make_func(body)
+        analyze_sensitivity(func)
+        allocation = allocate(func)
+        for reg in allocation.registers.values():
+            assert reg not in SCRATCH
+            assert reg in CALLER_SAVED_POOL + CALLEE_SAVED_POOL
+
+    def test_cross_call_values_get_callee_saved(self):
+        def body(b, f):
+            x = b.add(f.params[0], 1)
+            b.call("g", [])
+            b.ret(x)
+
+        func = make_func(body)
+        analyze_sensitivity(func)
+        allocation = allocate(func)
+        x_id = func.blocks[0].instructions[0].result.id
+        kind, where = allocation.location(x_id)
+        assert kind == "slot" or where in CALLEE_SAVED_POOL
+
+    def test_no_register_double_booked(self):
+        """No two simultaneously-live intervals share a register."""
+
+        def body(b, f):
+            values = [b.add(f.params[0], i) for i in range(25)]
+            total = values[0]
+            for value in values[1:]:
+                total = b.add(total, value)
+            b.ret(total)
+
+        func = make_func(body)
+        analyze_sensitivity(func)
+        intervals, _ = build_intervals(func)
+        allocation = allocate(func)
+        by_vreg = {iv.vreg: iv for iv in intervals}
+        assigned = [
+            (by_vreg[v], reg) for v, reg in allocation.registers.items()
+        ]
+        for i, (iv1, reg1) in enumerate(assigned):
+            for iv2, reg2 in assigned[i + 1:]:
+                if reg1 == reg2:
+                    overlap = (
+                        iv1.start <= iv2.end and iv2.start <= iv1.end
+                    )
+                    assert not overlap, (
+                        f"{reg1} double-booked: {iv1} vs {iv2}"
+                    )
+
+    def test_sensitive_cross_call_values_get_protected_slots(self):
+        """Cross-call spilling protection (§2.4.4): a sensitive value
+        live across a call must go to an encrypted slot, never a
+        callee-saved register."""
+        from repro.crypto.keys import KeySelect
+
+        def body(b, f):
+            secret = b.crypto_dec(f.params[0], Const(1), KeySelect.D, (7, 0))
+            b.call("g", [])
+            b.ret(secret)
+
+        func = make_func(body)
+        analyze_sensitivity(func)
+        allocation = allocate(func, protect_spills=True)
+        secret_id = func.blocks[0].instructions[0].result.id
+        kind, where = allocation.location(secret_id)
+        assert kind == "slot"
+        assert where in allocation.protected_slots
+
+    def test_without_spill_protection_callee_saved_is_fine(self):
+        from repro.crypto.keys import KeySelect
+
+        def body(b, f):
+            secret = b.crypto_dec(f.params[0], Const(1), KeySelect.D, (7, 0))
+            b.call("g", [])
+            b.ret(secret)
+
+        func = make_func(body)
+        analyze_sensitivity(func)
+        allocation = allocate(func, protect_spills=False)
+        assert not allocation.protected_slots
+
+    def test_spill_slots_distinct(self):
+        def body(b, f):
+            values = [b.add(f.params[0], i) for i in range(40)]
+            total = values[0]
+            for value in values[1:]:
+                total = b.add(total, value)
+            b.ret(total)
+
+        func = make_func(body)
+        analyze_sensitivity(func)
+        allocation = allocate(func)
+        slots = list(allocation.slots.values())
+        assert len(slots) == len(set(slots))
+        assert allocation.num_slots == len(slots)
+
+
+class TestRandomPrograms:
+    @given(st.lists(st.integers(0, 2), min_size=1, max_size=40),
+           st.integers(2, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_random_dags_allocate_consistently(self, ops, fan_in):
+        """Random expression DAGs: allocation is total and never
+        assigns scratch registers."""
+
+        def body(b, f):
+            values = [f.params[0], b.add(f.params[0], 1)]
+            for op in ops:
+                lhs = values[len(values) % len(values) - 1]
+                rhs = values[(len(values) * 7) % len(values)]
+                if op == 0:
+                    values.append(b.add(lhs, rhs))
+                elif op == 1:
+                    values.append(b.xor(lhs, rhs))
+                else:
+                    values.append(b.mul(lhs, rhs))
+            total = values[0]
+            for value in values[-fan_in:]:
+                total = b.add(total, value)
+            b.ret(total)
+
+        func = make_func(body)
+        analyze_sensitivity(func)
+        allocation = allocate(func)
+        for block in func.blocks:
+            for instr in block.instructions:
+                if instr.result is not None:
+                    kind, where = allocation.location(instr.result.id)
+                    if kind == "reg":
+                        assert where not in SCRATCH

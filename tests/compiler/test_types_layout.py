@@ -1,0 +1,170 @@
+"""Type system and annotation-aware layout tests (§2.4.1)."""
+
+import pytest
+
+from repro.compiler.layout import LayoutEngine
+from repro.compiler.types import (
+    Annotation,
+    ArrayType,
+    Field,
+    FunctionType,
+    I8,
+    I16,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    StructType,
+    VOID,
+    integrity_range_for,
+    storage_align,
+    storage_size,
+)
+from repro.errors import IRError
+
+
+class TestStorageContract:
+    """The annotation macros 'set storage sizes and alignments properly'."""
+
+    def test_unannotated_natural_sizes(self):
+        assert storage_size(I8, Annotation.NONE) == 1
+        assert storage_size(I32, Annotation.NONE) == 4
+        assert storage_size(I64, Annotation.NONE) == 8
+        assert storage_size(PointerType(I64), Annotation.NONE) == 8
+
+    def test_rand_widens_small_ints_to_ciphertext_block(self):
+        for type_ in (I8, I16, I32):
+            assert storage_size(type_, Annotation.RAND) == 8
+            assert storage_size(type_, Annotation.RAND_INTEGRITY) == 8
+
+    def test_rand_i64_single_block(self):
+        assert storage_size(I64, Annotation.RAND) == 8
+
+    def test_rand_integrity_i64_two_blocks(self):
+        """Figure 2c: 64-bit integrity data occupies two ciphertexts."""
+        assert storage_size(I64, Annotation.RAND_INTEGRITY) == 16
+
+    def test_pointer_sizes(self):
+        ptr = PointerType(I64)
+        assert storage_size(ptr, Annotation.RAND) == 8
+        assert storage_size(ptr, Annotation.RAND_INTEGRITY) == 16
+
+    def test_annotated_alignment_is_eight(self):
+        assert storage_align(I32, Annotation.RAND_INTEGRITY) == 8
+        assert storage_align(I8, Annotation.RAND) == 8
+        assert storage_align(I32, Annotation.NONE) == 4
+
+    def test_integrity_ranges(self):
+        assert integrity_range_for(I8) == (0, 0)
+        assert integrity_range_for(I16) == (1, 0)
+        assert integrity_range_for(I32) == (3, 0)
+        assert integrity_range_for(I64) == (7, 0)
+        assert integrity_range_for(PointerType(I64)) == (7, 0)
+
+    def test_struct_cannot_be_annotated(self):
+        struct = StructType("inner", (Field("x", I64),))
+        with pytest.raises(IRError):
+            storage_size(struct, Annotation.RAND)
+
+
+CRED = StructType("cred", (
+    Field("usage", I32),
+    Field("uid", I32, Annotation.RAND_INTEGRITY),
+    Field("gid", I32, Annotation.RAND_INTEGRITY),
+    Field("securebits", I64),
+    Field("session_key", I64, Annotation.RAND_INTEGRITY),
+))
+
+
+class TestStructLayout:
+    def test_baseline_layout_ignores_annotations(self):
+        layout = LayoutEngine(honor_annotations=False).struct_layout(CRED)
+        assert layout.slot("usage").offset == 0
+        assert layout.slot("uid").offset == 4
+        assert layout.slot("gid").offset == 8
+        assert layout.slot("securebits").offset == 16
+        assert layout.slot("session_key").offset == 24
+        assert layout.size == 32
+
+    def test_protected_layout_expands(self):
+        layout = LayoutEngine(honor_annotations=True).struct_layout(CRED)
+        assert layout.slot("usage").offset == 0
+        assert layout.slot("uid").offset == 8      # aligned + widened
+        assert layout.slot("uid").size == 8
+        assert layout.slot("gid").offset == 16
+        assert layout.slot("securebits").offset == 24
+        assert layout.slot("session_key").offset == 32
+        assert layout.slot("session_key").size == 16
+        assert layout.size == 48
+
+    def test_nested_struct(self):
+        outer = StructType("outer", (
+            Field("head", I8),
+            Field("cred", CRED),
+            Field("tail", I8),
+        ))
+        engine = LayoutEngine(honor_annotations=True)
+        layout = engine.struct_layout(outer)
+        inner_size = engine.struct_layout(CRED).size
+        assert layout.slot("cred").offset == 8
+        assert layout.slot("tail").offset == 8 + inner_size
+
+    def test_nested_struct_cannot_be_annotated(self):
+        bad = StructType("bad", (
+            Field("inner", CRED, Annotation.RAND),
+        ))
+        with pytest.raises(IRError):
+            LayoutEngine(honor_annotations=True).struct_layout(bad)
+
+    def test_annotated_array_elements(self):
+        arr = StructType("keys", (
+            Field("slots", ArrayType(I64, 4), Annotation.RAND),
+        ))
+        layout = LayoutEngine(honor_annotations=True).struct_layout(arr)
+        assert layout.slot("slots").size == 32
+
+    def test_sizeof_alignof(self):
+        engine = LayoutEngine(honor_annotations=True)
+        assert engine.sizeof(I32) == 4
+        assert engine.sizeof(I32, Annotation.RAND) == 8
+        assert engine.sizeof(ArrayType(I32, 3)) == 12
+        assert engine.sizeof(CRED) == 48
+        assert engine.alignof(CRED) == 8
+
+    def test_layout_cache(self):
+        engine = LayoutEngine()
+        first = engine.struct_layout(CRED)
+        assert engine.struct_layout(CRED) is first
+
+    def test_unknown_field(self):
+        engine = LayoutEngine()
+        with pytest.raises(IRError):
+            engine.struct_layout(CRED).slot("nope")
+
+
+class TestTypeBasics:
+    def test_int_type_validation(self):
+        with pytest.raises(IRError):
+            IntType(7)
+
+    def test_function_pointer_detection(self):
+        fn_ptr = PointerType(FunctionType(I64, (I64,)))
+        assert fn_ptr.is_function_pointer
+        assert not PointerType(I64).is_function_pointer
+
+    def test_struct_field_lookup(self):
+        assert CRED.field_named("uid").annotation.has_integrity
+        with pytest.raises(IRError):
+            CRED.field_named("missing")
+
+    def test_has_protected_fields(self):
+        assert CRED.has_protected_fields
+        plain = StructType("plain", (Field("x", I64),))
+        assert not plain.has_protected_fields
+
+    def test_str_representations(self):
+        assert str(I64) == "i64"
+        assert str(PointerType(I32)) == "i32*"
+        assert str(VOID) == "void"
+        assert "cred" in str(CRED)
+        assert str(ArrayType(I64, 3)) == "[3 x i64]"

@@ -1,0 +1,153 @@
+"""IR verifier tests."""
+
+import pytest
+
+from repro.compiler import Function, FunctionType, I64, IRBuilder, Module
+from repro.compiler.ir import (
+    AddrOfLocal,
+    BinOp,
+    Br,
+    Const,
+    Move,
+    Ret,
+    VReg,
+)
+from repro.compiler.types import VOID
+from repro.compiler.verify import verify_function, verify_module
+from repro.errors import IRError
+
+
+def fresh():
+    func = Function("f", FunctionType(I64, (I64,)), ["p"])
+    return func, IRBuilder(func)
+
+
+class TestHappyPath:
+    def test_simple_function_verifies(self):
+        func, b = fresh()
+        b.block("entry")
+        b.ret(b.add(func.params[0], 1))
+        verify_function(func)
+
+    def test_loops_with_moves_verify(self):
+        func, b = fresh()
+        b.block("entry")
+        i = func.new_reg(I64, "i")
+        b._emit(Move(i, Const(0)))
+        b.br("loop")
+        b.block("loop")
+        b._emit(Move(i, b.add(i, 1)))
+        b.cond_br(b.cmp("lt", i, 5), "loop", "out")
+        b.block("out")
+        b.ret(i)
+        verify_function(func)
+
+    def test_whole_kernel_module_verifies(self):
+        from repro.kernel.build import build_kernel_module
+        from repro.kernel.config import KernelConfig
+
+        module = build_kernel_module(KernelConfig.full(), 0x100_0000)
+        verify_module(module)
+
+
+class TestRejections:
+    def test_empty_function(self):
+        func = Function("f", FunctionType(I64, ()))
+        with pytest.raises(IRError, match="no blocks"):
+            verify_function(func)
+
+    def test_missing_terminator(self):
+        func, b = fresh()
+        b.block("entry")
+        b.add(func.params[0], 1)
+        with pytest.raises(IRError, match="lacks a terminator"):
+            verify_function(func)
+
+    def test_instructions_after_terminator(self):
+        func, b = fresh()
+        block = b.block("entry")
+        b.ret(Const(0))
+        block.instructions.append(
+            BinOp("add", func.new_reg(I64), Const(1), Const(2))
+        )
+        block.instructions.append(Ret(Const(0)))
+        with pytest.raises(IRError, match="after terminator"):
+            verify_function(func)
+
+    def test_branch_to_unknown_block(self):
+        func, b = fresh()
+        block = b.block("entry")
+        block.instructions.append(Br("nowhere"))
+        with pytest.raises(IRError, match="unknown block"):
+            verify_function(func)
+
+    def test_use_of_undefined_register(self):
+        func, b = fresh()
+        block = b.block("entry")
+        ghost = VReg(999, I64, "ghost")
+        block.instructions.append(
+            BinOp("add", func.new_reg(I64), ghost, Const(1))
+        )
+        block.instructions.append(Ret(Const(0)))
+        with pytest.raises(IRError, match="undefined"):
+            verify_function(func)
+
+    def test_double_definition(self):
+        func, b = fresh()
+        block = b.block("entry")
+        result = func.new_reg(I64)
+        block.instructions.append(BinOp("add", result, Const(1), Const(2)))
+        block.instructions.append(BinOp("add", result, Const(3), Const(4)))
+        block.instructions.append(Ret(result))
+        with pytest.raises(IRError, match="more than once"):
+            verify_function(func)
+
+    def test_unknown_local(self):
+        func, b = fresh()
+        block = b.block("entry")
+        block.instructions.append(
+            AddrOfLocal(func.new_reg(I64), "missing")
+        )
+        block.instructions.append(Ret(Const(0)))
+        with pytest.raises(IRError, match="unknown local"):
+            verify_function(func)
+
+    def test_call_arity_mismatch(self):
+        module = Module("m")
+        callee = Function("callee", FunctionType(I64, (I64, I64)))
+        module.add_function(callee)
+        cb = IRBuilder(callee)
+        cb.block("entry")
+        cb.ret(Const(0))
+
+        caller = Function("caller", FunctionType(VOID, ()))
+        module.add_function(caller)
+        b = IRBuilder(caller)
+        b.block("entry")
+        b.call("callee", [Const(1)])       # one arg, needs two
+        b.ret()
+        with pytest.raises(IRError, match="expects 2"):
+            verify_module(module)
+
+    def test_array_initializer_overflow(self):
+        from repro.compiler.ir import GlobalVar
+        from repro.compiler.types import ArrayType
+
+        module = Module("m")
+        module.add_global(GlobalVar(
+            "table", ArrayType(I64, 2), init=[1, 2, 3]
+        ))
+        with pytest.raises(IRError, match="initializers"):
+            verify_module(module)
+
+    def test_compile_module_runs_verifier(self):
+        from repro.compiler.pipeline import CompileOptions, compile_module
+
+        module = Module("m")
+        func = Function("broken", FunctionType(I64, ()))
+        module.add_function(func)
+        b = IRBuilder(func)
+        b.block("entry")
+        b.add(Const(1), Const(2))   # falls off the end: no terminator
+        with pytest.raises(IRError):
+            compile_module(module, CompileOptions.baseline())

@@ -1,0 +1,43 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import KeySelect
+from repro.isa import assemble
+from repro.machine import Machine
+
+#: Deterministic test keys (distinct per register).
+TEST_KEYS = {
+    ksel: (0x0F1E2D3C4B5A6978 << 64 | 0x1122334455667788) ^ (int(ksel) * 0x9E3779B97F4A7C15)
+    for ksel in KeySelect
+}
+
+
+def machine_with_keys(program, **kwargs) -> Machine:
+    """Build a Machine from an assembled program with all keys installed."""
+    machine = Machine.from_program(program, **kwargs)
+    for ksel, key in TEST_KEYS.items():
+        machine.engine.key_file.set_key(ksel, key)
+    return machine
+
+
+def run_asm(source: str, max_steps: int = 1_000_000) -> Machine:
+    """Assemble, load, key, and run a bare-metal source snippet."""
+    program = assemble(source)
+    machine = machine_with_keys(program)
+    machine.run(max_steps)
+    return machine
+
+
+HALT = """
+    li t0, 0x5555
+    li t1, 0x02010000
+    sw t0, 0(t1)
+"""
+
+
+@pytest.fixture
+def keys():
+    return dict(TEST_KEYS)

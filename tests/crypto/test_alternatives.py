@@ -1,0 +1,123 @@
+"""Alternative-cipher tests (ablation substrate)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.alternatives import (
+    CIPHER_MISS_CYCLES,
+    XexXteaCipher,
+    XorDsrCipher,
+    make_cipher,
+)
+from repro.crypto.engine import CryptoEngine
+from repro.crypto.keys import KeySelect
+from repro.crypto.primitives import FULL_RANGE, LOW_HALF, cre, crd
+from repro.crypto.qarma import Qarma64
+from repro.errors import CryptoError, IntegrityViolation
+from repro.utils.bits import MASK64
+
+word64 = st.integers(0, MASK64)
+key128 = st.integers(0, (1 << 128) - 1)
+
+KEY = 0xA1B2C3D4E5F60718293A4B5C6D7E8F90
+
+
+class TestXorDsr:
+    @given(word64, word64, key128)
+    @settings(max_examples=60)
+    def test_roundtrip(self, plaintext, tweak, key):
+        cipher = XorDsrCipher()
+        assert cipher.decrypt(
+            cipher.encrypt(plaintext, tweak, key), tweak, key
+        ) == plaintext
+
+    def test_mask_recovery_weakness(self):
+        """One known (p, c, tweak) triple breaks every other value —
+        the §5 weakness this class exists to demonstrate."""
+        cipher = XorDsrCipher()
+        known_p, tweak1 = 1000, 0x4000
+        mask = cipher.encrypt(known_p, tweak1, KEY) ^ known_p ^ tweak1
+        # The recovered mask decrypts an unrelated ciphertext.
+        secret, tweak2 = 0xDEAD_BEEF, 0x9000
+        ciphertext = cipher.encrypt(secret, tweak2, KEY)
+        assert ciphertext ^ mask ^ tweak2 == secret
+
+    def test_forgery_passes_integrity(self):
+        """The informed attacker forges values that pass the zero-check."""
+        cipher = XorDsrCipher()
+        tweak = 0x5000
+        mask = cipher.encrypt(7, tweak, KEY) ^ 7 ^ tweak
+        forged_ct = 0 ^ mask ^ tweak
+        assert crd(forged_ct, LOW_HALF, tweak, KEY, cipher=cipher) == 0
+
+    def test_bad_inputs(self):
+        with pytest.raises(CryptoError):
+            XorDsrCipher().encrypt(1 << 64, 0, 0)
+        with pytest.raises(CryptoError):
+            XorDsrCipher().encrypt(0, 0, 1 << 128)
+
+
+class TestXexXtea:
+    @given(word64, word64, key128)
+    @settings(max_examples=40)
+    def test_roundtrip(self, plaintext, tweak, key):
+        cipher = XexXteaCipher()
+        assert cipher.decrypt(
+            cipher.encrypt(plaintext, tweak, key), tweak, key
+        ) == plaintext
+
+    @given(word64, word64, word64)
+    @settings(max_examples=40)
+    def test_tweak_sensitivity(self, plaintext, t1, t2):
+        cipher = XexXteaCipher()
+        if t1 != t2:
+            assert cipher.encrypt(plaintext, t1, KEY) != cipher.encrypt(
+                plaintext, t2, KEY
+            )
+
+    def test_not_involutive(self):
+        """Unlike XOR, encrypt != decrypt."""
+        cipher = XexXteaCipher()
+        ciphertext = cipher.encrypt(42, 7, KEY)
+        assert cipher.encrypt(ciphertext, 7, KEY) != 42
+
+    def test_forgery_fails_integrity(self):
+        """The XOR mask-recovery playbook yields garbage here."""
+        cipher = XexXteaCipher()
+        tweak = 0x5000
+        mask = cipher.encrypt(7, tweak, KEY) ^ 7 ^ tweak
+        forged_ct = 0 ^ mask ^ tweak
+        with pytest.raises(IntegrityViolation):
+            crd(forged_ct, LOW_HALF, tweak, KEY, cipher=cipher)
+
+    def test_avalanche(self):
+        cipher = XexXteaCipher()
+        a = cipher.encrypt(0, 0, KEY)
+        b = cipher.encrypt(1, 0, KEY)
+        assert bin(a ^ b).count("1") >= 10
+
+
+class TestFactory:
+    def test_known_ciphers(self):
+        assert isinstance(make_cipher("qarma"), Qarma64)
+        assert isinstance(make_cipher("xor"), XorDsrCipher)
+        assert isinstance(make_cipher("xex"), XexXteaCipher)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(CryptoError):
+            make_cipher("rot13")
+
+    def test_latency_table_covers_all(self):
+        for name in ("qarma", "xor", "xex"):
+            assert CIPHER_MISS_CYCLES[name] >= 1
+
+    @pytest.mark.parametrize("name", ["qarma", "xor", "xex"])
+    def test_engine_runs_on_each_cipher(self, name):
+        engine = CryptoEngine(
+            cipher=make_cipher(name),
+            miss_cycles=CIPHER_MISS_CYCLES[name],
+        )
+        engine.key_file.set_key(KeySelect.A, KEY)
+        ciphertext, _ = engine.encrypt(KeySelect.A, 77, FULL_RANGE, 3)
+        plaintext, _ = engine.decrypt(KeySelect.A, ciphertext, FULL_RANGE, 3)
+        assert plaintext == 77

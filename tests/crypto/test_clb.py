@@ -1,0 +1,139 @@
+"""Cryptographic lookaside buffer tests (§2.3.3)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.clb import CLB
+from repro.crypto.keys import KeySelect
+
+
+class TestBasicCaching:
+    def test_miss_then_hit_encrypt(self):
+        clb = CLB(8)
+        assert clb.lookup_encrypt(KeySelect.A, 1, 2) is None
+        clb.insert(KeySelect.A, 1, 2, 99)
+        assert clb.lookup_encrypt(KeySelect.A, 1, 2) == 99
+        assert clb.stats.enc_misses == 1
+        assert clb.stats.enc_hits == 1
+
+    def test_entry_serves_both_directions(self):
+        """An encrypt result answers the matching decrypt (prologue cre
+        feeding epilogue crd is the paper's main hit source)."""
+        clb = CLB(8)
+        clb.insert(KeySelect.A, tweak=5, plaintext=10, ciphertext=77)
+        assert clb.lookup_decrypt(KeySelect.A, 5, 77) == 10
+        assert clb.lookup_encrypt(KeySelect.A, 5, 10) == 77
+
+    def test_tweak_mismatch_misses(self):
+        clb = CLB(8)
+        clb.insert(KeySelect.A, 5, 10, 77)
+        assert clb.lookup_encrypt(KeySelect.A, 6, 10) is None
+
+    def test_ksel_mismatch_misses(self):
+        clb = CLB(8)
+        clb.insert(KeySelect.A, 5, 10, 77)
+        assert clb.lookup_encrypt(KeySelect.B, 5, 10) is None
+
+    def test_disabled_clb(self):
+        clb = CLB(0)
+        assert not clb.enabled
+        clb.insert(KeySelect.A, 1, 2, 3)
+        assert clb.occupancy() == 0
+
+
+class TestReplacement:
+    def test_lru_eviction(self):
+        clb = CLB(2)
+        clb.insert(KeySelect.A, 1, 1, 11)
+        clb.insert(KeySelect.A, 2, 2, 22)
+        clb.lookup_encrypt(KeySelect.A, 1, 1)       # touch entry 1
+        clb.insert(KeySelect.A, 3, 3, 33)           # evicts entry 2 (LRU)
+        assert clb.lookup_encrypt(KeySelect.A, 1, 1) == 11
+        assert clb.lookup_encrypt(KeySelect.A, 2, 2) is None
+        assert clb.lookup_encrypt(KeySelect.A, 3, 3) == 33
+        assert clb.stats.evictions == 1
+
+    def test_fills_invalid_entries_first(self):
+        clb = CLB(4)
+        for i in range(4):
+            clb.insert(KeySelect.A, i, i, i * 10)
+        assert clb.occupancy() == 4
+        assert clb.stats.evictions == 0
+
+    def test_ksel_invalidation(self):
+        """A key register update drops exactly that key's entries."""
+        clb = CLB(8)
+        clb.insert(KeySelect.A, 1, 1, 11)
+        clb.insert(KeySelect.B, 2, 2, 22)
+        clb.insert(KeySelect.A, 3, 3, 33)
+        dropped = clb.invalidate_ksel(KeySelect.A)
+        assert dropped == 2
+        assert clb.lookup_encrypt(KeySelect.A, 1, 1) is None
+        assert clb.lookup_encrypt(KeySelect.B, 2, 2) == 22
+        assert clb.stats.invalidations == 2
+
+    def test_invalidate_all(self):
+        clb = CLB(4)
+        clb.insert(KeySelect.A, 1, 1, 1)
+        clb.invalidate_all()
+        assert clb.occupancy() == 0
+
+
+class TestStats:
+    def test_hit_ratio(self):
+        clb = CLB(8)
+        clb.lookup_encrypt(KeySelect.A, 1, 2)   # miss
+        clb.insert(KeySelect.A, 1, 2, 3)
+        clb.lookup_encrypt(KeySelect.A, 1, 2)   # hit
+        clb.lookup_decrypt(KeySelect.A, 1, 3)   # hit
+        assert clb.stats.accesses == 3
+        assert clb.stats.hits == 2
+        assert abs(clb.stats.hit_ratio - 2 / 3) < 1e-9
+
+    def test_empty_ratio_is_zero(self):
+        assert CLB(8).stats.hit_ratio == 0.0
+
+    def test_reset(self):
+        clb = CLB(8)
+        clb.lookup_encrypt(KeySelect.A, 1, 2)
+        clb.stats.reset()
+        assert clb.stats.accesses == 0
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(list(KeySelect)),
+                st.integers(0, 7),
+                st.integers(0, 7),
+            ),
+            max_size=60,
+        ),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=60)
+    def test_occupancy_never_exceeds_capacity(self, operations, entries):
+        clb = CLB(entries)
+        for ksel, tweak, plaintext in operations:
+            clb.insert(ksel, tweak, plaintext, plaintext ^ 0xFF)
+            assert clb.occupancy() <= entries
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50)
+    def test_cached_value_is_what_was_inserted(self, operations):
+        """The CLB never returns a wrong (stale-keyed or mixed) result."""
+        clb = CLB(4)
+        expected: dict[tuple, int] = {}
+        for tweak, plaintext in operations:
+            ciphertext = (tweak << 8) | plaintext | 0x1000
+            clb.insert(KeySelect.C, tweak, plaintext, ciphertext)
+            expected[(tweak, plaintext)] = ciphertext
+        for (tweak, plaintext), ciphertext in expected.items():
+            cached = clb.lookup_encrypt(KeySelect.C, tweak, plaintext)
+            if cached is not None:
+                assert cached == ciphertext

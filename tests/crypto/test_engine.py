@@ -1,0 +1,134 @@
+"""Crypto-engine tests: privilege gate, CLB integration, timing (§2.3.2)."""
+
+import pytest
+
+from repro.crypto.engine import CryptoEngine
+from repro.crypto.keys import KeyFile, KeySelect, KEY_ROLES, KeyRegister
+from repro.crypto.primitives import ByteRange, FULL_RANGE, LOW_HALF
+from repro.errors import CryptoError, IntegrityViolation, PrivilegeError
+
+KEY = 0xDEADBEEFCAFEBABE0123456789ABCDEF
+
+
+@pytest.fixture
+def engine():
+    e = CryptoEngine(clb_entries=4)
+    e.key_file.set_key(KeySelect.A, KEY)
+    e.key_file.set_key(KeySelect.M, KEY ^ 0xFF)
+    return e
+
+
+class TestPrivilege:
+    def test_user_mode_rejected(self, engine):
+        with pytest.raises(PrivilegeError):
+            engine.encrypt(KeySelect.A, 1, FULL_RANGE, 0,
+                           privilege=CryptoEngine.USER)
+        with pytest.raises(PrivilegeError):
+            engine.decrypt(KeySelect.A, 1, FULL_RANGE, 0,
+                           privilege=CryptoEngine.USER)
+
+    def test_supervisor_and_machine_allowed(self, engine):
+        for privilege in (CryptoEngine.SUPERVISOR, CryptoEngine.MACHINE):
+            ciphertext, _ = engine.encrypt(
+                KeySelect.A, 1, FULL_RANGE, 0, privilege=privilege
+            )
+            plaintext, _ = engine.decrypt(
+                KeySelect.A, ciphertext, FULL_RANGE, 0, privilege=privilege
+            )
+            assert plaintext == 1
+
+    def test_master_key_usable_by_kernel(self, engine):
+        """The kernel can *use* the master key (to wrap thread keys)."""
+        ciphertext, _ = engine.encrypt(KeySelect.M, 42, FULL_RANGE, 0)
+        plaintext, _ = engine.decrypt(KeySelect.M, ciphertext, FULL_RANGE, 0)
+        assert plaintext == 42
+
+
+class TestTiming:
+    def test_miss_costs_three_cycles(self, engine):
+        _, cycles = engine.encrypt(KeySelect.A, 5, FULL_RANGE, 9)
+        assert cycles == 3
+
+    def test_hit_costs_one_cycle(self, engine):
+        ciphertext, _ = engine.encrypt(KeySelect.A, 5, FULL_RANGE, 9)
+        _, enc_cycles = engine.encrypt(KeySelect.A, 5, FULL_RANGE, 9)
+        _, dec_cycles = engine.decrypt(KeySelect.A, ciphertext, FULL_RANGE, 9)
+        assert enc_cycles == 1
+        assert dec_cycles == 1
+
+    def test_clbless_engine_always_misses(self):
+        engine = CryptoEngine(clb_entries=0)
+        engine.key_file.set_key(KeySelect.A, KEY)
+        for _ in range(3):
+            _, cycles = engine.encrypt(KeySelect.A, 5, FULL_RANGE, 9)
+            assert cycles == 3
+
+    def test_stats_accumulate(self, engine):
+        engine.encrypt(KeySelect.A, 5, FULL_RANGE, 9)
+        engine.encrypt(KeySelect.A, 5, FULL_RANGE, 9)
+        assert engine.stats.encryptions == 2
+        assert engine.stats.cycles == 4  # 3 (miss) + 1 (hit)
+
+
+class TestIntegrity:
+    def test_integrity_check_runs_on_clb_hit(self, engine):
+        """The CLB caches the cipher computation, not the range check."""
+        value = 0xFFFF_FFFF_0000_0001
+        ciphertext, _ = engine.encrypt(KeySelect.A, value, FULL_RANGE, 3)
+        # Prime the CLB with the decrypt direction.
+        engine.decrypt(KeySelect.A, ciphertext, FULL_RANGE, 3)
+        # Same ciphertext, narrower range: must fail even though cached.
+        with pytest.raises(IntegrityViolation):
+            engine.decrypt(KeySelect.A, ciphertext, LOW_HALF, 3)
+        assert engine.stats.integrity_faults == 1
+
+    def test_corrupted_ciphertext_faults(self, engine):
+        ciphertext, _ = engine.encrypt(KeySelect.A, 7, LOW_HALF, 3)
+        with pytest.raises(IntegrityViolation):
+            engine.decrypt(KeySelect.A, ciphertext ^ 1, LOW_HALF, 3)
+
+
+class TestKeyFile:
+    def test_key_update_invalidates_clb(self, engine):
+        engine.encrypt(KeySelect.A, 5, FULL_RANGE, 9)
+        engine.key_file.set_key(KeySelect.A, KEY ^ 1)
+        _, cycles = engine.encrypt(KeySelect.A, 5, FULL_RANGE, 9)
+        assert cycles == 3  # stale entry dropped -> miss
+
+    def test_other_key_update_keeps_entries(self, engine):
+        engine.encrypt(KeySelect.A, 5, FULL_RANGE, 9)
+        engine.key_file.set_key(KeySelect.B, KEY ^ 1)
+        _, cycles = engine.encrypt(KeySelect.A, 5, FULL_RANGE, 9)
+        assert cycles == 1
+
+    def test_half_word_writes(self):
+        key_file = KeyFile()
+        key_file.set_word(KeySelect.C, lo=0x1111)
+        key_file.set_word(KeySelect.C, hi=0x2222)
+        assert key_file.key(KeySelect.C) == (0x2222 << 64) | 0x1111
+
+    def test_key_register_value_roundtrip(self):
+        register = KeyRegister()
+        register.value = KEY
+        assert register.value == KEY
+        assert register.hi == KEY >> 64
+
+    def test_oversized_key_rejected(self):
+        with pytest.raises(CryptoError):
+            KeyRegister().value = 1 << 128
+
+    def test_key_select_letters(self):
+        assert KeySelect.from_letter("a") is KeySelect.A
+        assert KeySelect.from_letter("M") is KeySelect.M
+        assert KeySelect.A.letter == "a"
+        with pytest.raises(CryptoError):
+            KeySelect.from_letter("z")
+
+    def test_all_eight_keys_have_roles(self):
+        assert set(KEY_ROLES) == set(KeySelect)
+
+    def test_different_keys_differ(self, engine):
+        engine.key_file.set_key(KeySelect.B, KEY ^ 0x1234)
+        ct_a, _ = engine.encrypt(KeySelect.A, 99, FULL_RANGE, 0)
+        ct_b, _ = engine.encrypt(KeySelect.B, 99, FULL_RANGE, 0)
+        assert ct_a != ct_b

@@ -1,0 +1,147 @@
+"""Tests for the cre/crd primitive semantics (Table 1, Figure 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.primitives import (
+    ByteRange,
+    FULL_RANGE,
+    HIGH_HALF,
+    LOW_HALF,
+    cre,
+    crd,
+)
+from repro.crypto.qarma import Qarma64
+from repro.errors import CryptoError, IntegrityViolation
+
+KEY = 0x000102030405060708090A0B0C0D0E0F
+word64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestByteRange:
+    def test_full_range(self):
+        assert FULL_RANGE.mask == 0xFFFFFFFFFFFFFFFF
+        assert FULL_RANGE.is_full
+        assert FULL_RANGE.num_bytes == 8
+
+    def test_low_half(self):
+        assert LOW_HALF.mask == 0x00000000FFFFFFFF
+        assert not LOW_HALF.is_full
+
+    def test_high_half(self):
+        assert HIGH_HALF.mask == 0xFFFFFFFF00000000
+
+    def test_single_byte(self):
+        assert ByteRange(0, 0).mask == 0xFF
+        assert ByteRange(5, 5).mask == 0xFF << 40
+
+    def test_select_zeroes_outside(self):
+        assert LOW_HALF.select(0xAABBCCDD11223344) == 0x11223344
+
+    @pytest.mark.parametrize("end,start", [(0, 1), (8, 0), (3, -1)])
+    def test_invalid_ranges(self, end, start):
+        with pytest.raises(CryptoError):
+            ByteRange(end, start)
+
+    def test_parse(self):
+        assert ByteRange.parse("[7:0]") == FULL_RANGE
+        assert ByteRange.parse(" [3:0] ") == LOW_HALF
+
+    @pytest.mark.parametrize("text", ["7:0", "[7]", "[a:0]", "[7:0", "[7-0]"])
+    def test_parse_rejects(self, text):
+        with pytest.raises(CryptoError):
+            ByteRange.parse(text)
+
+    def test_str_roundtrip(self):
+        for end in range(8):
+            for start in range(end + 1):
+                byte_range = ByteRange(end, start)
+                assert ByteRange.parse(str(byte_range)) == byte_range
+
+
+class TestCreCrd:
+    def test_pointer_roundtrip(self):
+        """Figure 2a: full-range pointer randomization."""
+        pointer = 0x0000_0000_0401_2345
+        ciphertext = cre(pointer, FULL_RANGE, tweak=0x8000, key128=KEY)
+        assert ciphertext != pointer
+        assert crd(ciphertext, FULL_RANGE, tweak=0x8000, key128=KEY) == pointer
+
+    def test_32bit_roundtrip_with_integrity(self):
+        """Figure 2b: [3:0] protects and integrity-checks 32-bit data."""
+        value = 0xDEADBEEF
+        ciphertext = cre(value, LOW_HALF, tweak=0x40, key128=KEY)
+        assert crd(ciphertext, LOW_HALF, tweak=0x40, key128=KEY) == value
+
+    def test_64bit_split_roundtrip(self):
+        """Figure 2c: two 32-bit halves, then OR reassembly."""
+        value = 0x1122334455667788
+        lo_ct = cre(value, LOW_HALF, tweak=0x100, key128=KEY)
+        hi_ct = cre(value, HIGH_HALF, tweak=0x108, key128=KEY)
+        lo = crd(lo_ct, LOW_HALF, tweak=0x100, key128=KEY)
+        hi = crd(hi_ct, HIGH_HALF, tweak=0x108, key128=KEY)
+        assert lo | hi == value
+
+    def test_corruption_detected(self):
+        ciphertext = cre(0xABCD, LOW_HALF, tweak=7, key128=KEY)
+        with pytest.raises(IntegrityViolation):
+            crd(ciphertext ^ 0x10000, LOW_HALF, tweak=7, key128=KEY)
+
+    def test_wrong_tweak_detected_for_partial_range(self):
+        """Substitution to a different address fails the zero check."""
+        ciphertext = cre(0xABCD, LOW_HALF, tweak=0x1000, key128=KEY)
+        with pytest.raises(IntegrityViolation):
+            crd(ciphertext, LOW_HALF, tweak=0x2000, key128=KEY)
+
+    def test_wrong_tweak_garbles_full_range(self):
+        """Pointers (no integrity) decrypt to garbage, not an exception."""
+        pointer = 0x0000_0000_0300_0000
+        ciphertext = cre(pointer, FULL_RANGE, tweak=0x1000, key128=KEY)
+        garbage = crd(ciphertext, FULL_RANGE, tweak=0x2000, key128=KEY)
+        assert garbage != pointer
+
+    def test_wrong_key_detected(self):
+        ciphertext = cre(0xABCD, LOW_HALF, tweak=7, key128=KEY)
+        with pytest.raises(IntegrityViolation):
+            crd(ciphertext, LOW_HALF, tweak=7, key128=KEY ^ 1)
+
+    def test_out_of_range_bytes_zeroed_before_encryption(self):
+        """Table 1: bytes outside [e:s] are zeroed for the check."""
+        ciphertext_full = cre(0xFFFF_FFFF_0000_1234, LOW_HALF, 0, KEY)
+        ciphertext_low = cre(0x0000_0000_0000_1234, LOW_HALF, 0, KEY)
+        assert ciphertext_full == ciphertext_low
+
+    @given(word64, word64)
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, value, tweak):
+        for byte_range in (FULL_RANGE, LOW_HALF, HIGH_HALF, ByteRange(1, 0)):
+            selected = byte_range.select(value)
+            ciphertext = cre(value, byte_range, tweak, KEY)
+            assert crd(ciphertext, byte_range, tweak, KEY) == selected
+
+    @given(word64, word64, word64)
+    @settings(max_examples=100)
+    def test_random_corruption_detected_or_unchanged(self, value, tweak, noise):
+        """Any corruption of a 32-bit ciphertext either leaves it intact
+        or trips the integrity check / changes the value.
+
+        The probability a random 64-bit corruption passes the zero check
+        is 2^-32; hypothesis will not find one.
+        """
+        ciphertext = cre(value & 0xFFFFFFFF, LOW_HALF, tweak, KEY)
+        corrupted = ciphertext ^ noise
+        if noise == 0:
+            assert crd(corrupted, LOW_HALF, tweak, KEY) == value & 0xFFFFFFFF
+        else:
+            try:
+                decrypted = crd(corrupted, LOW_HALF, tweak, KEY)
+            except IntegrityViolation:
+                return
+            assert decrypted != value & 0xFFFFFFFF
+
+    def test_custom_cipher_instance(self):
+        cipher = Qarma64(rounds=5, sbox=1)
+        ciphertext = cre(0x42, LOW_HALF, 0, KEY, cipher=cipher)
+        assert crd(ciphertext, LOW_HALF, 0, KEY, cipher=cipher) == 0x42
+        default_ct = cre(0x42, LOW_HALF, 0, KEY)
+        assert ciphertext != default_ct

@@ -1,0 +1,222 @@
+"""QARMA-64 cipher tests: frozen vectors, structure, and properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.qarma import (
+    ALPHA,
+    CANDIDATE_PUBLISHED_VECTORS,
+    CELL_PERM,
+    CELL_PERM_INV,
+    FROZEN_VECTORS,
+    MIX_MATRIX,
+    Qarma64,
+    ROUND_CONSTANTS,
+    SBOXES,
+    SBOXES_INV,
+    TWEAK_PERM,
+    TWEAK_PERM_INV,
+    _cells_to_text,
+    _lfsr,
+    _lfsr_inv,
+    _mix,
+    _text_to_cells,
+    qarma64_decrypt,
+    qarma64_encrypt,
+)
+from repro.errors import CryptoError
+
+word64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+key128 = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestKnownAnswers:
+    @pytest.mark.parametrize("vector", FROZEN_VECTORS)
+    def test_frozen_encrypt(self, vector):
+        cipher = Qarma64(vector.rounds, vector.sbox)
+        assert cipher.encrypt(
+            vector.plaintext, vector.tweak, vector.key128
+        ) == vector.ciphertext
+
+    @pytest.mark.parametrize("vector", FROZEN_VECTORS)
+    def test_frozen_decrypt(self, vector):
+        cipher = Qarma64(vector.rounds, vector.sbox)
+        assert cipher.decrypt(
+            vector.ciphertext, vector.tweak, vector.key128
+        ) == vector.plaintext
+
+    @pytest.mark.xfail(
+        reason="candidate Avanzi-2017 vectors carried from memory could not "
+        "be verified offline; see repro.crypto.qarma docstring",
+        strict=False,
+    )
+    @pytest.mark.parametrize("vector", CANDIDATE_PUBLISHED_VECTORS)
+    def test_candidate_published(self, vector):
+        cipher = Qarma64(vector.rounds, vector.sbox)
+        assert cipher.encrypt(
+            vector.plaintext, vector.tweak, vector.key128
+        ) == vector.ciphertext
+
+
+class TestStructure:
+    """Constants and component invariants of the cipher."""
+
+    def test_sboxes_are_permutations(self):
+        for box in SBOXES.values():
+            assert sorted(box) == list(range(16))
+
+    def test_sbox_inverses(self):
+        for index, box in SBOXES.items():
+            inverse = SBOXES_INV[index]
+            for value in range(16):
+                assert inverse[box[value]] == value
+
+    def test_cell_perm_inverse(self):
+        for i in range(16):
+            assert CELL_PERM_INV[CELL_PERM[i]] == i
+            assert TWEAK_PERM_INV[TWEAK_PERM[i]] == i
+
+    def test_mix_matrix_is_symmetric_circulant(self):
+        for row in range(4):
+            for col in range(4):
+                assert MIX_MATRIX[row][col] == MIX_MATRIX[col][row]
+                assert (
+                    MIX_MATRIX[row][col]
+                    == MIX_MATRIX[0][(col - row) % 4]
+                )
+
+    @given(word64)
+    def test_mix_is_involutory(self, word):
+        cells = _text_to_cells(word)
+        assert _cells_to_text(_mix(_mix(cells))) == word
+
+    @given(word64)
+    def test_cells_roundtrip(self, word):
+        assert _cells_to_text(_text_to_cells(word)) == word
+
+    def test_cell_zero_is_msb_nibble(self):
+        assert _text_to_cells(0xF000000000000000)[0] == 0xF
+        assert _text_to_cells(0x000000000000000F)[15] == 0xF
+
+    def test_lfsr_inverse(self):
+        for nibble in range(16):
+            assert _lfsr_inv(_lfsr(nibble)) == nibble
+
+    def test_lfsr_is_full_period(self):
+        # omega cycles through all 15 non-zero states.
+        seen = set()
+        state = 1
+        for _ in range(15):
+            seen.add(state)
+            state = _lfsr(state)
+        assert state == 1
+        assert len(seen) == 15
+        assert _lfsr(0) == 0
+
+    def test_round_constants_distinct(self):
+        assert len(set(ROUND_CONSTANTS)) == len(ROUND_CONSTANTS)
+        assert ROUND_CONSTANTS[0] == 0
+
+    def test_alpha_nonzero(self):
+        assert ALPHA != 0
+
+
+class TestProperties:
+    @given(word64, word64, key128)
+    @settings(max_examples=200)
+    def test_roundtrip(self, plaintext, tweak, key):
+        cipher = Qarma64()
+        ciphertext = cipher.encrypt(plaintext, tweak, key)
+        assert cipher.decrypt(ciphertext, tweak, key) == plaintext
+
+    @given(word64, word64, key128, st.integers(1, 7), st.integers(0, 2))
+    @settings(max_examples=60)
+    def test_roundtrip_all_configs(self, plaintext, tweak, key, rounds, sbox):
+        cipher = Qarma64(rounds, sbox)
+        ciphertext = cipher.encrypt(plaintext, tweak, key)
+        assert cipher.decrypt(ciphertext, tweak, key) == plaintext
+
+    @given(word64, word64, word64, key128)
+    @settings(max_examples=100)
+    def test_injective_in_plaintext(self, p1, p2, tweak, key):
+        cipher = Qarma64()
+        if p1 != p2:
+            assert cipher.encrypt(p1, tweak, key) != cipher.encrypt(
+                p2, tweak, key
+            )
+
+    @given(word64, word64, word64, key128)
+    @settings(max_examples=100)
+    def test_tweak_changes_ciphertext(self, plaintext, t1, t2, key):
+        """Different tweaks produce different ciphertexts (the property
+        RegVault's substitution defence rests on)."""
+        cipher = Qarma64()
+        if t1 != t2:
+            assert cipher.encrypt(plaintext, t1, key) != cipher.encrypt(
+                plaintext, t2, key
+            )
+
+    @given(word64, word64, key128)
+    @settings(max_examples=50)
+    def test_single_bit_avalanche(self, plaintext, tweak, key):
+        """Flipping one plaintext bit changes many ciphertext bits."""
+        cipher = Qarma64()
+        base = cipher.encrypt(plaintext, tweak, key)
+        flipped = cipher.encrypt(plaintext ^ 1, tweak, key)
+        assert bin(base ^ flipped).count("1") >= 10
+
+    def test_avalanche_average(self):
+        """Mean avalanche over a deterministic sample is near 32 bits."""
+        cipher = Qarma64()
+        total = 0
+        samples = 50
+        for i in range(samples):
+            plaintext = (0x9E3779B97F4A7C15 * (i + 1)) & ((1 << 64) - 1)
+            base = cipher.encrypt(plaintext, 0, 0x1234)
+            flipped = cipher.encrypt(plaintext ^ (1 << (i % 64)), 0, 0x1234)
+            total += bin(base ^ flipped).count("1")
+        mean = total / samples
+        assert 24 <= mean <= 40
+
+    @given(word64, word64)
+    @settings(max_examples=50)
+    def test_key_halves_both_matter(self, plaintext, tweak):
+        cipher = Qarma64()
+        key = 0xA5A5A5A5A5A5A5A55A5A5A5A5A5A5A5A
+        flipped_hi = key ^ (1 << 100)
+        flipped_lo = key ^ (1 << 10)
+        base = cipher.encrypt(plaintext, tweak, key)
+        assert cipher.encrypt(plaintext, tweak, flipped_hi) != base
+        assert cipher.encrypt(plaintext, tweak, flipped_lo) != base
+
+
+class TestValidation:
+    def test_bad_sbox_index(self):
+        with pytest.raises(CryptoError):
+            Qarma64(sbox=3)
+
+    def test_bad_round_count(self):
+        with pytest.raises(CryptoError):
+            Qarma64(rounds=0)
+        with pytest.raises(CryptoError):
+            Qarma64(rounds=9)
+
+    def test_oversized_block_rejected(self):
+        with pytest.raises(CryptoError):
+            Qarma64().encrypt(1 << 64, 0, 0)
+
+    def test_oversized_tweak_rejected(self):
+        with pytest.raises(CryptoError):
+            Qarma64().encrypt(0, 1 << 64, 0)
+
+    def test_oversized_key_rejected(self):
+        with pytest.raises(CryptoError):
+            Qarma64().encrypt(0, 0, 1 << 128)
+
+    def test_module_level_wrappers(self):
+        ciphertext = qarma64_encrypt(0x1234, 0x5678, 0x9ABC)
+        assert qarma64_decrypt(ciphertext, 0x5678, 0x9ABC) == 0x1234
+
+    def test_split_key(self):
+        w0, k0 = Qarma64.split_key((0xAAAA << 64) | 0xBBBB)
+        assert (w0, k0) == (0xAAAA, 0xBBBB)

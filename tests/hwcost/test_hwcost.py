@@ -1,0 +1,97 @@
+"""Hardware cost model tests (Table 3 substrate)."""
+
+import pytest
+
+from repro.hwcost.components import (
+    ResourceEstimate,
+    clb_cost,
+    crypto_engine_cost,
+    fpu_cost,
+    mix_columns_luts,
+    rocket_soc_cost,
+    round_luts,
+    sbox_layer_luts,
+    xor_tree_luts,
+)
+from repro.hwcost.report import PAPER_TABLE3, format_table3, table3
+
+
+class TestPrimitives:
+    def test_xor_tree(self):
+        assert xor_tree_luts(64, 1) == 0
+        assert xor_tree_luts(64, 2) == 64
+        assert xor_tree_luts(64, 6) == 64
+        assert xor_tree_luts(64, 7) == 128
+
+    def test_sbox_layer(self):
+        assert sbox_layer_luts() == 64  # 16 cells x 4 LUTs
+
+    def test_round_composition(self):
+        assert round_luts() == (
+            xor_tree_luts(64, 4) + mix_columns_luts() + sbox_layer_luts()
+        )
+
+
+class TestComponents:
+    def test_engine_scales_with_rounds(self):
+        small = crypto_engine_cost(rounds=5)
+        large = crypto_engine_cost(rounds=7)
+        assert large.luts > small.luts
+        assert large.ffs == small.ffs  # state/keys don't grow with rounds
+
+    def test_engine_key_file_floor(self):
+        assert crypto_engine_cost().ffs >= 8 * 128
+
+    def test_clb_zero_entries_free(self):
+        assert clb_cost(0) == ResourceEstimate("clb", 0, 0)
+
+    def test_clb_monotonic(self):
+        for resource in ("luts", "ffs"):
+            values = [getattr(clb_cost(n), resource) for n in (1, 2, 4, 8, 16)]
+            assert values == sorted(values)
+            assert values[0] > 0
+
+    def test_estimate_addition(self):
+        total = clb_cost(8) + crypto_engine_cost()
+        assert total.luts == clb_cost(8).luts + crypto_engine_cost().luts
+
+    def test_baselines(self):
+        soc = rocket_soc_cost()
+        fpu = fpu_cost()
+        assert fpu.luts < soc.luts
+        assert fpu.ffs < soc.ffs
+
+
+class TestTable3:
+    def test_rows_cover_both_configs(self):
+        rows = table3()
+        assert {(r.clb_entries, r.resource) for r in rows} == {
+            (0, "lut"), (0, "ff"), (8, "lut"), (8, "ff"),
+        }
+
+    def test_shape_criteria(self):
+        for row in table3():
+            assert 0 < row.engine_pct < 6
+            assert row.fpu_pct > 10
+            if row.clb_pct is not None:
+                assert 0 < row.clb_pct < 5
+
+    def test_percentages_are_over_soc_including_regvault(self):
+        """Adding the CLB must *reduce* the FPU's relative share."""
+        rows = {(r.clb_entries, r.resource): r for r in table3()}
+        assert rows[(8, "lut")].fpu_pct < rows[(0, "lut")].fpu_pct
+
+    def test_paper_reference_embedded(self):
+        row = next(r for r in table3() if r.clb_entries == 8
+                   and r.resource == "lut")
+        assert row.paper_engine_pct == PAPER_TABLE3[(8, "lut")]["engine"]
+
+    def test_formatting(self):
+        text = format_table3()
+        assert "Table 3" in text
+        assert "N/A" in text          # CLB column for the 0-entry config
+        assert "FPU" in text
+
+    def test_custom_sweep(self):
+        rows = table3(clb_configs=(4, 16))
+        assert {r.clb_entries for r in rows} == {4, 16}

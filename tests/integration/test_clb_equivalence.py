@@ -1,0 +1,54 @@
+"""The CLB is a pure cache: results must not depend on its size."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.runner import run_workload
+from repro.bench.workloads import unixbench
+from repro.kernel import KernelConfig
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("workload", unixbench.SUITE[:4],
+                         ids=lambda w: w.name)
+def test_clb_size_never_changes_results(workload):
+    exit_codes = set()
+    cycles = {}
+    for entries in (0, 1, 8, 32):
+        config = KernelConfig.full(clb_entries=entries)
+        measurement = run_workload(workload, config, scale=0.15)
+        exit_codes.add(measurement.exit_code)
+        cycles[entries] = measurement.cycles
+    assert len(exit_codes) == 1, f"CLB size changed semantics: {exit_codes}"
+    # And it must actually help: bigger CLB, never slower.
+    assert cycles[8] <= cycles[0]
+    assert cycles[32] <= cycles[1]
+
+
+def test_console_output_identical_across_clb_sizes():
+    from repro.compiler import Function, FunctionType, I64, IRBuilder, Module
+    from repro.compiler.ir import Const
+    from repro.kernel import KernelSession
+    from repro.kernel.structs import SYS_EXIT, SYS_WRITE
+
+    module = Module("user")
+    main = Function("main", FunctionType(I64, ()))
+    module.add_function(main)
+    b = IRBuilder(main)
+    b.block("entry")
+    for ch in "clb":
+        b.intrinsic("ecall", [Const(SYS_WRITE), Const(ord(ch))],
+                    returns=True)
+    b.intrinsic("ecall", [Const(SYS_EXIT), Const(3)], returns=True)
+    b.ret(Const(0))
+
+    outputs = set()
+    for entries in (0, 8):
+        session = KernelSession(
+            KernelConfig.full(clb_entries=entries), module
+        )
+        result = session.run()
+        outputs.add((result.exit_code, result.console))
+    assert len(outputs) == 1

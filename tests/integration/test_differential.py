@@ -1,0 +1,152 @@
+"""Differential testing: protection must never change semantics.
+
+Hypothesis generates random little programs over annotated and plain
+data; each is compiled under every protection configuration and run to
+completion.  All configurations must produce bit-identical results —
+any divergence is a compiler/runtime bug (wrong tweak, missed
+re-encryption, bad spill protection...).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import (
+    Annotation,
+    Field,
+    Function,
+    FunctionType,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    StructType,
+)
+from repro.compiler.ir import Const, GlobalVar, Move
+from repro.compiler.pipeline import CompileOptions, compile_module
+from repro.isa import assemble
+from repro.machine import HaltReason
+from tests.conftest import machine_with_keys
+
+CONFIGS = [
+    CompileOptions.baseline(),
+    CompileOptions.ra_only(),
+    CompileOptions.noncontrol_only(),
+    CompileOptions.full(),
+]
+
+STARTUP = "_start:\n    call main\nhang:\n    j hang\n"
+
+#: One program = a sequence of abstract steps interpreted by the builder.
+step = st.tuples(
+    st.sampled_from(
+        ["add", "mul", "xor", "store32", "store64", "load32", "load64",
+         "call", "branch"]
+    ),
+    st.integers(0, 2**31 - 1),
+)
+
+
+def build_module(steps):
+    module = Module("fuzz")
+    vault = module.add_struct(StructType("vault", (
+        Field("a", I32, Annotation.RAND_INTEGRITY),
+        Field("b", I64, Annotation.RAND_INTEGRITY),
+        Field("c", I64, Annotation.RAND),
+        Field("d", I64),
+    )))
+    module.add_global(GlobalVar("vault", vault))
+
+    helper = Function("helper", FunctionType(I64, (I64,)), ["x"])
+    module.add_function(helper)
+    hb = IRBuilder(helper)
+    hb.block("entry")
+    hb.ret(hb.add(hb.mul(helper.params[0], 3), 1))
+
+    main = Function("main", FunctionType(I64, ()))
+    module.add_function(main)
+    b = IRBuilder(main)
+    b.block("entry")
+    base = b.addr_of_global("vault")
+    b.store_field(base, vault, "a", Const(11))
+    b.store_field(base, vault, "b", Const(22))
+    b.store_field(base, vault, "c", Const(33))
+    b.store_field(base, vault, "d", Const(44))
+
+    acc = b.func.new_reg(I64, "acc")
+    b._emit(Move(acc, Const(1)))
+    label_counter = [0]
+
+    for op, value in steps:
+        masked = value & 0xFFFF
+        if op == "add":
+            b._emit(Move(acc, b.add(acc, masked)))
+        elif op == "mul":
+            b._emit(Move(acc, b.mul(acc, (masked | 1) & 0xFF)))
+        elif op == "xor":
+            b._emit(Move(acc, b.xor(acc, masked)))
+        elif op == "store32":
+            b.store_field(base, vault, "a", b.and_(acc, 0x7FFFFFFF))
+        elif op == "store64":
+            which = "b" if value & 1 else "c"
+            b.store_field(base, vault, which, acc)
+        elif op == "load32":
+            b._emit(Move(acc, b.add(acc, b.load_field(base, vault, "a"))))
+        elif op == "load64":
+            which = "b" if value & 1 else "c"
+            b._emit(Move(
+                acc, b.xor(acc, b.load_field(base, vault, which))
+            ))
+        elif op == "call":
+            b._emit(Move(acc, b.call("helper", [acc])))
+        elif op == "branch":
+            label_counter[0] += 1
+            then_label = f"then_{label_counter[0]}"
+            join_label = f"join_{label_counter[0]}"
+            cond = b.cmp("ltu", b.and_(acc, 0xF), masked & 0xF)
+            b.cond_br(cond, then_label, join_label)
+            b.block(then_label)
+            b._emit(Move(acc, b.add(acc, 5)))
+            b.br(join_label)
+            b.block(join_label)
+        b._emit(Move(acc, b.and_(acc, Const(0xFFFFFFFF))))
+
+    plain = b.load_field(base, vault, "d")
+    b.intrinsic("halt", [b.and_(b.add(acc, plain), Const(0xFFFF))])
+    b.ret(Const(0))
+    return module
+
+
+def run_config(module, options):
+    compiled = compile_module(module, options)
+    program = assemble(STARTUP + compiled.asm)
+    machine = machine_with_keys(program)
+    reason = machine.run(3_000_000)
+    assert reason is HaltReason.SHUTDOWN, f"{options.name}: {reason}"
+    return machine.exit_code
+
+
+class TestDifferential:
+    @given(st.lists(step, min_size=1, max_size=25))
+    @settings(max_examples=25, deadline=None)
+    def test_all_configs_agree(self, steps):
+        module = build_module(steps)
+        results = {
+            options.name: run_config(module, options)
+            for options in CONFIGS
+        }
+        assert len(set(results.values())) == 1, (
+            f"configs diverge: {results} for steps {steps}"
+        )
+
+    @given(st.lists(step, min_size=1, max_size=15))
+    @settings(max_examples=10, deadline=None)
+    def test_optimizer_preserves_semantics(self, steps):
+        import dataclasses
+
+        module = build_module(steps)
+        optimized = run_config(module, CompileOptions.full())
+        unoptimized = run_config(
+            module,
+            dataclasses.replace(CompileOptions.full(), optimize=False),
+        )
+        assert optimized == unoptimized

@@ -1,0 +1,43 @@
+"""Every shipped example must run cleanly (smoke, via subprocess)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parents[2] / "examples").glob("*.py")
+)
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_at_least_five_examples_exist():
+    assert len(EXAMPLES) >= 5
+
+
+def test_cli_entry_points():
+    for args in (["boot"], ["table3"]):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip()

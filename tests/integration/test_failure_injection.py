@@ -1,0 +1,147 @@
+"""Failure injection: randomized ciphertext corruption.
+
+Property: flipping any bit of an ``__rand_integrity`` field's
+ciphertext is *never silently accepted* — the consuming load either
+traps with the RegVault integrity fault or (for confidentiality-only
+data) produces a value different from the original plaintext.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import (
+    Annotation,
+    Field,
+    Function,
+    FunctionType,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    StructType,
+)
+from repro.compiler.ir import Const, GlobalVar
+from repro.compiler.layout import LayoutEngine
+from repro.compiler.pipeline import CompileOptions, compile_module
+from repro.isa import assemble
+from repro.machine.trap import Cause
+from tests.conftest import machine_with_keys
+
+SECRET32 = 0x0BADF00D
+SECRET64 = 0x0123456789ABCDEF
+
+VAULT = StructType("vault", (
+    Field("checked32", I32, Annotation.RAND_INTEGRITY),
+    Field("checked64", I64, Annotation.RAND_INTEGRITY),
+    Field("conf_only", I64, Annotation.RAND),
+))
+
+
+def build_program():
+    """Store secrets, breakpoint (ebreak boundary via console marker),
+    reload and report.  The attacker corrupts between phases."""
+    module = Module("m")
+    module.add_struct(VAULT)
+    module.add_global(GlobalVar("vault", VAULT))
+
+    main = Function("main", FunctionType(I64, ()))
+    module.add_function(main)
+    b = IRBuilder(main)
+    b.block("entry")
+    base = b.addr_of_global("vault")
+    b.store_field(base, VAULT, "checked32", Const(SECRET32))
+    b.store_field(base, VAULT, "checked64", Const(SECRET64))
+    b.store_field(base, VAULT, "conf_only", Const(SECRET64))
+    b.ret(Const(0))
+
+    reader = Function("reader", FunctionType(I64, (I64,)), ["which"])
+    module.add_function(reader)
+    b = IRBuilder(reader)
+    b.block("entry")
+    base = b.addr_of_global("vault")
+    is32 = b.cmp("eq", reader.params[0], Const(0))
+    b.cond_br(is32, "read32", "next")
+    b.block("next")
+    is64 = b.cmp("eq", reader.params[0], Const(1))
+    b.cond_br(is64, "read64", "readc")
+    b.block("read32")
+    b.ret(b.load_field(base, VAULT, "checked32"))
+    b.block("read64")
+    b.ret(b.load_field(base, VAULT, "checked64"))
+    b.block("readc")
+    b.ret(b.load_field(base, VAULT, "conf_only"))
+    return module
+
+
+STARTUP = """
+_start:
+    la t0, trap_handler
+    csrw mtvec, t0
+    call main
+phase_two:
+    mv a0, s10            # which field to read
+    call reader
+    mv s11, a0
+    li t0, 0x5555
+    li t1, 0x02010000
+    sw t0, 0(t1)
+trap_handler:
+    csrr s9, mcause
+    li t0, 0x00ff5555
+    li t1, 0x02010000
+    sw t0, 0(t1)
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    compiled = compile_module(build_program(), CompileOptions.full())
+    return assemble(STARTUP + compiled.asm)
+
+
+def run_with_corruption(program, which: int, slot_offset: int, bit: int):
+    machine = machine_with_keys(program)
+    machine.hart.regs.set_by_name("s10", which)
+    assert machine.run_until(program.symbols["phase_two"])
+    address = program.symbols["vault"] + slot_offset
+    machine.write_u64(address, machine.read_u64(address) ^ (1 << bit))
+    machine.run()
+    trapped = machine.exit_code == 0xFF
+    value = machine.hart.regs.by_name("s11")
+    cause = machine.hart.regs.by_name("s9")
+    return trapped, value, cause
+
+
+class TestIntegrityFields:
+    layout = LayoutEngine(True).struct_layout(VAULT)
+
+    @given(st.integers(0, 63))
+    @settings(max_examples=48, deadline=None)
+    def test_checked32_every_bitflip_traps(self, compiled, bit):
+        offset = self.layout.slot("checked32").offset
+        trapped, value, cause = run_with_corruption(compiled, 0, offset, bit)
+        assert trapped and cause == Cause.REGVAULT_INTEGRITY_FAULT
+
+    @given(st.integers(0, 63), st.booleans())
+    @settings(max_examples=48, deadline=None)
+    def test_checked64_every_bitflip_traps(self, compiled, bit, high_half):
+        offset = self.layout.slot("checked64").offset + (8 if high_half else 0)
+        trapped, value, cause = run_with_corruption(compiled, 1, offset, bit)
+        assert trapped and cause == Cause.REGVAULT_INTEGRITY_FAULT
+
+    @given(st.integers(0, 63))
+    @settings(max_examples=48, deadline=None)
+    def test_conf_only_never_yields_original(self, compiled, bit):
+        """__rand (no integrity): corruption is not detected, but the
+        decrypted value is garbage, never the original secret."""
+        offset = self.layout.slot("conf_only").offset
+        trapped, value, cause = run_with_corruption(compiled, 2, offset, bit)
+        assert not trapped
+        assert value != SECRET64
+
+    def test_uncorrupted_reads_are_clean(self, compiled):
+        machine = machine_with_keys(compiled)
+        machine.hart.regs.set_by_name("s10", 0)
+        machine.run()
+        assert machine.exit_code == 0x0
+        assert machine.hart.regs.by_name("s11") == SECRET32

@@ -1,0 +1,297 @@
+"""Assembler tests: syntax, pseudo-instructions, data, symbols, errors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AssemblerError
+from repro.isa import assemble, decode, disassemble
+from repro.isa.assembler import Assembler, DEFAULT_BASES
+
+
+def text_words(program):
+    section = program.sections[".text"]
+    return [
+        int.from_bytes(section.data[i:i + 4], "little")
+        for i in range(0, len(section.data), 4)
+    ]
+
+
+def text_mnemonics(program):
+    return [decode(w).mnemonic for w in text_words(program)]
+
+
+class TestBasics:
+    def test_single_instruction(self):
+        program = assemble("addi a0, zero, 5")
+        assert text_mnemonics(program) == ["addi"]
+
+    def test_labels_and_branches(self):
+        program = assemble("""
+        top:
+            addi a0, a0, 1
+            bne a0, a1, top
+        """)
+        words = text_words(program)
+        branch = decode(words[1])
+        assert branch.mnemonic == "bne"
+        assert branch.imm == -4
+
+    def test_forward_reference(self):
+        program = assemble("""
+            j end
+            nop
+        end:
+            nop
+        """)
+        jump = decode(text_words(program)[0])
+        assert jump.imm == 8
+
+    def test_label_on_same_line(self):
+        program = assemble("start: addi a0, zero, 1")
+        assert program.symbols["start"] == DEFAULT_BASES[".text"]
+
+    def test_comments(self):
+        program = assemble("""
+            addi a0, zero, 1   # trailing comment
+            ; whole-line comment
+            addi a0, a0, 1
+        """)
+        assert len(text_words(program)) == 2
+
+    def test_register_aliases(self):
+        program = assemble("add x10, s0, fp")
+        ins = decode(text_words(program)[0])
+        assert ins.rd == 10
+        assert ins.rs1 == 8 and ins.rs2 == 8
+
+    def test_memory_operands(self):
+        program = assemble("ld a0, -16(sp)")
+        ins = decode(text_words(program)[0])
+        assert ins.imm == -16 and ins.rs1 == 2
+
+    def test_csr_by_name_and_number(self):
+        program = assemble("""
+            csrr t0, mstatus
+            csrr t1, 0x300
+        """)
+        words = text_words(program)
+        assert decode(words[0]).csr == decode(words[1]).csr == 0x300
+
+    def test_equ_constants(self):
+        program = assemble("""
+        .equ MAGIC, 42
+            addi a0, zero, MAGIC
+        """)
+        assert decode(text_words(program)[0]).imm == 42
+
+
+class TestPseudoInstructions:
+    @pytest.mark.parametrize("source,expect", [
+        ("nop", ["addi"]),
+        ("mv a0, a1", ["addi"]),
+        ("not a0, a1", ["xori"]),
+        ("neg a0, a1", ["sub"]),
+        ("seqz a0, a1", ["sltiu"]),
+        ("snez a0, a1", ["sltu"]),
+        ("beqz a0, @", ["beq"]),
+        ("bnez a0, @", ["bne"]),
+        ("j @", ["jal"]),
+        ("ret", ["jalr"]),
+        ("call @", ["jal"]),
+        ("csrr t0, mstatus", ["csrrs"]),
+        ("csrw mstatus, t0", ["csrrw"]),
+        ("sext.w a0, a1", ["addiw"]),
+    ])
+    def test_expansions(self, source, expect):
+        source = source.replace("@", "target")
+        program = assemble(f"target:\n    {source}")
+        assert text_mnemonics(program) == expect
+
+    def test_bgt_swaps_operands(self):
+        program = assemble("t:\n    bgt a0, a1, t")
+        ins = decode(text_words(program)[0])
+        assert ins.mnemonic == "blt"
+        assert (ins.rs1, ins.rs2) == (11, 10)
+
+    def test_li_small(self):
+        program = assemble("li a0, 100")
+        assert text_mnemonics(program) == ["addi"]
+
+    def test_li_medium(self):
+        program = assemble("li a0, 0x12345")
+        assert text_mnemonics(program) == ["lui", "addiw"]
+
+    def test_li_negative(self):
+        program = assemble("li a0, -1")
+        ins = decode(text_words(program)[0])
+        assert ins.imm == -1
+
+    def test_la_two_instructions(self):
+        program = assemble("""
+            la a0, value
+        .data
+        value: .dword 7
+        """)
+        assert text_mnemonics(program) == ["lui", "addi"]
+
+
+class TestCryptoSyntax:
+    def test_cre(self):
+        program = assemble("creak a0, a1[3:0], t1")
+        ins = decode(text_words(program)[0])
+        assert ins.mnemonic == "creak"
+        assert (ins.rd, ins.rs1, ins.rs2) == (10, 11, 6)
+        assert (ins.byte_range.end, ins.byte_range.start) == (3, 0)
+
+    def test_crd(self):
+        program = assemble("crdgk s1, s2, s3, [7:4]")
+        ins = decode(text_words(program)[0])
+        assert ins.mnemonic == "crdgk"
+        assert (ins.byte_range.end, ins.byte_range.start) == (7, 4)
+
+    def test_all_key_letters(self):
+        for letter in "abcdefgm":
+            program = assemble(f"cre{letter}k a0, a0[7:0], t0")
+            assert text_mnemonics(program) == [f"cre{letter}k"]
+
+    def test_malformed_range_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("creak a0, a1, t1")   # missing [e:s]
+
+
+class TestData:
+    def test_dword_with_symbol(self):
+        program = assemble("""
+        func:
+            ret
+        .data
+        table: .dword func, 0x1234
+        """)
+        data = program.sections[".data"].data
+        assert int.from_bytes(data[0:8], "little") == program.symbols["func"]
+        assert int.from_bytes(data[8:16], "little") == 0x1234
+
+    def test_asciz(self):
+        program = assemble('.data\nmsg: .asciz "hi"')
+        assert bytes(program.sections[".data"].data[:3]) == b"hi\x00"
+
+    def test_ascii_escapes(self):
+        program = assemble('.data\nmsg: .ascii "a\\n"')
+        assert bytes(program.sections[".data"].data[:2]) == b"a\n"
+
+    def test_zero_and_align(self):
+        program = assemble("""
+        .data
+        a: .byte 1
+        .align 3
+        b: .dword 2
+        """)
+        assert program.symbols["b"] % 8 == 0
+
+    def test_sections_have_distinct_bases(self):
+        program = assemble("""
+            nop
+        .data
+        d: .dword 1
+        .rodata
+        r: .dword 2
+        .bss
+        b: .zero 16
+        """)
+        bases = [s.base for s in program.sections.values()]
+        assert len(set(bases)) == len(bases)
+
+    def test_byte_half_word(self):
+        program = assemble("""
+        .data
+        x: .byte 0x11, 0x22
+        y: .half 0x3344
+        z: .word 0x55667788
+        """)
+        data = program.sections[".data"].data
+        assert data[0] == 0x11 and data[1] == 0x22
+
+    def test_entry_defaults_to_text_base(self):
+        program = assemble("nop")
+        assert program.entry == DEFAULT_BASES[".text"]
+
+    def test_entry_prefers_start(self):
+        program = assemble("""
+            nop
+        _start:
+            nop
+        """)
+        assert program.entry == DEFAULT_BASES[".text"] + 4
+
+    def test_custom_bases(self):
+        program = assemble("nop", bases={".text": 0x40000})
+        assert program.sections[".text"].base == 0x40000
+
+    def test_flatten(self):
+        program = assemble("nop\n.data\nv: .dword 1")
+        flat = dict(program.flatten())
+        assert DEFAULT_BASES[".text"] in flat
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", [
+        "bogus a0, a1",
+        "addi a0, a0",           # missing operand
+        "addi a0, a0, 99999",    # imm overflow
+        "ld a0, a1",             # not a memory operand
+        "j nowhere",             # undefined label
+        ".weird 1",              # unknown directive
+        "addi a0, q7, 1",        # unknown register
+        "csrw bogus_csr, a0",    # unknown CSR
+    ])
+    def test_rejected(self, source):
+        with pytest.raises(AssemblerError):
+            assemble(source)
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("x:\n    nop\nx:\n    nop")
+
+    def test_error_carries_line_number(self):
+        try:
+            assemble("nop\nbogus_mnemonic a0\n")
+        except AssemblerError as error:
+            assert error.line == 2
+        else:
+            pytest.fail("expected AssemblerError")
+
+
+class TestLiProperty:
+    @given(st.integers(-(1 << 63), (1 << 64) - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_li_materializes_any_constant(self, value):
+        """li followed by execution yields exactly the constant."""
+        from tests.conftest import run_asm, HALT
+
+        machine = run_asm(f"""
+        _start:
+            li a0, {value}
+            {HALT}
+        """)
+        expected = value & ((1 << 64) - 1)
+        assert machine.hart.regs.by_name("a0") == expected
+
+
+class TestDisassemblerRoundtrip:
+    SOURCES = [
+        "add a0, a1, a2",
+        "addi a0, a1, -5",
+        "ld a0, 8(sp)",
+        "sd a0, -8(sp)",
+        "creak a0, a1[3:0], t1",
+        "crdak a0, a1, t1, [7:4]",
+        "csrrw zero, 0x300, t0",
+        "jalr ra, 16(t0)",
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_reassembles_identically(self, source):
+        word1 = text_words(assemble(source))[0]
+        text = disassemble(decode(word1))
+        word2 = text_words(assemble(text))[0]
+        assert word1 == word2

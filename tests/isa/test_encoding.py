@@ -1,0 +1,219 @@
+"""Encoder/decoder tests: golden words and roundtrip properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.keys import KeySelect
+from repro.crypto.primitives import ByteRange
+from repro.errors import DecodeError, EncodingError
+from repro.isa import instructions as tab
+from repro.isa.decoder import decode
+from repro.isa.encoder import encode
+from repro.isa.instructions import (
+    Instruction,
+    InstrFormat,
+    crypto_mnemonic,
+    parse_crypto_mnemonic,
+)
+
+reg = st.integers(0, 31)
+
+
+class TestGoldenWords:
+    """Encodings checked against the RISC-V specification by hand."""
+
+    CASES = [
+        # addi x1, x2, 3  -> imm=3 rs1=2 f3=000 rd=1 op=0010011
+        (Instruction("addi", InstrFormat.I, rd=1, rs1=2, imm=3), 0x00310093),
+        # add x3, x4, x5
+        (Instruction("add", InstrFormat.R, rd=3, rs1=4, rs2=5), 0x005201B3),
+        # sub x3, x4, x5
+        (Instruction("sub", InstrFormat.R, rd=3, rs1=4, rs2=5), 0x405201B3),
+        # ld x10, 8(x2)
+        (Instruction("ld", InstrFormat.I, rd=10, rs1=2, imm=8), 0x00813503),
+        # sd x10, 8(x2)
+        (Instruction("sd", InstrFormat.S, rs1=2, rs2=10, imm=8), 0x00A13423),
+        # beq x1, x2, +8
+        (Instruction("beq", InstrFormat.B, rs1=1, rs2=2, imm=8), 0x00208463),
+        # jal x1, +2048
+        (Instruction("jal", InstrFormat.J, rd=1, imm=2048), 0x001000EF),
+        # lui x5, 0x12345xxx
+        (
+            Instruction("lui", InstrFormat.U, rd=5, imm=0x12345000),
+            0x123452B7,
+        ),
+        # ecall / ebreak / mret
+        (Instruction("ecall", InstrFormat.SYSTEM), 0x00000073),
+        (Instruction("ebreak", InstrFormat.SYSTEM), 0x00100073),
+        (Instruction("mret", InstrFormat.SYSTEM), 0x30200073),
+        # csrrw x0, mstatus(0x300), x7
+        (
+            Instruction("csrrw", InstrFormat.CSR, rd=0, rs1=7, csr=0x300),
+            0x30039073,
+        ),
+        # slli x1, x1, 11 (RV64: 6-bit shamt)
+        (Instruction("slli", InstrFormat.I, rd=1, rs1=1, imm=11), 0x00B09093),
+        # srai x1, x1, 42
+        (Instruction("srai", InstrFormat.I, rd=1, rs1=1, imm=42), 0x42A0D093),
+        # mul x5, x6, x7
+        (Instruction("mul", InstrFormat.R, rd=5, rs1=6, rs2=7), 0x027302B3),
+    ]
+
+    @pytest.mark.parametrize("ins,word", CASES)
+    def test_encode(self, ins, word):
+        assert encode(ins) == word, f"{ins.mnemonic}: {encode(ins):#010x}"
+
+    @pytest.mark.parametrize("ins,word", CASES)
+    def test_decode(self, ins, word):
+        decoded = decode(word)
+        assert decoded.mnemonic == ins.mnemonic
+        assert decoded.rd == ins.rd
+        assert decoded.rs1 == ins.rs1
+
+
+class TestCryptoEncoding:
+    def test_cre_crd_distinct_opcodes(self):
+        cre = Instruction(
+            "creak", InstrFormat.CRYPTO, rd=10, rs1=10, rs2=6,
+            ksel=KeySelect.A, byte_range=ByteRange(7, 0),
+        )
+        crd = Instruction(
+            "crdak", InstrFormat.CRYPTO, rd=10, rs1=10, rs2=6,
+            ksel=KeySelect.A, byte_range=ByteRange(7, 0),
+        )
+        assert encode(cre) & 0x7F == tab.OPCODE_CRE
+        assert encode(crd) & 0x7F == tab.OPCODE_CRD
+        assert encode(cre) != encode(crd)
+
+    @pytest.mark.parametrize("ksel", list(KeySelect))
+    def test_ksel_in_funct3(self, ksel):
+        ins = Instruction(
+            crypto_mnemonic(True, ksel), InstrFormat.CRYPTO,
+            rd=1, rs1=2, rs2=3, ksel=ksel, byte_range=ByteRange(7, 0),
+        )
+        word = encode(ins)
+        assert (word >> 12) & 0b111 == int(ksel)
+        assert decode(word).ksel == ksel
+
+    def test_byte_range_in_funct7(self):
+        ins = Instruction(
+            "crebk", InstrFormat.CRYPTO, rd=1, rs1=2, rs2=3,
+            ksel=KeySelect.B, byte_range=ByteRange(3, 0),
+        )
+        word = encode(ins)
+        funct7 = (word >> 25) & 0x7F
+        assert funct7 == (3 << 3) | 0
+        assert decode(word).byte_range == ByteRange(3, 0)
+
+    def test_invalid_range_encoding_rejected_by_decoder(self):
+        # funct7 encodes start > end -> must not decode
+        word = (
+            ((0 << 3 | 5) << 25) | (3 << 20) | (2 << 15) | (0 << 12)
+            | (1 << 7) | tab.OPCODE_CRE
+        )
+        with pytest.raises(DecodeError):
+            decode(word)
+
+    def test_reserved_bit_rejected(self):
+        word = (
+            (0b1000000 << 25) | (3 << 20) | (2 << 15) | (0 << 12)
+            | (1 << 7) | tab.OPCODE_CRE
+        )
+        with pytest.raises(DecodeError):
+            decode(word)
+
+    def test_parse_crypto_mnemonic(self):
+        assert parse_crypto_mnemonic("creak") == (True, KeySelect.A)
+        assert parse_crypto_mnemonic("crdmk") == (False, KeySelect.M)
+        assert parse_crypto_mnemonic("create") is None
+        assert parse_crypto_mnemonic("add") is None
+
+
+def _roundtrip(ins: Instruction) -> None:
+    word = encode(ins)
+    decoded = decode(word)
+    assert encode(decoded) == word
+
+
+class TestRoundtripProperties:
+    @given(reg, reg, reg, st.sampled_from(sorted(tab.R_TYPE)))
+    def test_r_type(self, rd, rs1, rs2, mnemonic):
+        _roundtrip(Instruction(mnemonic, InstrFormat.R, rd=rd, rs1=rs1, rs2=rs2))
+
+    @given(reg, reg, st.integers(-2048, 2047),
+           st.sampled_from(sorted(tab.I_TYPE_ALU)))
+    def test_i_type(self, rd, rs1, imm, mnemonic):
+        ins = Instruction(mnemonic, InstrFormat.I, rd=rd, rs1=rs1, imm=imm)
+        word = encode(ins)
+        decoded = decode(word)
+        assert decoded.imm == imm
+        assert decoded.mnemonic == mnemonic
+
+    @given(reg, reg, st.integers(-2048, 2047), st.sampled_from(sorted(tab.LOADS)))
+    def test_loads(self, rd, rs1, imm, mnemonic):
+        ins = Instruction(mnemonic, InstrFormat.I, rd=rd, rs1=rs1, imm=imm)
+        assert decode(encode(ins)).imm == imm
+
+    @given(reg, reg, st.integers(-2048, 2047), st.sampled_from(sorted(tab.STORES)))
+    def test_stores(self, rs1, rs2, imm, mnemonic):
+        ins = Instruction(mnemonic, InstrFormat.S, rs1=rs1, rs2=rs2, imm=imm)
+        decoded = decode(encode(ins))
+        assert decoded.imm == imm
+        assert decoded.rs2 == rs2
+
+    @given(reg, reg, st.integers(-2048, 2046).map(lambda x: x * 2),
+           st.sampled_from(sorted(tab.BRANCHES)))
+    def test_branches(self, rs1, rs2, imm, mnemonic):
+        ins = Instruction(mnemonic, InstrFormat.B, rs1=rs1, rs2=rs2, imm=imm)
+        assert decode(encode(ins)).imm == imm
+
+    @given(reg, st.integers(-(1 << 19), (1 << 19) - 1).map(lambda x: x * 2))
+    def test_jal(self, rd, imm):
+        ins = Instruction("jal", InstrFormat.J, rd=rd, imm=imm)
+        assert decode(encode(ins)).imm == imm
+
+    @given(reg, st.integers(-(1 << 19), (1 << 19) - 1).map(lambda x: x << 12))
+    @settings(max_examples=50)
+    def test_lui(self, rd, imm):
+        ins = Instruction("lui", InstrFormat.U, rd=rd, imm=imm)
+        assert decode(encode(ins)).imm == imm
+
+    @given(reg, reg, reg, st.booleans(), st.sampled_from(list(KeySelect)),
+           st.integers(0, 7), st.integers(0, 7))
+    @settings(max_examples=100)
+    def test_crypto(self, rd, rs1, rs2, is_enc, ksel, a, b):
+        end, start = max(a, b), min(a, b)
+        ins = Instruction(
+            crypto_mnemonic(is_enc, ksel), InstrFormat.CRYPTO,
+            rd=rd, rs1=rs1, rs2=rs2, ksel=ksel,
+            byte_range=ByteRange(end, start),
+        )
+        decoded = decode(encode(ins))
+        assert decoded.mnemonic == ins.mnemonic
+        assert decoded.byte_range == ins.byte_range
+
+
+class TestErrors:
+    def test_imm_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("addi", InstrFormat.I, rd=1, rs1=1, imm=5000))
+
+    def test_register_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("add", InstrFormat.R, rd=32, rs1=0, rs2=0))
+
+    def test_odd_branch_offset(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("beq", InstrFormat.B, rs1=0, rs2=0, imm=3))
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("bogus", InstrFormat.R))
+
+    def test_decode_garbage(self):
+        with pytest.raises(DecodeError):
+            decode(0xFFFFFFFF)
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(DecodeError):
+            decode(1 << 32)

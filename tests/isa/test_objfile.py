@@ -1,0 +1,93 @@
+"""Object-file serialization tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import assemble
+from repro.isa.objfile import (
+    ObjFileError,
+    dumps,
+    load_program,
+    loads,
+    save_program,
+)
+
+SOURCE = """
+_start:
+    li a0, 7
+    call helper
+    li t0, 0x5555
+    li t1, 0x02010000
+    sw t0, 0(t1)
+helper:
+    add a0, a0, a0
+    ret
+.data
+value: .dword 0x1122334455667788
+message: .asciz "obj"
+"""
+
+
+@pytest.fixture
+def program():
+    return assemble(SOURCE)
+
+
+class TestRoundtrip:
+    def test_bytes_roundtrip(self, program):
+        clone = loads(dumps(program))
+        assert clone.entry == program.entry
+        assert clone.symbols == program.symbols
+        assert set(clone.sections) == set(program.sections)
+        for name, section in program.sections.items():
+            assert clone.sections[name].base == section.base
+            assert clone.sections[name].data == section.data
+
+    def test_file_roundtrip(self, program, tmp_path):
+        path = tmp_path / "kernel.rvo"
+        save_program(program, path)
+        clone = load_program(path)
+        assert clone.symbols == program.symbols
+
+    def test_loaded_program_runs(self, program):
+        from tests.conftest import machine_with_keys
+
+        clone = loads(dumps(program))
+        machine = machine_with_keys(clone)
+        machine.run()
+        assert machine.hart.regs.by_name("a0") == 14
+
+    def test_kernel_image_roundtrips(self):
+        from repro.kernel.build import build_kernel
+        from repro.kernel.config import KernelConfig
+
+        image = build_kernel(KernelConfig.baseline())
+        clone = loads(dumps(image.kernel_program))
+        assert clone.symbols == image.kernel_program.symbols
+
+
+class TestCorruption:
+    def test_bad_magic(self, program):
+        blob = bytearray(dumps(program))
+        blob[0] ^= 0xFF
+        with pytest.raises(ObjFileError):
+            loads(bytes(blob))
+
+    @given(st.integers(4, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_any_corruption_detected(self, position):
+        blob = bytearray(dumps(assemble(SOURCE)))
+        position %= len(blob)
+        blob[position] ^= 0x5A
+        with pytest.raises(ObjFileError):
+            loads(bytes(blob))
+
+    def test_truncation_detected(self, program):
+        blob = dumps(program)
+        for cut in (3, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(ObjFileError):
+                loads(blob[:cut])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ObjFileError):
+            loads(b"")

@@ -1,0 +1,232 @@
+"""Trap entry/exit path tests: save/restore fidelity, CIP routing,
+per-thread keys, and corruption-detection probability."""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import Function, FunctionType, I64, IRBuilder, Module
+from repro.compiler.ir import Const, Move
+from repro.kernel import KernelConfig, KernelSession
+from repro.kernel.entry import (
+    KIND_CIP,
+    KIND_PLAIN,
+    generate_trap_entry,
+    generate_trap_exit,
+)
+from repro.kernel.structs import (
+    CTX_T6_HI_SLOT,
+    CTX_T6_SLOT,
+    CTX_TERMINATOR_SLOT,
+    SYS_EXIT,
+    SYS_GETPID,
+    SYS_NOP,
+    SYS_WRITE,
+)
+from repro.machine import HaltReason
+
+
+def user_program(body):
+    module = Module("user")
+    main = Function("main", FunctionType(I64, ()))
+    module.add_function(main)
+    b = IRBuilder(main)
+    b.block("entry")
+
+    def syscall(number, *args):
+        return b.intrinsic("ecall", [Const(number), *args], returns=True)
+
+    body(b, syscall)
+    b.ret(Const(0))
+    return module
+
+
+class TestAsmGeneration:
+    def test_cip_entry_routes_on_mcause(self):
+        asm = "\n".join(generate_trap_entry(cip=True))
+        assert "bltz" in asm                 # interrupt-bit test
+        assert "trap_save_cip" in asm
+        assert "creck" in asm                # chain encryptions
+        # 29 chained regs + x1 + terminator + 2 t6 halves + CIP kind
+        # marker + the sealed kind in the plain path.
+        assert asm.count("creck") == 35
+
+    def test_plain_entry_has_no_crypto(self):
+        asm = "\n".join(generate_trap_entry(cip=False))
+        assert "creck" not in asm
+        assert "bltz" not in asm
+
+    def test_cip_exit_has_terminator_check(self):
+        asm = "\n".join(generate_trap_exit(cip=True, reload_keys=True))
+        assert "[0:0]" in asm                # partial-range zero check
+        # kind unseal + 2 t6 halves + 30 chain + terminator
+        assert asm.count("crdck") == 34
+        assert "crdmk" in asm                # master-key unwraps
+
+    def test_exit_without_key_reload(self):
+        asm = "\n".join(generate_trap_exit(cip=False, reload_keys=False))
+        assert "crdmk" not in asm
+        assert "__need_key_reload" not in asm
+
+    def test_chain_tweaks_are_predecessors(self):
+        asm = generate_trap_entry(cip=True)
+        # x17's encryption must use x16 as tweak.
+        line = next(l for l in asm if "cre" in l and "x17, x17" in l)
+        assert line.strip() == "creck x17, x17[7:0], x16"
+
+
+class TestSyscallContextIsPlain:
+    """Syscall saves are plain in every config (CIP guards interrupts)."""
+
+    def test_kind_marker_plain_on_syscall(self):
+        def body(b, syscall):
+            syscall(SYS_WRITE, Const(ord("x")))
+            syscall(SYS_EXIT, Const(0))
+
+        session = KernelSession(KernelConfig.full(), user_program(body))
+        assert session.run_until("sys_write")
+        ctx = session.thread_field_addr(0, "ctx")
+        assert session.context_kind(0) == KIND_PLAIN
+        # Registers are readable plaintext: saved a7 is the syscall nr.
+        assert session.read_u64(ctx + 8 * 17) == SYS_WRITE
+
+    def test_kind_marker_cip_on_interrupt(self):
+        config = dataclasses.replace(
+            KernelConfig.full(), num_threads=2, timer_interval=2_000
+        )
+
+        def body(b, syscall):
+            pid = syscall(SYS_GETPID)
+            first = b.cmp("eq", pid, Const(0))
+            b.cond_br(first, "spin", "signal")
+            b.block("spin")
+            i = b.func.new_reg(I64, "i")
+            b._emit(Move(i, Const(0)))
+            b.br("busy")
+            b.block("busy")
+            b._emit(Move(i, b.add(i, 1)))
+            b.cond_br(b.cmp("lt", i, 8000), "busy", "bye")
+            b.block("bye")
+            syscall(SYS_EXIT, Const(0))
+            b.ret(Const(0))
+            b.block("signal")
+            syscall(SYS_WRITE, Const(ord("!")))
+            syscall(SYS_EXIT, Const(0))
+
+        session = KernelSession(config, user_program(body))
+        assert session.run_until("sys_write")
+        ctx = session.thread_field_addr(0, "ctx")
+        assert session.context_kind(0) == KIND_CIP
+        # The saved slots are ciphertext: no slot holds the loop bound.
+        saved = [session.read_u64(ctx + 8 * i) for i in range(1, 31)]
+        assert 8000 not in saved
+
+
+class TestRoundTripFidelity:
+    @pytest.mark.parametrize(
+        "config",
+        [KernelConfig.baseline(), KernelConfig.full()],
+        ids=["baseline", "full"],
+    )
+    def test_many_syscalls_preserve_all_state(self, config):
+        """A syscall storm with values parked in every allocatable
+        register class must come back bit-exact."""
+
+        def body(b, syscall):
+            parked = [b.move(Const(0xA0_0000 + i * 7)) for i in range(14)]
+            for _ in range(5):
+                syscall(SYS_NOP)
+            total = b.move(Const(0))
+            for i, value in enumerate(parked):
+                ok = b.cmp("eq", value, Const(0xA0_0000 + i * 7))
+                total = b.add(total, ok)
+            syscall(SYS_EXIT, total)
+
+        result = KernelSession(config, user_program(body)).run()
+        assert result.exit_code == 14
+
+    def test_preemption_preserves_state_full(self):
+        """Timer preemption through the CIP path is transparent."""
+        config = dataclasses.replace(
+            KernelConfig.full(), num_threads=2, timer_interval=1_500
+        )
+
+        def body(b, syscall):
+            pid = syscall(SYS_GETPID)
+            parked = [b.move(Const(0xB0_0000 + i * 3)) for i in range(10)]
+            i = b.func.new_reg(I64, "i")
+            b._emit(Move(i, Const(0)))
+            b.br("busy")
+            b.block("busy")
+            b._emit(Move(i, b.add(i, 1)))
+            b.cond_br(b.cmp("lt", i, 6000), "busy", "verify")
+            b.block("verify")
+            total = b.move(Const(0))
+            for k, value in enumerate(parked):
+                ok = b.cmp("eq", value, Const(0xB0_0000 + k * 3))
+                total = b.add(total, ok)
+            bad = b.cmp("ne", total, Const(10))
+            b.cond_br(bad, "fail", "good")
+            b.block("fail")
+            syscall(SYS_WRITE, Const(ord("F")))
+            syscall(SYS_EXIT, Const(1))
+            b.br("good")
+            b.block("good")
+            syscall(SYS_EXIT, Const(0))
+
+        session = KernelSession(config, user_program(body))
+        result = session.run()
+        assert result.halt_reason is HaltReason.SHUTDOWN
+        assert "F" not in result.console
+        # The run must actually have been preempted to prove anything.
+        ticks = session.read_u64(session.symbol("tick_count"))
+        assert ticks >= 2
+
+
+class TestCorruptionDetection:
+    def test_every_chain_slot_detects_corruption(self):
+        """Flip a bit in each chained slot of a CIP context in turn:
+        every position must end in an integrity fault, never silent
+        corruption (the chain cascades to the terminator)."""
+        for slot in (0, 1, 5, 15, 30, CTX_TERMINATOR_SLOT,
+                     CTX_T6_SLOT, CTX_T6_HI_SLOT):
+            config = dataclasses.replace(
+                KernelConfig.full(), num_threads=2, timer_interval=2_000
+            )
+
+            def body(b, syscall):
+                pid = syscall(SYS_GETPID)
+                first = b.cmp("eq", pid, Const(0))
+                b.cond_br(first, "spin", "signal")
+                b.block("spin")
+                i = b.func.new_reg(I64, "i")
+                b._emit(Move(i, Const(0)))
+                b.br("busy")
+                b.block("busy")
+                b._emit(Move(i, b.add(i, 1)))
+                b.cond_br(b.cmp("lt", i, 50000), "busy", "bye")
+                b.block("bye")
+                syscall(SYS_EXIT, Const(0))
+                b.ret(Const(0))
+                b.block("signal")
+                syscall(SYS_WRITE, Const(ord("!")))
+                loops = b.func.new_reg(I64, "j")
+                b._emit(Move(loops, Const(0)))
+                b.br("wait")
+                b.block("wait")
+                b._emit(Move(loops, b.add(loops, 1)))
+                b.cond_br(b.cmp("lt", loops, 100000), "wait", "out")
+                b.block("out")
+                syscall(SYS_EXIT, Const(0))
+
+            session = KernelSession(config, user_program(body))
+            assert session.run_until("sys_write")
+            ctx = session.thread_field_addr(0, "ctx")
+            assert session.context_kind(0) == KIND_CIP
+            address = ctx + 8 * slot
+            session.write_u64(address, session.read_u64(address) ^ 1)
+            result = session.resume()
+            assert result.integrity_fault, (
+                f"corrupting chained slot {slot} must be detected, got "
+                f"exit={result.exit_code}"
+            )

@@ -1,0 +1,331 @@
+"""Kernel functional tests: boot, syscalls, threads, protected data."""
+
+import pytest
+
+from repro.compiler import (
+    Function,
+    FunctionType,
+    I64,
+    IRBuilder,
+    Module,
+)
+from repro.compiler.ir import Const, Move
+from repro.kernel import KernelConfig, KernelSession
+from repro.kernel.structs import (
+    CRED,
+    KERNEL_KEY,
+    SELINUX_STATE,
+    SYS_ADD_KEY,
+    SYS_ENCRYPT,
+    SYS_EXIT,
+    SYS_GETGID,
+    SYS_GETPID,
+    SYS_GETUID,
+    SYS_MAP_PAGE,
+    SYS_NOP,
+    SYS_SELINUX_CHECK,
+    SYS_SETUID,
+    SYS_TRANSLATE,
+    SYS_WRITE,
+    SYS_YIELD,
+)
+from repro.machine import HaltReason
+
+ALL_CONFIGS = [
+    KernelConfig.baseline(),
+    KernelConfig.ra_only(),
+    KernelConfig.fp_only(),
+    KernelConfig.noncontrol_only(),
+    KernelConfig.full(),
+]
+
+
+def user_program(body):
+    """Build a user module whose main is filled in by ``body(b, sc)``."""
+    module = Module("user")
+    main = Function("main", FunctionType(I64, ()))
+    module.add_function(main)
+    b = IRBuilder(main)
+    b.block("entry")
+
+    def syscall(number, *args):
+        return b.intrinsic("ecall", [Const(number), *args], returns=True)
+
+    body(b, syscall)
+    b.ret(Const(0))
+    return module
+
+
+def exits_with(b, sc, value):
+    sc(SYS_EXIT, value)
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.name)
+class TestBootAndSyscalls:
+    def test_boot_and_exit(self, config):
+        def body(b, sc):
+            exits_with(b, sc, Const(42))
+
+        result = KernelSession(config, user_program(body)).run()
+        assert result.halt_reason is HaltReason.SHUTDOWN
+        assert result.exit_code == 42
+
+    def test_getuid(self, config):
+        def body(b, sc):
+            exits_with(b, sc, sc(SYS_GETUID))
+
+        assert KernelSession(config, user_program(body)).run().exit_code == 1000
+
+    def test_getgid(self, config):
+        def body(b, sc):
+            exits_with(b, sc, sc(SYS_GETGID))
+
+        assert KernelSession(config, user_program(body)).run().exit_code == 1000
+
+    def test_setuid_denied_for_non_root(self, config):
+        def body(b, sc):
+            failed = sc(SYS_SETUID, Const(0))
+            still = sc(SYS_GETUID)
+            ok = b.cmp("eq", failed, Const(-1))
+            exits_with(b, sc, b.add(still, ok))
+
+        assert KernelSession(config, user_program(body)).run().exit_code == 1001
+
+    def test_selinux_policy(self, config):
+        def body(b, sc):
+            allowed = sc(SYS_SELINUX_CHECK, Const(1))
+            denied = sc(SYS_SELINUX_CHECK, Const(8))
+            exits_with(b, sc, b.add(b.mul(allowed, 10), denied))
+
+        assert KernelSession(config, user_program(body)).run().exit_code == 10
+
+    def test_keyring_and_crypto(self, config):
+        def body(b, sc):
+            slot = sc(SYS_ADD_KEY, Const(0xA5A5A5A5DEADBEEF),
+                      Const(0x1234567890ABCDEF))
+            ct1 = sc(SYS_ENCRYPT, Const(0x42), slot)
+            ct2 = sc(SYS_ENCRYPT, Const(0x42), slot)
+            deterministic = b.cmp("eq", ct1, ct2)
+            changed = b.cmp("ne", ct1, Const(0x42))
+            slot_ok = b.cmp("eq", slot, Const(0))
+            total = b.add(b.add(b.mul(deterministic, 4), b.mul(changed, 2)),
+                          slot_ok)
+            exits_with(b, sc, total)
+
+        assert KernelSession(config, user_program(body)).run().exit_code == 7
+
+    def test_page_mapping(self, config):
+        def body(b, sc):
+            sc(SYS_MAP_PAGE, Const(0x4000_3000), Const(0x9008_6000))
+            pa = sc(SYS_TRANSLATE, Const(0x4000_3ABC))
+            ok = b.cmp("eq", pa, Const(0x9008_6ABC))
+            miss = sc(SYS_TRANSLATE, Const(0x5555_0000))
+            miss_ok = b.cmp("eq", miss, Const(-1))
+            exits_with(b, sc, b.add(b.mul(ok, 2), miss_ok))
+
+        assert KernelSession(config, user_program(body)).run().exit_code == 3
+
+    def test_bad_syscall_number(self, config):
+        def body(b, sc):
+            bad = sc(999)
+            ok = b.cmp("eq", bad, Const(-38))
+            exits_with(b, sc, ok)
+
+        assert KernelSession(config, user_program(body)).run().exit_code == 1
+
+    def test_console_write(self, config):
+        def body(b, sc):
+            sc(SYS_WRITE, Const(ord("R")))
+            sc(SYS_WRITE, Const(ord("V")))
+            exits_with(b, sc, Const(0))
+
+        result = KernelSession(config, user_program(body)).run()
+        assert result.console == "RV"
+
+
+class TestThreads:
+    @pytest.mark.parametrize(
+        "config",
+        [KernelConfig.baseline(num_threads=2),
+         KernelConfig.full(num_threads=2)],
+        ids=["baseline", "full"],
+    )
+    def test_yield_interleaves(self, config):
+        def body(b, sc):
+            pid = sc(SYS_GETPID)
+            ch = b.add(pid, Const(ord("A")))
+            i = b.func.new_reg(I64, "i")
+            b._emit(Move(i, Const(0)))
+            b.br("loop")
+            b.block("loop")
+            sc(4, ch)           # SYS_WRITE
+            sc(SYS_YIELD)
+            b._emit(Move(i, b.add(i, 1)))
+            more = b.cmp("lt", i, 3)
+            b.cond_br(more, "loop", "done")
+            b.block("done")
+            sc(SYS_EXIT, pid)
+
+        session = KernelSession(config, user_program(body))
+        result = session.run()
+        assert result.console == "ABABAB"
+
+    def test_timer_preemption(self):
+        """With a short timer, two busy loops interleave without yields."""
+        config = KernelConfig.full(num_threads=2, timer_interval=3_000)
+
+        def body(b, sc):
+            pid = sc(SYS_GETPID)
+            i = b.func.new_reg(I64, "i")
+            b._emit(Move(i, Const(0)))
+            b.br("loop")
+            b.block("loop")
+            b._emit(Move(i, b.add(i, 1)))
+            more = b.cmp("lt", i, 4000)
+            b.cond_br(more, "loop", "done")
+            b.block("done")
+            sc(4, b.add(pid, Const(ord("a"))))
+            sc(SYS_EXIT, Const(7))
+
+        session = KernelSession(config, user_program(body))
+        result = session.run()
+        assert result.halt_reason is HaltReason.SHUTDOWN
+        assert sorted(result.console) == ["a", "b"]
+        # Both threads made progress only if ticks actually preempted.
+        ticks = session.read_u64(session.symbol("tick_count"))
+        assert ticks >= 2
+
+
+class TestProtectedDataAtRest:
+    def test_cred_uid_encrypted_only_when_protected(self):
+        def body(b, sc):
+            exits_with(b, sc, sc(SYS_GETUID))
+
+        protected = KernelSession(
+            KernelConfig.noncontrol_only(), user_program(body)
+        )
+        assert protected.run().exit_code == 1000
+        uid_addr = protected.thread_field_addr(0, "cred") + (
+            protected.image.field_offset(CRED, "uid")
+        )
+        assert protected.read_u64(uid_addr) != 1000
+
+        baseline = KernelSession(
+            KernelConfig.baseline(), user_program(body)
+        )
+        assert baseline.run().exit_code == 1000
+        uid_addr = baseline.thread_field_addr(0, "cred") + (
+            baseline.image.field_offset(CRED, "uid")
+        )
+        assert baseline.read_u32(uid_addr) == 1000
+
+    def test_selinux_state_encrypted_at_rest(self):
+        def body(b, sc):
+            exits_with(b, sc, sc(SYS_SELINUX_CHECK, Const(1)))
+
+        session = KernelSession(
+            KernelConfig.noncontrol_only(), user_program(body)
+        )
+        assert session.run().exit_code == 1
+        enforcing = session.field_addr(
+            "selinux_state", SELINUX_STATE, "enforcing"
+        )
+        assert session.read_u64(enforcing) not in (0, 1)
+
+    def test_keyring_payload_encrypted_at_rest(self):
+        secret = 0xFEEDFACE12345678
+
+        def body(b, sc):
+            sc(SYS_ADD_KEY, Const(secret), Const(secret ^ 0xFF))
+            exits_with(b, sc, Const(0))
+
+        session = KernelSession(
+            KernelConfig.noncontrol_only(), user_program(body)
+        )
+        session.run()
+        payload = session.field_addr("keyring", KERNEL_KEY, "payload_lo")
+        assert session.read_u64(payload) != secret
+
+        baseline = KernelSession(KernelConfig.baseline(), user_program(body))
+        baseline.run()
+        payload = baseline.field_addr("keyring", KERNEL_KEY, "payload_lo")
+        assert baseline.read_u64(payload) == secret
+
+    def test_interrupt_context_encrypted_with_cip(self):
+        """While a thread is switched out, its saved registers are
+        ciphertext under CIP and plaintext in the baseline."""
+        marker = 0x1DEA7E57C0DE
+
+        def body(b, sc):
+            pid = sc(SYS_GETPID)
+            is_first = b.cmp("eq", pid, Const(0))
+            b.cond_br(is_first, "first", "second")
+            b.block("first")
+            # Park a recognizable value in a callee-saved register that
+            # survives into the saved context, then yield.
+            parked = b.move(Const(marker))
+            sc(SYS_YIELD)
+            sc(SYS_EXIT, b.cmp("eq", parked, Const(marker)))
+            b.ret(Const(0))
+            b.block("second")
+            loops = b.func.new_reg(I64, "loops")
+            b._emit(Move(loops, Const(0)))
+            b.br("spin")
+            b.block("spin")
+            b._emit(Move(loops, b.add(loops, 1)))
+            more = b.cmp("lt", loops, 50)
+            b.cond_br(more, "spin", "fin")
+            b.block("fin")
+            sc(SYS_YIELD)
+            sc(SYS_EXIT, Const(1))
+
+        for config, expect_plaintext in (
+            (KernelConfig.baseline(num_threads=2), True),
+            (KernelConfig.full(num_threads=2), False),
+        ):
+            session = KernelSession(config, user_program(body))
+            result = session.run()
+            assert result.halt_reason is HaltReason.SHUTDOWN
+
+    def test_per_thread_wrapped_keys_differ(self):
+        def body(b, sc):
+            sc(SYS_EXIT, Const(0))
+
+        session = KernelSession(
+            KernelConfig.full(num_threads=2), user_program(body)
+        )
+        session.run()
+        k0 = session.read_u64(session.thread_field_addr(0, "wrapped_ra_key_lo"))
+        k1 = session.read_u64(session.thread_field_addr(1, "wrapped_ra_key_lo"))
+        assert k0 != 0 and k1 != 0
+        assert k0 != k1
+
+
+class TestOverheadOrdering:
+    def test_protection_costs_cycles(self):
+        """A syscall-heavy workload costs more cycles as protections
+        stack up; full protection performs real crypto work."""
+
+        def body(b, sc):
+            i = b.func.new_reg(I64, "i")
+            b._emit(Move(i, Const(0)))
+            b.br("loop")
+            b.block("loop")
+            sc(SYS_NOP)
+            b._emit(Move(i, b.add(i, 1)))
+            more = b.cmp("lt", i, 20)
+            b.cond_br(more, "loop", "done")
+            b.block("done")
+            sc(SYS_EXIT, Const(0))
+
+        cycles = {}
+        crypto = {}
+        for config in (KernelConfig.baseline(), KernelConfig.full()):
+            session = KernelSession(config, user_program(body))
+            result = session.run()
+            assert result.exit_code == 0
+            cycles[config.name] = result.cycles
+            crypto[config.name] = session.stats.operations
+        assert crypto["baseline"] == 0
+        assert crypto["full"] > 100
+        assert cycles["full"] > cycles["baseline"]

@@ -1,0 +1,216 @@
+"""sys_spawn and typed-copy tests (the paper's memcpy handling, §2.4.2)."""
+
+import pytest
+
+from repro.compiler import Function, FunctionType, I64, IRBuilder, Module
+from repro.compiler.ir import Const
+from repro.kernel import KernelConfig, KernelSession
+from repro.kernel.structs import (
+    CRED,
+    MAX_THREADS,
+    SYS_EXIT,
+    SYS_GETPID,
+    SYS_GETUID,
+    SYS_SPAWN,
+    SYS_WRITE,
+    SYS_YIELD,
+)
+
+pytestmark = pytest.mark.slow
+
+
+def spawn_program():
+    """Parent spawns a child at `child_main`; both report over the
+    console; parent exits with the child's tid."""
+    module = Module("user")
+
+    child = Function("child_main", FunctionType(I64, ()))
+    module.add_function(child)
+    cb = IRBuilder(child)
+    cb.block("entry")
+
+    def child_sc(n, *args):
+        return cb.intrinsic("ecall", [Const(n), *args], returns=True)
+
+    uid = child_sc(SYS_GETUID)
+    is_inherited = cb.cmp("eq", uid, Const(1000))
+    ch = cb.add(cb.mul(is_inherited, Const(ord("C") - ord("X"))),
+                Const(ord("X")))   # C if inherited, X otherwise
+    child_sc(SYS_WRITE, ch)
+    child_sc(SYS_EXIT, Const(0))
+    cb.ret(Const(0))
+
+    main = Function("main", FunctionType(I64, ()))
+    module.add_function(main)
+    b = IRBuilder(main)
+    b.block("entry")
+
+    def sc(n, *args):
+        return b.intrinsic("ecall", [Const(n), *args], returns=True)
+
+    entry = b.addr_of_func("child_main")
+    tid = sc(SYS_SPAWN, entry)
+    sc(SYS_YIELD)          # let the child run
+    sc(SYS_WRITE, Const(ord("P")))
+    sc(SYS_EXIT, tid)
+    b.ret(Const(0))
+    return module
+
+
+@pytest.mark.parametrize(
+    "config",
+    [KernelConfig.baseline(), KernelConfig.full()],
+    ids=["baseline", "full"],
+)
+class TestSpawn:
+    def test_child_runs_and_inherits_creds(self, config):
+        session = KernelSession(config, spawn_program())
+        result = session.run()
+        # Child prints C (uid inherited), parent prints P and exits
+        # with the child's slot index (1: slot 0 is the parent).
+        assert "C" in result.console
+        assert "P" in result.console
+        assert result.exit_code == 1
+
+    def test_spawn_exhausts_slots(self, config):
+        import dataclasses
+
+        # No timer: the spawn burst must be atomic w.r.t. scheduling,
+        # and the parent must exit last for its code to stand.
+        config = dataclasses.replace(config, timer_interval=0)
+        module = Module("user")
+        child = Function("child_main", FunctionType(I64, ()))
+        module.add_function(child)
+        cb = IRBuilder(child)
+        cb.block("entry")
+        cb.intrinsic("ecall", [Const(SYS_EXIT), Const(0)], returns=True)
+        cb.ret(Const(0))
+
+        main = Function("main", FunctionType(I64, ()))
+        module.add_function(main)
+        b = IRBuilder(main)
+        b.block("entry")
+
+        def sc(n, *args):
+            return b.intrinsic("ecall", [Const(n), *args], returns=True)
+
+        entry = b.addr_of_func("child_main")
+        results = [sc(SYS_SPAWN, entry) for _ in range(MAX_THREADS)]
+        # MAX_THREADS - 1 spares exist; the last spawn must fail.
+        last_failed = b.cmp("eq", results[-1], Const(-1))
+        first_ok = b.cmp("ne", results[0], Const(-1))
+        for _ in range(MAX_THREADS + 2):
+            sc(SYS_YIELD)          # drain the children
+        sc(SYS_EXIT, b.add(b.mul(first_ok, 2), last_failed))
+        b.ret(Const(0))
+
+        result = KernelSession(config, module).run()
+        assert result.exit_code == 3
+
+
+class TestTypedCopyReEncryption:
+    """The heart of §2.4.2: copied annotated data must be re-encrypted
+    under the destination addresses."""
+
+    def test_child_cred_ciphertext_differs_but_decrypts_equal(self):
+        session = KernelSession(KernelConfig.full(), spawn_program())
+        result = session.run()
+        assert "C" in result.console
+
+        uid_off = session.image.field_offset(CRED, "uid")
+        parent_uid_ct = session.read_u64(
+            session.thread_field_addr(0, "cred") + uid_off
+        )
+        child_uid_ct = session.read_u64(
+            session.thread_field_addr(1, "cred") + uid_off
+        )
+        # Same plaintext (1000), different storage address -> the
+        # address tweak forces different ciphertexts.
+        assert parent_uid_ct != child_uid_ct
+        assert parent_uid_ct != 1000 and child_uid_ct != 1000
+
+    def test_raw_byte_copy_would_fault(self):
+        """Demonstrate WHY re-encryption is needed: splicing the
+        parent's raw cred bytes into the child slot (a naive memcpy)
+        leaves ciphertexts bound to the wrong addresses — the child's
+        next getuid trips the integrity check."""
+        session = KernelSession(KernelConfig.full(), spawn_program())
+        # Stop inside the child's first getuid — after fork completed,
+        # before the credential load consumes the (tampered) bytes.
+        assert session.run_until("sys_getuid")
+        layout = session.image.layout
+        size = layout.sizeof(CRED)
+        src = session.thread_field_addr(0, "cred")
+        dst = session.thread_field_addr(1, "cred")
+        raw = session.machine.memory.read_bytes(src, size)
+        session.machine.memory.write_bytes(dst, raw)   # naive memcpy
+
+        result = session.resume()
+        assert result.integrity_fault, (
+            "address-tweak binding must reject byte-copied credentials"
+        )
+
+    def test_baseline_raw_copy_is_fine(self):
+        """...whereas the unprotected kernel accepts byte copies."""
+        session = KernelSession(KernelConfig.baseline(), spawn_program())
+        assert session.run_until("sys_getuid")
+        layout = session.image.layout
+        size = layout.sizeof(CRED)
+        src = session.thread_field_addr(0, "cred")
+        dst = session.thread_field_addr(1, "cred")
+        raw = session.machine.memory.read_bytes(src, size)
+        session.machine.memory.write_bytes(dst, raw)
+
+        result = session.resume()
+        assert "C" in result.console
+        assert result.exit_code == 1
+
+
+class TestTypedCopyUnit:
+    def test_copy_function_compiles_and_runs(self):
+        from repro.compiler.memops import build_typed_copy
+        from repro.compiler.pipeline import CompileOptions, compile_module
+        from repro.compiler.types import Annotation, Field, StructType
+        from repro.compiler.ir import GlobalVar
+        from repro.isa import assemble
+        from tests.conftest import machine_with_keys
+
+        module = Module("m")
+        pair = module.add_struct(StructType("pair", (
+            Field("plain", I64),
+            Field("secret", I64, Annotation.RAND_INTEGRITY),
+        )))
+        module.add_global(GlobalVar("a", pair))
+        module.add_global(GlobalVar("b", pair))
+        build_typed_copy(module, pair)
+
+        main = Function("main", FunctionType(I64, ()))
+        module.add_function(main)
+        b = IRBuilder(main)
+        b.block("entry")
+        src = b.addr_of_global("a")
+        dst = b.addr_of_global("b")
+        b.store_field(src, pair, "plain", Const(7))
+        b.store_field(src, pair, "secret", Const(0x1234_5678_9ABC))
+        b.call("copy_pair", [dst, src], returns=False)
+        got = b.load_field(dst, pair, "secret")
+        check = b.and_(got, Const(0xFFFF))
+        b.intrinsic("halt", [b.add(check, b.load_field(dst, pair, "plain"))])
+        b.ret(Const(0))
+
+        compiled = compile_module(module, CompileOptions.full())
+        program = assemble(
+            "_start:\n    call main\nhang:\n    j hang\n" + compiled.asm
+        )
+        machine = machine_with_keys(program)
+        machine.run()
+        assert machine.exit_code == 0x9ABC + 7
+
+        # Ciphertexts of the same plaintext differ across addresses.
+        from repro.compiler.layout import LayoutEngine
+
+        layout = LayoutEngine(True)
+        off = layout.struct_layout(pair).slot("secret").offset
+        ct_a = machine.read_u64(program.symbols["a"] + off)
+        ct_b = machine.read_u64(program.symbols["b"] + off)
+        assert ct_a != ct_b

@@ -1,0 +1,239 @@
+"""Kernel subsystem tests: XTEA equivalence, keyring, page tables,
+scheduler internals, accounting."""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import Function, FunctionType, I64, IRBuilder, Module
+from repro.compiler.ir import Const, Move
+from repro.crypto.alternatives import XexXteaCipher
+from repro.kernel import KernelConfig, KernelSession
+from repro.kernel.structs import (
+    KERNEL_KEY,
+    KEYRING_SLOTS,
+    SYS_ADD_KEY,
+    SYS_ENCRYPT,
+    SYS_EXIT,
+    SYS_GETPID,
+    SYS_MAP_PAGE,
+    SYS_NOP,
+    SYS_TRANSLATE,
+    SYS_YIELD,
+)
+
+pytestmark = pytest.mark.slow
+
+
+def user_program(body):
+    module = Module("user")
+    main = Function("main", FunctionType(I64, ()))
+    module.add_function(main)
+    b = IRBuilder(main)
+    b.block("entry")
+
+    def syscall(number, *args):
+        return b.intrinsic("ecall", [Const(number), *args], returns=True)
+
+    body(b, syscall)
+    b.ret(Const(0))
+    return module
+
+
+def run(config, body, **kwargs):
+    session = KernelSession(config, user_program(body), **kwargs)
+    return session, session.run()
+
+
+class TestXteaEquivalence:
+    """The in-kernel XTEA (compiled IR, §3.2.1 stand-in) must agree
+    with the independent Python XTEA in the XEX cipher module."""
+
+    KEY_LO = 0x0011223344556677
+    KEY_HI = 0x8899AABBCCDDEEFF
+    BLOCK = 0x0123456789ABCDEF
+
+    def _kernel_encrypt(self, config):
+        def body(b, sc):
+            slot = sc(SYS_ADD_KEY, Const(self.KEY_LO), Const(self.KEY_HI))
+            ct = sc(SYS_ENCRYPT, Const(self.BLOCK), slot)
+            sc(SYS_EXIT, b.and_(ct, 0xFFFF))
+
+        session, result = run(config, body)
+        return result.exit_code
+
+    def test_kernel_xtea_matches_reference(self):
+        reference = XexXteaCipher()._block_encrypt(
+            self.BLOCK, (self.KEY_HI << 64) | self.KEY_LO
+        )
+        for config in (KernelConfig.baseline(), KernelConfig.full()):
+            assert self._kernel_encrypt(config) == reference & 0xFFFF
+
+    def test_reference_decrypt_inverts(self):
+        cipher = XexXteaCipher()
+        key = (self.KEY_HI << 64) | self.KEY_LO
+        assert cipher._block_decrypt(
+            cipher._block_encrypt(self.BLOCK, key), key
+        ) == self.BLOCK
+
+
+class TestKeyring:
+    def test_slots_fill_then_reject(self):
+        def body(b, sc):
+            slots = [sc(SYS_ADD_KEY, Const(i + 1), Const(0))
+                     for i in range(KEYRING_SLOTS + 1)]
+            # The last add must fail with -1.
+            overflow_ok = b.cmp("eq", slots[-1], Const(-1))
+            total = overflow_ok
+            for i, slot in enumerate(slots[:-1]):
+                total = b.add(total, b.mul(
+                    b.cmp("eq", slot, Const(i)), 2
+                ))
+            sc(SYS_EXIT, total)
+
+        _, result = run(KernelConfig.full(), body)
+        assert result.exit_code == 1 + 2 * KEYRING_SLOTS
+
+    def test_key_ids_monotonic(self):
+        def body(b, sc):
+            sc(SYS_ADD_KEY, Const(7), Const(8))
+            sc(SYS_ADD_KEY, Const(9), Const(10))
+            sc(SYS_EXIT, Const(0))
+
+        session, _ = run(KernelConfig.baseline(), body)
+        base = session.symbol("keyring")
+        stride = session.image.layout.sizeof(KERNEL_KEY)
+        id0 = session.read_u64(
+            base + session.image.field_offset(KERNEL_KEY, "id")
+        )
+        id1 = session.read_u64(
+            base + stride + session.image.field_offset(KERNEL_KEY, "id")
+        )
+        assert id1 == id0 + 1
+
+    def test_different_keyring_keys_give_different_ciphertexts(self):
+        def body(b, sc):
+            s0 = sc(SYS_ADD_KEY, Const(0x1111), Const(0x2222))
+            s1 = sc(SYS_ADD_KEY, Const(0x3333), Const(0x4444))
+            c0 = sc(SYS_ENCRYPT, Const(0x42), s0)
+            c1 = sc(SYS_ENCRYPT, Const(0x42), s1)
+            sc(SYS_EXIT, b.cmp("ne", c0, c1))
+
+        _, result = run(KernelConfig.full(), body)
+        assert result.exit_code == 1
+
+
+class TestPageTables:
+    def test_remap_overwrites(self):
+        def body(b, sc):
+            sc(SYS_MAP_PAGE, Const(0x4000_0000), Const(0x0900_4000))
+            sc(SYS_MAP_PAGE, Const(0x4000_0000), Const(0x0900_8000))
+            pa = sc(SYS_TRANSLATE, Const(0x4000_0123))
+            sc(SYS_EXIT, b.and_(pa, 0xFFFF))
+
+        _, result = run(KernelConfig.full(), body)
+        assert result.exit_code == 0x8123 & 0xFFFF
+
+    def test_distinct_l2_tables_per_region(self):
+        def body(b, sc):
+            sc(SYS_MAP_PAGE, Const(0x4000_0000), Const(0x0900_4000))
+            sc(SYS_MAP_PAGE, Const(0x5000_0000), Const(0x0900_5000))
+            a = sc(SYS_TRANSLATE, Const(0x4000_0000))
+            c = sc(SYS_TRANSLATE, Const(0x5000_0000))
+            both = b.and_(
+                b.cmp("eq", a, Const(0x0900_4000)),
+                b.cmp("eq", c, Const(0x0900_5000)),
+            )
+            sc(SYS_EXIT, both)
+
+        _, result = run(KernelConfig.full(), body)
+        assert result.exit_code == 1
+
+    def test_pgd_pointer_encrypted_at_rest(self):
+        from repro.kernel.structs import MM_STRUCT
+        from repro.kernel.layout import PAGE_POOL, PAGE_POOL_SIZE
+
+        def body(b, sc):
+            sc(SYS_MAP_PAGE, Const(0x4000_0000), Const(0x0900_4000))
+            sc(SYS_EXIT, Const(0))
+
+        session, _ = run(KernelConfig.noncontrol_only(), body)
+        pgd_addr = session.thread_field_addr(0, "mm") + (
+            session.image.field_offset(MM_STRUCT, "pgd")
+        )
+        stored = session.read_u64(pgd_addr)
+        # A real PGD lives in the page pool; the stored pointer must not.
+        assert not PAGE_POOL <= stored < PAGE_POOL + PAGE_POOL_SIZE
+
+
+class TestSchedulerInternals:
+    def test_tick_count_advances(self):
+        config = dataclasses.replace(
+            KernelConfig.baseline(), timer_interval=3_000
+        )
+
+        def body(b, sc):
+            i = b.func.new_reg(I64, "i")
+            b._emit(Move(i, Const(0)))
+            b.br("busy")
+            b.block("busy")
+            b._emit(Move(i, b.add(i, 1)))
+            b.cond_br(b.cmp("lt", i, 20000), "busy", "done")
+            b.block("done")
+            sc(SYS_EXIT, Const(0))
+
+        session, result = run(config, body)
+        assert session.read_u64(session.symbol("tick_count")) >= 3
+
+    def test_exit_of_one_thread_keeps_other_running(self):
+        config = KernelConfig.baseline(num_threads=2)
+
+        def body(b, sc):
+            pid = sc(SYS_GETPID)
+            first = b.cmp("eq", pid, Const(0))
+            b.cond_br(first, "die", "live")
+            b.block("die")
+            sc(SYS_EXIT, Const(5))
+            b.ret(Const(0))
+            b.block("live")
+            sc(SYS_YIELD)
+            sc(4, Const(ord("L")))  # SYS_WRITE
+            sc(SYS_EXIT, Const(9))
+
+        _, result = run(config, body)
+        # Thread 1 runs to completion after thread 0 dies.
+        assert result.console == "L"
+        assert result.exit_code == 9
+
+
+class TestAccounting:
+    def test_audit_counts_syscalls(self):
+        from repro.kernel.accounting import AUDIT_RECORD
+
+        def body(b, sc):
+            for _ in range(4):
+                sc(SYS_NOP)
+            sc(SYS_EXIT, Const(0))
+
+        session, _ = run(KernelConfig.baseline(), body)
+        table = session.symbol("audit_table")
+        stride = session.image.layout.sizeof(AUDIT_RECORD)
+        count_off = session.image.field_offset(AUDIT_RECORD, "count")
+        nop_count = session.read_u64(table + SYS_NOP * stride + count_off)
+        assert nop_count == 4
+
+    def test_thread_kernel_cycles_accumulate(self):
+        def body(b, sc):
+            for _ in range(3):
+                sc(SYS_NOP)
+            sc(SYS_EXIT, Const(0))
+
+        session, _ = run(KernelConfig.baseline(), body)
+        count = session.read_u64(
+            session.thread_field_addr(0, "syscall_count")
+        )
+        cycles = session.read_u64(
+            session.thread_field_addr(0, "kernel_cycles")
+        )
+        assert count >= 3
+        assert cycles > 0

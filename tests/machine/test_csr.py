@@ -1,0 +1,81 @@
+"""CSR file unit tests: privilege encoding, key-CSR rules, counters."""
+
+import pytest
+
+from repro.crypto.keys import KeyFile, KeySelect
+from repro.isa import csrdefs
+from repro.machine.csr import CSRFile
+from repro.machine.hart import PrivilegeLevel
+from repro.machine.trap import Cause, Trap
+
+M = int(PrivilegeLevel.MACHINE)
+U = int(PrivilegeLevel.USER)
+
+
+@pytest.fixture
+def csrs():
+    return CSRFile(KeyFile())
+
+
+class TestPrivilegeEncoding:
+    def test_machine_csr_from_machine(self, csrs):
+        csrs.write(csrdefs.MSTATUS, 0x8, M)
+        assert csrs.read(csrdefs.MSTATUS, M) == 0x8
+
+    def test_machine_csr_from_user_traps(self, csrs):
+        with pytest.raises(Trap) as excinfo:
+            csrs.read(csrdefs.MSTATUS, U)
+        assert excinfo.value.cause is Cause.ILLEGAL_INSTRUCTION
+
+    def test_user_counter_from_user(self, csrs):
+        csrs.counter_hooks[csrdefs.CYCLE] = lambda: 1234
+        assert csrs.read(csrdefs.CYCLE, U) == 1234
+
+    def test_read_only_counter_write_traps(self, csrs):
+        with pytest.raises(Trap):
+            csrs.write(csrdefs.CYCLE, 5, M)
+
+    def test_unknown_csr_traps(self, csrs):
+        with pytest.raises(Trap):
+            csrs.read(0x123, M)
+        with pytest.raises(Trap):
+            csrs.write(0x123, 0, M)
+
+
+class TestKeyCsrs:
+    def test_writes_reach_key_file(self, csrs):
+        csrs.write(csrdefs.KEY_CSRS[(KeySelect.B, 0)], 0x1111, M)
+        csrs.write(csrdefs.KEY_CSRS[(KeySelect.B, 1)], 0x2222, M)
+        assert csrs.key_file.key(KeySelect.B) == (0x2222 << 64) | 0x1111
+
+    def test_reads_always_trap(self, csrs):
+        """Write-only discipline: even machine mode cannot read keys."""
+        for (ksel, half), address in csrdefs.KEY_CSRS.items():
+            with pytest.raises(Trap):
+                csrs.read(address, M)
+
+    def test_user_cannot_write_keys(self, csrs):
+        with pytest.raises(Trap):
+            csrs.write(csrdefs.KEY_CSRS[(KeySelect.A, 0)], 1, U)
+
+    def test_master_key_has_no_csr(self):
+        for (ksel, half) in csrdefs.KEY_CSRS:
+            assert ksel is not KeySelect.M
+
+    def test_key_csr_names_resolve(self):
+        assert csrdefs.CSR_NAMES["krega_lo"] == csrdefs.KEY_CSR_BASE
+        assert csrdefs.CSR_NAMES["kregg_hi"] == csrdefs.KEY_CSR_BASE + 13
+
+    def test_all_seven_general_keys_addressable(self):
+        keys = {ksel for (ksel, _half) in csrdefs.KEY_CSRS}
+        assert keys == set(KeySelect) - {KeySelect.M}
+
+
+class TestMipHelpers:
+    def test_set_and_clear_mip_bit(self, csrs):
+        from repro.machine.csr import MIP_MTIP
+
+        csrs.set_mip_bit(MIP_MTIP, True)
+        assert csrs.raw_read(csrdefs.MIP) & MIP_MTIP
+        csrs.set_mip_bit(MIP_MTIP, False)
+        assert not csrs.raw_read(csrdefs.MIP) & MIP_MTIP

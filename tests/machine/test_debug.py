@@ -1,0 +1,95 @@
+"""Execution tracer and symbolization tests."""
+
+from repro.isa import assemble
+from repro.machine.debug import SymbolTable, Tracer
+from tests.conftest import HALT, machine_with_keys
+
+
+class TestSymbolTable:
+    def test_exact_and_offset_resolution(self):
+        table = SymbolTable({"foo": 0x1000, "bar": 0x2000})
+        assert table.resolve(0x1000) == "foo"
+        assert table.resolve(0x1004) == "foo+0x4"
+        assert table.resolve(0x2000) == "bar"
+        assert table.resolve(0x3000) == "bar+0x1000"
+
+    def test_below_first_symbol(self):
+        table = SymbolTable({"foo": 0x1000})
+        assert table.resolve(0x10) == "0x10"
+
+    def test_empty_table(self):
+        assert SymbolTable().resolve(0x42) == "0x42"
+
+
+class TestTracer:
+    def _machine(self):
+        program = assemble(f"""
+        _start:
+            li a0, 5
+            call double_it
+            {HALT}
+        double_it:
+            add a0, a0, a0
+            ret
+        """)
+        return machine_with_keys(program), program
+
+    def test_traces_instructions(self):
+        machine, program = self._machine()
+        tracer = Tracer(machine, symbols=program.symbols)
+        executed = tracer.step(count=50)
+        assert executed > 0
+        assert machine.syscon.shutdown_requested
+        first = tracer.entries[0]
+        assert first.location == "_start"
+        assert "li" in first.text or "addi" in first.text
+
+    def test_records_register_writes(self):
+        machine, program = self._machine()
+        tracer = Tracer(machine, symbols=program.symbols)
+        tracer.step(count=1)
+        assert tracer.entries[0].written == {"a0": 5}
+
+    def test_until_pc(self):
+        machine, program = self._machine()
+        tracer = Tracer(machine, symbols=program.symbols)
+        tracer.step(count=100, until_pc=program.symbols["double_it"])
+        assert machine.hart.pc == program.symbols["double_it"]
+
+    def test_calls_lists_function_entries(self):
+        machine, program = self._machine()
+        tracer = Tracer(machine, symbols=program.symbols)
+        tracer.step(count=50)
+        assert "double_it" in tracer.calls()
+
+    def test_crypto_instruction_filter(self):
+        program = assemble(f"""
+        _start:
+            li a1, 7
+            li t1, 9
+            creak a2, a1[7:0], t1
+            crdak a3, a2, t1, [7:0]
+            {HALT}
+        """)
+        machine = machine_with_keys(program)
+        tracer = Tracer(machine, symbols=program.symbols)
+        tracer.step(count=20)
+        crypto = tracer.crypto_instructions()
+        assert len(crypto) == 2
+        assert crypto[0].text.startswith("creak")
+        assert crypto[1].text.startswith("crdak")
+
+    def test_entry_cap(self):
+        program = assemble("_start:\n    j _start")
+        machine = machine_with_keys(program)
+        tracer = Tracer(machine, max_entries=10)
+        tracer.step(count=50)
+        assert len(tracer.entries) == 10
+
+    def test_format_tail(self):
+        machine, program = self._machine()
+        tracer = Tracer(machine, symbols=program.symbols)
+        tracer.step(count=5)
+        text = tracer.format_tail(3)
+        assert len(text.splitlines()) == 3
+        assert "_start" in text

@@ -1,0 +1,170 @@
+"""Machine/SoC tests: devices, halting, timer interrupts, timing."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.machine import HaltReason, Machine
+from repro.machine.devices import CLINT_MTIME, CLINT_MTIMECMP, SYSCON_ADDR, UART_BASE
+from tests.conftest import HALT, machine_with_keys, run_asm
+
+
+class TestHalting:
+    def test_shutdown_with_exit_code(self):
+        machine = run_asm("""
+        _start:
+            li t0, 0x5555
+            li t1, 42
+            slli t1, t1, 16
+            or t0, t0, t1
+            li t2, 0x02010000
+            sw t0, 0(t2)
+        """)
+        assert machine.halt_reason is HaltReason.SHUTDOWN
+        assert machine.exit_code == 42
+
+    def test_step_limit(self):
+        program = assemble("_start:\n    j _start")
+        machine = machine_with_keys(program)
+        assert machine.run(max_steps=100) is HaltReason.STEP_LIMIT
+
+    def test_wfi_without_timer_halts(self):
+        machine = run_asm("_start:\n    wfi\n" + HALT, max_steps=100)
+        assert machine.halt_reason is HaltReason.WFI_NO_WAKEUP
+
+
+class TestUart:
+    def test_console_output(self):
+        machine = run_asm(f"""
+        _start:
+            li t0, {UART_BASE}
+            li t1, 'H'
+            sb t1, 0(t0)
+            li t1, 'i'
+            sb t1, 0(t0)
+            {HALT}
+        """)
+        assert machine.console == "Hi"
+
+
+class TestClint:
+    def test_mtime_tracks_cycles(self):
+        machine = run_asm(f"""
+        _start:
+            nop
+            nop
+            li t0, {CLINT_MTIME}
+            ld a0, 0(t0)
+            {HALT}
+        """)
+        assert machine.hart.regs.by_name("a0") > 0
+
+    def test_timer_interrupt_fires(self):
+        machine = run_asm(f"""
+        _start:
+            la t0, handler
+            csrw mtvec, t0
+            li t1, {CLINT_MTIMECMP}
+            li t2, 150
+            sd t2, 0(t1)
+            csrr t3, mstatus
+            ori t3, t3, 8
+            csrw mstatus, t3
+            li t4, 128
+            csrw mie, t4
+        spin:
+            j spin
+        handler:
+            csrr a0, mcause
+            {HALT}
+        """)
+        assert machine.halt_reason is HaltReason.SHUTDOWN
+        assert machine.hart.regs.by_name("a0") == (1 << 63) | 7
+
+    def test_interrupt_disabled_by_mie(self):
+        program = assemble(f"""
+        _start:
+            li t1, {CLINT_MTIMECMP}
+            li t2, 50
+            sd t2, 0(t1)
+            # MIE bit clear: spin forever
+        spin:
+            j spin
+        """)
+        machine = machine_with_keys(program)
+        assert machine.run(max_steps=500) is HaltReason.STEP_LIMIT
+
+    def test_wfi_fast_forwards_to_timer(self):
+        machine = run_asm(f"""
+        _start:
+            la t0, handler
+            csrw mtvec, t0
+            li t1, {CLINT_MTIMECMP}
+            li t2, 100000
+            sd t2, 0(t1)
+            csrr t3, mstatus
+            ori t3, t3, 8
+            csrw mstatus, t3
+            li t4, 128
+            csrw mie, t4
+            wfi
+        spin:
+            j spin
+        handler:
+            {HALT}
+        """, max_steps=5000)
+        assert machine.halt_reason is HaltReason.SHUTDOWN
+        assert machine.hart.cycles >= 100000
+
+
+class TestTiming:
+    def test_cycle_costs_accumulate(self):
+        machine = run_asm(f"""
+        _start:
+            li t0, 1          # 1 cycle
+            li t1, 2          # 1 cycle
+            mul t2, t0, t1    # 3 cycles
+            {HALT}
+        """)
+        # At minimum: 2 + 3 + halt sequence.
+        assert machine.hart.cycles >= machine.hart.instret
+
+    def test_crypto_cycles_depend_on_clb(self):
+        source = f"""
+        _start:
+            li a1, 0x42
+            li t1, 0x99
+            creak a2, a1[7:0], t1
+            creak a3, a1[7:0], t1
+            {HALT}
+        """
+        from repro.crypto.engine import CryptoEngine
+
+        program = assemble(source)
+        with_clb = machine_with_keys(program)
+        with_clb.run()
+
+        program2 = assemble(source)
+        no_clb = Machine.from_program(
+            program2, engine=CryptoEngine(clb_entries=0)
+        )
+        from tests.conftest import TEST_KEYS
+
+        for ksel, key in TEST_KEYS.items():
+            no_clb.engine.key_file.set_key(ksel, key)
+        no_clb.run()
+        # Second creak hits the CLB (1 cycle) vs. a miss (3 cycles).
+        assert no_clb.hart.cycles == with_clb.hart.cycles + 2
+
+    def test_debug_memory_access(self):
+        machine = run_asm(f"""
+        _start:
+            li t0, 0x04000000
+            li t1, 0x1234
+            sd t1, 0(t0)
+            {HALT}
+        .data
+        slot: .dword 0
+        """)
+        assert machine.read_u64(0x04000000) == 0x1234
+        machine.write_u64(0x04000000, 99)
+        assert machine.read_u64(0x04000000) == 99

@@ -1,0 +1,96 @@
+"""Sparse memory and region mapping tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MemoryFault
+from repro.machine.memory import Memory, PAGE_SIZE
+
+
+@pytest.fixture
+def mem():
+    memory = Memory()
+    memory.map_region("ram", 0x1000, 0x10000)
+    return memory
+
+
+class TestMapping:
+    def test_unmapped_read_faults(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.read_u64(0x100)
+
+    def test_unmapped_write_faults(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.write_u64(0x100000, 1)
+
+    def test_straddling_region_end_faults(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.read_u64(0x1000 + 0x10000 - 4)
+
+    def test_negative_address_faults(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.read_u8(-1)
+
+    def test_overlapping_regions_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.map_region("clash", 0x1800, 0x100)
+
+    def test_zero_size_region_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.map_region("empty", 0x100000, 0)
+
+    def test_non_strict_mode(self):
+        memory = Memory(strict=False)
+        memory.write_u64(0xDEAD0000, 42)
+        assert memory.read_u64(0xDEAD0000) == 42
+
+    def test_region_lookup(self, mem):
+        assert mem.region_at(0x1000).name == "ram"
+        assert mem.region_at(0x100000) is None
+
+
+class TestAccess:
+    def test_uninitialized_reads_zero(self, mem):
+        assert mem.read_u64(0x2000) == 0
+
+    def test_widths(self, mem):
+        mem.write_u64(0x2000, 0x1122334455667788)
+        assert mem.read_u8(0x2000) == 0x88          # little-endian
+        assert mem.read_u16(0x2000) == 0x7788
+        assert mem.read_u32(0x2000) == 0x55667788
+        assert mem.read_u64(0x2000) == 0x1122334455667788
+
+    def test_truncation_on_write(self, mem):
+        mem.write_u8(0x2000, 0x1FF)
+        assert mem.read_u8(0x2000) == 0xFF
+
+    def test_cross_page_access(self, mem):
+        address = 0x1000 + PAGE_SIZE - 4
+        mem.write_u64(address, 0xAABBCCDD11223344)
+        assert mem.read_u64(address) == 0xAABBCCDD11223344
+
+    def test_bytes_roundtrip(self, mem):
+        payload = bytes(range(256))
+        mem.write_bytes(0x3000, payload)
+        assert mem.read_bytes(0x3000, 256) == payload
+
+    @given(
+        st.integers(0, 0xFF00), st.binary(min_size=1, max_size=64)
+    )
+    @settings(max_examples=50)
+    def test_write_read_property(self, offset, payload):
+        memory = Memory()
+        memory.map_region("ram", 0x1000, 0x10000)
+        address = 0x1000 + offset
+        memory.write_bytes(address, payload)
+        assert memory.read_bytes(address, len(payload)) == payload
+
+
+class TestProgramLoading:
+    def test_load_program(self):
+        from repro.isa import assemble
+
+        program = assemble("nop\n.data\nvalue: .dword 0x42")
+        memory = Memory()
+        memory.load_program(program)
+        assert memory.read_u64(program.symbols["value"]) == 0x42

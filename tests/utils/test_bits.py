@@ -1,0 +1,89 @@
+"""Bit-manipulation helper tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import (
+    MASK64,
+    bit,
+    bits,
+    mask,
+    rotl64,
+    rotr64,
+    sign_extend,
+    to_signed64,
+    to_unsigned64,
+)
+
+word64 = st.integers(0, MASK64)
+
+
+class TestMask:
+    def test_values(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(12) == 0xFFF
+        assert mask(64) == MASK64
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestRotations:
+    @given(word64, st.integers(0, 200))
+    def test_rotl_rotr_inverse(self, value, amount):
+        assert rotr64(rotl64(value, amount), amount) == value
+
+    @given(word64)
+    def test_full_rotation_identity(self, value):
+        assert rotl64(value, 64) == value
+        assert rotr64(value, 0) == value
+
+    def test_known(self):
+        assert rotl64(1, 1) == 2
+        assert rotl64(1 << 63, 1) == 1
+        assert rotr64(1, 1) == 1 << 63
+
+    @given(word64, st.integers(0, 63))
+    def test_rotl_equals_rotr_complement(self, value, amount):
+        assert rotl64(value, amount) == rotr64(value, (64 - amount) % 64)
+
+
+class TestSignExtension:
+    def test_twelve_bit(self):
+        assert sign_extend(0xFFF, 12) == -1
+        assert sign_extend(0x800, 12) == -2048
+        assert sign_extend(0x7FF, 12) == 2047
+
+    @given(st.integers(-(1 << 63), (1 << 63) - 1))
+    def test_signed_unsigned_roundtrip(self, value):
+        assert to_signed64(to_unsigned64(value)) == value
+
+    @given(word64)
+    def test_unsigned_signed_roundtrip(self, value):
+        assert to_unsigned64(to_signed64(value)) == value
+
+    @given(st.integers(1, 63), word64)
+    def test_sign_extend_idempotent(self, width, value):
+        once = sign_extend(value, width)
+        assert sign_extend(once & mask(width), width) == once
+
+
+class TestBitFields:
+    def test_bit(self):
+        assert bit(0b100, 2) == 1
+        assert bit(0b100, 1) == 0
+
+    def test_bits(self):
+        assert bits(0b101100, 3, 2) == 0b11
+        assert bits(0xDEADBEEF, 31, 16) == 0xDEAD
+
+    def test_bits_invalid_range(self):
+        with pytest.raises(ValueError):
+            bits(0, 1, 2)
+
+    @given(word64, st.integers(0, 63), st.integers(0, 63))
+    def test_bits_matches_shift_mask(self, value, a, b):
+        high, low = max(a, b), min(a, b)
+        assert bits(value, high, low) == (value >> low) & mask(high - low + 1)
