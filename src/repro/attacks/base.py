@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 from repro.compiler import Function, FunctionType, I64, IRBuilder, Module
 from repro.compiler.ir import Const
-from repro.kernel import KernelConfig, KernelSession
+from repro.kernel import KernelConfig
 from repro.kernel.api import RunResult
 
 #: Exit code the kernel-resident gadget produces when hijacked control

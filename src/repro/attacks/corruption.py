@@ -13,7 +13,6 @@ with a chosen value and the kernel later consumes it.
 from __future__ import annotations
 
 from repro.attacks.base import Attack
-from repro.compiler.ir import Const
 from repro.kernel import KernelConfig, KernelSession
 from repro.kernel.structs import CRED, SYS_EXIT, SYS_GETGID
 

@@ -21,7 +21,7 @@ from repro.attacks.base import Attack
 from repro.compiler.ir import Const, Move
 from repro.compiler.types import I64
 from repro.kernel import KernelConfig, KernelSession
-from repro.kernel.structs import SYS_EXIT, SYS_GETPID, SYS_WRITE, SYS_YIELD
+from repro.kernel.structs import SYS_EXIT, SYS_GETPID, SYS_WRITE
 
 MARKER = 0x13579BDF2468ACE0
 INTACT = 0x60

@@ -9,7 +9,7 @@ definitions stay compact and readable.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.compiler import Function, FunctionType, I64, IRBuilder, Module

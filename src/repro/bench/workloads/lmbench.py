@@ -80,7 +80,6 @@ def _page_fault(scale: float):
     """lat_pagefault analogue: page-table walks via sys_translate."""
 
     def body(lb: LoopBuilder):
-        b = lb.b
         acc = lb.accumulate()
         lb.syscall(9, Const(0x4000_0000), Const(0x0900_8000))  # map once
 

@@ -21,12 +21,10 @@ from repro.kernel.structs import (
     SYS_EXIT,
     SYS_GETPID,
     SYS_GETUID,
-    SYS_MAP_PAGE,
     SYS_NOP,
     SYS_SELINUX_CHECK,
     SYS_SETUID,
     SYS_SPAWN,
-    SYS_TRANSLATE,
     SYS_WRITE,
     SYS_YIELD,
 )
@@ -153,7 +151,6 @@ def _context_switch(scale: float):
     """Pipe-based context switching: two threads yielding in turn."""
 
     def body(lb: LoopBuilder):
-        b = lb.b
         acc = lb.accumulate()
 
         def iteration(lb2, i):
@@ -226,7 +223,6 @@ def _shell(scale: float):
         acc = lb.accumulate()
 
         def iteration(lb2, i):
-            b = lb2.b
             lb2.add_into(acc, lb2.syscall(SYS_GETUID))
             lb2.loop(30, lambda lb3, j: lb3.add_into(
                 acc, lb3.b.mul(j, 3)

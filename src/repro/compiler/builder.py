@@ -16,7 +16,6 @@ Ret(value=...)
 
 from __future__ import annotations
 
-from repro.compiler import ir
 from repro.compiler.ir import (
     AddrOfFunc,
     AddrOfGlobal,

@@ -16,12 +16,11 @@ RegVault-specific duties:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.compiler import ir
 from repro.compiler.layout import LayoutEngine
 from repro.compiler.regalloc import Allocation, allocate
-from repro.compiler.types import ArrayType, StructType
 from repro.crypto.keys import KeySelect
 from repro.errors import CodegenError
 from repro.machine.devices import CLINT_MTIMECMP, SYSCON_ADDR, UART_BASE

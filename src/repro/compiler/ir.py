@@ -15,11 +15,9 @@ from dataclasses import dataclass, field as dc_field
 from repro.compiler.types import (
     Annotation,
     FunctionType,
-    PointerType,
     StructType,
     Type,
     I64,
-    VOID,
 )
 from repro.crypto.keys import KeySelect
 from repro.errors import IRError

@@ -14,7 +14,7 @@ build matrix (baseline / RA / FP / NON-CONTROL / FULL, Figure 5):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.compiler import ir
 from repro.compiler.builder import IRBuilder
@@ -23,14 +23,11 @@ from repro.compiler.instrument import InstrumentOptions, InstrumentPass
 from repro.compiler.layout import LayoutEngine
 from repro.compiler.sensitivity import analyze_sensitivity
 from repro.compiler.types import (
-    Annotation,
     ArrayType,
     FunctionType,
-    PointerType,
     StructType,
     VOID,
 )
-from repro.crypto.keys import KeySelect
 from repro.errors import IRError
 
 

@@ -24,7 +24,7 @@ the whole kernel stack run unmodified on top of either.
 from __future__ import annotations
 
 from repro.errors import CryptoError
-from repro.utils.bits import MASK64, rotl64
+from repro.utils.bits import MASK64
 
 #: Nominal engine latencies (cycles on a CLB miss) per cipher, used by
 #: the ablation benchmarks.  QARMA completes in 3 cycles (§4.2); XOR is

@@ -19,7 +19,7 @@ paper's ~50% hit ratio with just 8 entries on call-heavy kernel code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.keys import KeySelect
 
@@ -68,6 +68,21 @@ class CLBStats:
         self.enc_hits = self.enc_misses = 0
         self.dec_hits = self.dec_misses = 0
         self.invalidations = self.evictions = 0
+
+    def snapshot(self) -> dict:
+        """JSON-ready view, consumed by the ``repro.perf`` runner."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "accesses": self.accesses,
+            "hit_ratio": self.hit_ratio,
+            "enc_hits": self.enc_hits,
+            "enc_misses": self.enc_misses,
+            "dec_hits": self.dec_hits,
+            "dec_misses": self.dec_misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }
 
 
 class CLB:

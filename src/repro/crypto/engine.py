@@ -56,6 +56,22 @@ class EngineStats:
         self.integrity_faults = self.cycles = 0
         self.per_key = {}
 
+    def snapshot(self) -> dict:
+        """JSON-ready view, consumed by the ``repro.perf`` runner."""
+        return {
+            "encryptions": self.encryptions,
+            "decryptions": self.decryptions,
+            "operations": self.operations,
+            "integrity_faults": self.integrity_faults,
+            "cycles": self.cycles,
+            "per_key": {
+                getattr(ksel, "letter", str(ksel)): count
+                for ksel, count in sorted(
+                    self.per_key.items(), key=lambda kv: int(kv[0])
+                )
+            },
+        }
+
 
 class CryptoEngine:
     """Executes ``cre``/``crd`` with privilege checks, CLB and timing.

@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hwcost.components import (
-    ResourceEstimate,
     clb_cost,
     crypto_engine_cost,
     fpu_cost,

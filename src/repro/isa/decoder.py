@@ -1,6 +1,17 @@
-"""32-bit word -> Instruction decoder."""
+"""32-bit word -> Instruction decoder.
+
+Besides the plain :func:`decode`, this module owns the interpreter's
+decode memoization: :func:`decode_cached` backs both the hart's
+single-step path and the basic-block translator with one bounded,
+process-wide cache (decoded :class:`Instruction` objects are frozen, so
+sharing them across harts is safe), and :func:`predecode` batch-decodes
+a fetched window of words into the longest straight-line prefix a
+translated block may contain.
+"""
 
 from __future__ import annotations
+
+from typing import Sequence
 
 from repro.crypto.keys import KeySelect
 from repro.crypto.primitives import ByteRange
@@ -184,3 +195,69 @@ def decode(word: int) -> Instruction:
         )
 
     raise DecodeError(f"unknown opcode {opcode:#04x} in word {word:#010x}")
+
+
+# --------------------------------------------------------------- memoization --
+
+#: One decode cache for the whole process: every hart (and the block
+#: translator) shares it, so multi-machine runs pay the decode cost for
+#: a given encoding once, and long sweeps cannot leak memory through
+#: per-hart caches.  The cap is generous — a whole kernel image decodes
+#: to a few thousand distinct words — and overflow simply clears the
+#: cache (refilling is cheap and correctness is unaffected).
+_DECODE_CACHE: dict[int, Instruction] = {}
+DECODE_CACHE_MAX = 1 << 16
+
+
+def decode_cached(word: int) -> Instruction:
+    """Memoized :func:`decode`; failures are not cached."""
+    ins = _DECODE_CACHE.get(word)
+    if ins is None:
+        if len(_DECODE_CACHE) >= DECODE_CACHE_MAX:
+            _DECODE_CACHE.clear()
+        ins = decode(word)
+        _DECODE_CACHE[word] = ins
+    return ins
+
+
+def decode_cache_size() -> int:
+    return len(_DECODE_CACHE)
+
+
+def clear_decode_cache() -> None:
+    _DECODE_CACHE.clear()
+
+
+# ------------------------------------------------------------ batch predecode --
+
+#: Mnemonics that end a translated basic block.  Control transfers end a
+#: block because the successor PC is dynamic; CSR ops end one so that
+#: architectural-state changes (mstatus/mie/mtvec/key CSRs) take effect
+#: before any later predecoded instruction executes; wfi ends one so the
+#: machine loop can observe ``waiting_for_interrupt`` immediately.
+BLOCK_TERMINATORS = (
+    frozenset(tab.BRANCHES)
+    | frozenset(tab.CSR_OPS)
+    | frozenset(tab.SYSTEM_OPS)
+    | frozenset({"jal", "jalr"})
+)
+
+
+def predecode(words: Sequence[int]) -> list[Instruction]:
+    """Decode a fetched window of words into one basic block.
+
+    Decoding stops *after* the first block-terminating instruction, or
+    *before* the first word that does not decode (the block then ends
+    early and the single-step path raises the architectural
+    illegal-instruction trap when execution actually reaches it).
+    """
+    block: list[Instruction] = []
+    for word in words:
+        try:
+            ins = decode_cached(word)
+        except DecodeError:
+            break
+        block.append(ins)
+        if ins.mnemonic in BLOCK_TERMINATORS:
+            break
+    return block

@@ -13,7 +13,6 @@ from dataclasses import dataclass
 from repro.compiler.ir import Module
 from repro.crypto.engine import CryptoEngine
 from repro.crypto.keys import KeySelect
-from repro.errors import KernelError
 from repro.kernel.build import KernelImage, build_kernel
 from repro.kernel.config import KernelConfig
 from repro.kernel import layout as kmap

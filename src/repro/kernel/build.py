@@ -14,14 +14,14 @@ Puts the whole stack together for one :class:`KernelConfig`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.compiler.builder import IRBuilder
 from repro.compiler.ir import Const, Function, GlobalVar, Module
 from repro.compiler.layout import LayoutEngine
 from repro.compiler.memops import build_typed_copy
 from repro.compiler.pipeline import CompileOptions, CompiledModule, compile_module
-from repro.compiler.types import FunctionType, I64, VOID
+from repro.compiler.types import FunctionType, I64
 from repro.errors import KernelError
 from repro.isa.assembler import Program, assemble
 from repro.kernel import layout as kmap

@@ -20,7 +20,6 @@ from repro.compiler.builder import IRBuilder
 from repro.compiler.ir import Const, Function, Module
 from repro.compiler.types import FunctionType, I64, VOID
 from repro.crypto.keys import KeySelect
-from repro.kernel.structs import CTX_T6_SLOT
 
 #: Key register dedicated to the interrupt context (per thread).
 CIP_KEY = KeySelect.C

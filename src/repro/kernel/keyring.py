@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.compiler.builder import IRBuilder
 from repro.compiler.ir import Const, Function, GlobalVar, Module, Move
-from repro.compiler.types import ArrayType, FunctionType, I64, VOID
+from repro.compiler.types import ArrayType, FunctionType, I64
 from repro.crypto.keys import KeySelect
 from repro.kernel.structs import KERNEL_KEY, KEYRING_SLOTS, SYSCALL_FN
 

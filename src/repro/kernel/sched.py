@@ -18,11 +18,10 @@ from repro.compiler.builder import IRBuilder
 from repro.compiler.ir import Const, Function, GlobalVar, Module, Move
 from repro.compiler.types import ArrayType, FunctionType, I64, VOID
 from repro.crypto.keys import KeySelect
-from repro.isa.csrdefs import KEY_CSRS
 from repro.kernel.config import KernelConfig
 from repro.kernel.irutil import csr_write, halt, rng_read
 from repro.kernel.layout import user_stack_top
-from repro.kernel.structs import CRED, MAX_THREADS, SYSCALL_FN, THREAD_INFO
+from repro.kernel.structs import MAX_THREADS, SYSCALL_FN, THREAD_INFO
 
 
 def _num_slots(config: KernelConfig) -> int:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.compiler.builder import IRBuilder
 from repro.compiler.ir import Const, Function, GlobalVar, Module
-from repro.compiler.types import FunctionType, I64, VOID
+from repro.compiler.types import FunctionType, VOID
 from repro.kernel.structs import SELINUX_STATE, SYSCALL_FN
 
 #: Permissions below this are granted by the toy policy.

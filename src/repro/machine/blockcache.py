@@ -1,0 +1,124 @@
+"""Basic-block translation cache for the hart's fast path.
+
+A :class:`TranslatedBlock` is a straight-line instruction sequence
+predecoded into ``(handler, instruction)`` pairs, keyed by its entry PC
+and the privilege level it was translated under.  Executing a cached
+block skips the per-instruction fetch -> decode -> dispatch-lookup cost
+— the dominant share of interpreter time — while reusing the *same*
+handler closures as :meth:`repro.machine.hart.Hart.step`, so
+architectural state and cycle accounting stay bit-identical.
+
+Invalidation rules (see ``docs/perf.md``):
+
+* a memory write that lands on a page containing translated code drops
+  every block overlapping that page (self-modifying code);
+* privilege transitions never reuse a block translated under another
+  privilege level, because blocks are keyed by ``(pc, privilege)``;
+* CSR instructions terminate blocks at translation time, so CSR-driven
+  state changes take effect before any later predecoded instruction.
+"""
+
+from __future__ import annotations
+
+from repro.machine.memory import PAGE_SHIFT
+
+#: Longest straight-line sequence one block may hold.
+MAX_BLOCK_INSTRUCTIONS = 64
+
+#: Blocks cached before the whole cache is flushed.  Kernel images here
+#: translate to a few hundred blocks; the cap only guards degenerate
+#: workloads (e.g. JIT-like self-modifying loops) from unbounded growth.
+DEFAULT_CAPACITY = 4096
+
+
+class TranslatedBlock:
+    """One predecoded straight-line sequence.
+
+    ``ops`` is split into ``body`` and ``last`` so the executor can run
+    the body with architectural counters (``pc``/``instret``) held in
+    locals and sync them exactly once before the final op — the only
+    instruction that may observe them, since CSR reads terminate blocks.
+    """
+
+    __slots__ = ("entry_pc", "ops", "body", "last", "cycle_bound", "pages")
+
+    def __init__(
+        self,
+        entry_pc: int,
+        ops: tuple,
+        cycle_bound: int,
+        pages: frozenset[int],
+    ):
+        self.entry_pc = entry_pc
+        #: ``(handler, instruction)`` pairs, in program order.
+        self.ops = ops
+        self.body = ops[:-1]
+        self.last = ops[-1]
+        #: Upper bound on cycles one execution of this block can
+        #: consume (worst case per instruction, plus one trap entry).
+        #: Used to prove no timer interrupt can become deliverable
+        #: mid-block.
+        self.cycle_bound = cycle_bound
+        #: Physical page indices the block's code occupies.
+        self.pages = pages
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+class BlockCache:
+    """``(entry_pc, privilege) -> TranslatedBlock`` with page index."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self._blocks: dict[tuple[int, int], TranslatedBlock] = {}
+        self._by_page: dict[int, set[tuple[int, int]]] = {}
+        self.translations = 0
+        self.invalidated_blocks = 0
+        self.flushes = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def lookup(self, key: tuple[int, int]) -> TranslatedBlock | None:
+        return self._blocks.get(key)
+
+    def insert(self, key: tuple[int, int], block: TranslatedBlock) -> None:
+        if len(self._blocks) >= self.capacity:
+            self.flush()
+        self._blocks[key] = block
+        for page in block.pages:
+            self._by_page.setdefault(page, set()).add(key)
+        self.translations += 1
+
+    def invalidate_page(self, page_index: int) -> int:
+        """Drop every block overlapping ``page_index``; return the count."""
+        keys = self._by_page.pop(page_index, None)
+        if not keys:
+            return 0
+        dropped = 0
+        for key in keys:
+            block = self._blocks.pop(key, None)
+            if block is None:
+                continue
+            dropped += 1
+            for page in block.pages:
+                if page != page_index:
+                    siblings = self._by_page.get(page)
+                    if siblings is not None:
+                        siblings.discard(key)
+        self.invalidated_blocks += dropped
+        return dropped
+
+    def flush(self) -> None:
+        self.invalidated_blocks += len(self._blocks)
+        self._blocks.clear()
+        self._by_page.clear()
+        self.flushes += 1
+
+    @staticmethod
+    def pages_of(entry_pc: int, num_instructions: int) -> frozenset[int]:
+        """Page indices covered by ``num_instructions`` words at ``entry_pc``."""
+        last_byte = entry_pc + 4 * num_instructions - 1
+        return frozenset(range(entry_pc >> PAGE_SHIFT,
+                               (last_byte >> PAGE_SHIFT) + 1))

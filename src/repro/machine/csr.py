@@ -15,7 +15,6 @@ RegVault rules (§2.3.1):
 from __future__ import annotations
 
 from repro.crypto.keys import KeyFile
-from repro.errors import PrivilegeError
 from repro.isa import csrdefs
 from repro.machine.trap import Cause, Trap
 from repro.utils.bits import MASK64

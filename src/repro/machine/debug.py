@@ -98,7 +98,6 @@ class Tracer:
             except Exception:
                 text = "<unfetchable>"
             before = list(hart.regs._regs)
-            machine.clint.mtime = hart.cycles
             hart.csrs.set_mip_bit(MIP_MTIP, machine.clint.timer_pending)
             hart.step()
             written = {

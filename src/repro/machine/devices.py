@@ -46,14 +46,38 @@ class Device:
 
 
 class Clint(Device):
-    """Core-local interruptor: machine timer."""
+    """Core-local interruptor: machine timer.
+
+    ``mtime`` can either be driven explicitly (bare-device tests) or
+    track a live cycle source installed with :meth:`attach_cycle_source`
+    — the Machine wires the hart's cycle counter in, so a guest load of
+    ``mtime`` is exact at any instruction boundary, including in the
+    middle of a translated basic block.
+    """
 
     base = CLINT_BASE
     size = CLINT_SIZE
 
     def __init__(self):
-        self.mtime = 0
+        self._mtime = 0
+        self._cycle_source = None
         self.mtimecmp = MASK64  # never fires until programmed
+
+    def attach_cycle_source(self, source) -> None:
+        """Make ``mtime`` mirror ``source()`` (e.g. the hart's cycles)."""
+        self._cycle_source = source
+
+    @property
+    def mtime(self) -> int:
+        if self._cycle_source is not None:
+            return self._cycle_source() & MASK64
+        return self._mtime
+
+    @mtime.setter
+    def mtime(self, value: int) -> None:
+        # With a live source attached the timer tracks the hart; an
+        # explicit store is accepted but has no lasting effect.
+        self._mtime = value & MASK64
 
     def read(self, address: int, size: int) -> int:
         if address == CLINT_MTIME:

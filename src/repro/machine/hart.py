@@ -19,8 +19,13 @@ from repro.errors import (
 )
 from repro.isa import csrdefs
 from repro.isa import instructions as tab
-from repro.isa.decoder import decode
+from repro.isa.decoder import BLOCK_TERMINATORS, decode_cached, predecode
 from repro.isa.instructions import Instruction
+from repro.machine.blockcache import (
+    MAX_BLOCK_INSTRUCTIONS,
+    BlockCache,
+    TranslatedBlock,
+)
 from repro.machine.csr import (
     CSRFile,
     MIE_MTIE,
@@ -78,13 +83,23 @@ class Hart:
         self.cycles = 0
         self.instret = 0
         self.waiting_for_interrupt = False
-        self._decode_cache: dict[int, Instruction] = {}
         self.csrs.counter_hooks[csrdefs.CYCLE] = lambda: self.cycles
         self.csrs.counter_hooks[csrdefs.TIME] = lambda: self.cycles
         self.csrs.counter_hooks[csrdefs.INSTRET] = lambda: self.instret
         self.csrs.counter_hooks[csrdefs.MCYCLE] = lambda: self.cycles
         self.csrs.counter_hooks[csrdefs.MINSTRET] = lambda: self.instret
         self._dispatch = self._build_dispatch()
+        # -- fast path: basic-block translation cache ----------------------
+        self.blocks = BlockCache()
+        #: Set mid-block by device stores and code-page writes; forces a
+        #: return to the machine loop before the next predecoded op.
+        self._block_break = False
+        # Translation fetches bypass the device bus (code never lives in
+        # MMIO, and device reads can have side effects); execution-time
+        # loads and stores still go through ``self.bus`` unchanged.
+        self._code_mem = getattr(bus, "memory", bus)
+        if hasattr(self._code_mem, "add_code_write_hook"):
+            self._code_mem.add_code_write_hook(self._on_code_write)
 
     # ------------------------------------------------------------------ step --
 
@@ -95,13 +110,10 @@ class Hart:
         pc = self.pc
         try:
             word = self._fetch(pc)
-            ins = self._decode_cache.get(word)
-            if ins is None:
-                try:
-                    ins = decode(word)
-                except DecodeError:
-                    raise Trap(Cause.ILLEGAL_INSTRUCTION, tval=word) from None
-                self._decode_cache[word] = ins
+            try:
+                ins = decode_cached(word)
+            except DecodeError:
+                raise Trap(Cause.ILLEGAL_INSTRUCTION, tval=word) from None
             handler = self._dispatch.get(ins.mnemonic)
             if handler is None:
                 raise Trap(Cause.ILLEGAL_INSTRUCTION, tval=word)
@@ -110,6 +122,150 @@ class Hart:
             self.instret += 1
         except Trap as trap:
             self._enter_trap(trap, pc)
+
+    # ------------------------------------------------------------ fast path --
+
+    def run_block(self, limit: int, deadline: int = MASK64) -> int:
+        """Execute up to one translated basic block; return steps consumed.
+
+        Equivalence contract with a :meth:`step` loop (the machine loop
+        refreshes MIP between calls, exactly as it does between steps):
+
+        * the same handler closures run, in the same order, so register,
+          memory, CSR and cycle effects are bit-identical;
+        * a pending interrupt is taken at the block boundary, and the
+          ``deadline`` guard falls back to single-stepping whenever the
+          machine timer could become deliverable mid-block;
+        * device stores and writes to translated code pages end the
+          block before the next predecoded instruction.
+
+        ``limit`` bounds the instructions this call may retire (the
+        machine loop's remaining step budget).
+        """
+        if self._take_pending_interrupt():
+            return 1
+        pc = self.pc
+        key = (pc, self.privilege)
+        block = self.blocks.lookup(key)
+        if block is None:
+            block = self._translate(pc, key)
+        if block is None or len(block.ops) > limit:
+            self.step()
+            return 1
+        if (
+            self.cycles + block.cycle_bound >= deadline
+            and self._timer_deliverable()
+        ):
+            # The timer could fire mid-block: single-step so interrupt
+            # delivery lands on the same instruction as the slow path.
+            self.step()
+            return 1
+        # Body ops run with ``pc`` in a local and ``instret`` batched:
+        # no instruction in the body can observe either (CSR reads
+        # terminate blocks, so they only appear as the final op), and
+        # every exit below syncs both before returning.  ``pc`` always
+        # names the instruction being executed — it is only advanced
+        # after a handler returns — so the trap paths see the exact
+        # faulting address.
+        executed = 0
+        self._block_break = False
+        try:
+            for handler, ins in block.body:
+                next_pc = handler(ins, pc)
+                pc = (pc + 4) if next_pc is None else next_pc
+                executed += 1
+                if self._block_break:
+                    self.pc = pc
+                    self.instret += executed
+                    return executed
+        except Trap as trap:
+            self.instret += executed
+            self._enter_trap(trap, pc)
+            return executed + 1
+        # The final op may read the counter CSRs: sync the
+        # architectural view first.
+        self.pc = pc
+        self.instret += executed
+        handler, ins = block.last
+        try:
+            next_pc = handler(ins, pc)
+        except Trap as trap:
+            self._enter_trap(trap, pc)
+            return executed + 1
+        self.pc = (pc + 4) if next_pc is None else next_pc
+        self.instret += 1
+        return executed + 1
+
+    #: Words fetched per translation round; most blocks fit in one.
+    _FETCH_CHUNK = 8
+
+    def _translate(self, pc: int, key: tuple[int, int]) -> TranslatedBlock | None:
+        """Predecode the straight-line sequence starting at ``pc``."""
+        if pc % 4:
+            return None
+        mem = self._code_mem
+        address = pc
+        instructions: list = []
+        while len(instructions) < MAX_BLOCK_INSTRUCTIONS:
+            try:
+                raw = mem.read_bytes(address, 4 * self._FETCH_CHUNK)
+                words = [
+                    int.from_bytes(raw[i:i + 4], "little")
+                    for i in range(0, len(raw), 4)
+                ]
+            except (MemoryFault, AttributeError):
+                # Chunk crosses unmapped memory (or the bus has no bulk
+                # read): retry word-by-word up to the first fault.
+                words = []
+                for _ in range(self._FETCH_CHUNK):
+                    try:
+                        words.append(mem.read_u32(address + 4 * len(words)))
+                    except MemoryFault:
+                        break
+                if not words:
+                    break
+            chunk_ins = predecode(words)
+            instructions.extend(chunk_ins)
+            if len(chunk_ins) < len(words) or (
+                chunk_ins and chunk_ins[-1].mnemonic in BLOCK_TERMINATORS
+            ):
+                break  # hit a terminator or an undecodable word
+            address += 4 * len(words)
+        del instructions[MAX_BLOCK_INSTRUCTIONS:]
+        ops = []
+        bound = self.cost.trap_entry  # a mid-block trap charges entry cost
+        crypto_worst = max(self.engine.miss_cycles, self.engine.hit_cycles)
+        for ins in instructions:
+            handler = self._dispatch.get(ins.mnemonic)
+            if handler is None:
+                break
+            ops.append((handler, ins))
+            if self.cost.classify(ins.mnemonic) == "crypto":
+                bound += crypto_worst
+            else:
+                bound += self.cost.worst_case(ins.mnemonic)
+        if not ops:
+            return None
+        pages = BlockCache.pages_of(pc, len(ops))
+        block = TranslatedBlock(pc, tuple(ops), bound, pages)
+        self.blocks.insert(key, block)
+        if hasattr(mem, "watch_code_page"):
+            for page in pages:
+                mem.watch_code_page(page)
+        return block
+
+    def _on_code_write(self, page_index: int) -> None:
+        self.blocks.invalidate_page(page_index)
+        self._block_break = True
+
+    def _timer_deliverable(self) -> bool:
+        """Could a machine-timer interrupt be taken if MTIP became set?"""
+        if not self.csrs.raw_read(csrdefs.MIE) & MIE_MTIE:
+            return False
+        return (
+            self.privilege < PrivilegeLevel.MACHINE
+            or bool(self.csrs.mstatus & MSTATUS_MIE)
+        )
 
     def _fetch(self, pc: int) -> int:
         if pc % 4:
@@ -181,58 +337,66 @@ class Hart:
         d = {}
 
         # ALU register-register.
-        d["add"] = self._alu(lambda a, b: a + b)
-        d["sub"] = self._alu(lambda a, b: a - b)
-        d["sll"] = self._alu(lambda a, b: a << (b & 63))
+        d["add"] = self._alu("add", lambda a, b: a + b)
+        d["sub"] = self._alu("sub", lambda a, b: a - b)
+        d["sll"] = self._alu("sll", lambda a, b: a << (b & 63))
         d["slt"] = self._alu(
-            lambda a, b: int(to_signed64(a) < to_signed64(b))
+            "slt", lambda a, b: int(to_signed64(a) < to_signed64(b))
         )
-        d["sltu"] = self._alu(lambda a, b: int(a < b))
-        d["xor"] = self._alu(lambda a, b: a ^ b)
-        d["srl"] = self._alu(lambda a, b: a >> (b & 63))
-        d["sra"] = self._alu(lambda a, b: to_signed64(a) >> (b & 63))
-        d["or"] = self._alu(lambda a, b: a | b)
-        d["and"] = self._alu(lambda a, b: a & b)
-        d["mul"] = self._alu(lambda a, b: a * b)
+        d["sltu"] = self._alu("sltu", lambda a, b: int(a < b))
+        d["xor"] = self._alu("xor", lambda a, b: a ^ b)
+        d["srl"] = self._alu("srl", lambda a, b: a >> (b & 63))
+        d["sra"] = self._alu("sra", lambda a, b: to_signed64(a) >> (b & 63))
+        d["or"] = self._alu("or", lambda a, b: a | b)
+        d["and"] = self._alu("and", lambda a, b: a & b)
+        d["mul"] = self._alu("mul", lambda a, b: a * b)
         d["mulh"] = self._alu(
-            lambda a, b: (to_signed64(a) * to_signed64(b)) >> 64
+            "mulh", lambda a, b: (to_signed64(a) * to_signed64(b)) >> 64
         )
-        d["mulhsu"] = self._alu(lambda a, b: (to_signed64(a) * b) >> 64)
-        d["mulhu"] = self._alu(lambda a, b: (a * b) >> 64)
-        d["div"] = self._alu(self._div)
-        d["divu"] = self._alu(self._divu)
-        d["rem"] = self._alu(self._rem)
-        d["remu"] = self._alu(self._remu)
+        d["mulhsu"] = self._alu("mulhsu", lambda a, b: (to_signed64(a) * b) >> 64)
+        d["mulhu"] = self._alu("mulhu", lambda a, b: (a * b) >> 64)
+        d["div"] = self._alu("div", self._div)
+        d["divu"] = self._alu("divu", self._divu)
+        d["rem"] = self._alu("rem", self._rem)
+        d["remu"] = self._alu("remu", self._remu)
 
         # 32-bit ("W") register-register.
-        d["addw"] = self._alu_w(lambda a, b: a + b)
-        d["subw"] = self._alu_w(lambda a, b: a - b)
-        d["sllw"] = self._alu_w(lambda a, b: a << (b & 31))
-        d["srlw"] = self._alu_w(lambda a, b: (a & 0xFFFFFFFF) >> (b & 31))
-        d["sraw"] = self._alu_w(
-            lambda a, b: sign_extend(a & 0xFFFFFFFF, 32) >> (b & 31)
+        d["addw"] = self._alu_w("addw", lambda a, b: a + b)
+        d["subw"] = self._alu_w("subw", lambda a, b: a - b)
+        d["sllw"] = self._alu_w("sllw", lambda a, b: a << (b & 31))
+        d["srlw"] = self._alu_w(
+            "srlw", lambda a, b: (a & 0xFFFFFFFF) >> (b & 31)
         )
-        d["mulw"] = self._alu_w(lambda a, b: a * b)
-        d["divw"] = self._alu_w(self._div32)
-        d["divuw"] = self._alu_w(self._divu32)
-        d["remw"] = self._alu_w(self._rem32)
-        d["remuw"] = self._alu_w(self._remu32)
+        d["sraw"] = self._alu_w(
+            "sraw", lambda a, b: sign_extend(a & 0xFFFFFFFF, 32) >> (b & 31)
+        )
+        d["mulw"] = self._alu_w("mulw", lambda a, b: a * b)
+        d["divw"] = self._alu_w("divw", self._div32)
+        d["divuw"] = self._alu_w("divuw", self._divu32)
+        d["remw"] = self._alu_w("remw", self._rem32)
+        d["remuw"] = self._alu_w("remuw", self._remu32)
 
         # ALU immediates.
-        d["addi"] = self._alu_imm(lambda a, i: a + i)
-        d["slti"] = self._alu_imm(lambda a, i: int(to_signed64(a) < i))
-        d["sltiu"] = self._alu_imm(lambda a, i: int(a < to_unsigned64(i)))
-        d["xori"] = self._alu_imm(lambda a, i: a ^ to_unsigned64(i))
-        d["ori"] = self._alu_imm(lambda a, i: a | to_unsigned64(i))
-        d["andi"] = self._alu_imm(lambda a, i: a & to_unsigned64(i))
-        d["slli"] = self._alu_imm(lambda a, i: a << i)
-        d["srli"] = self._alu_imm(lambda a, i: a >> i)
-        d["srai"] = self._alu_imm(lambda a, i: to_signed64(a) >> i)
-        d["addiw"] = self._alu_imm_w(lambda a, i: a + i)
-        d["slliw"] = self._alu_imm_w(lambda a, i: a << i)
-        d["srliw"] = self._alu_imm_w(lambda a, i: (a & 0xFFFFFFFF) >> i)
+        d["addi"] = self._alu_imm("addi", lambda a, i: a + i)
+        d["slti"] = self._alu_imm(
+            "slti", lambda a, i: int(to_signed64(a) < i)
+        )
+        d["sltiu"] = self._alu_imm(
+            "sltiu", lambda a, i: int(a < to_unsigned64(i))
+        )
+        d["xori"] = self._alu_imm("xori", lambda a, i: a ^ to_unsigned64(i))
+        d["ori"] = self._alu_imm("ori", lambda a, i: a | to_unsigned64(i))
+        d["andi"] = self._alu_imm("andi", lambda a, i: a & to_unsigned64(i))
+        d["slli"] = self._alu_imm("slli", lambda a, i: a << i)
+        d["srli"] = self._alu_imm("srli", lambda a, i: a >> i)
+        d["srai"] = self._alu_imm("srai", lambda a, i: to_signed64(a) >> i)
+        d["addiw"] = self._alu_imm_w("addiw", lambda a, i: a + i)
+        d["slliw"] = self._alu_imm_w("slliw", lambda a, i: a << i)
+        d["srliw"] = self._alu_imm_w(
+            "srliw", lambda a, i: (a & 0xFFFFFFFF) >> i
+        )
         d["sraiw"] = self._alu_imm_w(
-            lambda a, i: sign_extend(a & 0xFFFFFFFF, 32) >> i
+            "sraiw", lambda a, i: sign_extend(a & 0xFFFFFFFF, 32) >> i
         )
 
         # Memory.
@@ -242,16 +406,16 @@ class Hart:
             d[mnemonic] = self._make_store(mnemonic)
 
         # Control flow.
-        d["beq"] = self._branch(lambda a, b: a == b)
-        d["bne"] = self._branch(lambda a, b: a != b)
+        d["beq"] = self._branch("beq", lambda a, b: a == b)
+        d["bne"] = self._branch("bne", lambda a, b: a != b)
         d["blt"] = self._branch(
-            lambda a, b: to_signed64(a) < to_signed64(b)
+            "blt", lambda a, b: to_signed64(a) < to_signed64(b)
         )
         d["bge"] = self._branch(
-            lambda a, b: to_signed64(a) >= to_signed64(b)
+            "bge", lambda a, b: to_signed64(a) >= to_signed64(b)
         )
-        d["bltu"] = self._branch(lambda a, b: a < b)
-        d["bgeu"] = self._branch(lambda a, b: a >= b)
+        d["bltu"] = self._branch("bltu", lambda a, b: a < b)
+        d["bgeu"] = self._branch("bgeu", lambda a, b: a >= b)
         d["jal"] = self._jal
         d["jalr"] = self._jalr
         d["lui"] = self._lui
@@ -277,37 +441,50 @@ class Hart:
         return d
 
     # -- handler factories -------------------------------------------------------
+    #
+    # Per-mnemonic cycle costs are resolved once at dispatch-build time:
+    # the cost model is fixed for the hart's lifetime, and both the
+    # single-step path and the block fast path call these same closures,
+    # which is what keeps their cycle accounting bit-identical.
 
-    def _alu(self, op):
+    def _alu(self, mnemonic: str, op):
+        cycle_cost = self.cost.cost(mnemonic)
+
         def handler(ins: Instruction, pc: int):
             self.regs.write(ins.rd, op(self.regs[ins.rs1], self.regs[ins.rs2]))
-            self.cycles += self.cost.cost(ins.mnemonic)
+            self.cycles += cycle_cost
             return None
 
         return handler
 
-    def _alu_w(self, op):
+    def _alu_w(self, mnemonic: str, op):
+        cycle_cost = self.cost.cost(mnemonic)
+
         def handler(ins: Instruction, pc: int):
             result = op(self.regs[ins.rs1], self.regs[ins.rs2])
             self.regs.write(ins.rd, to_unsigned64(sign_extend(result, 32)))
-            self.cycles += self.cost.cost(ins.mnemonic)
+            self.cycles += cycle_cost
             return None
 
         return handler
 
-    def _alu_imm(self, op):
+    def _alu_imm(self, mnemonic: str, op):
+        cycle_cost = self.cost.cost(mnemonic)
+
         def handler(ins: Instruction, pc: int):
             self.regs.write(ins.rd, op(self.regs[ins.rs1], ins.imm))
-            self.cycles += self.cost.cost(ins.mnemonic)
+            self.cycles += cycle_cost
             return None
 
         return handler
 
-    def _alu_imm_w(self, op):
+    def _alu_imm_w(self, mnemonic: str, op):
+        cycle_cost = self.cost.cost(mnemonic)
+
         def handler(ins: Instruction, pc: int):
             result = op(self.regs[ins.rs1], ins.imm)
             self.regs.write(ins.rd, to_unsigned64(sign_extend(result, 32)))
-            self.cycles += self.cost.cost(ins.mnemonic)
+            self.cycles += cycle_cost
             return None
 
         return handler
@@ -408,7 +585,11 @@ class Hart:
         def handler(ins: Instruction, pc: int):
             address = (self.regs[ins.rs1] + ins.imm) & MASK64
             try:
-                writer(address, self.regs[ins.rs2])
+                # A truthy return marks a device (MMIO) write: devices
+                # can redirect the machine loop (shutdown, timer
+                # reprogramming), so the block fast path must yield.
+                if writer(address, self.regs[ins.rs2]):
+                    self._block_break = True
             except MemoryFault:
                 raise Trap(Cause.STORE_ACCESS_FAULT, tval=address) from None
             self.cycles += self.cost.store
@@ -416,11 +597,16 @@ class Hart:
 
         return handler
 
-    def _branch(self, condition):
+    def _branch(self, mnemonic: str, condition):
+        taken_cost = self.cost.cost(mnemonic, branch_taken=True)
+        not_taken_cost = self.cost.cost(mnemonic, branch_taken=False)
+
         def handler(ins: Instruction, pc: int):
-            taken = condition(self.regs[ins.rs1], self.regs[ins.rs2])
-            self.cycles += self.cost.cost(ins.mnemonic, branch_taken=taken)
-            return (pc + ins.imm) & MASK64 if taken else None
+            if condition(self.regs[ins.rs1], self.regs[ins.rs2]):
+                self.cycles += taken_cost
+                return (pc + ins.imm) & MASK64
+            self.cycles += not_taken_cost
+            return None
 
         return handler
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 
 from repro.crypto.engine import CryptoEngine
-from repro.errors import MemoryFault, ReproError
+from repro.errors import ReproError
 from repro.machine.csr import MIP_MTIP
 from repro.machine.devices import Clint, Device, Rng, Syscon, Uart
 from repro.machine.hart import Hart
@@ -77,33 +77,43 @@ class SystemBus:
             return device.read(address, 8)
         return self.memory.read_u64(address)
 
-    def write_u8(self, address: int, value: int) -> None:
+    # Writes report whether a device (rather than RAM) absorbed them:
+    # the hart's block fast path ends a translated block after a device
+    # store so machine-loop-visible state (shutdown requests, timer
+    # reprogramming) is observed at the same instruction boundary as
+    # under single-stepping.
+
+    def write_u8(self, address: int, value: int) -> bool:
         device = self._device_for(address, 1)
         if device:
             device.write(address, 1, value)
-        else:
-            self.memory.write_u8(address, value)
+            return True
+        self.memory.write_u8(address, value)
+        return False
 
-    def write_u16(self, address: int, value: int) -> None:
+    def write_u16(self, address: int, value: int) -> bool:
         device = self._device_for(address, 2)
         if device:
             device.write(address, 2, value)
-        else:
-            self.memory.write_u16(address, value)
+            return True
+        self.memory.write_u16(address, value)
+        return False
 
-    def write_u32(self, address: int, value: int) -> None:
+    def write_u32(self, address: int, value: int) -> bool:
         device = self._device_for(address, 4)
         if device:
             device.write(address, 4, value)
-        else:
-            self.memory.write_u32(address, value)
+            return True
+        self.memory.write_u32(address, value)
+        return False
 
-    def write_u64(self, address: int, value: int) -> None:
+    def write_u64(self, address: int, value: int) -> bool:
         device = self._device_for(address, 8)
         if device:
             device.write(address, 8, value)
-        else:
-            self.memory.write_u64(address, value)
+            return True
+        self.memory.write_u64(address, value)
+        return False
 
 
 #: Default RAM layout for stacks and heaps (kept clear of section bases).
@@ -115,6 +125,11 @@ HEAP_SIZE = 0x0040_0000
 
 class Machine:
     """A complete simulated SoC."""
+
+    #: Process-wide default for new machines; the perf harness flips it
+    #: to measure the single-step baseline through code paths that
+    #: construct machines internally (attack suite, benchmarks).
+    DEFAULT_FAST_PATH = True
 
     def __init__(
         self,
@@ -132,7 +147,13 @@ class Machine:
         )
         self.engine = engine if engine is not None else CryptoEngine()
         self.hart = Hart(self.bus, self.engine, cost_model)
+        # mtime mirrors the hart's cycle counter at every instruction
+        # boundary — exact even in the middle of a translated block.
+        self.clint.attach_cycle_source(lambda: self.hart.cycles)
         self.halt_reason: HaltReason | None = None
+        #: Run via the basic-block fast path by default; ``run(fast=...)``
+        #: overrides per call (the perf harness measures both).
+        self.fast_path = Machine.DEFAULT_FAST_PATH
 
     # -- construction ------------------------------------------------------------
 
@@ -158,12 +179,24 @@ class Machine:
 
     # -- execution ---------------------------------------------------------------
 
-    def run(self, max_steps: int = 10_000_000) -> HaltReason:
-        """Run until shutdown, breakpoint, a stuck WFI or the step limit."""
+    def run(
+        self, max_steps: int = 10_000_000, fast: bool | None = None
+    ) -> HaltReason:
+        """Run until shutdown, breakpoint, a stuck WFI or the step limit.
+
+        ``fast`` selects the basic-block fast path (default: the
+        machine's ``fast_path`` attribute).  Both modes produce
+        identical architectural state and cycle counts; the fast path
+        retires whole translated blocks per loop iteration instead of
+        one instruction.
+        """
+        if fast is None:
+            fast = self.fast_path
         hart = self.hart
         clint = self.clint
         syscon = self.syscon
-        for _ in range(max_steps):
+        remaining = max_steps
+        while remaining > 0:
             if syscon.shutdown_requested:
                 self.halt_reason = HaltReason.SHUTDOWN
                 return self.halt_reason
@@ -175,10 +208,13 @@ class Machine:
                 else:
                     self.halt_reason = HaltReason.WFI_NO_WAKEUP
                     return self.halt_reason
-            clint.mtime = hart.cycles
             hart.csrs.set_mip_bit(MIP_MTIP, clint.timer_pending)
             try:
-                hart.step()
+                if fast:
+                    remaining -= hart.run_block(remaining, clint.mtimecmp)
+                else:
+                    hart.step()
+                    remaining -= 1
             except Trap as trap:
                 # A trap escaping the hart means mtvec was not installed.
                 raise ReproError(
@@ -194,6 +230,9 @@ class Machine:
         the machine halted or hit the step limit first.  Used by the
         attack framework to pause execution at a victim location.
         """
+        # Deliberately single-stepped: the breakpoint comparison must
+        # run before every instruction, which a block fast path would
+        # skip past.
         hart = self.hart
         clint = self.clint
         for _ in range(max_steps):
@@ -202,7 +241,6 @@ class Machine:
             if self.syscon.shutdown_requested:
                 self.halt_reason = HaltReason.SHUTDOWN
                 return False
-            clint.mtime = hart.cycles
             hart.csrs.set_mip_bit(MIP_MTIP, clint.timer_pending)
             hart.step()
         return False

@@ -45,6 +45,24 @@ class Memory:
         self.strict = strict
         self.regions: list[MemoryRegion] = []
         self._pages: dict[int, bytearray] = {}
+        #: Pages holding translated code: a write that lands on one of
+        #: these notifies every registered hook so block caches can
+        #: invalidate stale translations (self-modifying code).
+        self._watched_pages: set[int] = set()
+        self._code_write_hooks: list = []
+
+    # -- code-write tracking -----------------------------------------------------
+
+    def watch_code_page(self, page_index: int) -> None:
+        """Report future writes to ``page_index`` to the code-write hooks."""
+        self._watched_pages.add(page_index)
+
+    def unwatch_all_code_pages(self) -> None:
+        self._watched_pages.clear()
+
+    def add_code_write_hook(self, hook) -> None:
+        """Register ``hook(page_index)`` to run on writes to watched pages."""
+        self._code_write_hooks.append(hook)
 
     # -- mapping ---------------------------------------------------------------
 
@@ -100,6 +118,7 @@ class Memory:
         self._check(address, len(data))
         offset = 0
         length = len(data)
+        watched = self._watched_pages
         while offset < length:
             page_index = (address + offset) >> PAGE_SHIFT
             page_offset = (address + offset) & (PAGE_SIZE - 1)
@@ -111,6 +130,9 @@ class Memory:
             page[page_offset:page_offset + chunk] = data[
                 offset:offset + chunk
             ]
+            if watched and page_index in watched:
+                for hook in self._code_write_hooks:
+                    hook(page_index)
             offset += chunk
 
     # -- typed access -----------------------------------------------------------

@@ -89,3 +89,14 @@ class CostModel:
         if kind == "crypto":
             return 0  # engine adds 1 (hit) or 3 (miss)
         return self.default
+
+    def worst_case(self, mnemonic: str) -> int:
+        """Most cycles one execution of ``mnemonic`` can charge here.
+
+        Used by the block translator to bound a block's cycle footprint
+        (crypto engine latency is added by the caller, which knows the
+        engine's hit/miss costs).
+        """
+        if self.classify(mnemonic) == "branch":
+            return max(self.branch_taken, self.branch_not_taken)
+        return self.cost(mnemonic)

@@ -1,0 +1,22 @@
+"""Reproducible interpreter performance harness (``python -m repro.perf``).
+
+Every paper result this repo reproduces — the Fig. 5 overhead suites,
+the CLB study, the RIPE matrix — is bottlenecked on simulator speed, so
+this package tracks the interpreter's performance trajectory across PRs:
+
+* fixed, deterministic workloads (kernel boot, syscall storm, QARMA
+  throughput, CLB hit/miss sweep, attack-suite replay);
+* each interpreter workload measured under the single-step baseline and
+  the basic-block fast path, with an architectural-equivalence check
+  (instructions, cycles, console, exit code must match bit-for-bit);
+* machine-readable output (``BENCH_interp.json``) committed to the repo
+  and uploaded from CI, so every future optimization has a number to
+  beat.
+
+See ``docs/perf.md`` for how to run it and read the results.
+"""
+
+from repro.perf.runner import run_perf
+from repro.perf.workloads import WORKLOADS
+
+__all__ = ["run_perf", "WORKLOADS"]

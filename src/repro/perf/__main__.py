@@ -1,0 +1,68 @@
+"""CLI entry point: ``python -m repro.perf``.
+
+Runs the fixed workload set under both interpreter modes, verifies
+architectural equivalence, prints a summary table and (optionally)
+writes the machine-readable ``BENCH_interp.json`` consumed by CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.perf.report import format_report
+from repro.perf.runner import run_perf, write_report
+from repro.perf.workloads import WORKLOADS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="RegVault simulator benchmark harness.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller iteration counts and a single repeat (CI smoke)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="wall-clock repeats per measurement (best-of-N; "
+        "default 3, 1 with --quick)",
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        metavar="NAME",
+        choices=WORKLOADS,
+        help=f"subset to run (default: all of {', '.join(WORKLOADS)})",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the JSON report here (e.g. BENCH_interp.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.output:
+        # Fail on an unwritable path now, not after minutes of runs.
+        directory = os.path.dirname(os.path.abspath(args.output))
+        if not os.path.isdir(directory):
+            parser.error(f"--output directory does not exist: {directory}")
+
+    report = run_perf(
+        quick=args.quick, repeats=args.repeats, only=args.workloads
+    )
+    print(format_report(report))
+    if args.output:
+        write_report(report, args.output)
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@ from repro.analysis.ablations import (
     format_ablations,
     informed_disclosure_attack,
 )
-from repro.analysis.clb_study import ClbPoint, clb_study, format_clb_study
+from repro.analysis.clb_study import clb_study, format_clb_study
 from repro.bench.workloads import unixbench
 
 pytestmark = pytest.mark.slow

@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.bench.overhead import OverheadRow, averages, format_figure, overhead_table
+from repro.bench.overhead import averages, format_figure, overhead_table
 from repro.bench.runner import Measurement, correctness_check, run_workload
 from repro.bench.workloads import lmbench, spec, unixbench
-from repro.bench.workloads.base import Workload, scaled
+from repro.bench.workloads.base import scaled
 from repro.kernel import KernelConfig
 
 pytestmark = pytest.mark.slow

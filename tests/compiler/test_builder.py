@@ -16,10 +16,8 @@ from repro.compiler import (
 from repro.compiler.ir import (
     BinOp,
     Call,
-    Cmp,
     Const,
     CryptoOp,
-    FieldAddr,
     Load,
     Store,
 )
@@ -185,7 +183,7 @@ class TestStrRepresentations:
         struct = StructType("s", (Field("x", I64, Annotation.RAND),))
         func, b = fresh()
         b.block("entry")
-        addr = b.field_addr(func.params[0], struct, "x")
+        b.field_addr(func.params[0], struct, "x")
         b.load_field(func.params[0], struct, "x")
         ct = b.crypto_enc(func.params[0], 1, KeySelect.A)
         b.ret(ct)

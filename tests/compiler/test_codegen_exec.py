@@ -14,7 +14,6 @@ from repro.compiler import (
     Module,
     PointerType,
     StructType,
-    VOID,
 )
 from repro.compiler.ir import Const, GlobalVar
 from repro.compiler.pipeline import CompileOptions, compile_module

@@ -1,6 +1,5 @@
 """Instrumentation pass tests (§2.4.2)."""
 
-import pytest
 
 from repro.compiler import ir
 from repro.compiler.builder import IRBuilder

@@ -1,21 +1,17 @@
 """Optimizer tests: folding, copy propagation, DCE, safety."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.compiler import Function, FunctionType, I64, IRBuilder, Module
 from repro.compiler.ir import (
     BinOp,
-    Call,
     Const,
     CryptoOp,
     Move,
-    RawStore,
 )
 from repro.compiler.optimize import (
     eliminate_dead_code,
     fold_constants,
-    optimize_function,
 )
 from repro.crypto.keys import KeySelect
 from repro.utils.bits import MASK64, to_unsigned64
@@ -164,7 +160,7 @@ class TestEndToEnd:
         b.block("entry")
         x = b.add(Const(20), Const(22))
         b.mul(x, Const(0))                      # dead
-        waste = b.add(Const(1), Const(2))       # dead
+        b.add(Const(1), Const(2))               # dead
         b.intrinsic("halt", [x])
         b.ret(Const(0))
 

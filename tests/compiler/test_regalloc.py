@@ -1,10 +1,9 @@
 """Register allocation unit tests: liveness, intervals, policies."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.compiler import Function, FunctionType, I64, IRBuilder, Module
-from repro.compiler.ir import Call, Const, Move
+from repro.compiler import Function, FunctionType, I64, IRBuilder
+from repro.compiler.ir import Const, Move
 from repro.compiler.regalloc import (
     CALLEE_SAVED_POOL,
     CALLER_SAVED_POOL,

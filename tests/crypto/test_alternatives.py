@@ -11,7 +11,7 @@ from repro.crypto.alternatives import (
 )
 from repro.crypto.engine import CryptoEngine
 from repro.crypto.keys import KeySelect
-from repro.crypto.primitives import FULL_RANGE, LOW_HALF, cre, crd
+from repro.crypto.primitives import FULL_RANGE, LOW_HALF, crd
 from repro.crypto.qarma import Qarma64
 from repro.errors import CryptoError, IntegrityViolation
 from repro.utils.bits import MASK64

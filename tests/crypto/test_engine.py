@@ -4,7 +4,7 @@ import pytest
 
 from repro.crypto.engine import CryptoEngine
 from repro.crypto.keys import KeyFile, KeySelect, KEY_ROLES, KeyRegister
-from repro.crypto.primitives import ByteRange, FULL_RANGE, LOW_HALF
+from repro.crypto.primitives import FULL_RANGE, LOW_HALF
 from repro.errors import CryptoError, IntegrityViolation, PrivilegeError
 
 KEY = 0xDEADBEEFCAFEBABE0123456789ABCDEF

@@ -1,6 +1,5 @@
 """Hardware cost model tests (Table 3 substrate)."""
 
-import pytest
 
 from repro.hwcost.components import (
     ResourceEstimate,

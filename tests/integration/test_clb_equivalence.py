@@ -1,6 +1,5 @@
 """The CLB is a pure cache: results must not depend on its size."""
 
-import dataclasses
 
 import pytest
 

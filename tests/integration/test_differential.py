@@ -7,7 +7,6 @@ any divergence is a compiler/runtime bug (wrong tweak, missed
 re-encryption, bad spill protection...).
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.compiler import (

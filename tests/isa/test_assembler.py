@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import AssemblerError
 from repro.isa import assemble, decode, disassemble
-from repro.isa.assembler import Assembler, DEFAULT_BASES
+from repro.isa.assembler import DEFAULT_BASES
 
 
 def text_words(program):

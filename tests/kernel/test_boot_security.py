@@ -60,7 +60,6 @@ class TestKeyHygiene:
         session = KernelSession(KernelConfig.full(), exit_program())
         session.run()
         # Replay the device stream deterministically.
-        rng = Rng(seed=session.machine.rng.state)  # final state; replay fresh
         fresh = Rng()
         stream = [fresh.read(0, 8) for _ in range(64)]
         for field in ("wrapped_ra_key_lo", "wrapped_ra_key_hi",

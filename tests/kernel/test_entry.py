@@ -71,7 +71,7 @@ class TestAsmGeneration:
     def test_chain_tweaks_are_predecessors(self):
         asm = generate_trap_entry(cip=True)
         # x17's encryption must use x16 as tweak.
-        line = next(l for l in asm if "cre" in l and "x17, x17" in l)
+        line = next(a for a in asm if "cre" in a and "x17, x17" in a)
         assert line.strip() == "creck x17, x17[7:0], x16"
 
 
@@ -152,7 +152,7 @@ class TestRoundTripFidelity:
         )
 
         def body(b, syscall):
-            pid = syscall(SYS_GETPID)
+            syscall(SYS_GETPID)
             parked = [b.move(Const(0xB0_0000 + i * 3)) for i in range(10)]
             i = b.func.new_reg(I64, "i")
             b._emit(Move(i, Const(0)))

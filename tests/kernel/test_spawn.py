@@ -9,7 +9,6 @@ from repro.kernel.structs import (
     CRED,
     MAX_THREADS,
     SYS_EXIT,
-    SYS_GETPID,
     SYS_GETUID,
     SYS_SPAWN,
     SYS_WRITE,

@@ -1,0 +1,323 @@
+"""Block fast-path tests: equivalence, invalidation, self-modifying code.
+
+The fast path's contract is *bit-identical architecture*: for any
+program, running through ``Hart.run_block`` must produce the same
+registers, memory, CSR storage, pc, privilege, cycle count and retired
+instruction count as single-stepping.  These tests compare complete
+machine snapshots across both modes, including a full kernel boot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.decoder import (
+    BLOCK_TERMINATORS,
+    DECODE_CACHE_MAX,
+    clear_decode_cache,
+    decode_cache_size,
+    decode_cached,
+    predecode,
+)
+from repro.machine.blockcache import (
+    MAX_BLOCK_INSTRUCTIONS,
+    BlockCache,
+    TranslatedBlock,
+)
+from repro.machine.memory import PAGE_SHIFT
+from tests.conftest import HALT, machine_with_keys
+
+
+def run_both(source: str, max_steps: int = 1_000_000):
+    """Run a snippet single-stepped and through the fast path."""
+    machines = []
+    for fast in (False, True):
+        machine = machine_with_keys(assemble(source))
+        machine.run(max_steps, fast=fast)
+        machines.append(machine)
+    return machines
+
+
+def snapshot(machine) -> dict:
+    """Complete architectural state: registers, memory, CSRs, counters."""
+    hart = machine.hart
+    return {
+        "regs": list(hart.regs._regs),
+        "pc": hart.pc,
+        "privilege": hart.privilege,
+        "cycles": hart.cycles,
+        "instret": hart.instret,
+        "csrs": dict(hart.csrs._storage),
+        "memory": {
+            index: bytes(page)
+            for index, page in machine.memory._pages.items()
+        },
+        "console": machine.console,
+        "halt": machine.halt_reason,
+        "exit_code": machine.exit_code,
+    }
+
+
+def assert_equivalent(slow, fast) -> None:
+    left, right = snapshot(slow), snapshot(fast)
+    for key in left:
+        assert left[key] == right[key], f"fast path diverged on {key}"
+
+
+class TestEquivalence:
+    def test_straight_line_alu(self):
+        slow, fast = run_both(f"""
+_start:
+    li a0, 1000
+    li a1, 7
+    mul a2, a0, a1
+    sub a3, a2, a0
+    xor a4, a3, a1
+    srli a5, a4, 3
+{HALT}
+""")
+        assert_equivalent(slow, fast)
+
+    def test_loop_with_branches_and_memory(self):
+        slow, fast = run_both(f"""
+_start:
+    li s0, 0
+    li s1, 0
+    li s2, 50
+    li s3, 0x08000000
+loop:
+    sd s1, 0(s3)
+    ld t0, 0(s3)
+    add s1, s1, t0
+    addi s1, s1, 3
+    addi s0, s0, 1
+    blt s0, s2, loop
+{HALT}
+""")
+        assert_equivalent(slow, fast)
+        assert fast.hart.blocks.translations > 0
+
+    def test_function_calls(self):
+        slow, fast = run_both(f"""
+_start:
+    li sp, 0x08100000
+    li a0, 11
+    jal ra, double
+    jal ra, double
+    j out
+double:
+    add a0, a0, a0
+    ret
+out:
+{HALT}
+""")
+        assert_equivalent(slow, fast)
+        assert fast.hart.regs.by_name("a0") == 44
+
+    def test_trap_mid_block(self):
+        # The unaligned load sits in the middle of a straight-line
+        # sequence; the trap must fire with pc/instret exactly as under
+        # single-stepping (no double trap entry, no lost retires).
+        slow, fast = run_both(f"""
+_start:
+    la t0, handler
+    csrrw x0, mtvec, t0
+    li a0, 1
+    li a1, 0x08000001
+    ld a2, 0(a1)
+    li a0, 2
+{HALT}
+handler:
+    csrrs a3, mepc, x0
+    addi a3, a3, 4
+    csrrw x0, mepc, a3
+    mret
+""")
+        assert_equivalent(slow, fast)
+
+    def test_csr_reads_counters_exactly(self):
+        # rdcycle/rdinstret-style CSR reads observe deferred counters;
+        # CSR ops terminate blocks so the sync must happen first.
+        slow, fast = run_both(f"""
+_start:
+    li s0, 0
+    li s1, 10
+loop:
+    addi s0, s0, 1
+    blt s0, s1, loop
+    csrrs a0, instret, x0
+    csrrs a1, cycle, x0
+{HALT}
+""")
+        assert_equivalent(slow, fast)
+        assert fast.hart.regs.by_name("a0") > 0
+
+
+class TestKernelEquivalence:
+    """Full kernel boots must be cycle-exact across interpreter modes."""
+
+    @pytest.mark.parametrize("config_name", ["baseline", "full"])
+    def test_boot_equivalence(self, config_name):
+        from repro.kernel.api import KernelSession
+        from repro.kernel.config import KernelConfig
+
+        config = getattr(KernelConfig, config_name)(num_threads=2)
+        results = {}
+        for fast in (False, True):
+            session = KernelSession(config)
+            session.machine.fast_path = fast
+            results[fast] = (
+                session.run(),
+                snapshot(session.machine),
+            )
+        slow_result, slow_snap = results[False]
+        fast_result, fast_snap = results[True]
+        assert slow_result == fast_result
+        for key in slow_snap:
+            assert slow_snap[key] == fast_snap[key], (
+                f"kernel boot ({config_name}) diverged on {key}"
+            )
+        assert slow_result.instructions > 500
+
+
+class TestSelfModifyingCode:
+    def test_patched_instruction_executes(self):
+        # Iteration 1 executes the original `addi s1, s1, 1` at `loop`,
+        # caching a block for it; the patch then rewrites that same
+        # (already-executed) pc to `addi s1, s1, 100` and jumps back.
+        # Iteration 2 must execute the *new* instruction: s1 == 101.
+        patch_word = assemble("_start:\naddi s1, s1, 100").flatten()[0][1]
+        encoding = int.from_bytes(patch_word[:4], "little")
+        source = f"""
+_start:
+    li s0, 0
+    li s1, 0
+loop:
+    addi s1, s1, 1
+    addi s0, s0, 1
+    li t0, 2
+    blt s0, t0, patch
+    j done
+patch:
+    la t1, loop
+    li t2, {encoding}
+    sw t2, 0(t1)
+    j loop
+done:
+{HALT}
+"""
+        slow, fast = run_both(source)
+        assert slow.hart.regs.by_name("s1") == 101
+        assert fast.hart.regs.by_name("s1") == 101
+        assert_equivalent(slow, fast)
+        assert fast.hart.blocks.invalidated_blocks > 0
+
+    def test_patch_of_next_instruction_in_same_block(self):
+        # The store rewrites the instruction *immediately after itself*
+        # — inside the very block being executed.  The write must break
+        # the block so the patched word (here: skip-the-trap) executes.
+        patch_word = assemble("_start:\naddi a0, a0, 40").flatten()[0][1]
+        encoding = int.from_bytes(patch_word[:4], "little")
+        source = f"""
+_start:
+    li a0, 2
+    la t1, target
+    li t2, {encoding}
+    sw t2, 0(t1)
+target:
+    ebreak
+{HALT}
+"""
+        slow, fast = run_both(source)
+        assert slow.hart.regs.by_name("a0") == 42
+        assert fast.hart.regs.by_name("a0") == 42
+        assert_equivalent(slow, fast)
+
+
+class TestDecodeCache:
+    def test_bounded_growth(self):
+        clear_decode_cache()
+        # addi x1, x1, imm for many distinct immediates -> distinct words.
+        base = 0x00108093
+        for imm in range(DECODE_CACHE_MAX + 64):
+            word = base | ((imm & 0x7FF) << 20)
+            decode_cached(word | ((imm & 0x1F000) << 8))
+        assert decode_cache_size() <= DECODE_CACHE_MAX
+        clear_decode_cache()
+        assert decode_cache_size() == 0
+
+    def test_failures_not_cached(self):
+        from repro.errors import DecodeError
+
+        clear_decode_cache()
+        with pytest.raises(DecodeError):
+            decode_cached(0xFFFFFFFF)
+        assert decode_cache_size() == 0
+
+    def test_hit_returns_same_instruction(self):
+        clear_decode_cache()
+        first = decode_cached(0x00A00513)  # li a0, 10
+        second = decode_cached(0x00A00513)
+        assert first is second
+
+
+class TestPredecode:
+    def test_stops_after_terminator(self):
+        words = [
+            0x00A00513,  # li a0, 10
+            0x00000463,  # beq x0, x0, +8
+            0x00A00513,  # unreachable straight-line-wise
+        ]
+        ins = predecode(words)
+        assert len(ins) == 2
+        assert ins[-1].mnemonic in BLOCK_TERMINATORS
+
+    def test_stops_before_undecodable(self):
+        ins = predecode([0x00A00513, 0xFFFFFFFF, 0x00A00513])
+        assert len(ins) == 1
+
+
+class TestBlockCache:
+    def _block(self, pc, n=2):
+        ops = tuple((None, None) for _ in range(n))
+        return TranslatedBlock(pc, ops, 10, BlockCache.pages_of(pc, n))
+
+    def test_insert_lookup_flush(self):
+        cache = BlockCache(capacity=4)
+        key = (0x1000, 3)
+        cache.insert(key, self._block(0x1000))
+        assert cache.lookup(key) is not None
+        assert cache.lookup((0x1000, 0)) is None  # other privilege
+        cache.flush()
+        assert cache.lookup(key) is None
+        assert len(cache) == 0
+
+    def test_capacity_flushes(self):
+        cache = BlockCache(capacity=4)
+        for i in range(10):
+            pc = 0x1000 + 0x100 * i
+            cache.insert((pc, 3), self._block(pc))
+        assert len(cache) <= 4
+        assert cache.flushes > 0
+
+    def test_invalidate_page_drops_straddling_blocks(self):
+        cache = BlockCache()
+        # A block straddling the page boundary occupies two pages.
+        pc = (1 << PAGE_SHIFT) - 4
+        block = self._block(pc, n=4)
+        assert len(block.pages) == 2
+        cache.insert((pc, 3), block)
+        dropped = cache.invalidate_page(1)
+        assert dropped == 1
+        assert cache.lookup((pc, 3)) is None
+        # The sibling page's index entry must not retain a stale key.
+        assert cache.invalidate_page(0) == 0
+
+    def test_max_block_length_respected(self):
+        body = "\n".join("addi a0, a0, 1" for _ in range(200))
+        machine = machine_with_keys(assemble(f"_start:\n{body}\n{HALT}"))
+        machine.run(fast=True)
+        assert machine.hart.regs.by_name("a0") == 200
+        for block in machine.hart.blocks._blocks.values():
+            assert len(block) <= MAX_BLOCK_INSTRUCTIONS

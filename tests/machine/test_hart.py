@@ -1,6 +1,5 @@
 """Hart execution tests: ALU semantics, memory, control flow, traps, CSRs."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.machine.trap import Cause
@@ -225,7 +224,6 @@ class TestTraps:
             csrr a0, mepc
             {HALT}
         """)
-        from repro.isa import assemble
 
         # mepc == address of the ecall == symbol fault_here
         program_symbols = machine.hart.regs.by_name("a0")

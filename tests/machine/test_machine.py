@@ -1,10 +1,9 @@
 """Machine/SoC tests: devices, halting, timer interrupts, timing."""
 
-import pytest
 
 from repro.isa import assemble
 from repro.machine import HaltReason, Machine
-from repro.machine.devices import CLINT_MTIME, CLINT_MTIMECMP, SYSCON_ADDR, UART_BASE
+from repro.machine.devices import CLINT_MTIME, CLINT_MTIMECMP, UART_BASE
 from tests.conftest import HALT, machine_with_keys, run_asm
 
 
