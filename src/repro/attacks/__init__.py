@@ -19,6 +19,20 @@ stopped it.
 """
 
 from repro.attacks.base import Attack, AttackResult
-from repro.attacks.suite import ALL_ATTACKS, run_attack, run_suite
+from repro.attacks.suite import (
+    ALL_ATTACKS,
+    format_table,
+    matrix_json,
+    run_attack,
+    run_suite,
+)
 
-__all__ = ["Attack", "AttackResult", "ALL_ATTACKS", "run_attack", "run_suite"]
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "ALL_ATTACKS",
+    "format_table",
+    "matrix_json",
+    "run_attack",
+    "run_suite",
+]

@@ -1,0 +1,69 @@
+"""Run the Table-4 penetration matrix: ``python -m repro.attacks``.
+
+Prints the human-readable matrix by default; ``--json`` emits the same
+results as a machine-readable document (schema ``repro.attacks/1``).
+Exit status is 0 when every protected configuration stopped every
+attack, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.attacks.suite import format_table, matrix_json, run_suite
+from repro.kernel import KernelConfig
+
+CONFIG_FACTORIES = {
+    "baseline": KernelConfig.baseline,
+    "ra": KernelConfig.ra_only,
+    "fp": KernelConfig.fp_only,
+    "noncontrol": KernelConfig.noncontrol_only,
+    "full": KernelConfig.full,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.attacks",
+        description="Run the RegVault penetration-test matrix (Table 4).",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the matrix as JSON instead of the text table",
+    )
+    parser.add_argument(
+        "--config",
+        action="append",
+        choices=sorted(CONFIG_FACTORIES),
+        metavar="NAME",
+        help="kernel build(s) to attack; repeatable "
+        "(default: baseline and full)",
+    )
+    parser.add_argument(
+        "--no-boot-cache",
+        action="store_true",
+        help="boot from reset for every cell instead of forking "
+        "a cached boot (slower, bit-identical results)",
+    )
+    args = parser.parse_args(argv)
+
+    configs = (
+        tuple(CONFIG_FACTORIES[name]() for name in args.config)
+        if args.config
+        else None
+    )
+    results = run_suite(configs, use_boot_cache=not args.no_boot_cache)
+    document = matrix_json(results)
+    if args.json:
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(format_table(results))
+    return 0 if document["defended"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

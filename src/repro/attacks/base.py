@@ -37,11 +37,23 @@ class Attack:
 
     name = "abstract"
     number = 0
+    #: Optional :class:`repro.kernel.BootCache` — when set (the suite
+    #: runner sets it), sessions fork a booted template instead of
+    #: booting from reset.  Results are bit-identical either way.
+    boot_cache = None
 
     def run(self, config: KernelConfig) -> AttackResult:
         raise NotImplementedError
 
     # -- helpers --------------------------------------------------------------
+
+    def session(self, config: KernelConfig, body):
+        """A :class:`KernelSession` for this scenario, boot-cached if set."""
+        from repro.kernel import KernelSession
+
+        return KernelSession(
+            config, self.user_program(body), boot_cache=self.boot_cache
+        )
 
     @staticmethod
     def user_program(body) -> Module:

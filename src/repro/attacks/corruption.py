@@ -13,7 +13,7 @@ with a chosen value and the kernel later consumes it.
 from __future__ import annotations
 
 from repro.attacks.base import Attack
-from repro.kernel import KernelConfig, KernelSession
+from repro.kernel import KernelConfig
 from repro.kernel.structs import CRED, SYS_EXIT, SYS_GETGID
 
 EVIL_GID = 0x31337
@@ -28,7 +28,7 @@ class CorruptionAttack(Attack):
             gid = syscall(SYS_GETGID)
             syscall(SYS_EXIT, gid)
 
-        session = KernelSession(config, self.user_program(body))
+        session = self.session(config, body)
         assert session.run_until(session.image.user_program.entry)
         gid_addr = session.thread_field_addr(0, "cred") + (
             session.image.field_offset(CRED, "gid")

@@ -20,7 +20,7 @@ import dataclasses
 from repro.attacks.base import Attack
 from repro.compiler.ir import Const, Move
 from repro.compiler.types import I64
-from repro.kernel import KernelConfig, KernelSession
+from repro.kernel import KernelConfig
 from repro.kernel.structs import SYS_EXIT, SYS_GETPID, SYS_WRITE
 
 MARKER = 0x13579BDF2468ACE0
@@ -51,14 +51,16 @@ class InterruptCorruptionAttack(Attack):
             b.block("victim")
             # Markers live in callee-saved registers across a busy loop
             # long enough to be timer-preempted.  Verdict on console:
-            # 'C' = silently corrupted, 'K' = intact.
+            # 'C' = silently corrupted, 'K' = intact.  3000 iterations
+            # span several 2500-cycle ticks — preemption is guaranteed
+            # well before the loop exits.
             markers = [b.move(Const(MARKER + i)) for i in range(6)]
             spin = b.func.new_reg(I64, "spin")
             b._emit(Move(spin, Const(0)))
             b.br("busy")
             b.block("busy")
             b._emit(Move(spin, b.add(spin, 1)))
-            more = b.cmp("lt", spin, 6000)
+            more = b.cmp("lt", spin, 3000)
             b.cond_br(more, "busy", "check")
             b.block("check")
             intact = b.move(Const(1))
@@ -80,19 +82,21 @@ class InterruptCorruptionAttack(Attack):
             b.block("accomplice")
             # Runs when the tick preempts the victim; signals the
             # attacker (breakpointed on sys_write), then spins so the
-            # next tick hands control back to the victim.
+            # next tick hands control back to the victim.  8000
+            # iterations outlast a dozen ticks — far more than the one
+            # needed to reschedule the victim.
             syscall(SYS_WRITE, Const(ord("!")))
             waste = b.func.new_reg(I64, "waste")
             b._emit(Move(waste, Const(0)))
             b.br("wait")
             b.block("wait")
             b._emit(Move(waste, b.add(waste, 1)))
-            again = b.cmp("lt", waste, 100000)
+            again = b.cmp("lt", waste, 8000)
             b.cond_br(again, "wait", "give_up")
             b.block("give_up")
             syscall(SYS_EXIT, Const(INTACT))
 
-        session = KernelSession(config, self.user_program(body))
+        session = self.session(config, body)
         # The accomplice only runs after the victim was preempted by
         # the timer — its saved context is an *interrupt* context.
         assert session.run_until("sys_write"), "victim was never preempted"

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.attacks.base import Attack, GADGET_EXIT
 from repro.compiler.ir import Const
-from repro.kernel import KernelConfig, KernelSession
+from repro.kernel import KernelConfig
 from repro.kernel.structs import SYS_EXIT, SYS_NOP
 
 
@@ -28,7 +28,7 @@ class JopAttack(Attack):
             syscall(SYS_NOP)          # the hijacked call
             syscall(SYS_EXIT, Const(7))
 
-        session = KernelSession(config, self.user_program(body))
+        session = self.session(config, body)
         # Boot fully (the table is initialized at boot), then strike
         # before the user program runs.
         assert session.run_until(session.image.user_program.entry)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro.attacks.base import Attack
 from repro.compiler.ir import Const
-from repro.kernel import KernelConfig, KernelSession
+from repro.kernel import KernelConfig
 from repro.kernel.structs import KERNEL_KEY, SYS_ADD_KEY, SYS_EXIT
 
 SECRET_LO = 0x5EC2E7000000AAAA
@@ -33,7 +33,7 @@ class LeakAttack(Attack):
             syscall(0x7, Const(0), Const(0))  # harmless second add_key
             syscall(SYS_EXIT, Const(0))
 
-        session = KernelSession(config, self.user_program(body))
+        session = self.session(config, body)
         # Run to completion; the keyring retains the key at rest.
         final = session.run()
         assert final.exit_code == 0

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro.attacks.base import Attack
 from repro.compiler.ir import Const
-from repro.kernel import KernelConfig, KernelSession
+from repro.kernel import KernelConfig
 from repro.kernel.structs import CRED, SYS_EXIT, SYS_GETUID, SYS_SETUID
 
 ROOT_MARKER = 0x900D  # exit code when the attacker verifies uid == 0
@@ -38,7 +38,7 @@ class PrivilegeEscalationAttack(Attack):
             b.block("not_rooted")
             syscall(SYS_EXIT, Const(1))
 
-        session = KernelSession(config, self.user_program(body))
+        session = self.session(config, body)
         assert session.run_until(session.image.user_program.entry)
         cred_base = session.thread_field_addr(0, "cred")
         for field_name in ("uid", "euid"):

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.attacks.base import Attack, GADGET_EXIT
 from repro.compiler.ir import Const
-from repro.kernel import KernelConfig, KernelSession
+from repro.kernel import KernelConfig
 from repro.kernel.structs import SYS_ADD_KEY, SYS_ENCRYPT, SYS_EXIT
 
 VICTIM = "sys_encrypt"
@@ -33,7 +33,7 @@ class RopAttack(Attack):
             syscall(SYS_ENCRYPT, Const(0x42), slot)
             syscall(SYS_EXIT, Const(7))
 
-        session = KernelSession(config, self.user_program(body))
+        session = self.session(config, body)
         frame = session.image.kernel_compiled.frames[VICTIM]
         assert frame.ra_offset is not None, "victim must be non-leaf"
 

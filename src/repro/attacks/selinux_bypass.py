@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.attacks.base import Attack
 from repro.compiler.ir import Const
-from repro.kernel import KernelConfig, KernelSession
+from repro.kernel import KernelConfig
 from repro.kernel.selinux import POLICY_ALLOW_BELOW
 from repro.kernel.structs import SELINUX_STATE, SYS_EXIT, SYS_SELINUX_CHECK
 
@@ -38,7 +38,7 @@ class SelinuxBypassAttack(Attack):
             b.block("denied")
             syscall(SYS_EXIT, Const(DENIED))
 
-        session = KernelSession(config, self.user_program(body))
+        session = self.session(config, body)
         assert session.run_until(session.image.user_program.entry)
         for field_name in ("initialized", "enforcing"):
             addr = session.field_addr(

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.attacks.base import Attack
 from repro.compiler.ir import Const
-from repro.kernel import KernelConfig, KernelSession
+from repro.kernel import KernelConfig
 from repro.kernel.structs import SYS_EXIT, SYS_NOP
 
 HIJACK_CODE = 0x7E
@@ -35,7 +35,7 @@ class SubstitutionAttack(Attack):
             syscall(SYS_NOP, Const(HIJACK_CODE))
             syscall(SYS_EXIT, Const(1))
 
-        session = KernelSession(config, self.user_program(body))
+        session = self.session(config, body)
         assert session.run_until(session.image.user_program.entry)
         table = session.symbol("syscall_table")
         exit_entry = session.read_u64(table + 8 * SYS_EXIT)

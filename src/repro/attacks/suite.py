@@ -27,22 +27,68 @@ ALL_ATTACKS: tuple[type[Attack], ...] = (
 
 
 def run_attack(
-    attack_cls: type[Attack], config: KernelConfig
+    attack_cls: type[Attack],
+    config: KernelConfig,
+    boot_cache=None,
 ) -> AttackResult:
-    return attack_cls().run(config)
+    attack = attack_cls()
+    if boot_cache is not None:
+        attack.boot_cache = boot_cache
+    return attack.run(config)
 
 
 def run_suite(
     configs: tuple[KernelConfig, ...] | None = None,
+    boot_cache=None,
+    use_boot_cache: bool = True,
 ) -> list[AttackResult]:
-    """Run every attack against every config (default: original vs full)."""
+    """Run every attack against every config (default: original vs full).
+
+    By default a fresh :class:`~repro.kernel.BootCache` serves the
+    whole matrix, so each config boots exactly once and every scenario
+    forks that boot copy-on-write.  Pass ``use_boot_cache=False`` to
+    boot from reset per cell (bit-identical results, much slower), or
+    pass an existing ``boot_cache`` to share templates across calls.
+    """
     if configs is None:
         configs = (KernelConfig.baseline(), KernelConfig.full())
+    if boot_cache is None and use_boot_cache:
+        from repro.kernel import BootCache
+
+        boot_cache = BootCache()
     results = []
     for attack_cls in ALL_ATTACKS:
         for config in configs:
-            results.append(run_attack(attack_cls, config))
+            results.append(run_attack(attack_cls, config, boot_cache))
     return results
+
+
+def matrix_json(results: list[AttackResult]) -> dict:
+    """The Table-4 matrix as a JSON-serializable document."""
+    configs: list[str] = []
+    for result in results:
+        if result.config not in configs:
+            configs.append(result.config)
+    return {
+        "schema": "repro.attacks/1",
+        "configs": configs,
+        "attacks": [
+            {
+                "attack": result.attack,
+                "config": result.config,
+                "succeeded": result.succeeded,
+                "blocked": result.blocked,
+                "symbol": result.symbol,
+                "outcome": result.outcome,
+            }
+            for result in results
+        ],
+        "defended": all(
+            not result.succeeded
+            for result in results
+            if result.config != "baseline"
+        ),
+    }
 
 
 def format_table(results: list[AttackResult]) -> str:

@@ -37,12 +37,20 @@ def run_workload(
     workload: Workload,
     config: KernelConfig,
     scale: float = 1.0,
+    boot_cache=None,
 ) -> Measurement:
-    """Build, boot and measure one workload under one config."""
+    """Build, boot and measure one workload under one config.
+
+    Cycle accounting starts at the first user instruction either way, so
+    serving the boot from a :class:`~repro.kernel.BootCache` fork does
+    not change any reported number — it only skips re-simulating boot.
+    """
     import dataclasses
 
     config = dataclasses.replace(config, num_threads=workload.num_threads)
-    session = KernelSession(config, workload.module(scale))
+    session = KernelSession(
+        config, workload.module(scale), boot_cache=boot_cache
+    )
     # Fast-forward boot; measure from the first user instruction.
     reached = session.run_until(
         session.image.user_program.entry, max_steps=workload.max_steps
@@ -86,14 +94,19 @@ def measure_matrix(
     workloads,
     configs=None,
     scale: float = 1.0,
+    boot_cache=None,
 ) -> dict[tuple[str, str], Measurement]:
-    """Measure every workload under every config."""
+    """Measure every workload under every config (one boot per config)."""
     if configs is None:
         configs = KernelConfig.figure5_matrix()
+    if boot_cache is None:
+        from repro.kernel import BootCache
+
+        boot_cache = BootCache()
     matrix = {}
     for workload in workloads:
         for config in configs:
-            measurement = run_workload(workload, config, scale)
+            measurement = run_workload(workload, config, scale, boot_cache)
             matrix[(workload.name, config.name)] = measurement
     return matrix
 
@@ -102,10 +115,13 @@ def correctness_check(workloads, configs=None, scale: float = 0.2) -> None:
     """Assert every workload computes the same result in every config."""
     if configs is None:
         configs = KernelConfig.figure5_matrix()
+    from repro.kernel import BootCache
+
+    boot_cache = BootCache()
     for workload in workloads:
         exit_codes = set()
         for config in configs:
-            measurement = run_workload(workload, config, scale)
+            measurement = run_workload(workload, config, scale, boot_cache)
             exit_codes.add(measurement.exit_code)
         if len(exit_codes) != 1:
             raise ReproError(

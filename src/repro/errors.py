@@ -69,3 +69,7 @@ class KernelError(ReproError):
 
 class AttackError(ReproError):
     """An attack scenario could not be staged (missing symbol...)."""
+
+
+class SnapshotError(ReproError):
+    """A machine snapshot could not be captured, serialized or restored."""

@@ -23,5 +23,6 @@ compiler backend.
 
 from repro.kernel.config import KernelConfig
 from repro.kernel.api import KernelSession
+from repro.kernel.bootcache import BootCache
 
-__all__ = ["KernelConfig", "KernelSession"]
+__all__ = ["BootCache", "KernelConfig", "KernelSession"]

@@ -61,7 +61,14 @@ class RunResult:
 
 
 class KernelSession:
-    """One booted machine + kernel + user program."""
+    """One booted machine + kernel + user program.
+
+    With ``boot_cache`` (a :class:`repro.kernel.bootcache.BootCache`),
+    the session machine is a copy-on-write fork of a template that
+    already booted this configuration, parked at the first user
+    instruction — bit-identical going forward to a machine booted from
+    reset, minus the repeated boot cost.
+    """
 
     def __init__(
         self,
@@ -69,11 +76,20 @@ class KernelSession:
         user_module: Module | None = None,
         master_key: int = DEFAULT_MASTER_KEY,
         image: KernelImage | None = None,
+        boot_cache=None,
     ):
         self.config = config or KernelConfig.full()
         self.image = image if image is not None else build_kernel(
             self.config, user_module
         )
+        machine = (
+            boot_cache.machine_for(self.image, master_key)
+            if boot_cache is not None
+            else None
+        )
+        if machine is not None:
+            self.machine = machine
+            return
         from repro.crypto.alternatives import CIPHER_MISS_CYCLES, make_cipher
 
         engine = CryptoEngine(

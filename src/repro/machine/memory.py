@@ -50,6 +50,11 @@ class Memory:
         #: invalidate stale translations (self-modifying code).
         self._watched_pages: set[int] = set()
         self._code_write_hooks: list = []
+        #: Pages shared copy-on-write with a forked Memory; the first
+        #: write to one replaces it with a private copy.
+        self._cow_pages: set[int] = set()
+        #: Number of COW page copies this instance has performed.
+        self.cow_copies = 0
 
     # -- code-write tracking -----------------------------------------------------
 
@@ -63,6 +68,31 @@ class Memory:
     def add_code_write_hook(self, hook) -> None:
         """Register ``hook(page_index)`` to run on writes to watched pages."""
         self._code_write_hooks.append(hook)
+
+    # -- copy-on-write forking ---------------------------------------------------
+
+    def fork(self) -> "Memory":
+        """Return a child sharing every current page copy-on-write.
+
+        Parent and child each mark today's pages as shared; whichever
+        side writes a shared page first replaces it with a private copy,
+        so neither can observe the other's subsequent writes.  Region
+        mapping and the watched-code-page set are copied; code-write
+        hooks are *not* — they bind to the parent's hart, and the
+        child's consumers must register their own.
+        """
+        child = Memory(strict=self.strict)
+        child.regions = list(self.regions)
+        shared = set(self._pages)
+        child._pages = dict(self._pages)
+        child._cow_pages = set(shared)
+        self._cow_pages |= shared
+        child._watched_pages = set(self._watched_pages)
+        return child
+
+    def shared_page_count(self) -> int:
+        """Pages still shared with a fork (not yet privately copied)."""
+        return len(self._cow_pages)
 
     # -- mapping ---------------------------------------------------------------
 
@@ -115,10 +145,18 @@ class Memory:
         return bytes(out)
 
     def write_bytes(self, address: int, data: bytes) -> None:
+        """Write ``data``; code-write hooks fire after the full write.
+
+        Hooks run at most once per watched page per call (a multi-page
+        write used to fire them once per written chunk), and only after
+        every byte has landed, so a block-invalidation hook observes the
+        fully-written page.
+        """
         self._check(address, len(data))
         offset = 0
         length = len(data)
         watched = self._watched_pages
+        touched: list[int] = []
         while offset < length:
             page_index = (address + offset) >> PAGE_SHIFT
             page_offset = (address + offset) & (PAGE_SIZE - 1)
@@ -127,13 +165,23 @@ class Memory:
             if page is None:
                 page = bytearray(PAGE_SIZE)
                 self._pages[page_index] = page
+            elif self._cow_pages and page_index in self._cow_pages:
+                # First write to a page shared with a fork: go private.
+                page = bytearray(page)
+                self._pages[page_index] = page
+                self._cow_pages.discard(page_index)
+                self.cow_copies += 1
             page[page_offset:page_offset + chunk] = data[
                 offset:offset + chunk
             ]
-            if watched and page_index in watched:
-                for hook in self._code_write_hooks:
-                    hook(page_index)
+            if watched and page_index in watched and (
+                not touched or touched[-1] != page_index
+            ):
+                touched.append(page_index)
             offset += chunk
+        for page_index in touched:
+            for hook in self._code_write_hooks:
+                hook(page_index)
 
     # -- typed access -----------------------------------------------------------
 
@@ -166,11 +214,35 @@ class Memory:
     # -- program loading ---------------------------------------------------------
 
     def load_program(self, program) -> None:
-        """Map and copy every section of an assembled Program."""
+        """Map and copy every section of an assembled Program.
+
+        A section already fully inside a mapped region reuses it; one
+        entirely in unmapped space gets a fresh page-rounded region.  A
+        section *partially* overlapping an existing region is reported
+        explicitly — the page-rounded mapping would otherwise fail with
+        an unhelpful generic region-overlap error.
+        """
         for section in program.sections.values():
             if not section.data:
                 continue
-            size = (len(section.data) + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
-            if not self.is_mapped(section.base, len(section.data)):
+            length = len(section.data)
+            size = (length + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+            if not self.is_mapped(section.base, length):
+                end = section.base + size
+                clash = next(
+                    (r for r in self.regions
+                     if section.base < r.end and r.base < end),
+                    None,
+                )
+                if clash is not None:
+                    raise ValueError(
+                        f"section {section.name!r} "
+                        f"[{section.base:#x}, {section.base + length:#x}) "
+                        f"partially overlaps region {clash.name!r} "
+                        f"[{clash.base:#x}, {clash.end:#x}): a section "
+                        "must lie fully inside one mapped region or in "
+                        "unmapped space (its mapping is page-rounded to "
+                        f"{size:#x} bytes)"
+                    )
                 self.map_region(section.name, section.base, size)
             self.write_bytes(section.base, bytes(section.data))

@@ -30,6 +30,17 @@ def format_report(report: dict) -> str:
                 f"{data['speedup']:>7.2f}x  "
                 f"{'yes' if data['equivalent'] else 'NO'}"
             )
+        elif data["kind"] == "snapshot":
+            # Columns repurposed: capture rate, fork rate, and the
+            # cold-vs-warm attack-suite wall-clock speedup.
+            suite = data["suite"]
+            lines.append(
+                f"{name:24s} {data['pages']:>10} "
+                f"{_rate(data['capture_per_second']):>12s} "
+                f"{_rate(data['fork_per_second']):>12s} "
+                f"{suite['speedup']:>7.2f}x  "
+                f"{'yes' if data['equivalent'] else 'NO'}"
+            )
         else:
             lines.append(
                 f"{name:24s} {data['operations']:>10} "

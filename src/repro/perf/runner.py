@@ -18,6 +18,7 @@ from repro.perf.workloads import (
     INTERP_WORKLOADS,
     WORKLOADS,
     run_attack_replay,
+    run_snapshot_workload,
 )
 
 SCHEMA = "repro.perf/1"
@@ -135,6 +136,30 @@ def _run_attack_replay(quick: bool, repeats: int) -> dict:
     }
 
 
+def _run_snapshot_workload(quick: bool) -> dict:
+    """Snapshot/fork throughput plus boot-cached attack-suite speedup.
+
+    Runs once regardless of ``repeats``: the macro half replays the
+    whole penetration matrix twice (cold and warm), which dwarfs any
+    scheduler noise the repeats would damp.
+    """
+    data = run_snapshot_workload(quick)
+    if not data["suite"]["equivalent"]:
+        raise EquivalenceError(
+            "snapshot: boot-cached attack suite changed verdicts"
+        )
+    return {
+        "kind": "snapshot",
+        "description": (
+            "Machine snapshot capture/serialize/restore and COW fork "
+            "throughput; attack suite cold (boot per cell) vs warm "
+            "(boot once per config, fork per cell)."
+        ),
+        "equivalent": True,
+        **data,
+    }
+
+
 def _run_engine_workload(workload, quick: bool, repeats: int) -> dict:
     best = None
     stats = None
@@ -182,6 +207,8 @@ def run_perf(
             )
     if "attack_replay" in selected:
         results["attack_replay"] = _run_attack_replay(quick, repeats)
+    if "snapshot" in selected:
+        results["snapshot"] = _run_snapshot_workload(quick)
     for workload in ENGINE_WORKLOADS:
         if workload.name in selected:
             results[workload.name] = _run_engine_workload(

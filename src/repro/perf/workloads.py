@@ -115,21 +115,30 @@ INTERP_WORKLOADS: tuple[InterpWorkload, ...] = (
 # -- attack-suite replay ---------------------------------------------------------
 
 
-def run_attack_replay(quick: bool) -> dict:
+def run_attack_replay(quick: bool, use_boot_cache: bool = True) -> dict:
     """Replay the Table-4 penetration tests; return outcome fingerprint.
 
     The fingerprint (attack, config, outcome) triples double as the
     equivalence check between interpreter modes: an attack suite that
     changes verdicts under the fast path means the fast path is wrong.
+
+    A fresh :class:`~repro.kernel.BootCache` serves each replay (one
+    boot per config, one fork per cell) unless ``use_boot_cache`` is
+    False.
     """
     from repro.attacks.suite import ALL_ATTACKS, run_attack
 
+    boot_cache = None
+    if use_boot_cache:
+        from repro.kernel import BootCache
+
+        boot_cache = BootCache()
     attacks = ALL_ATTACKS[:3] if quick else ALL_ATTACKS
     configs = (KernelConfig.baseline(), KernelConfig.full())
     fingerprint = []
     for attack_cls in attacks:
         for config in configs:
-            result = run_attack(attack_cls, config)
+            result = run_attack(attack_cls, config, boot_cache)
             fingerprint.append(
                 (result.attack, result.config, result.succeeded)
             )
@@ -137,6 +146,98 @@ def run_attack_replay(quick: bool) -> dict:
         "results": len(fingerprint),
         "succeeded": sum(1 for _, _, ok in fingerprint if ok),
         "fingerprint": fingerprint,
+    }
+
+
+# -- snapshot / fork throughput ---------------------------------------------------
+
+
+def run_snapshot_workload(quick: bool) -> dict:
+    """Measure snapshot capture/serialize/restore and COW-fork throughput.
+
+    Micro-benchmarks run against a fully-protected kernel parked at the
+    first user instruction; the macro number replays the attack suite
+    cold (boot from reset per cell) and warm (boot once per config,
+    fork per cell) and verifies the verdicts are identical.
+    """
+    import time
+
+    from repro import snapshot as snap
+    from repro.kernel import KernelSession
+
+    session = KernelSession(KernelConfig.full())
+    assert session.run_until(session.image.user_program.entry)
+    machine = session.machine
+
+    iterations = 5 if quick else 25
+
+    def timed(operation):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            operation()
+        return iterations / (time.perf_counter() - start)
+
+    reference = snap.capture(machine)
+    data = snap.to_bytes(reference)
+    rates = {
+        "capture_per_second": timed(lambda: snap.capture(machine)),
+        "serialize_per_second": timed(lambda: snap.to_bytes(reference)),
+        "deserialize_per_second": timed(lambda: snap.from_bytes(data)),
+        "restore_per_second": timed(lambda: snap.restore(reference)),
+        "fork_per_second": timed(lambda: snap.fork(machine)),
+    }
+
+    # Macro comparison — the two real operating points of the suite:
+    # cold start (fresh process: compile every kernel, boot from reset
+    # per cell) vs steady state (templates and build caches live: fork
+    # per cell).  A warm-up replay populates the caches off the clock,
+    # exactly as repeat invocations of the suite do in practice.
+    from repro.isa.decoder import clear_decode_cache
+    from repro.kernel.build import _KERNEL_CACHE
+
+    _KERNEL_CACHE.clear()
+    clear_decode_cache()
+    cold_start = time.perf_counter()
+    cold = run_attack_replay(quick, use_boot_cache=False)
+    cold_wall = time.perf_counter() - cold_start
+
+    from repro.attacks.suite import ALL_ATTACKS, run_attack
+    from repro.kernel import BootCache
+
+    boot_cache = BootCache()
+    attacks = ALL_ATTACKS[:3] if quick else ALL_ATTACKS
+    configs = (KernelConfig.baseline(), KernelConfig.full())
+
+    def replay() -> list:
+        fingerprint = []
+        for attack_cls in attacks:
+            for config in configs:
+                result = run_attack(attack_cls, config, boot_cache)
+                fingerprint.append(
+                    (result.attack, result.config, result.succeeded)
+                )
+        return fingerprint
+
+    warmup_fingerprint = replay()  # populates the templates off-clock
+    warm_start = time.perf_counter()
+    warm_fingerprint = replay()
+    warm_wall = time.perf_counter() - warm_start
+
+    return {
+        "pages": len(reference.memory.pages),
+        "snapshot_bytes": len(data),
+        "content_hash": reference.content_hash(),
+        **rates,
+        "suite": {
+            "attacks_run": cold["results"],
+            "equivalent": cold["fingerprint"] == warm_fingerprint
+            and cold["fingerprint"] == warmup_fingerprint,
+            "cold_wall_seconds": cold_wall,
+            "warm_wall_seconds": warm_wall,
+            "speedup": cold_wall / warm_wall,
+            "template_boots": boot_cache.boots,
+            "forks": boot_cache.forks,
+        },
     }
 
 
@@ -228,6 +329,8 @@ ENGINE_WORKLOADS: tuple[EngineWorkload, ...] = (
 
 
 #: Every workload name the CLI accepts, in report order.
-WORKLOADS: tuple[str, ...] = tuple(
-    w.name for w in INTERP_WORKLOADS
-) + ("attack_replay",) + tuple(w.name for w in ENGINE_WORKLOADS)
+WORKLOADS: tuple[str, ...] = (
+    tuple(w.name for w in INTERP_WORKLOADS)
+    + ("attack_replay", "snapshot")
+    + tuple(w.name for w in ENGINE_WORKLOADS)
+)

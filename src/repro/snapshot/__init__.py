@@ -1,0 +1,46 @@
+"""Machine checkpoint/restore with copy-on-write forking.
+
+Three entry points:
+
+* :func:`capture` / :func:`restore` — full checkpointing: every
+  architectural and modeled-microarchitectural bit of a
+  :class:`~repro.machine.machine.Machine` into a versioned,
+  deterministic :class:`MachineSnapshot` and back.  A restored machine
+  is bit-identical to the original going forward (derived caches
+  restart cold; SMC tracking is re-armed).
+* :func:`to_bytes` / :func:`from_bytes` (and :func:`save` /
+  :func:`load`) — deterministic binary serialization; equal state means
+  equal bytes, so :func:`content_hash` is a stable identity.
+* :func:`fork` — cheap in-process cloning: children share all current
+  memory pages copy-on-write and only copy what they write.  This is
+  what lets the attack suite and the benchmarks boot a kernel once and
+  fork it per scenario (:class:`repro.kernel.bootcache.BootCache`).
+
+See ``docs/snapshot.md`` for the format and the cache-interaction
+rules.
+"""
+
+from repro.snapshot.capture import capture
+from repro.snapshot.fork import fork
+from repro.snapshot.restore import restore
+from repro.snapshot.serialize import (
+    content_hash,
+    from_bytes,
+    load,
+    save,
+    to_bytes,
+)
+from repro.snapshot.state import SNAPSHOT_VERSION, MachineSnapshot
+
+__all__ = [
+    "MachineSnapshot",
+    "SNAPSHOT_VERSION",
+    "capture",
+    "content_hash",
+    "fork",
+    "from_bytes",
+    "load",
+    "restore",
+    "save",
+    "to_bytes",
+]

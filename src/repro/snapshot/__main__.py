@@ -1,0 +1,105 @@
+"""Snapshot round-trip smoke check: ``python -m repro.snapshot``.
+
+Boots a kernel to the first user instruction, captures a snapshot,
+serializes it to disk, restores a second machine from the serialized
+bytes, then runs both machines the same number of steps and asserts
+they retire identical instruction counts, cycle counts, console output
+and exit codes.  Exit status 0 means the round trip is exact; CI runs
+this and uploads the snapshot artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import snapshot as snap
+from repro.kernel import KernelConfig, KernelSession
+
+
+def _fingerprint(machine, reason) -> dict:
+    return {
+        "halt_reason": getattr(reason, "value", None),
+        "instret": machine.hart.instret,
+        "cycles": machine.hart.cycles,
+        "console": machine.console,
+        "exit_code": machine.exit_code,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.snapshot",
+        description="Machine snapshot round-trip smoke check.",
+    )
+    parser.add_argument(
+        "--config",
+        choices=("baseline", "ra", "fp", "noncontrol", "full"),
+        default="full",
+        help="kernel build to boot (default: full)",
+    )
+    parser.add_argument(
+        "--steps",
+        type=int,
+        default=10_000,
+        help="steps to run both machines after the snapshot point",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also write the serialized snapshot here",
+    )
+    args = parser.parse_args(argv)
+
+    factory = {
+        "baseline": KernelConfig.baseline,
+        "ra": KernelConfig.ra_only,
+        "fp": KernelConfig.fp_only,
+        "noncontrol": KernelConfig.noncontrol_only,
+        "full": KernelConfig.full,
+    }[args.config]
+    session = KernelSession(factory())
+    if not session.run_until(session.image.user_program.entry):
+        print("error: kernel never reached user space", file=sys.stderr)
+        return 1
+
+    snapshot = snap.capture(session.machine)
+    data = snap.to_bytes(snapshot)
+    if data != snap.to_bytes(snap.capture(session.machine)):
+        print("error: serialization is not deterministic", file=sys.stderr)
+        return 1
+    print(
+        f"snapshot: config={args.config} version={snapshot.version} "
+        f"pages={len(snapshot.memory.pages)} bytes={len(data)} "
+        f"sha256={snapshot.content_hash()[:16]}..."
+    )
+    if args.out:
+        with open(args.out, "wb") as handle:
+            handle.write(data)
+        print(f"wrote {args.out}")
+
+    restored = snap.restore(snap.from_bytes(data))
+    original_reason = session.machine.run(max_steps=args.steps)
+    restored_reason = restored.run(max_steps=args.steps)
+
+    original = _fingerprint(session.machine, original_reason)
+    clone = _fingerprint(restored, restored_reason)
+    if original != clone:
+        diffs = {
+            key: (original[key], clone[key])
+            for key in original
+            if original[key] != clone[key]
+        }
+        print(f"MISMATCH after {args.steps} steps: {diffs}", file=sys.stderr)
+        return 1
+    print(
+        f"round trip exact over {args.steps} steps: "
+        f"instret={original['instret']} cycles={original['cycles']} "
+        f"halt={original['halt_reason']} exit={original['exit_code']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

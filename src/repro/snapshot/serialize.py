@@ -1,0 +1,239 @@
+"""Deterministic binary serialization for machine snapshots.
+
+Layout (little-endian)::
+
+    +--------+---------+-----------+-----------+-----------+--------+
+    | magic  | version | meta len  | meta JSON | blob len  | blob   |
+    | 6 B    | u16     | u32       | ...       | u32       | ...    |
+    +--------+---------+-----------+-----------+-----------+--------+
+
+``meta`` is canonical JSON (sorted keys, no whitespace) holding every
+scalar field; ``blob`` is the zlib-compressed concatenation of the raw
+4 KiB pages in ascending page-index order (the indices live in meta).
+The same machine state always produces the same bytes, so
+``sha256(to_bytes(snapshot))`` is a stable content hash.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import struct
+import zlib
+
+from repro.errors import SnapshotError
+from repro.machine.memory import PAGE_SIZE
+from repro.snapshot.state import (
+    SNAPSHOT_VERSION,
+    CLBState,
+    DeviceState,
+    EngineState,
+    HartState,
+    MachineSnapshot,
+    MemoryState,
+)
+
+MAGIC = b"RVSNAP"
+#: Fixed compression level keeps the byte stream deterministic.
+_ZLIB_LEVEL = 6
+
+
+def _meta_dict(snapshot: MachineSnapshot) -> dict:
+    hart = snapshot.hart
+    memory = snapshot.memory
+    devices = snapshot.devices
+    engine = snapshot.engine
+    return {
+        "version": snapshot.version,
+        "fast_path": snapshot.fast_path,
+        "halt_reason": snapshot.halt_reason,
+        "hart": {
+            "regs": list(hart.regs),
+            "pc": hart.pc,
+            "privilege": hart.privilege,
+            "cycles": hart.cycles,
+            "instret": hart.instret,
+            "wfi": hart.waiting_for_interrupt,
+        },
+        "csrs": {str(addr): value for addr, value in snapshot.csrs.items()},
+        "memory": {
+            "strict": memory.strict,
+            "regions": [list(region) for region in memory.regions],
+            "watched": list(memory.watched_pages),
+            "page_indices": sorted(memory.pages),
+        },
+        "devices": {
+            "clint_mtime": devices.clint_mtime,
+            "clint_mtimecmp": devices.clint_mtimecmp,
+            "shutdown_requested": devices.shutdown_requested,
+            "exit_code": devices.exit_code,
+            "uart": base64.b64encode(devices.uart_output).decode("ascii"),
+            "rng_state": devices.rng_state,
+        },
+        "engine": {
+            "cipher": engine.cipher,
+            "miss_cycles": engine.miss_cycles,
+            "hit_cycles": engine.hit_cycles,
+            "keys": [list(key) for key in engine.keys],
+            "stats": {
+                **{
+                    name: value
+                    for name, value in engine.stats.items()
+                    if name != "per_key"
+                },
+                "per_key": {
+                    str(ksel): count
+                    for ksel, count in engine.stats["per_key"].items()
+                },
+            },
+            "clb": {
+                "num_entries": engine.clb.num_entries,
+                "clock": engine.clb.clock,
+                "entries": [list(entry) for entry in engine.clb.entries],
+                "stats": engine.clb.stats,
+            },
+        },
+        "cost": snapshot.cost,
+    }
+
+
+def to_bytes(snapshot: MachineSnapshot) -> bytes:
+    """Serialize; deterministic for equal machine state."""
+    if not snapshot.memory.pages_captured:
+        raise SnapshotError(
+            "fork-style snapshot (no page contents) cannot be serialized"
+        )
+    meta = json.dumps(
+        _meta_dict(snapshot), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    raw_pages = b"".join(
+        snapshot.memory.pages[index]
+        for index in sorted(snapshot.memory.pages)
+    )
+    blob = zlib.compress(raw_pages, _ZLIB_LEVEL)
+    return b"".join(
+        (
+            MAGIC,
+            struct.pack("<H", snapshot.version),
+            struct.pack("<I", len(meta)),
+            meta,
+            struct.pack("<I", len(blob)),
+            blob,
+        )
+    )
+
+
+def from_bytes(data: bytes) -> MachineSnapshot:
+    """Parse bytes produced by :func:`to_bytes`."""
+    if len(data) < len(MAGIC) + 6 or not data.startswith(MAGIC):
+        raise SnapshotError("not a RegVault machine snapshot (bad magic)")
+    offset = len(MAGIC)
+    (version,) = struct.unpack_from("<H", data, offset)
+    offset += 2
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot version {version} not supported "
+            f"(expected {SNAPSHOT_VERSION})"
+        )
+    (meta_len,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    try:
+        meta = json.loads(data[offset:offset + meta_len].decode("utf-8"))
+    except ValueError as error:
+        raise SnapshotError(f"corrupt snapshot metadata: {error}") from None
+    offset += meta_len
+    (blob_len,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    raw_pages = zlib.decompress(data[offset:offset + blob_len])
+
+    indices = meta["memory"]["page_indices"]
+    if len(raw_pages) != PAGE_SIZE * len(indices):
+        raise SnapshotError(
+            f"page blob holds {len(raw_pages)} bytes, expected "
+            f"{PAGE_SIZE * len(indices)}"
+        )
+    pages = {
+        index: raw_pages[i * PAGE_SIZE:(i + 1) * PAGE_SIZE]
+        for i, index in enumerate(indices)
+    }
+
+    hart = meta["hart"]
+    devices = meta["devices"]
+    engine = meta["engine"]
+    return MachineSnapshot(
+        version=version,
+        fast_path=meta["fast_path"],
+        halt_reason=meta["halt_reason"],
+        hart=HartState(
+            regs=tuple(hart["regs"]),
+            pc=hart["pc"],
+            privilege=hart["privilege"],
+            cycles=hart["cycles"],
+            instret=hart["instret"],
+            waiting_for_interrupt=hart["wfi"],
+        ),
+        csrs={int(addr): value for addr, value in meta["csrs"].items()},
+        memory=MemoryState(
+            strict=meta["memory"]["strict"],
+            regions=tuple(
+                (name, base, size)
+                for name, base, size in meta["memory"]["regions"]
+            ),
+            watched_pages=tuple(meta["memory"]["watched"]),
+            pages=pages,
+        ),
+        devices=DeviceState(
+            clint_mtime=devices["clint_mtime"],
+            clint_mtimecmp=devices["clint_mtimecmp"],
+            shutdown_requested=devices["shutdown_requested"],
+            exit_code=devices["exit_code"],
+            uart_output=base64.b64decode(devices["uart"]),
+            rng_state=devices["rng_state"],
+        ),
+        engine=EngineState(
+            cipher=engine["cipher"],
+            miss_cycles=engine["miss_cycles"],
+            hit_cycles=engine["hit_cycles"],
+            keys=tuple(tuple(key) for key in engine["keys"]),
+            stats={
+                **{
+                    name: value
+                    for name, value in engine["stats"].items()
+                    if name != "per_key"
+                },
+                "per_key": {
+                    int(ksel): count
+                    for ksel, count in engine["stats"]["per_key"].items()
+                },
+            },
+            clb=CLBState(
+                num_entries=engine["clb"]["num_entries"],
+                clock=engine["clb"]["clock"],
+                entries=tuple(
+                    tuple(entry) for entry in engine["clb"]["entries"]
+                ),
+                stats=engine["clb"]["stats"],
+            ),
+        ),
+        cost=meta["cost"],
+    )
+
+
+def content_hash(snapshot: MachineSnapshot) -> str:
+    """Stable SHA-256 hex digest of the canonical serialized form."""
+    return hashlib.sha256(to_bytes(snapshot)).hexdigest()
+
+
+def save(snapshot: MachineSnapshot, path) -> int:
+    """Write the snapshot to ``path``; return the byte count."""
+    data = to_bytes(snapshot)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return len(data)
+
+
+def load(path) -> MachineSnapshot:
+    """Read a snapshot previously written with :func:`save`."""
+    with open(path, "rb") as handle:
+        return from_bytes(handle.read())

@@ -1,0 +1,123 @@
+"""Snapshot state containers.
+
+A :class:`MachineSnapshot` is a frozen, self-contained description of a
+:class:`repro.machine.machine.Machine` at one instruction boundary: the
+complete architectural state (registers, PC, privilege, CSRs, memory
+pages and regions) plus the microarchitectural state the simulator
+models explicitly (CLB entries and statistics, engine counters, cycle
+and instret counters, device registers).
+
+What is deliberately *not* captured:
+
+* translated basic blocks and the shared decode cache — both are
+  derived caches; a restored machine starts with them empty (and the
+  process-wide decode cache is dropped on restore, see
+  :mod:`repro.snapshot.restore`);
+* Python-level callbacks (code-write hooks, CLB key listeners, counter
+  hooks) — these bind to live objects and are re-created when the
+  restored machine is constructed.
+
+Everything in this module is plain data: ints, strings, bytes, tuples
+and dicts of the same, so snapshots serialize deterministically (see
+:mod:`repro.snapshot.serialize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Bump when the snapshot layout changes incompatibly.
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class HartState:
+    """Architectural hart state (registers, PC, privilege, counters)."""
+
+    regs: tuple  # 32 ints, x0 included
+    pc: int
+    privilege: int
+    cycles: int
+    instret: int
+    waiting_for_interrupt: bool
+
+
+@dataclass(frozen=True)
+class MemoryState:
+    """Sparse memory: regions, allocated pages and SMC-watched pages.
+
+    ``pages`` may be empty when the snapshot was captured for an
+    in-process fork (the forked Memory carries the pages itself); such
+    snapshots are marked ``pages_captured=False`` and refuse to
+    serialize.
+    """
+
+    strict: bool
+    regions: tuple  # ((name, base, size), ...)
+    watched_pages: tuple  # sorted page indices
+    pages: dict  # page index -> bytes (PAGE_SIZE each)
+    pages_captured: bool = True
+
+
+@dataclass(frozen=True)
+class DeviceState:
+    """CLINT + SYSCON + UART + RNG registers."""
+
+    clint_mtime: int
+    clint_mtimecmp: int
+    shutdown_requested: bool
+    exit_code: int
+    uart_output: bytes
+    rng_state: int
+
+
+@dataclass(frozen=True)
+class CLBState:
+    """Cryptographic lookaside buffer: every line plus statistics."""
+
+    num_entries: int
+    clock: int
+    #: ((valid, ksel, tweak, plaintext, ciphertext, last_use), ...)
+    entries: tuple
+    stats: dict  # field name -> int
+
+
+@dataclass(frozen=True)
+class EngineState:
+    """Crypto-engine: cipher identity, key material, CLB, counters."""
+
+    #: {"name": "qarma"|"xor"|"xex", "rounds": int, "sbox": int}
+    cipher: dict
+    miss_cycles: int
+    hit_cycles: int
+    #: ((ksel, hi, lo), ...) — the eight key registers, master included.
+    keys: tuple
+    #: encryptions/decryptions/integrity_faults/cycles + per_key {int: n}
+    stats: dict
+    clb: CLBState
+
+
+@dataclass(frozen=True)
+class MachineSnapshot:
+    """One complete machine checkpoint."""
+
+    hart: HartState
+    csrs: dict  # csr address -> value
+    memory: MemoryState
+    devices: DeviceState
+    engine: EngineState
+    cost: dict  # CostModel field name -> int
+    fast_path: bool
+    halt_reason: str | None
+    version: int = SNAPSHOT_VERSION
+    _hash_cache: list = field(
+        default_factory=list, repr=False, compare=False
+    )
+
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical serialized form (cached)."""
+        if not self._hash_cache:
+            from repro.snapshot.serialize import content_hash
+
+            self._hash_cache.append(content_hash(self))
+        return self._hash_cache[0]

@@ -86,6 +86,80 @@ class TestAccess:
         assert memory.read_bytes(address, len(payload)) == payload
 
 
+class TestStrictEdges:
+    def test_negative_address_write_faults(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.write_u8(-1, 0xFF)
+
+    def test_read_straddling_adjacent_regions_faults(self):
+        """Two back-to-back regions: an access may not span both."""
+        memory = Memory()
+        memory.map_region("low", 0x1000, 0x1000)
+        memory.map_region("high", 0x2000, 0x1000)
+        with pytest.raises(MemoryFault):
+            memory.read_u64(0x2000 - 4)
+        # Each side is individually fine.
+        assert memory.read_u64(0x2000 - 8) == 0
+        assert memory.read_u64(0x2000) == 0
+
+    def test_write_straddling_adjacent_regions_faults(self):
+        memory = Memory()
+        memory.map_region("low", 0x1000, 0x1000)
+        memory.map_region("high", 0x2000, 0x1000)
+        with pytest.raises(MemoryFault):
+            memory.write_u64(0x2000 - 4, 1)
+
+    def test_region_overlap_rejected_at_either_edge(self, mem):
+        with pytest.raises(ValueError, match="overlaps"):
+            mem.map_region("head", 0x800, 0x900)   # overlaps ram start
+        with pytest.raises(ValueError, match="overlaps"):
+            mem.map_region("tail", 0x10FFF, 0x10)  # overlaps ram end
+        mem.map_region("above", 0x11000, 0x10)     # adjacent is fine
+
+
+class TestCodeWriteHooks:
+    def test_hook_fires_once_per_page_per_write(self, mem):
+        calls = []
+        mem.add_code_write_hook(calls.append)
+        mem.watch_code_page(0x2000 // PAGE_SIZE)
+        mem.write_bytes(0x2000, bytes(300))
+        assert calls == [0x2000 // PAGE_SIZE]
+
+    def test_hook_fires_per_watched_page_across_boundary(self):
+        memory = Memory()
+        memory.map_region("ram", 0x1000, 0x10000)
+        calls = []
+        memory.add_code_write_hook(calls.append)
+        first = 0x2000 // PAGE_SIZE
+        second = first + 1
+        memory.watch_code_page(first)
+        memory.watch_code_page(second)
+        start = 0x2000 + PAGE_SIZE - 16
+        memory.write_bytes(start, bytes(32))  # straddles both pages
+        assert calls == [first, second]
+
+    def test_hook_runs_after_write_completes(self):
+        memory = Memory()
+        memory.map_region("ram", 0x1000, 0x10000)
+        seen = []
+        page = 0x2000 // PAGE_SIZE
+
+        def hook(page_index):
+            seen.append(memory.read_bytes(0x2000 + PAGE_SIZE - 4, 8))
+
+        memory.add_code_write_hook(hook)
+        memory.watch_code_page(page)
+        memory.write_bytes(0x2000 + PAGE_SIZE - 4, b"\xAA" * 8)
+        # The hook observed the full cross-page write, not a prefix.
+        assert seen == [b"\xAA" * 8]
+
+    def test_unwatched_page_does_not_fire(self, mem):
+        calls = []
+        mem.add_code_write_hook(calls.append)
+        mem.write_bytes(0x2000, bytes(64))
+        assert calls == []
+
+
 class TestProgramLoading:
     def test_load_program(self):
         from repro.isa import assemble
@@ -94,3 +168,40 @@ class TestProgramLoading:
         memory = Memory()
         memory.load_program(program)
         assert memory.read_u64(program.symbols["value"]) == 0x42
+
+    def test_load_into_existing_region(self):
+        from repro.isa import assemble
+
+        program = assemble("nop\n.data\nvalue: .dword 0x42")
+        memory = Memory()
+        data = program.sections[".data"]
+        memory.map_region("prewired", data.base, 0x10000)
+        regions_before = len(memory.regions) + 1  # .text gets its own
+        memory.load_program(program)
+        assert len(memory.regions) == regions_before
+        assert memory.read_u64(program.symbols["value"]) == 0x42
+
+    def test_partial_overlap_reported_explicitly(self):
+        from repro.isa import assemble
+
+        program = assemble("nop\n.data\nvalue: .dword 0x42")
+        memory = Memory()
+        data = program.sections[".data"]
+        # A region covering only part of the page-rounded section span.
+        memory.map_region("stub", data.base + PAGE_SIZE // 2, 0x100)
+        with pytest.raises(ValueError, match="partially overlaps"):
+            memory.load_program(program)
+
+    def test_partial_overlap_message_names_section_and_region(self):
+        from repro.isa import assemble
+
+        program = assemble("nop\n.data\nvalue: .dword 0x42")
+        memory = Memory()
+        data = program.sections[".data"]
+        memory.map_region("stub", data.base + PAGE_SIZE // 2, 0x100)
+        with pytest.raises(ValueError) as excinfo:
+            memory.load_program(program)
+        message = str(excinfo.value)
+        assert ".data" in message
+        assert "stub" in message
+        assert "page-rounded" in message

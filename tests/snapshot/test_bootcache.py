@@ -1,0 +1,89 @@
+"""BootCache: boot-once-fork-per-scenario session serving."""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack
+from repro.attacks.suite import format_table, run_suite
+from repro.compiler.ir import Const
+from repro.kernel import BootCache, KernelConfig, KernelSession
+from repro.kernel.structs import SYS_EXIT
+
+
+def _exit_module(code: int):
+    def body(b, syscall):
+        syscall(SYS_EXIT, Const(code))
+
+    return Attack.user_program(body)
+
+
+class TestCachedSessions:
+    def test_cached_session_matches_fresh_boot(self):
+        cache = BootCache()
+        for config in (KernelConfig.baseline(), KernelConfig.full()):
+            fresh = KernelSession(config, _exit_module(42)).run()
+            cached = KernelSession(
+                config, _exit_module(42), boot_cache=cache
+            ).run()
+            assert (fresh.halt_reason, fresh.exit_code, fresh.console,
+                    fresh.cycles, fresh.instructions) == (
+                cached.halt_reason, cached.exit_code, cached.console,
+                cached.cycles, cached.instructions)
+        assert cache.boots == 2
+        assert cache.forks == 2
+        assert cache.fallbacks == 0
+
+    def test_one_boot_per_config_many_sessions(self):
+        cache = BootCache()
+        config = KernelConfig.full()
+        codes = [
+            KernelSession(
+                config, _exit_module(c), boot_cache=cache
+            ).run().exit_code
+            for c in (3, 5, 7)
+        ]
+        assert codes == [3, 5, 7]
+        assert cache.boots == 1
+        assert cache.forks == 3
+
+    def test_distinct_configs_get_distinct_templates(self):
+        cache = BootCache()
+        KernelSession(
+            KernelConfig.baseline(), _exit_module(1), boot_cache=cache
+        )
+        KernelSession(
+            KernelConfig.full(), _exit_module(1), boot_cache=cache
+        )
+        assert cache.boots == 2
+        assert len(cache) == 2
+
+
+class TestSuiteEquivalence:
+    def test_suite_byte_identical_and_one_boot_per_config(self):
+        cold = run_suite(use_boot_cache=False)
+        cache = BootCache()
+        warm = run_suite(boot_cache=cache)
+        assert format_table(cold) == format_table(warm)
+        assert [
+            (r.attack, r.config, r.succeeded, r.outcome) for r in cold
+        ] == [
+            (r.attack, r.config, r.succeeded, r.outcome) for r in warm
+        ]
+        # One template boot per distinct kernel configuration (the
+        # interrupt attack uses its own timer/thread configs).
+        assert cache.boots == len(cache)
+        assert cache.fallbacks == 0
+        assert cache.forks == len(warm)
+
+
+class TestBenchEquivalence:
+    def test_bench_measurement_identical_with_cache(self):
+        from repro.bench.runner import run_workload
+        from repro.bench.workloads.lmbench import SUITE
+
+        workload = SUITE[0]
+        config = KernelConfig.full()
+        fresh = run_workload(workload, config, scale=0.1)
+        cached = run_workload(
+            workload, config, scale=0.1, boot_cache=BootCache()
+        )
+        assert fresh == cached

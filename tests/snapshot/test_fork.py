@@ -1,0 +1,117 @@
+"""Copy-on-write fork tests: Memory.fork and snapshot.fork."""
+
+from __future__ import annotations
+
+from repro import snapshot as snap
+from repro.kernel import KernelConfig, KernelSession
+from repro.machine.memory import PAGE_SIZE, Memory
+
+
+def _booted_session(config=None) -> KernelSession:
+    session = KernelSession(config or KernelConfig.full())
+    assert session.run_until(session.image.user_program.entry)
+    return session
+
+
+class TestMemoryFork:
+    def test_child_sees_parent_pages(self):
+        parent = Memory()
+        parent.map_region("ram", 0x1000, 0x10000)
+        parent.write_u64(0x2000, 0xDEADBEEF)
+        child = parent.fork()
+        assert child.read_u64(0x2000) == 0xDEADBEEF
+
+    def test_child_write_invisible_to_parent(self):
+        parent = Memory()
+        parent.map_region("ram", 0x1000, 0x10000)
+        parent.write_u64(0x2000, 1)
+        child = parent.fork()
+        child.write_u64(0x2000, 2)
+        assert parent.read_u64(0x2000) == 1
+        assert child.read_u64(0x2000) == 2
+        assert child.cow_copies == 1
+
+    def test_parent_write_invisible_to_child(self):
+        parent = Memory()
+        parent.map_region("ram", 0x1000, 0x10000)
+        parent.write_u64(0x2000, 1)
+        child = parent.fork()
+        parent.write_u64(0x2000, 3)
+        assert child.read_u64(0x2000) == 1
+        assert parent.cow_copies == 1
+
+    def test_multiple_children_are_independent(self):
+        parent = Memory()
+        parent.map_region("ram", 0x1000, 0x10000)
+        parent.write_u64(0x2000, 7)
+        children = [parent.fork() for _ in range(4)]
+        for i, child in enumerate(children):
+            child.write_u64(0x2000, 100 + i)
+        assert parent.read_u64(0x2000) == 7
+        assert [c.read_u64(0x2000) for c in children] == [100, 101, 102, 103]
+
+    def test_only_written_pages_copied(self):
+        parent = Memory()
+        parent.map_region("ram", 0x1000, 0x10000)
+        for i in range(8):
+            parent.write_u64(0x1000 + i * PAGE_SIZE, i)
+        child = parent.fork()
+        shared_before = child.shared_page_count()
+        child.write_u64(0x1000, 99)
+        assert child.cow_copies == 1
+        assert child.shared_page_count() == shared_before - 1
+
+    def test_fresh_page_write_in_child_no_copy(self):
+        parent = Memory()
+        parent.map_region("ram", 0x1000, 0x10000)
+        parent.write_u64(0x1000, 1)
+        child = parent.fork()
+        # A page neither side has touched yet is allocated, not copied.
+        child.write_u64(0x1000 + 4 * PAGE_SIZE, 2)
+        assert child.cow_copies == 0
+        assert parent.read_u64(0x1000 + 4 * PAGE_SIZE) == 0
+
+
+class TestMachineFork:
+    def test_forked_kernel_runs_identically(self):
+        session = _booted_session()
+        clone = snap.fork(session.machine)
+
+        original_reason = session.machine.run(max_steps=200_000)
+        clone_reason = clone.run(max_steps=200_000)
+        assert original_reason == clone_reason
+        assert clone.hart.instret == session.machine.hart.instret
+        assert clone.hart.cycles == session.machine.hart.cycles
+        assert clone.console == session.machine.console
+        assert clone.exit_code == session.machine.exit_code
+
+    def test_sibling_forks_are_isolated(self):
+        session = _booted_session(KernelConfig.baseline())
+        first = snap.fork(session.machine)
+        second = snap.fork(session.machine)
+        probe = session.image.symbol("syscall_table")
+        original = session.machine.memory.read_u64(probe)
+        first.memory.write_u64(probe, 0x1111)
+        assert first.memory.read_u64(probe) == 0x1111
+        assert second.memory.read_u64(probe) == original
+        assert session.machine.memory.read_u64(probe) == original
+
+    def test_fork_shares_cipher_object(self):
+        session = _booted_session()
+        clone = snap.fork(session.machine)
+        assert clone.engine.cipher is session.machine.engine.cipher
+
+    def test_child_code_write_invalidates_child_blocks(self):
+        """SMC in a forked child must invalidate its own translations."""
+        session = _booted_session(KernelConfig.baseline())
+        entry = session.image.user_program.entry
+        clone = snap.fork(session.machine)
+        clone.run(max_steps=50)  # translate blocks starting at the entry
+        assert clone.hart.blocks.translations > 0
+        before = clone.hart.blocks.invalidated_blocks
+        # Overwrite the first user instruction: its page holds a
+        # translated block, so the child's hook must invalidate it.
+        clone.memory.write_u32(entry, 0x00000013)  # nop
+        assert clone.hart.blocks.invalidated_blocks > before
+        # The parent's memory and translations are untouched.
+        assert session.machine.memory.read_u32(entry) != 0x00000013

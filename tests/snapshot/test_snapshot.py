@@ -1,0 +1,123 @@
+"""Snapshot capture/serialize/restore round-trip tests."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro import snapshot as snap
+from repro.errors import SnapshotError
+from repro.kernel import KernelConfig, KernelSession
+from repro.snapshot.serialize import MAGIC
+
+
+def _booted_session(config=None) -> KernelSession:
+    session = KernelSession(config or KernelConfig.full())
+    assert session.run_until(session.image.user_program.entry)
+    return session
+
+
+def _fingerprint(machine, reason) -> dict:
+    return {
+        "halt_reason": reason,
+        "instret": machine.hart.instret,
+        "cycles": machine.hart.cycles,
+        "console": machine.console,
+        "exit_code": machine.exit_code,
+    }
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [KernelConfig.baseline, KernelConfig.full],
+        ids=["baseline", "full"],
+    )
+    def test_restored_machine_is_bit_identical(self, factory):
+        session = _booted_session(factory())
+        restored = snap.restore(snap.capture(session.machine))
+
+        original_reason = session.machine.run(max_steps=200_000)
+        restored_reason = restored.run(max_steps=200_000)
+        assert _fingerprint(session.machine, original_reason) == (
+            _fingerprint(restored, restored_reason)
+        )
+
+    def test_restore_through_bytes(self):
+        session = _booted_session()
+        data = snap.to_bytes(snap.capture(session.machine))
+        restored = snap.restore(snap.from_bytes(data))
+
+        original_reason = session.machine.run(max_steps=200_000)
+        restored_reason = restored.run(max_steps=200_000)
+        assert _fingerprint(session.machine, original_reason) == (
+            _fingerprint(restored, restored_reason)
+        )
+
+    def test_mid_run_capture(self):
+        session = _booted_session()
+        session.machine.run(max_steps=200)
+        restored = snap.restore(snap.capture(session.machine))
+        assert restored.hart.pc == session.machine.hart.pc
+        assert restored.hart.instret == session.machine.hart.instret
+
+        original_reason = session.machine.run(max_steps=200_000)
+        restored_reason = restored.run(max_steps=200_000)
+        assert _fingerprint(session.machine, original_reason) == (
+            _fingerprint(restored, restored_reason)
+        )
+
+    def test_restore_preserves_console_so_far(self):
+        session = _booted_session()
+        restored = snap.restore(snap.capture(session.machine))
+        assert restored.console == session.machine.console
+
+
+class TestSerialization:
+    def test_deterministic_bytes(self):
+        session = _booted_session()
+        first = snap.to_bytes(snap.capture(session.machine))
+        second = snap.to_bytes(snap.capture(session.machine))
+        assert first == second
+
+    def test_content_hash_stable_and_state_sensitive(self):
+        session = _booted_session()
+        snapshot = snap.capture(session.machine)
+        assert snapshot.content_hash() == snapshot.content_hash()
+
+        session.machine.run(max_steps=50)
+        assert snap.capture(session.machine).content_hash() != (
+            snapshot.content_hash()
+        )
+
+    def test_save_load(self, tmp_path):
+        session = _booted_session()
+        snapshot = snap.capture(session.machine)
+        path = tmp_path / "machine.rvsnap"
+        written = snap.save(snapshot, path)
+        assert path.stat().st_size == written
+        assert snap.content_hash(snap.load(path)) == snapshot.content_hash()
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(SnapshotError, match="magic"):
+            snap.from_bytes(b"NOTASNAPSHOT" * 4)
+
+    def test_unknown_version_rejected(self):
+        session = _booted_session()
+        data = bytearray(snap.to_bytes(snap.capture(session.machine)))
+        struct.pack_into("<H", data, len(MAGIC), snap.SNAPSHOT_VERSION + 1)
+        with pytest.raises(SnapshotError, match="version"):
+            snap.from_bytes(bytes(data))
+
+    def test_truncated_blob_rejected(self):
+        session = _booted_session()
+        data = snap.to_bytes(snap.capture(session.machine))
+        with pytest.raises(Exception):
+            snap.from_bytes(data[: len(data) - 40])
+
+    def test_fork_snapshot_not_serializable(self):
+        session = _booted_session()
+        shallow = snap.capture(session.machine, include_pages=False)
+        with pytest.raises(SnapshotError, match="fork"):
+            snap.to_bytes(shallow)
