@@ -42,18 +42,30 @@ class Attack:
     #: booting from reset.  Results are bit-identical either way.
     boot_cache = None
 
+    def __init__(self) -> None:
+        #: Every session built via :meth:`session`, in creation order.
+        self.sessions: list = []
+
     def run(self, config: KernelConfig) -> AttackResult:
         raise NotImplementedError
 
     # -- helpers --------------------------------------------------------------
 
     def session(self, config: KernelConfig, body):
-        """A :class:`KernelSession` for this scenario, boot-cached if set."""
+        """A :class:`KernelSession` for this scenario, boot-cached if set.
+
+        Every session is also recorded on ``self.sessions`` so
+        conformance tests can inspect final machine state after
+        :meth:`run` returns (e.g. the step-vs-block differential suite
+        hashes each session's architectural state under both modes).
+        """
         from repro.kernel import KernelSession
 
-        return KernelSession(
+        session = KernelSession(
             config, self.user_program(body), boot_cache=self.boot_cache
         )
+        self.sessions.append(session)
+        return session
 
     @staticmethod
     def user_program(body) -> Module:

@@ -1,0 +1,42 @@
+"""Coverage-guided differential fuzzing for the whole reproduction.
+
+``python -m repro.fuzz --seed N --budget M --json`` runs a deterministic
+campaign whose cases cross-check the three execution paths (single-step
+interpreter, block fast path, snapshot/restore/resume) and the compiler
+pipeline against each other.  See ``docs/fuzzing.md``.
+"""
+
+from repro.fuzz.campaign import Campaign, FuzzConfig, run_campaign
+from repro.fuzz.corpus import case_from_file, load_corpus, write_repro
+from repro.fuzz.coverage import CoverageMap
+from repro.fuzz.generator import FuzzCase, Generator, mutate
+from repro.fuzz.harness import FUZZ_KEYS, build_machine, harness_source
+from repro.fuzz.minimize import ddmin_list, minimize
+from repro.fuzz.oracles import (
+    OracleOutcome,
+    run_compiler,
+    run_differential,
+    run_snapshot,
+)
+
+__all__ = [
+    "Campaign",
+    "FuzzConfig",
+    "run_campaign",
+    "case_from_file",
+    "load_corpus",
+    "write_repro",
+    "CoverageMap",
+    "FuzzCase",
+    "Generator",
+    "mutate",
+    "FUZZ_KEYS",
+    "build_machine",
+    "harness_source",
+    "ddmin_list",
+    "minimize",
+    "OracleOutcome",
+    "run_differential",
+    "run_snapshot",
+    "run_compiler",
+]

@@ -1,0 +1,104 @@
+"""CLI: ``python -m repro.fuzz --seed N --budget M --json``.
+
+Exit status is non-zero when any oracle reported a divergence, so CI
+can gate on it directly.  ``--replay file.json`` re-runs a single seed
+or emitted repro file through the differential and snapshot oracles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from random import Random
+
+from repro.fuzz.campaign import FuzzConfig, run_campaign
+from repro.fuzz.corpus import case_from_file, load_corpus
+from repro.fuzz.oracles import run_differential, run_snapshot
+
+#: Default checked-in seed corpus, resolved relative to the repo root.
+DEFAULT_CORPUS = Path(__file__).resolve().parents[3] / "tests/fuzz/corpus"
+
+
+def _replay(path: str, max_steps: int) -> int:
+    case = case_from_file(path)
+    failures = 0
+    for label, outcome in (
+        ("step_vs_block", run_differential(case, max_steps=max_steps)),
+        ("snapshot", run_snapshot(case, Random(0), max_steps=max_steps)),
+    ):
+        status = "ok" if outcome.ok else "DIVERGENCE"
+        print(f"{label:14s} {status}  {outcome.detail}")
+        for diff in outcome.diffs:
+            print(f"    {diff}")
+        failures += 0 if outcome.ok else 1
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Deterministic differential fuzzing campaign.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--budget", type=int, default=200,
+                        help="total number of fuzz cases")
+    parser.add_argument("--max-steps", type=int, default=None,
+                        help="per-case step budget")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full JSON report to stdout")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write the JSON report to this file")
+    parser.add_argument("--corpus", type=Path, default=None,
+                        help=f"seed corpus directory (default: "
+                        f"{DEFAULT_CORPUS} when present)")
+    parser.add_argument("--emit-dir", default="fuzz-failures",
+                        help="directory for minimized repro files")
+    parser.add_argument("--replay", metavar="FILE", default=None,
+                        help="re-run one seed/repro JSON file and exit")
+    args = parser.parse_args(argv)
+
+    config = FuzzConfig(seed=args.seed, budget=args.budget,
+                        emit_dir=args.emit_dir)
+    if args.max_steps:
+        config.max_steps = args.max_steps
+
+    if args.replay:
+        return _replay(args.replay, config.max_steps)
+
+    corpus_dir = args.corpus if args.corpus is not None else DEFAULT_CORPUS
+    corpus = load_corpus(corpus_dir)
+
+    report = run_campaign(config, corpus=corpus)
+
+    if args.output:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        oracles = report["oracles"]
+        coverage = report["coverage"]
+        print(f"seed {report['seed']}  budget {report['budget']}  "
+              f"corpus seeds {report['corpus']['seeds']}  "
+              f"interesting {report['corpus']['interesting']}")
+        for name, stats in oracles.items():
+            extra = "".join(
+                f"  {k} {v}" for k, v in stats.items()
+                if k not in ("cases", "divergences")
+            )
+            print(f"  {name:14s} cases {stats['cases']:6d}  "
+                  f"divergences {stats['divergences']}{extra}")
+        print(f"  coverage: {coverage['instruction_pairs']} instruction "
+              f"pairs, {coverage['trap_edges']} trap edges, "
+              f"{coverage['clb_events']} CLB events "
+              f"({coverage['instructions_executed']} instructions, "
+              f"{coverage['traps_taken']} traps)")
+        for failure in report["failures"]:
+            print(f"  FAILURE {failure['name']} [{failure['oracle']}] "
+                  f"{failure['detail']} -> {failure['repro']}")
+    return 1 if report["divergences"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

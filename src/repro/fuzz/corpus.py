@@ -1,0 +1,126 @@
+"""Corpus and repro-file handling.
+
+Two JSON file schemas live side by side:
+
+* **seed files** (``tests/fuzz/corpus/*.json``, schema
+  ``repro.fuzz/seed-1``) — human-written interesting bodies, given as
+  assembly lines (which may reference the harness labels
+  ``__fuzz_data``, ``__fuzz_body`` ...) or raw words;
+* **repro files** (schema ``repro.fuzz/repro-1``) — self-contained
+  failing cases the campaign emits after minimization: the exact body
+  words, a disassembly for humans, the register seed, the oracle that
+  fired and its detail.  Dropping one into
+  ``tests/fuzz/regressions/`` turns it into a permanent pytest case.
+
+Assembly-line bodies are canonicalized to words by assembling the full
+harness around them and slicing ``__fuzz_body .. __fuzz_body_end`` out
+of the text image, so seeds and generated cases flow through the exact
+same pipeline afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.fuzz.generator import FuzzCase
+from repro.fuzz.harness import harness_source
+from repro.isa import assemble
+from repro.isa.decoder import DecodeError, decode
+from repro.isa.disassembler import disassemble
+
+__all__ = [
+    "SEED_SCHEMA",
+    "REPRO_SCHEMA",
+    "assemble_body_lines",
+    "case_from_file",
+    "load_corpus",
+    "write_repro",
+]
+
+SEED_SCHEMA = "repro.fuzz/seed-1"
+REPRO_SCHEMA = "repro.fuzz/repro-1"
+
+
+def assemble_body_lines(lines, reg_seed: int = 0) -> tuple[int, ...]:
+    """Canonical body words for an assembly-line body."""
+    program = assemble(harness_source(list(lines), reg_seed))
+    text = program.sections[".text"]
+    start = program.symbol("__fuzz_body") - text.base
+    end = program.symbol("__fuzz_body_end") - text.base
+    data = text.data[start:end]
+    return tuple(
+        int.from_bytes(data[offset:offset + 4], "little")
+        for offset in range(0, len(data), 4)
+    )
+
+
+def body_disassembly(words) -> list[str]:
+    """Best-effort human view of a word body (for repro files)."""
+    lines = []
+    for word in words:
+        try:
+            lines.append(disassemble(decode(word)))
+        except DecodeError:
+            lines.append(f".word {word:#010x}  # undecodable")
+    return lines
+
+
+def case_from_file(path) -> FuzzCase:
+    """Load a seed or repro JSON file as a FuzzCase."""
+    path = Path(path)
+    doc = json.loads(path.read_text())
+    schema = doc.get("schema")
+    if schema not in (SEED_SCHEMA, REPRO_SCHEMA):
+        raise ValueError(f"{path}: unknown fuzz file schema {schema!r}")
+    reg_seed = int(doc.get("reg_seed", 0))
+    if "body_words" in doc:
+        words = tuple(int(w) & 0xFFFFFFFF for w in doc["body_words"])
+    else:
+        words = assemble_body_lines(doc["body_asm"], reg_seed)
+    return FuzzCase(
+        name=path.stem,
+        body_words=words,
+        reg_seed=reg_seed,
+        origin=f"corpus:{path.name}",
+    )
+
+
+def load_corpus(directory) -> list[FuzzCase]:
+    """Every seed in a directory, in stable (sorted-name) order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [
+        case_from_file(path)
+        for path in sorted(directory.glob("*.json"))
+    ]
+
+
+def write_repro(
+    case: FuzzCase,
+    outcome,
+    directory,
+    minimize_checks: int = 0,
+) -> Path:
+    """Emit a self-contained repro file; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{case.name}.json"
+    doc = {
+        "schema": REPRO_SCHEMA,
+        "oracle": outcome.oracle,
+        "detail": outcome.detail,
+        "diffs": list(outcome.diffs),
+        "origin": case.origin,
+        "reg_seed": case.reg_seed,
+        "body_words": list(case.body_words),
+        "body_asm": body_disassembly(case.body_words),
+        "minimize_checks": minimize_checks,
+        "how_to_run": (
+            "python -m repro.fuzz --replay "
+            f"{path.name} (from the directory holding this file)"
+        ),
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path

@@ -1,0 +1,162 @@
+"""Coverage feedback for the fuzzing campaign.
+
+Coverage is counted over three spaces:
+
+* **instruction pairs** — the architectural ``(opcode, funct3, funct7)``
+  triple of every retired instruction (for ``cre``/``crd`` the funct
+  fields encode ksel and byte range, so the crypto space is counted at
+  full resolution);
+* **trap edges** — ``(cause, interrupt?)`` of every trap taken;
+* **CLB/engine events** — which cache behaviours (hits, misses,
+  invalidations, evictions, integrity faults) a case provoked.
+
+A case is *interesting* — and enters the in-memory corpus — when it
+contributes any key not seen before.  All counters are plain dicts with
+deterministic iteration, so two campaigns with the same seed report
+byte-identical coverage.
+"""
+
+from __future__ import annotations
+
+from repro.isa import instructions as tab
+from repro.isa.instructions import Instruction, InstrFormat
+
+__all__ = ["CoverageMap"]
+
+# opcode constants (mirror the encoder's)
+_OP = 0b0110011
+_OP_32 = 0b0111011
+_OP_IMM = 0b0010011
+_OP_IMM_32 = 0b0011011
+_LOAD = 0b0000011
+_STORE = 0b0100011
+_BRANCH = 0b1100011
+_SYSTEM = 0b1110011
+_MISC_MEM = 0b0001111
+_CRE = 0b0001011
+_CRD = 0b0101011
+
+#: mnemonic -> (opcode, funct3, funct7) for everything non-crypto.
+_STATIC_KEYS: dict[str, tuple[int, int, int]] = {}
+for _m, (_f7, _f3) in tab.R_TYPE.items():
+    _STATIC_KEYS[_m] = (_OP, _f3, _f7)
+for _m, (_f7, _f3) in tab.R_TYPE_32.items():
+    _STATIC_KEYS[_m] = (_OP_32, _f3, _f7)
+for _m, _f3 in tab.I_TYPE_ALU.items():
+    _STATIC_KEYS[_m] = (_OP_IMM, _f3, 0)
+for _m, (_f6, _f3) in tab.I_TYPE_SHIFT.items():
+    _STATIC_KEYS[_m] = (_OP_IMM, _f3, _f6 << 1)
+for _m, _f3 in tab.I_TYPE_ALU_32.items():
+    _STATIC_KEYS[_m] = (_OP_IMM_32, _f3, 0)
+for _m, (_f7, _f3) in tab.I_TYPE_SHIFT_32.items():
+    _STATIC_KEYS[_m] = (_OP_IMM_32, _f3, _f7)
+for _m, _f3 in tab.LOADS.items():
+    _STATIC_KEYS[_m] = (_LOAD, _f3, 0)
+for _m, _f3 in tab.STORES.items():
+    _STATIC_KEYS[_m] = (_STORE, _f3, 0)
+for _m, _f3 in tab.BRANCHES.items():
+    _STATIC_KEYS[_m] = (_BRANCH, _f3, 0)
+for _m, _f3 in tab.CSR_OPS.items():
+    _STATIC_KEYS[_m] = (_SYSTEM, _f3, 0)
+_STATIC_KEYS["lui"] = (0b0110111, 0, 0)
+_STATIC_KEYS["auipc"] = (0b0010111, 0, 0)
+_STATIC_KEYS["jal"] = (0b1101111, 0, 0)
+_STATIC_KEYS["jalr"] = (0b1100111, 0, 0)
+_STATIC_KEYS["fence"] = (_MISC_MEM, 0, 0)
+for _i, _m in enumerate(sorted(tab.SYSTEM_OPS)):
+    # SYSTEM ops share funct3=0; give each a stable synthetic funct7.
+    _STATIC_KEYS.setdefault(_m, (_SYSTEM, 0, 0x80 + _i))
+
+
+class CoverageMap:
+    """Accumulates executed-pair and edge counters."""
+
+    def __init__(self):
+        self.pairs: dict[tuple[int, int, int], int] = {}
+        self.trap_edges: dict[tuple[int, bool], int] = {}
+        self.clb_events: dict[str, int] = {}
+
+    # -- hart callbacks --------------------------------------------------------
+
+    def record_instruction(self, ins: Instruction) -> None:
+        if ins.fmt is InstrFormat.CRYPTO:
+            opcode = _CRE if ins.mnemonic.startswith("cre") else _CRD
+            br = ins.byte_range
+            key = (opcode, int(ins.ksel), (br.end << 3) | br.start)
+        else:
+            key = _STATIC_KEYS.get(ins.mnemonic)
+            if key is None:
+                key = (0, 0, 0)
+        self.pairs[key] = self.pairs.get(key, 0) + 1
+
+    def record_trap(self, trap, pc: int) -> None:
+        key = (int(trap.cause), bool(trap.interrupt))
+        self.trap_edges[key] = self.trap_edges.get(key, 0) + 1
+
+    # -- engine events ---------------------------------------------------------
+
+    def record_engine(self, machine) -> None:
+        """Fold one finished case's engine/CLB activity into coverage."""
+        clb = machine.engine.clb.stats
+        engine = machine.engine.stats
+        for event, count in (
+            ("clb_enc_hit", clb.enc_hits),
+            ("clb_enc_miss", clb.enc_misses),
+            ("clb_dec_hit", clb.dec_hits),
+            ("clb_dec_miss", clb.dec_misses),
+            ("clb_invalidation", clb.invalidations),
+            ("clb_eviction", clb.evictions),
+            ("integrity_fault", engine.integrity_faults),
+        ):
+            if count:
+                self.clb_events[event] = self.clb_events.get(event, 0) + count
+
+    # -- corpus feedback -------------------------------------------------------
+
+    def keys(self) -> set:
+        return (
+            set(self.pairs)
+            | {("trap",) + k for k in self.trap_edges}
+            | {("clb", k) for k in self.clb_events}
+        )
+
+    def merge(self, other: "CoverageMap") -> int:
+        """Fold ``other`` in; return how many keys were new."""
+        new = 0
+        for key, count in other.pairs.items():
+            if key not in self.pairs:
+                new += 1
+            self.pairs[key] = self.pairs.get(key, 0) + count
+        for key, count in other.trap_edges.items():
+            if key not in self.trap_edges:
+                new += 1
+            self.trap_edges[key] = self.trap_edges.get(key, 0) + count
+        for key, count in other.clb_events.items():
+            if key not in self.clb_events:
+                new += 1
+            self.clb_events[key] = self.clb_events.get(key, 0) + count
+        return new
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def executed(self) -> int:
+        return sum(self.pairs.values())
+
+    def report(self) -> dict:
+        return {
+            "instruction_pairs": len(self.pairs),
+            "instructions_executed": self.executed,
+            "trap_edges": len(self.trap_edges),
+            "traps_taken": sum(self.trap_edges.values()),
+            "clb_events": len(self.clb_events),
+            "pairs": {
+                f"{op:#04x}/{f3}/{f7}": count
+                for (op, f3, f7), count in sorted(self.pairs.items())
+            },
+            "traps": {
+                f"{cause}{'i' if interrupt else ''}": count
+                for (cause, interrupt), count in sorted(self.trap_edges.items())
+            },
+            "clb": dict(sorted(self.clb_events.items())),
+        }

@@ -1,0 +1,335 @@
+"""Valid-by-construction case generation plus word-level mutation.
+
+The generator emits :class:`~repro.isa.instructions.Instruction`
+objects drawn from the whole implemented ISA — RV64IM ALU ops, loads
+and stores against the harness scratch region, forward-only branches
+and jumps, CSR traffic (including key-register writes that invalidate
+CLB entries, sealed key-register reads and read-only-counter writes
+that must trap), ``cre``/``crd`` over the full ksel × byte-range space,
+and the occasional ``ecall``/``ebreak`` — then encodes them to words.
+
+"Valid by construction" buys termination, not tameness: every generated
+control transfer is forward, so a fresh case always reaches the harness
+epilogue.  Mutation then deliberately breaks that guarantee (bit flips,
+slice shuffles, cross-case splices); mutated cases may loop, trap
+repeatedly or execute garbage, all of which the harness bounds with its
+per-case step budget and trap handler.
+
+Everything is driven by a caller-supplied ``random.Random`` so a
+campaign is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from random import Random
+
+from repro.crypto.keys import KeySelect
+from repro.crypto.primitives import ByteRange
+from repro.isa import instructions as tab
+from repro.isa.encoder import encode
+from repro.isa.instructions import (
+    ACCESS_SIZE,
+    Instruction,
+    InstrFormat,
+    crypto_mnemonic,
+)
+from repro.fuzz.harness import RESERVED_REGS, SCRATCH_BYTES
+from repro.utils.bits import sign_extend
+
+__all__ = ["FuzzCase", "Generator", "mutate"]
+
+#: CSRs a generated case may write without wedging the harness
+#: (mtvec is deliberately absent — clobbering the trap vector turns
+#: every later fault into an unhandled-trap error).
+_SAFE_CSR_WRITES = (0x340, 0x341, 0x342, 0x343)  # mscratch/mepc/mcause/mtval
+_SAFE_CSR_READS = _SAFE_CSR_WRITES + (
+    0x300,  # mstatus
+    0x304,  # mie
+    0x305,  # mtvec
+    0xF14,  # mhartid
+    0xC00,  # cycle
+    0xC01,  # time
+    0xC02,  # instret
+)
+#: Key CSRs (write-only; reads trap).  A..G, low and high halves.
+_KEY_CSRS = tuple(range(0x5C0, 0x5CE))
+
+_LOADS = tuple(sorted(tab.LOADS))
+_STORES = tuple(sorted(tab.STORES))
+_BRANCHES = tuple(sorted(tab.BRANCHES))
+_ALU_RR = tuple(sorted(tab.R_TYPE)) + tuple(sorted(tab.R_TYPE_32))
+_ALU_IMM = tuple(sorted(tab.I_TYPE_ALU)) + tuple(sorted(tab.I_TYPE_ALU_32))
+_SHIFTS = tuple(sorted(tab.I_TYPE_SHIFT)) + tuple(sorted(tab.I_TYPE_SHIFT_32))
+_CSR_OPS = tuple(sorted(tab.CSR_OPS))
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One self-contained fuzz input."""
+
+    name: str
+    body_words: tuple[int, ...]
+    reg_seed: int = 0
+    origin: str = "generated"
+
+    def with_body(self, words, origin: str | None = None) -> "FuzzCase":
+        return replace(
+            self,
+            body_words=tuple(w & 0xFFFFFFFF for w in words),
+            origin=origin if origin is not None else self.origin,
+        )
+
+
+@dataclass
+class Generator:
+    """Weighted instruction-sequence generator."""
+
+    min_len: int = 8
+    max_len: int = 48
+    _weights: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self):
+        self._weights = [
+            (20, self._alu_rr),
+            (16, self._alu_imm),
+            (6, self._shift),
+            (12, self._load),
+            (12, self._store),
+            (7, self._branch),
+            (2, self._jal),
+            (4, self._lui_auipc),
+            (5, self._crypto_pair),
+            (5, self._crypto_single),
+            (7, self._csr),
+            (3, self._trapper),
+            (1, self._system),
+        ]
+        self._total_weight = sum(w for w, _ in self._weights)
+
+    # -- public ----------------------------------------------------------------
+
+    def generate(self, rng: Random, name: str) -> FuzzCase:
+        length = rng.randint(self.min_len, self.max_len)
+        instrs: list[Instruction] = []
+        while len(instrs) < length:
+            instrs.extend(self._pick(rng)(rng, len(instrs), length))
+        words = tuple(encode(ins) for ins in instrs[:length + 1])
+        return FuzzCase(
+            name=name,
+            body_words=words,
+            reg_seed=rng.getrandbits(64),
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _pick(self, rng: Random):
+        roll = rng.randrange(self._total_weight)
+        for weight, producer in self._weights:
+            roll -= weight
+            if roll < 0:
+                return producer
+        raise AssertionError("unreachable")
+
+    @staticmethod
+    def _reg(rng: Random) -> int:
+        while True:
+            index = rng.randrange(32)
+            if index not in RESERVED_REGS:
+                return index
+
+    @staticmethod
+    def _src(rng: Random) -> int:
+        # Sources may be any register, including x0 and the bases.
+        return rng.randrange(32)
+
+    # -- producers: each returns a list of Instructions ------------------------
+
+    def _alu_rr(self, rng, at, length):
+        m = rng.choice(_ALU_RR)
+        fmt = InstrFormat.R
+        return [Instruction(m, fmt, rd=self._reg(rng),
+                            rs1=self._src(rng), rs2=self._src(rng))]
+
+    def _alu_imm(self, rng, at, length):
+        m = rng.choice(_ALU_IMM)
+        return [Instruction(m, InstrFormat.I, rd=self._reg(rng),
+                            rs1=self._src(rng),
+                            imm=rng.randint(-2048, 2047))]
+
+    def _shift(self, rng, at, length):
+        m = rng.choice(_SHIFTS)
+        limit = 31 if m.endswith("w") else 63
+        return [Instruction(m, InstrFormat.I, rd=self._reg(rng),
+                            rs1=self._src(rng),
+                            imm=rng.randint(0, limit))]
+
+    def _load(self, rng, at, length):
+        m = rng.choice(_LOADS)
+        return [Instruction(m, InstrFormat.I, rd=self._reg(rng),
+                            rs1=rng.choice((8, 9)),
+                            imm=self._offset(rng, ACCESS_SIZE[m]))]
+
+    def _store(self, rng, at, length):
+        m = rng.choice(_STORES)
+        return [Instruction(m, InstrFormat.S, rs2=self._src(rng),
+                            rs1=rng.choice((8, 9)),
+                            imm=self._offset(rng, ACCESS_SIZE[m]))]
+
+    @staticmethod
+    def _offset(rng: Random, size: int) -> int:
+        roll = rng.random()
+        aligned = rng.randrange(0, SCRATCH_BYTES - 8, size)
+        if roll < 0.82:
+            return aligned
+        if roll < 0.92:
+            # Misaligned (this machine allows it; it must behave
+            # identically in every mode).
+            return min(aligned + rng.randint(1, size - 1), 2047) if size > 1 \
+                else aligned
+        # Past the end of the scratch region from s1: access fault.
+        return 2047
+
+    def _branch(self, rng, at, length):
+        m = rng.choice(_BRANCHES)
+        skip = rng.randint(1, max(1, min(8, length - at)))
+        return [Instruction(m, InstrFormat.B, rs1=self._src(rng),
+                            rs2=self._src(rng), imm=4 * skip)]
+
+    def _jal(self, rng, at, length):
+        skip = rng.randint(1, max(1, min(8, length - at)))
+        return [Instruction("jal", InstrFormat.J, rd=self._reg(rng),
+                            imm=4 * skip)]
+
+    def _lui_auipc(self, rng, at, length):
+        m = rng.choice(("lui", "auipc"))
+        raw = rng.randint(-(1 << 19), (1 << 19) - 1)
+        return [Instruction(m, InstrFormat.U, rd=self._reg(rng),
+                            imm=sign_extend((raw << 12) & 0xFFFFFFFF, 32))]
+
+    def _byte_range(self, rng) -> ByteRange:
+        start = rng.randint(0, 7)
+        end = rng.randint(start, 7)
+        return ByteRange(end, start)
+
+    def _crypto_single(self, rng, at, length):
+        ksel = KeySelect(rng.randrange(8))
+        is_enc = rng.random() < 0.5
+        return [Instruction(
+            crypto_mnemonic(is_enc, ksel), InstrFormat.CRYPTO,
+            rd=self._reg(rng), rs1=self._src(rng), rs2=self._src(rng),
+            ksel=ksel, byte_range=self._byte_range(rng),
+        )]
+
+    def _crypto_pair(self, rng, at, length):
+        # Encrypt then immediately decrypt the result with the same
+        # key/tweak/range: a clean round trip and a CLB decrypt hit.
+        ksel = KeySelect(rng.randrange(8))
+        rng_range = self._byte_range(rng)
+        tweak = self._src(rng)
+        mid = self._reg(rng)
+        out = self._reg(rng)
+        return [
+            Instruction(crypto_mnemonic(True, ksel), InstrFormat.CRYPTO,
+                        rd=mid, rs1=self._src(rng), rs2=tweak,
+                        ksel=ksel, byte_range=rng_range),
+            Instruction(crypto_mnemonic(False, ksel), InstrFormat.CRYPTO,
+                        rd=out, rs1=mid, rs2=tweak,
+                        ksel=ksel, byte_range=rng_range),
+        ]
+
+    def _csr(self, rng, at, length):
+        m = rng.choice(_CSR_OPS)
+        roll = rng.random()
+        if roll < 0.25:
+            csr = rng.choice(_KEY_CSRS)  # write-only: invalidates CLB keys
+        elif roll < 0.55:
+            csr = rng.choice(_SAFE_CSR_WRITES)
+        else:
+            csr = rng.choice(_SAFE_CSR_READS)
+            # Force a pure read so read-only CSRs do not trap here.
+            if m in ("csrrs", "csrrc"):
+                return [Instruction(m, InstrFormat.CSR, rd=self._reg(rng),
+                                    rs1=0, csr=csr)]
+            if m in ("csrrsi", "csrrci"):
+                return [Instruction(m, InstrFormat.CSRI, rd=self._reg(rng),
+                                    rs1=0, csr=csr)]
+            csr = rng.choice(_SAFE_CSR_WRITES)
+        if m.endswith("i"):
+            return [Instruction(m, InstrFormat.CSRI, rd=self._reg(rng),
+                                rs1=rng.randint(0, 31), csr=csr)]
+        return [Instruction(m, InstrFormat.CSR, rd=self._reg(rng),
+                            rs1=self._src(rng), csr=csr)]
+
+    def _trapper(self, rng, at, length):
+        """Instructions whose architectural outcome is a trap."""
+        roll = rng.random()
+        if roll < 0.4:
+            # Sealed: reading a key CSR always traps.
+            return [Instruction("csrrs", InstrFormat.CSR, rd=self._reg(rng),
+                                rs1=0, csr=rng.choice(_KEY_CSRS))]
+        if roll < 0.7:
+            # Writing a read-only counter traps.
+            return [Instruction("csrrw", InstrFormat.CSR, rd=self._reg(rng),
+                                rs1=self._src(rng),
+                                csr=rng.choice((0xC00, 0xC01, 0xC02)))]
+        # Unimplemented CSR.
+        return [Instruction("csrrs", InstrFormat.CSR, rd=self._reg(rng),
+                            rs1=0, csr=0x123)]
+
+    def _system(self, rng, at, length):
+        m = rng.choice(("ecall", "ebreak", "fence"))
+        if m == "fence":
+            return [Instruction(m, InstrFormat.I)]
+        return [Instruction(m, InstrFormat.SYSTEM)]
+
+
+# -- mutation ------------------------------------------------------------------
+
+
+def mutate(
+    rng: Random,
+    case: FuzzCase,
+    name: str,
+    generator: Generator,
+    donors: list[FuzzCase] | None = None,
+) -> FuzzCase:
+    """One mutated child of ``case`` (word-level, validity not preserved)."""
+    words = list(case.body_words)
+    if not words:
+        return generator.generate(rng, name)
+    roll = rng.random()
+    if roll < 0.30:  # flip 1..4 bits of one word
+        index = rng.randrange(len(words))
+        for _ in range(rng.randint(1, 4)):
+            words[index] ^= 1 << rng.randrange(32)
+    elif roll < 0.50:  # replace a word with a fresh valid instruction
+        index = rng.randrange(len(words))
+        fresh = generator.generate(rng, "tmp").body_words
+        words[index] = rng.choice(fresh)
+    elif roll < 0.65:  # perturb an immediate-ish field
+        index = rng.randrange(len(words))
+        words[index] ^= rng.getrandbits(12) << 20
+    elif roll < 0.78:  # delete a slice
+        lo = rng.randrange(len(words))
+        hi = min(len(words), lo + rng.randint(1, 4))
+        del words[lo:hi]
+    elif roll < 0.90:  # duplicate a slice (may create backward flow)
+        lo = rng.randrange(len(words))
+        hi = min(len(words), lo + rng.randint(1, 4))
+        words[lo:lo] = words[lo:hi]
+    else:  # splice with a donor body
+        donor = rng.choice(donors) if donors else case
+        cut_a = rng.randrange(len(words) + 1)
+        donor_words = list(donor.body_words) or [0x13]
+        cut_b = rng.randrange(len(donor_words) + 1)
+        words = words[:cut_a] + donor_words[cut_b:]
+    if not words:
+        words = [0x13]  # nop
+    words = words[:96]
+    return FuzzCase(
+        name=name,
+        body_words=tuple(w & 0xFFFFFFFF for w in words),
+        reg_seed=case.reg_seed if rng.random() < 0.5 else rng.getrandbits(64),
+        origin=f"mutated:{case.name}",
+    )

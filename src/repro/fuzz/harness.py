@@ -1,0 +1,145 @@
+"""The execution harness wrapped around every fuzzed instruction body.
+
+A fuzz case is just a list of 32-bit instruction words.  The harness
+turns it into a complete bare-metal program:
+
+* a prologue that installs a trap vector, points ``s0``/``s1`` at a
+  4 KiB scratch region and seeds every other register from the case's
+  register seed (so ALU results are not all-zero noise);
+* the body itself, emitted verbatim as ``.word`` directives between the
+  ``__fuzz_body`` / ``__fuzz_body_end`` labels — mutated cases may
+  contain arbitrary (even undecodable) words, which must fault
+  identically in every execution mode;
+* an epilogue that powers the machine off via SYSCON;
+* a trap handler that counts traps, skips the faulting instruction for
+  synchronous causes and disarms the timer for interrupts, so any
+  single bad instruction cannot wedge the case.
+
+The harness deliberately leaves ``s0``/``s1`` out of the generator's
+destination registers: a body can clobber any other register (including
+``sp``) and still make progress, because only the scratch-region bases
+and the trap path need to stay intact — and the trap handler re-derives
+everything it uses.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import KeySelect
+from repro.machine import Machine
+from repro.utils.bits import MASK64
+
+__all__ = [
+    "FUZZ_KEYS",
+    "RESERVED_REGS",
+    "SCRATCH_BYTES",
+    "harness_source",
+    "build_machine",
+]
+
+#: Registers the generator must not write: zero, the scratch bases.
+RESERVED_REGS = frozenset({0, 8, 9})
+
+#: Bytes of zeroed scratch memory addressed from each of s0 and s1.
+SCRATCH_BYTES = 2048
+
+#: Deterministic 128-bit keys, distinct per register (mirrors the
+#: pattern the test suite uses, without importing from tests/).
+FUZZ_KEYS = {
+    ksel: (0x0F1E2D3C4B5A6978 << 64 | 0x1122334455667788)
+    ^ (int(ksel) * 0x9E3779B97F4A7C15)
+    for ksel in KeySelect
+}
+
+_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _splitmix64(state: int) -> tuple[int, int]:
+    state = (state + _GAMMA) & MASK64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+    return state, z ^ (z >> 31)
+
+
+def seed_values(reg_seed: int) -> dict[int, int]:
+    """Deterministic initial values for every seedable register."""
+    state = reg_seed & MASK64
+    values = {}
+    for index in range(1, 32):
+        if index in RESERVED_REGS:
+            continue
+        state, value = _splitmix64(state)
+        # Signed 32-bit constants keep the prologue short (one or two
+        # instructions per li) while still exercising sign extension.
+        values[index] = value & 0xFFFFFFFF
+    return values
+
+
+def harness_source(body, reg_seed: int = 0) -> str:
+    """Complete assembly source around a body.
+
+    ``body`` is either a list of 32-bit instruction words (emitted as
+    ``.word``) or a list of assembly source lines (used by the
+    human-written corpus/regression seeds, which may reference the
+    harness labels).
+    """
+    lines = [
+        "_start:",
+        "    la t0, __fuzz_trap",
+        "    csrw mtvec, t0",
+        "    la s0, __fuzz_data",
+        "    la s1, __fuzz_data2",
+    ]
+    for index, value in sorted(seed_values(reg_seed).items()):
+        signed = value - (1 << 32) if value >= (1 << 31) else value
+        lines.append(f"    li x{index}, {signed}")
+    lines.append("__fuzz_body:")
+    for item in body:
+        if isinstance(item, int):
+            lines.append(f"    .word {item & 0xFFFFFFFF:#010x}")
+        else:
+            lines.append(f"    {item}")
+    lines += [
+        "__fuzz_body_end:",
+        "    li t0, 0x5555",
+        "    li t1, 0x02010000",
+        "    sw t0, 0(t1)",
+        "__fuzz_idle:",
+        "    j __fuzz_idle",
+        "",
+        "__fuzz_trap:",
+        "    la t0, __fuzz_trapcount",
+        "    ld t1, 0(t0)",
+        "    addi t1, t1, 1",
+        "    sd t1, 0(t0)",
+        "    csrr t0, mcause",
+        "    bltz t0, __fuzz_trap_intr",
+        "    csrr t0, mepc",
+        "    addi t0, t0, 4",
+        "    csrw mepc, t0",
+        "    mret",
+        "__fuzz_trap_intr:",
+        "    li t0, 128",
+        "    csrc mie, t0",
+        "    mret",
+        "",
+        ".data",
+        ".align 3",
+        "__fuzz_data:",
+        f"    .zero {SCRATCH_BYTES}",
+        "__fuzz_data2:",
+        f"    .zero {SCRATCH_BYTES}",
+        "__fuzz_trapcount:",
+        "    .zero 8",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def build_machine(program, fast: bool | None = None) -> Machine:
+    """A keyed Machine for one harnessed program."""
+    machine = Machine.from_program(program)
+    if fast is not None:
+        machine.fast_path = fast
+    for ksel, key in FUZZ_KEYS.items():
+        machine.engine.key_file.set_key(ksel, key)
+    return machine

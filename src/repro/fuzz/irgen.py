@@ -1,0 +1,113 @@
+"""RNG-driven mini-IR program generation for the compiler oracle.
+
+Builds the same shape of program the hand-written differential tests
+use — a ``vault`` struct mixing integrity-protected, randomized and
+plain fields, a helper function, and a ``main`` that runs a random
+sequence of arithmetic/load/store/call/branch steps over them — but
+driven by a ``random.Random`` instead of hypothesis, so the fuzzing
+campaign stays reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.compiler import (
+    Annotation,
+    Field,
+    Function,
+    FunctionType,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    StructType,
+)
+from repro.compiler.ir import Const, GlobalVar, Move
+
+__all__ = ["STARTUP", "random_steps", "build_module"]
+
+#: Boot shim: call main, then spin (main halts via the halt intrinsic).
+STARTUP = "_start:\n    call main\nhang:\n    j hang\n"
+
+_OPS = (
+    "add", "mul", "xor", "store32", "store64", "load32", "load64",
+    "call", "branch",
+)
+
+
+def random_steps(rng: Random, min_len: int = 2, max_len: int = 24):
+    """A random step program for :func:`build_module`."""
+    return [
+        (rng.choice(_OPS), rng.getrandbits(31))
+        for _ in range(rng.randint(min_len, max_len))
+    ]
+
+
+def build_module(steps) -> tuple[Module, StructType]:
+    """Build the module; returns it plus the vault struct for layout."""
+    module = Module("fuzz")
+    vault = module.add_struct(StructType("vault", (
+        Field("a", I32, Annotation.RAND_INTEGRITY),
+        Field("b", I64, Annotation.RAND_INTEGRITY),
+        Field("c", I64, Annotation.RAND),
+        Field("d", I64),
+    )))
+    module.add_global(GlobalVar("vault", vault))
+
+    helper = Function("helper", FunctionType(I64, (I64,)), ["x"])
+    module.add_function(helper)
+    hb = IRBuilder(helper)
+    hb.block("entry")
+    hb.ret(hb.add(hb.mul(helper.params[0], 3), 1))
+
+    main = Function("main", FunctionType(I64, ()))
+    module.add_function(main)
+    b = IRBuilder(main)
+    b.block("entry")
+    base = b.addr_of_global("vault")
+    b.store_field(base, vault, "a", Const(11))
+    b.store_field(base, vault, "b", Const(22))
+    b.store_field(base, vault, "c", Const(33))
+    b.store_field(base, vault, "d", Const(44))
+
+    acc = b.func.new_reg(I64, "acc")
+    b._emit(Move(acc, Const(1)))
+    label_counter = 0
+
+    for op, value in steps:
+        masked = value & 0xFFFF
+        if op == "add":
+            b._emit(Move(acc, b.add(acc, masked)))
+        elif op == "mul":
+            b._emit(Move(acc, b.mul(acc, (masked | 1) & 0xFF)))
+        elif op == "xor":
+            b._emit(Move(acc, b.xor(acc, masked)))
+        elif op == "store32":
+            b.store_field(base, vault, "a", b.and_(acc, 0x7FFFFFFF))
+        elif op == "store64":
+            which = "b" if value & 1 else "c"
+            b.store_field(base, vault, which, acc)
+        elif op == "load32":
+            b._emit(Move(acc, b.add(acc, b.load_field(base, vault, "a"))))
+        elif op == "load64":
+            which = "b" if value & 1 else "c"
+            b._emit(Move(acc, b.xor(acc, b.load_field(base, vault, which))))
+        elif op == "call":
+            b._emit(Move(acc, b.call("helper", [acc])))
+        elif op == "branch":
+            label_counter += 1
+            then_label = f"then_{label_counter}"
+            join_label = f"join_{label_counter}"
+            cond = b.cmp("ltu", b.and_(acc, 0xF), masked & 0xF)
+            b.cond_br(cond, then_label, join_label)
+            b.block(then_label)
+            b._emit(Move(acc, b.add(acc, 5)))
+            b.br(join_label)
+            b.block(join_label)
+        b._emit(Move(acc, b.and_(acc, Const(0xFFFFFFFF))))
+
+    plain = b.load_field(base, vault, "d")
+    b.intrinsic("halt", [b.and_(b.add(acc, plain), Const(0xFFFF))])
+    b.ret(Const(0))
+    return module, vault

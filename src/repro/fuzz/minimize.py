@@ -1,0 +1,85 @@
+"""Delta-debugging minimizer for failing fuzz cases.
+
+Classic ddmin over the body word list: try dropping ever-finer chunks,
+keeping any reduction that still makes the predicate fail, then a final
+per-word pass that additionally tries rewriting each remaining word to
+a ``nop``.  The predicate is the failing oracle itself, so the minimized
+case is guaranteed to still reproduce the divergence.
+
+The search is bounded by ``max_checks`` predicate evaluations — a
+divergence found with a 96-word mutant must not stall the campaign —
+and fully deterministic (no randomness: chunk order is fixed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.fuzz.generator import FuzzCase
+
+__all__ = ["minimize", "ddmin_list"]
+
+_NOP = 0x00000013
+
+
+def ddmin_list(items: list, fails: Callable[[list], bool]) -> list:
+    """Generic ddmin: smallest sublist (by chunk removal) still failing.
+
+    ``fails`` must already embed any evaluation budget it needs.
+    """
+    items = list(items)
+    chunk = max(1, len(items) // 2)
+    while len(items) > 1:
+        start = 0
+        while start < len(items):
+            candidate = items[:start] + items[start + chunk:]
+            if candidate and fails(candidate):
+                items = candidate
+            else:
+                start += chunk
+        if chunk == 1:
+            break
+        chunk = max(1, chunk // 2)
+    return items
+
+
+def minimize(
+    case: FuzzCase,
+    still_fails: Callable[[FuzzCase], bool],
+    max_checks: int = 300,
+) -> tuple[FuzzCase, int]:
+    """Shrink ``case``; returns (minimized case, predicate evaluations).
+
+    ``still_fails(candidate)`` must return True when the candidate still
+    triggers the original divergence.
+    """
+    words = list(case.body_words)
+    checks = 0
+
+    def fails(candidate_words: list[int]) -> bool:
+        nonlocal checks
+        if checks >= max_checks:
+            return False
+        checks += 1
+        return still_fails(
+            case.with_body(candidate_words, origin=f"minimized:{case.name}")
+        )
+
+    # ddmin: remove chunks at decreasing granularity.
+    words = ddmin_list(words, fails)
+
+    # Final pass: neutralize surviving words one at a time.
+    for index in range(len(words)):
+        if checks >= max_checks:
+            break
+        if words[index] == _NOP:
+            continue
+        candidate = list(words)
+        candidate[index] = _NOP
+        if fails(candidate):
+            words = candidate
+
+    return (
+        case.with_body(words, origin=f"minimized:{case.name}"),
+        checks,
+    )

@@ -313,17 +313,32 @@ class Assembler:
         symbols: dict[str, int],
         lineno: int,
         allow_undefined: bool = False,
+        dot: int | None = None,
     ) -> int:
-        """Evaluate ``literal``, ``symbol``, or ``symbol +/- literal``."""
+        """Evaluate ``literal``, ``symbol``, ``.``, or ``sym +/- literal``.
+
+        ``dot`` is the current instruction's address; ``.`` is only
+        meaningful where the assembler knows it (branch/jump targets),
+        which lets disassembler output (``beq a0, a1, . + 16``) be fed
+        straight back in.
+        """
         expr = expr.strip()
         if not expr:
             raise AssemblerError("empty expression", lineno)
+        if expr == ".":
+            if dot is None:
+                raise AssemblerError(
+                    "'.' is only valid in branch/jump targets", lineno
+                )
+            return dot
         for op_pos in range(len(expr) - 1, 0, -1):
             if expr[op_pos] in "+-" and expr[op_pos - 1] not in "+-eE(":
                 left = expr[:op_pos].strip()
-                right = expr[op_pos:].strip()
+                right = expr[op_pos:].replace(" ", "")
                 try:
-                    return self._eval(left, symbols, lineno) + int(right, 0)
+                    return self._eval(
+                        left, symbols, lineno, dot=dot
+                    ) + int(right, 0)
                 except (ValueError, AssemblerError):
                     continue
         if len(expr) == 3 and expr[0] == "'" and expr[2] == "'":
@@ -569,7 +584,7 @@ class Assembler:
             )
         if m in tab.BRANCHES:
             expect(3)
-            target = self._eval(ops[2], symbols, lineno)
+            target = self._eval(ops[2], symbols, lineno, dot=pending.address)
             return Instruction(
                 m, InstrFormat.B, rs1=reg(ops[0]), rs2=reg(ops[1]),
                 imm=target - pending.address,
@@ -585,7 +600,7 @@ class Assembler:
             return Instruction(m, InstrFormat.U, rd=reg(ops[0]), imm=value)
         if m == "jal":
             expect(2)
-            target = self._eval(ops[1], symbols, lineno)
+            target = self._eval(ops[1], symbols, lineno, dot=pending.address)
             return Instruction(
                 m, InstrFormat.J, rd=reg(ops[0]),
                 imm=target - pending.address,

@@ -10,6 +10,11 @@ def _reg(num: int) -> str:
     return ABI_NAMES[num]
 
 
+def _rel(imm: int) -> str:
+    """PC-relative target, e.g. ``. + 16`` / ``. - 412``."""
+    return f". - {-imm}" if imm < 0 else f". + {imm}"
+
+
 def disassemble(ins: Instruction) -> str:
     """Render an instruction in the same syntax the assembler accepts.
 
@@ -43,11 +48,15 @@ def disassemble(ins: Instruction) -> str:
     if m in tab.STORES:
         return f"{m} {_reg(ins.rs2)}, {ins.imm}({_reg(ins.rs1)})"
     if m in tab.BRANCHES:
-        return f"{m} {_reg(ins.rs1)}, {_reg(ins.rs2)}, . + {ins.imm}"
+        return f"{m} {_reg(ins.rs1)}, {_reg(ins.rs2)}, {_rel(ins.imm)}"
     if m in ("lui", "auipc"):
-        return f"{m} {_reg(ins.rd)}, {(ins.imm >> 12) & 0xFFFFF:#x}"
+        # Signed raw 20-bit immediate: the assembler sign-extends raw
+        # values in [-2^19, 2^19), so this form re-assembles to the
+        # same word for the whole encoding space (an unsigned render of
+        # a negative immediate would be taken for a byte address).
+        return f"{m} {_reg(ins.rd)}, {ins.imm >> 12}"
     if m == "jal":
-        return f"jal {_reg(ins.rd)}, . + {ins.imm}"
+        return f"jal {_reg(ins.rd)}, {_rel(ins.imm)}"
     if m == "jalr":
         return f"jalr {_reg(ins.rd)}, {ins.imm}({_reg(ins.rs1)})"
     if m == "fence":

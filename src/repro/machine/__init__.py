@@ -13,6 +13,7 @@ from repro.machine.trap import Cause, Trap
 from repro.machine.timing import CostModel
 from repro.machine.hart import Hart, PrivilegeLevel
 from repro.machine.machine import Machine, HaltReason
+from repro.machine.compare import architectural_state, state_digest, diff_states
 
 __all__ = [
     "Memory",
@@ -26,4 +27,7 @@ __all__ = [
     "PrivilegeLevel",
     "Machine",
     "HaltReason",
+    "architectural_state",
+    "state_digest",
+    "diff_states",
 ]

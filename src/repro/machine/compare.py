@@ -1,0 +1,132 @@
+"""Architectural state capture, digests and diffing.
+
+The differential oracles (``repro.fuzz``) and the equivalence tests all
+need the same thing: a complete, canonical view of a machine's
+architecturally visible state that two executions can be compared on.
+"Architectural" here deliberately excludes anything that is allowed to
+differ between the single-step interpreter, the block fast path and a
+snapshot-resumed run — the ``fast_path`` mode flag, block/decode cache
+contents and their statistics — and includes everything that is not:
+registers, pc, privilege, cycle/instret counters, CSR storage, RAM,
+device state (timer, console, power, RNG) and the crypto engine's key
+file, CLB array and operation counters.
+
+Memory pages are folded to per-page blake2b hashes so a state dict stays
+small enough to diff and serialize; :func:`state_digest` hashes the
+whole canonical JSON form into a short hex fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["architectural_state", "state_digest", "diff_states"]
+
+
+def _page_hash(page) -> str:
+    return hashlib.blake2b(bytes(page), digest_size=16).hexdigest()
+
+
+def architectural_state(machine, include_engine: bool = True) -> dict:
+    """A canonical, JSON-serializable dump of everything that must match.
+
+    ``include_engine=False`` drops the crypto-engine section (key file,
+    CLB, stats) for comparisons where engine *statistics* legitimately
+    differ (e.g. runs that reset stats at different points).
+    """
+    hart = machine.hart
+    state: dict[str, Any] = {
+        "regs": list(hart.regs._regs),
+        "pc": hart.pc,
+        "privilege": int(hart.privilege),
+        "cycles": hart.cycles,
+        "instret": hart.instret,
+        "wfi": hart.waiting_for_interrupt,
+        "csrs": {
+            f"{num:#x}": value
+            for num, value in sorted(hart.csrs._storage.items())
+        },
+        "memory": {
+            f"{index:#x}": _page_hash(page)
+            for index, page in sorted(machine.memory._pages.items())
+        },
+        "clint": {
+            "mtime_latch": machine.clint._mtime,
+            "mtimecmp": machine.clint.mtimecmp,
+        },
+        "syscon": {
+            "shutdown": machine.syscon.shutdown_requested,
+            "exit_code": machine.syscon.exit_code,
+        },
+        "console": machine.uart.output.hex(),
+        "rng": machine.rng.state,
+        "halt": machine.halt_reason.value if machine.halt_reason else None,
+    }
+    if include_engine:
+        engine = machine.engine
+        state["engine"] = {
+            "keys": [
+                [int(ksel), reg.hi, reg.lo]
+                for ksel, reg in sorted(
+                    engine.key_file.registers.items(),
+                    key=lambda item: int(item[0]),
+                )
+            ],
+            "stats": engine.stats.snapshot(),
+            "clb": {
+                "entries": [
+                    [
+                        entry.valid,
+                        int(entry.ksel) if entry.valid else -1,
+                        entry.tweak,
+                        entry.plaintext,
+                        entry.ciphertext,
+                        entry.last_use,
+                    ]
+                    for entry in engine.clb.entries
+                ],
+                "clock": engine.clb._clock,
+                "stats": engine.clb.stats.snapshot(),
+            },
+        }
+    return state
+
+
+def state_digest(machine, include_engine: bool = True) -> str:
+    """Short hex fingerprint of :func:`architectural_state`."""
+    blob = json.dumps(
+        architectural_state(machine, include_engine=include_engine),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(blob.encode(), digest_size=16).hexdigest()
+
+
+def diff_states(left: dict, right: dict, prefix: str = "") -> list[str]:
+    """Human-readable list of paths where two state dicts differ."""
+    diffs: list[str] = []
+    if isinstance(left, dict) and isinstance(right, dict):
+        for key in sorted(set(left) | set(right)):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if key not in left:
+                diffs.append(f"{path}: missing on left")
+            elif key not in right:
+                diffs.append(f"{path}: missing on right")
+            else:
+                diffs.extend(diff_states(left[key], right[key], path))
+        return diffs
+    if isinstance(left, list) and isinstance(right, list):
+        if len(left) != len(right):
+            diffs.append(f"{prefix}: length {len(left)} != {len(right)}")
+            return diffs
+        for i, (a, b) in enumerate(zip(left, right)):
+            diffs.extend(diff_states(a, b, f"{prefix}[{i}]"))
+        return diffs
+    if left != right:
+        if isinstance(left, int) and isinstance(right, int):
+            diffs.append(f"{prefix}: {left:#x} != {right:#x}")
+        else:
+            diffs.append(f"{prefix}: {left!r} != {right!r}")
+    return diffs

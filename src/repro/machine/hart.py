@@ -331,6 +331,47 @@ class Hart:
         self.cycles += self.cost.trap_return
         return self.csrs.raw_read(csrdefs.MEPC)
 
+    # --------------------------------------------------------------- coverage --
+
+    def attach_coverage(self, on_instruction, on_trap=None) -> None:
+        """Wrap the dispatch table with observation callbacks.
+
+        ``on_instruction(ins)`` fires before every retired instruction's
+        handler; ``on_trap(trap, pc)`` fires on every trap entry
+        (synchronous or interrupt).  The wrappers call straight through
+        to the original closures, so architectural state, cycle
+        accounting and trap behaviour are unchanged — this exists for
+        correctness tooling (the differential fuzzer's coverage map),
+        not instrumentation that may perturb execution.
+
+        Translated blocks capture handler references at translation
+        time, so the block cache is flushed to make the fast path pick
+        up the wrapped handlers too.
+        """
+
+        def wrap(handler):
+            def wrapped(ins, pc, _handler=handler):
+                on_instruction(ins)
+                return _handler(ins, pc)
+
+            return wrapped
+
+        self._dispatch = {
+            mnemonic: wrap(handler)
+            for mnemonic, handler in self._dispatch.items()
+        }
+        if on_trap is not None:
+            inner = self._enter_trap
+
+            def enter_trap(trap, pc):
+                on_trap(trap, pc)
+                inner(trap, pc)
+
+            # Shadow the bound method; step/run_block/_take_pending_interrupt
+            # all go through the instance attribute.
+            self._enter_trap = enter_trap
+        self.blocks.flush()
+
     # ---------------------------------------------------------------- dispatch --
 
     def _build_dispatch(self):

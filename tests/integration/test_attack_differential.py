@@ -1,0 +1,54 @@
+"""Attack suite as a differential workload: step vs block-cache modes.
+
+The eight Table-4 penetration tests are the richest end-to-end
+programs in the repo — kernel boot, syscalls, interrupts, CLB churn,
+integrity faults.  Replaying each one with the block-translation fast
+path disabled and enabled, then hashing the full architectural state
+of every session, pins the two execution modes together on real
+workloads (the fuzzer does the same with synthetic ones).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.suite import ALL_ATTACKS
+from repro.kernel import KernelConfig
+from repro.machine import Machine, state_digest
+
+CONFIGS = (KernelConfig.baseline(), KernelConfig.full())
+
+
+def _replay(attack_cls, config, fast):
+    """Run one attack cell in the given mode; return (result, digests)."""
+    saved = Machine.DEFAULT_FAST_PATH
+    Machine.DEFAULT_FAST_PATH = fast
+    try:
+        # No boot cache: each mode must boot and run from reset so the
+        # entire trajectory (not just the post-boot part) is compared.
+        attack = attack_cls()
+        result = attack.run(config)
+    finally:
+        Machine.DEFAULT_FAST_PATH = saved
+    digests = [
+        state_digest(session.machine) for session in attack.sessions
+    ]
+    return result, digests
+
+
+@pytest.mark.parametrize(
+    "attack_cls", ALL_ATTACKS, ids=[a.name for a in ALL_ATTACKS]
+)
+@pytest.mark.parametrize("config", CONFIGS, ids=[c.name for c in CONFIGS])
+def test_attack_state_identical_across_modes(attack_cls, config):
+    slow_result, slow_digests = _replay(attack_cls, config, fast=False)
+    fast_result, fast_digests = _replay(attack_cls, config, fast=True)
+
+    assert slow_result == fast_result
+    assert slow_digests, f"{attack_cls.name} built no sessions"
+    assert len(slow_digests) == len(fast_digests)
+    for index, (slow, fast) in enumerate(zip(slow_digests, fast_digests)):
+        assert slow == fast, (
+            f"{attack_cls.name}/{config.name} session {index}: "
+            f"state diverged between step and block modes"
+        )

@@ -25,6 +25,7 @@ from repro.machine.blockcache import (
     BlockCache,
     TranslatedBlock,
 )
+from repro.machine.compare import architectural_state, diff_states
 from repro.machine.memory import PAGE_SHIFT
 from tests.conftest import HALT, machine_with_keys
 
@@ -40,29 +41,13 @@ def run_both(source: str, max_steps: int = 1_000_000):
 
 
 def snapshot(machine) -> dict:
-    """Complete architectural state: registers, memory, CSRs, counters."""
-    hart = machine.hart
-    return {
-        "regs": list(hart.regs._regs),
-        "pc": hart.pc,
-        "privilege": hart.privilege,
-        "cycles": hart.cycles,
-        "instret": hart.instret,
-        "csrs": dict(hart.csrs._storage),
-        "memory": {
-            index: bytes(page)
-            for index, page in machine.memory._pages.items()
-        },
-        "console": machine.console,
-        "halt": machine.halt_reason,
-        "exit_code": machine.exit_code,
-    }
+    """Complete architectural state: registers, memory, CSRs, devices."""
+    return architectural_state(machine)
 
 
 def assert_equivalent(slow, fast) -> None:
-    left, right = snapshot(slow), snapshot(fast)
-    for key in left:
-        assert left[key] == right[key], f"fast path diverged on {key}"
+    diffs = diff_states(snapshot(slow), snapshot(fast))
+    assert not diffs, "fast path diverged:\n" + "\n".join(diffs)
 
 
 class TestEquivalence:
