@@ -25,6 +25,10 @@ class AttackResult:
     #: The protection observably stopped the attack (trap/garbage).
     blocked: bool
     outcome: str
+    #: Post-run counters (CLB hit ratio, crypto ops, syscall counts)
+    #: aggregated over the attack's sessions; filled in by the suite
+    #: runner from machine statistics — no tracer is ever attached.
+    telemetry: dict | None = None
 
     @property
     def symbol(self) -> str:

@@ -34,7 +34,12 @@ def run_attack(
     attack = attack_cls()
     if boot_cache is not None:
         attack.boot_cache = boot_cache
-    return attack.run(config)
+    result = attack.run(config)
+    if result.telemetry is None:
+        from repro.telemetry.summary import aggregate_session_telemetry
+
+        result.telemetry = aggregate_session_telemetry(attack.sessions)
+    return result
 
 
 def run_suite(
@@ -80,6 +85,7 @@ def matrix_json(results: list[AttackResult]) -> dict:
                 "blocked": result.blocked,
                 "symbol": result.symbol,
                 "outcome": result.outcome,
+                "telemetry": result.telemetry,
             }
             for result in results
         ],

@@ -22,6 +22,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.keys import KeySelect
+from repro.telemetry.events import (
+    CLB_DEC_HIT,
+    CLB_DEC_MISS,
+    CLB_ENC_HIT,
+    CLB_ENC_MISS,
+    CLB_EVICT,
+    CLB_INVALIDATE,
+)
 
 
 @dataclass
@@ -99,6 +107,8 @@ class CLB:
         self.entries = [CLBEntry() for _ in range(num_entries)]
         self.stats = CLBStats()
         self._clock = 0
+        #: Telemetry sink (``hook(kind, **fields)``) or None.
+        self.trace_hook = None
 
     @property
     def enabled(self) -> bool:
@@ -111,10 +121,15 @@ class CLB:
     ) -> int | None:
         """Return the cached ciphertext for an encryption, or ``None``."""
         entry = self._find(ksel, tweak, plaintext=plaintext)
+        hook = self.trace_hook
         if entry is None:
             self.stats.enc_misses += 1
+            if hook is not None:
+                hook(CLB_ENC_MISS, ksel=int(ksel))
             return None
         self.stats.enc_hits += 1
+        if hook is not None:
+            hook(CLB_ENC_HIT, ksel=int(ksel))
         self._touch(entry)
         return entry.ciphertext
 
@@ -123,10 +138,15 @@ class CLB:
     ) -> int | None:
         """Return the cached plaintext for a decryption, or ``None``."""
         entry = self._find(ksel, tweak, ciphertext=ciphertext)
+        hook = self.trace_hook
         if entry is None:
             self.stats.dec_misses += 1
+            if hook is not None:
+                hook(CLB_DEC_MISS, ksel=int(ksel))
             return None
         self.stats.dec_hits += 1
+        if hook is not None:
+            hook(CLB_DEC_HIT, ksel=int(ksel))
         self._touch(entry)
         return entry.plaintext
 
@@ -146,6 +166,9 @@ class CLB:
         if victim is None:
             victim = min(self.entries, key=lambda e: e.last_use)
             self.stats.evictions += 1
+            hook = self.trace_hook
+            if hook is not None:
+                hook(CLB_EVICT, ksel=int(victim.ksel))
         victim.valid = True
         victim.ksel = ksel
         victim.tweak = tweak
@@ -164,6 +187,9 @@ class CLB:
                 entry.valid = False
                 dropped += 1
         self.stats.invalidations += dropped
+        hook = self.trace_hook
+        if hook is not None:
+            hook(CLB_INVALIDATE, ksel=int(ksel), dropped=dropped)
         return dropped
 
     def invalidate_all(self) -> None:

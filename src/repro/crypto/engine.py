@@ -25,6 +25,7 @@ from repro.crypto.keys import KeyFile, KeySelect
 from repro.crypto.primitives import ByteRange
 from repro.crypto.qarma import Qarma64
 from repro.errors import IntegrityViolation, PrivilegeError
+from repro.telemetry.events import CRYPTO_FAULT, CRYPTO_OP
 from repro.utils.bits import MASK64
 
 
@@ -105,6 +106,8 @@ class CryptoEngine:
         self.miss_cycles = miss_cycles
         self.hit_cycles = hit_cycles
         self.stats = EngineStats()
+        #: Telemetry sink (``hook(kind, **fields)``) or None.
+        self.trace_hook = None
         # A key register update invalidates dependent CLB entries (§2.3.3).
         self.key_file.add_listener(self.clb.invalidate_ksel)
 
@@ -151,6 +154,15 @@ class CryptoEngine:
                 self.clb.insert(ksel, tweak, plaintext, result)
             cycles = self.miss_cycles
         self.stats.cycles += cycles
+        hook = self.trace_hook
+        if hook is not None:
+            hook(
+                CRYPTO_OP,
+                op="enc",
+                ksel=int(ksel),
+                cycles=cycles,
+                hit=cached is not None,
+            )
         return result, cycles
 
     def decrypt(
@@ -187,10 +199,21 @@ class CryptoEngine:
                 self.clb.insert(ksel, tweak, plaintext, value)
             cycles = self.miss_cycles
         self.stats.cycles += cycles
+        hook = self.trace_hook
+        if hook is not None:
+            hook(
+                CRYPTO_OP,
+                op="dec",
+                ksel=int(ksel),
+                cycles=cycles,
+                hit=cached is not None,
+            )
 
         outside = plaintext & ~byte_range.mask & MASK64
         if outside:
             self.stats.integrity_faults += 1
+            if hook is not None:
+                hook(CRYPTO_FAULT, ksel=int(ksel))
             raise IntegrityViolation(
                 f"crd{ksel.letter}k integrity check failed for range "
                 f"{byte_range}: plaintext {plaintext:#018x}"

@@ -55,12 +55,16 @@ def main(argv=None) -> int:
                         f"{DEFAULT_CORPUS} when present)")
     parser.add_argument("--emit-dir", default="fuzz-failures",
                         help="directory for minimized repro files")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="count trace-bus events campaign-wide and "
+                        "add a telemetry block to the report")
     parser.add_argument("--replay", metavar="FILE", default=None,
                         help="re-run one seed/repro JSON file and exit")
     args = parser.parse_args(argv)
 
     config = FuzzConfig(seed=args.seed, budget=args.budget,
-                        emit_dir=args.emit_dir)
+                        emit_dir=args.emit_dir,
+                        telemetry=args.telemetry)
     if args.max_steps:
         config.max_steps = args.max_steps
 
@@ -94,6 +98,11 @@ def main(argv=None) -> int:
               f"{coverage['clb_events']} CLB events "
               f"({coverage['instructions_executed']} instructions, "
               f"{coverage['traps_taken']} traps)")
+        if "telemetry" in report:
+            telemetry = report["telemetry"]
+            print("  telemetry: " + "  ".join(
+                f"{key} {value}" for key, value in telemetry.items()
+            ))
         for failure in report["failures"]:
             print(f"  FAILURE {failure['name']} [{failure['oracle']}] "
                   f"{failure['detail']} -> {failure['repro']}")

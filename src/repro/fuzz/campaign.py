@@ -53,6 +53,10 @@ class FuzzConfig:
     snapshot_share: int = 4
     #: Where minimized failing cases are written (None: don't write).
     emit_dir: str | None = "fuzz-failures"
+    #: Count campaign-level trace-bus events (insns observed, traps)
+    #: and add a ``telemetry`` block to the report.  Off by default;
+    #: enabling it changes no other report key.
+    telemetry: bool = False
 
 
 @dataclass
@@ -80,6 +84,39 @@ class Campaign:
             "compiler": {"cases": 0, "divergences": 0, "words": 0},
         }
         self._interesting = 0
+        self._telemetry = None
+        self._observers = None
+        if self.config.telemetry:
+            from repro.telemetry.events import (
+                INSN_RETIRE,
+                TRAP_ENTER,
+                TRAP_EXIT,
+            )
+
+            counters = {
+                "insns_observed": 0,
+                "traps_entered": 0,
+                "traps_exited": 0,
+                "interrupts": 0,
+            }
+
+            def on_insn(ins, pc):
+                counters["insns_observed"] += 1
+
+            def on_trap_enter(event):
+                counters["traps_entered"] += 1
+                if event.data["interrupt"]:
+                    counters["interrupts"] += 1
+
+            def on_trap_exit(event):
+                counters["traps_exited"] += 1
+
+            self._telemetry = counters
+            self._observers = (
+                (INSN_RETIRE, on_insn),
+                (TRAP_ENTER, on_trap_enter),
+                (TRAP_EXIT, on_trap_exit),
+            )
 
     # -- main loop -------------------------------------------------------------
 
@@ -120,6 +157,7 @@ class Campaign:
             coverage=self.coverage,
             mutate_hart=self.mutate_hart,
             max_steps=config.max_steps,
+            observers=self._observers,
         )
         self.stats["step_vs_block"]["cases"] += 1
         if not outcome:
@@ -218,7 +256,7 @@ class Campaign:
         )
 
     def report(self) -> dict:
-        return {
+        report = {
             "schema": REPORT_SCHEMA,
             "seed": self.config.seed,
             "budget": self.config.budget,
@@ -242,6 +280,9 @@ class Campaign:
                 for f in self.failures
             ],
         }
+        if self._telemetry is not None:
+            report["telemetry"] = dict(self._telemetry)
+        return report
 
 
 def run_campaign(

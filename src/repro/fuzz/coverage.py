@@ -78,7 +78,7 @@ class CoverageMap:
 
     # -- hart callbacks --------------------------------------------------------
 
-    def record_instruction(self, ins: Instruction) -> None:
+    def record_instruction(self, ins: Instruction, pc: int = 0) -> None:
         if ins.fmt is InstrFormat.CRYPTO:
             opcode = _CRE if ins.mnemonic.startswith("cre") else _CRD
             br = ins.byte_range
@@ -91,6 +91,12 @@ class CoverageMap:
 
     def record_trap(self, trap, pc: int) -> None:
         key = (int(trap.cause), bool(trap.interrupt))
+        self.trap_edges[key] = self.trap_edges.get(key, 0) + 1
+
+    def record_trap_event(self, event) -> None:
+        """Trace-bus form of :meth:`record_trap` (a ``trap.enter`` event)."""
+        data = event.data
+        key = (data["cause"], data["interrupt"])
         self.trap_edges[key] = self.trap_edges.get(key, 0) + 1
 
     # -- engine events ---------------------------------------------------------

@@ -33,6 +33,8 @@ from repro.isa.disassembler import disassemble
 from repro.isa.encoder import encode
 from repro.machine import HaltReason, architectural_state, diff_states
 from repro.snapshot import capture, from_bytes, restore, to_bytes
+from repro.telemetry.bus import TraceBus
+from repro.telemetry.events import INSN_RETIRE, TRAP_ENTER
 
 __all__ = [
     "OracleOutcome",
@@ -88,20 +90,28 @@ def run_differential(
     coverage=None,
     mutate_hart=None,
     max_steps: int = CASE_STEP_BUDGET,
+    observers=None,
 ) -> OracleOutcome:
     """Single-step and block-translated execution must be bit-identical.
 
-    ``coverage`` (a CoverageMap) observes the reference run.
+    ``coverage`` (a CoverageMap) observes the reference run through the
+    telemetry trace bus (``insn.retire`` + ``trap.enter``); ``observers``
+    is an optional iterable of extra ``(kind, callback)`` subscriptions
+    for the same bus (the campaign's ``--telemetry`` counters).
     ``mutate_hart`` is a test hook: it receives the fast-path hart so
     mutation tests can plant a bug and watch the oracle catch it.
     """
     program = assemble(harness_source(list(case.body_words), case.reg_seed))
     ref = build_machine(program)
     dut = build_machine(program)
-    if coverage is not None:
-        ref.hart.attach_coverage(
-            coverage.record_instruction, coverage.record_trap
-        )
+    if coverage is not None or observers:
+        bus = TraceBus()
+        if coverage is not None:
+            bus.subscribe(INSN_RETIRE, coverage.record_instruction)
+            bus.subscribe(TRAP_ENTER, coverage.record_trap_event)
+        for kind, callback in observers or ():
+            bus.subscribe(kind, callback)
+        ref.hart.attach_tracer(bus)
     if mutate_hart is not None:
         mutate_hart(dut.hart)
     error_ref = _run_guarded(ref, max_steps, fast=False)

@@ -354,3 +354,27 @@ def _build_sys_ticks(module: Module) -> None:
     b = IRBuilder(func)
     b.block("entry")
     b.ret(b.raw_load(b.addr_of_global("tick_count")))
+
+
+# -- host-side inspection ---------------------------------------------------------
+
+
+def read_current_tid(memory, image) -> int | None:
+    """Read the running thread's tid straight from guest memory.
+
+    Used by telemetry's kernel probe to attribute syscalls and detect
+    context switches without executing any guest code.  Returns None
+    before the scheduler has set ``current`` (or if the kernel data
+    section is not mapped yet).
+    """
+    from repro.errors import KernelError, MemoryFault
+
+    try:
+        pointer = memory.read_u64(image.symbol("current"))
+        if pointer == 0:
+            return None
+        return memory.read_u64(
+            pointer + image.field_offset(THREAD_INFO, "tid")
+        )
+    except (KernelError, MemoryFault):
+        return None

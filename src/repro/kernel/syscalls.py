@@ -68,6 +68,13 @@ SYSCALL_HANDLERS = {
     SYS_TICKS: "sys_ticks",
 }
 
+#: Human-readable syscall names (handler names minus the ``sys_``
+#: prefix), used by telemetry for ``syscall.<name>`` metric names.
+SYSCALL_NAMES = {
+    number: name[4:] if name.startswith("sys_") else name
+    for number, name in SYSCALL_HANDLERS.items()
+}
+
 
 def build_syscalls(module: Module, config: KernelConfig) -> None:
     table_init = [

@@ -21,6 +21,11 @@ Invalidation rules (see ``docs/perf.md``):
 from __future__ import annotations
 
 from repro.machine.memory import PAGE_SHIFT
+from repro.telemetry.events import (
+    BLOCK_FLUSH,
+    BLOCK_HIT,
+    BLOCK_INVALIDATE,
+)
 
 #: Longest straight-line sequence one block may hold.
 MAX_BLOCK_INSTRUCTIONS = 64
@@ -76,12 +81,25 @@ class BlockCache:
         self.translations = 0
         self.invalidated_blocks = 0
         self.flushes = 0
+        self.hits = 0
+        self.misses = 0
+        #: Telemetry sink (``hook(kind, **fields)``) or None; compile
+        #: events are emitted by the hart, which owns the timing.
+        self.trace_hook = None
 
     def __len__(self) -> int:
         return len(self._blocks)
 
     def lookup(self, key: tuple[int, int]) -> TranslatedBlock | None:
-        return self._blocks.get(key)
+        block = self._blocks.get(key)
+        if block is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        hook = self.trace_hook
+        if hook is not None:
+            hook(BLOCK_HIT, pc=key[0], instructions=len(block.ops))
+        return block
 
     def insert(self, key: tuple[int, int], block: TranslatedBlock) -> None:
         if len(self._blocks) >= self.capacity:
@@ -108,9 +126,15 @@ class BlockCache:
                     if siblings is not None:
                         siblings.discard(key)
         self.invalidated_blocks += dropped
+        hook = self.trace_hook
+        if hook is not None and dropped:
+            hook(BLOCK_INVALIDATE, page=page_index, blocks=dropped)
         return dropped
 
     def flush(self) -> None:
+        hook = self.trace_hook
+        if hook is not None:
+            hook(BLOCK_FLUSH, blocks=len(self._blocks))
         self.invalidated_blocks += len(self._blocks)
         self._blocks.clear()
         self._by_page.clear()

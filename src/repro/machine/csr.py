@@ -60,6 +60,10 @@ class CSRFile:
         }
         #: Hooked counters, set by the hart (cycle/instret reads).
         self.counter_hooks: dict[int, callable] = {}
+        #: Telemetry sink (``hook(ksel, half)``) fired on key-CSR
+        #: writes, or None.  Observes only the write's occurrence —
+        #: never the key material.
+        self.key_write_hook = None
 
     @staticmethod
     def _min_privilege(csr: int) -> int:
@@ -98,6 +102,9 @@ class CSRFile:
                 self.key_file.set_word(ksel, hi=value)
             else:
                 self.key_file.set_word(ksel, lo=value)
+            hook = self.key_write_hook
+            if hook is not None:
+                hook(ksel, half)
             return
         if csr not in self._storage:
             raise Trap(Cause.ILLEGAL_INSTRUCTION, tval=csr)

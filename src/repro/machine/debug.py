@@ -8,6 +8,7 @@ invaluable when extending the kernel.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 from repro.isa.decoder import decode
@@ -29,14 +30,20 @@ class SymbolTable:
             self._sorted.append((address, name))
         self._sorted.sort()
 
-    def resolve(self, address: int) -> str:
-        """``symbol+offset`` for the nearest preceding symbol."""
-        import bisect
-
+    def nearest(self, address: int) -> tuple[str, int] | None:
+        """``(name, base)`` of the nearest preceding symbol, or None."""
         index = bisect.bisect_right(self._sorted, (address, "\xff")) - 1
         if index < 0:
-            return f"{address:#x}"
+            return None
         base, name = self._sorted[index]
+        return name, base
+
+    def resolve(self, address: int) -> str:
+        """``symbol+offset`` for the nearest preceding symbol."""
+        found = self.nearest(address)
+        if found is None:
+            return f"{address:#x}"
+        name, base = found
         offset = address - base
         return name if offset == 0 else f"{name}+{offset:#x}"
 

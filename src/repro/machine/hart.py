@@ -9,6 +9,7 @@ integrity faults surface as architectural traps.
 from __future__ import annotations
 
 import enum
+import time
 
 from repro.crypto.engine import CryptoEngine
 from repro.errors import (
@@ -38,6 +39,12 @@ from repro.machine.csr import (
 from repro.machine.regfile import RegisterFile
 from repro.machine.timing import CostModel
 from repro.machine.trap import Cause, Trap, mcause_value
+from repro.telemetry.events import (
+    BLOCK_COMPILE,
+    INSN_RETIRE,
+    TRAP_ENTER,
+    TRAP_EXIT,
+)
 from repro.utils.bits import (
     MASK64,
     sign_extend,
@@ -89,6 +96,9 @@ class Hart:
         self.csrs.counter_hooks[csrdefs.MCYCLE] = lambda: self.cycles
         self.csrs.counter_hooks[csrdefs.MINSTRET] = lambda: self.instret
         self._dispatch = self._build_dispatch()
+        #: Saved (dispatch, enter_trap) states for attached tracers; the
+        #: empty list is the zero-overhead baseline.
+        self._tracer_stack: list[dict] = []
         # -- fast path: basic-block translation cache ----------------------
         self.blocks = BlockCache()
         #: Set mid-block by device stores and code-page writes; forces a
@@ -203,6 +213,8 @@ class Hart:
         """Predecode the straight-line sequence starting at ``pc``."""
         if pc % 4:
             return None
+        trace = self.blocks.trace_hook
+        started_ns = time.perf_counter_ns() if trace is not None else 0
         mem = self._code_mem
         address = pc
         instructions: list = []
@@ -252,6 +264,13 @@ class Hart:
         if hasattr(mem, "watch_code_page"):
             for page in pages:
                 mem.watch_code_page(page)
+        if trace is not None:
+            trace(
+                BLOCK_COMPILE,
+                pc=pc,
+                instructions=len(ops),
+                ns=time.perf_counter_ns() - started_ns,
+            )
         return block
 
     def _on_code_write(self, page_index: int) -> None:
@@ -331,46 +350,127 @@ class Hart:
         self.cycles += self.cost.trap_return
         return self.csrs.raw_read(csrdefs.MEPC)
 
-    # --------------------------------------------------------------- coverage --
+    # --------------------------------------------------------------- telemetry --
 
-    def attach_coverage(self, on_instruction, on_trap=None) -> None:
-        """Wrap the dispatch table with observation callbacks.
+    def attach_tracer(self, bus) -> None:
+        """Instrument the hart for a :class:`repro.telemetry.TraceBus`.
 
-        ``on_instruction(ins)`` fires before every retired instruction's
-        handler; ``on_trap(trap, pc)`` fires on every trap entry
-        (synchronous or interrupt).  The wrappers call straight through
-        to the original closures, so architectural state, cycle
-        accounting and trap behaviour are unchanged — this exists for
-        correctness tooling (the differential fuzzer's coverage map),
-        not instrumentation that may perturb execution.
+        Only the planes the bus has subscribers for *at attach time* are
+        instrumented, and each one calls straight through to the
+        original closures, so architectural state, cycle accounting and
+        trap behaviour are unchanged:
+
+        * ``insn.retire`` — raw plane; every subscriber is called
+          positionally as ``fn(ins, pc)`` before the handler, with no
+          event object allocated (this is the per-instruction path);
+        * ``trap.enter``  — emitted before the trap is architecturally
+          taken, so subscribers see pre-entry register state;
+        * ``trap.exit``   — emitted after ``mret``/``sret`` returns,
+          carrying the resumed pc and the restored privilege level.
 
         Translated blocks capture handler references at translation
         time, so the block cache is flushed to make the fast path pick
-        up the wrapped handlers too.
+        up the wrapped handlers; :meth:`detach_tracer` restores the
+        exact pre-attach dispatch table and trap entry.
         """
+        self._tracer_stack.append(
+            {"dispatch": self._dispatch, "enter_trap": self._enter_trap}
+        )
+        dispatch = self._dispatch
+        observers = bus.subscribers(INSN_RETIRE)
+        if observers:
+            if len(observers) == 1:
+                observe = observers[0]
+            else:
+                def observe(ins, pc, _observers=tuple(observers)):
+                    for fn in _observers:
+                        fn(ins, pc)
 
-        def wrap(handler):
-            def wrapped(ins, pc, _handler=handler):
-                on_instruction(ins)
-                return _handler(ins, pc)
+            def wrap(handler):
+                def wrapped(ins, pc, _handler=handler):
+                    observe(ins, pc)
+                    return _handler(ins, pc)
 
-            return wrapped
+                return wrapped
 
-        self._dispatch = {
-            mnemonic: wrap(handler)
-            for mnemonic, handler in self._dispatch.items()
-        }
-        if on_trap is not None:
+            dispatch = {
+                mnemonic: wrap(handler)
+                for mnemonic, handler in dispatch.items()
+            }
+        if bus.wants(TRAP_EXIT):
+            def wrap_return(handler):
+                def wrapped(ins, pc, _handler=handler):
+                    next_pc = _handler(ins, pc)
+                    bus.emit(
+                        TRAP_EXIT,
+                        self.cycles,
+                        pc=next_pc,
+                        privilege=int(self.privilege),
+                    )
+                    return next_pc
+
+                return wrapped
+
+            dispatch = dict(dispatch)
+            for mnemonic in ("mret", "sret"):
+                dispatch[mnemonic] = wrap_return(dispatch[mnemonic])
+        self._dispatch = dispatch
+        if bus.wants(TRAP_ENTER):
             inner = self._enter_trap
 
             def enter_trap(trap, pc):
-                on_trap(trap, pc)
+                bus.emit(
+                    TRAP_ENTER,
+                    self.cycles,
+                    cause=int(trap.cause),
+                    interrupt=bool(trap.interrupt),
+                    pc=pc,
+                    tval=trap.tval,
+                )
                 inner(trap, pc)
 
             # Shadow the bound method; step/run_block/_take_pending_interrupt
             # all go through the instance attribute.
             self._enter_trap = enter_trap
         self.blocks.flush()
+
+    def detach_tracer(self) -> None:
+        """Undo the most recent :meth:`attach_tracer` exactly."""
+        if not self._tracer_stack:
+            return
+        saved = self._tracer_stack.pop()
+        self._dispatch = saved["dispatch"]
+        self._enter_trap = saved["enter_trap"]
+        self.blocks.flush()
+
+    def attach_coverage(self, on_instruction, on_trap=None) -> None:
+        """Observation callbacks for correctness tooling (thin shim).
+
+        Builds a private trace bus and delegates to
+        :meth:`attach_tracer` so there is exactly one hook mechanism.
+        ``on_instruction(ins)`` fires before every retired instruction;
+        ``on_trap(trap, pc)`` fires on every trap entry (synchronous or
+        interrupt).  New code should subscribe to a
+        :class:`repro.telemetry.TraceBus` directly.
+        """
+        from repro.telemetry.bus import TraceBus
+
+        bus = TraceBus()
+        bus.subscribe(INSN_RETIRE, lambda ins, pc: on_instruction(ins))
+        if on_trap is not None:
+            def forward(event):
+                data = event.data
+                on_trap(
+                    Trap(
+                        Cause(data["cause"]),
+                        tval=data["tval"],
+                        interrupt=data["interrupt"],
+                    ),
+                    data["pc"],
+                )
+
+            bus.subscribe(TRAP_ENTER, forward)
+        self.attach_tracer(bus)
 
     # ---------------------------------------------------------------- dispatch --
 

@@ -41,6 +41,12 @@ def main(argv: list[str] | None = None) -> int:
         help=f"subset to run (default: all of {', '.join(WORKLOADS)})",
     )
     parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="append a metrics block from one instrumented "
+        "kernel_boot_protected run (off the benchmark clock)",
+    )
+    parser.add_argument(
         "--output",
         metavar="PATH",
         default=None,
@@ -55,7 +61,10 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"--output directory does not exist: {directory}")
 
     report = run_perf(
-        quick=args.quick, repeats=args.repeats, only=args.workloads
+        quick=args.quick,
+        repeats=args.repeats,
+        only=args.workloads,
+        telemetry=args.telemetry,
     )
     print(format_report(report))
     if args.output:

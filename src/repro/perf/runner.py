@@ -60,6 +60,8 @@ def _measure_interp(workload, quick: bool, fast: bool, repeats: int):
             "simulated_cycles_per_second": result.cycles / wall,
             "block_translations": blocks.translations,
             "blocks_invalidated": blocks.invalidated_blocks,
+            "block_hits": blocks.hits,
+            "block_misses": blocks.misses,
         }
         if best is None or wall < best["wall_seconds"]:
             best = candidate
@@ -182,10 +184,33 @@ def _run_engine_workload(workload, quick: bool, repeats: int) -> dict:
     }
 
 
+def _telemetry_block(quick: bool) -> dict:
+    """One instrumented protected-boot run's metrics, for the report.
+
+    Runs off the benchmark clock (the measured runs above are never
+    instrumented) and uses the metrics plane only, so the report gains
+    CLB/crypto/block/trap/syscall counters without trace overhead.
+    """
+    from repro.telemetry.runner import run_workload
+
+    run = run_workload(
+        "kernel_boot_protected",
+        quick=quick,
+        trace=False,
+        profile=False,
+        metrics=True,
+    )
+    return {
+        "workload": run.workload,
+        "metrics": run.telemetry.metrics_json(),
+    }
+
+
 def run_perf(
     quick: bool = False,
     repeats: int | None = None,
     only: list[str] | None = None,
+    telemetry: bool = False,
 ) -> dict:
     """Run the selected workloads; return the JSON-ready report dict."""
     if only:
@@ -215,7 +240,7 @@ def run_perf(
                 workload, quick, repeats
             )
 
-    return {
+    report = {
         "schema": SCHEMA,
         "quick": quick,
         "repeats": repeats,
@@ -224,6 +249,9 @@ def run_perf(
         "platform": platform.platform(),
         "workloads": results,
     }
+    if telemetry:
+        report["telemetry"] = _telemetry_block(quick)
+    return report
 
 
 def write_report(report: dict, path: str) -> None:

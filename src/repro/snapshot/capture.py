@@ -6,6 +6,8 @@ from dataclasses import fields
 
 from repro.errors import SnapshotError
 from repro.machine.timing import CostModel
+from repro.telemetry import hooks as telemetry
+from repro.telemetry.events import SNAPSHOT_CAPTURE
 from repro.snapshot.state import (
     CLBState,
     DeviceState,
@@ -117,6 +119,12 @@ def capture(machine, include_pages: bool = True) -> MachineSnapshot:
     instead.  Such a snapshot cannot be serialized or restored on its
     own.
     """
+    if telemetry.active():
+        telemetry.emit(
+            SNAPSHOT_CAPTURE,
+            pages=len(machine.memory._pages),
+            include_pages=include_pages,
+        )
     hart = machine.hart
     return MachineSnapshot(
         hart=HartState(

@@ -1,0 +1,56 @@
+"""repro.telemetry — tracing, metrics and profiling for the simulator.
+
+Three planes over one hook fabric:
+
+* **trace** — typed, cycle-stamped events on a :class:`TraceBus`
+  (:mod:`repro.telemetry.events` lists the kinds and their schemas);
+* **metrics** — a hierarchical :class:`MetricsRegistry` of counters,
+  gauges and histograms with a stable JSON export;
+* **profile** — an exact pc histogram resolved against the kernel
+  image's symbol table, exportable as flat-profile text or Chrome
+  trace-event JSON (Perfetto-loadable).
+
+:class:`Telemetry` is the facade that attaches all of it to a machine
+and restores the zero-overhead disabled state on detach.  This module
+deliberately keeps its imports lazy: components that emit events import
+only the leaf :mod:`repro.telemetry.events` module.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry import events
+from repro.telemetry.bus import TraceBus, TraceRecorder
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = [
+    "events",
+    "TraceBus",
+    "TraceRecorder",
+    "MetricsRegistry",
+    "Telemetry",
+    "Profiler",
+    "chrome_trace",
+    "run_workload",
+]
+
+
+def __getattr__(name: str):
+    # Heavier pieces (facade pulls in machine-adjacent code paths) load
+    # on first use so `import repro.telemetry` stays cheap for emitters.
+    if name == "Telemetry":
+        from repro.telemetry.tracer import Telemetry
+
+        return Telemetry
+    if name == "Profiler":
+        from repro.telemetry.profile import Profiler
+
+        return Profiler
+    if name == "chrome_trace":
+        from repro.telemetry.chrometrace import chrome_trace
+
+        return chrome_trace
+    if name == "run_workload":
+        from repro.telemetry.runner import run_workload
+
+        return run_workload
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,41 @@
+"""Module-level telemetry sink for code without a machine reference.
+
+The snapshot subsystem operates *on* machines from the outside
+(:func:`repro.snapshot.capture.capture` is a free function), so it
+cannot carry a per-instance ``trace_hook`` attribute the way the CLB or
+block cache do.  Instead it calls :func:`emit` here, which is a no-op
+until a :class:`~repro.telemetry.tracer.Telemetry` installs a sink for
+the duration of its attachment.
+
+``set_sink`` returns the previous sink so nested attachments restore
+correctly (last attached wins while it is active).
+"""
+
+from __future__ import annotations
+
+__all__ = ["set_sink", "clear_sink", "emit", "active"]
+
+_sink = None
+
+
+def set_sink(fn):
+    """Install ``fn(kind, fields_dict)`` as the sink; return the old one."""
+    global _sink
+    previous = _sink
+    _sink = fn
+    return previous
+
+
+def clear_sink(previous=None) -> None:
+    """Remove the sink (or restore ``previous``)."""
+    global _sink
+    _sink = previous
+
+
+def active() -> bool:
+    return _sink is not None
+
+
+def emit(kind: str, **fields) -> None:
+    if _sink is not None:
+        _sink(kind, fields)

@@ -1,0 +1,87 @@
+"""Kernel-level event derivation from machine-level traps.
+
+The kernel in this reproduction is compiled IR running *on* the
+simulated hart, so kernel events cannot be emitted by kernel code
+without perturbing the very execution being observed.  Instead the
+probe derives them machine-side, the way a hardware trace unit would:
+
+* **syscall enter** — a trap with cause ``ECALL_FROM_U``; the syscall
+  number is read from ``a7`` (the kernel ABI's syscall register) at
+  trap entry, before the handler can clobber it;
+* **syscall exit** — the next ``mret`` that returns to user privilege;
+  the cycle delta between the pair is the full kernel path (trap entry
+  asm, dispatch, audit, handler, trap exit asm);
+* **context switch** — the ``current`` thread pointer (resolved through
+  the kernel image's symbol table) is sampled at every trap exit; a
+  ``tid`` change between consecutive samples is a switch.
+
+Everything is read from guest memory/registers; nothing is written, so
+the probe is architecturally invisible.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.sched import read_current_tid
+from repro.kernel.syscalls import SYSCALL_NAMES
+from repro.machine.hart import PrivilegeLevel
+from repro.machine.trap import Cause
+from repro.telemetry import events as ev
+
+__all__ = ["KernelProbe"]
+
+_ECALL_U = int(Cause.ECALL_FROM_U)
+
+
+class KernelProbe:
+    """Subscribes to trap events and re-emits kernel-level ones."""
+
+    def __init__(self, bus, machine, image):
+        self.bus = bus
+        self.machine = machine
+        self.image = image
+        #: The in-flight syscall, if any: (nr, name, tid, enter_cycle).
+        self._pending: tuple | None = None
+        self._last_tid: int | None = None
+        bus.subscribe(ev.TRAP_ENTER, self._on_trap_enter)
+        bus.subscribe(ev.TRAP_EXIT, self._on_trap_exit)
+
+    def _current_tid(self) -> int | None:
+        return read_current_tid(self.machine.memory, self.image)
+
+    def _on_trap_enter(self, event) -> None:
+        data = event.data
+        if data["interrupt"] or data["cause"] != _ECALL_U:
+            return
+        hart = self.machine.hart
+        nr = hart.regs[17]  # a7 holds the syscall number at entry
+        name = SYSCALL_NAMES.get(nr, f"sys{nr}")
+        tid = self._current_tid()
+        self._pending = (nr, name, tid, event.cycle)
+        self.bus.emit(
+            ev.SYSCALL_ENTER, event.cycle, nr=nr, name=name, tid=tid
+        )
+
+    def _on_trap_exit(self, event) -> None:
+        if event.data["privilege"] == int(PrivilegeLevel.USER):
+            pending = self._pending
+            if pending is not None:
+                nr, name, tid, enter_cycle = pending
+                self._pending = None
+                self.bus.emit(
+                    ev.SYSCALL_EXIT,
+                    event.cycle,
+                    nr=nr,
+                    name=name,
+                    tid=tid,
+                    cycles=event.cycle - enter_cycle,
+                )
+        tid = self._current_tid()
+        if tid is not None:
+            if self._last_tid is not None and tid != self._last_tid:
+                self.bus.emit(
+                    ev.SCHED_SWITCH,
+                    event.cycle,
+                    from_tid=self._last_tid,
+                    to_tid=tid,
+                )
+            self._last_tid = tid

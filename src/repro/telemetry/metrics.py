@@ -1,0 +1,161 @@
+"""Hierarchical metrics registry: counters, gauges, histograms.
+
+Metric names are dotted paths (``clb.enc.hits``,
+``syscall.getppid.count``, ``trap.cause.8.cycles``) so consumers can
+filter by prefix.  The JSON export (:data:`METRICS_SCHEMA`) is stable:
+keys are emitted sorted, histograms use power-of-two bucket upper
+bounds, and no wall-clock or environment data sneaks in — two runs
+producing the same counters serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS_SCHEMA"]
+
+METRICS_SCHEMA = "repro.telemetry/metrics-1"
+
+
+class Counter:
+    """Monotonic count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, delta: int = 1) -> None:
+        self.value += delta
+
+    def to_json(self):
+        return self.value
+
+
+class Gauge:
+    """Last-set value (may be any JSON scalar)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = None
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def to_json(self):
+        return self.value
+
+
+class Histogram:
+    """Distribution with power-of-two buckets.
+
+    A sample ``v`` lands in the bucket whose upper bound is the smallest
+    power of two ``>= max(v, 1)``; non-positive samples land in the
+    first bucket.  Exports count/sum/min/max plus the sparse bucket map
+    keyed ``le_<bound>``.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value) -> None:
+        value = int(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bound = 1
+        positive = max(value, 1)
+        while bound < positive:
+            bound <<= 1
+        self.buckets[bound] = self.buckets.get(bound, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                f"le_{bound}": count
+                for bound, count in sorted(self.buckets.items())
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with lazy creation and a stable JSON export."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- write side --------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def inc(self, name: str, delta: int = 1) -> None:
+        self.counter(name).inc(delta)
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def set(self, name: str, value) -> None:
+        self.gauge(name).set(value)
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram()
+        return metric
+
+    def observe(self, name: str, value) -> None:
+        self.histogram(name).observe(value)
+
+    # -- read side ---------------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        metric = self._counters.get(name)
+        return metric.value if metric is not None else 0
+
+    def names(self) -> list[str]:
+        return sorted(
+            set(self._counters) | set(self._gauges) | set(self._histograms)
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": {
+                name: metric.to_json()
+                for name, metric in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: metric.to_json()
+                for name, metric in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: metric.to_json()
+                for name, metric in sorted(self._histograms.items())
+            },
+        }

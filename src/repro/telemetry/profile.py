@@ -1,0 +1,95 @@
+"""Exact PC-histogram profiler with symbol resolution.
+
+Subscribes to the trace bus's raw instruction plane, so every retired
+instruction bumps exactly one dict slot — no sampling, no skid.  The
+flat profile aggregates PCs to their nearest preceding symbol (via
+:class:`repro.machine.debug.SymbolTable`, fed from
+:class:`repro.isa.objfile` / assembler symbol tables) and renders a
+gprof-style table.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Profiler"]
+
+
+class Profiler:
+    """Accumulates an exact ``pc -> retired instruction count`` map."""
+
+    def __init__(self):
+        self.samples: dict[int, int] = {}
+
+    # Raw-plane callback: called positionally as fn(ins, pc).
+    def on_insn(self, ins, pc: int) -> None:
+        samples = self.samples
+        samples[pc] = samples.get(pc, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.samples.values())
+
+    def flat(self, symbols=None, top: int | None = None) -> list[dict]:
+        """Per-symbol rows sorted by descending count.
+
+        ``symbols`` is a :class:`repro.machine.debug.SymbolTable` (or
+        None, in which case each PC becomes its own ``0x...`` row).
+        """
+        by_symbol: dict[str, dict] = {}
+        for pc, count in self.samples.items():
+            if symbols is not None:
+                located = symbols.nearest(pc)
+                name = located[0] if located is not None else f"{pc:#x}"
+            else:
+                name = f"{pc:#x}"
+            row = by_symbol.get(name)
+            if row is None:
+                row = by_symbol[name] = {
+                    "symbol": name,
+                    "count": 0,
+                    "pcs": 0,
+                    "low_pc": pc,
+                }
+            row["count"] += count
+            row["pcs"] += 1
+            if pc < row["low_pc"]:
+                row["low_pc"] = pc
+        total = self.total or 1
+        rows = sorted(
+            by_symbol.values(),
+            key=lambda row: (-row["count"], row["low_pc"]),
+        )
+        for row in rows:
+            row["percent"] = 100.0 * row["count"] / total
+        return rows[:top] if top is not None else rows
+
+    def format_flat(self, symbols=None, top: int = 30) -> str:
+        """gprof-style flat profile text."""
+        rows = self.flat(symbols, top=top)
+        lines = [
+            f"flat profile: {self.total} instructions, "
+            f"{len(self.samples)} distinct pcs",
+            f"{'%':>7s} {'count':>12s} {'pcs':>6s}  symbol",
+        ]
+        for row in rows:
+            lines.append(
+                f"{row['percent']:7.2f} {row['count']:12d} "
+                f"{row['pcs']:6d}  {row['symbol']}"
+            )
+        return "\n".join(lines)
+
+    def to_json(self, symbols=None, top: int | None = None) -> dict:
+        return {
+            "schema": "repro.telemetry/profile-1",
+            "total_instructions": self.total,
+            "distinct_pcs": len(self.samples),
+            "rows": [
+                {
+                    "symbol": row["symbol"],
+                    "count": row["count"],
+                    "percent": row["percent"],
+                    "pcs": row["pcs"],
+                    "low_pc": row["low_pc"],
+                }
+                for row in self.flat(symbols, top=top)
+            ],
+        }

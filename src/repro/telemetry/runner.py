@@ -1,0 +1,84 @@
+"""Run a named workload with telemetry attached.
+
+The runner reuses the perf harness's workload catalogue
+(:data:`repro.perf.workloads.INTERP_WORKLOADS`) so a traced run is the
+same deterministic kernel boot the benchmarks measure — boot, run to
+shutdown, then export whichever planes were enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telemetry.tracer import Telemetry
+
+__all__ = ["TelemetryRun", "run_workload", "workload_names"]
+
+
+@dataclass
+class TelemetryRun:
+    """A finished traced run plus its exports."""
+
+    workload: str
+    telemetry: Telemetry
+    halt_reason: str
+    exit_code: int
+    cycles: int
+    instructions: int
+    console: str = field(repr=False, default="")
+
+    def summary(self) -> dict:
+        return {
+            "workload": self.workload,
+            "halt_reason": self.halt_reason,
+            "exit_code": self.exit_code,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+        }
+
+
+def workload_names() -> tuple[str, ...]:
+    from repro.perf.workloads import INTERP_WORKLOADS
+
+    return tuple(w.name for w in INTERP_WORKLOADS)
+
+
+def run_workload(
+    name: str,
+    quick: bool = False,
+    trace: bool = True,
+    profile: bool = True,
+    metrics: bool = True,
+    max_steps: int | None = None,
+    record_limit: int | None = None,
+) -> TelemetryRun:
+    """Boot ``name`` under telemetry and run it to completion."""
+    from repro.perf.workloads import INTERP_WORKLOADS
+
+    by_name = {w.name: w for w in INTERP_WORKLOADS}
+    if name not in by_name:
+        known = ", ".join(sorted(by_name))
+        raise ValueError(f"unknown workload {name!r} (known: {known})")
+    workload = by_name[name]
+    session = workload.build_session(quick)
+
+    kwargs = {} if record_limit is None else {"record_limit": record_limit}
+    telemetry = Telemetry(
+        trace=trace, profile=profile, metrics=metrics, **kwargs
+    )
+    telemetry.attach(session.machine, image=session.image)
+    try:
+        result = session.run(max_steps or workload.max_steps)
+    finally:
+        telemetry.detach()
+    return TelemetryRun(
+        workload=name,
+        telemetry=telemetry,
+        halt_reason=(
+            result.halt_reason.name.lower() if result.halt_reason else "none"
+        ),
+        exit_code=result.exit_code,
+        cycles=result.cycles,
+        instructions=result.instructions,
+        console=result.console,
+    )

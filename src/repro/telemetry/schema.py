@@ -1,0 +1,128 @@
+"""Validators for the telemetry export formats.
+
+Each validator returns a list of problem strings — empty means valid.
+CI runs :func:`validate_chrome_trace` against the traced-workload
+artifact; the unit tests run all three against fresh exports.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.events import EVENT_SCHEMA
+from repro.telemetry.metrics import METRICS_SCHEMA
+
+__all__ = ["validate_events", "validate_chrome_trace", "validate_metrics"]
+
+_PHASES_NEEDING_DUR = {"X"}
+_KNOWN_PHASES = {"X", "B", "E", "i", "I", "C", "M"}
+
+
+def _check_payload(kind: str, payload: dict, where: str) -> list[str]:
+    required = EVENT_SCHEMA.get(kind)
+    if required is None:
+        return [f"{where}: unknown event kind {kind!r}"]
+    return [
+        f"{where}: kind {kind!r} missing required field {field!r}"
+        for field in required
+        if field not in payload
+    ]
+
+
+def validate_events(document: dict) -> list[str]:
+    """Validate a ``TraceRecorder.to_json()`` document."""
+    problems: list[str] = []
+    if document.get("schema") != "repro.telemetry/events-1":
+        problems.append(f"bad schema id {document.get('schema')!r}")
+    events = document.get("events")
+    if not isinstance(events, list):
+        return problems + ["'events' is not a list"]
+    for index, event in enumerate(events):
+        where = f"events[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        kind = event.get("kind")
+        if not isinstance(kind, str):
+            problems.append(f"{where}: missing 'kind'")
+            continue
+        if not isinstance(event.get("cycle"), int):
+            problems.append(f"{where}: missing integer 'cycle'")
+        problems.extend(_check_payload(kind, event, where))
+    return problems
+
+
+def validate_chrome_trace(document: dict) -> list[str]:
+    """Validate a Trace Event Format document and its event payloads."""
+    problems: list[str] = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' is not a list"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing 'name'")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                problems.append(f"{where}: missing integer {field!r}")
+        if phase == "M":
+            continue  # metadata events carry no timestamp
+        if not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"{where}: missing numeric 'ts'")
+        if phase in _PHASES_NEEDING_DUR:
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'X' span needs dur >= 0")
+        args = event.get("args")
+        if isinstance(args, dict):
+            kind = args.get("kind")
+            if isinstance(kind, str) and not kind.startswith("counter."):
+                problems.extend(_check_payload(kind, args, where))
+    return problems
+
+
+def validate_metrics(document: dict) -> list[str]:
+    """Validate a ``MetricsRegistry.to_json()`` document."""
+    problems: list[str] = []
+    if document.get("schema") != METRICS_SCHEMA:
+        problems.append(f"bad schema id {document.get('schema')!r}")
+    for section in ("counters", "gauges", "histograms"):
+        table = document.get(section)
+        if not isinstance(table, dict):
+            problems.append(f"'{section}' is not an object")
+            continue
+        for name in table:
+            if not isinstance(name, str) or not name:
+                problems.append(f"{section}: bad metric name {name!r}")
+    counters = document.get("counters")
+    if isinstance(counters, dict):
+        for name, value in counters.items():
+            if not isinstance(value, int) or value < 0:
+                problems.append(
+                    f"counters.{name}: not a non-negative integer"
+                )
+    histograms = document.get("histograms")
+    if isinstance(histograms, dict):
+        for name, hist in histograms.items():
+            if not isinstance(hist, dict):
+                problems.append(f"histograms.{name}: not an object")
+                continue
+            for field in ("count", "sum", "buckets"):
+                if field not in hist:
+                    problems.append(f"histograms.{name}: missing {field!r}")
+            buckets = hist.get("buckets")
+            if isinstance(buckets, dict):
+                total = sum(buckets.values())
+                if total != hist.get("count"):
+                    problems.append(
+                        f"histograms.{name}: bucket sum {total} != "
+                        f"count {hist.get('count')}"
+                    )
+    return problems

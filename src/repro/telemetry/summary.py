@@ -1,0 +1,126 @@
+"""Post-run telemetry summaries read from stats and guest memory.
+
+Unlike the live trace bus, these helpers run *after* execution and
+read what the machine already accounts for: engine/CLB statistics,
+block-cache counters, and the kernel's own syscall audit table
+(:mod:`repro.kernel.accounting`) straight out of guest memory.  They
+need no tracer attached, which is what makes the per-attack telemetry
+in ``repro.attacks --json`` free of any instrumentation overhead.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+__all__ = [
+    "machine_summary",
+    "read_syscall_counts",
+    "session_telemetry",
+    "aggregate_session_telemetry",
+]
+
+
+def machine_summary(machine) -> dict:
+    """Counters every machine carries, telemetry attached or not."""
+    hart = machine.hart
+    blocks = hart.blocks
+    return {
+        "cycles": hart.cycles,
+        "instructions": hart.instret,
+        "engine": machine.engine.stats.snapshot(),
+        "clb": machine.engine.clb.stats.snapshot(),
+        "blocks": {
+            "hits": blocks.hits,
+            "misses": blocks.misses,
+            "translations": blocks.translations,
+            "invalidated": blocks.invalidated_blocks,
+            "flushes": blocks.flushes,
+        },
+    }
+
+
+def read_syscall_counts(machine, image) -> dict[str, int]:
+    """Per-syscall counts from the kernel's audit table in guest memory."""
+    from repro.kernel.accounting import AUDIT_RECORD
+    from repro.kernel.structs import NUM_SYSCALLS
+    from repro.kernel.syscalls import SYSCALL_NAMES
+
+    layout = image.layout
+    base = image.symbol("audit_table")
+    stride = layout.sizeof(AUDIT_RECORD)
+    offset = layout.struct_layout(AUDIT_RECORD).slot("count").offset
+    counts: dict[str, int] = {}
+    for nr in range(NUM_SYSCALLS):
+        count = machine.memory.read_u64(base + nr * stride + offset)
+        if count:
+            counts[SYSCALL_NAMES.get(nr, f"sys{nr}")] = count
+    return counts
+
+
+def session_telemetry(session) -> dict:
+    """CLB hit ratio, crypto ops and syscall counts for one session."""
+    machine = session.machine
+    clb = machine.engine.clb.stats
+    engine = machine.engine.stats
+    blocks = machine.hart.blocks
+    telemetry = {
+        "cycles": machine.hart.cycles,
+        "instructions": machine.hart.instret,
+        "clb": {
+            "hits": clb.hits,
+            "misses": clb.misses,
+            "accesses": clb.accesses,
+            "hit_ratio": clb.hit_ratio,
+        },
+        "crypto": {
+            "encryptions": engine.encryptions,
+            "decryptions": engine.decryptions,
+            "operations": engine.operations,
+            "integrity_faults": engine.integrity_faults,
+            "cycles": engine.cycles,
+        },
+        "blocks": {
+            "hits": blocks.hits,
+            "misses": blocks.misses,
+            "translations": blocks.translations,
+        },
+    }
+    try:
+        telemetry["syscalls"] = read_syscall_counts(machine, session.image)
+    except ReproError:
+        # Session never mapped the kernel data section (e.g. it halted
+        # before boot); syscall counts are simply unavailable.
+        telemetry["syscalls"] = {}
+    return telemetry
+
+
+def aggregate_session_telemetry(sessions) -> dict:
+    """Fold per-session telemetry across an attack's sessions."""
+    totals = {
+        "sessions": len(sessions),
+        "clb": {"hits": 0, "misses": 0, "accesses": 0, "hit_ratio": 0.0},
+        "crypto": {
+            "encryptions": 0,
+            "decryptions": 0,
+            "operations": 0,
+            "integrity_faults": 0,
+            "cycles": 0,
+        },
+        "syscalls": {},
+    }
+    for session in sessions:
+        part = session_telemetry(session)
+        for key in ("hits", "misses", "accesses"):
+            totals["clb"][key] += part["clb"][key]
+        for key in totals["crypto"]:
+            totals["crypto"][key] += part["crypto"][key]
+        for name, count in part["syscalls"].items():
+            totals["syscalls"][name] = (
+                totals["syscalls"].get(name, 0) + count
+            )
+    accesses = totals["clb"]["accesses"]
+    totals["clb"]["hit_ratio"] = (
+        totals["clb"]["hits"] / accesses if accesses else 0.0
+    )
+    totals["syscalls"] = dict(sorted(totals["syscalls"].items()))
+    return totals

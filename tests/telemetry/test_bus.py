@@ -1,0 +1,115 @@
+"""Trace-bus unit tests: subscription planes, recorder bounds, schema."""
+
+from __future__ import annotations
+
+from repro.telemetry.bus import TraceBus, TraceRecorder
+from repro.telemetry.events import (
+    EVENT_SCHEMA,
+    INSN_RETIRE,
+    STRUCTURED_KINDS,
+    TRAP_ENTER,
+    TRAP_EXIT,
+    Event,
+)
+
+
+class TestTraceBus:
+    def test_emit_delivers_events_in_order(self):
+        bus = TraceBus()
+        seen = []
+        bus.subscribe(TRAP_ENTER, seen.append)
+        bus.emit(TRAP_ENTER, 10, cause=8, interrupt=False, pc=0x80, tval=0)
+        bus.emit(TRAP_ENTER, 20, cause=3, interrupt=True, pc=0x84, tval=0)
+        assert [e.cycle for e in seen] == [10, 20]
+        assert seen[0].kind == TRAP_ENTER
+        assert seen[0].data["cause"] == 8
+        assert seen[1].data["interrupt"] is True
+
+    def test_emit_without_subscribers_is_a_no_op(self):
+        bus = TraceBus()
+        bus.emit(TRAP_EXIT, 1, pc=0, privilege=3)  # must not raise
+
+    def test_wants_and_wants_any(self):
+        bus = TraceBus()
+        assert not bus.wants(TRAP_ENTER)
+        bus.subscribe(TRAP_ENTER, lambda e: None)
+        assert bus.wants(TRAP_ENTER)
+        assert bus.wants_any((TRAP_EXIT, TRAP_ENTER))
+        assert not bus.wants_any((TRAP_EXIT, INSN_RETIRE))
+
+    def test_unsubscribe(self):
+        bus = TraceBus()
+        seen = []
+        bus.subscribe(TRAP_ENTER, seen.append)
+        bus.unsubscribe(TRAP_ENTER, seen.append)
+        bus.emit(TRAP_ENTER, 1, cause=0, interrupt=False, pc=0, tval=0)
+        assert seen == []
+        assert not bus.wants(TRAP_ENTER)
+
+    def test_subscribers_returns_a_snapshot(self):
+        bus = TraceBus()
+        bus.subscribe(INSN_RETIRE, lambda ins, pc: None)
+        listing = bus.subscribers(INSN_RETIRE)
+        bus.subscribe(INSN_RETIRE, lambda ins, pc: None)
+        assert len(listing) == 1
+        assert len(bus.subscribers(INSN_RETIRE)) == 2
+
+    def test_make_hook_reads_the_cycle_source(self):
+        bus = TraceBus()
+        seen = []
+        bus.subscribe(TRAP_EXIT, seen.append)
+        clock = {"now": 0}
+        hook = bus.make_hook(lambda: clock["now"])
+        clock["now"] = 77
+        hook(TRAP_EXIT, pc=0x100, privilege=0)
+        assert seen[0].cycle == 77
+        assert seen[0].data == {"pc": 0x100, "privilege": 0}
+
+
+class TestTraceRecorder:
+    def _event(self, cycle):
+        return Event(TRAP_ENTER, cycle,
+                     {"cause": 8, "interrupt": False, "pc": 0, "tval": 0})
+
+    def test_limit_and_dropped_accounting(self):
+        recorder = TraceRecorder(limit=3)
+        for cycle in range(5):
+            recorder(self._event(cycle))
+        assert len(recorder) == 3
+        assert recorder.dropped == 2
+        assert [e.cycle for e in recorder.events] == [0, 1, 2]
+
+    def test_counts_and_by_kind(self):
+        recorder = TraceRecorder(limit=10)
+        recorder(self._event(1))
+        recorder(Event(TRAP_EXIT, 2, {"pc": 4, "privilege": 3}))
+        recorder(self._event(3))
+        assert recorder.counts() == {TRAP_ENTER: 2, TRAP_EXIT: 1}
+        assert [e.cycle for e in recorder.by_kind(TRAP_ENTER)] == [1, 3]
+
+    def test_to_json_schema(self):
+        recorder = TraceRecorder(limit=2)
+        recorder(self._event(5))
+        document = recorder.to_json()
+        assert document["schema"] == "repro.telemetry/events-1"
+        assert document["dropped"] == 0
+        assert document["events"] == [
+            {"kind": TRAP_ENTER, "cycle": 5,
+             "cause": 8, "interrupt": False, "pc": 0, "tval": 0}
+        ]
+
+
+class TestEventSchema:
+    def test_every_structured_kind_has_a_schema(self):
+        for kind in STRUCTURED_KINDS:
+            assert kind in EVENT_SCHEMA
+            assert EVENT_SCHEMA[kind], kind
+
+    def test_raw_plane_is_not_structured(self):
+        assert INSN_RETIRE not in STRUCTURED_KINDS
+
+    def test_event_to_json_flattens_data(self):
+        event = Event(TRAP_EXIT, 9, {"pc": 0x80, "privilege": 0})
+        assert event.to_json() == {
+            "kind": TRAP_EXIT, "cycle": 9, "pc": 0x80, "privilege": 0
+        }

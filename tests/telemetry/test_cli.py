@@ -1,0 +1,82 @@
+"""CLI tests for ``python -m repro.telemetry`` and the satellite flags."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.__main__ import main
+from repro.telemetry.runner import workload_names
+from repro.telemetry.schema import (
+    validate_chrome_trace,
+    validate_events,
+    validate_metrics,
+)
+
+
+class TestRunCommand:
+    def test_full_run_writes_all_exports(self, tmp_path, capsys):
+        code = main([
+            "run", "syscall_storm", "--quick",
+            "--out-dir", str(tmp_path), "--validate",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload:     syscall_storm" in out
+        assert "schema validation: OK" in out
+        assert "flat profile:" in out
+
+        for name, validate in (
+            ("metrics.json", validate_metrics),
+            ("events.json", validate_events),
+            ("trace.json", validate_chrome_trace),
+        ):
+            document = json.loads((tmp_path / name).read_text())
+            assert validate(document) == [], name
+        profile = json.loads((tmp_path / "profile.json").read_text())
+        assert profile["schema"] == "repro.telemetry/profile-1"
+        assert (tmp_path / "profile.txt").read_text().startswith(
+            "flat profile:"
+        )
+
+    def test_single_plane_run(self, tmp_path):
+        code = main([
+            "run", "syscall_storm", "--quick", "--metrics",
+            "--out-dir", str(tmp_path),
+        ])
+        assert code == 0
+        assert (tmp_path / "metrics.json").exists()
+        assert not (tmp_path / "events.json").exists()
+        assert not (tmp_path / "profile.json").exists()
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        listed = capsys.readouterr().out.split()
+        assert listed == list(workload_names())
+
+
+class TestSatelliteFlags:
+    def test_perf_telemetry_block(self):
+        from repro.perf.runner import run_perf
+
+        report = run_perf(quick=True, only=["kernel_boot"], telemetry=True)
+        block = report["telemetry"]
+        assert block["workload"] == "kernel_boot_protected"
+        metrics = block["metrics"]
+        assert validate_metrics(metrics) == []
+        assert metrics["counters"]["block.translations"] > 0
+        # The measured candidates surface block-cache counters too.
+        fast = report["workloads"]["kernel_boot"]["fast"]
+        assert fast["block_misses"] > 0
+        assert fast["block_hits"] >= 0
+
+    def test_attacks_json_telemetry_section(self):
+        from repro.attacks.suite import matrix_json, run_attack
+        from repro.attacks.rop import RopAttack
+        from repro.kernel import KernelConfig
+
+        result = run_attack(RopAttack, KernelConfig.full())
+        assert result.telemetry is not None
+        assert result.telemetry["sessions"] >= 1
+        assert result.telemetry["clb"]["accesses"] >= 0
+        document = matrix_json([result])
+        assert document["attacks"][0]["telemetry"] == result.telemetry

@@ -1,0 +1,117 @@
+"""Kernel-level tracing: syscall events, exports, schema validation.
+
+One traced ``syscall_storm`` run (quick mode) exercises the whole
+stack — kernel probe, metrics feeders, recorder, profiler — and every
+export format is validated against its schema.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.kernel.syscalls import SYSCALL_NAMES
+from repro.telemetry.events import (
+    KEY_WRITE,
+    SYSCALL_ENTER,
+    SYSCALL_EXIT,
+    TRAP_ENTER,
+    TRAP_EXIT,
+)
+from repro.telemetry.runner import run_workload, workload_names
+from repro.telemetry.schema import (
+    validate_chrome_trace,
+    validate_events,
+    validate_metrics,
+)
+
+
+@pytest.fixture(scope="module")
+def storm():
+    return run_workload("syscall_storm", quick=True)
+
+
+class TestKernelEvents:
+    def test_run_completes(self, storm):
+        assert storm.halt_reason == "shutdown"
+        assert storm.exit_code == 0
+        summary = storm.summary()
+        assert summary["workload"] == "syscall_storm"
+        assert summary["instructions"] == storm.instructions > 0
+
+    def test_syscall_events_carry_kernel_names(self, storm):
+        recorder = storm.telemetry.recorder
+        enters = recorder.by_kind(SYSCALL_ENTER)
+        exits = recorder.by_kind(SYSCALL_EXIT)
+        assert len(enters) > 10
+        known = set(SYSCALL_NAMES.values())
+        for event in enters:
+            assert event.data["name"] in known
+            assert event.data["nr"] in SYSCALL_NAMES
+        # The storm is getppid in a loop; the final exit never returns.
+        assert {e.data["name"] for e in enters} == {"getppid", "exit"}
+        assert len(exits) == len(enters) - 1
+        assert all(e.data["cycles"] > 0 for e in exits)
+
+    def test_syscalls_nest_inside_traps(self, storm):
+        recorder = storm.telemetry.recorder
+        enters = recorder.by_kind(TRAP_ENTER)
+        exits = recorder.by_kind(TRAP_EXIT)
+        assert len(enters) == len(exits)
+        assert len(enters) >= len(recorder.by_kind(SYSCALL_ENTER))
+
+    def test_protected_boot_reports_key_writes(self):
+        run = run_workload("kernel_boot_protected", quick=True,
+                           profile=False)
+        writes = run.telemetry.recorder.by_kind(KEY_WRITE)
+        # The protected kernel installs hi+lo halves for every key reg.
+        assert len(writes) >= 2
+        assert {w.data["half"] for w in writes} == {"hi", "lo"}
+
+    def test_workload_catalogue(self):
+        names = workload_names()
+        assert "kernel_boot" in names
+        assert "syscall_storm" in names
+        with pytest.raises(ValueError, match="unknown workload"):
+            run_workload("no_such_workload")
+
+
+class TestExports:
+    def test_events_export_validates(self, storm):
+        document = storm.telemetry.events_json()
+        assert validate_events(document) == []
+        assert document["dropped"] == 0
+
+    def test_metrics_export_validates(self, storm):
+        document = storm.telemetry.metrics_json()
+        assert validate_metrics(document) == []
+        counters = document["counters"]
+        assert counters["syscall.getppid.count"] > 10
+        assert counters["block.hits"] > 0
+        assert counters["block.misses"] > 0
+        assert document["gauges"]["hart.instret"] == storm.instructions
+        assert "syscall.getppid.cycles" in document["histograms"]
+
+    def test_chrome_trace_validates_and_loads(self, storm):
+        document = storm.telemetry.chrome_trace()
+        assert validate_chrome_trace(document) == []
+        # Round-trips through JSON (what Perfetto will load).
+        events = json.loads(json.dumps(document))["traceEvents"]
+        spans = {e["name"] for e in events if e["ph"] == "X"}
+        assert "getppid" in spans, "syscall spans are named by syscall"
+        assert "ecall_from_u" in spans, "trap spans are named by cause"
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert metadata, "track names need metadata events"
+
+    def test_flat_profile_is_symbolized(self, storm):
+        text = storm.telemetry.flat_profile(top=10)
+        assert text.startswith("flat profile:")
+        # Kernel symbols, not raw addresses, dominate the report.
+        assert "0x" not in text.splitlines()[2].split()[-1]
+
+    def test_profile_json_schema(self, storm):
+        document = storm.telemetry.profile_json(top=5)
+        assert document["schema"] == "repro.telemetry/profile-1"
+        assert document["total_instructions"] == storm.telemetry.profiler.total
+        assert len(document["rows"]) <= 5

@@ -1,0 +1,91 @@
+"""Metrics registry unit tests: counters, gauges, histograms, export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.metrics import METRICS_SCHEMA, Histogram, MetricsRegistry
+from repro.telemetry.schema import validate_metrics
+
+
+class TestHistogram:
+    def test_power_of_two_buckets(self):
+        histogram = Histogram()
+        for value in (1, 2, 3, 4, 5, 100):
+            histogram.observe(value)
+        assert histogram.buckets == {1: 1, 2: 1, 4: 2, 8: 1, 128: 1}
+        assert histogram.count == 6
+        assert histogram.total == 115
+        assert histogram.min == 1
+        assert histogram.max == 100
+
+    def test_non_positive_samples_land_in_first_bucket(self):
+        histogram = Histogram()
+        histogram.observe(0)
+        histogram.observe(-7)
+        assert histogram.buckets == {1: 2}
+        assert histogram.min == -7
+
+    def test_mean(self):
+        histogram = Histogram()
+        assert histogram.mean == 0.0
+        histogram.observe(10)
+        histogram.observe(20)
+        assert histogram.mean == 15.0
+
+    def test_to_json_bucket_keys(self):
+        histogram = Histogram()
+        histogram.observe(9)
+        document = histogram.to_json()
+        assert document["buckets"] == {"le_16": 1}
+        assert document["count"] == 1
+        assert document["sum"] == 9
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.inc("clb.enc.hits")
+        registry.inc("clb.enc.hits", 4)
+        registry.set("hart.cycles", 123)
+        registry.observe("trap.cause.8.cycles", 40)
+        assert registry.counter_value("clb.enc.hits") == 5
+        assert registry.counter_value("never.touched") == 0
+        assert registry.gauge("hart.cycles").value == 123
+        assert registry.histogram("trap.cause.8.cycles").count == 1
+        assert registry.names() == [
+            "clb.enc.hits", "hart.cycles", "trap.cause.8.cycles"
+        ]
+
+    def test_export_is_stable_and_sorted(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.inc("z.last")
+            registry.inc("a.first")
+            registry.set("gauge.one", 1.5)
+            registry.observe("histogram.one", 7)
+            return registry.to_json()
+
+        first, second = build(), build()
+        assert json.dumps(first, sort_keys=False) == json.dumps(
+            second, sort_keys=False
+        )
+        assert list(first["counters"]) == ["a.first", "z.last"]
+        assert first["schema"] == METRICS_SCHEMA
+
+    def test_export_passes_schema_validation(self):
+        registry = MetricsRegistry()
+        registry.inc("events.trap.enter", 3)
+        registry.set("clb.hit_ratio", 0.5)
+        for value in (1, 10, 1000):
+            registry.observe("block.compile_ns", value)
+        assert validate_metrics(registry.to_json()) == []
+
+    def test_validation_catches_bucket_count_mismatch(self):
+        registry = MetricsRegistry()
+        registry.observe("bad.histogram", 5)
+        document = registry.to_json()
+        document["histograms"]["bad.histogram"]["count"] = 99
+        problems = validate_metrics(document)
+        assert problems
+        assert "bad.histogram" in problems[0]
