@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.crypto.clb import CLB
 from repro.crypto.keys import KeyFile, KeySelect
+from repro.crypto.memo import DEFAULT_MEMO_ENTRIES, CipherMemo
 from repro.crypto.primitives import ByteRange
 from repro.crypto.qarma import Qarma64
 from repro.errors import IntegrityViolation, PrivilegeError
@@ -87,6 +88,12 @@ class CryptoEngine:
         The underlying tweakable block cipher (QARMA-64 by default).
     miss_cycles / hit_cycles:
         Latency of a full cryptographic operation vs. a CLB hit.
+    memo_entries:
+        Per-generation capacity of the host-side cipher memo consulted
+        on CLB misses (``0`` disables it).  The memo is invisible
+        architecturally: a memo hit still charges ``miss_cycles``,
+        still counts as a CLB miss and still refills the CLB — only the
+        Python QARMA computation is skipped.
     """
 
     #: Privilege levels mirroring RISC-V encoding (see machine.hart).
@@ -99,10 +106,12 @@ class CryptoEngine:
         cipher: Qarma64 | None = None,
         miss_cycles: int = 3,
         hit_cycles: int = 1,
+        memo_entries: int = DEFAULT_MEMO_ENTRIES,
     ):
         self.key_file = key_file if key_file is not None else KeyFile()
         self.clb = CLB(clb_entries)
         self.cipher = cipher or Qarma64()
+        self.memo = CipherMemo(memo_entries)
         self.miss_cycles = miss_cycles
         self.hit_cycles = hit_cycles
         self.stats = EngineStats()
@@ -149,7 +158,17 @@ class CryptoEngine:
             cycles = self.hit_cycles
             result = cached
         else:
-            result = self.cipher.encrypt(plaintext, tweak, self.key_file.key(ksel))
+            key128 = self.key_file.key(ksel)
+            memo = self.memo
+            result = (
+                memo.lookup(True, key128, tweak, plaintext)
+                if memo.enabled
+                else None
+            )
+            if result is None:
+                result = self.cipher.encrypt(plaintext, tweak, key128)
+                if memo.enabled:
+                    memo.insert(True, key128, tweak, plaintext, result)
             if self.clb.enabled:
                 self.clb.insert(ksel, tweak, plaintext, result)
             cycles = self.miss_cycles
@@ -194,7 +213,17 @@ class CryptoEngine:
             plaintext = cached
             cycles = self.hit_cycles
         else:
-            plaintext = self.cipher.decrypt(value, tweak, self.key_file.key(ksel))
+            key128 = self.key_file.key(ksel)
+            memo = self.memo
+            plaintext = (
+                memo.lookup(False, key128, tweak, value)
+                if memo.enabled
+                else None
+            )
+            if plaintext is None:
+                plaintext = self.cipher.decrypt(value, tweak, key128)
+                if memo.enabled:
+                    memo.insert(False, key128, tweak, value, plaintext)
             if self.clb.enabled:
                 self.clb.insert(ksel, tweak, plaintext, value)
             cycles = self.miss_cycles

@@ -1,0 +1,88 @@
+"""Bounded host-side memo for pure cipher computations.
+
+QARMA-64 is a pure function of ``(key, tweak, text)``, so repeating a
+computation the architectural CLB no longer holds (capacity-evicted, or
+invalidated by an unrelated key write) wastes host time without any
+architectural meaning.  :class:`CipherMemo` caches those results *below*
+the CLB: the engine consults it only after a CLB miss, still charges the
+full miss latency, still updates the CLB and every statistic exactly as
+before — only the Python-level cipher call is skipped.  Nothing in
+:func:`repro.machine.compare.architectural_state` can observe it.
+
+The bound uses a two-generation clock: entries insert into the current
+generation; when it fills, the previous generation is dropped and the
+generations rotate.  Hits promote entries into the current generation,
+so the working set survives rotation while cold entries age out after
+at most two rotations.  Both directions of one computation are seeded
+at once (an encryption's result is also the answer to the matching
+decryption), which serves the seal-then-unseal pattern of register
+spills and function returns.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CipherMemo", "DEFAULT_MEMO_ENTRIES"]
+
+#: Default per-generation capacity; two generations may be live at once.
+DEFAULT_MEMO_ENTRIES = 8192
+
+
+class CipherMemo:
+    """Two-generation memo on ``(direction, key, tweak, text)``."""
+
+    __slots__ = ("capacity", "_current", "_previous", "hits", "misses")
+
+    def __init__(self, capacity: int = DEFAULT_MEMO_ENTRIES):
+        self.capacity = capacity
+        self._current: dict = {}
+        self._previous: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._current) + len(self._previous)
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def lookup(self, direction: bool, key128: int, tweak: int,
+               text: int) -> int | None:
+        """Return the memoized result, promoting it, or None."""
+        memo_key = (direction, key128, tweak, text)
+        result = self._current.get(memo_key)
+        if result is None:
+            result = self._previous.get(memo_key)
+            if result is not None:
+                self._store(memo_key, result)
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def insert(self, direction: bool, key128: int, tweak: int,
+               text: int, result: int) -> None:
+        """Record one computation, seeding both directions."""
+        self._store((direction, key128, tweak, text), result)
+        self._store((not direction, key128, tweak, result), text)
+
+    def _store(self, memo_key: tuple, result: int) -> None:
+        current = self._current
+        if len(current) >= self.capacity:
+            self._previous = current
+            self._current = current = {}
+        current[memo_key] = result
+
+    def clear(self) -> None:
+        self._current.clear()
+        self._previous.clear()
+
+    def snapshot(self) -> dict:
+        """Host-side counters (never part of architectural state)."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+        }

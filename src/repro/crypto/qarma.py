@@ -146,6 +146,133 @@ def _mix(cells: list[int]) -> list[int]:
     return out
 
 
+# -- host fast path ----------------------------------------------------------
+#
+# The reference layers above manipulate 16-element cell lists; the fast
+# path instead works on the packed 64-bit word with byte-indexed lookup
+# tables.  Every diffusion layer used by the cipher (tau, M, the tweak
+# schedule h + omega, and their fused compositions) is linear over XOR,
+# so the image of a full word is the XOR of the images of its eight
+# bytes: one 8x256 table per fused layer turns a layer into 8 lookups
+# and 7 XORs.  The S-box layer is nibble-local, so it is a byte-wise
+# table as well (pre-shifted per byte position).  The tables are built
+# lazily from the reference helpers, which keeps them correct by
+# construction; `tests/crypto/test_qarma_fast.py` sweeps the fast path
+# against the reference methods for every S-box.
+
+_BYTE_SHIFTS = tuple(56 - 8 * i for i in range(8))
+_LFSR_SET = frozenset(LFSR_CELLS)
+
+
+def _linear_table(transform) -> tuple:
+    """Per-byte tables for a GF(2)-linear transform on the cell state."""
+    tables = []
+    for shift in _BYTE_SHIFTS:
+        tables.append(tuple(
+            _cells_to_text(transform(_text_to_cells(value << shift)))
+            for value in range(256)
+        ))
+    return tuple(tables)
+
+
+def _sbox_table(box) -> tuple:
+    """Pre-shifted per-byte tables for the nibble-wise S-box layer."""
+    tables = []
+    for shift in _BYTE_SHIFTS:
+        tables.append(tuple(
+            ((box[value >> 4] << 4) | box[value & 0xF]) << shift
+            for value in range(256)
+        ))
+    return tuple(tables)
+
+
+def _tweak_fwd_cells(cells: list[int]) -> list[int]:
+    cells = _permute(cells, TWEAK_PERM)
+    return [
+        _lfsr(c) if i in _LFSR_SET else c for i, c in enumerate(cells)
+    ]
+
+
+def _tweak_inv_cells(cells: list[int]) -> list[int]:
+    cells = [
+        _lfsr_inv(c) if i in _LFSR_SET else c for i, c in enumerate(cells)
+    ]
+    return _permute(cells, TWEAK_PERM_INV)
+
+
+#: Sbox-independent fused linear layers, built on first use:
+#: (M.tau, tau^-1.M, tau^-1.M.tau, tweak-forward, tweak-inverse).
+_LINEAR_TABLES = None
+#: sbox index -> (sbox layer, inverse sbox layer) byte tables.
+_SBOX_TABLES: dict[int, tuple] = {}
+
+
+def _linear_tables():
+    global _LINEAR_TABLES
+    if _LINEAR_TABLES is None:
+        _LINEAR_TABLES = (
+            _linear_table(lambda c: _mix(_permute(c, CELL_PERM))),
+            _linear_table(lambda c: _permute(_mix(c), CELL_PERM_INV)),
+            _linear_table(
+                lambda c: _permute(_mix(_permute(c, CELL_PERM)), CELL_PERM_INV)
+            ),
+            _linear_table(_tweak_fwd_cells),
+            _linear_table(_tweak_inv_cells),
+        )
+    return _LINEAR_TABLES
+
+
+def _sbox_tables(index: int) -> tuple:
+    tables = _SBOX_TABLES.get(index)
+    if tables is None:
+        tables = (_sbox_table(SBOXES[index]), _sbox_table(SBOXES_INV[index]))
+        _SBOX_TABLES[index] = tables
+    return tables
+
+
+def _apply8(t, w: int) -> int:
+    """Apply one fused byte-table layer to a 64-bit word."""
+    return (
+        t[0][w >> 56] ^ t[1][(w >> 48) & 255] ^ t[2][(w >> 40) & 255]
+        ^ t[3][(w >> 32) & 255] ^ t[4][(w >> 24) & 255]
+        ^ t[5][(w >> 16) & 255] ^ t[6][(w >> 8) & 255] ^ t[7][w & 255]
+    )
+
+
+#: key128 -> precomputed whitening/round/reflector key material.  Keyed
+#: per 128-bit key (not per cipher instance): the schedule does not
+#: depend on the S-box or round count, so every engine sharing a key
+#: file shares the entries.  Bounded FIFO — key churn simply recomputes.
+_SCHEDULE_CACHE: dict[int, tuple] = {}
+_SCHEDULE_CACHE_BOUND = 256
+
+
+def _schedule(key128: int) -> tuple:
+    sched = _SCHEDULE_CACHE.get(key128)
+    if sched is None:
+        w0 = (key128 >> 64) & MASK64
+        k0 = key128 & MASK64
+        w1 = Qarma64._orbit(w0)
+        k1 = _cells_to_text(_mix(_text_to_cells(k0)))
+        # The reflector key addition sits between M and tau^-1; pushing
+        # it through the permutation lets the fast path use the fused
+        # tau^-1.M.tau table plus one XOR with this constant.
+        refl_enc = _cells_to_text(_permute(_text_to_cells(k0), CELL_PERM_INV))
+        refl_dec = _cells_to_text(_permute(_text_to_cells(k1), CELL_PERM_INV))
+        rk_a = tuple(k0 ^ rc for rc in ROUND_CONSTANTS)
+        rk_b = tuple(k0 ^ ALPHA ^ rc for rc in ROUND_CONSTANTS)
+        if len(_SCHEDULE_CACHE) >= _SCHEDULE_CACHE_BOUND:
+            _SCHEDULE_CACHE.pop(next(iter(_SCHEDULE_CACHE)))
+        sched = (w0, w1, rk_a, rk_b, refl_enc, refl_dec)
+        _SCHEDULE_CACHE[key128] = sched
+    return sched
+
+
+def clear_schedule_cache() -> None:
+    """Drop every cached key schedule (test hook)."""
+    _SCHEDULE_CACHE.clear()
+
+
 class Qarma64:
     """QARMA-64 cipher instance with a fixed S-box and round count.
 
@@ -171,6 +298,9 @@ class Qarma64:
         self.sbox_index = sbox
         self._sbox = SBOXES[sbox]
         self._sbox_inv = SBOXES_INV[sbox]
+        self._sb, self._sbi = _sbox_tables(sbox)
+        (self._fwd, self._bwd, self._ref,
+         self._twu, self._twui) = _linear_tables()
 
     # -- key specialization -------------------------------------------------
 
@@ -243,19 +373,77 @@ class Qarma64:
     def encrypt(self, plaintext: int, tweak: int, key128: int) -> int:
         """Encrypt a 64-bit ``plaintext`` under ``tweak`` and a 128-bit key."""
         self._check_inputs(plaintext, tweak)
-        w0, k0 = self.split_key(key128)
-        return self._crypt(plaintext, tweak, w0, self._orbit(w0), k0, k0, k0)
+        if not 0 <= key128 < (1 << 128):
+            raise CryptoError("key must be a 128-bit integer")
+        w0, w1, rk_a, rk_b, refl_enc, _ = _schedule(key128)
+        return self._fast_crypt(plaintext, tweak, w0, w1, rk_a, refl_enc, rk_b)
 
     def decrypt(self, ciphertext: int, tweak: int, key128: int) -> int:
         """Decrypt a 64-bit ``ciphertext`` under ``tweak`` and a 128-bit key."""
         self._check_inputs(ciphertext, tweak)
-        w0, k0 = self.split_key(key128)
+        if not 0 <= key128 < (1 << 128):
+            raise CryptoError("key must be a 128-bit integer")
         # Decryption is encryption with swapped whitening keys, the round
-        # key folded with alpha, and the reflector key pushed through Q.
+        # key folded with alpha, and the reflector key pushed through Q:
+        # under that folding the backward round keys of one direction are
+        # the forward round keys of the other, so one schedule serves both.
+        w0, w1, rk_a, rk_b, _, refl_dec = _schedule(key128)
+        return self._fast_crypt(ciphertext, tweak, w1, w0, rk_b, refl_dec, rk_a)
+
+    def encrypt_reference(self, plaintext: int, tweak: int, key128: int) -> int:
+        """Reference (cell-list) encryption; the fast path must match it."""
+        self._check_inputs(plaintext, tweak)
+        w0, k0 = self.split_key(key128)
+        return self._crypt(plaintext, tweak, w0, self._orbit(w0), k0, k0, k0)
+
+    def decrypt_reference(self, ciphertext: int, tweak: int, key128: int) -> int:
+        """Reference (cell-list) decryption; the fast path must match it."""
+        self._check_inputs(ciphertext, tweak)
+        w0, k0 = self.split_key(key128)
         k1 = _cells_to_text(_mix(_text_to_cells(k0)))
         return self._crypt(
             ciphertext, tweak, self._orbit(w0), w0, k0 ^ ALPHA, k1, k0 ^ ALPHA
         )
+
+    def _fast_crypt(
+        self,
+        text: int,
+        tweak: int,
+        wa: int,
+        wb: int,
+        fwd_rk: tuple,
+        refl_const: int,
+        bwd_rk: tuple,
+    ) -> int:
+        """Table-fused mirror of :meth:`_crypt`.
+
+        ``wa``/``wb`` are the in/out whitening keys, ``fwd_rk[i]`` the
+        forward-track round key (``k0 ^ c_i`` folded at schedule time),
+        ``bwd_rk[i]`` the backward-track one (``k0_back ^ c_i ^ alpha``)
+        and ``refl_const`` the reflector key already pushed through
+        ``tau^-1``.
+        """
+        sb, sbi = self._sb, self._sbi
+        fwd, bwd, ref = self._fwd, self._bwd, self._ref
+        twu, twui = self._twu, self._twui
+        state = text ^ wa
+        # Round 0 has no diffusion layer (the `full=False` round).
+        state = _apply8(sb, state ^ fwd_rk[0] ^ tweak)
+        tweak = _apply8(twu, tweak)
+        for i in range(1, self.rounds):
+            state = _apply8(sb, _apply8(fwd, state ^ fwd_rk[i] ^ tweak))
+            tweak = _apply8(twu, tweak)
+
+        state = _apply8(sb, _apply8(fwd, state ^ wb ^ tweak))
+        state = _apply8(ref, state) ^ refl_const
+        state = _apply8(bwd, _apply8(sbi, state)) ^ wa ^ tweak
+
+        for i in range(self.rounds - 1, 0, -1):
+            tweak = _apply8(twui, tweak)
+            state = _apply8(bwd, _apply8(sbi, state)) ^ bwd_rk[i] ^ tweak
+        tweak = _apply8(twui, tweak)
+        state = _apply8(sbi, state) ^ bwd_rk[0] ^ tweak
+        return state ^ wb
 
     def _crypt(
         self,

@@ -82,7 +82,7 @@ def _compare(ref, dut, oracle: str, context: str) -> OracleOutcome:
     )
 
 
-# -- oracle 1: step vs run_block ----------------------------------------------
+# -- oracle 1: step vs run_block vs compiled ----------------------------------
 
 
 def run_differential(
@@ -92,18 +92,27 @@ def run_differential(
     max_steps: int = CASE_STEP_BUDGET,
     observers=None,
 ) -> OracleOutcome:
-    """Single-step and block-translated execution must be bit-identical.
+    """All three execution tiers must be bit-identical.
+
+    One reference machine single-steps; one DUT runs the block
+    interpreter with the compiled tier pinned off; a second DUT runs
+    with the compiled tier forced on (threshold 1, so every translated
+    block is compiled and chained).  Full architectural state must
+    match pairwise.
 
     ``coverage`` (a CoverageMap) observes the reference run through the
     telemetry trace bus (``insn.retire`` + ``trap.enter``); ``observers``
     is an optional iterable of extra ``(kind, callback)`` subscriptions
     for the same bus (the campaign's ``--telemetry`` counters).
-    ``mutate_hart`` is a test hook: it receives the fast-path hart so
+    ``mutate_hart`` is a test hook: it receives both fast-path harts so
     mutation tests can plant a bug and watch the oracle catch it.
     """
     program = assemble(harness_source(list(case.body_words), case.reg_seed))
     ref = build_machine(program)
-    dut = build_machine(program)
+    dut_block = build_machine(program)
+    dut_block.hart.compile_enabled = False
+    dut_compiled = build_machine(program)
+    dut_compiled.hart.compile_threshold = 1
     if coverage is not None or observers:
         bus = TraceBus()
         if coverage is not None:
@@ -113,17 +122,27 @@ def run_differential(
             bus.subscribe(kind, callback)
         ref.hart.attach_tracer(bus)
     if mutate_hart is not None:
-        mutate_hart(dut.hart)
+        mutate_hart(dut_block.hart)
+        mutate_hart(dut_compiled.hart)
     error_ref = _run_guarded(ref, max_steps, fast=False)
-    error_dut = _run_guarded(dut, max_steps, fast=True)
+    error_block = _run_guarded(dut_block, max_steps, fast=True)
+    error_compiled = _run_guarded(dut_compiled, max_steps, fast=True)
     if coverage is not None:
         coverage.record_engine(ref)
-    if error_ref != error_dut:
+    if not (error_ref == error_block == error_compiled):
         return OracleOutcome(
             False, "step_vs_block",
-            detail=f"errors diverged: step={error_ref!r} block={error_dut!r}",
+            detail=(
+                f"errors diverged: step={error_ref!r} "
+                f"block={error_block!r} compiled={error_compiled!r}"
+            ),
         )
-    return _compare(ref, dut, "step_vs_block", case.name)
+    outcome = _compare(ref, dut_block, "step_vs_block", case.name)
+    if not outcome:
+        return outcome
+    return _compare(
+        ref, dut_compiled, "step_vs_block", f"{case.name}[compiled]"
+    )
 
 
 # -- oracle 2: snapshot/restore/resume ----------------------------------------

@@ -6,7 +6,9 @@ and the privilege level it was translated under.  Executing a cached
 block skips the per-instruction fetch -> decode -> dispatch-lookup cost
 — the dominant share of interpreter time — while reusing the *same*
 handler closures as :meth:`repro.machine.hart.Hart.step`, so
-architectural state and cycle accounting stay bit-identical.
+architectural state and cycle accounting stay bit-identical.  Hot
+blocks are additionally compiled into specialized Python functions and
+direct-chained (see :mod:`repro.machine.blockcompile`).
 
 Invalidation rules (see ``docs/perf.md``):
 
@@ -16,12 +18,19 @@ Invalidation rules (see ``docs/perf.md``):
   privilege level, because blocks are keyed by ``(pc, privilege)``;
 * CSR instructions terminate blocks at translation time, so CSR-driven
   state changes take effect before any later predecoded instruction.
+
+Every removal — page invalidation, explicit flush, or LRU eviction —
+bumps :attr:`BlockCache.epoch`.  Direct chain links between compiled
+blocks are stamped with the epoch they were created under and are
+ignored once it moves on, so a stale link can never resurrect a dropped
+translation.
 """
 
 from __future__ import annotations
 
 from repro.machine.memory import PAGE_SHIFT
 from repro.telemetry.events import (
+    BLOCK_EVICT,
     BLOCK_FLUSH,
     BLOCK_HIT,
     BLOCK_INVALIDATE,
@@ -30,9 +39,11 @@ from repro.telemetry.events import (
 #: Longest straight-line sequence one block may hold.
 MAX_BLOCK_INSTRUCTIONS = 64
 
-#: Blocks cached before the whole cache is flushed.  Kernel images here
-#: translate to a few hundred blocks; the cap only guards degenerate
-#: workloads (e.g. JIT-like self-modifying loops) from unbounded growth.
+#: Blocks cached before least-recently-used eviction kicks in.  Kernel
+#: images here translate to a few hundred blocks; the cap only guards
+#: degenerate workloads (e.g. JIT-like self-modifying loops) from
+#: unbounded growth, and LRU keeps their hot working set translated
+#: instead of retranslating everything after a full flush.
 DEFAULT_CAPACITY = 4096
 
 
@@ -45,7 +56,10 @@ class TranslatedBlock:
     instruction that may observe them, since CSR reads terminate blocks.
     """
 
-    __slots__ = ("entry_pc", "ops", "body", "last", "cycle_bound", "pages")
+    __slots__ = (
+        "entry_pc", "ops", "body", "last", "cycle_bound", "pages",
+        "privilege", "exec_count", "compiled", "compile_failed", "links",
+    )
 
     def __init__(
         self,
@@ -53,6 +67,7 @@ class TranslatedBlock:
         ops: tuple,
         cycle_bound: int,
         pages: frozenset[int],
+        privilege: int = 3,
     ):
         self.entry_pc = entry_pc
         #: ``(handler, instruction)`` pairs, in program order.
@@ -66,13 +81,32 @@ class TranslatedBlock:
         self.cycle_bound = cycle_bound
         #: Physical page indices the block's code occupies.
         self.pages = pages
+        #: Privilege level the block was translated (and keyed) under;
+        #: the compiled tier folds it into the generated code.
+        self.privilege = privilege
+        # -- compiled tier ------------------------------------------------
+        #: Executions through the block interpreter; once this crosses
+        #: the hart's compile threshold the block is compiled.
+        self.exec_count = 0
+        #: ``fn(hart) -> +steps`` (chainable exit) / ``-steps``
+        #: (trap, device store, CSR/system last op), or None.
+        self.compiled = None
+        #: Codegen refused this block; don't retry every execution.
+        self.compile_failed = False
+        #: Direct chain links: ``next_pc -> (epoch, TranslatedBlock)``.
+        self.links: dict = {}
 
     def __len__(self) -> int:
         return len(self.ops)
 
 
 class BlockCache:
-    """``(entry_pc, privilege) -> TranslatedBlock`` with page index."""
+    """``(entry_pc, privilege) -> TranslatedBlock`` with page index.
+
+    The mapping doubles as the LRU order (Python dicts preserve
+    insertion order): a lookup re-inserts the entry, and eviction pops
+    the oldest one.
+    """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY):
         self.capacity = capacity
@@ -81,8 +115,13 @@ class BlockCache:
         self.translations = 0
         self.invalidated_blocks = 0
         self.flushes = 0
+        self.evictions = 0
         self.hits = 0
         self.misses = 0
+        #: Bumped whenever any block leaves the cache; chain links
+        #: carry the epoch they were minted under and one integer
+        #: compare validates them (QEMU-style lazy unlinking).
+        self.epoch = 0
         #: Telemetry sink (``hook(kind, **fields)``) or None; compile
         #: events are emitted by the hart, which owns the timing.
         self.trace_hook = None
@@ -91,23 +130,47 @@ class BlockCache:
         return len(self._blocks)
 
     def lookup(self, key: tuple[int, int]) -> TranslatedBlock | None:
-        block = self._blocks.get(key)
+        blocks = self._blocks
+        block = blocks.pop(key, None)
         if block is None:
             self.misses += 1
             return None
+        blocks[key] = block  # refresh LRU position
         self.hits += 1
         hook = self.trace_hook
         if hook is not None:
             hook(BLOCK_HIT, pc=key[0], instructions=len(block.ops))
         return block
 
+    def peek(self, key: tuple[int, int]) -> TranslatedBlock | None:
+        """Lookup without statistics or LRU refresh (chain resolution)."""
+        return self._blocks.get(key)
+
     def insert(self, key: tuple[int, int], block: TranslatedBlock) -> None:
         if len(self._blocks) >= self.capacity:
-            self.flush()
+            self._evict_oldest()
         self._blocks[key] = block
         for page in block.pages:
             self._by_page.setdefault(page, set()).add(key)
         self.translations += 1
+
+    def _evict_oldest(self) -> None:
+        key, block = next(iter(self._blocks.items()))
+        self._remove(key, block)
+        self.evictions += 1
+        self.epoch += 1
+        hook = self.trace_hook
+        if hook is not None:
+            hook(BLOCK_EVICT, pc=key[0], instructions=len(block.ops))
+
+    def _remove(self, key: tuple[int, int], block: TranslatedBlock) -> None:
+        del self._blocks[key]
+        for page in block.pages:
+            siblings = self._by_page.get(page)
+            if siblings is not None:
+                siblings.discard(key)
+                if not siblings:
+                    del self._by_page[page]
 
     def invalidate_page(self, page_index: int) -> int:
         """Drop every block overlapping ``page_index``; return the count."""
@@ -126,6 +189,8 @@ class BlockCache:
                     if siblings is not None:
                         siblings.discard(key)
         self.invalidated_blocks += dropped
+        if dropped:
+            self.epoch += 1
         hook = self.trace_hook
         if hook is not None and dropped:
             hook(BLOCK_INVALIDATE, page=page_index, blocks=dropped)
@@ -139,6 +204,7 @@ class BlockCache:
         self._blocks.clear()
         self._by_page.clear()
         self.flushes += 1
+        self.epoch += 1
 
     @staticmethod
     def pages_of(entry_pc: int, num_instructions: int) -> frozenset[int]:

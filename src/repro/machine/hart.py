@@ -27,6 +27,7 @@ from repro.machine.blockcache import (
     BlockCache,
     TranslatedBlock,
 )
+from repro.machine.blockcompile import compile_block
 from repro.machine.csr import (
     CSRFile,
     MIE_MTIE,
@@ -101,6 +102,18 @@ class Hart:
         self._tracer_stack: list[dict] = []
         # -- fast path: basic-block translation cache ----------------------
         self.blocks = BlockCache()
+        # -- compiled tier: specialized functions + direct chaining --------
+        #: Master switch for the third execution tier (the differential
+        #: fuzzer pins it off on one DUT to compare tiers directly).
+        self.compile_enabled = True
+        #: Block-interpreter executions before a block is compiled.
+        #: ``compile()`` costs a few hundred microseconds per block, so
+        #: only blocks with demonstrated reuse (loops, hot call targets)
+        #: are worth it; boot-style code that runs a handful of times
+        #: stays on the block interpreter.
+        self.compile_threshold = 16
+        #: Blocks compiled so far (mirrored into telemetry metrics).
+        self.compiled_blocks = 0
         #: Set mid-block by device stores and code-page writes; forces a
         #: return to the machine loop before the next predecoded op.
         self._block_break = False
@@ -170,6 +183,14 @@ class Hart:
             # delivery lands on the same instruction as the slow path.
             self.step()
             return 1
+        if self.compile_enabled and not self._tracer_stack:
+            fn = block.compiled
+            if fn is None and not block.compile_failed:
+                block.exec_count += 1
+                if block.exec_count >= self.compile_threshold:
+                    fn = compile_block(self, block)
+            if fn is not None:
+                return self._run_compiled(block, fn, limit, deadline)
         # Body ops run with ``pc`` in a local and ``instret`` batched:
         # no instruction in the body can observe either (CSR reads
         # terminate blocks, so they only appear as the final op), and
@@ -205,6 +226,65 @@ class Hart:
         self.pc = (pc + 4) if next_pc is None else next_pc
         self.instret += 1
         return executed + 1
+
+    def _run_compiled(self, block, fn, limit: int, deadline: int) -> int:
+        """Run compiled blocks back to back (tier 3, direct chaining).
+
+        Each iteration reproduces one machine-loop round exactly:
+
+        * a negative return from ``fn`` (trap, device store, code-page
+          write, CSR/system op) is never chained — those exits can move
+          mtimecmp, keys, privilege or the shutdown flag;
+        * between chained blocks the machine loop's MIP refresh is
+          replayed set-only: mtime *is* the live cycle counter and
+          mtimecmp cannot change mid-chain (device stores break out),
+          so timer pendency is monotone within a chain;
+        * the next block must fit the remaining step budget and pass
+          the same cycle-bound deadline guard as ``run_block``, and is
+          only entered through an epoch-validated direct link.
+        """
+        blocks = self.blocks
+        total = 0
+        while True:
+            self._block_break = False
+            executed = fn(self)
+            if executed < 0:
+                return total - executed
+            total += executed
+            if self._block_break or total >= limit:
+                return total
+            if self.cycles >= deadline:
+                self.csrs.set_mip_bit(MIP_MTIP, True)
+            if self._take_pending_interrupt():
+                return total + 1
+            epoch = blocks.epoch
+            next_pc = self.pc
+            entry = block.links.get(next_pc)
+            if entry is not None and entry[0] == epoch:
+                nxt = entry[1]
+            else:
+                nxt = blocks.peek((next_pc, block.privilege))
+                if nxt is not None:
+                    links = block.links
+                    if len(links) >= self._MAX_CHAIN_LINKS:
+                        links.clear()
+                    links[next_pc] = (epoch, nxt)
+            if (
+                nxt is None
+                or nxt.compiled is None
+                or len(nxt.ops) > limit - total
+                or (
+                    self.cycles + nxt.cycle_bound >= deadline
+                    and self._timer_deliverable()
+                )
+            ):
+                return total
+            block = nxt
+            fn = nxt.compiled
+
+    #: Direct links cached per block before the table is reset (guards
+    #: indirect-jump-heavy blocks from unbounded link growth).
+    _MAX_CHAIN_LINKS = 8
 
     #: Words fetched per translation round; most blocks fit in one.
     _FETCH_CHUNK = 8
@@ -259,7 +339,7 @@ class Hart:
         if not ops:
             return None
         pages = BlockCache.pages_of(pc, len(ops))
-        block = TranslatedBlock(pc, tuple(ops), bound, pages)
+        block = TranslatedBlock(pc, tuple(ops), bound, pages, int(key[1]))
         self.blocks.insert(key, block)
         if hasattr(mem, "watch_code_page"):
             for page in pages:

@@ -1,0 +1,90 @@
+"""Perf-regression gate over a ``BENCH_interp.json`` report.
+
+CI runs the quick benchmark and then this gate: it fails the build if
+the compiled tier stops paying for itself on the dispatch-bound boot
+workload, or if any interpreter workload loses architectural
+equivalence.  The floors are deliberately generous — shared CI runners
+are noisy and quick mode amortizes compilation over fewer iterations —
+so a red gate means the tier actually regressed, not that the runner
+was slow today.
+
+Usage::
+
+    python -m repro.perf.gate BENCH_interp.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["GATES", "check_report"]
+
+#: ``(workload, metric path, floor)`` — every gated ratio must stay at
+#: or above its floor.  ``kernel_boot`` is the canonical dispatch-bound
+#: workload: if compiled blocks stop beating the block interpreter
+#: there, the tier has regressed everywhere.
+GATES = (
+    ("kernel_boot", "compiled_speedup_over_block", 1.2),
+    ("kernel_boot", "speedup", 2.0),
+)
+
+
+def check_report(report: dict) -> list[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    failures: list[str] = []
+    workloads = report.get("workloads", {})
+
+    for name, data in workloads.items():
+        if data.get("kind") != "interpreter":
+            continue
+        if data.get("equivalent") is not True:
+            failures.append(f"{name}: not marked architecturally equivalent")
+
+    for name, metric, floor in GATES:
+        data = workloads.get(name)
+        if data is None:
+            failures.append(f"{name}: workload missing from report")
+            continue
+        value = data.get(metric)
+        if not isinstance(value, (int, float)):
+            failures.append(f"{name}: metric {metric!r} missing")
+        elif value < floor:
+            failures.append(
+                f"{name}: {metric} = {value:.2f} below floor {floor:.2f}"
+            )
+
+    boot = workloads.get("kernel_boot", {})
+    fast_row = boot.get("fast", {})
+    if fast_row and not fast_row.get("blocks_compiled"):
+        failures.append(
+            "kernel_boot: compiled tier ran zero blocks through the "
+            "compiler (tier silently disabled?)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.gate",
+        description="Fail if a benchmark report regresses the gated floors.",
+    )
+    parser.add_argument("report", help="path to BENCH_interp.json")
+    args = parser.parse_args(argv)
+
+    with open(args.report, encoding="utf-8") as handle:
+        report = json.load(handle)
+    failures = check_report(report)
+    if failures:
+        print("perf gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    gated = ", ".join(f"{w}.{m} >= {f}" for w, m, f in GATES)
+    print(f"perf gate passed ({gated})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,12 +28,24 @@ class EquivalenceError(AssertionError):
     """Fast path and single-step baseline disagreed on architecture."""
 
 
-def _measure_interp(workload, quick: bool, fast: bool, repeats: int):
-    """Run one interpreter workload; return (metrics, fingerprint)."""
+#: Execution tiers measured per interpreter workload:
+#: ``(name, fast_path, compile_enabled)``.
+TIERS = (
+    ("baseline", False, False),   # tier 1: single-step interpreter
+    ("block", True, False),       # tier 2: predecoded block interpreter
+    ("fast", True, True),         # tier 3: compiled blocks + chaining
+)
+
+
+def _measure_interp(workload, quick: bool, mode: str, repeats: int):
+    """Run one interpreter workload in one tier; return (metrics, fp)."""
+    compile_enabled = {name: comp for name, _, comp in TIERS}[mode]
     best = None
     fingerprint = None
     for _ in range(repeats):
         session = workload.build_session(quick)
+        hart = session.machine.hart
+        hart.compile_enabled = compile_enabled
         start = time.perf_counter()
         result = session.run(workload.max_steps)
         wall = time.perf_counter() - start
@@ -48,10 +60,10 @@ def _measure_interp(workload, quick: bool, fast: bool, repeats: int):
             fingerprint = fp
         elif fp != fingerprint:
             raise EquivalenceError(
-                f"{workload.name}: non-deterministic run in mode "
-                f"fast={fast}: {fp} != {fingerprint}"
+                f"{workload.name}: non-deterministic run in tier "
+                f"{mode}: {fp} != {fingerprint}"
             )
-        blocks = session.machine.hart.blocks
+        blocks = hart.blocks
         candidate = {
             "wall_seconds": wall,
             "instructions": result.instructions,
@@ -62,6 +74,8 @@ def _measure_interp(workload, quick: bool, fast: bool, repeats: int):
             "blocks_invalidated": blocks.invalidated_blocks,
             "block_hits": blocks.hits,
             "block_misses": blocks.misses,
+            "block_evictions": blocks.evictions,
+            "blocks_compiled": hart.compiled_blocks,
         }
         if best is None or wall < best["wall_seconds"]:
             best = candidate
@@ -83,14 +97,24 @@ def _check_equivalence(name: str, slow_fp: dict, fast_fp: dict) -> None:
 
 def _run_interp_workload(workload, quick: bool, repeats: int) -> dict:
     saved = Machine.DEFAULT_FAST_PATH
+    rows = {}
+    fingerprints = {}
     try:
-        Machine.DEFAULT_FAST_PATH = False
-        slow, slow_fp = _measure_interp(workload, quick, False, repeats)
-        Machine.DEFAULT_FAST_PATH = True
-        fast, fast_fp = _measure_interp(workload, quick, True, repeats)
+        for mode, fast_path, _ in TIERS:
+            Machine.DEFAULT_FAST_PATH = fast_path
+            rows[mode], fingerprints[mode] = _measure_interp(
+                workload, quick, mode, repeats
+            )
     finally:
         Machine.DEFAULT_FAST_PATH = saved
-    _check_equivalence(workload.name, slow_fp, fast_fp)
+    for mode in ("block", "fast"):
+        _check_equivalence(
+            f"{workload.name}[{mode}]",
+            fingerprints["baseline"],
+            fingerprints[mode],
+        )
+    slow_fp = fingerprints["baseline"]
+    baseline_wall = rows["baseline"]["wall_seconds"]
     return {
         "kind": "interpreter",
         "description": workload.description,
@@ -99,9 +123,16 @@ def _run_interp_workload(workload, quick: bool, repeats: int) -> dict:
         "simulated_cycles": slow_fp["cycles"],
         "halt_reason": slow_fp["halt_reason"],
         "exit_code": slow_fp["exit_code"],
-        "baseline": slow,
-        "fast": fast,
-        "speedup": slow["wall_seconds"] / fast["wall_seconds"],
+        "baseline": rows["baseline"],
+        "block": rows["block"],
+        "fast": rows["fast"],
+        # "speedup" stays the headline baseline->top-tier number; the
+        # per-tier ratios break it down.
+        "speedup": baseline_wall / rows["fast"]["wall_seconds"],
+        "block_speedup": baseline_wall / rows["block"]["wall_seconds"],
+        "compiled_speedup_over_block": (
+            rows["block"]["wall_seconds"] / rows["fast"]["wall_seconds"]
+        ),
     }
 
 

@@ -41,6 +41,30 @@ def _storm_module(iterations: int):
     return make_user_module(body)
 
 
+def _compute_module(iterations: int):
+    """A dispatch-bound ALU kernel (mix of mul/shift/xor per iteration).
+
+    This is the steady-state half of ``kernel_boot``: the boot itself
+    exercises translation and compile *overhead* (every block is cold),
+    while this loop exercises sustained execution where the compiled
+    tier's direct chaining should dominate.
+    """
+    from repro.bench.workloads.base import make_user_module
+
+    def body(lb):
+        acc = lb.accumulate()
+
+        def step(lb2, i):
+            b = lb2.b
+            mixed = b.xor(b.mul(i, i), b.shl(i, Const(3)))
+            lb2.add_into(acc, b.and_(mixed, Const(0xFFFF)))
+
+        lb.loop(iterations, step)
+        lb.exit(Const(0))
+
+    return make_user_module(body)
+
+
 # -- interpreter workloads -------------------------------------------------------
 
 
@@ -84,10 +108,13 @@ INTERP_WORKLOADS: tuple[InterpWorkload, ...] = (
         name="kernel_boot",
         description=(
             "Boot the unprotected (baseline-config) kernel with 8 "
-            "threads and run the default payload to shutdown.  "
-            "Interpreter-bound: measures raw dispatch throughput."
+            "threads and run a dispatch-bound ALU loop to shutdown.  "
+            "Interpreter-bound: measures raw dispatch throughput, cold "
+            "translation through the boot and steady state through the "
+            "compute payload."
         ),
         make_config=_boot_config,
+        make_module=lambda quick: _compute_module(2_000 if quick else 40_000),
     ),
     InterpWorkload(
         name="kernel_boot_protected",
@@ -255,21 +282,44 @@ class EngineWorkload:
 
 
 def _qarma_throughput(quick: bool) -> tuple[int, dict]:
-    """Raw QARMA ops/sec with the CLB disabled (every op computes)."""
+    """Raw QARMA ops/sec with the CLB disabled (every op computes).
+
+    The engine loop runs with the memo disabled (every tweak is fresh
+    anyway), so this measures the table-fused cipher fast path; a short
+    reference-path loop alongside it reports the host speedup of the
+    fused implementation over the cell-list reference.
+    """
+    import time
+
     from repro.crypto.engine import CryptoEngine
     from repro.crypto.keys import KeySelect
     from repro.crypto.primitives import FULL_RANGE
+    from repro.crypto.qarma import Qarma64
 
-    engine = CryptoEngine(clb_entries=0)
+    engine = CryptoEngine(clb_entries=0, memo_entries=0)
     engine.key_file.set_key(KeySelect.A, 0x0123456789ABCDEF0123456789ABCDEF)
-    iterations = 200 if quick else 2_000
+    iterations = 500 if quick else 5_000
     value = 0x1111111111111111
     for i in range(iterations):
         tweak = 0x8000_0000 + 8 * i
         sealed, _ = engine.encrypt(KeySelect.A, value, FULL_RANGE, tweak)
         value, _ = engine.decrypt(KeySelect.A, sealed, FULL_RANGE, tweak)
+
+    # Fast path vs reference path, same cipher object and inputs.
+    cipher = Qarma64()
+    key = 0x0123456789ABCDEF0123456789ABCDEF
+    ref_iters = max(1, iterations // 10)
+    start = time.perf_counter()
+    for i in range(ref_iters):
+        cipher.encrypt(0x2222222222222222 + i, 0x9000 + i, key)
+    fast_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    for i in range(ref_iters):
+        cipher.encrypt_reference(0x2222222222222222 + i, 0x9000 + i, key)
+    reference_wall = time.perf_counter() - start
     return engine.stats.operations, {
         "engine": engine.stats.snapshot(),
+        "fast_path_speedup": reference_wall / fast_wall,
     }
 
 

@@ -34,6 +34,8 @@ __all__ = [
     "BLOCK_HIT",
     "BLOCK_INVALIDATE",
     "BLOCK_FLUSH",
+    "BLOCK_EVICT",
+    "BLOCK_JIT",
     "CRYPTO_OP",
     "CRYPTO_FAULT",
     "KEY_WRITE",
@@ -55,6 +57,8 @@ BLOCK_COMPILE = "block.compile"
 BLOCK_HIT = "block.hit"
 BLOCK_INVALIDATE = "block.invalidate"
 BLOCK_FLUSH = "block.flush"
+BLOCK_EVICT = "block.evict"
+BLOCK_JIT = "block.jit"
 KEY_WRITE = "key.csr_write"
 
 # -- crypto engine / CLB ---------------------------------------------------
@@ -85,6 +89,8 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     BLOCK_HIT: ("pc", "instructions"),
     BLOCK_INVALIDATE: ("page", "blocks"),
     BLOCK_FLUSH: ("blocks",),
+    BLOCK_EVICT: ("pc", "instructions"),
+    BLOCK_JIT: ("pc", "instructions", "ns"),
     KEY_WRITE: ("ksel", "half"),
     CLB_ENC_HIT: ("ksel",),
     CLB_ENC_MISS: ("ksel",),

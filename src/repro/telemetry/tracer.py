@@ -41,6 +41,8 @@ _BLOCK_KINDS = (
     ev.BLOCK_HIT,
     ev.BLOCK_INVALIDATE,
     ev.BLOCK_FLUSH,
+    ev.BLOCK_EVICT,
+    ev.BLOCK_JIT,
 )
 
 
@@ -217,6 +219,11 @@ class Telemetry:
         mirror("block.translations", blocks.translations)
         mirror("block.invalidated", blocks.invalidated_blocks)
         mirror("block.flushes", blocks.flushes)
+        mirror("block.evictions", blocks.evictions)
+        mirror("block.compiled", hart.compiled_blocks)
+        memo = machine.engine.memo
+        mirror("crypto.memo.hits", memo.hits)
+        mirror("crypto.memo.misses", memo.misses)
         registry.set("hart.cycles", hart.cycles)
         registry.set("hart.instret", hart.instret)
         if self.recorder is not None:

@@ -24,7 +24,9 @@ _FILES = sorted(REGRESSIONS.glob("*.json"))
 #: The hand-picked edge cases this suite must always carry.
 REQUIRED = {
     "smc_in_block",
+    "smc_into_chained_successor",
     "timer_mid_block",
+    "timer_mid_chain",
     "ksel_invalidation",
     "misaligned_access",
     "sealed_csr",

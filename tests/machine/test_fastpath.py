@@ -278,13 +278,36 @@ class TestBlockCache:
         assert cache.lookup(key) is None
         assert len(cache) == 0
 
-    def test_capacity_flushes(self):
+    def test_capacity_evicts_lru(self):
         cache = BlockCache(capacity=4)
         for i in range(10):
             pc = 0x1000 + 0x100 * i
             cache.insert((pc, 3), self._block(pc))
-        assert len(cache) <= 4
-        assert cache.flushes > 0
+        # Overflow evicts the least-recently-used entries one at a
+        # time; it never flushes the whole cache.
+        assert len(cache) == 4
+        assert cache.evictions == 6
+        assert cache.flushes == 0
+        assert cache.lookup((0x1000, 3)) is None  # oldest: evicted
+        assert cache.lookup((0x1900, 3)) is not None  # newest: kept
+
+    def test_lookup_refreshes_lru_position(self):
+        cache = BlockCache(capacity=2)
+        cache.insert((0x1000, 3), self._block(0x1000))
+        cache.insert((0x2000, 3), self._block(0x2000))
+        assert cache.lookup((0x1000, 3)) is not None  # now most recent
+        cache.insert((0x3000, 3), self._block(0x3000))
+        assert cache.peek((0x2000, 3)) is None  # LRU victim
+        assert cache.peek((0x1000, 3)) is not None
+
+    def test_eviction_bumps_epoch_and_cleans_page_index(self):
+        cache = BlockCache(capacity=1)
+        epoch = cache.epoch
+        cache.insert((0x1000, 3), self._block(0x1000))
+        cache.insert((0x2000, 3), self._block(0x2000))
+        assert cache.epoch == epoch + 1
+        # The evicted block's page index entry must not linger.
+        assert cache.invalidate_page(0x1000 >> PAGE_SHIFT) == 0
 
     def test_invalidate_page_drops_straddling_blocks(self):
         cache = BlockCache()

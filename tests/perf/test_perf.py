@@ -100,3 +100,56 @@ def test_cli_quick_subset(tmp_path, capsys):
     assert json.loads(out.read_text())["quick"] is True
     captured = capsys.readouterr()
     assert "qarma_throughput" in captured.out
+
+
+class TestPerfGate:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_perf(quick=True, only=["kernel_boot"])
+
+    def test_quick_run_passes_gate(self, report):
+        from repro.perf.gate import check_report
+
+        assert check_report(report) == []
+
+    def test_gate_catches_regression(self, report):
+        from repro.perf.gate import check_report
+
+        bad = json.loads(json.dumps(report))
+        bad["workloads"]["kernel_boot"]["compiled_speedup_over_block"] = 0.5
+        failures = check_report(bad)
+        assert any("compiled_speedup_over_block" in f for f in failures)
+
+    def test_gate_catches_lost_equivalence(self, report):
+        from repro.perf.gate import check_report
+
+        bad = json.loads(json.dumps(report))
+        bad["workloads"]["kernel_boot"]["equivalent"] = False
+        assert any("equivalent" in f for f in check_report(bad))
+
+    def test_gate_catches_disabled_tier(self, report):
+        from repro.perf.gate import check_report
+
+        bad = json.loads(json.dumps(report))
+        bad["workloads"]["kernel_boot"]["fast"]["blocks_compiled"] = 0
+        assert any("zero blocks" in f for f in check_report(bad))
+
+    def test_gate_catches_missing_workload(self):
+        from repro.perf.gate import check_report
+
+        failures = check_report({"workloads": {}})
+        assert any("missing" in f for f in failures)
+
+    def test_gate_cli(self, report, tmp_path, capsys):
+        from repro.perf.gate import main
+
+        path = tmp_path / "BENCH_interp.json"
+        path.write_text(json.dumps(report))
+        assert main([str(path)]) == 0
+        assert "passed" in capsys.readouterr().out
+
+        bad = json.loads(json.dumps(report))
+        bad["workloads"]["kernel_boot"]["speedup"] = 0.1
+        path.write_text(json.dumps(bad))
+        assert main([str(path)]) == 1
+        assert "FAILED" in capsys.readouterr().out
