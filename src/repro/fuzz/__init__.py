@@ -7,8 +7,21 @@ pipeline against each other.  See ``docs/fuzzing.md``.
 """
 
 from repro.fuzz.campaign import Campaign, FuzzConfig, run_campaign
-from repro.fuzz.corpus import case_from_file, load_corpus, write_repro
+from repro.fuzz.corpus import (
+    case_digest,
+    case_from_file,
+    load_corpus,
+    write_repro,
+)
 from repro.fuzz.coverage import CoverageMap
+from repro.fuzz.dist import (
+    DistConfig,
+    canonical_json,
+    run_distributed,
+    run_shard,
+    shard_budgets,
+    shard_seed,
+)
 from repro.fuzz.generator import FuzzCase, Generator, mutate
 from repro.fuzz.harness import FUZZ_KEYS, build_machine, harness_source
 from repro.fuzz.minimize import ddmin_list, minimize
@@ -23,6 +36,13 @@ __all__ = [
     "Campaign",
     "FuzzConfig",
     "run_campaign",
+    "DistConfig",
+    "canonical_json",
+    "run_distributed",
+    "run_shard",
+    "shard_budgets",
+    "shard_seed",
+    "case_digest",
     "case_from_file",
     "load_corpus",
     "write_repro",

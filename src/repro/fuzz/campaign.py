@@ -38,6 +38,9 @@ from repro.fuzz.oracles import (
 __all__ = ["FuzzConfig", "Campaign", "run_campaign"]
 
 REPORT_SCHEMA = "repro.fuzz/report-1"
+#: Bumped whenever a key is added/renamed; consumers (BENCH_history,
+#: CI artifact diffs) key off this rather than guessing from shape.
+REPORT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -84,6 +87,10 @@ class Campaign:
             "compiler": {"cases": 0, "divergences": 0, "words": 0},
         }
         self._interesting = 0
+        #: ``(case, new_coverage_keys)`` for every case that earned new
+        #: coverage — the raw material for cross-shard corpus merging
+        #: and coverage-guided scheduling in :mod:`repro.fuzz.dist`.
+        self.interesting_cases: list[tuple[FuzzCase, int]] = []
         self._telemetry = None
         self._observers = None
         if self.config.telemetry:
@@ -169,9 +176,11 @@ class Campaign:
                     max_steps=config.max_steps,
                 ).ok,
             )
-        if len(self.coverage.keys()) > before:
+        gained = len(self.coverage.keys()) - before
+        if gained > 0:
             self._interesting += 1
             pool.append(case)
+            self.interesting_cases.append((case, gained))
 
         if index % config.snapshot_share == 0:
             cut_seed = rng.getrandbits(64)
@@ -258,6 +267,7 @@ class Campaign:
     def report(self) -> dict:
         report = {
             "schema": REPORT_SCHEMA,
+            "schema_version": REPORT_SCHEMA_VERSION,
             "seed": self.config.seed,
             "budget": self.config.budget,
             "max_steps": self.config.max_steps,

@@ -20,6 +20,7 @@ same pipeline afterwards.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -33,6 +34,7 @@ __all__ = [
     "SEED_SCHEMA",
     "REPRO_SCHEMA",
     "assemble_body_lines",
+    "case_digest",
     "case_from_file",
     "load_corpus",
     "write_repro",
@@ -40,6 +42,20 @@ __all__ = [
 
 SEED_SCHEMA = "repro.fuzz/seed-1"
 REPRO_SCHEMA = "repro.fuzz/repro-1"
+
+
+def case_digest(case: FuzzCase) -> str:
+    """Stable content digest of a case's behaviour-defining inputs.
+
+    Two cases with the same body words and register seed execute
+    identically regardless of name or origin, so this is the dedup key
+    when sharded campaigns merge their corpora.
+    """
+    digest = hashlib.sha256()
+    digest.update((case.reg_seed & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"))
+    for word in case.body_words:
+        digest.update((word & 0xFFFFFFFF).to_bytes(4, "little"))
+    return digest.hexdigest()
 
 
 def assemble_body_lines(lines, reg_seed: int = 0) -> tuple[int, ...]:

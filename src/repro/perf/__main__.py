@@ -8,6 +8,7 @@ writes the machine-readable ``BENCH_interp.json`` consumed by CI.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -47,6 +48,12 @@ def main(argv: list[str] | None = None) -> int:
         "kernel_boot_protected run (off the benchmark clock)",
     )
     parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the JSON report (sorted keys, schema-versioned) "
+        "instead of the summary table",
+    )
+    parser.add_argument(
         "--output",
         metavar="PATH",
         default=None,
@@ -66,10 +73,14 @@ def main(argv: list[str] | None = None) -> int:
         only=args.workloads,
         telemetry=args.telemetry,
     )
-    print(format_report(report))
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
     if args.output:
         write_report(report, args.output)
-        print(f"\nwrote {args.output}")
+        if not args.json:
+            print(f"\nwrote {args.output}")
     return 0
 
 

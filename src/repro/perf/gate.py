@@ -8,9 +8,17 @@ are noisy and quick mode amortizes compilation over fewer iterations —
 so a red gate means the tier actually regressed, not that the runner
 was slow today.
 
+On top of the fixed floors, ``--history BENCH_history`` adds windowed
+trend detection (:mod:`repro.perf.trend`): the current numbers — and,
+with ``--fuzz-report``, the fuzz coverage counts — must stay inside a
+tolerance band around the median of the last K comparable recorded
+runs, so sustained regressions that never cross a fixed floor still
+fail the gate.
+
 Usage::
 
-    python -m repro.perf.gate BENCH_interp.json
+    python -m repro.perf.gate BENCH_interp.json \\
+        [--history BENCH_history] [--fuzz-report fuzz-report.json]
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ import argparse
 import json
 import sys
 
-__all__ = ["GATES", "check_report"]
+__all__ = ["GATES", "check_report", "check_trend"]
 
 #: ``(workload, metric path, floor)`` — every gated ratio must stay at
 #: or above its floor.  ``kernel_boot`` is the canonical dispatch-bound
@@ -65,24 +73,74 @@ def check_report(report: dict) -> list[str]:
     return failures
 
 
+def check_trend(
+    report: dict,
+    history_dir: str,
+    fuzz_report: dict | None = None,
+    window: int | None = None,
+    min_history: int | None = None,
+) -> list[str]:
+    """Trend failures for the report against a ``BENCH_history/`` dir."""
+    from datetime import datetime, timezone
+
+    from repro.perf import trend
+
+    history = trend.load_history(history_dir)
+    current = trend.make_entry(
+        report,
+        fuzz_report,
+        timestamp=datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        label="current",
+    )
+    findings = trend.analyze(
+        history,
+        current,
+        window=window or trend.DEFAULT_WINDOW,
+        min_history=min_history or trend.DEFAULT_MIN_HISTORY,
+    )
+    print(f"trend window ({len(history)} history entries):")
+    print(trend.format_findings(findings))
+    return trend.trend_failures(findings)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf.gate",
         description="Fail if a benchmark report regresses the gated floors.",
     )
     parser.add_argument("report", help="path to BENCH_interp.json")
+    parser.add_argument("--history", metavar="DIR", default=None,
+                        help="BENCH_history directory; adds windowed "
+                        "trend detection on top of the fixed floors")
+    parser.add_argument("--fuzz-report", metavar="FILE", default=None,
+                        help="fuzz campaign report whose coverage counts "
+                        "join the trend check")
+    parser.add_argument("--window", type=int, default=None,
+                        help="trend window size (median of last K)")
+    parser.add_argument("--min-history", type=int, default=None,
+                        help="skip metrics with fewer comparable entries")
     args = parser.parse_args(argv)
 
     with open(args.report, encoding="utf-8") as handle:
         report = json.load(handle)
     failures = check_report(report)
+    if args.history:
+        fuzz = None
+        if args.fuzz_report:
+            with open(args.fuzz_report, encoding="utf-8") as handle:
+                fuzz = json.load(handle)
+        failures += check_trend(
+            report, args.history, fuzz_report=fuzz,
+            window=args.window, min_history=args.min_history,
+        )
     if failures:
         print("perf gate FAILED:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
     gated = ", ".join(f"{w}.{m} >= {f}" for w, m, f in GATES)
-    print(f"perf gate passed ({gated})")
+    trend_note = " + trend window" if args.history else ""
+    print(f"perf gate passed ({gated}{trend_note})")
     return 0
 
 

@@ -22,6 +22,9 @@ from repro.perf.workloads import (
 )
 
 SCHEMA = "repro.perf/1"
+#: Bumped whenever a key is added/renamed; BENCH_history extraction and
+#: CI artifact diffs key off this.
+SCHEMA_VERSION = 1
 
 
 class EquivalenceError(AssertionError):
@@ -273,6 +276,7 @@ def run_perf(
 
     report = {
         "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
         "quick": quick,
         "repeats": repeats,
         "python": platform.python_version(),
@@ -286,6 +290,8 @@ def run_perf(
 
 
 def write_report(report: dict, path: str) -> None:
+    # Sorted keys keep BENCH_history diffs and CI artifact comparisons
+    # deterministic regardless of workload execution order.
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=False)
+        json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

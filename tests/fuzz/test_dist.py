@@ -1,0 +1,259 @@
+"""Sharded-campaign tests: determinism, merging, partial merge.
+
+These encode the distributed driver's acceptance criteria:
+
+* a shard is reproducible from ``(campaign seed, round, shard_id)``
+  alone — re-running one in isolation gives the identical report;
+* the merged report is bit-identical across runs and identical between
+  the in-process and multi-process execution paths;
+* corpus merging deduplicates on content digests;
+* a hung or crashed worker degrades to a partial merge — the campaign
+  is never lost and the failure is visible in the report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import (
+    DistConfig,
+    FuzzCase,
+    canonical_json,
+    case_digest,
+    load_corpus,
+    run_distributed,
+    run_shard,
+    shard_budgets,
+    shard_seed,
+)
+from repro.fuzz import dist as dist_mod
+from repro.fuzz.schema import validate_dist_report
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+def _corpus():
+    return load_corpus(CORPUS_DIR)
+
+
+def _config(**overrides) -> DistConfig:
+    defaults = dict(
+        seed=11, budget=24, shards=2, rounds=1,
+        emit_dir=None, parallel=False, shard_timeout=None,
+    )
+    defaults.update(overrides)
+    return DistConfig(**defaults)
+
+
+# -- partitioning --------------------------------------------------------------
+
+
+def test_shard_budgets_partition_exactly():
+    assert shard_budgets(10, 4) == [3, 3, 2, 2]
+    assert shard_budgets(8, 2) == [4, 4]
+    assert shard_budgets(1, 3) == [1, 0, 0]
+    with pytest.raises(ValueError):
+        shard_budgets(10, 0)
+
+
+def test_shard_seeds_are_distinct_and_stable():
+    seeds = {
+        shard_seed(0, r, s) for r in range(3) for s in range(8)
+    }
+    assert len(seeds) == 24
+    assert shard_seed(0, 0, 0) == shard_seed(0, 0, 0)
+    assert shard_seed(0, 0, 0) != shard_seed(1, 0, 0)
+
+
+# -- determinism ---------------------------------------------------------------
+
+
+def test_merged_report_is_bit_identical_across_runs():
+    first = run_distributed(_config(), corpus=_corpus())
+    second = run_distributed(_config(), corpus=_corpus())
+    assert canonical_json(first) == canonical_json(second)
+    # Timing differs between runs and is excluded from canonical form.
+    assert "timing" not in json.loads(canonical_json(first))
+    assert "timing" in json.loads(
+        canonical_json(first, include_timing=True)
+    )
+
+
+def test_parallel_matches_sequential():
+    sequential = run_distributed(_config(), corpus=_corpus())
+    parallel = run_distributed(
+        _config(parallel=True, shard_timeout=300.0), corpus=_corpus()
+    )
+    assert canonical_json(sequential) == canonical_json(parallel)
+
+
+def test_shard_reproducible_in_isolation():
+    config = _config()
+    full = run_distributed(config, corpus=_corpus())
+    budget = shard_budgets(config.budget, config.shards)[1]
+    alone = run_shard(config, 0, 1, budget, _corpus())
+    row = full["shard_reports"][1]
+    assert alone["shard_seed"] == row["shard_seed"]
+    assert alone["report"]["divergences"] == row["divergences"]
+    assert alone["report"]["coverage"]["instruction_pairs"] == (
+        row["coverage"]["instruction_pairs"]
+    )
+    assert alone["report"]["corpus"]["interesting"] == row["interesting"]
+
+
+def test_multi_round_schedules_merged_corpus():
+    report = run_distributed(
+        _config(budget=48, rounds=2), corpus=_corpus()
+    )
+    assert report["rounds"] == 2
+    assert len(report["shard_reports"]) == 4
+    scheduled = report["corpus"]["scheduled"]
+    assert scheduled[0] == 0
+    # Round 0 found interesting cases, so round 1 was seeded with them.
+    assert scheduled[1] > 0
+    assert validate_dist_report(report) == []
+
+
+def test_report_validates_and_sums_oracles():
+    report = run_distributed(_config(), corpus=_corpus())
+    assert validate_dist_report(report) == []
+    per_shard_cases = sum(
+        row["coverage"]["instructions_executed"]
+        for row in report["shard_reports"]
+    )
+    assert report["coverage"]["instructions_executed"] == per_shard_cases
+    assert report["oracles"]["step_vs_block"]["cases"] > 0
+    assert report["divergences"] == 0
+
+
+# -- corpus merging ------------------------------------------------------------
+
+
+def test_case_digest_ignores_name_and_origin():
+    a = FuzzCase(name="a", body_words=(1, 2, 3), reg_seed=7)
+    b = FuzzCase(name="b", body_words=(1, 2, 3), reg_seed=7,
+                 origin="corpus:x")
+    c = FuzzCase(name="a", body_words=(1, 2, 4), reg_seed=7)
+    d = FuzzCase(name="a", body_words=(1, 2, 3), reg_seed=8)
+    assert case_digest(a) == case_digest(b)
+    assert case_digest(a) != case_digest(c)
+    assert case_digest(a) != case_digest(d)
+
+
+def test_corpus_merge_dedups_on_digest(monkeypatch):
+    """Two shards reporting the same interesting case merge to one."""
+    shared = FuzzCase(name="shard-local-name", body_words=(0x13, 0x6F))
+    unique = FuzzCase(name="other", body_words=(0x93, 0x1013))
+
+    def fake_run_shard(config, round_index, shard_id, budget, corpus):
+        cases = [(shared, 5)] if shard_id == 0 else [
+            (FuzzCase(name="renamed", body_words=(0x13, 0x6F)), 3),
+            (unique, 2),
+        ]
+        return {
+            "round": round_index,
+            "shard_id": shard_id,
+            "shard_seed": shard_seed(config.seed, round_index, shard_id),
+            "budget": budget,
+            "status": "ok",
+            "wall_seconds": 0.0,
+            "report": {
+                "divergences": 0,
+                "coverage": {
+                    "instruction_pairs": 1, "instructions_executed": 1,
+                    "trap_edges": 0, "traps_taken": 0, "clb_events": 0,
+                },
+                "corpus": {"seeds": 0, "interesting": len(cases)},
+                "oracles": {},
+                "failures": [],
+            },
+            "coverage": dist_mod.CoverageMap(),
+            "interesting": cases,
+        }
+
+    monkeypatch.setattr(dist_mod, "run_shard", fake_run_shard)
+    report = run_distributed(_config(budget=4))
+    assert report["corpus"]["interesting"] == 2
+    assert report["corpus"]["duplicates_dropped"] == 1
+
+
+# -- failure handling ----------------------------------------------------------
+
+
+def test_hung_worker_times_out_and_merges_partially(monkeypatch):
+    monkeypatch.setenv(dist_mod.HANG_ENV, "1")
+    report = run_distributed(
+        _config(parallel=True, shard_timeout=10.0, budget=8),
+        corpus=_corpus(),
+    )
+    statuses = {
+        row["shard_id"]: row["status"] for row in report["shard_reports"]
+    }
+    assert statuses == {0: "ok", 1: "timeout"}
+    assert report["shards_ok"] == 1
+    assert report["shards_failed"] == 1
+    # The surviving shard's results were still merged.
+    assert report["coverage"]["instruction_pairs"] > 0
+    assert report["oracles"]["step_vs_block"]["cases"] > 0
+    assert validate_dist_report(report) == []
+
+
+def test_crashed_worker_is_reported_not_lost(monkeypatch):
+    def exploding_run_shard(config, round_index, shard_id, budget, corpus):
+        if shard_id == 0:
+            raise RuntimeError("worker died")
+        return run_shard(config, round_index, shard_id, budget, corpus)
+
+    monkeypatch.setattr(dist_mod, "run_shard", exploding_run_shard)
+    report = run_distributed(
+        _config(parallel=True, shard_timeout=60.0, budget=8),
+        corpus=_corpus(),
+    )
+    statuses = {
+        row["shard_id"]: row["status"] for row in report["shard_reports"]
+    }
+    assert statuses[0] == "crashed"
+    assert statuses[1] == "ok"
+    assert report["shards_failed"] == 1
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def test_cli_sharded_json_is_deterministic(tmp_path, capsys):
+    from repro.fuzz.__main__ import main
+
+    outputs = []
+    for run in range(2):
+        out = tmp_path / f"report{run}.json"
+        code = main([
+            "--seed", "5", "--budget", "16", "--shards", "2",
+            "--sequential", "--json",
+            "--emit-dir", str(tmp_path / f"failures{run}"),
+            "--output", str(out),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        outputs.append(out.read_text())
+    assert outputs[0] == outputs[1]
+    document = json.loads(outputs[0])
+    assert document["schema"] == dist_mod.DIST_REPORT_SCHEMA
+    assert document["schema_version"] == 1
+    assert "timing" not in document
+
+
+def test_cli_reports_failed_shards_in_exit_code(tmp_path, monkeypatch,
+                                                capsys):
+    from repro.fuzz.__main__ import main
+
+    monkeypatch.setenv(dist_mod.HANG_ENV, "0,1")
+    code = main([
+        "--seed", "5", "--budget", "8", "--shards", "2",
+        "--shard-timeout", "5",
+        "--emit-dir", str(tmp_path / "failures"),
+    ])
+    capsys.readouterr()
+    assert code == 2

@@ -1,0 +1,67 @@
+"""Artifact-validator dispatch tests (``python -m repro.validate``)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.validate import main, validate_document
+
+
+def test_dispatch_on_schema_id():
+    kind, problems = validate_document({
+        "schema": "repro.perf/history-1",
+        "schema_version": 1,
+        "timestamp": "2026-08-09T00:00:00Z",
+        "label": "x",
+        "source": {"quick": True},
+        "metrics": {"kernel_boot.speedup": 10.0},
+    })
+    assert kind == "repro.perf/history-1"
+    assert problems == []
+
+
+def test_chrome_trace_recognized_by_shape():
+    kind, problems = validate_document({
+        "traceEvents": [
+            {"ph": "M", "name": "process_name", "pid": 1, "tid": 1},
+        ],
+    })
+    assert kind == "chrome-trace"
+    assert problems == []
+
+
+def test_unknown_document_is_a_problem():
+    kind, problems = validate_document({"schema": "not/a-schema"})
+    assert kind == "unknown"
+    assert problems
+
+
+def test_cli_walks_directories_and_sets_exit_code(tmp_path, capsys):
+    good = tmp_path / "metrics.json"
+    good.write_text(json.dumps({
+        "schema": "repro.telemetry/metrics-1",
+        "counters": {}, "gauges": {}, "histograms": {},
+    }))
+    assert main([str(tmp_path)]) == 0
+    assert "1/1 documents valid" in capsys.readouterr().out
+
+    bad = tmp_path / "broken.json"
+    bad.write_text("{not json")
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+    assert "1/2 documents valid" in out
+
+
+def test_cli_validates_fuzz_report(tmp_path, capsys):
+    from repro.fuzz import FuzzConfig, run_campaign
+
+    report = run_campaign(FuzzConfig(seed=1, budget=6, emit_dir=None))
+    path = tmp_path / "fuzz-report.json"
+    path.write_text(json.dumps(report))
+    assert main([str(path)]) == 0
+    capsys.readouterr()
+
+    del report["coverage"]
+    path.write_text(json.dumps(report))
+    assert main([str(path)]) == 1
