@@ -1,0 +1,55 @@
+"""Multi-tenant serving layer: warm-forking job fleet.
+
+``repro.fleet`` turns the simulator into a service: an orchestrator
+(:class:`Fleet`) accepts concurrent job requests — workload runs,
+attack sessions, fuzz batches — and schedules them over a pool of
+long-lived worker processes.  Each worker boots a kernel configuration
+once (:class:`~repro.kernel.BootCache`) and answers every job from a
+copy-on-write fork of that warm snapshot; template-affine batching
+keeps same-config jobs on the same warm parent.
+
+Entry points:
+
+* :class:`Fleet` / :class:`FleetOptions` — embed the orchestrator;
+* :func:`~repro.fleet.loadgen.run_loadgen` — the deterministic load
+  generator behind ``BENCH_fleet.json``;
+* ``python -m repro.fleet`` — ``serve`` / ``submit`` / ``loadgen``.
+"""
+
+from repro.fleet.jobs import JobContext, execute_job
+from repro.fleet.loadgen import LoadgenOptions, generate_jobs, run_loadgen
+from repro.fleet.queue import JobQueue, QueueFull
+from repro.fleet.rollup import merge_metrics
+from repro.fleet.scheduler import Fleet, FleetError, FleetOptions
+from repro.fleet.schema import (
+    BENCH_FLEET_SCHEMA,
+    JOB_SCHEMA,
+    RESULT_SCHEMA,
+    make_job,
+    make_result,
+    validate_bench_fleet,
+    validate_job,
+    validate_result,
+)
+
+__all__ = [
+    "BENCH_FLEET_SCHEMA",
+    "Fleet",
+    "FleetError",
+    "FleetOptions",
+    "JOB_SCHEMA",
+    "JobContext",
+    "JobQueue",
+    "LoadgenOptions",
+    "QueueFull",
+    "RESULT_SCHEMA",
+    "execute_job",
+    "generate_jobs",
+    "make_job",
+    "make_result",
+    "merge_metrics",
+    "run_loadgen",
+    "validate_bench_fleet",
+    "validate_job",
+    "validate_result",
+]

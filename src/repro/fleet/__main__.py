@@ -1,0 +1,255 @@
+"""CLI for the fleet serving layer.
+
+Subcommands:
+
+* ``serve`` — read job envelopes (JSON lines) from a file or stdin,
+  run them through a fleet, print the result envelopes sorted by job
+  id.  Exits 1 if any job was lost or errored.
+* ``submit`` — compose and print one validated job envelope from
+  flags, ready to pipe into ``serve`` or append to a job file.
+* ``loadgen`` — run the deterministic load generator and write
+  ``BENCH_fleet.json``.  Exits 1 if any job was lost or errored.
+
+Examples::
+
+    python -m repro.fleet submit --kind workload --config full \
+        --workload alu --param iterations=64 > jobs.jsonl
+    python -m repro.fleet serve jobs.jsonl
+    python -m repro.fleet loadgen --seed 0 --jobs 120 \
+        --output BENCH_fleet.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.fleet.loadgen import LoadgenOptions, canonical_json, run_loadgen
+from repro.fleet.scheduler import Fleet, FleetError, FleetOptions
+from repro.fleet.schema import JOB_KINDS, make_job, validate_job
+
+
+def _parse_param(raw: str):
+    key, sep, value = raw.partition("=")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {raw!r}"
+        )
+    try:
+        return key, json.loads(value)
+    except json.JSONDecodeError:
+        return key, value
+
+
+def _add_fleet_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker pool size (default: one per core, capped)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=8,
+        help="max jobs per batch shipped to a worker (default 8)",
+    )
+    parser.add_argument(
+        "--recycle-after", type=int, default=None,
+        help="gracefully replace a worker after N jobs (default never)",
+    )
+    parser.add_argument(
+        "--sequential", action="store_true",
+        help="run everything in-process (no worker pool; deterministic)",
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    stream = sys.stdin if args.jobs_file == "-" else open(args.jobs_file)
+    try:
+        jobs = [
+            json.loads(line)
+            for line in stream
+            if line.strip()
+        ]
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    options = FleetOptions(
+        batch_size=args.batch_size,
+        recycle_after=args.recycle_after,
+        parallel=not args.sequential,
+    )
+    if args.workers is not None:
+        options.workers = max(1, args.workers)
+    fleet = Fleet(options)
+    try:
+        results = fleet.run_jobs(jobs)
+    except FleetError as error:
+        print(f"fleet: {error}", file=sys.stderr)
+        return 2
+    for job_id in sorted(results):
+        print(json.dumps(results[job_id], sort_keys=True))
+    bad = sum(
+        1 for result in results.values() if result["status"] != "ok"
+    )
+    lost = len(jobs) - len(results)
+    if bad or lost:
+        print(
+            f"fleet: {bad} non-ok results, {lost} lost jobs",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    params = dict(args.param or [])
+    if args.config is not None:
+        params["config"] = args.config
+    if args.workload is not None:
+        params["workload"] = args.workload
+    if args.attack is not None:
+        params["attack"] = args.attack
+    job = make_job(
+        args.id,
+        args.kind,
+        params,
+        tenant=args.tenant,
+        priority=args.priority,
+        deadline_s=args.deadline,
+    )
+    problems = validate_job(job)
+    if problems:
+        for problem in problems:
+            print(f"submit: {problem}", file=sys.stderr)
+        return 2
+    print(json.dumps(job, sort_keys=True))
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    options = LoadgenOptions(
+        seed=args.seed,
+        jobs=args.jobs,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        recycle_after=args.recycle_after,
+        inject_crash=args.inject_crash,
+        sequential=args.sequential,
+        cold_sample=args.cold_sample,
+    )
+    report = run_loadgen(options)
+    document = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(document + "\n")
+    if args.json or not (args.output or args.print_canonical):
+        print(document)
+    elif not args.print_canonical:
+        timing = report["timing"]
+        results = report["results"]
+        print(
+            f"fleet loadgen: seed={report['seed']} jobs={report['jobs']} "
+            f"workers={report['workers']} ok={results['ok']} "
+            f"error={results['error']} lost={results['lost']}"
+        )
+        print(
+            f"  {timing['sessions_per_minute']:.0f} sessions/min, "
+            f"warm/cold {timing['cold_vs_warm']:.2f}x, "
+            f"p50 {timing['latency_ms']['p50']:.1f} ms, "
+            f"requeued {timing['jobs_requeued']}, "
+            f"crashed {timing['workers_crashed']}"
+        )
+        print(f"  digest {report['results_digest'][:16]}…")
+    if args.print_canonical:
+        print(canonical_json(report))
+    if results_bad(report):
+        print("fleet loadgen: lost or errored jobs", file=sys.stderr)
+        return 1
+    return 0
+
+
+def results_bad(report: dict) -> bool:
+    results = report["results"]
+    return bool(results["lost"] or results["error"])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="Multi-tenant warm-forking job fleet.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="run job envelopes (JSON lines) through a fleet"
+    )
+    serve.add_argument(
+        "jobs_file", nargs="?", default="-",
+        help="path to a JSONL job file ('-' or omitted: stdin)",
+    )
+    _add_fleet_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="compose and print one job envelope"
+    )
+    submit.add_argument("--id", default="job-000000", help="job id")
+    submit.add_argument(
+        "--kind", choices=JOB_KINDS, default="workload", help="job kind"
+    )
+    submit.add_argument("--tenant", default="default", help="tenant name")
+    submit.add_argument(
+        "--priority", type=int, default=1,
+        help="priority (lower runs first, default 1)",
+    )
+    submit.add_argument(
+        "--deadline", type=float, default=None,
+        help="deadline in seconds from submission (default none)",
+    )
+    submit.add_argument("--config", default=None, help="kernel config name")
+    submit.add_argument(
+        "--workload", default=None, help="workload name (workload jobs)"
+    )
+    submit.add_argument(
+        "--attack", default=None, help="attack name (attack jobs)"
+    )
+    submit.add_argument(
+        "--param", action="append", type=_parse_param, metavar="K=V",
+        help="extra job parameter (JSON value or bare string)",
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a seeded job mix; write BENCH_fleet.json"
+    )
+    loadgen.add_argument("--seed", type=int, default=0, help="mix seed")
+    loadgen.add_argument(
+        "--jobs", type=int, default=120, help="jobs to generate (default 120)"
+    )
+    _add_fleet_flags(loadgen)
+    loadgen.add_argument(
+        "--inject-crash", type=int, default=1,
+        help="worker crashes to inject mid-run (default 1)",
+    )
+    loadgen.add_argument(
+        "--cold-sample", type=int, default=8,
+        help="probe sessions replayed warm and cold for the ratio",
+    )
+    loadgen.add_argument(
+        "--output", default=None, help="write the report here (JSON)"
+    )
+    loadgen.add_argument(
+        "--json", action="store_true",
+        help="print the full report even when --output is given",
+    )
+    loadgen.add_argument(
+        "--print-canonical", action="store_true",
+        help="also print the canonical (timing-stripped) report",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

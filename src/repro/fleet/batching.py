@@ -1,0 +1,53 @@
+"""Batching policy: which jobs may share one dispatch.
+
+Forking is only cheap when the template is warm, and templates are
+keyed by kernel configuration — so the scheduler batches jobs whose
+:func:`batch_key` matches and ships them to one worker in one message.
+Every job in the batch after the first is served from the template the
+first one booted (or found warm), which is what turns a pile of short
+sessions into fork-rate-limited work instead of boot-rate-limited work.
+
+``workload`` and ``attack`` jobs share a key per kernel config (an
+attack against ``full`` and a workload on ``full`` fork the same
+booted template).  ``fuzz`` batches are config-less — they build their
+own machines per case — and group only with each other so they never
+dilute a machine-affine batch.
+"""
+
+from __future__ import annotations
+
+__all__ = ["batch_key", "plan_batches"]
+
+
+def batch_key(job: dict) -> tuple:
+    """Template-affinity key: jobs with equal keys batch together."""
+    if job.get("kind") == "fuzz":
+        return ("fuzz",)
+    return ("machine", job.get("params", {}).get("config", "full"))
+
+
+def plan_batches(jobs: list[dict], batch_size: int) -> list[list[dict]]:
+    """Greedy batch plan over an ordered job list (reference policy).
+
+    The live scheduler batches incrementally out of the priority queue
+    (:meth:`repro.fleet.queue.JobQueue.pop_batch`); this function is
+    the same policy applied to a static list — used by tests and by
+    ``serve`` in sequential mode to report what the batches were.
+    """
+    if batch_size < 1:
+        raise ValueError(f"need a positive batch size, got {batch_size}")
+    batches: list[list[dict]] = []
+    pending = list(jobs)
+    while pending:
+        head = pending.pop(0)
+        key = batch_key(head)
+        batch = [head]
+        rest = []
+        for job in pending:
+            if len(batch) < batch_size and batch_key(job) == key:
+                batch.append(job)
+            else:
+                rest.append(job)
+        pending = rest
+        batches.append(batch)
+    return batches

@@ -1,0 +1,266 @@
+"""Job kinds and their in-worker execution.
+
+A fleet job is one of three shapes of work, all short-lived and all
+answered from warm state:
+
+* ``workload`` — run a small named user program (``exit`` | ``alu`` |
+  ``storm``) on a named kernel config to completion and report the
+  architectural outcome;
+* ``attack`` — run one Table-4 penetration test against a config and
+  report the verdict;
+* ``fuzz`` — run a miniature differential fuzz batch (a seeded
+  :class:`~repro.fuzz.campaign.Campaign`) and report divergences and
+  coverage counts.
+
+Every payload is a pure function of the job parameters: workloads fork
+a booted template copy-on-write (bit-identical to a cold boot going
+forward), attacks are deterministic by construction, and fuzz batches
+are seeded.  That is what lets the load generator digest results across
+runs and across scheduling orders.
+
+:class:`JobContext` is the warm state one worker accumulates: a bounded
+:class:`~repro.kernel.BootCache` of booted templates, a build cache of
+kernel images keyed by what the job asked for, and the worker's metrics
+registry (fork latency, per-tenant counters, job counts).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.compiler.ir import Const
+from repro.kernel import BootCache, KernelConfig, KernelSession
+from repro.kernel.build import build_kernel
+from repro.kernel.structs import SYS_GETPPID
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = [
+    "ATTACKS",
+    "CONFIGS",
+    "WORKLOAD_BUILDERS",
+    "JobContext",
+    "execute_job",
+]
+
+#: Per-job step budget: generous for the short sessions the fleet
+#: serves, small enough that a runaway guest cannot wedge a worker.
+JOB_STEP_BUDGET = 4_000_000
+
+CONFIGS = {
+    "baseline": KernelConfig.baseline,
+    "ra": KernelConfig.ra_only,
+    "fp": KernelConfig.fp_only,
+    "noncontrol": KernelConfig.noncontrol_only,
+    "full": KernelConfig.full,
+}
+
+
+def _exit_module(params: dict):
+    from repro.bench.workloads.base import make_user_module
+
+    code = int(params.get("code", 42)) & 0xFF
+
+    def body(lb):
+        lb.exit(Const(code))
+
+    return make_user_module(body)
+
+
+def _alu_module(params: dict):
+    from repro.bench.workloads.base import make_user_module
+
+    iterations = int(params.get("iterations", 32))
+
+    def body(lb):
+        acc = lb.accumulate()
+
+        def step(lb2, i):
+            b = lb2.b
+            mixed = b.xor(b.mul(i, i), b.shl(i, Const(3)))
+            lb2.add_into(acc, b.and_(mixed, Const(0xFFFF)))
+
+        lb.loop(iterations, step)
+        lb.exit(Const(0))
+
+    return make_user_module(body)
+
+
+def _storm_module(params: dict):
+    from repro.bench.workloads.base import make_user_module
+
+    iterations = int(params.get("iterations", 8))
+
+    def body(lb):
+        acc = lb.accumulate()
+        lb.loop(
+            iterations,
+            lambda lb2, i: lb2.add_into(acc, lb2.syscall(SYS_GETPPID)),
+        )
+        lb.exit(Const(0))
+
+    return make_user_module(body)
+
+
+WORKLOAD_BUILDERS = {
+    "exit": _exit_module,
+    "alu": _alu_module,
+    "storm": _storm_module,
+}
+
+
+def _attack_classes() -> dict:
+    from repro.attacks.corruption import CorruptionAttack
+    from repro.attacks.jop import JopAttack
+    from repro.attacks.leak import LeakAttack
+    from repro.attacks.privilege import PrivilegeEscalationAttack
+    from repro.attacks.rop import RopAttack
+    from repro.attacks.selinux_bypass import SelinuxBypassAttack
+    from repro.attacks.substitution import SubstitutionAttack
+
+    return {
+        "rop": RopAttack,
+        "jop": JopAttack,
+        "corruption": CorruptionAttack,
+        "leak": LeakAttack,
+        "privilege": PrivilegeEscalationAttack,
+        "selinux": SelinuxBypassAttack,
+        "substitution": SubstitutionAttack,
+    }
+
+
+#: Short attack names the ``attack`` job kind accepts.
+ATTACKS = tuple(sorted(_attack_classes()))
+
+
+class JobError(Exception):
+    """A job could not be executed (bad parameters, unknown kind)."""
+
+
+class JobContext:
+    """Warm per-worker state: boot templates, built images, metrics."""
+
+    def __init__(self, metrics: MetricsRegistry | None = None):
+        self.boot_cache = BootCache()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._images: dict[tuple, object] = {}
+
+    def _config(self, params: dict) -> KernelConfig:
+        name = params.get("config", "full")
+        factory = CONFIGS.get(name)
+        if factory is None:
+            raise JobError(f"unknown kernel config {name!r}")
+        return factory()
+
+    def image_for(self, params: dict):
+        """The built kernel+user image for a workload job, cached.
+
+        The image depends only on the job parameters, so equal requests
+        (the common case under batching) share one build.
+        """
+        workload = params.get("workload", "exit")
+        builder = WORKLOAD_BUILDERS.get(workload)
+        if builder is None:
+            raise JobError(f"unknown workload {workload!r}")
+        key = (
+            params.get("config", "full"),
+            workload,
+            int(params.get("iterations", 0)),
+            int(params.get("code", 42)),
+        )
+        image = self._images.get(key)
+        if image is None:
+            image = build_kernel(self._config(params), builder(params))
+            self._images[key] = image
+        return image
+
+
+# -- kind executors ---------------------------------------------------------------
+
+
+def _run_workload(params: dict, context: JobContext) -> dict:
+    image = context.image_for(params)
+    start = time.perf_counter()
+    session = KernelSession(
+        image.config, image=image, boot_cache=context.boot_cache
+    )
+    context.metrics.observe(
+        "fleet.fork_us", (time.perf_counter() - start) * 1e6
+    )
+    result = session.run(int(params.get("max_steps", JOB_STEP_BUDGET)))
+    return {
+        "halt": getattr(result.halt_reason, "value", None),
+        "exit_code": result.exit_code,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "console": result.console,
+        "panicked": result.panicked,
+    }
+
+
+def _run_attack(params: dict, context: JobContext) -> dict:
+    from repro.attacks.suite import run_attack
+
+    name = params.get("attack", "rop")
+    attack_cls = _attack_classes().get(name)
+    if attack_cls is None:
+        raise JobError(f"unknown attack {name!r}")
+    config = context._config(params)
+    result = run_attack(attack_cls, config, context.boot_cache)
+    return {
+        "attack": result.attack,
+        "config": result.config,
+        "succeeded": result.succeeded,
+        "blocked": result.blocked,
+        "outcome": result.outcome,
+    }
+
+
+def _run_fuzz(params: dict, context: JobContext) -> dict:
+    from repro.fuzz.campaign import Campaign, FuzzConfig
+
+    config = FuzzConfig(
+        seed=int(params.get("seed", 0)),
+        budget=int(params.get("budget", 4)),
+        emit_dir=None,
+    )
+    report = Campaign(config).run()
+    return {
+        "seed": config.seed,
+        "budget": config.budget,
+        "divergences": report["divergences"],
+        "interesting": report["corpus"]["interesting"],
+        "coverage": {
+            key: report["coverage"][key]
+            for key in ("instruction_pairs", "trap_edges", "clb_events")
+        },
+    }
+
+
+_EXECUTORS = {
+    "workload": _run_workload,
+    "attack": _run_attack,
+    "fuzz": _run_fuzz,
+}
+
+
+def execute_job(job: dict, context: JobContext) -> tuple[str, dict | None, str | None]:
+    """Run one job; return ``(status, payload, error)``.
+
+    Exceptions never escape: a failing job degrades to an ``error``
+    result so one bad request cannot take a worker (and its warm
+    templates) down with it.
+    """
+    executor = _EXECUTORS.get(job.get("kind"))
+    context.metrics.inc("fleet.jobs.total")
+    context.metrics.inc(f"fleet.kind.{job.get('kind')}")
+    context.metrics.inc(f"fleet.tenant.{job.get('tenant', 'default')}")
+    if executor is None:
+        context.metrics.inc("fleet.jobs.error")
+        return "error", None, f"unknown job kind {job.get('kind')!r}"
+    try:
+        payload = executor(job.get("params", {}), context)
+    except Exception as error:  # noqa: BLE001 — worker must survive any job
+        context.metrics.inc("fleet.jobs.error")
+        return "error", None, f"{type(error).__name__}: {error}"
+    context.metrics.inc("fleet.jobs.ok")
+    return "ok", payload, None

@@ -1,0 +1,129 @@
+"""Bounded priority job queue with deadlines and batch extraction.
+
+Jobs are ordered by ``(priority, submission sequence)`` — lower
+priority numbers run first, FIFO within a priority.  The queue is
+bounded: pushing past ``limit`` raises :class:`QueueFull`, which the
+serving layer surfaces to the caller instead of buffering without
+bound (backpressure, not amnesia).
+
+A job with ``deadline_s`` carries an absolute expiry stamped at first
+enqueue; the deadline survives crash-requeues (a retried job does not
+get a fresh budget).  Expired jobs are returned separately by
+:meth:`JobQueue.pop_batch` so the scheduler can answer them with an
+``expired`` envelope without wasting a fork on them.
+
+:meth:`JobQueue.pop_batch` implements the dispatch side of the
+batching policy: it takes the best-priority runnable job, then fills
+the batch with queued jobs sharing its
+:func:`~repro.fleet.batching.batch_key`, best-priority first.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.fleet.batching import batch_key
+
+__all__ = ["JobQueue", "PendingJob", "QueueFull"]
+
+
+class QueueFull(Exception):
+    """The bounded queue rejected a submission (backpressure)."""
+
+
+@dataclass(order=True)
+class PendingJob:
+    """One queued job plus its scheduling state."""
+
+    priority: int
+    seq: int
+    job: dict = field(compare=False)
+    #: Monotonic stamp of the first enqueue (latency measurement base).
+    enqueued_at: float = field(compare=False, default=0.0)
+    #: Absolute monotonic expiry, stamped once at first enqueue.
+    deadline_at: float | None = field(compare=False, default=None)
+    #: Dispatch attempts so far (1 on first dispatch).
+    attempts: int = field(compare=False, default=0)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline_at is not None and now >= self.deadline_at
+
+
+class JobQueue:
+    """Bounded priority queue handing out template-affine batches."""
+
+    def __init__(self, limit: int = 4096, clock=time.monotonic):
+        if limit < 1:
+            raise ValueError(f"need a positive queue limit, got {limit}")
+        self.limit = limit
+        self._clock = clock
+        self._heap: list[PendingJob] = []
+        self._seq = itertools.count()
+        #: High-water mark of queued jobs (reported in fleet metrics).
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, job: dict, now: float | None = None) -> PendingJob:
+        """Enqueue a fresh job; raises :class:`QueueFull` when bounded out."""
+        if len(self._heap) >= self.limit:
+            raise QueueFull(
+                f"job queue at its limit of {self.limit} entries"
+            )
+        now = self._clock() if now is None else now
+        deadline = job.get("deadline_s")
+        pending = PendingJob(
+            priority=int(job.get("priority", 1)),
+            seq=next(self._seq),
+            job=job,
+            enqueued_at=now,
+            deadline_at=(now + deadline) if deadline is not None else None,
+        )
+        heapq.heappush(self._heap, pending)
+        self.peak_depth = max(self.peak_depth, len(self._heap))
+        return pending
+
+    def requeue(self, pending: PendingJob) -> None:
+        """Put a dispatched job back (its worker died mid-batch).
+
+        Scheduling state — sequence, enqueue stamp, deadline, attempt
+        count — is preserved: the retry keeps its place in the priority
+        order and its original deadline.  Requeues bypass the bound; a
+        job already admitted is never bounced back out.
+        """
+        heapq.heappush(self._heap, pending)
+        self.peak_depth = max(self.peak_depth, len(self._heap))
+
+    def pop_batch(
+        self, batch_size: int, now: float | None = None
+    ) -> tuple[list[PendingJob], list[PendingJob]]:
+        """Extract ``(expired, batch)`` from the queue head.
+
+        Expired jobs found while scanning are drained unconditionally;
+        the batch holds up to ``batch_size`` live jobs sharing the
+        batch key of the best-priority live job.
+        """
+        now = self._clock() if now is None else now
+        expired: list[PendingJob] = []
+        batch: list[PendingJob] = []
+        skipped: list[PendingJob] = []
+        key = None
+        while self._heap and len(batch) < batch_size:
+            pending = heapq.heappop(self._heap)
+            if pending.expired(now):
+                expired.append(pending)
+                continue
+            this_key = batch_key(pending.job)
+            if key is None:
+                key = this_key
+            if this_key == key:
+                batch.append(pending)
+            else:
+                skipped.append(pending)
+        for pending in skipped:
+            heapq.heappush(self._heap, pending)
+        return expired, batch

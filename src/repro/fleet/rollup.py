@@ -1,0 +1,81 @@
+"""Fleet-wide metrics rollup.
+
+Every worker owns a private
+:class:`~repro.telemetry.metrics.MetricsRegistry` (job counts,
+per-tenant counters, fork-latency histograms, boot-cache gauges) and
+ships its JSON snapshot home with each batch of results.  The
+scheduler keeps the latest snapshot per worker incarnation — snapshots
+are cumulative over a worker's life, so the last one subsumes the
+rest, and a crashed worker's final snapshot still counts what it
+served before dying.
+
+:func:`merge_metrics` folds any number of those snapshots (plus the
+scheduler's own registry) into one fleet-wide ``metrics-1`` document:
+
+* **counters** sum;
+* **histograms** merge exactly (counts, sums, min/max, bucket-wise);
+* **gauges** sum when numeric (boot-cache template/boot/fork counts
+  across workers are totals), last-wins otherwise.
+
+The merged document round-trips through the same
+:func:`repro.telemetry.schema.validate_metrics` validator as any
+single-process export.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import METRICS_SCHEMA
+
+__all__ = ["merge_metrics"]
+
+
+def _merge_histogram(into: dict, piece: dict) -> None:
+    into["count"] = into.get("count", 0) + piece.get("count", 0)
+    into["sum"] = into.get("sum", 0) + piece.get("sum", 0)
+    for key, pick in (("min", min), ("max", max)):
+        values = [v for v in (into.get(key), piece.get(key)) if v is not None]
+        into[key] = pick(values) if values else None
+    into["mean"] = into["sum"] / into["count"] if into["count"] else 0.0
+    buckets = into.setdefault("buckets", {})
+    for bound, count in piece.get("buckets", {}).items():
+        buckets[bound] = buckets.get(bound, 0) + count
+
+
+def _sorted_buckets(histogram: dict) -> dict:
+    histogram["buckets"] = {
+        bound: histogram["buckets"][bound]
+        for bound in sorted(
+            histogram.get("buckets", {}), key=lambda b: int(b[3:])
+        )
+    }
+    return histogram
+
+
+def merge_metrics(snapshots: list[dict]) -> dict:
+    """Fold ``metrics-1`` snapshots into one fleet-wide document."""
+    counters: dict[str, int] = {}
+    gauges: dict[str, object] = {}
+    histograms: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            current = gauges.get(name)
+            numeric = isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            )
+            if numeric and isinstance(current, (int, float)):
+                gauges[name] = current + value
+            else:
+                gauges[name] = value
+        for name, piece in snapshot.get("histograms", {}).items():
+            _merge_histogram(histograms.setdefault(name, {}), piece)
+    return {
+        "schema": METRICS_SCHEMA,
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {
+            name: _sorted_buckets(histogram)
+            for name, histogram in sorted(histograms.items())
+        },
+    }

@@ -1,0 +1,395 @@
+"""The fleet orchestrator: queue in front, warm workers behind.
+
+:class:`Fleet` accepts concurrent job requests (workload runs, attack
+sessions, fuzz batches), schedules them over a pool of long-lived
+worker processes, and answers from warm state:
+
+* jobs wait in a bounded priority queue (:mod:`repro.fleet.queue`) and
+  leave it in template-affine batches (:mod:`repro.fleet.batching`) —
+  every job of a batch forks the same booted kernel template inside
+  one worker;
+* each worker boots a configuration at most once
+  (:class:`~repro.kernel.BootCache`) and serves every assigned job
+  from a copy-on-write fork of that warm snapshot;
+* a worker that crashes mid-batch (or goes silent past
+  ``worker_timeout``) is replaced and its in-flight jobs are requeued
+  with their original priority, deadline and latency clock — up to
+  ``max_attempts`` dispatches, after which a job degrades to an
+  ``error`` result instead of crash-looping the pool;
+* a worker that has served ``recycle_after`` jobs finishes its batch,
+  announces it is recycling, and is gracefully replaced (bounded
+  memory growth without dropping anything);
+* per-worker metrics snapshots ride home on every reply and are rolled
+  up (:mod:`repro.fleet.rollup`) with the scheduler's own registry
+  into one fleet-wide metrics document.
+
+``parallel=False`` runs the identical scheduling logic against one
+in-process :class:`~repro.fleet.jobs.JobContext` — same batches, same
+results, no processes — which is what makes the serving layer's
+determinism testable in-suite.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.fleet.jobs import JobContext
+from repro.fleet.queue import JobQueue, PendingJob
+from repro.fleet.rollup import merge_metrics
+from repro.fleet.schema import make_result, validate_job
+from repro.fleet.worker import WorkerOptions, serve_batch, worker_main
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["Fleet", "FleetError", "FleetOptions", "default_worker_count"]
+
+#: Upper bound on the worker pool; past this, process overhead beats
+#: any batching win for the short sessions the fleet serves.
+MAX_WORKERS = 32
+
+
+def default_worker_count() -> int:
+    """Pool size when the caller does not choose: one worker per core,
+    clamped to ``[1, MAX_WORKERS]`` (``os.cpu_count()`` may be None)."""
+    return max(1, min(os.cpu_count() or 1, MAX_WORKERS))
+
+
+class FleetError(Exception):
+    """A request the fleet could not accept."""
+
+
+@dataclass
+class FleetOptions:
+    """Knobs for one fleet instance."""
+
+    workers: int = field(default_factory=default_worker_count)
+    #: Most jobs shipped to a worker in one message (template reuse
+    #: amortizes over the batch; latency caps it).
+    batch_size: int = 8
+    queue_limit: int = 4096
+    #: Gracefully replace a worker after this many jobs (None: never).
+    recycle_after: int | None = None
+    #: Dispatches a job may consume before degrading to an error.
+    max_attempts: int = 3
+    #: Seconds a worker may sit on one batch before it is declared dead.
+    worker_timeout: float | None = 300.0
+    #: False: run every batch in-process (deterministic test mode).
+    parallel: bool = True
+
+
+class _WorkerHandle:
+    """Parent-side state for one live worker incarnation."""
+
+    def __init__(self, incarnation: int, process, conn):
+        self.incarnation = incarnation
+        self.process = process
+        self.conn = conn
+        #: The batch currently on the worker (None: idle).
+        self.inflight: list[PendingJob] | None = None
+        self.sent_at: float = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.inflight is not None
+
+
+class Fleet:
+    """One serving instance: submit jobs, drain, read the rollup."""
+
+    def __init__(
+        self,
+        options: FleetOptions | None = None,
+        context: JobContext | None = None,
+    ):
+        self.options = options or FleetOptions()
+        if self.options.workers < 1:
+            raise FleetError(
+                f"need at least one worker, got {self.options.workers}"
+            )
+        if self.options.batch_size < 1:
+            raise FleetError(
+                f"need a positive batch size, got {self.options.batch_size}"
+            )
+        self.queue = JobQueue(limit=self.options.queue_limit)
+        self.metrics = MetricsRegistry()
+        self.results: dict[str, dict] = {}
+        #: Latest metrics snapshot per worker incarnation (a crashed
+        #: worker's last snapshot still counts what it served).
+        self.worker_snapshots: dict[int, dict] = {}
+        self._workers: list[_WorkerHandle] = []
+        self._incarnations = 0
+        self._batch_ids = 0
+        self._crash_ids: set[str] = set()
+        self._seen_ids: set[str] = set()
+        #: Sequential-mode execution context (ignored when parallel).
+        self._context = context
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, job: dict) -> None:
+        """Validate and enqueue one job envelope.
+
+        Raises :class:`FleetError` on a malformed or duplicate-id job
+        and :class:`~repro.fleet.queue.QueueFull` when the bounded
+        queue pushes back.
+        """
+        problems = validate_job(job)
+        if problems:
+            raise FleetError(
+                f"invalid job envelope: {'; '.join(problems[:3])}"
+            )
+        if job["id"] in self._seen_ids:
+            raise FleetError(f"duplicate job id {job['id']!r}")
+        self._seen_ids.add(job["id"])
+        self.queue.push(job)
+        self.metrics.inc("fleet.jobs.submitted")
+
+    def inject_crash_on(self, job_id: str) -> None:
+        """Fault injection: kill the worker that next receives this job.
+
+        The marker is consumed at dispatch, so the requeued batch runs
+        normally on the replacement worker — the injected fault models
+        one crash, not a poisoned job.
+        """
+        self._crash_ids.add(job_id)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _spawn_worker(self) -> _WorkerHandle:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        incarnation = self._incarnations
+        self._incarnations += 1
+        process = ctx.Process(
+            target=worker_main,
+            args=(
+                child_conn,
+                incarnation,
+                WorkerOptions(recycle_after=self.options.recycle_after),
+            ),
+            name=f"fleet-worker-{incarnation}",
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(incarnation, process, parent_conn)
+        self._workers.append(handle)
+        self.metrics.inc("fleet.workers.spawned")
+        return handle
+
+    def start(self) -> None:
+        if self.options.parallel and not self._workers:
+            for _ in range(self.options.workers):
+                self._spawn_worker()
+
+    def stop(self) -> None:
+        for handle in self._workers:
+            try:
+                handle.conn.send({"type": "stop"})
+            except (BrokenPipeError, OSError):
+                pass
+            handle.conn.close()
+        for handle in self._workers:
+            handle.process.join(10)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(10)
+        self._workers = []
+
+    # -- result bookkeeping ------------------------------------------------------
+
+    def _finish(self, pending: PendingJob, result: dict) -> None:
+        total_ms = (time.monotonic() - pending.enqueued_at) * 1e3
+        result.setdefault("timing", {})["total_ms"] = total_ms
+        self.metrics.observe("fleet.latency_ms", total_ms)
+        self.metrics.inc("fleet.jobs.completed")
+        self.metrics.inc(f"fleet.status.{result['status']}")
+        self.results[result["id"]] = result
+
+    def _expire(self, pending: PendingJob) -> None:
+        self._finish(pending, make_result(
+            pending.job, "expired", None,
+            error="deadline passed before dispatch",
+            attempts=pending.attempts,
+        ))
+
+    def _fail(self, pending: PendingJob, reason: str) -> None:
+        self._finish(pending, make_result(
+            pending.job, "error", None,
+            error=reason,
+            attempts=pending.attempts,
+        ))
+
+    def _requeue_inflight(self, handle: _WorkerHandle, reason: str) -> None:
+        for pending in handle.inflight or []:
+            if pending.attempts >= self.options.max_attempts:
+                self._fail(
+                    pending,
+                    f"gave up after {pending.attempts} attempts: {reason}",
+                )
+            else:
+                self.queue.requeue(pending)
+                self.metrics.inc("fleet.jobs.requeued")
+        handle.inflight = None
+
+    # -- parallel drain ----------------------------------------------------------
+
+    def _dispatch(self, handle: _WorkerHandle) -> bool:
+        expired, batch = self.queue.pop_batch(self.options.batch_size)
+        for pending in expired:
+            self._expire(pending)
+        if not batch:
+            return False
+        crash = False
+        for pending in batch:
+            pending.attempts += 1
+            if pending.job["id"] in self._crash_ids:
+                self._crash_ids.discard(pending.job["id"])
+                crash = True
+        self._batch_ids += 1
+        self.metrics.observe("fleet.queue.depth", len(self.queue))
+        try:
+            handle.conn.send({
+                "type": "batch",
+                "batch_id": self._batch_ids,
+                "jobs": [pending.job for pending in batch],
+                "attempts": [pending.attempts for pending in batch],
+                "crash": crash,
+            })
+        except (BrokenPipeError, OSError):
+            handle.inflight = batch
+            self._on_worker_death(handle, "send failed (worker dead)")
+            return True
+        handle.inflight = batch
+        handle.sent_at = time.monotonic()
+        return True
+
+    def _on_worker_death(self, handle: _WorkerHandle, reason: str) -> None:
+        self.metrics.inc("fleet.workers.crashed")
+        if handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(10)
+        handle.conn.close()
+        self._workers.remove(handle)
+        self._requeue_inflight(handle, reason)
+        self._spawn_worker()
+
+    def _on_reply(self, handle: _WorkerHandle, message: dict) -> None:
+        inflight = handle.inflight or []
+        by_id = {pending.job["id"]: pending for pending in inflight}
+        handle.inflight = None
+        self.worker_snapshots[message["worker"]] = message["metrics"]
+        for result in message["results"]:
+            pending = by_id.pop(result["id"])
+            self._finish(pending, result)
+        # Anything the worker did not answer (should not happen with a
+        # well-behaved worker) goes back on the queue.
+        for pending in by_id.values():
+            self.queue.requeue(pending)
+            self.metrics.inc("fleet.jobs.requeued")
+        if message.get("recycling"):
+            self.metrics.inc("fleet.workers.recycled")
+            handle.conn.close()
+            handle.process.join(10)
+            self._workers.remove(handle)
+            self._spawn_worker()
+
+    def _drain_parallel(self) -> None:
+        from multiprocessing.connection import wait as conn_wait
+
+        self.start()
+        while True:
+            for handle in list(self._workers):
+                if not handle.busy and len(self.queue):
+                    self._dispatch(handle)
+            busy = [handle for handle in self._workers if handle.busy]
+            if not busy and not len(self.queue):
+                break
+            if not busy:
+                # Only expired jobs were left; the loop above drained
+                # them through pop_batch without dispatching.
+                continue
+            ready = conn_wait([handle.conn for handle in busy], timeout=0.2)
+            now = time.monotonic()
+            for handle in list(busy):
+                if handle.conn in ready:
+                    try:
+                        message = handle.conn.recv()
+                    except (EOFError, OSError):
+                        self._on_worker_death(handle, "worker crashed")
+                        continue
+                    self._on_reply(handle, message)
+                elif (
+                    self.options.worker_timeout is not None
+                    and now - handle.sent_at > self.options.worker_timeout
+                ):
+                    self._on_worker_death(handle, "worker timed out")
+
+    # -- sequential drain --------------------------------------------------------
+
+    def _drain_sequential(self) -> None:
+        context = self._context or JobContext()
+        self._context = context
+        while len(self.queue):
+            expired, batch = self.queue.pop_batch(self.options.batch_size)
+            for pending in expired:
+                self._expire(pending)
+            if not batch:
+                continue
+            crash = False
+            for pending in batch:
+                pending.attempts += 1
+                if pending.job["id"] in self._crash_ids:
+                    self._crash_ids.discard(pending.job["id"])
+                    crash = True
+            self._batch_ids += 1
+            self.metrics.observe("fleet.queue.depth", len(self.queue))
+            if crash:
+                # Simulated crash: the batch dies undone, exactly as a
+                # parallel worker taking CRASH_EXIT would leave it.
+                self.metrics.inc("fleet.workers.crashed")
+                handle = _WorkerHandle(0, None, None)
+                handle.inflight = batch
+                self._requeue_inflight(handle, "worker crashed (injected)")
+                continue
+            message = {
+                "batch_id": self._batch_ids,
+                "jobs": [pending.job for pending in batch],
+                "attempts": [pending.attempts for pending in batch],
+            }
+            for pending, result in zip(
+                batch, serve_batch(message, context, worker_id=0)
+            ):
+                self._finish(pending, result)
+        context.boot_cache.publish_metrics(context.metrics)
+        self.worker_snapshots[0] = context.metrics.to_json()
+
+    # -- public driving ----------------------------------------------------------
+
+    def drain(self) -> dict[str, dict]:
+        """Serve until the queue is empty and nothing is in flight."""
+        if self.options.parallel:
+            self._drain_parallel()
+        else:
+            self._drain_sequential()
+        self.metrics.set("fleet.queue.peak", self.queue.peak_depth)
+        return self.results
+
+    def run_jobs(self, jobs: list[dict]) -> dict[str, dict]:
+        """Convenience: submit everything, drain, stop workers."""
+        try:
+            for job in jobs:
+                self.submit(job)
+            return self.drain()
+        finally:
+            self.stop()
+
+    def metrics_snapshot(self) -> dict:
+        """Fleet-wide rollup: every worker's registry + the scheduler's."""
+        return merge_metrics(
+            list(self.worker_snapshots.values()) + [self.metrics.to_json()]
+        )

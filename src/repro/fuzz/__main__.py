@@ -21,7 +21,12 @@ from random import Random
 
 from repro.fuzz.campaign import FuzzConfig, run_campaign
 from repro.fuzz.corpus import case_from_file, load_corpus
-from repro.fuzz.dist import DistConfig, canonical_json, run_distributed
+from repro.fuzz.dist import (
+    DistConfig,
+    canonical_json,
+    resolve_shards,
+    run_distributed,
+)
 from repro.fuzz.oracles import run_differential, run_snapshot
 
 #: Default checked-in seed corpus, resolved relative to the repo root.
@@ -117,7 +122,9 @@ def main(argv=None) -> int:
                         help="per-case step budget")
     parser.add_argument("--shards", type=int, default=None, metavar="N",
                         help="run a sharded multi-process campaign with "
-                        "N worker shards and merge the results")
+                        "N worker shards and merge the results; 0 "
+                        "auto-detects from the CPU count (clamped to "
+                        "64 shards either way)")
     parser.add_argument("--rounds", type=int, default=1,
                         help="rounds per sharded campaign; later rounds "
                         "are seeded coverage-guided from earlier ones")
@@ -160,7 +167,7 @@ def main(argv=None) -> int:
         config = DistConfig(
             seed=args.seed,
             budget=args.budget,
-            shards=args.shards,
+            shards=resolve_shards(args.shards),
             rounds=args.rounds,
             max_steps=max_steps,
             emit_dir=args.emit_dir,

@@ -44,8 +44,10 @@ from repro.fuzz.oracles import CASE_STEP_BUDGET
 
 __all__ = [
     "DIST_REPORT_SCHEMA",
+    "MAX_SHARDS",
     "DistConfig",
     "canonical_json",
+    "resolve_shards",
     "run_distributed",
     "run_shard",
     "shard_budgets",
@@ -54,6 +56,22 @@ __all__ = [
 
 DIST_REPORT_SCHEMA = "repro.fuzz/dist-report-1"
 DIST_REPORT_SCHEMA_VERSION = 1
+
+#: Upper bound on worker shards: beyond this the per-shard budgets get
+#: too small to be useful and process overhead dominates.
+MAX_SHARDS = 64
+
+
+def resolve_shards(requested: int | None) -> int:
+    """Worker count for a campaign, clamped to ``[1, MAX_SHARDS]``.
+
+    ``requested`` of ``None`` or ``<= 0`` auto-detects from
+    ``os.cpu_count()`` — which may legitimately return ``None`` (the
+    platform cannot tell), in which case one shard is used.
+    """
+    if requested is None or requested <= 0:
+        requested = os.cpu_count() or 1
+    return max(1, min(requested, MAX_SHARDS))
 
 #: How many merged interesting cases (ranked by new coverage keys) seed
 #: the next round's shards on top of the base corpus.

@@ -28,6 +28,7 @@ cache robust against any out-of-band variation.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 
 from repro.crypto.engine import CryptoEngine
 from repro.crypto.keys import KeySelect
@@ -53,20 +54,63 @@ def program_digest(program) -> str:
     return digest.hexdigest()
 
 
-class BootCache:
-    """Caches booted template machines; hands out COW forks of them."""
+#: Default template bound: large enough for the whole Figure-5 build
+#: matrix plus a couple of ad-hoc configs, small enough that a
+#: long-lived fleet worker cannot accumulate booted machines without
+#: limit.
+DEFAULT_MAX_TEMPLATES = 8
 
-    def __init__(self):
-        self._templates: dict[tuple, Machine] = {}
+
+class BootCache:
+    """Caches booted template machines; hands out COW forks of them.
+
+    The cache is bounded: at most ``max_templates`` booted machines are
+    retained, evicted least-recently-used (every hit refreshes the
+    template's recency).  ``max_templates=None`` keeps the old
+    unbounded behaviour.
+    """
+
+    def __init__(self, max_templates: int | None = DEFAULT_MAX_TEMPLATES):
+        if max_templates is not None and max_templates < 1:
+            raise ValueError(
+                f"need at least one template slot, got {max_templates}"
+            )
+        self.max_templates = max_templates
+        self._templates: OrderedDict[tuple, Machine] = OrderedDict()
+        #: Per-template shared block layouts: every fork of a template
+        #: contributes its translations and adopts its siblings'
+        #: (validated byte-for-byte at adoption), so the hot kernel
+        #: paths are predecoded once per template, not once per fork.
+        self._layouts: dict[tuple, dict] = {}
         #: Template boots performed (the expensive operation saved).
         self.boots = 0
         #: Forks handed out.
         self.forks = 0
         #: Requests that could not be served from a template.
         self.fallbacks = 0
+        #: Templates dropped to keep the cache within ``max_templates``.
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._templates)
+
+    def stats(self) -> dict:
+        """Counter snapshot (plus current size) for reporting."""
+        return {
+            "templates": len(self._templates),
+            "max_templates": self.max_templates,
+            "boots": self.boots,
+            "forks": self.forks,
+            "fallbacks": self.fallbacks,
+            "evictions": self.evictions,
+        }
+
+    def publish_metrics(self, registry, prefix: str = "bootcache") -> None:
+        """Expose the cache counters as gauges on a metrics registry."""
+        for name, value in self.stats().items():
+            if name == "max_templates":
+                continue
+            registry.set(f"{prefix}.{name}", value)
 
     # -- public API --------------------------------------------------------------
 
@@ -93,7 +137,17 @@ class BootCache:
                 self.fallbacks += 1
                 return None
             self._templates[key] = template
+            if (
+                self.max_templates is not None
+                and len(self._templates) > self.max_templates
+            ):
+                evicted, _ = self._templates.popitem(last=False)
+                self._layouts.pop(evicted, None)
+                self.evictions += 1
+        else:
+            self._templates.move_to_end(key)
         child = fork(template)
+        child.hart.shared_layouts = self._layouts.setdefault(key, {})
         for section in user.sections.values():
             if section.data:
                 child.memory.write_bytes(section.base, bytes(section.data))

@@ -100,6 +100,39 @@ class TranslatedBlock:
         return len(self.ops)
 
 
+class BlockLayout:
+    """The hart-independent part of a translation, shareable via
+    :attr:`repro.machine.hart.Hart.shared_layouts`.
+
+    Handlers are closures over one hart, so a :class:`TranslatedBlock`
+    cannot cross machines — but the predecoded instruction sequence,
+    cycle bound and page set are pure functions of the code bytes.  A
+    layout carries those plus the exact ``raw`` bytes it was derived
+    from; an adopting hart bulk-reads the same span and only rebinds
+    handlers when the bytes still match, so a stale layout (different
+    user program at the same address, self-modified code) is rejected
+    by comparison instead of by an invalidation protocol.
+
+    Sharing is scoped by the boot cache to forks of one template, which
+    all carry the same cost model and crypto engine — the cycle bound
+    transfers unchanged.
+    """
+
+    __slots__ = ("raw", "instructions", "cycle_bound", "pages")
+
+    def __init__(self, raw: bytes, instructions: tuple, cycle_bound: int,
+                 pages: frozenset[int]):
+        self.raw = raw
+        self.instructions = instructions
+        self.cycle_bound = cycle_bound
+        self.pages = pages
+
+
+#: Entries one shared-layout dict may hold (bounded by code footprint
+#: in practice; the cap only guards degenerate self-modifying guests).
+MAX_SHARED_LAYOUTS = 8192
+
+
 class BlockCache:
     """``(entry_pc, privilege) -> TranslatedBlock`` with page index.
 

@@ -24,7 +24,9 @@ from repro.isa.decoder import BLOCK_TERMINATORS, decode_cached, predecode
 from repro.isa.instructions import Instruction
 from repro.machine.blockcache import (
     MAX_BLOCK_INSTRUCTIONS,
+    MAX_SHARED_LAYOUTS,
     BlockCache,
+    BlockLayout,
     TranslatedBlock,
 )
 from repro.machine.blockcompile import compile_block
@@ -102,6 +104,14 @@ class Hart:
         self._tracer_stack: list[dict] = []
         # -- fast path: basic-block translation cache ----------------------
         self.blocks = BlockCache()
+        #: ``(pc, privilege) -> BlockLayout`` dict shared across forks
+        #: of one warm template (installed by the boot cache, None
+        #: otherwise).  Layouts are validated byte-for-byte against
+        #: live memory before adoption, so the dict needs no
+        #: invalidation and tolerates siblings with divergent memory.
+        self.shared_layouts: dict | None = None
+        #: Translations answered from ``shared_layouts``.
+        self.layout_hits = 0
         # -- compiled tier: specialized functions + direct chaining --------
         #: Master switch for the third execution tier (the differential
         #: fuzzer pins it off on one DUT to compare tiers directly).
@@ -289,6 +299,43 @@ class Hart:
     #: Words fetched per translation round; most blocks fit in one.
     _FETCH_CHUNK = 8
 
+    def _adopt_layout(self, pc: int, key: tuple[int, int], mem):
+        """Rebind a shared :class:`BlockLayout` into a local block.
+
+        Validates the layout byte-for-byte against live memory first —
+        adoption is only a win because the bulk read + compare is far
+        cheaper than fetch/predecode/cost-bounding the sequence, and
+        the comparison makes sharing unconditionally safe: a sibling
+        fork's layout for code this machine has since overwritten (or
+        never had) simply fails to match and translation proceeds
+        normally.
+        """
+        shared = self.shared_layouts
+        if shared is None:
+            return None
+        layout = shared.get(key)
+        if layout is None:
+            return None
+        try:
+            raw = bytes(mem.read_bytes(pc, len(layout.raw)))
+        except (MemoryFault, AttributeError):
+            return None
+        if raw != layout.raw:
+            return None
+        dispatch = self._dispatch
+        ops = tuple(
+            (dispatch[ins.mnemonic], ins) for ins in layout.instructions
+        )
+        block = TranslatedBlock(
+            pc, ops, layout.cycle_bound, layout.pages, int(key[1])
+        )
+        self.blocks.insert(key, block)
+        if hasattr(mem, "watch_code_page"):
+            for page in layout.pages:
+                mem.watch_code_page(page)
+        self.layout_hits += 1
+        return block
+
     def _translate(self, pc: int, key: tuple[int, int]) -> TranslatedBlock | None:
         """Predecode the straight-line sequence starting at ``pc``."""
         if pc % 4:
@@ -296,6 +343,9 @@ class Hart:
         trace = self.blocks.trace_hook
         started_ns = time.perf_counter_ns() if trace is not None else 0
         mem = self._code_mem
+        block = self._adopt_layout(pc, key, mem)
+        if block is not None:
+            return block
         address = pc
         instructions: list = []
         while len(instructions) < MAX_BLOCK_INSTRUCTIONS:
@@ -344,6 +394,16 @@ class Hart:
         if hasattr(mem, "watch_code_page"):
             for page in pages:
                 mem.watch_code_page(page)
+        shared = self.shared_layouts
+        if shared is not None and len(shared) < MAX_SHARED_LAYOUTS:
+            try:
+                raw = bytes(mem.read_bytes(pc, 4 * len(ops)))
+            except (MemoryFault, AttributeError):
+                raw = None
+            if raw is not None:
+                shared[key] = BlockLayout(
+                    raw, tuple(ins for _, ins in ops), bound, pages
+                )
         if trace is not None:
             trace(
                 BLOCK_COMPILE,

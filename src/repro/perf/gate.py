@@ -77,6 +77,7 @@ def check_trend(
     report: dict,
     history_dir: str,
     fuzz_report: dict | None = None,
+    fleet_report: dict | None = None,
     window: int | None = None,
     min_history: int | None = None,
 ) -> list[str]:
@@ -89,6 +90,7 @@ def check_trend(
     current = trend.make_entry(
         report,
         fuzz_report,
+        fleet_report,
         timestamp=datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
         label="current",
     )
@@ -115,6 +117,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fuzz-report", metavar="FILE", default=None,
                         help="fuzz campaign report whose coverage counts "
                         "join the trend check")
+    parser.add_argument("--fleet-report", metavar="FILE", default=None,
+                        help="BENCH_fleet.json whose serving throughput "
+                        "joins the trend check")
     parser.add_argument("--window", type=int, default=None,
                         help="trend window size (median of last K)")
     parser.add_argument("--min-history", type=int, default=None,
@@ -129,8 +134,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.fuzz_report:
             with open(args.fuzz_report, encoding="utf-8") as handle:
                 fuzz = json.load(handle)
+        fleet = None
+        if args.fleet_report:
+            with open(args.fleet_report, encoding="utf-8") as handle:
+                fleet = json.load(handle)
         failures += check_trend(
-            report, args.history, fuzz_report=fuzz,
+            report, args.history, fuzz_report=fuzz, fleet_report=fleet,
             window=args.window, min_history=args.min_history,
         )
     if failures:

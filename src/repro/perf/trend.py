@@ -11,9 +11,10 @@ nor poisons the history, while a sustained regression of either speed
 or fuzz coverage does fail it.
 
 Comparability rules keep apples with apples: benchmark metrics only
-compare against entries recorded with the same ``--quick`` setting, and
+compare against entries recorded with the same ``--quick`` setting,
 fuzz coverage only against entries whose campaign shape
-``(seed, budget, shards)`` matches.
+``(seed, budget, shards)`` matches, and fleet serving throughput only
+against entries whose loadgen shape ``(seed, jobs, workers)`` matches.
 
 CLI::
 
@@ -72,6 +73,8 @@ TRACKED_METRICS: dict[str, float] = {
     "fuzz.coverage.instruction_pairs": 0.10,
     "fuzz.coverage.trap_edges": 0.25,
     "fuzz.coverage.clb_events": 0.25,
+    "fleet.jobs_per_second": 0.60,
+    "fleet.cold_vs_warm": 0.35,
 }
 
 #: Metrics that improved past this fraction above the median are
@@ -93,6 +96,7 @@ class TrendFinding:
 def extract_metrics(
     bench_report: dict | None = None,
     fuzz_report: dict | None = None,
+    fleet_report: dict | None = None,
 ) -> dict[str, float]:
     """Pull the tracked metric values out of full reports.
 
@@ -125,6 +129,10 @@ def extract_metrics(
         coverage.get("instruction_pairs"))
     put("fuzz.coverage.trap_edges", coverage.get("trap_edges"))
     put("fuzz.coverage.clb_events", coverage.get("clb_events"))
+
+    timing = (fleet_report or {}).get("timing", {})
+    put("fleet.jobs_per_second", timing.get("jobs_per_second"))
+    put("fleet.cold_vs_warm", timing.get("cold_vs_warm"))
     return metrics
 
 
@@ -138,9 +146,20 @@ def _fuzz_source(fuzz_report: dict | None) -> dict | None:
     }
 
 
+def _fleet_source(fleet_report: dict | None) -> dict | None:
+    if not fleet_report:
+        return None
+    return {
+        "seed": fleet_report.get("seed"),
+        "jobs": fleet_report.get("jobs"),
+        "workers": fleet_report.get("workers"),
+    }
+
+
 def make_entry(
     bench_report: dict | None = None,
     fuzz_report: dict | None = None,
+    fleet_report: dict | None = None,
     *,
     timestamp: str,
     label: str = "manual",
@@ -154,13 +173,16 @@ def make_entry(
     fuzz = _fuzz_source(fuzz_report)
     if fuzz:
         source["fuzz"] = fuzz
+    fleet = _fleet_source(fleet_report)
+    if fleet:
+        source["fleet"] = fleet
     return {
         "schema": HISTORY_SCHEMA,
         "schema_version": HISTORY_SCHEMA_VERSION,
         "timestamp": timestamp,
         "label": label,
         "source": source,
-        "metrics": extract_metrics(bench_report, fuzz_report),
+        "metrics": extract_metrics(bench_report, fuzz_report, fleet_report),
     }
 
 
@@ -195,6 +217,8 @@ def _comparable(entry: dict, current: dict, metric: str) -> bool:
     now = current.get("source", {})
     if metric.startswith("fuzz."):
         return source.get("fuzz") == now.get("fuzz") and now.get("fuzz")
+    if metric.startswith("fleet."):
+        return source.get("fleet") == now.get("fleet") and now.get("fleet")
     return source.get("quick") == now.get("quick")
 
 
@@ -291,6 +315,9 @@ def main(argv: list[str] | None = None) -> int:
         command.add_argument("--fuzz-report", default=None, metavar="FILE",
                              help="fuzz campaign report for the coverage "
                              "metrics")
+        command.add_argument("--fleet-report", default=None, metavar="FILE",
+                             help="BENCH_fleet.json for the serving "
+                             "throughput metrics")
     record.add_argument("--label", default="manual")
     record.add_argument("--timestamp", default=None,
                         help="ISO-8601 UTC override (default: now)")
@@ -305,22 +332,26 @@ def main(argv: list[str] | None = None) -> int:
 
     bench = _load_json(args.bench) if args.bench else None
     fuzz = _load_json(args.fuzz_report) if args.fuzz_report else None
-    if bench is None and fuzz is None:
-        parser.error("need a bench report, a --fuzz-report, or both")
+    fleet = _load_json(args.fleet_report) if args.fleet_report else None
+    if bench is None and fuzz is None and fleet is None:
+        parser.error("need a bench report, a --fuzz-report, a "
+                     "--fleet-report, or any combination")
 
     if args.command == "record":
         timestamp = args.timestamp or (
             datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
         )
         entry = make_entry(
-            bench, fuzz, timestamp=timestamp, label=args.label
+            bench, fuzz, fleet, timestamp=timestamp, label=args.label
         )
         path = save_entry(entry, args.history)
         print(f"recorded {len(entry['metrics'])} metric(s) -> {path}")
         return 0
 
     timestamp = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
-    current = make_entry(bench, fuzz, timestamp=timestamp, label="current")
+    current = make_entry(
+        bench, fuzz, fleet, timestamp=timestamp, label="current"
+    )
     if args.inject_regression is not None:
         current["metrics"] = {
             name: value * args.inject_regression

@@ -30,6 +30,14 @@ def _validate_profile(document: dict) -> list[str]:
 
 
 def _validators() -> dict:
+    from repro.fleet.schema import (
+        BENCH_FLEET_SCHEMA,
+        JOB_SCHEMA,
+        RESULT_SCHEMA,
+        validate_bench_fleet,
+        validate_job,
+        validate_result,
+    )
     from repro.fuzz.campaign import REPORT_SCHEMA
     from repro.fuzz.dist import DIST_REPORT_SCHEMA
     from repro.fuzz.schema import validate_dist_report, validate_report
@@ -49,6 +57,9 @@ def _validators() -> dict:
         BENCH_SCHEMA: validate_bench,
         HISTORY_SCHEMA: validate_history_entry,
         METRICS_SCHEMA: validate_metrics,
+        JOB_SCHEMA: validate_job,
+        RESULT_SCHEMA: validate_result,
+        BENCH_FLEET_SCHEMA: validate_bench_fleet,
         "repro.telemetry/events-1": validate_events,
         "repro.telemetry/chrome-trace-1": validate_chrome_trace,
         "repro.telemetry/profile-1": _validate_profile,

@@ -1,0 +1,115 @@
+"""Job execution: the three kinds, warm state, error containment."""
+
+from __future__ import annotations
+
+from repro.fleet.jobs import JobContext, execute_job
+from repro.fleet.schema import make_job
+
+
+def _run(kind, params, context=None):
+    context = context or JobContext()
+    job = make_job("job-000000", kind, params)
+    return execute_job(job, context), context
+
+
+class TestWorkloadJobs:
+    def test_exit_workload_reports_exit_code(self):
+        (status, payload, error), _ = _run(
+            "workload", {"config": "full", "workload": "exit", "code": 7}
+        )
+        assert (status, error) == ("ok", None)
+        assert payload["exit_code"] == 7
+        assert payload["halt"] == "shutdown"
+        assert not payload["panicked"]
+
+    def test_alu_workload_runs_to_completion(self):
+        (status, payload, _), _ = _run(
+            "workload",
+            {"config": "baseline", "workload": "alu", "iterations": 16},
+        )
+        assert status == "ok"
+        assert payload["instructions"] > 0
+
+    def test_payload_is_pure_function_of_params(self):
+        params = {"config": "full", "workload": "storm", "iterations": 4}
+        (_, first, _), _ = _run("workload", params)
+        (_, second, _), _ = _run("workload", params)
+        assert first == second
+
+    def test_same_config_jobs_share_one_boot(self):
+        context = JobContext()
+        for code in (1, 2, 3):
+            _run(
+                "workload",
+                {"config": "full", "workload": "exit", "code": code},
+                context,
+            )
+        assert context.boot_cache.boots == 1
+        assert context.boot_cache.forks == 3
+
+
+class TestAttackJobs:
+    def test_rop_blocked_on_full_config(self):
+        (status, payload, _), _ = _run(
+            "attack", {"attack": "rop", "config": "full"}
+        )
+        assert status == "ok"
+        assert payload["blocked"]
+
+    def test_rop_succeeds_on_baseline(self):
+        (status, payload, _), _ = _run(
+            "attack", {"attack": "rop", "config": "baseline"}
+        )
+        assert status == "ok"
+        assert payload["succeeded"]
+
+
+class TestFuzzJobs:
+    def test_fuzz_batch_reports_coverage(self):
+        (status, payload, _), _ = _run("fuzz", {"seed": 3, "budget": 3})
+        assert status == "ok"
+        assert payload["seed"] == 3
+        assert payload["coverage"]["instruction_pairs"] > 0
+
+
+class TestErrorContainment:
+    def test_unknown_kind_degrades_to_error(self):
+        context = JobContext()
+        job = make_job("job-000000", "workload", {})
+        job["kind"] = "bake-bread"
+        status, payload, error = execute_job(job, context)
+        assert status == "error"
+        assert payload is None
+        assert "bake-bread" in error
+
+    def test_bad_params_degrade_to_error_not_crash(self):
+        (status, _, error), context = _run(
+            "workload", {"config": "no-such-config"}
+        )
+        assert status == "error"
+        assert "no-such-config" in error
+        # The context survives and keeps serving.
+        (status, payload, _), _ = _run(
+            "workload", {"config": "full", "workload": "exit"}, context
+        )
+        assert status == "ok"
+
+    def test_metrics_count_kinds_and_tenants(self):
+        context = JobContext()
+        execute_job(
+            make_job("a", "workload",
+                     {"config": "full", "workload": "exit"},
+                     tenant="tenant-1"),
+            context,
+        )
+        execute_job(
+            make_job("b", "fuzz", {"seed": 1, "budget": 2},
+                     tenant="tenant-2"),
+            context,
+        )
+        counters = context.metrics.to_json()["counters"]
+        assert counters["fleet.jobs.total"] == 2
+        assert counters["fleet.kind.workload"] == 1
+        assert counters["fleet.kind.fuzz"] == 1
+        assert counters["fleet.tenant.tenant-1"] == 1
+        assert counters["fleet.jobs.ok"] == 2

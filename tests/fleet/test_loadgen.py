@@ -1,0 +1,116 @@
+"""Load generator: seeded mixes, determinism, report shape, CLI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.fleet.loadgen import (
+    LoadgenOptions,
+    canonical_json,
+    generate_jobs,
+    run_loadgen,
+)
+from repro.fleet.schema import validate_bench_fleet, validate_job
+
+
+class TestGeneratedMix:
+    def test_mix_is_a_pure_function_of_the_seed(self):
+        assert generate_jobs(0, 40) == generate_jobs(0, 40)
+        assert generate_jobs(0, 40) != generate_jobs(1, 40)
+
+    def test_every_generated_job_validates(self):
+        for job in generate_jobs(3, 50):
+            assert validate_job(job) == []
+
+    def test_mix_covers_all_kinds_and_tenants(self):
+        jobs = generate_jobs(0, 120)
+        kinds = {job["kind"] for job in jobs}
+        tenants = {job["tenant"] for job in jobs}
+        assert kinds == {"workload", "attack", "fuzz"}
+        assert len(tenants) == 4
+        assert len({job["priority"] for job in jobs}) > 1
+
+    def test_workload_dominates_the_mix(self):
+        jobs = generate_jobs(0, 200)
+        workloads = sum(1 for job in jobs if job["kind"] == "workload")
+        assert workloads > len(jobs) // 2
+
+
+def _options(**overrides) -> LoadgenOptions:
+    defaults = dict(
+        seed=0, jobs=16, sequential=True, cold_sample=2,
+        inject_crash=1, tenants=3,
+    )
+    defaults.update(overrides)
+    return LoadgenOptions(**defaults)
+
+
+class TestLoadgenRun:
+    def test_report_validates_and_loses_nothing(self):
+        report = run_loadgen(_options())
+        assert validate_bench_fleet(report) == []
+        assert report["results"]["lost"] == 0
+        assert report["results"]["error"] == 0
+        assert report["results"]["ok"] == 16
+
+    def test_canonical_report_is_bit_identical_across_runs(self):
+        first = run_loadgen(_options())
+        second = run_loadgen(_options())
+        assert canonical_json(first) == canonical_json(second)
+        # The full documents differ only in measured timing.
+        assert first["timing"]["wall_seconds"] != 0
+
+    def test_crash_injection_is_visible_in_timing(self):
+        report = run_loadgen(_options())
+        assert report["crashes_injected"] == 1
+        assert report["timing"]["workers_crashed"] == 1
+        assert report["timing"]["jobs_requeued"] >= 1
+
+    def test_timing_section_carries_throughput_and_ratio(self):
+        report = run_loadgen(_options())
+        timing = report["timing"]
+        assert timing["sessions_per_minute"] > 0
+        assert timing["cold_vs_warm"] > 0
+        assert timing["warm"]["sessions"] == 2
+        assert timing["cold"]["sessions"] == 2
+        assert timing["fleet_metrics"]["counters"]["fleet.jobs.total"] >= 16
+
+    def test_canonical_json_strips_only_timing(self):
+        report = run_loadgen(_options())
+        document = json.loads(canonical_json(report))
+        assert "timing" not in document
+        assert "results_digest" in document
+        full = json.loads(canonical_json(report, include_timing=True))
+        assert "timing" in full
+
+
+class TestCli:
+    def test_loadgen_writes_validating_report(self, tmp_path, capsys):
+        from repro.fleet.__main__ import main
+
+        out = tmp_path / "BENCH_fleet.json"
+        code = main([
+            "loadgen", "--seed", "0", "--jobs", "12", "--sequential",
+            "--cold-sample", "2", "--output", str(out),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert validate_bench_fleet(document) == []
+
+    def test_submit_then_serve_roundtrip(self, tmp_path, capsys):
+        from repro.fleet.__main__ import main
+
+        assert main([
+            "submit", "--id", "job-000001", "--kind", "workload",
+            "--config", "baseline", "--workload", "exit",
+            "--param", "code=5",
+        ]) == 0
+        job_line = capsys.readouterr().out.strip()
+        jobs_file = tmp_path / "jobs.jsonl"
+        jobs_file.write_text(job_line + "\n")
+        assert main(["serve", str(jobs_file), "--sequential"]) == 0
+        out = capsys.readouterr().out.strip()
+        result = json.loads(out)
+        assert result["status"] == "ok"
+        assert result["payload"]["exit_code"] == 5

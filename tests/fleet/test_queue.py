@@ -1,0 +1,154 @@
+"""Bounded priority queue: ordering, deadlines, batching, backpressure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.batching import batch_key, plan_batches
+from repro.fleet.queue import JobQueue, QueueFull
+from repro.fleet.schema import make_job
+
+
+def _job(i, kind="workload", config="full", priority=1, deadline=None):
+    params = {"config": config} if kind != "fuzz" else {"seed": i}
+    return make_job(
+        f"job-{i:06d}", kind, params,
+        priority=priority, deadline_s=deadline,
+    )
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestOrdering:
+    def test_lower_priority_number_runs_first(self):
+        queue = JobQueue()
+        queue.push(_job(1, priority=2))
+        queue.push(_job(2, priority=0))
+        queue.push(_job(3, priority=1))
+        _, batch = queue.pop_batch(8)
+        assert [p.job["id"] for p in batch] == [
+            "job-000002", "job-000003", "job-000001"
+        ]
+
+    def test_fifo_within_a_priority(self):
+        queue = JobQueue()
+        for i in range(5):
+            queue.push(_job(i))
+        _, batch = queue.pop_batch(8)
+        assert [p.job["id"] for p in batch] == [
+            f"job-{i:06d}" for i in range(5)
+        ]
+
+
+class TestBounds:
+    def test_push_past_limit_raises(self):
+        queue = JobQueue(limit=2)
+        queue.push(_job(1))
+        queue.push(_job(2))
+        with pytest.raises(QueueFull):
+            queue.push(_job(3))
+
+    def test_requeue_bypasses_the_bound(self):
+        queue = JobQueue(limit=1)
+        pending = queue.push(_job(1))
+        queue.pop_batch(1)
+        queue.push(_job(2))
+        queue.requeue(pending)  # already admitted: never bounced
+        assert len(queue) == 2
+
+    def test_peak_depth_high_water_mark(self):
+        queue = JobQueue()
+        for i in range(4):
+            queue.push(_job(i))
+        queue.pop_batch(8)
+        assert queue.peak_depth == 4
+        queue.push(_job(9))
+        assert queue.peak_depth == 4
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            JobQueue(limit=0)
+
+
+class TestDeadlines:
+    def test_expired_jobs_are_drained_not_dispatched(self):
+        clock = _Clock()
+        queue = JobQueue(clock=clock)
+        queue.push(_job(1, deadline=5.0))
+        queue.push(_job(2))
+        clock.now += 10.0
+        expired, batch = queue.pop_batch(8)
+        assert [p.job["id"] for p in expired] == ["job-000001"]
+        assert [p.job["id"] for p in batch] == ["job-000002"]
+
+    def test_deadline_survives_requeue(self):
+        clock = _Clock()
+        queue = JobQueue(clock=clock)
+        queue.push(_job(1, deadline=5.0))
+        _, batch = queue.pop_batch(8)
+        pending = batch[0]
+        queue.requeue(pending)  # the retry keeps the original expiry
+        clock.now += 6.0
+        expired, batch = queue.pop_batch(8)
+        assert len(expired) == 1 and not batch
+
+
+class TestBatching:
+    def test_batch_shares_one_key(self):
+        queue = JobQueue()
+        queue.push(_job(1, config="full"))
+        queue.push(_job(2, config="baseline"))
+        queue.push(_job(3, config="full"))
+        _, batch = queue.pop_batch(8)
+        assert [p.job["id"] for p in batch] == [
+            "job-000001", "job-000003"
+        ]
+        _, batch = queue.pop_batch(8)
+        assert [p.job["id"] for p in batch] == ["job-000002"]
+
+    def test_skipped_jobs_stay_queued_in_order(self):
+        queue = JobQueue()
+        queue.push(_job(1, config="full"))
+        queue.push(_job(2, config="baseline"))
+        queue.pop_batch(8)
+        _, batch = queue.pop_batch(8)
+        assert [p.job["id"] for p in batch] == ["job-000002"]
+        assert len(queue) == 0
+
+    def test_batch_size_caps_extraction(self):
+        queue = JobQueue()
+        for i in range(6):
+            queue.push(_job(i))
+        _, batch = queue.pop_batch(4)
+        assert len(batch) == 4
+        assert len(queue) == 2
+
+    def test_fuzz_jobs_batch_together_regardless_of_seed(self):
+        assert batch_key(_job(1, kind="fuzz")) == batch_key(
+            _job(2, kind="fuzz")
+        )
+
+    def test_workload_and_attack_share_machine_affinity(self):
+        workload = _job(1, kind="workload", config="full")
+        attack = _job(2, kind="attack", config="full")
+        assert batch_key(workload) == batch_key(attack)
+
+    def test_plan_batches_reference_policy(self):
+        jobs = [
+            _job(1, config="full"),
+            _job(2, config="baseline"),
+            _job(3, config="full"),
+            _job(4, kind="fuzz"),
+        ]
+        batches = plan_batches(jobs, batch_size=8)
+        keys = [batch_key(batch[0]) for batch in batches]
+        assert len(batches) == 3
+        assert len(set(keys)) == 3
+        sizes = sorted(len(batch) for batch in batches)
+        assert sizes == [1, 1, 2]

@@ -1,0 +1,82 @@
+"""Fleet-wide metrics rollup: exact merge of worker snapshots."""
+
+from __future__ import annotations
+
+from repro.fleet.rollup import merge_metrics
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.schema import validate_metrics
+
+
+def _registry(jobs: int, fork_us: list[float]) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for _ in range(jobs):
+        registry.inc("fleet.jobs.total")
+    for value in fork_us:
+        registry.observe("fleet.fork_us", value)
+    registry.set("bootcache.templates", 1)
+    registry.set("bootcache.boots", 1)
+    return registry
+
+
+def test_counters_sum_across_workers():
+    merged = merge_metrics([
+        _registry(3, []).to_json(), _registry(5, []).to_json(),
+    ])
+    assert merged["counters"]["fleet.jobs.total"] == 8
+
+
+def test_numeric_gauges_sum():
+    merged = merge_metrics([
+        _registry(1, []).to_json(), _registry(1, []).to_json(),
+    ])
+    # Two workers each booted one template: fleet-wide totals add up.
+    assert merged["gauges"]["bootcache.boots"] == 2
+
+
+def test_non_numeric_gauges_last_win():
+    a = MetricsRegistry()
+    a.set("fleet.mode", "parallel")
+    b = MetricsRegistry()
+    b.set("fleet.mode", "sequential")
+    merged = merge_metrics([a.to_json(), b.to_json()])
+    assert merged["gauges"]["fleet.mode"] == "sequential"
+
+
+def test_histograms_merge_exactly():
+    a = _registry(0, [10.0, 100.0]).to_json()
+    b = _registry(0, [50.0, 5000.0]).to_json()
+    merged = merge_metrics([a, b])
+    histogram = merged["histograms"]["fleet.fork_us"]
+    assert histogram["count"] == 4
+    assert histogram["sum"] == 5160.0
+    assert histogram["min"] == 10.0
+    assert histogram["max"] == 5000.0
+    assert histogram["mean"] == 1290.0
+    # Bucket-wise: the merged counts equal a single registry observing
+    # the union of samples.
+    union = _registry(0, [10.0, 100.0, 50.0, 5000.0]).to_json()
+    assert histogram["buckets"] == (
+        union["histograms"]["fleet.fork_us"]["buckets"]
+    )
+
+
+def test_merged_document_passes_metrics_validator():
+    merged = merge_metrics([
+        _registry(2, [10.0]).to_json(), _registry(1, [20.0]).to_json(),
+    ])
+    assert validate_metrics(merged) == []
+
+
+def test_empty_merge_is_a_valid_empty_document():
+    merged = merge_metrics([])
+    assert merged["counters"] == {}
+    assert merged["gauges"] == {}
+    assert merged["histograms"] == {}
+    assert validate_metrics(merged) == []
+
+
+def test_merge_is_associative_over_snapshot_grouping():
+    parts = [_registry(i + 1, [10.0 * (i + 1)]).to_json() for i in range(3)]
+    all_at_once = merge_metrics(parts)
+    grouped = merge_metrics([merge_metrics(parts[:2]), parts[2]])
+    assert all_at_once == grouped

@@ -1,0 +1,134 @@
+"""Fleet envelope schemas: construction, validation, canonical views."""
+
+from __future__ import annotations
+
+from repro.fleet.schema import (
+    BENCH_FLEET_SCHEMA,
+    deterministic_view,
+    make_job,
+    make_result,
+    validate_bench_fleet,
+    validate_job,
+    validate_result,
+)
+
+
+def _job(**overrides):
+    job = make_job("job-000001", "workload", {"config": "full"})
+    job.update(overrides)
+    return job
+
+
+class TestJobEnvelope:
+    def test_well_formed_job_validates(self):
+        assert validate_job(_job()) == []
+
+    def test_defaults(self):
+        job = _job()
+        assert job["tenant"] == "default"
+        assert job["priority"] == 1
+        assert job["deadline_s"] is None
+
+    def test_rejects_unknown_kind(self):
+        assert validate_job(_job(kind="bake-bread"))
+
+    def test_rejects_missing_id(self):
+        assert validate_job(_job(id=""))
+
+    def test_rejects_bool_priority(self):
+        assert validate_job(_job(priority=True))
+
+    def test_rejects_nonpositive_deadline(self):
+        assert validate_job(_job(deadline_s=0))
+        assert validate_job(_job(deadline_s=-1.5))
+        assert validate_job(_job(deadline_s=2.5)) == []
+
+    def test_rejects_non_object_params(self):
+        assert validate_job(_job(params=[1, 2]))
+
+
+class TestResultEnvelope:
+    def test_ok_result_validates(self):
+        result = make_result(_job(), "ok", {"exit_code": 0}, worker=2)
+        assert validate_result(result) == []
+
+    def test_ok_result_requires_payload(self):
+        assert validate_result(make_result(_job(), "ok", None))
+
+    def test_error_result_requires_error_string(self):
+        assert validate_result(make_result(_job(), "error", None))
+        assert validate_result(
+            make_result(_job(), "error", None, error="boom")
+        ) == []
+
+    def test_result_inherits_job_identity(self):
+        job = _job(tenant="tenant-3")
+        result = make_result(job, "ok", {}, attempts=2)
+        assert result["id"] == job["id"]
+        assert result["tenant"] == "tenant-3"
+        assert result["kind"] == "workload"
+        assert result["attempts"] == 2
+
+    def test_deterministic_view_strips_scheduling_facts(self):
+        result = make_result(
+            _job(), "ok", {"x": 1},
+            worker=4, attempts=3, timing={"run_ms": 1.5},
+        )
+        view = deterministic_view(result)
+        assert "worker" not in view
+        assert "attempts" not in view
+        assert "timing" not in view
+        assert view["payload"] == {"x": 1}
+
+
+def _bench(**overrides):
+    document = {
+        "schema": BENCH_FLEET_SCHEMA,
+        "schema_version": 1,
+        "seed": 0,
+        "jobs": 10,
+        "workers": 2,
+        "batch_size": 8,
+        "crashes_injected": 1,
+        "mix": {"workload": 8, "fuzz": 2},
+        "per_kind": {"workload": 8, "fuzz": 2},
+        "per_tenant": {"tenant-0": 10},
+        "results": {"ok": 10, "error": 0, "expired": 0, "lost": 0},
+        "results_digest": "0" * 64,
+        "timing": {"wall_seconds": 1.0, "jobs_per_second": 10.0},
+    }
+    document.update(overrides)
+    return document
+
+
+class TestBenchFleet:
+    def test_well_formed_report_validates(self):
+        assert validate_bench_fleet(_bench()) == []
+
+    def test_timing_is_optional(self):
+        document = _bench()
+        del document["timing"]
+        assert validate_bench_fleet(document) == []
+
+    def test_counts_must_sum_to_jobs(self):
+        bad = _bench(
+            results={"ok": 9, "error": 0, "expired": 0, "lost": 0}
+        )
+        assert any("sum" in p for p in validate_bench_fleet(bad))
+
+    def test_lost_jobs_are_counted_not_hidden(self):
+        document = _bench(
+            results={"ok": 9, "error": 0, "expired": 0, "lost": 1}
+        )
+        assert validate_bench_fleet(document) == []
+
+    def test_rejects_bad_digest(self):
+        assert validate_bench_fleet(_bench(results_digest="abc"))
+
+    def test_rejects_negative_counts(self):
+        assert validate_bench_fleet(_bench(jobs=-1))
+
+    def test_rejects_non_numeric_timing(self):
+        assert validate_bench_fleet(
+            _bench(timing={"wall_seconds": "fast", "jobs_per_second": 1})
+        )

@@ -257,3 +257,37 @@ def test_cli_reports_failed_shards_in_exit_code(tmp_path, monkeypatch,
     ])
     capsys.readouterr()
     assert code == 2
+
+
+# -- worker-count fallback -----------------------------------------------------
+
+
+def test_resolve_shards_passes_through_sane_requests():
+    assert dist_mod.resolve_shards(1) == 1
+    assert dist_mod.resolve_shards(8) == 8
+    assert dist_mod.resolve_shards(dist_mod.MAX_SHARDS) == dist_mod.MAX_SHARDS
+
+
+def test_resolve_shards_clamps_oversized_requests():
+    assert dist_mod.resolve_shards(10_000) == dist_mod.MAX_SHARDS
+
+
+def test_resolve_shards_auto_detects_from_cpu_count(monkeypatch):
+    monkeypatch.setattr(dist_mod.os, "cpu_count", lambda: 6)
+    assert dist_mod.resolve_shards(0) == 6
+    assert dist_mod.resolve_shards(None) == 6
+
+
+def test_resolve_shards_survives_unknown_cpu_count(monkeypatch):
+    # os.cpu_count() may return None (the documented "undetermined"
+    # case); auto-detection must fall back to one shard, not crash.
+    monkeypatch.setattr(dist_mod.os, "cpu_count", lambda: None)
+    assert dist_mod.resolve_shards(0) == 1
+    assert dist_mod.resolve_shards(None) == 1
+    # An explicit request never consults the CPU count.
+    assert dist_mod.resolve_shards(3) == 3
+
+
+def test_resolve_shards_clamps_auto_detected_count(monkeypatch):
+    monkeypatch.setattr(dist_mod.os, "cpu_count", lambda: 512)
+    assert dist_mod.resolve_shards(0) == dist_mod.MAX_SHARDS

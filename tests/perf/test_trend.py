@@ -64,6 +64,20 @@ def _fuzz_report(pairs=500, seed=0, budget=400, shards=2) -> dict:
     }
 
 
+def _fleet_report(jps=20.0, ratio=4.0, seed=0, jobs=120, workers=4) -> dict:
+    return {
+        "schema": "repro.fleet/bench-1",
+        "schema_version": 1,
+        "seed": seed,
+        "jobs": jobs,
+        "workers": workers,
+        "timing": {
+            "jobs_per_second": jps,
+            "cold_vs_warm": ratio,
+        },
+    }
+
+
 def _history(count=5, ips=1_000_000.0, **kwargs) -> list[dict]:
     return [
         make_entry(
@@ -113,6 +127,22 @@ def test_entry_passes_its_own_validator():
     assert validate_history_entry(entry) == []
     assert entry["source"]["fuzz"] == {
         "seed": 0, "budget": 400, "shards": 2,
+    }
+
+
+def test_fleet_metrics_extract_with_their_source_shape():
+    metrics = extract_metrics(fleet_report=_fleet_report())
+    assert metrics == {
+        "fleet.jobs_per_second": 20.0, "fleet.cold_vs_warm": 4.0,
+    }
+    assert "fleet.jobs_per_second" not in extract_metrics(_bench_report())
+    entry = make_entry(
+        fleet_report=_fleet_report(),
+        timestamp="2026-08-09T00:00:00Z", label="ci",
+    )
+    assert validate_history_entry(entry) == []
+    assert entry["source"]["fleet"] == {
+        "seed": 0, "jobs": 120, "workers": 4,
     }
 
 
@@ -185,6 +215,30 @@ def test_quick_and_full_runs_never_compare():
     assert _by_metric(findings)["kernel_boot.fast.ips"].status == (
         "insufficient-history"
     )
+
+
+def test_fleet_metrics_compare_only_matching_loadgen_shape():
+    history = [
+        make_entry(
+            fleet_report=_fleet_report(jps=100.0),
+            timestamp=f"2026-08-0{index + 1}T00:00:00Z", label="seed",
+        )
+        for index in range(5)
+    ]
+    slow = make_entry(
+        fleet_report=_fleet_report(jps=10.0),
+        timestamp="2026-08-09T00:00:00Z", label="current",
+    )
+    assert _by_metric(analyze(history, slow))[
+        "fleet.jobs_per_second"
+    ].status == "regression"
+    other_shape = make_entry(
+        fleet_report=_fleet_report(jps=10.0, jobs=600),
+        timestamp="2026-08-09T00:00:00Z", label="current",
+    )
+    assert _by_metric(analyze(history, other_shape))[
+        "fleet.jobs_per_second"
+    ].status == "insufficient-history"
 
 
 def test_fuzz_metrics_compare_only_matching_campaign_shape():
@@ -272,6 +326,29 @@ def test_trend_cli_record_then_check(history_dir, tmp_path, capsys):
         "--fuzz-report", str(fuzz), "--inject-regression", "0.2",
     ]) == 1
     assert "FAILED" in capsys.readouterr().out
+
+
+def test_trend_cli_handles_fleet_only_reports(tmp_path, capsys):
+    from repro.perf.trend import main
+
+    directory = tmp_path / "BENCH_history"
+    fleet = tmp_path / "BENCH_fleet.json"
+    fleet.write_text(json.dumps(_fleet_report()))
+    for day in range(3):
+        assert main([
+            "record", "--history", str(directory),
+            "--fleet-report", str(fleet), "--label", "seed-fleet",
+            "--timestamp", f"2026-08-0{day + 1}T04:00:00Z",
+        ]) == 0
+    assert main([
+        "check", "--history", str(directory), "--fleet-report", str(fleet),
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "check", "--history", str(directory), "--fleet-report", str(fleet),
+        "--inject-regression", "0.2",
+    ]) == 1
+    assert "fleet.jobs_per_second" in capsys.readouterr().out
 
 
 # -- validators ----------------------------------------------------------------

@@ -87,3 +87,134 @@ class TestBenchEquivalence:
             workload, config, scale=0.1, boot_cache=BootCache()
         )
         assert fresh == cached
+
+
+class TestBoundedTemplates:
+    def test_rejects_nonpositive_bound(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            BootCache(max_templates=0)
+
+    def test_evicts_least_recently_used_template(self):
+        cache = BootCache(max_templates=2)
+        configs = [
+            KernelConfig.baseline(), KernelConfig.ra_only(),
+            KernelConfig.full(),
+        ]
+        for config in configs:
+            KernelSession(config, _exit_module(1), boot_cache=cache)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.boots == 3
+        # The evicted (oldest) config boots again; the retained ones
+        # keep serving forks from their templates.
+        KernelSession(configs[2], _exit_module(2), boot_cache=cache)
+        assert cache.boots == 3
+        KernelSession(configs[0], _exit_module(2), boot_cache=cache)
+        assert cache.boots == 4
+        assert cache.evictions == 2
+
+    def test_hit_refreshes_recency(self):
+        cache = BootCache(max_templates=2)
+        a, b, c = (
+            KernelConfig.baseline(), KernelConfig.ra_only(),
+            KernelConfig.full(),
+        )
+        KernelSession(a, _exit_module(1), boot_cache=cache)
+        KernelSession(b, _exit_module(1), boot_cache=cache)
+        KernelSession(a, _exit_module(2), boot_cache=cache)  # refresh a
+        KernelSession(c, _exit_module(1), boot_cache=cache)  # evicts b
+        KernelSession(a, _exit_module(3), boot_cache=cache)
+        assert cache.boots == 3  # a never re-booted
+        assert cache.evictions == 1
+
+    def test_unbounded_mode_never_evicts(self):
+        cache = BootCache(max_templates=None)
+        for config in (
+            KernelConfig.baseline(), KernelConfig.ra_only(),
+            KernelConfig.fp_only(), KernelConfig.noncontrol_only(),
+            KernelConfig.full(),
+        ):
+            KernelSession(config, _exit_module(1), boot_cache=cache)
+        assert len(cache) == 5
+        assert cache.evictions == 0
+
+    def test_stats_and_metrics_gauges(self):
+        from repro.telemetry.metrics import MetricsRegistry
+
+        cache = BootCache(max_templates=1)
+        KernelSession(
+            KernelConfig.baseline(), _exit_module(1), boot_cache=cache
+        )
+        KernelSession(
+            KernelConfig.full(), _exit_module(1), boot_cache=cache
+        )
+        stats = cache.stats()
+        assert stats == {
+            "templates": 1, "max_templates": 1, "boots": 2,
+            "forks": 2, "fallbacks": 0, "evictions": 1,
+        }
+        registry = MetricsRegistry()
+        cache.publish_metrics(registry)
+        gauges = registry.to_json()["gauges"]
+        assert gauges["bootcache.templates"] == 1
+        assert gauges["bootcache.boots"] == 2
+        assert gauges["bootcache.forks"] == 2
+        assert gauges["bootcache.evictions"] == 1
+        assert "bootcache.max_templates" not in gauges
+
+
+class TestSharedLayouts:
+    def test_forks_share_block_layouts(self):
+        cache = BootCache()
+        config = KernelConfig.full()
+        first = KernelSession(config, _exit_module(1), boot_cache=cache)
+        first.run()
+        assert first.machine.hart.layout_hits == 0
+        second = KernelSession(config, _exit_module(2), boot_cache=cache)
+        result = second.run()
+        assert result.exit_code == 2
+        # The kernel-path translations were adopted, not redone.
+        assert second.machine.hart.layout_hits > 0
+
+    def test_layout_adoption_preserves_architectural_state(self):
+        from repro.machine.compare import state_digest
+
+        config = KernelConfig.full()
+        digests = set()
+        for use_cache in (False, True, True):
+            cache = BootCache() if use_cache else None
+            session = KernelSession(
+                config, _exit_module(9), boot_cache=cache
+            )
+            if use_cache:
+                # Populate layouts with a sibling first, so the tested
+                # session runs through the adoption path.
+                KernelSession(
+                    config, _exit_module(9), boot_cache=cache
+                ).run()
+            session.run()
+            digests.add(state_digest(session.machine))
+        assert len(digests) == 1
+
+    def test_stale_layouts_rejected_by_byte_comparison(self):
+        cache = BootCache()
+        config = KernelConfig.full()
+        # Different user programs at the same addresses: the second
+        # session must not adopt the first's user-code layouts.
+        a = KernelSession(config, _exit_module(1), boot_cache=cache)
+        assert a.run().exit_code == 1
+        b = KernelSession(config, _exit_module(2), boot_cache=cache)
+        assert b.run().exit_code == 2
+
+    def test_template_eviction_drops_its_layouts(self):
+        cache = BootCache(max_templates=1)
+        KernelSession(
+            KernelConfig.baseline(), _exit_module(1), boot_cache=cache
+        ).run()
+        assert len(cache._layouts) == 1
+        KernelSession(
+            KernelConfig.full(), _exit_module(1), boot_cache=cache
+        ).run()
+        assert len(cache._layouts) == 1

@@ -1,0 +1,111 @@
+"""Concurrent warm-fork independence (the fleet's core assumption).
+
+The serving layer answers every job from a COW fork of one booted
+template, with many forks alive at once and each advancing on its own
+schedule.  That is only sound if forks are *independent* — stepping one
+in any chunking, through either execution path, can never perturb a
+sibling — and *bit-identical* to a machine that ran alone.
+
+The property test drives N forks of one warm snapshot to completion
+under hypothesis-chosen interleavings (which fork steps next, how many
+steps, fast path or single-step per chunk) and requires every fork's
+final architectural digest to equal a sequentially-run single-step
+reference.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.ir import Const
+from repro.kernel import BootCache, KernelConfig
+from repro.kernel.api import DEFAULT_MASTER_KEY
+from repro.kernel.build import build_kernel
+from repro.kernel.structs import SYS_EXIT, SYS_GETPPID
+from repro.machine.compare import state_digest
+from repro.machine.machine import HaltReason
+
+_STATE: dict = {}
+
+
+def _warm_state():
+    """One built image + boot cache, shared across examples."""
+    if not _STATE:
+        from repro.attacks.base import Attack
+
+        def body(b, syscall):
+            # Long enough to interleave meaningfully, with syscalls in
+            # the middle so kernel entries land inside chunks.
+            acc = syscall(SYS_GETPPID)
+            for _ in range(6):
+                acc = b.add(acc, syscall(SYS_GETPPID))
+            syscall(SYS_EXIT, b.and_(acc, Const(0x3F)))
+
+        image = build_kernel(
+            KernelConfig.full(), Attack.user_program(body)
+        )
+        cache = BootCache()
+        machine = cache.machine_for(image, DEFAULT_MASTER_KEY)
+        machine.run(2_000_000, fast=False)
+        assert machine.halt_reason == HaltReason.SHUTDOWN
+        _STATE["image"] = image
+        _STATE["cache"] = cache
+        _STATE["reference"] = state_digest(machine)
+    return _STATE
+
+
+def _fork():
+    state = _warm_state()
+    return state["cache"].machine_for(state["image"], DEFAULT_MASTER_KEY)
+
+
+@st.composite
+def interleavings(draw, forks: int):
+    """A schedule of (fork index, step chunk, fast?) triples."""
+    return draw(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=forks - 1),
+            st.integers(min_value=1, max_value=400),
+            st.booleans(),
+        ),
+        min_size=forks,
+        max_size=60,
+    ))
+
+
+@settings(max_examples=12, deadline=None)
+@given(data=st.data(), forks=st.integers(min_value=2, max_value=4))
+def test_interleaved_forks_match_sequential_reference(data, forks):
+    reference = _warm_state()["reference"]
+    machines = [_fork() for _ in range(forks)]
+    schedule = data.draw(interleavings(forks))
+    def running(machine) -> bool:
+        # A chunk that exhausts its budget reports STEP_LIMIT; the
+        # machine is still resumable.
+        return machine.halt_reason in (None, HaltReason.STEP_LIMIT)
+
+    for index, steps, fast in schedule:
+        machine = machines[index]
+        if running(machine):
+            machine.run(steps, fast=fast)
+    # Whatever the schedule left unfinished runs to completion; the
+    # interleaving must not have changed where anyone ends up.
+    for machine in machines:
+        if running(machine):
+            machine.run(4_000_000)
+        assert machine.halt_reason == HaltReason.SHUTDOWN
+        assert state_digest(machine) == reference
+
+
+def test_forks_do_not_observe_sibling_progress():
+    """A fork run to completion leaves an untouched sibling pristine."""
+    before_digests = [state_digest(_fork()) for _ in range(2)]
+    idle = _fork()
+    idle_before = state_digest(idle)
+    busy = _fork()
+    busy.run(2_000_000)
+    assert busy.halt_reason == HaltReason.SHUTDOWN
+    assert state_digest(idle) == idle_before
+    fresh = _fork()
+    assert state_digest(fresh) == before_digests[0] == before_digests[1]
