@@ -48,6 +48,12 @@ def main(argv: list[str] | None = None) -> int:
         help="boot from reset for every cell instead of forking "
         "a cached boot (slower, bit-identical results)",
     )
+    parser.add_argument(
+        "--transient",
+        action="store_true",
+        help="append the transient-execution family (Spectre-PHT "
+        "bounds bypass, key-CSR exfiltration) to the matrix",
+    )
     args = parser.parse_args(argv)
 
     configs = (
@@ -55,7 +61,15 @@ def main(argv: list[str] | None = None) -> int:
         if args.config
         else None
     )
-    results = run_suite(configs, use_boot_cache=not args.no_boot_cache)
+    attacks = None
+    if args.transient:
+        from repro.attacks.suite import ALL_ATTACKS
+        from repro.attacks.transient import TRANSIENT_ATTACKS
+
+        attacks = ALL_ATTACKS + TRANSIENT_ATTACKS
+    results = run_suite(
+        configs, use_boot_cache=not args.no_boot_cache, attacks=attacks
+    )
     document = matrix_json(results)
     if args.json:
         json.dump(document, sys.stdout, indent=2, sort_keys=True)

@@ -1,0 +1,55 @@
+"""Validator for the penetration-matrix JSON (schema ``repro.attacks/1``).
+
+The matrix document is produced by :func:`repro.attacks.suite.
+matrix_json` and shipped as a CI artifact by the ``spec-smoke`` job;
+:mod:`repro.validate` dispatches here so a malformed matrix fails the
+build before the artifact uploads.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MATRIX_SCHEMA", "validate_matrix"]
+
+MATRIX_SCHEMA = "repro.attacks/1"
+
+
+def validate_matrix(document: dict) -> list[str]:
+    """Return a list of problems — empty means valid."""
+    problems: list[str] = []
+    if document.get("schema") != MATRIX_SCHEMA:
+        problems.append(f"bad schema id {document.get('schema')!r}")
+    configs = document.get("configs")
+    if not isinstance(configs, list) or not all(
+        isinstance(name, str) for name in configs
+    ):
+        problems.append("'configs' is not a list of strings")
+        configs = []
+    if not isinstance(document.get("defended"), bool):
+        problems.append("'defended' is not a boolean")
+    attacks = document.get("attacks")
+    if not isinstance(attacks, list):
+        return problems + ["'attacks' is not a list"]
+    if not attacks:
+        problems.append("'attacks' is empty")
+    for index, cell in enumerate(attacks):
+        where = f"attacks[{index}]"
+        if not isinstance(cell, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field in ("attack", "config", "outcome"):
+            if not isinstance(cell.get(field), str):
+                problems.append(f"{where}: missing string {field!r}")
+        for field in ("succeeded", "blocked"):
+            if not isinstance(cell.get(field), bool):
+                problems.append(f"{where}: missing boolean {field!r}")
+        if cell.get("symbol") not in ("x", "v"):
+            problems.append(f"{where}: bad symbol {cell.get('symbol')!r}")
+        if configs and cell.get("config") not in configs:
+            problems.append(
+                f"{where}: config {cell.get('config')!r} not in 'configs'"
+            )
+        if cell.get("succeeded") == cell.get("blocked"):
+            problems.append(
+                f"{where}: 'succeeded' and 'blocked' must be complements"
+            )
+    return problems

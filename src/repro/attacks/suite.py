@@ -46,6 +46,7 @@ def run_suite(
     configs: tuple[KernelConfig, ...] | None = None,
     boot_cache=None,
     use_boot_cache: bool = True,
+    attacks: tuple[type[Attack], ...] | None = None,
 ) -> list[AttackResult]:
     """Run every attack against every config (default: original vs full).
 
@@ -54,15 +55,20 @@ def run_suite(
     forks that boot copy-on-write.  Pass ``use_boot_cache=False`` to
     boot from reset per cell (bit-identical results, much slower), or
     pass an existing ``boot_cache`` to share templates across calls.
+    ``attacks`` overrides the attack roster (default Table 4; the CLI's
+    ``--transient`` appends the speculative family from
+    :mod:`repro.attacks.transient`).
     """
     if configs is None:
         configs = (KernelConfig.baseline(), KernelConfig.full())
+    if attacks is None:
+        attacks = ALL_ATTACKS
     if boot_cache is None and use_boot_cache:
         from repro.kernel import BootCache
 
         boot_cache = BootCache()
     results = []
-    for attack_cls in ALL_ATTACKS:
+    for attack_cls in attacks:
         for config in configs:
             results.append(run_attack(attack_cls, config, boot_cache))
     return results

@@ -1,0 +1,305 @@
+"""Transient-execution attack family (Spectre-PHT, key-CSR exfil).
+
+Unlike the eight architectural attacks, these run *bare-metal* victims
+under the opt-in speculative front-end (:mod:`repro.machine.spec`):
+the leak they measure lives entirely inside squashed transient windows,
+so the kernel's syscall surface is irrelevant — what matters is what
+the modeled hardware lets a mispredicted path observe.
+
+* :class:`SpectrePHTAttack` — the classic bounds-check bypass.  A
+  gadget ``if (i < len) probe[array[i] << 6]`` is trained in-bounds,
+  then called with an index that reaches a protected kernel field.
+  The transient out-of-bounds load dead-drops the loaded byte into a
+  probe-array address; the attacker "recovers" it from the tainted
+  transient load the trace plane records (our stand-in for a cache
+  side channel).  Against a baseline build the field is plaintext and
+  the secret leaks; under RegVault's non-control-data protection the
+  field holds QARMA ciphertext, so the very same transient sequence
+  leaks only an encrypted byte.
+* :class:`TransientKeyExfilAttack` — a Meltdown-style grab at a key
+  CSR inside a transient window.  Baseline models naive hardware that
+  forwards the CSR value transiently and only traps at retirement
+  (``forward_key_csrs=True``): the key byte reaches the probe array.
+  RegVault's write-only key registers gate the read *before* any
+  forward, so under any protected build the window squashes at the
+  ``csrr`` and nothing leaks.
+
+Both attacks report through the same :class:`AttackResult` cells as
+the Table-4 matrix (``python -m repro.attacks --transient``) and stash
+the speculative stats plus a leakage-analyzer summary in the cell's
+``telemetry`` field.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import Attack, AttackResult
+from repro.crypto.keys import KeySelect
+from repro.isa import assemble
+from repro.kernel import KernelConfig
+from repro.machine import Machine
+from repro.machine.spec import SpecConfig, SpeculativeEngine
+from repro.telemetry.bus import TraceBus, TraceRecorder
+from repro.telemetry.events import SPEC_KINDS, SPEC_LOAD
+from repro.telemetry.leakage import LeakageAnalyzer
+from repro.utils.bits import MASK64
+
+__all__ = [
+    "SpectrePHTAttack",
+    "TransientKeyExfilAttack",
+    "TRANSIENT_ATTACKS",
+]
+
+#: The planted kernel secret the Spectre gadget reaches out of bounds.
+SECRET_BYTE = 0xA7
+
+#: Deterministic per-register thread keys, distinct from the fuzz keys.
+ATTACK_KEYS = {
+    ksel: (0xD1CEB00C0FFEE123 << 64 | 0x8BADF00D5EAF00D5)
+    ^ (int(ksel) * 0xA5A5A5A5A5A5A5A5)
+    for ksel in KeySelect
+}
+
+#: Probe-array geometry: one 64-byte "cache line" per byte value.
+_PROBE_STRIDE = 64
+_PROBE_BYTES = 256 * _PROBE_STRIDE
+
+_EPILOGUE = """
+    li t0, 0x5555
+    li t1, 0x02010000
+    sw t0, 0(t1)
+__idle:
+    j __idle
+
+__trap:
+    csrr t0, mepc
+    addi t0, t0, 4
+    csrw mepc, t0
+    mret
+"""
+
+_SPECTRE_ENCRYPT = """
+    # Boot-time RegVault keying of the secret field: encrypt in place
+    # with key A, tweaked by the field's address (the compiler's
+    # convention for protected non-control data).
+    la t0, secret
+    ld t1, 0(t0)
+    add t2, t0, x0
+    creak t3, t1[7:0], t2
+    sd t3, 0(t0)
+"""
+
+_SPECTRE_SOURCE = """
+_start:
+    la t0, __trap
+    csrw mtvec, t0
+    la s2, array
+    la s3, probe
+    la t0, array_len
+    ld s5, 0(t0)
+{encrypt}
+    li s6, 0
+    li s7, 6
+__train:
+    andi a0, s6, 7
+    jal ra, __gadget
+    addi s6, s6, 1
+    blt s6, s7, __train
+    la t0, secret
+    sub a0, t0, s2
+    jal ra, __gadget
+{epilogue}
+
+__gadget:
+    bgeu a0, s5, __oob
+    add t0, s2, a0
+    lbu t1, 0(t0)
+    slli t1, t1, 6
+    add t1, s3, t1
+    lbu t2, 0(t1)
+__oob:
+    ret
+
+.data
+.align 3
+array_len:
+    .dword 16
+array:
+    .zero 64
+secret:
+    .dword {secret:#x}
+probe:
+    .zero {probe_bytes}
+"""
+
+_EXFIL_SOURCE = """
+_start:
+    la t0, __trap
+    csrw mtvec, t0
+    la s3, probe
+    li s6, 0
+    li s7, 6
+__train:
+    li a0, 0
+    jal ra, __gadget
+    addi s6, s6, 1
+    blt s6, s7, __train
+    li a0, 1
+    jal ra, __gadget
+{epilogue}
+
+__gadget:
+    bne a0, x0, __done
+    csrr t0, krega_lo
+    andi t0, t0, 0xff
+    slli t0, t0, 6
+    add t0, s3, t0
+    lbu t1, 0(t0)
+__done:
+    ret
+
+.data
+.align 3
+probe:
+    .zero {probe_bytes}
+"""
+
+
+class _TransientAttack(Attack):
+    """Shared bare-metal driver: assemble, attach speculation, record."""
+
+    def _run_victim(self, program, spec_config: SpecConfig):
+        """Run ``program`` under speculation; return (spec, recorder)."""
+        machine = Machine.from_program(program)
+        for ksel, key in ATTACK_KEYS.items():
+            machine.engine.key_file.set_key(ksel, key)
+        spec = SpeculativeEngine(spec_config)
+        bus = TraceBus()
+        recorder = TraceRecorder()
+        for kind in SPEC_KINDS:
+            bus.subscribe(kind, recorder)
+        machine.hart.attach_speculation(spec)
+        spec.trace_hook = bus.make_hook(lambda: machine.hart.cycles)
+        try:
+            machine.run(200_000, fast=True)
+        finally:
+            machine.hart.detach_speculation()
+        self.last_machine = machine
+        return spec, recorder
+
+    @staticmethod
+    def _recovered_bytes(program, recorder) -> list[int]:
+        """Byte values dead-dropped into the probe array, in trace order."""
+        probe = program.symbol("probe")
+        recovered = []
+        for event in recorder.by_kind(SPEC_LOAD):
+            address = event.data["address"]
+            if event.data["tainted"] and \
+                    probe <= address < probe + _PROBE_BYTES:
+                recovered.append((address - probe) // _PROBE_STRIDE)
+        return recovered
+
+    @staticmethod
+    def _telemetry(spec, recorder) -> dict:
+        report = LeakageAnalyzer().analyze(recorder.events).report()
+        return {
+            "spec": spec.stats.to_json(),
+            "leakage": {
+                "findings": len(report["findings"]),
+                "clean": report["clean"],
+                "blocked_key_csr_reads": report["blocked"]["key_csr_reads"],
+            },
+        }
+
+
+class SpectrePHTAttack(_TransientAttack):
+    """Bounds-check-bypass read of a protected kernel data field."""
+
+    name = "transient bounds bypass (Spectre-PHT)"
+    number = 9
+
+    def run(self, config: KernelConfig) -> AttackResult:
+        # RegVault keys the field only when non-control data protection
+        # is on; other builds leave it plaintext (and leak it).
+        protected = config.noncontrol
+        source = _SPECTRE_SOURCE.format(
+            encrypt=_SPECTRE_ENCRYPT if protected else "",
+            epilogue=_EPILOGUE,
+            secret=SECRET_BYTE,
+            probe_bytes=_PROBE_BYTES,
+        )
+        # The attacker targets the secret's address either way; the
+        # hardware model is identical — only the *data* differs.
+        program = assemble(source)
+        secret = program.symbol("secret")
+        spec, recorder = self._run_victim(
+            program, SpecConfig(secret_ranges=((secret, secret + 8),))
+        )
+        recovered = self._recovered_bytes(program, recorder)
+        result = self.result(
+            config,
+            succeeded=SECRET_BYTE in recovered,
+            outcome=self._describe(recovered, protected),
+        )
+        result.telemetry = self._telemetry(spec, recorder)
+        return result
+
+    @staticmethod
+    def _describe(recovered: list[int], protected: bool) -> str:
+        if SECRET_BYTE in recovered:
+            return (
+                f"transient OOB load dead-dropped secret byte "
+                f"{SECRET_BYTE:#04x} into the probe array"
+            )
+        if recovered and protected:
+            return (
+                f"transient OOB load saw only QARMA ciphertext "
+                f"(recovered {recovered[-1]:#04x}, secret stays hidden)"
+            )
+        return "no secret-dependent transient access observed"
+
+
+class TransientKeyExfilAttack(_TransientAttack):
+    """Meltdown-style transient read of a write-only key CSR."""
+
+    name = "transient key-CSR exfiltration"
+    number = 10
+
+    def run(self, config: KernelConfig) -> AttackResult:
+        # Baseline models naive hardware (value forwarded transiently,
+        # trap at retirement); any protected build gets RegVault's
+        # gate-before-forward key registers.
+        naive = not config.any_protection
+        program = assemble(
+            _EXFIL_SOURCE.format(epilogue=_EPILOGUE,
+                                 probe_bytes=_PROBE_BYTES)
+        )
+        spec, recorder = self._run_victim(
+            program, SpecConfig(forward_key_csrs=naive)
+        )
+        expected = ATTACK_KEYS[KeySelect.A] & MASK64 & 0xFF
+        recovered = self._recovered_bytes(program, recorder)
+        blocked = spec.stats.squashes.get("key_csr", 0)
+        if expected in recovered:
+            outcome = (
+                f"key CSR forwarded transiently: key byte {expected:#04x} "
+                "dead-dropped into the probe array"
+            )
+        elif blocked:
+            outcome = (
+                f"window squashed at the key CSR read ({blocked} blocked "
+                "probe(s)); key never left the register file"
+            )
+        else:
+            outcome = "no transient key-CSR forward observed"
+        result = self.result(
+            config, succeeded=expected in recovered, outcome=outcome
+        )
+        result.telemetry = self._telemetry(spec, recorder)
+        return result
+
+
+#: The transient family, in report order (numbers continue Table 4).
+TRANSIENT_ATTACKS: tuple[type[Attack], ...] = (
+    SpectrePHTAttack,
+    TransientKeyExfilAttack,
+)

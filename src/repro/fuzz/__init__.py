@@ -30,6 +30,7 @@ from repro.fuzz.oracles import (
     run_compiler,
     run_differential,
     run_snapshot,
+    run_spec_convergence,
 )
 
 __all__ = [
@@ -58,5 +59,6 @@ __all__ = [
     "OracleOutcome",
     "run_differential",
     "run_snapshot",
+    "run_spec_convergence",
     "run_compiler",
 ]

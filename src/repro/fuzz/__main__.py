@@ -27,7 +27,11 @@ from repro.fuzz.dist import (
     resolve_shards,
     run_distributed,
 )
-from repro.fuzz.oracles import run_differential, run_snapshot
+from repro.fuzz.oracles import (
+    run_differential,
+    run_snapshot,
+    run_spec_convergence,
+)
 
 #: Default checked-in seed corpus, resolved relative to the repo root.
 DEFAULT_CORPUS = Path(__file__).resolve().parents[3] / "tests/fuzz/corpus"
@@ -39,6 +43,7 @@ def _replay(path: str, max_steps: int) -> int:
     for label, outcome in (
         ("step_vs_block", run_differential(case, max_steps=max_steps)),
         ("snapshot", run_snapshot(case, Random(0), max_steps=max_steps)),
+        ("spec", run_spec_convergence(case, max_steps=max_steps)),
     ):
         status = "ok" if outcome.ok else "DIVERGENCE"
         print(f"{label:14s} {status}  {outcome.detail}")
@@ -151,6 +156,11 @@ def main(argv=None) -> int:
     parser.add_argument("--telemetry", action="store_true",
                         help="count trace-bus events campaign-wide and "
                         "add a telemetry block to the report")
+    parser.add_argument("--spec", action="store_true",
+                        help="run every exec case a second time under "
+                        "the speculative front-end and require "
+                        "bit-identical post-squash state "
+                        "(spec_convergence oracle)")
     parser.add_argument("--replay", metavar="FILE", default=None,
                         help="re-run one seed/repro JSON file and exit")
     args = parser.parse_args(argv)
@@ -172,6 +182,7 @@ def main(argv=None) -> int:
             max_steps=max_steps,
             emit_dir=args.emit_dir,
             telemetry=args.telemetry,
+            spec=args.spec,
             shard_timeout=args.shard_timeout or None,
             parallel=not args.sequential,
         )
@@ -190,7 +201,8 @@ def main(argv=None) -> int:
     config = FuzzConfig(seed=args.seed, budget=args.budget,
                         max_steps=max_steps,
                         emit_dir=args.emit_dir,
-                        telemetry=args.telemetry)
+                        telemetry=args.telemetry,
+                        spec=args.spec)
     report = run_campaign(config, corpus=corpus)
     text = json.dumps(report, indent=2, sort_keys=True)
 

@@ -33,6 +33,7 @@ from repro.fuzz.oracles import (
     run_compiler,
     run_differential,
     run_snapshot,
+    run_spec_convergence,
 )
 
 __all__ = ["FuzzConfig", "Campaign", "run_campaign"]
@@ -60,6 +61,11 @@ class FuzzConfig:
     #: and add a ``telemetry`` block to the report.  Off by default;
     #: enabling it changes no other report key.
     telemetry: bool = False
+    #: Re-run every exec case under the speculative front-end and
+    #: require bit-identical post-squash architectural state.  Off by
+    #: default; enabling it adds a ``spec_convergence`` oracle block
+    #: and a ``spec: true`` marker to the report, nothing else.
+    spec: bool = False
 
 
 @dataclass
@@ -86,6 +92,13 @@ class Campaign:
             "snapshot": {"cases": 0, "divergences": 0, "skipped": 0},
             "compiler": {"cases": 0, "divergences": 0, "words": 0},
         }
+        if self.config.spec:
+            self.stats["spec_convergence"] = {
+                "cases": 0,
+                "divergences": 0,
+                "windows": 0,
+                "transient_instructions": 0,
+            }
         self._interesting = 0
         #: ``(case, new_coverage_keys)`` for every case that earned new
         #: coverage — the raw material for cross-shard corpus merging
@@ -182,6 +195,25 @@ class Campaign:
             pool.append(case)
             self.interesting_cases.append((case, gained))
 
+        if config.spec:
+            spec_outcome = run_spec_convergence(
+                case, max_steps=config.max_steps
+            )
+            spec_stats = self.stats["spec_convergence"]
+            spec_stats["cases"] += 1
+            spec_stats["windows"] += getattr(spec_outcome, "windows", 0)
+            spec_stats["transient_instructions"] += getattr(
+                spec_outcome, "transient_instructions", 0
+            )
+            if not spec_outcome:
+                spec_stats["divergences"] += 1
+                self._record_failure(
+                    case, spec_outcome,
+                    lambda c: not run_spec_convergence(
+                        c, max_steps=config.max_steps
+                    ).ok,
+                )
+
         if index % config.snapshot_share == 0:
             cut_seed = rng.getrandbits(64)
             snap_outcome = run_snapshot(
@@ -262,6 +294,7 @@ class Campaign:
             self.stats["step_vs_block"]["divergences"]
             + self.stats["snapshot"]["divergences"]
             + self.stats["compiler"]["divergences"]
+            + self.stats.get("spec_convergence", {}).get("divergences", 0)
         )
 
     def report(self) -> dict:
@@ -292,6 +325,12 @@ class Campaign:
         }
         if self._telemetry is not None:
             report["telemetry"] = dict(self._telemetry)
+        if self.config.spec:
+            # Marker key so downstream consumers (perf trend baselines,
+            # report diffing) can tell spec-mode campaigns apart; absent
+            # entirely when speculation is off, keeping default reports
+            # bit-identical.
+            report["spec"] = True
         return report
 
 

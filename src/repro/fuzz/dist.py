@@ -102,6 +102,9 @@ class DistConfig:
     max_steps: int = CASE_STEP_BUDGET
     emit_dir: str | None = "fuzz-failures"
     telemetry: bool = False
+    #: Run the ``spec_convergence`` oracle in every shard (see
+    #: :class:`repro.fuzz.campaign.FuzzConfig`).
+    spec: bool = False
     #: Per-round wall-clock limit (seconds) a shard may take before it
     #: is terminated and merged as ``timeout``.  ``None``: wait forever.
     shard_timeout: float | None = 600.0
@@ -149,6 +152,7 @@ def run_shard(
         max_steps=config.max_steps,
         emit_dir=emit_dir,
         telemetry=config.telemetry,
+        spec=config.spec,
     )
     campaign = Campaign(fuzz_config, corpus=list(corpus))
     start = time.perf_counter()
@@ -379,6 +383,8 @@ def run_distributed(config: DistConfig, corpus=None) -> dict:
     }
     if config.telemetry:
         report["telemetry"] = telemetry_totals
+    if config.spec:
+        report["spec"] = True
     return report
 
 

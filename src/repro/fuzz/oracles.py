@@ -32,6 +32,7 @@ from repro.isa.decoder import DecodeError, decode
 from repro.isa.disassembler import disassemble
 from repro.isa.encoder import encode
 from repro.machine import HaltReason, architectural_state, diff_states
+from repro.machine.spec import SpecConfig, SpeculativeEngine
 from repro.snapshot import capture, from_bytes, restore, to_bytes
 from repro.telemetry.bus import TraceBus
 from repro.telemetry.events import INSN_RETIRE, TRAP_ENTER
@@ -40,6 +41,7 @@ __all__ = [
     "OracleOutcome",
     "run_differential",
     "run_snapshot",
+    "run_spec_convergence",
     "run_compiler",
     "roundtrip_words",
 ]
@@ -278,4 +280,44 @@ def run_compiler(steps, max_steps: int = 3_000_000) -> OracleOutcome:
         )
     outcome = OracleOutcome(True, "compiler")
     outcome.words = total_words
+    return outcome
+
+
+# -- oracle 4: speculative convergence ----------------------------------------
+
+
+def run_spec_convergence(
+    case: FuzzCase,
+    max_steps: int = CASE_STEP_BUDGET,
+    spec_config: SpecConfig | None = None,
+) -> OracleOutcome:
+    """Speculation must be architecturally invisible.
+
+    The same harnessed case runs twice on the fast path: once plain,
+    once with a :class:`SpeculativeEngine` attached — every transient
+    window the predictor opens (down mispredicted paths, through SMC'd
+    regions, into faulting loads) must squash without a trace.  Full
+    architectural state, cycle/instret counters and crypto-engine state
+    must be bit-identical afterwards.
+    """
+    program = assemble(harness_source(list(case.body_words), case.reg_seed))
+    ref = build_machine(program)
+    dut = build_machine(program)
+    spec = SpeculativeEngine(spec_config or SpecConfig())
+    dut.hart.attach_speculation(spec)
+    try:
+        error_ref = _run_guarded(ref, max_steps, fast=True)
+        error_dut = _run_guarded(dut, max_steps, fast=True)
+    finally:
+        dut.hart.detach_speculation()
+    if error_ref != error_dut:
+        outcome = OracleOutcome(
+            False, "spec_convergence",
+            detail=f"errors diverged: plain={error_ref!r} "
+            f"spec={error_dut!r}",
+        )
+    else:
+        outcome = _compare(ref, dut, "spec_convergence", case.name)
+    outcome.windows = spec.stats.windows
+    outcome.transient_instructions = spec.stats.transient_instructions
     return outcome

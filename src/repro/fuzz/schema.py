@@ -60,6 +60,30 @@ def _check_oracles(oracles, problems) -> None:
             _check_int(stats, key, problems, where=f"oracles.{name}.")
 
 
+def _check_spec(document, problems) -> None:
+    """The ``spec`` marker and the ``spec_convergence`` oracle block
+    travel together — one without the other is a malformed report."""
+    oracles = document.get("oracles")
+    stats = oracles.get("spec_convergence") if isinstance(oracles, dict) \
+        else None
+    if not document.get("spec"):
+        if stats is not None:
+            problems.append(
+                "oracles.spec_convergence present without 'spec': true"
+            )
+        return
+    if document.get("spec") is not True:
+        problems.append(f"'spec' is not true: {document.get('spec')!r}")
+    if not isinstance(stats, dict):
+        problems.append(
+            "'spec': true but oracles.spec_convergence missing"
+        )
+        return
+    for key in ("cases", "divergences", "windows",
+                "transient_instructions"):
+        _check_int(stats, key, problems, where="oracles.spec_convergence.")
+
+
 def _check_failures(failures, problems) -> None:
     if not isinstance(failures, list):
         problems.append("'failures' is not a list")
@@ -83,6 +107,7 @@ def validate_report(document: dict) -> list[str]:
     for key in ("seed", "budget", "divergences"):
         _check_int(document, key, problems)
     _check_oracles(document.get("oracles"), problems)
+    _check_spec(document, problems)
     _check_coverage(document.get("coverage"), problems)
     _check_failures(document.get("failures"), problems)
     return problems
@@ -98,6 +123,7 @@ def validate_dist_report(document: dict) -> list[str]:
                 "shards_ok", "shards_failed"):
         _check_int(document, key, problems)
     _check_oracles(document.get("oracles"), problems)
+    _check_spec(document, problems)
     _check_coverage(document.get("coverage"), problems)
     _check_failures(document.get("failures"), problems)
 

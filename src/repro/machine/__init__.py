@@ -14,8 +14,12 @@ from repro.machine.timing import CostModel
 from repro.machine.hart import Hart, PrivilegeLevel
 from repro.machine.machine import Machine, HaltReason
 from repro.machine.compare import architectural_state, state_digest, diff_states
+from repro.machine.spec import BranchPredictor, SpecConfig, SpeculativeEngine
 
 __all__ = [
+    "BranchPredictor",
+    "SpecConfig",
+    "SpeculativeEngine",
     "Memory",
     "MemoryRegion",
     "RegisterFile",

@@ -102,6 +102,9 @@ class Hart:
         #: Saved (dispatch, enter_trap) states for attached tracers; the
         #: empty list is the zero-overhead baseline.
         self._tracer_stack: list[dict] = []
+        #: Attached :class:`repro.machine.spec.SpeculativeEngine`, or
+        #: None (the default: no speculation is ever modeled).
+        self.spec = None
         # -- fast path: basic-block translation cache ----------------------
         self.blocks = BlockCache()
         #: ``(pc, privilege) -> BlockLayout`` dict shared across forks
@@ -582,6 +585,24 @@ class Hart:
         self._dispatch = saved["dispatch"]
         self._enter_trap = saved["enter_trap"]
         self.blocks.flush()
+
+    def attach_speculation(self, spec) -> None:
+        """Attach a :class:`repro.machine.spec.SpeculativeEngine`.
+
+        Wraps only the control-flow handlers (branches, ``jal``,
+        ``jalr``) so the predictor observes every retirement, and
+        pushes a frame on the tracer stack: the compiled tier stands
+        down while speculation is attached, exactly as it does for
+        telemetry, and :meth:`detach_speculation` restores the
+        pre-attach dispatch table.  Architectural state is untouched —
+        transient windows run against shadow overlays only.
+        """
+        spec.attach_to(self)
+
+    def detach_speculation(self) -> None:
+        """Undo :meth:`attach_speculation` (LIFO w.r.t. tracers)."""
+        if self.spec is not None:
+            self.spec.detach()
 
     def attach_coverage(self, on_instruction, on_trap=None) -> None:
         """Observation callbacks for correctness tooling (thin shim).

@@ -15,6 +15,9 @@ compare against entries recorded with the same ``--quick`` setting,
 fuzz coverage only against entries whose campaign shape
 ``(seed, budget, shards)`` matches, and fleet serving throughput only
 against entries whose loadgen shape ``(seed, jobs, workers)`` matches.
+Entries recorded from spec-enabled runs (reports carrying a
+``"spec": true`` marker) only ever compare against other spec-enabled
+entries — the speculative front-end slows every workload it touches.
 
 CLI::
 
@@ -176,6 +179,12 @@ def make_entry(
     fleet = _fleet_source(fleet_report)
     if fleet:
         source["fleet"] = fleet
+    # A fuzz report produced with the speculative front-end attached
+    # carries a "spec": true marker.  Spec-enabled runs pay for the
+    # transient windows, so their numbers live in their own lane.
+    if any((report or {}).get("spec")
+           for report in (bench_report, fuzz_report, fleet_report)):
+        source["spec"] = True
     return {
         "schema": HISTORY_SCHEMA,
         "schema_version": HISTORY_SCHEMA_VERSION,
@@ -215,6 +224,10 @@ def _comparable(entry: dict, current: dict, metric: str) -> bool:
     this metric?"""
     source = entry.get("source", {})
     now = current.get("source", {})
+    # Entries recorded with the speculative front-end enabled never
+    # compare against plain ones (and vice versa); absent means plain.
+    if bool(source.get("spec")) != bool(now.get("spec")):
+        return False
     if metric.startswith("fuzz."):
         return source.get("fuzz") == now.get("fuzz") and now.get("fuzz")
     if metric.startswith("fleet."):

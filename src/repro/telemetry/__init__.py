@@ -31,6 +31,7 @@ __all__ = [
     "Profiler",
     "chrome_trace",
     "run_workload",
+    "LeakageAnalyzer",
 ]
 
 
@@ -53,4 +54,8 @@ def __getattr__(name: str):
         from repro.telemetry.runner import run_workload
 
         return run_workload
+    if name == "LeakageAnalyzer":
+        from repro.telemetry.leakage import LeakageAnalyzer
+
+        return LeakageAnalyzer
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -45,6 +45,14 @@ __all__ = [
     "SNAPSHOT_CAPTURE",
     "SNAPSHOT_RESTORE",
     "SNAPSHOT_FORK",
+    "SPEC_WINDOW",
+    "SPEC_LOAD",
+    "SPEC_STORE",
+    "SPEC_BRANCH",
+    "SPEC_CSR_READ",
+    "SPEC_CRYPTO",
+    "SPEC_SQUASH",
+    "SPEC_KINDS",
 ]
 
 #: Raw plane: one positional ``fn(ins, pc)`` call per retired instruction.
@@ -81,6 +89,23 @@ SNAPSHOT_CAPTURE = "snapshot.capture"
 SNAPSHOT_RESTORE = "snapshot.restore"
 SNAPSHOT_FORK = "snapshot.fork"
 
+# -- speculative front-end (repro.machine.spec) -----------------------------
+# Emitted only while a SpeculativeEngine is attached AND a bus hook is
+# installed; the default machine never produces them.  ``spec.window``
+# opens a transient window (a mispredicted branch/return/indirect);
+# every event in between describes one *transient* operation executed
+# against shadow state; ``spec.squash`` closes the window and records
+# why.  The ``tainted`` flags mark values/addresses derived from a
+# configured secret range, a forwarded key CSR or a crypto result —
+# the leakage analyzer turns tainted transient events into findings.
+SPEC_WINDOW = "spec.window"
+SPEC_LOAD = "spec.load"
+SPEC_STORE = "spec.store"
+SPEC_BRANCH = "spec.branch"
+SPEC_CSR_READ = "spec.csr_read"
+SPEC_CRYPTO = "spec.crypto"
+SPEC_SQUASH = "spec.squash"
+
 #: kind -> required payload field names (the event schema).
 EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     TRAP_ENTER: ("cause", "interrupt", "pc", "tval"),
@@ -106,7 +131,25 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     SNAPSHOT_CAPTURE: ("pages", "include_pages"),
     SNAPSHOT_RESTORE: ("pages",),
     SNAPSHOT_FORK: ("pages",),
+    SPEC_WINDOW: ("window", "pc", "target", "reason"),
+    SPEC_LOAD: ("window", "pc", "address", "tainted"),
+    SPEC_STORE: ("window", "pc", "address", "tainted"),
+    SPEC_BRANCH: ("window", "pc", "taken", "tainted"),
+    SPEC_CSR_READ: ("window", "pc", "csr", "key", "forwarded"),
+    SPEC_CRYPTO: ("window", "pc", "op", "ksel", "tainted", "hit"),
+    SPEC_SQUASH: ("window", "pc", "executed", "cause"),
 }
+
+#: Every speculative-plane kind (subscribe to these to observe windows).
+SPEC_KINDS: tuple[str, ...] = (
+    SPEC_WINDOW,
+    SPEC_LOAD,
+    SPEC_STORE,
+    SPEC_BRANCH,
+    SPEC_CSR_READ,
+    SPEC_CRYPTO,
+    SPEC_SQUASH,
+)
 
 #: Every structured (non-raw) kind, in schema order.
 STRUCTURED_KINDS: tuple[str, ...] = tuple(EVENT_SCHEMA)

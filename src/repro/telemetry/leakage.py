@@ -1,0 +1,165 @@
+"""Transient-leakage analyzer over the speculative trace plane.
+
+Consumes the ``spec.*`` events a :class:`repro.machine.spec.
+SpeculativeEngine` emits onto the trace bus and turns *tainted
+transient* operations into findings, MAMBO-V style: an architectural
+access to a secret is legitimate, but a **transient** operation whose
+address, branch condition or crypto operand depends on secret data is
+a side channel — its cache/BTB footprint survives the squash.
+
+Finding kinds:
+
+* ``transient-secret-load`` / ``transient-secret-store`` — a transient
+  memory access whose *address* is tainted (the classic Spectre
+  dead-drop: the address encodes the secret).
+* ``secret-dependent-branch`` — a transient branch or indirect jump
+  steered by tainted data (secret-dependent PC sequence).
+* ``transient-key-csr-read`` — hardware *forwarded* a key CSR half
+  inside a transient window.  RegVault's write-only key registers gate
+  the read before any forward, so this fires only against the naive
+  hardware model; blocked probe attempts are counted separately.
+* ``secret-keyed-crypto`` — a transient ``cre``/``crd`` whose operand
+  or tweak is tainted (a CLB lookup keyed on protected data; the CLB
+  hit/miss timing difference is the channel).
+
+A trace with **zero findings** is *clean*: windows may open and squash
+freely — misprediction alone leaks nothing in this model — only
+secret-dependence is flagged.  The negative analyzer test holds the
+constant-time baseline workload to exactly that standard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.events import (
+    SPEC_BRANCH,
+    SPEC_CRYPTO,
+    SPEC_CSR_READ,
+    SPEC_KINDS,
+    SPEC_LOAD,
+    SPEC_SQUASH,
+    SPEC_STORE,
+    SPEC_WINDOW,
+)
+
+__all__ = ["LEAKAGE_SCHEMA", "LeakageFinding", "LeakageAnalyzer"]
+
+LEAKAGE_SCHEMA = "repro.telemetry/leakage-1"
+
+
+@dataclass
+class LeakageFinding:
+    """One distinct (kind, pc) leak site aggregated over all windows."""
+
+    kind: str
+    pc: int
+    window: int  # first window the site was observed in
+    count: int = 1
+    detail: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "pc": self.pc,
+            "window": self.window,
+            "count": self.count,
+            "detail": self.detail,
+        }
+
+
+class LeakageAnalyzer:
+    """Aggregate ``spec.*`` events into a leakage report.
+
+    Use either live (``analyzer.subscribe(bus)`` before the run) or
+    post-hoc (``analyzer.analyze(recorder.events)``).
+    """
+
+    def __init__(self) -> None:
+        self.windows = 0
+        self.transient_instructions = 0
+        #: Transient key-CSR reads the hardware refused to forward.
+        self.blocked_key_csr_reads = 0
+        self._findings: dict[tuple[str, int], LeakageFinding] = {}
+
+    # -- ingestion ---------------------------------------------------------
+
+    def subscribe(self, bus) -> "LeakageAnalyzer":
+        for kind in SPEC_KINDS:
+            bus.subscribe(kind, self.observe)
+        return self
+
+    def analyze(self, events) -> "LeakageAnalyzer":
+        for event in events:
+            self.observe(event)
+        return self
+
+    def observe(self, event) -> None:
+        kind = event.kind
+        data = event.data
+        if kind == SPEC_WINDOW:
+            self.windows += 1
+        elif kind == SPEC_SQUASH:
+            self.transient_instructions += data["executed"]
+        elif kind in (SPEC_LOAD, SPEC_STORE):
+            if data["tainted"]:
+                access = "load" if kind == SPEC_LOAD else "store"
+                self._record(
+                    f"transient-secret-{access}", data["pc"], data["window"],
+                    f"transient {access} address {data['address']:#x} "
+                    "depends on secret data",
+                )
+        elif kind == SPEC_BRANCH:
+            if data["tainted"]:
+                self._record(
+                    "secret-dependent-branch", data["pc"], data["window"],
+                    "transient control flow steered by secret data",
+                )
+        elif kind == SPEC_CSR_READ:
+            if data["key"] and data["forwarded"]:
+                self._record(
+                    "transient-key-csr-read", data["pc"], data["window"],
+                    f"key CSR {data['csr']:#x} forwarded inside a "
+                    "transient window",
+                )
+            elif data["key"]:
+                self.blocked_key_csr_reads += 1
+        elif kind == SPEC_CRYPTO:
+            if data["tainted"]:
+                self._record(
+                    "secret-keyed-crypto", data["pc"], data["window"],
+                    f"transient {data['op']} on ksel {data['ksel']} with "
+                    f"secret-derived operand (clb hit={data['hit']})",
+                )
+
+    def _record(self, kind: str, pc: int, window: int, detail: str) -> None:
+        key = (kind, pc)
+        finding = self._findings.get(key)
+        if finding is None:
+            self._findings[key] = LeakageFinding(kind, pc, window,
+                                                 detail=detail)
+        else:
+            finding.count += 1
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def findings(self) -> list[LeakageFinding]:
+        return sorted(
+            self._findings.values(), key=lambda f: (f.kind, f.pc)
+        )
+
+    @property
+    def clean(self) -> bool:
+        return not self._findings
+
+    def report(self) -> dict:
+        findings = self.findings
+        return {
+            "schema": LEAKAGE_SCHEMA,
+            "windows": self.windows,
+            "transient_instructions": self.transient_instructions,
+            "blocked": {"key_csr_reads": self.blocked_key_csr_reads},
+            "findings": [finding.to_json() for finding in findings],
+            "clean": not findings,
+        }

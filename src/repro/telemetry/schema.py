@@ -10,7 +10,12 @@ from __future__ import annotations
 from repro.telemetry.events import EVENT_SCHEMA
 from repro.telemetry.metrics import METRICS_SCHEMA
 
-__all__ = ["validate_events", "validate_chrome_trace", "validate_metrics"]
+__all__ = [
+    "validate_events",
+    "validate_chrome_trace",
+    "validate_metrics",
+    "validate_leakage",
+]
 
 _PHASES_NEEDING_DUR = {"X"}
 _KNOWN_PHASES = {"X", "B", "E", "i", "I", "C", "M"}
@@ -85,6 +90,53 @@ def validate_chrome_trace(document: dict) -> list[str]:
             kind = args.get("kind")
             if isinstance(kind, str) and not kind.startswith("counter."):
                 problems.extend(_check_payload(kind, args, where))
+    return problems
+
+
+_FINDING_KINDS = {
+    "transient-secret-load",
+    "transient-secret-store",
+    "secret-dependent-branch",
+    "transient-key-csr-read",
+    "secret-keyed-crypto",
+}
+
+
+def validate_leakage(document: dict) -> list[str]:
+    """Validate a ``LeakageAnalyzer.report()`` document."""
+    from repro.telemetry.leakage import LEAKAGE_SCHEMA
+
+    problems: list[str] = []
+    if document.get("schema") != LEAKAGE_SCHEMA:
+        problems.append(f"bad schema id {document.get('schema')!r}")
+    for field in ("windows", "transient_instructions"):
+        value = document.get(field)
+        if not isinstance(value, int) or value < 0:
+            problems.append(f"'{field}' is not a non-negative integer")
+    blocked = document.get("blocked")
+    if not isinstance(blocked, dict) or not isinstance(
+        blocked.get("key_csr_reads"), int
+    ):
+        problems.append("'blocked.key_csr_reads' is not an integer")
+    findings = document.get("findings")
+    if not isinstance(findings, list):
+        return problems + ["'findings' is not a list"]
+    for index, finding in enumerate(findings):
+        where = f"findings[{index}]"
+        if not isinstance(finding, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if finding.get("kind") not in _FINDING_KINDS:
+            problems.append(
+                f"{where}: unknown finding kind {finding.get('kind')!r}"
+            )
+        for field in ("pc", "window", "count"):
+            if not isinstance(finding.get(field), int):
+                problems.append(f"{where}: missing integer {field!r}")
+        if not isinstance(finding.get("detail"), str):
+            problems.append(f"{where}: missing 'detail'")
+    if document.get("clean") is not (len(findings) == 0):
+        problems.append("'clean' flag inconsistent with findings list")
     return problems
 
 

@@ -44,6 +44,7 @@ _BLOCK_KINDS = (
     ev.BLOCK_EVICT,
     ev.BLOCK_JIT,
 )
+_SPEC_KINDS = ev.SPEC_KINDS
 
 
 class Telemetry:
@@ -110,6 +111,11 @@ class Telemetry:
             machine.engine.trace_hook = hook
         if bus.wants_any(_BLOCK_KINDS):
             hart.blocks.trace_hook = hook
+        if hart.spec is not None and bus.wants_any(_SPEC_KINDS):
+            # A speculative engine attached *before* telemetry gets its
+            # events cycle-stamped onto the same bus; one attached later
+            # installs its own hook (see repro.machine.spec).
+            hart.spec.trace_hook = hook
         if bus.wants(ev.KEY_WRITE):
             def key_hook(ksel, half):
                 bus.emit(
@@ -139,6 +145,8 @@ class Telemetry:
         machine.engine.trace_hook = None
         hart.blocks.trace_hook = None
         hart.csrs.key_write_hook = None
+        if hart.spec is not None:
+            hart.spec.trace_hook = None
         if self._previous_sink is not None or snapshot_hooks.active():
             snapshot_hooks.clear_sink(self._previous_sink)
             self._previous_sink = None

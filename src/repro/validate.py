@@ -30,6 +30,7 @@ def _validate_profile(document: dict) -> list[str]:
 
 
 def _validators() -> dict:
+    from repro.attacks.schema import MATRIX_SCHEMA, validate_matrix
     from repro.fleet.schema import (
         BENCH_FLEET_SCHEMA,
         JOB_SCHEMA,
@@ -45,13 +46,17 @@ def _validators() -> dict:
     from repro.perf.schema import validate_bench, validate_history_entry
     from repro.perf.trend import HISTORY_SCHEMA
     from repro.telemetry.metrics import METRICS_SCHEMA
+    from repro.telemetry.leakage import LEAKAGE_SCHEMA
     from repro.telemetry.schema import (
         validate_chrome_trace,
         validate_events,
+        validate_leakage,
         validate_metrics,
     )
 
     return {
+        MATRIX_SCHEMA: validate_matrix,
+        LEAKAGE_SCHEMA: validate_leakage,
         REPORT_SCHEMA: validate_report,
         DIST_REPORT_SCHEMA: validate_dist_report,
         BENCH_SCHEMA: validate_bench,

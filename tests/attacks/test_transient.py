@@ -1,0 +1,107 @@
+"""The transient attack family: leaks on baseline, defeated by RegVault."""
+
+from __future__ import annotations
+
+import json
+
+from repro.attacks.suite import ALL_ATTACKS, matrix_json, run_suite
+from repro.attacks.transient import (
+    ATTACK_KEYS,
+    SECRET_BYTE,
+    TRANSIENT_ATTACKS,
+    SpectrePHTAttack,
+    TransientKeyExfilAttack,
+)
+from repro.crypto.keys import KeySelect
+from repro.kernel import KernelConfig
+from repro.validate import validate_document
+
+
+class TestSpectrePHT:
+    def test_baseline_leaks_the_plaintext_secret(self):
+        result = SpectrePHTAttack().run(KernelConfig.baseline())
+        assert result.succeeded
+        assert not result.blocked
+        assert f"{SECRET_BYTE:#04x}" in result.outcome
+
+    def test_full_build_leaks_only_ciphertext(self):
+        result = SpectrePHTAttack().run(KernelConfig.full())
+        assert result.blocked
+        assert "ciphertext" in result.outcome
+        # Speculation happened either way — the defense is the data,
+        # not the absence of transient execution.
+        assert result.telemetry["spec"]["windows"] >= 1
+
+    def test_ra_only_build_does_not_protect_data(self):
+        # Return-address keying alone leaves non-control data plaintext
+        # — exactly the paper's argument for selective *data*
+        # randomization.
+        result = SpectrePHTAttack().run(KernelConfig.ra_only())
+        assert result.succeeded
+
+    def test_deterministic(self):
+        a = SpectrePHTAttack().run(KernelConfig.full())
+        b = SpectrePHTAttack().run(KernelConfig.full())
+        assert (a.succeeded, a.outcome) == (b.succeeded, b.outcome)
+        assert a.telemetry == b.telemetry
+
+
+class TestTransientKeyExfil:
+    def test_naive_hardware_forwards_the_key(self):
+        result = TransientKeyExfilAttack().run(KernelConfig.baseline())
+        assert result.succeeded
+        expected = ATTACK_KEYS[KeySelect.A] & 0xFF
+        assert f"{expected:#04x}" in result.outcome
+
+    def test_regvault_gates_the_read_before_forwarding(self):
+        result = TransientKeyExfilAttack().run(KernelConfig.full())
+        assert result.blocked
+        assert "squashed" in result.outcome
+        telemetry = result.telemetry
+        assert telemetry["spec"]["squashes"].get("key_csr", 0) >= 1
+        assert telemetry["leakage"]["clean"] is True
+        assert telemetry["leakage"]["blocked_key_csr_reads"] >= 1
+
+    def test_any_protection_level_blocks(self):
+        for factory in (KernelConfig.ra_only, KernelConfig.fp_only,
+                        KernelConfig.noncontrol_only):
+            result = TransientKeyExfilAttack().run(factory())
+            assert result.blocked, factory.__name__
+
+
+class TestSuiteIntegration:
+    def test_matrix_with_transient_family_validates(self):
+        results = run_suite(
+            configs=(KernelConfig.baseline(), KernelConfig.full()),
+            use_boot_cache=False,
+            attacks=TRANSIENT_ATTACKS,
+        )
+        document = matrix_json(results)
+        assert document["defended"] is True
+        kind, problems = validate_document(document)
+        assert kind == "repro.attacks/1"
+        assert problems == []
+        names = {cell["attack"] for cell in document["attacks"]}
+        assert len(names) == len(TRANSIENT_ATTACKS)
+
+    def test_default_suite_unchanged_by_transient_module(self):
+        # Importing/running the transient family must not perturb the
+        # default Table-4 roster.
+        assert len(ALL_ATTACKS) == 8
+        assert not set(TRANSIENT_ATTACKS) & set(ALL_ATTACKS)
+
+    def test_cli_transient_flag(self, capsys):
+        from repro.attacks.__main__ import main
+
+        code = main(["--transient", "--json"])
+        out = capsys.readouterr().out
+        document = json.loads(out)
+        assert code == 0
+        assert document["defended"] is True
+        names = [cell["attack"] for cell in document["attacks"]]
+        assert "transient key-CSR exfiltration" in names
+        assert len(names) == (8 + len(TRANSIENT_ATTACKS)) * 2
+
+    def test_numbers_continue_table4(self):
+        numbers = sorted(cls.number for cls in TRANSIENT_ATTACKS)
+        assert numbers == [9, 10]

@@ -129,6 +129,26 @@ def test_report_validates_and_sums_oracles():
     assert report["divergences"] == 0
 
 
+def test_spec_report_validates_and_marker_is_consistent():
+    report = run_distributed(_config(spec=True), corpus=_corpus())
+    assert report["spec"] is True
+    assert validate_dist_report(report) == []
+    merged = report["oracles"]["spec_convergence"]
+    assert merged["divergences"] == 0
+    assert merged["cases"] > 0
+    # The marker and the oracle block must travel together.
+    stripped = dict(report)
+    del stripped["spec"]
+    assert validate_dist_report(stripped)
+    plain = run_distributed(_config(), corpus=_corpus())
+    assert "spec" not in plain
+    assert "spec_convergence" not in plain["oracles"]
+    assert validate_dist_report(plain) == []
+    lying = dict(plain)
+    lying["spec"] = True
+    assert validate_dist_report(lying)
+
+
 # -- corpus merging ------------------------------------------------------------
 
 

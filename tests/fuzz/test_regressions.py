@@ -14,7 +14,12 @@ from random import Random
 
 import pytest
 
-from repro.fuzz import case_from_file, run_differential, run_snapshot
+from repro.fuzz import (
+    case_from_file,
+    run_differential,
+    run_snapshot,
+    run_spec_convergence,
+)
 
 REGRESSIONS = Path(__file__).parent / "regressions"
 CORPUS = Path(__file__).parent / "corpus"
@@ -30,6 +35,17 @@ REQUIRED = {
     "ksel_invalidation",
     "misaligned_access",
     "sealed_csr",
+    "spec_mispredict_smc",
+    "spec_transient_trap",
+    "spec_ras_underflow",
+}
+
+#: Regression seeds that must actually open transient windows when
+#: replayed under the speculative front-end (scenario → min windows).
+SPEC_WINDOW_FLOOR = {
+    "spec_mispredict_smc": 2,
+    "spec_transient_trap": 1,
+    "spec_ras_underflow": 1,
 }
 
 
@@ -62,6 +78,25 @@ def test_regression_snapshot(path):
         assert outcome.ok, (
             f"{path.stem} (salt {salt}): {outcome.detail}\n"
             + "\n".join(outcome.diffs)
+        )
+
+
+@pytest.mark.parametrize(
+    "path", _FILES, ids=[path.stem for path in _FILES]
+)
+def test_regression_spec_convergence(path):
+    """Speculation must be invisible on every checked-in regression."""
+    case = case_from_file(path)
+    outcome = run_spec_convergence(case)
+    assert outcome.ok, (
+        f"{path.stem}: {outcome.detail}\n" + "\n".join(outcome.diffs)
+    )
+    floor = SPEC_WINDOW_FLOOR.get(path.stem)
+    if floor is not None:
+        assert outcome.windows >= floor, (
+            f"{path.stem}: expected >= {floor} transient window(s), "
+            f"got {outcome.windows} — the seed no longer exercises "
+            "its speculation scenario"
         )
 
 

@@ -1,0 +1,338 @@
+"""The speculative front-end: prediction, windows, squash, neutrality.
+
+The contract under test is absolute: speculation may predict, open
+transient windows and execute down wrong paths, but *nothing* it does
+is allowed to reach architectural state — digests, counters and
+telemetry retire counts must be bit-identical to a plain run, for any
+branch pattern and any window size.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import assemble
+from repro.machine.compare import (
+    architectural_state,
+    diff_states,
+    state_digest,
+)
+from repro.machine.spec import (
+    BranchPredictor,
+    SpecConfig,
+    SpeculativeEngine,
+)
+from repro.telemetry.bus import TraceBus, TraceRecorder
+from repro.telemetry.events import INSN_RETIRE, SPEC_KINDS
+from tests.conftest import HALT, machine_with_keys
+
+
+def branchy_source(pattern) -> str:
+    """A workload whose taken/not-taken sequence follows ``pattern``.
+
+    Each bit drives one conditional branch; every iteration also makes
+    a call/return pair so the RAS sees traffic.
+    """
+    lines = [
+        "_start:",
+        "    la t0, handler",
+        "    csrw mtvec, t0",
+        "    li s0, 0",
+    ]
+    for bit in pattern:
+        lines += [
+            f"    li t1, {bit}",
+            "    beq t1, x0, . + 8",
+            "    addi s0, s0, 1",
+            "    jal ra, __callee",
+        ]
+    lines += [
+        HALT,
+        "__callee:",
+        "    addi s0, s0, 3",
+        "    ret",
+        "handler:",
+        "    csrr t2, mepc",
+        "    addi t2, t2, 4",
+        "    csrw mepc, t2",
+        "    mret",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def run_pair(source: str, config: SpecConfig | None = None,
+             max_steps: int = 50_000):
+    """(plain machine, spec machine, engine) after identical runs."""
+    plain = machine_with_keys(assemble(source))
+    plain.run(max_steps, fast=True)
+
+    specced = machine_with_keys(assemble(source))
+    engine = SpeculativeEngine(config or SpecConfig())
+    specced.hart.attach_speculation(engine)
+    try:
+        specced.run(max_steps, fast=True)
+    finally:
+        specced.hart.detach_speculation()
+    return plain, specced, engine
+
+
+class TestBranchPredictor:
+    def test_bht_counter_saturates(self):
+        p = BranchPredictor(SpecConfig())
+        assert not p.predict_branch(0x100)  # weakly not-taken reset
+        p.update_branch(0x100, True)
+        assert p.predict_branch(0x100)
+        for _ in range(8):
+            p.update_branch(0x100, True)
+        p.update_branch(0x100, False)
+        assert p.predict_branch(0x100)  # saturated: one NT cannot flip
+
+    def test_ras_drops_oldest_on_overflow(self):
+        p = BranchPredictor(SpecConfig(ras_depth=2))
+        p.push_return(0x10)
+        p.push_return(0x20)
+        p.push_return(0x30)
+        assert p.pop_return() == 0x30
+        assert p.pop_return() == 0x20
+        assert p.pop_return() is None  # 0x10 was dropped, then empty
+
+    def test_ras_underflow_is_no_prediction(self):
+        p = BranchPredictor(SpecConfig())
+        assert p.pop_return() is None
+
+    def test_btb_clears_when_full(self):
+        p = BranchPredictor(SpecConfig(btb_size=2))
+        p.train_indirect(0x10, 0xA)
+        p.train_indirect(0x20, 0xB)
+        p.train_indirect(0x30, 0xC)  # full: table clears, then inserts
+        assert p.predict_indirect(0x10) is None
+        assert p.predict_indirect(0x30) == 0xC
+
+
+class TestAttachDetach:
+    def test_off_by_default(self):
+        machine = machine_with_keys(assemble(branchy_source([1, 0])))
+        assert machine.hart.spec is None
+
+    def test_detach_restores_dispatch_table(self):
+        machine = machine_with_keys(assemble(branchy_source([1])))
+        hart = machine.hart
+        original = hart._dispatch
+        engine = SpeculativeEngine()
+        hart.attach_speculation(engine)
+        assert hart._dispatch is not original
+        assert hart.spec is engine
+        hart.detach_speculation()
+        assert hart._dispatch is original
+        assert hart.spec is None
+        assert not hart._tracer_stack
+
+    def test_double_attach_rejected(self):
+        machine = machine_with_keys(assemble(branchy_source([1])))
+        machine.hart.attach_speculation(SpeculativeEngine())
+        with pytest.raises(RuntimeError):
+            machine.hart.attach_speculation(SpeculativeEngine())
+
+    def test_compiled_tier_stands_down_while_attached(self):
+        machine = machine_with_keys(assemble(branchy_source([0] * 8)))
+        hart = machine.hart
+        hart.compile_threshold = 1
+        hart.attach_speculation(SpeculativeEngine())
+        try:
+            machine.run(50_000, fast=True)
+            assert hart.compiled_blocks == 0
+        finally:
+            hart.detach_speculation()
+
+    def test_lifo_detach_enforced(self):
+        from repro.telemetry.tracer import Telemetry
+
+        machine = machine_with_keys(assemble(branchy_source([1])))
+        engine = SpeculativeEngine()
+        machine.hart.attach_speculation(engine)
+        telemetry = Telemetry()
+        telemetry.attach(machine)
+        try:
+            with pytest.raises(RuntimeError):
+                engine.detach()
+        finally:
+            telemetry.detach()
+            machine.hart.detach_speculation()
+
+
+class TestSquash:
+    def test_mispredicted_branch_opens_window(self):
+        # Trained taken, final iteration not-taken -> one window at
+        # least (plus the cold first branch misprediction).
+        _, _, engine = run_pair(branchy_source([0, 0, 0, 0, 1]))
+        assert engine.stats.mispredictions >= 1
+        assert engine.stats.windows == engine.stats.mispredictions
+
+    def test_transient_fault_squashes_as_trap(self):
+        # A single-entry BHT aliases every branch onto one counter:
+        # the loop trains it taken, then a never-taken branch predicts
+        # taken and the window opens at its target — a null load.
+        source = f"""
+_start:
+    li t1, 0
+    li t5, 3
+    li t4, 0
+__train:
+    addi t1, t1, 1
+    blt t1, t5, __train
+    beq x0, t5, __fault
+    jal x0, __out
+__fault:
+    ld t3, 0(t4)
+__out:
+{HALT}
+"""
+        plain, specced, engine = run_pair(source, SpecConfig(bht_size=1))
+        assert engine.stats.squashes.get("trap", 0) >= 1
+        assert state_digest(plain) == state_digest(specced)
+
+    def test_transient_store_never_commits(self):
+        # Same aliasing trick; the wrong path stores a marker over a
+        # data cell.  Architectural memory must keep the original.
+        source = f"""
+_start:
+    li s2, 67108864
+    li t3, 0xEE
+    li t1, 0
+    li t5, 3
+__train:
+    addi t1, t1, 1
+    blt t1, t5, __train
+    beq x0, t5, __stores
+    jal x0, __out
+__stores:
+    sd t3, 0(s2)
+    sd t3, 8(s2)
+__out:
+{HALT}
+.data
+.align 3
+cell:
+    .dword 0x1234
+"""
+        plain, specced, engine = run_pair(source, SpecConfig(bht_size=1))
+        assert engine.stats.windows >= 1
+        assert specced.read_u64(67108864) == 0x1234
+        assert state_digest(plain) == state_digest(specced)
+
+    _KEY_CSR_SOURCE = f"""
+_start:
+    li t1, 0
+    li t5, 3
+__train:
+    addi t1, t1, 1
+    blt t1, t5, __train
+    beq x0, t5, __grab
+    jal x0, __out
+__grab:
+    csrr s4, krega_lo
+__out:
+{HALT}
+"""
+
+    def test_key_csr_read_squashes_by_default(self):
+        plain, specced, engine = run_pair(
+            self._KEY_CSR_SOURCE, SpecConfig(bht_size=1)
+        )
+        assert engine.stats.key_csr_reads == 1
+        assert engine.stats.squashes.get("key_csr") == 1
+        assert state_digest(plain) == state_digest(specced)
+
+    def test_key_csr_forwarding_model_taints_but_never_commits(self):
+        plain, specced, engine = run_pair(
+            self._KEY_CSR_SOURCE,
+            SpecConfig(bht_size=1, forward_key_csrs=True),
+        )
+        assert engine.stats.key_csr_reads == 1
+        assert "key_csr" not in engine.stats.squashes
+        # The forwarded value lived only in the shadow register file.
+        assert state_digest(plain) == state_digest(specced)
+
+
+class TestNeutrality:
+    def assert_invisible(self, plain, specced):
+        diffs = diff_states(
+            architectural_state(plain), architectural_state(specced)
+        )
+        assert not diffs, "speculation leaked:\n" + "\n".join(diffs)
+        assert state_digest(plain) == state_digest(specced)
+        assert plain.hart.cycles == specced.hart.cycles
+        assert plain.hart.instret == specced.hart.instret
+
+    def test_simple_pattern_invisible(self):
+        plain, specced, engine = run_pair(
+            branchy_source([1, 0, 1, 1, 0, 0, 1])
+        )
+        assert engine.stats.windows >= 1
+        self.assert_invisible(plain, specced)
+
+    @given(
+        pattern=st.lists(st.integers(0, 1), min_size=1, max_size=24),
+        window=st.integers(1, 16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_shadow_state_never_escapes(self, pattern, window):
+        """Property: any branch pattern, any window size — invisible."""
+        source = branchy_source(pattern)
+        plain, specced, _ = run_pair(source, SpecConfig(window=window))
+        self.assert_invisible(plain, specced)
+
+    @given(pattern=st.lists(st.integers(0, 1), min_size=2, max_size=12))
+    @settings(max_examples=15, deadline=None)
+    def test_retire_counts_exclude_transient_ops(self, pattern):
+        """insn.retire sees only architectural instructions."""
+        source = branchy_source(pattern)
+
+        def count_retires(with_spec: bool):
+            machine = machine_with_keys(assemble(source))
+            retired = [0]
+            bus = TraceBus()
+
+            def on_retire(ins, pc):
+                retired[0] += 1
+
+            bus.subscribe(INSN_RETIRE, on_retire)
+            machine.hart.attach_tracer(bus)
+            engine = None
+            if with_spec:
+                engine = SpeculativeEngine()
+                machine.hart.attach_speculation(engine)
+            try:
+                machine.run(50_000, fast=True)
+            finally:
+                if engine is not None:
+                    machine.hart.detach_speculation()
+                machine.hart.detach_tracer()
+            transient = engine.stats.transient_instructions if engine else 0
+            return retired[0], transient
+
+        plain_count, _ = count_retires(False)
+        spec_count, transient = count_retires(True)
+        assert spec_count == plain_count
+        # The windows really executed something *somewhere* over the
+        # strategy space; per-example it may legitimately be zero.
+        assert transient >= 0
+
+    def test_spec_events_flow_through_telemetry(self):
+        source = branchy_source([0, 0, 1])
+        machine = machine_with_keys(assemble(source))
+        engine = SpeculativeEngine()
+        machine.hart.attach_speculation(engine)
+        bus = TraceBus()
+        recorder = TraceRecorder()
+        for kind in SPEC_KINDS:
+            bus.subscribe(kind, recorder)
+        engine.trace_hook = bus.make_hook(lambda: machine.hart.cycles)
+        try:
+            machine.run(50_000, fast=True)
+        finally:
+            machine.hart.detach_speculation()
+        kinds = recorder.counts()
+        assert kinds.get("spec.window", 0) == engine.stats.windows
+        assert kinds.get("spec.squash", 0) == engine.stats.windows

@@ -241,6 +241,51 @@ def test_fleet_metrics_compare_only_matching_loadgen_shape():
     ].status == "insufficient-history"
 
 
+def test_spec_enabled_entries_live_in_their_own_lane():
+    """A history mixing plain and spec-enabled fuzz runs never
+    cross-compares: each current run sees only its own kind."""
+    def entry(pairs, spec, timestamp, label):
+        fuzz = _fuzz_report(pairs=pairs)
+        if spec:
+            fuzz["spec"] = True
+        return make_entry(
+            _bench_report(), fuzz, timestamp=timestamp, label=label
+        )
+
+    # Five fast plain entries interleaved with five slow spec entries.
+    history = []
+    for index in range(5):
+        history.append(entry(
+            500, False, f"2026-08-0{index + 1}T00:00:00Z", "plain"
+        ))
+        history.append(entry(
+            200, True, f"2026-08-0{index + 1}T12:00:00Z", "spec"
+        ))
+    for item in history:
+        assert validate_history_entry(item) == []
+
+    # A plain run at the spec-lane coverage level regresses against
+    # the plain median — the slow spec entries cannot mask it.
+    plain_now = entry(200, False, "2026-08-09T00:00:00Z", "current")
+    assert "spec" not in plain_now["source"]
+    findings = _by_metric(analyze(history, plain_now))
+    assert findings["fuzz.coverage.instruction_pairs"].status == (
+        "regression"
+    )
+    assert findings["fuzz.coverage.instruction_pairs"].median == 500
+
+    # The same numbers from a spec-enabled run are on-trend for the
+    # spec lane — the fast plain entries cannot fail it.
+    spec_now = entry(200, True, "2026-08-09T00:00:00Z", "current")
+    assert spec_now["source"]["spec"] is True
+    findings = _by_metric(analyze(history, spec_now))
+    assert findings["fuzz.coverage.instruction_pairs"].status == "ok"
+    assert findings["fuzz.coverage.instruction_pairs"].median == 200
+    # Bench metrics inherit the lane split too: the bench report is
+    # identical but the run as a whole was spec-enabled.
+    assert findings["kernel_boot.fast.ips"].window == 5
+
+
 def test_fuzz_metrics_compare_only_matching_campaign_shape():
     history = _history(5)
     current = make_entry(

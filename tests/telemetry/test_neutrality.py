@@ -182,3 +182,88 @@ class TestDisabledPath:
         assert cycled <= baseline * 1.05, (
             f"detached run {cycled:.4f}s vs baseline {baseline:.4f}s"
         )
+
+
+class TestSpecNeutrality:
+    """Speculation off (the default) must be provably absent.
+
+    A build that never attaches a SpeculativeEngine is bit-identical to
+    one that never imported the module; an attach/detach cycle leaves
+    no residue; and every opt-in surface (fuzz report, attack matrix)
+    serializes identically with the feature off.
+    """
+
+    def test_spec_attach_detach_leaves_no_residue(self):
+        from repro.machine.spec import SpeculativeEngine
+
+        plain = machine_with_keys(assemble(SOURCE))
+        plain.run(100_000, fast=True)
+
+        cycled = machine_with_keys(assemble(SOURCE))
+        original = cycled.hart._dispatch
+        engine = SpeculativeEngine()
+        cycled.hart.attach_speculation(engine)
+        cycled.hart.detach_speculation()
+        assert cycled.hart._dispatch is original
+        assert cycled.hart.spec is None
+        cycled.run(100_000, fast=True)
+
+        assert state_digest(plain) == state_digest(cycled)
+        diffs = diff_states(
+            architectural_state(plain), architectural_state(cycled)
+        )
+        assert not diffs, "spec attach/detach left residue:\n" + \
+            "\n".join(diffs)
+
+    def test_spec_enabled_run_is_architecturally_invisible(self):
+        from repro.machine.spec import SpeculativeEngine
+
+        plain = machine_with_keys(assemble(SOURCE))
+        plain.run(100_000, fast=True)
+
+        specced = machine_with_keys(assemble(SOURCE))
+        engine = SpeculativeEngine()
+        specced.hart.attach_speculation(engine)
+        try:
+            specced.run(100_000, fast=True)
+        finally:
+            specced.hart.detach_speculation()
+        assert engine.stats.branches > 0  # the front-end saw the run
+        assert state_digest(plain) == state_digest(specced)
+        assert plain.hart.cycles == specced.hart.cycles
+
+    def test_campaign_report_identical_modulo_spec_keys(self):
+        import json
+
+        base = FuzzConfig(seed=13, budget=24, emit_dir=None)
+        specced = FuzzConfig(seed=13, budget=24, emit_dir=None, spec=True)
+        plain = run_campaign(base)
+        spec_report = run_campaign(specced)
+
+        assert spec_report.pop("spec") is True
+        oracle_block = spec_report["oracles"].pop("spec_convergence")
+        assert oracle_block["divergences"] == 0
+        assert oracle_block["cases"] > 0
+        # Canonical JSON equality: the exact bytes CI would diff.
+        assert json.dumps(plain, sort_keys=True) == \
+            json.dumps(spec_report, sort_keys=True)
+
+    def test_default_attack_matrix_unchanged_by_transient_runs(self):
+        import json
+
+        from repro.attacks.suite import matrix_json, run_suite
+        from repro.attacks.transient import TRANSIENT_ATTACKS
+        from repro.kernel import KernelConfig
+
+        configs = (KernelConfig.baseline(), KernelConfig.full())
+        before = json.dumps(
+            matrix_json(run_suite(configs)), sort_keys=True
+        )
+        # Running the transient family must not perturb a subsequent
+        # default matrix (no global state, no predictor residue).
+        run_suite(configs, use_boot_cache=False,
+                  attacks=TRANSIENT_ATTACKS)
+        after = json.dumps(
+            matrix_json(run_suite(configs)), sort_keys=True
+        )
+        assert before == after
