@@ -80,11 +80,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.workers is not None:
         options.workers = max(1, args.workers)
     fleet = Fleet(options)
+    server = None
+    if args.metrics_port is not None:
+        from repro.telemetry.openmetrics import MetricsServer
+
+        server = MetricsServer(
+            lambda: (fleet.metrics_snapshot(), fleet.health_snapshot()),
+            port=args.metrics_port,
+        )
+        port = server.start()
+        print(
+            f"fleet: metrics on http://127.0.0.1:{port}/metrics "
+            "(/healthz, /readyz)",
+            file=sys.stderr,
+        )
     try:
         results = fleet.run_jobs(jobs)
     except FleetError as error:
         print(f"fleet: {error}", file=sys.stderr)
         return 2
+    finally:
+        if server is not None:
+            server.stop()
     for job_id in sorted(results):
         print(json.dumps(results[job_id], sort_keys=True))
     bad = sum(
@@ -126,6 +143,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
+    spans = args.spans or bool(args.spans_output or args.trace_output)
+    flightrec = args.flightrec or bool(args.flightrec_output)
     options = LoadgenOptions(
         seed=args.seed,
         jobs=args.jobs,
@@ -135,8 +154,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         inject_crash=args.inject_crash,
         sequential=args.sequential,
         cold_sample=args.cold_sample,
+        spans=spans,
+        flightrec=flightrec,
     )
-    report = run_loadgen(options)
+    extras: dict = {}
+    report = run_loadgen(options, extras=extras)
+    _write_observability(args, extras)
     document = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
         with open(args.output, "w") as handle:
@@ -167,6 +190,36 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_json(path: str, document: dict) -> None:
+    with open(path, "w") as handle:
+        handle.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def _write_observability(args: argparse.Namespace, extras: dict) -> None:
+    """Write the loadgen's observability artifacts where asked."""
+    import os
+
+    if args.spans_output:
+        _write_json(args.spans_output, extras["span_export"])
+    if args.trace_output:
+        from repro.telemetry.spans import spans_to_chrome_trace
+
+        _write_json(
+            args.trace_output, spans_to_chrome_trace(extras["span_export"])
+        )
+    if args.flightrec_output:
+        os.makedirs(args.flightrec_output, exist_ok=True)
+        for index, dump in enumerate(extras["flight_dumps"]):
+            _write_json(
+                os.path.join(
+                    args.flightrec_output, f"flightrec-{index:03d}.json"
+                ),
+                dump,
+            )
+    if args.rollup_output:
+        _write_json(args.rollup_output, extras["rollup"])
+
+
 def results_bad(report: dict) -> bool:
     results = report["results"]
     return bool(results["lost"] or results["error"])
@@ -187,6 +240,11 @@ def main(argv: list[str] | None = None) -> int:
         help="path to a JSONL job file ('-' or omitted: stdin)",
     )
     _add_fleet_flags(serve)
+    serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="serve /metrics, /healthz and /readyz on this port while "
+        "draining (0: pick an ephemeral port; printed to stderr)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -244,6 +302,31 @@ def main(argv: list[str] | None = None) -> int:
     loadgen.add_argument(
         "--print-canonical", action="store_true",
         help="also print the canonical (timing-stripped) report",
+    )
+    loadgen.add_argument(
+        "--spans", action="store_true",
+        help="record distributed spans and the span-overhead probe",
+    )
+    loadgen.add_argument(
+        "--flightrec", action="store_true",
+        help="attach crash flight recorders to workers",
+    )
+    loadgen.add_argument(
+        "--spans-output", default=None,
+        help="write the merged span export here (implies --spans)",
+    )
+    loadgen.add_argument(
+        "--trace-output", default=None,
+        help="write the span export as Chrome trace JSON (implies --spans)",
+    )
+    loadgen.add_argument(
+        "--flightrec-output", default=None, metavar="DIR",
+        help="write harvested flight-recorder dumps into this directory "
+        "(implies --flightrec)",
+    )
+    loadgen.add_argument(
+        "--rollup-output", default=None,
+        help="write the fleet-wide metrics rollup here (JSON)",
     )
     loadgen.set_defaults(func=_cmd_loadgen)
 

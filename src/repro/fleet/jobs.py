@@ -27,6 +27,7 @@ registry (fork latency, per-tenant counters, job counts).
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 
 from repro.compiler.ir import Const
 from repro.kernel import BootCache, KernelConfig, KernelSession
@@ -143,6 +144,13 @@ class JobContext:
         self.boot_cache = BootCache()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._images: dict[tuple, object] = {}
+        #: Observability attachments installed by the worker (or the
+        #: sequential scheduler): a SpanRecorder whose innermost open
+        #: span is the current job's ``execute``, and a FlightRecorder
+        #: ring.  ``None`` means the plane is off — the job path then
+        #: pays nothing.
+        self.spans = None
+        self.flightrec = None
 
     def _config(self, params: dict) -> KernelConfig:
         name = params.get("config", "full")
@@ -179,14 +187,17 @@ class JobContext:
 
 def _run_workload(params: dict, context: JobContext) -> dict:
     image = context.image_for(params)
+    spans = context.spans
     start = time.perf_counter()
-    session = KernelSession(
-        image.config, image=image, boot_cache=context.boot_cache
-    )
+    with spans.span("fork") if spans is not None else nullcontext():
+        session = KernelSession(
+            image.config, image=image, boot_cache=context.boot_cache
+        )
     context.metrics.observe(
         "fleet.fork_us", (time.perf_counter() - start) * 1e6
     )
-    result = session.run(int(params.get("max_steps", JOB_STEP_BUDGET)))
+    with spans.span("run") if spans is not None else nullcontext():
+        result = session.run(int(params.get("max_steps", JOB_STEP_BUDGET)))
     return {
         "halt": getattr(result.halt_reason, "value", None),
         "exit_code": result.exit_code,
@@ -254,13 +265,30 @@ def execute_job(job: dict, context: JobContext) -> tuple[str, dict | None, str |
     context.metrics.inc("fleet.jobs.total")
     context.metrics.inc(f"fleet.kind.{job.get('kind')}")
     context.metrics.inc(f"fleet.tenant.{job.get('tenant', 'default')}")
+    flightrec = context.flightrec
+    if flightrec is not None:
+        flightrec.note(
+            "job.start",
+            job=str(job.get("id")),
+            job_kind=str(job.get("kind")),
+        )
     if executor is None:
         context.metrics.inc("fleet.jobs.error")
+        if flightrec is not None:
+            flightrec.note(
+                "job.done", job=str(job.get("id")), status="error"
+            )
         return "error", None, f"unknown job kind {job.get('kind')!r}"
     try:
         payload = executor(job.get("params", {}), context)
     except Exception as error:  # noqa: BLE001 — worker must survive any job
         context.metrics.inc("fleet.jobs.error")
+        if flightrec is not None:
+            flightrec.note(
+                "job.done", job=str(job.get("id")), status="error"
+            )
         return "error", None, f"{type(error).__name__}: {error}"
     context.metrics.inc("fleet.jobs.ok")
+    if flightrec is not None:
+        flightrec.note("job.done", job=str(job.get("id")), status="ok")
     return "ok", payload, None

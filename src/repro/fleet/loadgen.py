@@ -67,6 +67,10 @@ class LoadgenOptions:
     #: Probe sessions replayed warm and cold for the fork/boot ratio.
     cold_sample: int = 8
     tenants: int = 4
+    #: Record distributed spans and run the span-overhead probe.
+    spans: bool = False
+    #: Attach crash flight recorders to workers.
+    flightrec: bool = False
 
     def resolved_workers(self) -> int:
         if self.workers is not None:
@@ -230,6 +234,84 @@ def _fork_vs_boot(sample: int, context: JobContext) -> dict:
     }
 
 
+def _span_overhead(sample: int, context: JobContext) -> dict:
+    """Measure what spans-on costs the probe session, as a percentage.
+
+    Per served job the decoration adds a fixed set of operations — an
+    execute span, nested fork and run spans, two flight-recorder
+    notes, the per-batch drain share — and nothing else touches the
+    job path.  Comparing full traced-vs-bare session replays drowns
+    that microsecond-scale cost in milliseconds of scheduler noise, so
+    the probe measures the two terms separately where each is stable:
+    the decoration in a tight loop (thousands of repetitions), the
+    session as a best-of-N replay (the :func:`_fork_vs_boot`
+    discipline).  Their ratio is ``span_overhead_pct`` — the number
+    the documented ≤5% budget test and the ``fleet.span_overhead_pct``
+    trend lane watch.
+    """
+    import gc
+
+    from repro.fleet.jobs import JOB_STEP_BUDGET
+    from repro.kernel import KernelSession
+    from repro.kernel.api import DEFAULT_MASTER_KEY
+    from repro.telemetry.flightrec import FlightRecorder
+    from repro.telemetry.spans import SpanRecorder, mint_trace_id
+
+    image = context.image_for(_PROBE_PARAMS)
+    context.boot_cache.machine_for(image, DEFAULT_MASTER_KEY)
+    recorder = SpanRecorder("probe")
+    flight = FlightRecorder("probe")
+    trace_id = mint_trace_id("span-probe")
+
+    def session_replay() -> None:
+        KernelSession(
+            image.config, image=image, boot_cache=context.boot_cache
+        ).run(JOB_STEP_BUDGET)
+
+    def decorate_once() -> None:
+        with recorder.span(
+            "execute", trace_id=trace_id, job="span-probe",
+            job_kind="workload",
+        ):
+            flight.note("job.start", job="span-probe", job_kind="workload")
+            with recorder.span("fork"):
+                pass
+            with recorder.span("run"):
+                pass
+            flight.note("job.done", job="span-probe", status="ok")
+        recorder.drain()
+
+    reps = max(256, sample * 256)
+    gc.collect()
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        session_times = []
+        for _ in range(max(1, sample)):
+            start = time.perf_counter()
+            session_replay()
+            session_times.append(time.perf_counter() - start)
+        decorate_once()  # warm the recorder paths outside the window
+        start = time.perf_counter()
+        for _ in range(reps):
+            decorate_once()
+        decoration_s = (time.perf_counter() - start) / reps
+    finally:
+        if enabled:
+            gc.enable()
+    session_best = min(session_times)
+    overhead = (
+        decoration_s / session_best * 100.0 if session_best else 0.0
+    )
+    return {
+        "sessions": len(session_times),
+        "decoration_reps": reps,
+        "session_best_ms": session_best * 1e3,
+        "decoration_us": decoration_s * 1e6,
+        "span_overhead_pct": overhead,
+    }
+
+
 def _percentile(values: list[float], q: float) -> float:
     if not values:
         return 0.0
@@ -244,14 +326,27 @@ def _results_digest(results: dict[str, dict]) -> str:
     return hashlib.sha256(blob).hexdigest()
 
 
-def run_loadgen(options: LoadgenOptions | None = None) -> dict:
-    """Drive the seeded mix through a fleet; return the bench report."""
+def run_loadgen(
+    options: LoadgenOptions | None = None, extras: dict | None = None
+) -> dict:
+    """Drive the seeded mix through a fleet; return the bench report.
+
+    Pass an ``extras`` dict to also receive the observability
+    artifacts: the merged span export, harvested flight-recorder
+    dumps, the metrics rollup and the health report.  They live
+    outside the report because they are wall-clock data — the report's
+    canonical form must stay a pure function of the seed.
+    """
     options = options or LoadgenOptions()
     jobs = generate_jobs(options.seed, options.jobs, options.tenants)
     workers = options.resolved_workers()
 
     context, warmup_seconds = _prewarm(jobs)
     comparison = _fork_vs_boot(options.cold_sample, context)
+    overhead = (
+        _span_overhead(options.cold_sample, context)
+        if options.spans else None
+    )
 
     fleet = Fleet(
         FleetOptions(
@@ -260,6 +355,8 @@ def run_loadgen(options: LoadgenOptions | None = None) -> dict:
             queue_limit=options.queue_limit,
             recycle_after=options.recycle_after,
             parallel=not options.sequential,
+            spans=options.spans,
+            flightrec=options.flightrec,
         ),
         context=context if options.sequential else None,
     )
@@ -341,6 +438,22 @@ def run_loadgen(options: LoadgenOptions | None = None) -> dict:
             "fleet_metrics": fleet_metrics,
         },
     }
+    # Lane markers: present only when the plane is on, so reports from
+    # undecorated runs keep their exact historical shape (the trend
+    # gate compares sources by equality).
+    if options.spans:
+        report["spans"] = True
+        report["timing"]["span_probe"] = overhead
+        report["timing"]["span_overhead_pct"] = (
+            overhead["span_overhead_pct"]
+        )
+    if options.flightrec:
+        report["flightrec"] = True
+    if extras is not None:
+        extras["span_export"] = fleet.span_export()
+        extras["flight_dumps"] = list(fleet.flight_dumps)
+        extras["rollup"] = fleet_metrics
+        extras["health"] = fleet.health_snapshot()
     return report
 
 

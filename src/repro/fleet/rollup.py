@@ -64,7 +64,13 @@ def merge_metrics(snapshots: list[dict]) -> dict:
             numeric = isinstance(value, (int, float)) and not isinstance(
                 value, bool
             )
-            if numeric and isinstance(current, (int, float)):
+            # bool is an int subclass, but True + 3 is not a rollup any
+            # caller means: a type conflict across workers degrades to
+            # last-wins, same as any other non-numeric gauge.
+            current_numeric = isinstance(
+                current, (int, float)
+            ) and not isinstance(current, bool)
+            if numeric and current_numeric:
                 gauges[name] = current + value
             else:
                 gauges[name] = value

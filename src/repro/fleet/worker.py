@@ -26,10 +26,12 @@ from __future__ import annotations
 
 import os
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.fleet.jobs import JobContext, execute_job
 from repro.fleet.schema import make_result
+from repro.telemetry.flightrec import DEFAULT_FLIGHT_LIMIT
 
 __all__ = ["WorkerOptions", "prewarm", "worker_main"]
 
@@ -44,6 +46,11 @@ class WorkerOptions:
 
     #: Gracefully exit after serving this many jobs (None: serve forever).
     recycle_after: int | None = None
+    #: Record per-job execute/fork/run spans, shipped on each reply.
+    spans: bool = False
+    #: Spool directory for crash flight-recorder dumps (None: off).
+    flightrec_dir: str | None = None
+    flightrec_limit: int = DEFAULT_FLIGHT_LIMIT
 
 
 #: Warm state installed by :func:`prewarm` before workers are spawned.
@@ -73,6 +80,8 @@ def _adopt_context(worker_id: int) -> JobContext:
     from repro.telemetry.metrics import MetricsRegistry
 
     context.metrics = MetricsRegistry()
+    context.spans = None
+    context.flightrec = None
     cache = context.boot_cache
     cache.boots = cache.forks = cache.fallbacks = cache.evictions = 0
     return context
@@ -84,8 +93,22 @@ def serve_batch(
     """Execute one batch message; return the result envelopes."""
     results = []
     for job, attempts in zip(message["jobs"], message["attempts"]):
+        trace = job.get("trace") or {}
+        execute_span = (
+            context.spans.span(
+                "execute",
+                trace_id=trace.get("trace_id"),
+                parent_id=trace.get("parent_span"),
+                job=job["id"],
+                job_kind=job["kind"],
+                attempt=attempts,
+            )
+            if context.spans is not None
+            else nullcontext()
+        )
         start = time.perf_counter()
-        status, payload, error = execute_job(job, context)
+        with execute_span:
+            status, payload, error = execute_job(job, context)
         run_ms = (time.perf_counter() - start) * 1e3
         context.metrics.observe("fleet.run_ms", run_ms)
         results.append(make_result(
@@ -101,6 +124,26 @@ def serve_batch(
 def worker_main(conn, worker_id: int, options: WorkerOptions) -> None:
     """Child-process entry: serve batches until stopped or recycled."""
     context = _adopt_context(worker_id)
+    dump_path = None
+    if options.flightrec_dir:
+        from repro.telemetry.flightrec import (
+            FlightRecorder,
+            install_sigterm_dump,
+        )
+
+        context.flightrec = FlightRecorder(
+            f"worker-{worker_id}", options.flightrec_limit
+        )
+        dump_path = os.path.join(
+            options.flightrec_dir, f"worker-{worker_id}.json"
+        )
+        # The scheduler kills a silent worker with SIGTERM; the handler
+        # turns that kill into a post-mortem before the process dies.
+        install_sigterm_dump(context.flightrec, dump_path)
+    if options.spans:
+        from repro.telemetry.spans import SpanRecorder
+
+        context.spans = SpanRecorder(f"worker-{worker_id}")
     served = 0
     try:
         while True:
@@ -110,9 +153,21 @@ def worker_main(conn, worker_id: int, options: WorkerOptions) -> None:
                 break
             if message.get("type") == "stop":
                 break
+            if context.flightrec is not None:
+                context.flightrec.note(
+                    "batch.recv",
+                    batch_id=message.get("batch_id", 0),
+                    jobs=len(message.get("jobs", ())),
+                    crash=bool(message.get("crash")),
+                )
             if message.get("crash"):
                 # Injected fault: die the way a real crash does — no
                 # reply, no cleanup, just a broken pipe for the parent.
+                # The flight dump is the one artifact a crash handler
+                # would salvage, so write it first.
+                if context.flightrec is not None and dump_path is not None:
+                    context.flightrec.note("crash.injected")
+                    context.flightrec.write(dump_path, "crash")
                 os._exit(CRASH_EXIT)
             results = serve_batch(message, context, worker_id)
             served += len(results)
@@ -122,7 +177,7 @@ def worker_main(conn, worker_id: int, options: WorkerOptions) -> None:
             )
             context.boot_cache.publish_metrics(context.metrics)
             context.metrics.set("fleet.worker.served", served)
-            conn.send({
+            reply = {
                 "type": "results",
                 "batch_id": message["batch_id"],
                 "worker": worker_id,
@@ -130,7 +185,10 @@ def worker_main(conn, worker_id: int, options: WorkerOptions) -> None:
                 "metrics": context.metrics.to_json(),
                 "served": served,
                 "recycling": recycling,
-            })
+            }
+            if context.spans is not None:
+                reply["spans"] = context.spans.drain()
+            conn.send(reply)
             if recycling:
                 break
     finally:

@@ -105,6 +105,10 @@ def _print_dist(report: dict) -> None:
                       f"interesting {row['interesting']}")
         else:
             detail = row["status"].upper()
+            dump = row.get("flightrec")
+            if dump is not None:
+                detail += (f"  flight dump: {len(dump['events'])} events "
+                           f"({dump['reason']})")
         print(f"  round {row['round']} shard {row['shard_id']}  "
               f"seed {row['shard_seed']:#018x}  budget {row['budget']:6d}  "
               f"{detail}  ({wall:.1f}s)")
@@ -141,6 +145,10 @@ def main(argv=None) -> int:
     parser.add_argument("--sequential", action="store_true",
                         help="run shards in-process instead of forking "
                         "workers (identical merged results)")
+    parser.add_argument("--flightrec", action="store_true",
+                        help="attach a flight recorder to every worker "
+                        "shard; crashed/hung shards carry their dump "
+                        "in the merged report")
     parser.add_argument("--with-timing", action="store_true",
                         help="include the (non-deterministic) timing "
                         "section in JSON output")
@@ -185,6 +193,7 @@ def main(argv=None) -> int:
             spec=args.spec,
             shard_timeout=args.shard_timeout or None,
             parallel=not args.sequential,
+            flightrec=args.flightrec,
         )
         report = run_distributed(config, corpus=corpus)
         text = canonical_json(report, include_timing=args.with_timing)

@@ -22,6 +22,11 @@ After every round the driver merges the shard results:
 A crashed or hung worker never loses the campaign: each shard has a
 wall-clock timeout, and the driver marks the shard ``timeout`` or
 ``crashed`` in the merged report and carries on with a partial merge.
+With ``DistConfig.flightrec`` each worker additionally keeps a bounded
+:class:`~repro.telemetry.flightrec.FlightRecorder` of its recent events
+and dumps it — on crash, or via the SIGTERM handler when the driver
+terminates a hung shard — so the failed shard's row carries a
+``repro.telemetry/flightrec-1`` post-mortem under ``flightrec``.
 
 Everything in the merged report except the ``timing`` section is a pure
 function of ``(seed, budget, shards, rounds, corpus)``;
@@ -34,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
+import signal
 import time
 from dataclasses import dataclass
 
@@ -111,6 +117,10 @@ class DistConfig:
     #: ``False`` runs every shard sequentially in this process (useful
     #: for debugging and tests); merged results are identical.
     parallel: bool = True
+    #: Attach a flight recorder to every worker shard; a crashed or
+    #: terminated shard's dump is merged into its failed report row.
+    #: Only meaningful with ``parallel`` (in-process shards cannot die).
+    flightrec: bool = False
 
 
 def shard_seed(seed: int, round_index: int, shard_id: int) -> int:
@@ -170,18 +180,55 @@ def run_shard(
     }
 
 
-def _worker(conn, config, round_index, shard_id, budget, corpus):
+def _worker(conn, config, round_index, shard_id, budget, corpus,
+            flight_path=None):
     """Child-process entry: run one shard, ship the result, exit."""
+    recorder = None
+    if flight_path is not None:
+        from repro.telemetry.flightrec import (
+            FlightRecorder,
+            install_sigterm_dump,
+        )
+
+        recorder = FlightRecorder(f"fuzz-shard-{round_index}-{shard_id}")
+        # The driver terminates a hung shard with SIGTERM; the handler
+        # turns that kill into a post-mortem before the process dies.
+        install_sigterm_dump(recorder, flight_path)
+        recorder.note(
+            "shard.start",
+            round=round_index,
+            shard=shard_id,
+            budget=budget,
+            corpus=len(corpus),
+        )
     hang = os.environ.get(HANG_ENV, "")
     if str(shard_id) in [part for part in hang.split(",") if part]:
         time.sleep(3600)
     try:
-        conn.send(run_shard(config, round_index, shard_id, budget, corpus))
+        try:
+            result = run_shard(config, round_index, shard_id, budget, corpus)
+        except BaseException as error:
+            if recorder is not None:
+                # Disarm the SIGTERM handler first, then die on the
+                # spot: the driver terminates a worker as soon as its
+                # pipe closes, and that signal must not overwrite the
+                # crash dump with a generic sigterm one.
+                signal.signal(signal.SIGTERM, signal.SIG_IGN)
+                recorder.note(
+                    "shard.error",
+                    error=f"{type(error).__name__}: {error}",
+                )
+                recorder.write(flight_path, "crash")
+                conn.close()
+                os._exit(1)
+            raise
+        conn.send(result)
     finally:
         conn.close()
 
 
-def _failed_shard(config, round_index, shard_id, budget, status, wall):
+def _failed_shard(config, round_index, shard_id, budget, status, wall,
+                  flightrec=None):
     return {
         "round": round_index,
         "shard_id": shard_id,
@@ -192,6 +239,7 @@ def _failed_shard(config, round_index, shard_id, budget, status, wall):
         "report": None,
         "coverage": None,
         "interesting": [],
+        "flightrec": flightrec,
     }
 
 
@@ -203,53 +251,83 @@ def _run_round_parallel(config, round_index, budgets, corpus) -> list[dict]:
     ctx = multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn"
     )
-    workers = []
-    for shard_id, budget in enumerate(budgets):
-        recv_end, send_end = ctx.Pipe(duplex=False)
-        process = ctx.Process(
-            target=_worker,
-            args=(send_end, config, round_index, shard_id, budget, corpus),
-            name=f"fuzz-shard-{round_index}-{shard_id}",
-        )
-        process.start()
-        # The parent must drop its copy of the send end so a dead child
-        # reads as EOF rather than a pipe that might still be written.
-        send_end.close()
-        workers.append((process, recv_end, budget))
+    flight_dir = None
+    if config.flightrec:
+        import tempfile
 
-    start = time.monotonic()
-    deadline = (
-        start + config.shard_timeout
-        if config.shard_timeout is not None else None
-    )
-    results = []
-    for shard_id, (process, recv_end, budget) in enumerate(workers):
-        result = None
-        status = "ok"
-        try:
-            timeout = (
-                None if deadline is None
-                else max(0.0, deadline - time.monotonic())
+        flight_dir = tempfile.mkdtemp(prefix="repro-fuzz-flightrec-")
+
+    def flight_path(shard_id):
+        if flight_dir is None:
+            return None
+        return os.path.join(
+            flight_dir, f"round{round_index}-shard{shard_id}.json"
+        )
+
+    try:
+        workers = []
+        for shard_id, budget in enumerate(budgets):
+            recv_end, send_end = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_worker,
+                args=(send_end, config, round_index, shard_id, budget,
+                      corpus, flight_path(shard_id)),
+                name=f"fuzz-shard-{round_index}-{shard_id}",
             )
-            if recv_end.poll(timeout):
-                result = recv_end.recv()
+            process.start()
+            # The parent must drop its copy of the send end so a dead
+            # child reads as EOF rather than a pipe that might still be
+            # written.
+            send_end.close()
+            workers.append((process, recv_end, budget))
+
+        start = time.monotonic()
+        deadline = (
+            start + config.shard_timeout
+            if config.shard_timeout is not None else None
+        )
+        results = []
+        for shard_id, (process, recv_end, budget) in enumerate(workers):
+            result = None
+            status = "ok"
+            try:
+                timeout = (
+                    None if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
+                if recv_end.poll(timeout):
+                    result = recv_end.recv()
+                else:
+                    status = "timeout"
+            except (EOFError, OSError):
+                status = "crashed"
+            recv_end.close()
+            if result is None:
+                if process.is_alive():
+                    process.terminate()
+                process.join(10)
+                dump = None
+                if flight_dir is not None:
+                    from repro.telemetry.flightrec import read_dump
+
+                    # SIGTERM (timeout) or the crash handler wrote the
+                    # post-mortem just before the worker died; a hard
+                    # kill may leave nothing, and that is fine too.
+                    dump = read_dump(flight_path(shard_id))
+                results.append(_failed_shard(
+                    config, round_index, shard_id, budget, status,
+                    time.monotonic() - start,
+                    flightrec=dump,
+                ))
             else:
-                status = "timeout"
-        except (EOFError, OSError):
-            status = "crashed"
-        recv_end.close()
-        if result is None:
-            if process.is_alive():
-                process.terminate()
-            process.join(10)
-            results.append(_failed_shard(
-                config, round_index, shard_id, budget, status,
-                time.monotonic() - start,
-            ))
-        else:
-            process.join()
-            results.append(result)
-    return results
+                process.join()
+                results.append(result)
+        return results
+    finally:
+        if flight_dir is not None:
+            import shutil
+
+            shutil.rmtree(flight_dir, ignore_errors=True)
 
 
 def _merge_oracles(totals: dict, stats: dict) -> None:
@@ -319,6 +397,8 @@ def run_distributed(config: DistConfig, corpus=None) -> dict:
                     "interesting": 0,
                     "new_coverage_keys": 0,
                 })
+                if result.get("flightrec") is not None:
+                    row["flightrec"] = result["flightrec"]
                 shard_rows.append(row)
                 continue
             row["new_coverage_keys"] = coverage.merge(result["coverage"])

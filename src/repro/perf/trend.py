@@ -42,6 +42,7 @@ from pathlib import Path
 from statistics import median
 
 __all__ = [
+    "HIGHER_IS_WORSE",
     "HISTORY_SCHEMA",
     "TRACKED_METRICS",
     "TrendFinding",
@@ -78,7 +79,18 @@ TRACKED_METRICS: dict[str, float] = {
     "fuzz.coverage.clb_events": 0.25,
     "fleet.jobs_per_second": 0.60,
     "fleet.cold_vs_warm": 0.35,
+    "fleet.span_overhead_pct": 2.0,
 }
+
+#: Metrics where *larger* is the regression direction (costs, not
+#: throughput).  Their TRACKED_METRICS tolerance is an absolute
+#: allowance added to the window median — a percentage-cost metric
+#: hovering near zero would make any relative band meaningless — and
+#: the gate fails when the current value exceeds ``median +
+#: tolerance``.
+HIGHER_IS_WORSE: frozenset[str] = frozenset({
+    "fleet.span_overhead_pct",
+})
 
 #: Metrics that improved past this fraction above the median are
 #: labelled ``improving`` in the check output (informational only).
@@ -92,6 +104,8 @@ class TrendFinding:
     status: str
     current: float
     median: float | None
+    #: The passing bound: a floor for throughput-style metrics, a
+    #: ceiling for :data:`HIGHER_IS_WORSE` cost metrics.
     floor: float | None
     window: int
 
@@ -136,6 +150,7 @@ def extract_metrics(
     timing = (fleet_report or {}).get("timing", {})
     put("fleet.jobs_per_second", timing.get("jobs_per_second"))
     put("fleet.cold_vs_warm", timing.get("cold_vs_warm"))
+    put("fleet.span_overhead_pct", timing.get("span_overhead_pct"))
     return metrics
 
 
@@ -152,11 +167,17 @@ def _fuzz_source(fuzz_report: dict | None) -> dict | None:
 def _fleet_source(fleet_report: dict | None) -> dict | None:
     if not fleet_report:
         return None
-    return {
+    source = {
         "seed": fleet_report.get("seed"),
         "jobs": fleet_report.get("jobs"),
         "workers": fleet_report.get("workers"),
     }
+    # Span-decorated runs pay the observability cost; their throughput
+    # lives in its own lane.  Absent (not false) when off, so older
+    # plain entries keep comparing against plain runs.
+    if fleet_report.get("spans"):
+        source["spans"] = True
+    return source
 
 
 def make_entry(
@@ -261,15 +282,25 @@ def analyze(
             ))
             continue
         mid = median(values)
-        floor = mid * (1.0 - tolerance)
-        if value < floor:
-            status = "regression"
-        elif value > mid * (1.0 + _IMPROVEMENT_BAND):
-            status = "improving"
+        if metric in HIGHER_IS_WORSE:
+            # Cost metric: the bound is a ceiling, tolerance absolute.
+            bound = mid + tolerance
+            if value > bound:
+                status = "regression"
+            elif value < mid * (1.0 - _IMPROVEMENT_BAND):
+                status = "improving"
+            else:
+                status = "ok"
         else:
-            status = "ok"
+            bound = mid * (1.0 - tolerance)
+            if value < bound:
+                status = "regression"
+            elif value > mid * (1.0 + _IMPROVEMENT_BAND):
+                status = "improving"
+            else:
+                status = "ok"
         findings.append(TrendFinding(
-            metric, status, value, mid, floor, len(values)
+            metric, status, value, mid, bound, len(values)
         ))
     return findings
 
@@ -277,8 +308,13 @@ def analyze(
 def trend_failures(findings: list[TrendFinding]) -> list[str]:
     """Gate-style failure messages for every regressed metric."""
     return [
-        f"{f.metric}: {f.current:.4g} below trend floor {f.floor:.4g} "
-        f"(median of last {f.window}: {f.median:.4g})"
+        f"{f.metric}: {f.current:.4g} "
+        + (
+            f"above trend ceiling {f.floor:.4g}"
+            if f.metric in HIGHER_IS_WORSE
+            else f"below trend floor {f.floor:.4g}"
+        )
+        + f" (median of last {f.window}: {f.median:.4g})"
         for f in findings
         if f.status == "regression"
     ]
@@ -295,7 +331,7 @@ def format_findings(findings: list[TrendFinding]) -> str:
         else:
             lines.append(
                 f"  {f.metric:45s} {f.current:>12.4g}  "
-                f"median {f.median:>12.4g}  floor {f.floor:>12.4g}  "
+                f"median {f.median:>12.4g}  bound {f.floor:>12.4g}  "
                 f"{f.status}"
             )
     return "\n".join(lines) if lines else "  (no tracked metrics present)"
@@ -366,8 +402,14 @@ def main(argv: list[str] | None = None) -> int:
         bench, fuzz, fleet, timestamp=timestamp, label="current"
     )
     if args.inject_regression is not None:
+        # Scale every metric toward its own regression direction: down
+        # for throughput-style metrics, up for cost metrics.
         current["metrics"] = {
-            name: value * args.inject_regression
+            name: (
+                value / args.inject_regression
+                if name in HIGHER_IS_WORSE and args.inject_regression
+                else value * args.inject_regression
+            )
             for name, value in current["metrics"].items()
         }
     history = load_history(args.history)

@@ -32,6 +32,9 @@ __all__ = [
     "chrome_trace",
     "run_workload",
     "LeakageAnalyzer",
+    "SpanRecorder",
+    "FlightRecorder",
+    "render_openmetrics",
 ]
 
 
@@ -58,4 +61,16 @@ def __getattr__(name: str):
         from repro.telemetry.leakage import LeakageAnalyzer
 
         return LeakageAnalyzer
+    if name == "SpanRecorder":
+        from repro.telemetry.spans import SpanRecorder
+
+        return SpanRecorder
+    if name == "FlightRecorder":
+        from repro.telemetry.flightrec import FlightRecorder
+
+        return FlightRecorder
+    if name == "render_openmetrics":
+        from repro.telemetry.openmetrics import render_openmetrics
+
+        return render_openmetrics
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

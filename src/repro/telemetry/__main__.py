@@ -61,6 +61,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("list", help="list the available workloads")
+
+    om = sub.add_parser(
+        "openmetrics",
+        help="render a metrics-1 JSON document as OpenMetrics text",
+    )
+    om.add_argument("metrics", type=Path, help="metrics.json to render")
+    om.add_argument(
+        "--output", type=Path, default=None,
+        help="write the exposition text here (default: stdout)",
+    )
+    om.add_argument(
+        "--check", action="store_true",
+        help="also grammar-check the rendered text; fail on problems",
+    )
     return parser
 
 
@@ -76,6 +90,31 @@ def main(argv=None) -> int:
     if args.command == "list":
         for name in workload_names():
             print(name)
+        return 0
+
+    if args.command == "openmetrics":
+        from repro.telemetry.openmetrics import (
+            render_openmetrics,
+            validate_openmetrics_text,
+        )
+        from repro.telemetry.schema import validate_metrics
+
+        document = json.loads(args.metrics.read_text())
+        problems = [f"{args.metrics}: {p}" for p in validate_metrics(document)]
+        text = render_openmetrics(document)
+        if args.check:
+            problems += [
+                f"{args.metrics} (rendered): {p}"
+                for p in validate_openmetrics_text(text)
+            ]
+        if problems:
+            for problem in problems:
+                print(f"SCHEMA PROBLEM: {problem}", file=sys.stderr)
+            return 1
+        if args.output is not None:
+            args.output.write_text(text)
+        else:
+            sys.stdout.write(text)
         return 0
 
     # No plane flags means "everything" — the common interactive case.
@@ -127,24 +166,31 @@ def main(argv=None) -> int:
             validate_chrome_trace,
             validate_events,
             validate_metrics,
+            validate_profile,
         )
 
         validators = {
             "metrics.json": validate_metrics,
             "events.json": validate_events,
             "trace.json": validate_chrome_trace,
+            "profile.json": validate_profile,
         }
         problems: list[str] = []
+        checked: list[str] = []
         for filename, validate in validators.items():
             if filename in written:
+                checked.append(filename)
+                # Report the on-disk path of the failing document so the
+                # offending artifact can be opened straight from CI logs.
                 problems += [
-                    f"{filename}: {p}" for p in validate(written[filename])
+                    f"{out_dir / filename}: {p}"
+                    for p in validate(written[filename])
                 ]
         if problems:
             for problem in problems:
                 print(f"SCHEMA PROBLEM: {problem}", file=sys.stderr)
             return 1
-        print(f"schema validation: OK ({', '.join(sorted(validators) )})")
+        print(f"schema validation: OK ({', '.join(sorted(checked))})")
     return 0
 
 

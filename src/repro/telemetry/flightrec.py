@@ -1,0 +1,138 @@
+"""Crash flight recorder: the last N events before a process died.
+
+Every fleet and fuzz worker keeps a :class:`FlightRecorder` — a
+bounded ring buffer of recent telemetry events (batch receipts, job
+lifecycle marks, and anything subscribed from a
+:class:`~repro.telemetry.bus.TraceBus`).  The buffer costs one deque
+append per event and never grows past ``limit``, so it is cheap enough
+to stay on for every job served.
+
+When the process dies abnormally the buffer becomes the post-mortem:
+
+* an **injected or detected crash** writes the dump just before the
+  process exits;
+* a **SIGTERM** (the scheduler's timeout kill, a fuzz shard's
+  wall-clock termination) triggers the handler installed by
+  :func:`install_sigterm_dump`, which writes the dump and then dies
+  with the original signal semantics.
+
+Dumps are ``repro.telemetry/flightrec-1`` JSON documents written
+atomically (tmp + rename) so a parent harvesting the spool directory
+never reads a torn file.  The fleet scheduler attaches the dump to the
+degraded job results of the dead worker; the fuzz driver attaches it
+to the failed shard row.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+from collections import deque
+
+__all__ = [
+    "FLIGHTREC_SCHEMA",
+    "DEFAULT_FLIGHT_LIMIT",
+    "FlightRecorder",
+    "install_sigterm_dump",
+    "read_dump",
+]
+
+FLIGHTREC_SCHEMA = "repro.telemetry/flightrec-1"
+
+#: Default ring size: enough to hold a few batches of job lifecycle
+#: events, small enough that the dump stays a skim-size document.
+DEFAULT_FLIGHT_LIMIT = 256
+
+
+class FlightRecorder:
+    """Bounded ring of recent events for one process."""
+
+    def __init__(self, process: str, limit: int = DEFAULT_FLIGHT_LIMIT):
+        if limit < 1:
+            raise ValueError(f"need a positive ring limit, got {limit}")
+        self.process = process
+        self.limit = limit
+        self.seen = 0
+        self._ring: deque[dict] = deque(maxlen=limit)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def note(self, kind: str, cycle: int = 0, **fields) -> None:
+        """Record one event (newest wins once the ring is full)."""
+        self.seen += 1
+        self._ring.append({
+            "seq": self.seen, "kind": kind, "cycle": cycle, **fields,
+        })
+
+    def __call__(self, event) -> None:
+        """Bus-subscriber form: record a structured telemetry event."""
+        self.note(event.kind, event.cycle, **event.data)
+
+    def attach(self, bus) -> None:
+        """Subscribe to every structured kind of a trace bus."""
+        from repro.telemetry.events import STRUCTURED_KINDS
+
+        for kind in STRUCTURED_KINDS:
+            bus.subscribe(kind, self)
+
+    @property
+    def dropped(self) -> int:
+        return self.seen - len(self._ring)
+
+    def dump(self, reason: str) -> dict:
+        """The post-mortem document: the last ``limit`` events."""
+        return {
+            "schema": FLIGHTREC_SCHEMA,
+            "process": self.process,
+            "reason": reason,
+            "limit": self.limit,
+            "seen": self.seen,
+            "dropped": self.dropped,
+            "events": list(self._ring),
+        }
+
+    def write(self, path, reason: str) -> None:
+        """Atomically write the dump (tmp + rename) to ``path``."""
+        path = os.fspath(path)
+        blob = json.dumps(self.dump(reason), indent=2, sort_keys=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(blob + "\n")
+        os.replace(tmp, path)
+
+
+def install_sigterm_dump(
+    recorder: FlightRecorder, path, exit_code: int = 143
+) -> None:
+    """Write the flight dump when this process receives SIGTERM.
+
+    The handler records the termination itself, writes the dump, and
+    exits via ``os._exit`` — a terminated worker must die promptly, not
+    unwind through arbitrary frames with a half-served batch.  143 is
+    the conventional 128+SIGTERM status.
+    """
+
+    def on_sigterm(signum, frame):
+        recorder.note("signal.sigterm")
+        try:
+            recorder.write(path, "sigterm")
+        finally:
+            os._exit(exit_code)
+
+    signal.signal(signal.SIGTERM, on_sigterm)
+
+
+def read_dump(path) -> dict | None:
+    """Load a dump if present and parseable; ``None`` otherwise.
+
+    Harvesting is best-effort by design: a worker that died before its
+    handler ran (SIGKILL, a genuine segfault) leaves no dump, and the
+    parent must carry on regardless.
+    """
+    try:
+        with open(os.fspath(path), encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None

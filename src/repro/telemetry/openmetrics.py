@@ -1,0 +1,241 @@
+"""OpenMetrics/Prometheus text exposition for metrics snapshots.
+
+:func:`render_openmetrics` turns any ``repro.telemetry/metrics-1``
+document — a single process's registry or the fleet-wide rollup — into
+deterministic OpenMetrics text: families sorted by name, label sets
+sorted, histogram buckets cumulative, terminated by ``# EOF``.  Two
+identical snapshots render byte-identically, which is what lets CI
+golden-file-diff the format.
+
+Mapping from the registry's metric types:
+
+* **counters** → ``<name>_total`` counter samples;
+* **numeric gauges** → gauge samples (booleans render as 0/1);
+* **string gauges** → ``<name>_info{value="..."} 1`` info samples;
+* **histograms** → cumulative ``_bucket{le=...}`` series plus
+  ``_sum``/``_count`` (the registry's power-of-two buckets become the
+  ``le`` bounds; ``+Inf`` closes the series).
+
+Dotted metric names sanitize to ``[a-zA-Z0-9_]`` with an optional
+prefix, so ``fleet.jobs.ok`` scrapes as ``repro_fleet_jobs_ok_total``.
+
+:class:`MetricsServer` serves the text live: a daemon-thread HTTP
+server with three endpoints —
+
+* ``/metrics``  — the OpenMetrics rendering of a fresh snapshot;
+* ``/healthz``  — a JSON health report (queue depth, worker liveness,
+  requeue counts — whatever the snapshot callable supplies);
+* ``/readyz``   — 200 when the health report says ``ready``, 503
+  otherwise (load-balancer style readiness).
+
+``python -m repro.fleet serve --metrics-port`` runs one next to the
+scheduler loop so a drain can be watched from outside the process.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+
+__all__ = [
+    "MetricsServer",
+    "render_openmetrics",
+    "validate_openmetrics_text",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_][a-zA-Z0-9_]*(\{[^{}]*\})? -?[0-9.+eEinf]+$"
+)
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    flat = _NAME_RE.sub("_", name)
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    if not flat[0].isalpha() and flat[0] != "_":
+        flat = f"_{flat}"
+    return flat
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def render_openmetrics(document: dict, prefix: str = "repro") -> str:
+    """Deterministic OpenMetrics text for a ``metrics-1`` document."""
+    lines: list[str] = []
+
+    for name, value in sorted(document.get("counters", {}).items()):
+        flat = _metric_name(name, prefix)
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(f"{flat}_total {_format_value(value)}")
+
+    for name, value in sorted(document.get("gauges", {}).items()):
+        flat = _metric_name(name, prefix)
+        if value is None:
+            continue
+        if isinstance(value, (int, float)):
+            lines.append(f"# TYPE {flat} gauge")
+            lines.append(f"{flat} {_format_value(value)}")
+        else:
+            lines.append(f"# TYPE {flat}_info info")
+            lines.append(
+                f'{flat}_info{{value="{_escape_label(value)}"}} 1'
+            )
+
+    for name, histogram in sorted(document.get("histograms", {}).items()):
+        flat = _metric_name(name, prefix)
+        lines.append(f"# TYPE {flat} histogram")
+        buckets = histogram.get("buckets", {})
+        bounds = sorted(
+            (int(key[3:]), count) for key, count in buckets.items()
+        )
+        cumulative = 0
+        for bound, count in bounds:
+            cumulative += count
+            lines.append(f'{flat}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(
+            f'{flat}_bucket{{le="+Inf"}} {histogram.get("count", 0)}'
+        )
+        lines.append(f"{flat}_sum {_format_value(histogram.get('sum', 0))}")
+        lines.append(f"{flat}_count {histogram.get('count', 0)}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def validate_openmetrics_text(text: str) -> list[str]:
+    """Grammar-check exposition text; a problem list, empty = valid.
+
+    Checks the line grammar (``name{labels} value`` or ``# ...``
+    comments), that every sample's family was declared with a ``TYPE``
+    line first, and that the document terminates with ``# EOF``.
+    """
+    problems: list[str] = []
+    if not text.endswith("# EOF\n") and text.strip() != "# EOF":
+        problems.append("document does not terminate with '# EOF'")
+    declared: set[str] = set()
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            problems.append(f"line {number}: empty line")
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                declared.add(parts[2])
+            continue
+        if not _SAMPLE_RE.match(line):
+            problems.append(f"line {number}: malformed sample {line!r}")
+            continue
+        family = line.split("{")[0].split(" ")[0]
+        candidates = {family}
+        for suffix in ("_total", "_bucket", "_sum", "_count", "_info"):
+            if family.endswith(suffix):
+                candidates.add(family[: -len(suffix)])
+        if not candidates & declared:
+            problems.append(
+                f"line {number}: sample {family!r} has no TYPE declaration"
+            )
+    return problems
+
+
+class MetricsServer:
+    """Daemon-thread HTTP exposition for live metrics + health.
+
+    ``snapshot`` is a zero-argument callable returning
+    ``(metrics_document, health_dict)``; it is invoked per request, so
+    scrapes always see current state.  ``port=0`` binds an ephemeral
+    port (read :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(self, snapshot, port: int = 0, host: str = "127.0.0.1"):
+        self._snapshot = snapshot
+        self._requested_port = port
+        self._host = host
+        self._httpd = None
+        self._thread = None
+        self.port: int | None = None
+
+    def start(self) -> int:
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        snapshot = self._snapshot
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # silence per-request noise
+                pass
+
+            def _send(self, status: int, body: str, content_type: str):
+                payload = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def do_GET(self):
+                try:
+                    metrics, health = snapshot()
+                except Exception as error:  # noqa: BLE001 — report, don't die
+                    self._send(
+                        500, f"snapshot failed: {error}\n", "text/plain"
+                    )
+                    return
+                if self.path == "/metrics":
+                    self._send(
+                        200,
+                        render_openmetrics(metrics),
+                        "application/openmetrics-text; version=1.0.0; "
+                        "charset=utf-8",
+                    )
+                elif self.path == "/healthz":
+                    self._send(
+                        200,
+                        json.dumps(health, indent=2, sort_keys=True) + "\n",
+                        "application/json",
+                    )
+                elif self.path == "/readyz":
+                    ready = bool(health.get("ready"))
+                    self._send(
+                        200 if ready else 503,
+                        ("ready" if ready else "not ready") + "\n",
+                        "text/plain",
+                    )
+                else:
+                    self._send(404, "unknown path\n", "text/plain")
+
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), Handler
+        )
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(5)
+            self._thread = None

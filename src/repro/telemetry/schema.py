@@ -15,6 +15,9 @@ __all__ = [
     "validate_chrome_trace",
     "validate_metrics",
     "validate_leakage",
+    "validate_profile",
+    "validate_spans",
+    "validate_flightrec",
 ]
 
 _PHASES_NEEDING_DUR = {"X"}
@@ -137,6 +140,139 @@ def validate_leakage(document: dict) -> list[str]:
             problems.append(f"{where}: missing 'detail'")
     if document.get("clean") is not (len(findings) == 0):
         problems.append("'clean' flag inconsistent with findings list")
+    return problems
+
+
+def validate_profile(document: dict) -> list[str]:
+    """Validate a ``Profiler.to_json()`` document."""
+    problems: list[str] = []
+    if document.get("schema") != "repro.telemetry/profile-1":
+        problems.append(f"bad schema id {document.get('schema')!r}")
+    for field in ("total_instructions", "distinct_pcs"):
+        value = document.get(field)
+        if not isinstance(value, int) or value < 0:
+            problems.append(f"'{field}' is not a non-negative integer")
+    rows = document.get("rows")
+    if not isinstance(rows, list):
+        return problems + ["'rows' is not a list"]
+    for index, row in enumerate(rows):
+        where = f"rows[{index}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(row.get("symbol"), str):
+            problems.append(f"{where}: missing 'symbol'")
+        for field in ("count", "pcs", "low_pc"):
+            if not isinstance(row.get(field), int):
+                problems.append(f"{where}: missing integer {field!r}")
+        if not isinstance(row.get("percent"), (int, float)):
+            problems.append(f"{where}: missing numeric 'percent'")
+    return problems
+
+
+def validate_spans(document: dict) -> list[str]:
+    """Validate a ``repro.telemetry/spans-1`` document (single or merged)."""
+    from repro.telemetry.spans import SPANS_SCHEMA
+
+    problems: list[str] = []
+    if document.get("schema") != SPANS_SCHEMA:
+        problems.append(f"bad schema id {document.get('schema')!r}")
+    if document.get("merged"):
+        processes = document.get("processes")
+        if not isinstance(processes, list) or not all(
+            isinstance(p, str) for p in processes
+        ):
+            problems.append("merged document: 'processes' is not a str list")
+    elif not isinstance(document.get("process"), str):
+        problems.append("'process' is not a string")
+    dropped = document.get("dropped")
+    if not isinstance(dropped, int) or dropped < 0:
+        problems.append("'dropped' is not a non-negative integer")
+    spans = document.get("spans")
+    if not isinstance(spans, list):
+        return problems + ["'spans' is not a list"]
+    ids_seen: set[tuple[str | None, str]] = set()
+    for index, span in enumerate(spans):
+        where = f"spans[{index}]"
+        if not isinstance(span, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field in ("name", "span_id", "process"):
+            if not isinstance(span.get(field), str) or not span.get(field):
+                problems.append(f"{where}: missing string {field!r}")
+        for field in ("trace_id", "parent_id"):
+            value = span.get(field)
+            if value is not None and not isinstance(value, str):
+                problems.append(f"{where}: {field!r} is neither str nor null")
+        start = span.get("start_us")
+        end = span.get("end_us")
+        if not isinstance(start, int):
+            problems.append(f"{where}: missing integer 'start_us'")
+        if not isinstance(end, int):
+            problems.append(f"{where}: missing integer 'end_us'")
+        if isinstance(start, int) and isinstance(end, int) and end < start:
+            problems.append(f"{where}: end_us {end} < start_us {start}")
+        if not isinstance(span.get("attrs"), dict):
+            problems.append(f"{where}: 'attrs' is not an object")
+        key = (span.get("trace_id"), span.get("span_id"))
+        if isinstance(key[1], str):
+            if key in ids_seen:
+                problems.append(
+                    f"{where}: duplicate span_id {key[1]!r} in trace "
+                    f"{key[0]!r}"
+                )
+            ids_seen.add(key)
+    return problems
+
+
+def validate_flightrec(document: dict) -> list[str]:
+    """Validate a ``repro.telemetry/flightrec-1`` crash dump."""
+    from repro.telemetry.flightrec import FLIGHTREC_SCHEMA
+
+    problems: list[str] = []
+    if document.get("schema") != FLIGHTREC_SCHEMA:
+        problems.append(f"bad schema id {document.get('schema')!r}")
+    for field in ("process", "reason"):
+        if not isinstance(document.get(field), str):
+            problems.append(f"'{field}' is not a string")
+    limit = document.get("limit")
+    if not isinstance(limit, int) or limit < 1:
+        problems.append("'limit' is not a positive integer")
+    for field in ("seen", "dropped"):
+        value = document.get(field)
+        if not isinstance(value, int) or value < 0:
+            problems.append(f"'{field}' is not a non-negative integer")
+    events = document.get("events")
+    if not isinstance(events, list):
+        return problems + ["'events' is not a list"]
+    if isinstance(limit, int) and len(events) > limit:
+        problems.append(f"{len(events)} events exceed ring limit {limit}")
+    if (
+        isinstance(document.get("seen"), int)
+        and isinstance(document.get("dropped"), int)
+        and document["seen"] - document["dropped"] != len(events)
+    ):
+        problems.append(
+            f"seen {document['seen']} - dropped {document['dropped']} "
+            f"!= {len(events)} events"
+        )
+    last_seq = 0
+    for index, event in enumerate(events):
+        where = f"events[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        seq = event.get("seq")
+        if not isinstance(seq, int) or seq < 1:
+            problems.append(f"{where}: missing positive integer 'seq'")
+        elif seq <= last_seq:
+            problems.append(f"{where}: seq {seq} not increasing")
+        else:
+            last_seq = seq
+        if not isinstance(event.get("kind"), str):
+            problems.append(f"{where}: missing 'kind'")
+        if not isinstance(event.get("cycle"), int):
+            problems.append(f"{where}: missing integer 'cycle'")
     return problems
 
 

@@ -1,0 +1,314 @@
+"""Distributed spans: one job's life across fleet processes.
+
+A *span* is a named wall-clock interval recorded by one process — the
+scheduler waiting on the queue, a worker forking a template, a job
+executing.  Spans are stitched into *traces* by three identifiers:
+
+* ``trace_id`` — minted deterministically from the job id at
+  submission (:func:`mint_trace_id`), carried through the
+  ``repro.fleet/job-1`` envelope into the worker and back in the
+  result, so every span of one job's life shares it;
+* ``span_id`` — unique within a trace (``<process>:<counter>``);
+* ``parent_id`` — the enclosing span, propagated across the process
+  boundary as ``trace.parent_span`` on the job envelope.
+
+Each process owns a :class:`SpanRecorder`; per-worker span logs ride
+home on batch replies and :func:`merge_span_logs` folds them into one
+``repro.telemetry/spans-1`` document.  :func:`spans_to_chrome_trace`
+renders the merged document as Chrome trace-event JSON with one lane
+(pid) per process, loadable at ``ui.perfetto.dev``; :func:`trace_for`
+extracts the spans of a single trace (queue wait → batch → fork →
+execute) for programmatic reconstruction.
+
+Timestamps are ``time.monotonic()`` microseconds.  On Linux the
+monotonic clock is system-wide, so spans recorded in forked workers
+share the scheduler's time base; exports normalize to the earliest
+span anyway, so even a per-process clock would only skew lanes, never
+corrupt them.  Spans are wall-clock observation and live strictly in
+the timing plane: nothing here may influence a job's deterministic
+payload (the fleet's neutrality tests enforce exactly that).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "SPANS_SCHEMA",
+    "Span",
+    "SpanRecorder",
+    "merge_span_logs",
+    "mint_trace_id",
+    "spans_to_chrome_trace",
+    "trace_for",
+]
+
+SPANS_SCHEMA = "repro.telemetry/spans-1"
+
+#: Default cap on spans a recorder keeps before counting drops.
+DEFAULT_SPAN_LIMIT = 100_000
+
+
+def mint_trace_id(job_id: str) -> str:
+    """Deterministic 16-hex-digit trace id for one job.
+
+    A pure function of the job id, so retries after a worker crash —
+    and re-runs of the same seeded mix — reuse the same trace id, and
+    two runs of the same loadgen seed produce comparable traces.
+    """
+    blob = f"repro.telemetry.trace:{job_id}".encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _now_us() -> int:
+    return int(time.monotonic() * 1e6)
+
+
+class Span:
+    """One named interval in one process."""
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "process",
+        "start_us", "end_us", "attrs",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str | None,
+        span_id: str,
+        parent_id: str | None,
+        process: str,
+        start_us: int,
+        attrs: dict,
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.process = process
+        self.start_us = start_us
+        self.end_us: int | None = None
+        self.attrs = attrs
+
+    @property
+    def finished(self) -> bool:
+        return self.end_us is not None
+
+    def end(self, **attrs) -> "Span":
+        """Close the span (idempotent); extra attrs merge in."""
+        if self.end_us is None:
+            self.end_us = max(_now_us(), self.start_us)
+        if attrs:
+            self.attrs.update(attrs)
+        return self
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "process": self.process,
+            "start_us": self.start_us,
+            "end_us": self.end_us if self.end_us is not None
+            else self.start_us,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, trace={self.trace_id!r}, "
+            f"id={self.span_id!r})"
+        )
+
+
+class SpanRecorder:
+    """Per-process span log with a context stack for nesting.
+
+    ``start``/``span`` default the trace id and parent to the innermost
+    open context span, so producers deep in the stack (the fork path in
+    :mod:`repro.fleet.jobs`) need no plumbing beyond the recorder
+    itself.  The log is bounded: past ``limit`` new spans are counted
+    as dropped rather than grown without bound.
+    """
+
+    def __init__(self, process: str, limit: int = DEFAULT_SPAN_LIMIT):
+        self.process = process
+        self.limit = limit
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._ids = 0
+        self._stack: list[Span] = []
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def _next_id(self) -> str:
+        self._ids += 1
+        return f"{self.process}:{self._ids}"
+
+    def start(
+        self,
+        name: str,
+        trace_id: str | None = None,
+        parent_id: str | None = None,
+        **attrs,
+    ) -> Span:
+        """Open a span; defaults inherit from the innermost open span."""
+        top = self._stack[-1] if self._stack else None
+        if trace_id is None and top is not None:
+            trace_id = top.trace_id
+        if parent_id is None and top is not None:
+            parent_id = top.span_id
+        span = Span(
+            name, trace_id, self._next_id(), parent_id, self.process,
+            _now_us(), dict(attrs),
+        )
+        if len(self.spans) < self.limit:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        trace_id: str | None = None,
+        parent_id: str | None = None,
+        **attrs,
+    ):
+        """Context manager: the span encloses the block and nests."""
+        span = self.start(name, trace_id, parent_id, **attrs)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.end()
+
+    def drain(self) -> list[dict]:
+        """Serialize and clear every *finished* span (open ones stay).
+
+        The fleet worker ships spans home on each batch reply; draining
+        keeps a long-lived worker's log bounded by batch size.
+        """
+        done = [span for span in self.spans if span.finished]
+        self.spans = [span for span in self.spans if not span.finished]
+        return [span.to_json() for span in done]
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SPANS_SCHEMA,
+            "process": self.process,
+            "dropped": self.dropped,
+            "spans": [span.to_json() for span in self.spans],
+        }
+
+
+def merge_span_logs(documents: list[dict]) -> dict:
+    """Fold per-process ``spans-1`` documents into one merged document.
+
+    Spans sort by ``(start_us, process, span_id)`` so the merged log is
+    a stable global timeline; ``processes`` lists every contributing
+    process in first-seen-by-time order.
+    """
+    spans: list[dict] = []
+    dropped = 0
+    for document in documents:
+        dropped += document.get("dropped", 0)
+        for span in document.get("spans", []):
+            spans.append(span)
+    spans.sort(key=lambda s: (
+        s.get("start_us", 0), s.get("process", ""), s.get("span_id", "")
+    ))
+    processes: list[str] = []
+    for span in spans:
+        process = span.get("process", "")
+        if process not in processes:
+            processes.append(process)
+    return {
+        "schema": SPANS_SCHEMA,
+        "merged": True,
+        "processes": processes,
+        "dropped": dropped,
+        "spans": spans,
+    }
+
+
+def trace_for(document: dict, trace_id: str) -> list[dict]:
+    """Every span belonging to one trace, in start order.
+
+    A span belongs if its ``trace_id`` matches, or if it names the
+    trace in ``attrs.trace_ids`` — the batch span covers several jobs
+    and lists every trace it carried.
+    """
+    return [
+        span for span in document.get("spans", [])
+        if span.get("trace_id") == trace_id
+        or trace_id in (span.get("attrs", {}).get("trace_ids") or ())
+    ]
+
+
+def spans_to_chrome_trace(document: dict) -> dict:
+    """Render a (merged) spans document as Chrome trace-event JSON.
+
+    One lane (pid) per process, in the merged document's process
+    order; timestamps are normalized to the earliest span so the trace
+    opens at t=0 in Perfetto.
+    """
+    spans = document.get("spans", [])
+    processes = document.get("processes")
+    if not processes:
+        processes = []
+        for span in spans:
+            process = span.get("process", "")
+            if process not in processes:
+                processes.append(process)
+    pids = {process: index for index, process in enumerate(processes)}
+    epoch = min((span.get("start_us", 0) for span in spans), default=0)
+
+    trace: list[dict] = []
+    for process, pid in pids.items():
+        trace.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process},
+        })
+    for span in spans:
+        pid = pids.get(span.get("process", ""), 0)
+        start = span.get("start_us", 0)
+        end = span.get("end_us", start)
+        args = {
+            "span": span.get("name"),
+            "trace_id": span.get("trace_id"),
+            "span_id": span.get("span_id"),
+            "parent_id": span.get("parent_id"),
+        }
+        attrs = span.get("attrs")
+        if isinstance(attrs, dict):
+            args.update(attrs)
+        trace.append({
+            "name": span.get("name", "span"),
+            "cat": "spans",
+            "ph": "X",
+            "ts": start - epoch,
+            "dur": max(end - start, 0),
+            "pid": pid,
+            "tid": 0,
+            "args": args,
+        })
+    return {
+        "traceEvents": trace,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": "repro.telemetry/chrome-trace-1",
+            "source": SPANS_SCHEMA,
+            "time_unit": "us (wall clock, normalized to trace start)",
+        },
+    }

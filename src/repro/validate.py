@@ -22,13 +22,6 @@ from pathlib import Path
 __all__ = ["validate_document", "main"]
 
 
-def _validate_profile(document: dict) -> list[str]:
-    problems = []
-    if not isinstance(document.get("entries"), list):
-        problems.append("'entries' is not a list")
-    return problems
-
-
 def _validators() -> dict:
     from repro.attacks.schema import MATRIX_SCHEMA, validate_matrix
     from repro.fleet.schema import (
@@ -45,14 +38,19 @@ def _validators() -> dict:
     from repro.perf.runner import SCHEMA as BENCH_SCHEMA
     from repro.perf.schema import validate_bench, validate_history_entry
     from repro.perf.trend import HISTORY_SCHEMA
+    from repro.telemetry.flightrec import FLIGHTREC_SCHEMA
     from repro.telemetry.metrics import METRICS_SCHEMA
     from repro.telemetry.leakage import LEAKAGE_SCHEMA
     from repro.telemetry.schema import (
         validate_chrome_trace,
         validate_events,
+        validate_flightrec,
         validate_leakage,
         validate_metrics,
+        validate_profile,
+        validate_spans,
     )
+    from repro.telemetry.spans import SPANS_SCHEMA
 
     return {
         MATRIX_SCHEMA: validate_matrix,
@@ -65,9 +63,11 @@ def _validators() -> dict:
         JOB_SCHEMA: validate_job,
         RESULT_SCHEMA: validate_result,
         BENCH_FLEET_SCHEMA: validate_bench_fleet,
+        SPANS_SCHEMA: validate_spans,
+        FLIGHTREC_SCHEMA: validate_flightrec,
         "repro.telemetry/events-1": validate_events,
         "repro.telemetry/chrome-trace-1": validate_chrome_trace,
-        "repro.telemetry/profile-1": _validate_profile,
+        "repro.telemetry/profile-1": validate_profile,
     }
 
 

@@ -98,6 +98,60 @@ class TestCli:
         document = json.loads(out.read_text())
         assert validate_bench_fleet(document) == []
 
+    def test_loadgen_writes_observability_artifacts(self, tmp_path, capsys):
+        from repro.fleet.__main__ import main
+        from repro.telemetry.schema import (
+            validate_chrome_trace,
+            validate_flightrec,
+            validate_metrics,
+            validate_spans,
+        )
+
+        code = main([
+            "loadgen", "--seed", "0", "--jobs", "12", "--sequential",
+            "--cold-sample", "2",
+            "--output", str(tmp_path / "BENCH_fleet.json"),
+            "--spans-output", str(tmp_path / "spans.json"),
+            "--trace-output", str(tmp_path / "trace.json"),
+            "--flightrec-output", str(tmp_path / "flightdumps"),
+            "--rollup-output", str(tmp_path / "rollup.json"),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        report = json.loads((tmp_path / "BENCH_fleet.json").read_text())
+        assert validate_bench_fleet(report) == []
+        assert report["spans"] is True  # output flags imply the planes
+        assert report["flightrec"] is True
+        spans = json.loads((tmp_path / "spans.json").read_text())
+        assert validate_spans(spans) == []
+        trace = json.loads((tmp_path / "trace.json").read_text())
+        assert validate_chrome_trace(trace) == []
+        rollup = json.loads((tmp_path / "rollup.json").read_text())
+        assert validate_metrics(rollup) == []
+        dumps = sorted((tmp_path / "flightdumps").iterdir())
+        assert [path.name for path in dumps] == ["flightrec-000.json"]
+        assert validate_flightrec(json.loads(dumps[0].read_text())) == []
+
+    def test_serve_with_metrics_port_announces_the_endpoint(
+        self, tmp_path, capsys
+    ):
+        from repro.fleet.__main__ import main
+
+        assert main([
+            "submit", "--id", "job-000001", "--kind", "workload",
+            "--config", "baseline", "--workload", "exit",
+        ]) == 0
+        job_line = capsys.readouterr().out.strip()
+        jobs_file = tmp_path / "jobs.jsonl"
+        jobs_file.write_text(job_line + "\n")
+        code = main([
+            "serve", str(jobs_file), "--sequential", "--metrics-port", "0",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "metrics on http://127.0.0.1:" in captured.err
+        assert "/metrics" in captured.err
+
     def test_submit_then_serve_roundtrip(self, tmp_path, capsys):
         from repro.fleet.__main__ import main
 

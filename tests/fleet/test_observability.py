@@ -1,0 +1,191 @@
+"""Fleet observability: digest parity, trace reconstruction, budgets.
+
+These encode the observability plane's acceptance criteria:
+
+* decorating a loadgen run with spans and flight recorders changes
+  nothing — the ``results_digest`` stays bit-identical to the plain
+  run, sequentially and across a worker pool;
+* one job's life reconstructs end-to-end as a single trace (queue wait
+  → batch → execute → fork → run) from the merged span export;
+* an injected worker crash yields a schema-valid flight-recorder dump
+  holding the worker's final events;
+* the measured span overhead stays within the documented 5% budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.loadgen import LoadgenOptions, run_loadgen
+from repro.telemetry.schema import (
+    validate_chrome_trace,
+    validate_flightrec,
+    validate_spans,
+)
+from repro.telemetry.spans import (
+    mint_trace_id,
+    spans_to_chrome_trace,
+    trace_for,
+)
+
+#: The documented ceiling on span-decoration cost (docs/observability.md).
+SPAN_OVERHEAD_BUDGET_PCT = 5.0
+
+
+def _options(**overrides) -> LoadgenOptions:
+    defaults = dict(
+        seed=0, jobs=16, sequential=True, cold_sample=2, inject_crash=1,
+    )
+    defaults.update(overrides)
+    return LoadgenOptions(**defaults)
+
+
+@pytest.fixture(scope="module")
+def plain_run():
+    return run_loadgen(_options())
+
+
+@pytest.fixture(scope="module")
+def decorated_run():
+    extras: dict = {}
+    report = run_loadgen(
+        _options(spans=True, flightrec=True), extras=extras
+    )
+    return report, extras
+
+
+@pytest.fixture(scope="module")
+def parallel_runs():
+    plain = run_loadgen(_options(sequential=False, workers=2))
+    extras: dict = {}
+    decorated = run_loadgen(
+        _options(sequential=False, workers=2, spans=True, flightrec=True),
+        extras=extras,
+    )
+    return plain, decorated, extras
+
+
+class TestDigestParity:
+    def test_sequential_digest_is_bit_identical(self, plain_run,
+                                                decorated_run):
+        report, _ = decorated_run
+        assert report["results_digest"] == plain_run["results_digest"]
+
+    def test_worker_pool_digest_is_bit_identical(self, parallel_runs):
+        plain, decorated, _ = parallel_runs
+        assert decorated["results_digest"] == plain["results_digest"]
+
+    def test_report_marks_the_enabled_planes(self, plain_run,
+                                             decorated_run):
+        report, _ = decorated_run
+        assert report["spans"] is True
+        assert report["flightrec"] is True
+        # Off means absent, keeping plain reports comparable with
+        # historical BENCH entries.
+        assert "spans" not in plain_run
+        assert "flightrec" not in plain_run
+
+
+class TestTraceReconstruction:
+    def test_one_job_reconstructs_as_a_single_trace(self, decorated_run):
+        _, extras = decorated_run
+        export = extras["span_export"]
+        assert validate_spans(export) == []
+        trace = trace_for(export, mint_trace_id("job-000000"))
+        names = [span["name"] for span in trace]
+        for required in ("job", "queue.wait", "batch", "execute"):
+            assert required in names, names
+
+    def test_parent_chain_links_scheduler_to_worker_spans(
+        self, decorated_run
+    ):
+        _, extras = decorated_run
+        export = extras["span_export"]
+        trace = trace_for(export, mint_trace_id("job-000000"))
+        by_name = {span["name"]: span for span in trace}
+        root = by_name["job"]
+        assert root["parent_id"] is None
+        assert by_name["queue.wait"]["parent_id"] == root["span_id"]
+        assert by_name["execute"]["parent_id"] == root["span_id"]
+        if "fork" in by_name:  # workload jobs fork a session
+            execute = by_name["execute"]
+            assert by_name["fork"]["parent_id"] == execute["span_id"]
+            assert by_name["run"]["parent_id"] == execute["span_id"]
+
+    def test_every_job_has_a_complete_trace(self, decorated_run):
+        report, extras = decorated_run
+        export = extras["span_export"]
+        for index in range(report["jobs"]):
+            trace = trace_for(export, mint_trace_id(f"job-{index:06d}"))
+            names = [span["name"] for span in trace]
+            assert "job" in names and "execute" in names, (index, names)
+
+    def test_worker_lanes_appear_in_the_parallel_export(
+        self, parallel_runs
+    ):
+        _, _, extras = parallel_runs
+        export = extras["span_export"]
+        assert validate_spans(export) == []
+        assert "scheduler" in export["processes"]
+        assert any(
+            process.startswith("worker-")
+            for process in export["processes"]
+        )
+
+    def test_export_renders_as_valid_chrome_trace(self, decorated_run):
+        _, extras = decorated_run
+        document = spans_to_chrome_trace(extras["span_export"])
+        assert validate_chrome_trace(document) == []
+
+
+class TestFlightRecorder:
+    def test_injected_crash_yields_a_valid_dump(self, decorated_run):
+        _, extras = decorated_run
+        dumps = extras["flight_dumps"]
+        assert len(dumps) == 1
+        dump = dumps[0]
+        assert validate_flightrec(dump) == []
+        assert dump["reason"] == "crash"
+        kinds = [event["kind"] for event in dump["events"]]
+        # The worker's final moments, in order: it received the fatal
+        # batch, then died to the injected fault.
+        assert kinds[-1] == "crash.injected"
+        assert "batch.recv" in kinds
+
+    def test_parallel_crash_dump_is_harvested_from_the_worker(
+        self, parallel_runs
+    ):
+        _, _, extras = parallel_runs
+        dumps = extras["flight_dumps"]
+        assert len(dumps) == 1
+        dump = dumps[0]
+        assert validate_flightrec(dump) == []
+        assert dump["reason"] == "crash"
+        assert dump["process"].startswith("worker-")
+        assert [e["kind"] for e in dump["events"]][-1] == "crash.injected"
+
+
+class TestHealthAndRollup:
+    def test_health_snapshot_shape(self, decorated_run):
+        _, extras = decorated_run
+        health = extras["health"]
+        assert health["ready"] is True
+        assert health["queue_depth"] == 0
+        assert health["jobs"]["submitted"] == 16
+        assert health["jobs"]["completed"] == 16
+        assert health["flight_dumps"] == 1
+
+    def test_rollup_covers_every_job(self, decorated_run):
+        report, extras = decorated_run
+        rollup = extras["rollup"]
+        assert rollup["counters"]["fleet.jobs.total"] >= report["jobs"]
+
+
+class TestOverheadBudget:
+    def test_span_overhead_stays_within_budget(self, decorated_run):
+        report, _ = decorated_run
+        overhead = report["timing"]["span_overhead_pct"]
+        assert 0.0 <= overhead <= SPAN_OVERHEAD_BUDGET_PCT, overhead
+        probe = report["timing"]["span_probe"]
+        assert probe["decoration_reps"] >= 256
+        assert probe["session_best_ms"] > 0

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+from hypothesis import given
+from hypothesis import strategies as st
+
 from repro.fleet.rollup import merge_metrics
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.schema import validate_metrics
@@ -80,3 +83,125 @@ def test_merge_is_associative_over_snapshot_grouping():
     all_at_once = merge_metrics(parts)
     grouped = merge_metrics([merge_metrics(parts[:2]), parts[2]])
     assert all_at_once == grouped
+
+
+# -- gauge type conflicts ------------------------------------------------------
+
+
+def _gauge_snapshot(value) -> dict:
+    registry = MetricsRegistry()
+    registry.set("g", value)
+    return registry.to_json()
+
+
+def test_bool_gauge_does_not_sum_into_numbers():
+    """``True`` is an int subclass; merging must not compute True + 3."""
+    assert merge_metrics([
+        _gauge_snapshot(True), _gauge_snapshot(3),
+    ])["gauges"]["g"] == 3
+    assert merge_metrics([
+        _gauge_snapshot(3), _gauge_snapshot(True),
+    ])["gauges"]["g"] is True
+    assert merge_metrics([
+        _gauge_snapshot(True), _gauge_snapshot(False),
+    ])["gauges"]["g"] is False
+
+
+_GAUGE_VALUES = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.booleans(),
+    st.sampled_from(["parallel", "sequential", None]),
+)
+
+
+def _is_numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+@given(st.lists(_GAUGE_VALUES, min_size=1, max_size=8))
+def test_gauge_merge_sums_numeric_runs_last_wins_otherwise(values):
+    """Spec: numeric gauges sum; any non-numeric value resets the
+    accumulation and non-numeric results are last-wins."""
+    expected = values[0]
+    for value in values[1:]:
+        if _is_numeric(value) and _is_numeric(expected):
+            expected += value
+        else:
+            expected = value
+    merged = merge_metrics([_gauge_snapshot(v) for v in values])
+    assert merged["gauges"]["g"] == expected
+    assert type(merged["gauges"]["g"]) is type(expected)
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1,
+                max_size=8))
+def test_all_numeric_gauges_sum_exactly(values):
+    merged = merge_metrics([_gauge_snapshot(v) for v in values])
+    assert merged["gauges"]["g"] == sum(values)
+
+
+# -- empty registries ----------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=4),
+       st.integers(min_value=0, max_value=4))
+def test_empty_registries_are_merge_identity(before, after):
+    snapshot = _registry(3, [10.0, 700.0]).to_json()
+    empties = [MetricsRegistry().to_json() for _ in range(before)]
+    tails = [MetricsRegistry().to_json() for _ in range(after)]
+    merged = merge_metrics(empties + [snapshot] + tails)
+    assert merged == merge_metrics([snapshot])
+    assert validate_metrics(merged) == []
+
+
+# -- histogram bucket merges ---------------------------------------------------
+
+
+def _histogram_snapshot(samples) -> dict:
+    registry = MetricsRegistry()
+    for sample in samples:
+        registry.observe("h", sample)
+    return registry.to_json()
+
+
+@given(st.lists(
+    st.lists(st.integers(min_value=-10, max_value=100_000), max_size=12),
+    min_size=1, max_size=4,
+))
+def test_histogram_merge_equals_union_observation(groups):
+    """Merging per-worker histograms is exact: bit-identical to one
+    registry having observed every sample itself."""
+    merged = merge_metrics([_histogram_snapshot(group) for group in groups])
+    union = _histogram_snapshot([s for group in groups for s in group])
+    flat = [s for group in groups for s in group]
+    if not flat:
+        assert "h" not in merged["histograms"] or (
+            merged["histograms"]["h"]["count"] == 0
+        )
+        return
+    assert merged["histograms"]["h"] == union["histograms"]["h"]
+
+
+@given(st.data())
+def test_disjoint_bucket_merges_union_the_buckets(data):
+    """Workers whose samples occupy disjoint power-of-two buckets merge
+    into the union, with per-bucket counts preserved verbatim."""
+    low = data.draw(st.lists(
+        st.integers(min_value=1, max_value=8), min_size=1, max_size=8,
+    ))
+    high = data.draw(st.lists(
+        st.integers(min_value=1025, max_value=4096), min_size=1, max_size=8,
+    ))
+    a = _histogram_snapshot(low)
+    b = _histogram_snapshot(high)
+    buckets_a = a["histograms"]["h"]["buckets"]
+    buckets_b = b["histograms"]["h"]["buckets"]
+    assert not set(buckets_a) & set(buckets_b)
+    merged = merge_metrics([a, b])["histograms"]["h"]
+    assert merged["buckets"] == {**buckets_a, **buckets_b}
+    assert merged["count"] == len(low) + len(high)
+    assert merged["min"] == min(low)
+    assert merged["max"] == max(high)
+    # Bucket bounds come out sorted numerically, not lexically.
+    bounds = [int(bound[3:]) for bound in merged["buckets"]]
+    assert bounds == sorted(bounds)

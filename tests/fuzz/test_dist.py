@@ -221,6 +221,58 @@ def test_hung_worker_times_out_and_merges_partially(monkeypatch):
     assert validate_dist_report(report) == []
 
 
+def test_hung_shard_carries_a_sigterm_flight_dump(monkeypatch):
+    from repro.telemetry.schema import validate_flightrec
+
+    monkeypatch.setenv(dist_mod.HANG_ENV, "1")
+    report = run_distributed(
+        _config(parallel=True, shard_timeout=10.0, budget=8,
+                flightrec=True),
+        corpus=_corpus(),
+    )
+    rows = {row["shard_id"]: row for row in report["shard_reports"]}
+    assert rows[0]["status"] == "ok"
+    assert "flightrec" not in rows[0]
+    assert rows[1]["status"] == "timeout"
+    dump = rows[1]["flightrec"]
+    assert validate_flightrec(dump) == []
+    assert dump["reason"] == "sigterm"
+    assert dump["process"] == "fuzz-shard-0-1"
+    kinds = [event["kind"] for event in dump["events"]]
+    assert kinds[0] == "shard.start"
+    assert kinds[-1] == "signal.sigterm"
+    assert dump["events"][0]["budget"] == rows[1]["budget"]
+    assert validate_dist_report(report) == []
+
+
+def test_crashed_shard_flight_dump_carries_the_error(monkeypatch):
+    from repro.telemetry.schema import validate_flightrec
+
+    def exploding_run_shard(config, round_index, shard_id, budget, corpus):
+        if shard_id == 0:
+            raise RuntimeError("worker died")
+        return run_shard(config, round_index, shard_id, budget, corpus)
+
+    monkeypatch.setattr(dist_mod, "run_shard", exploding_run_shard)
+    report = run_distributed(
+        _config(parallel=True, shard_timeout=60.0, budget=8,
+                flightrec=True),
+        corpus=_corpus(),
+    )
+    rows = {row["shard_id"]: row for row in report["shard_reports"]}
+    assert rows[0]["status"] == "crashed"
+    dump = rows[0]["flightrec"]
+    assert validate_flightrec(dump) == []
+    assert dump["reason"] == "crash"
+    error_events = [
+        event for event in dump["events"] if event["kind"] == "shard.error"
+    ]
+    assert error_events and "RuntimeError: worker died" in (
+        error_events[0]["error"]
+    )
+    assert "flightrec" not in rows[1]
+
+
 def test_crashed_worker_is_reported_not_lost(monkeypatch):
     def exploding_run_shard(config, round_index, shard_id, budget, corpus):
         if shard_id == 0:

@@ -241,6 +241,71 @@ def test_fleet_metrics_compare_only_matching_loadgen_shape():
     ].status == "insufficient-history"
 
 
+def test_span_overhead_extracts_and_splits_the_lane():
+    report = _fleet_report()
+    report["spans"] = True
+    report["timing"]["span_overhead_pct"] = 1.2
+    metrics = extract_metrics(fleet_report=report)
+    assert metrics["fleet.span_overhead_pct"] == 1.2
+    entry = make_entry(
+        fleet_report=report, timestamp="2026-08-09T00:00:00Z", label="obs",
+    )
+    assert validate_history_entry(entry) == []
+    assert entry["source"]["fleet"]["spans"] is True
+    # Plain runs stay comparable with pre-observability entries: no
+    # "spans" key at all.
+    plain = make_entry(
+        fleet_report=_fleet_report(),
+        timestamp="2026-08-09T00:00:00Z", label="plain",
+    )
+    assert "spans" not in plain["source"]["fleet"]
+
+
+def _obs_entry(overhead, jps=20.0, timestamp="2026-08-09T00:00:00Z",
+               label="obs"):
+    report = _fleet_report(jps=jps)
+    report["spans"] = True
+    report["timing"]["span_overhead_pct"] = overhead
+    return make_entry(fleet_report=report, timestamp=timestamp, label=label)
+
+
+def test_span_overhead_regression_direction_is_up():
+    """The overhead metric is a cost: the gate fails when it *rises*
+    past median + absolute tolerance, never when it falls."""
+    history = [
+        _obs_entry(1.0, timestamp=f"2026-08-0{index + 1}T00:00:00Z")
+        for index in range(5)
+    ]
+    cheap = _by_metric(analyze(history, _obs_entry(0.2)))
+    assert cheap["fleet.span_overhead_pct"].status == "improving"
+    on_trend = _by_metric(analyze(history, _obs_entry(2.5)))
+    assert on_trend["fleet.span_overhead_pct"].status == "ok"
+    blown = analyze(history, _obs_entry(3.5))
+    assert _by_metric(blown)["fleet.span_overhead_pct"].status == (
+        "regression"
+    )
+    failures = trend_failures(blown)
+    assert any(
+        "fleet.span_overhead_pct" in f and "above trend ceiling" in f
+        for f in failures
+    )
+
+
+def test_span_runs_never_compare_against_plain_runs():
+    plain_history = [
+        make_entry(
+            fleet_report=_fleet_report(),
+            timestamp=f"2026-08-0{index + 1}T00:00:00Z", label="plain",
+        )
+        for index in range(5)
+    ]
+    findings = _by_metric(analyze(plain_history, _obs_entry(1.0, jps=5.0)))
+    # Throughput with spans on is a different lane entirely.
+    assert findings["fleet.jobs_per_second"].status == (
+        "insufficient-history"
+    )
+
+
 def test_spec_enabled_entries_live_in_their_own_lane():
     """A history mixing plain and spec-enabled fuzz runs never
     cross-compares: each current run sees only its own kind."""

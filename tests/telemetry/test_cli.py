@@ -53,6 +53,31 @@ class TestRunCommand:
         listed = capsys.readouterr().out.split()
         assert listed == list(workload_names())
 
+    def test_validate_fails_red_and_names_the_bad_file(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """--validate on a corrupt export exits 1 and prints the
+        on-disk path of the failing document."""
+        from repro.telemetry.tracer import Telemetry
+
+        real = Telemetry.metrics_json
+
+        def corrupted(self):
+            document = real(self)
+            del document["schema"]
+            return document
+
+        monkeypatch.setattr(Telemetry, "metrics_json", corrupted)
+        code = main([
+            "run", "syscall_storm", "--quick", "--metrics",
+            "--out-dir", str(tmp_path), "--validate",
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "SCHEMA PROBLEM" in captured.err
+        assert str(tmp_path / "metrics.json") in captured.err
+        assert "schema validation: OK" not in captured.out
+
 
 class TestSatelliteFlags:
     def test_perf_telemetry_block(self):

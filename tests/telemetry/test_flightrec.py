@@ -1,0 +1,124 @@
+"""Flight recorder: ring bounds, dumps, SIGTERM post-mortems."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.telemetry.flightrec import (
+    FLIGHTREC_SCHEMA,
+    FlightRecorder,
+    install_sigterm_dump,
+    read_dump,
+)
+from repro.telemetry.schema import validate_flightrec
+
+
+class TestRing:
+    def test_ring_keeps_the_newest_events(self):
+        recorder = FlightRecorder("w", limit=3)
+        for index in range(5):
+            recorder.note("tick", index=index)
+        dump = recorder.dump("test")
+        assert [event["index"] for event in dump["events"]] == [2, 3, 4]
+        assert dump["seen"] == 5
+        assert dump["dropped"] == 2
+        assert validate_flightrec(dump) == []
+
+    def test_sequence_numbers_survive_wraparound(self):
+        recorder = FlightRecorder("w", limit=2)
+        for _ in range(4):
+            recorder.note("tick")
+        seqs = [event["seq"] for event in recorder.dump("test")["events"]]
+        assert seqs == [3, 4]
+
+    def test_rejects_nonpositive_limits(self):
+        with pytest.raises(ValueError):
+            FlightRecorder("w", limit=0)
+
+    def test_dump_carries_schema_and_reason(self):
+        recorder = FlightRecorder("worker-3")
+        recorder.note("job.start", job="job-000001", job_kind="workload")
+        dump = recorder.dump("crash")
+        assert dump["schema"] == FLIGHTREC_SCHEMA
+        assert dump["process"] == "worker-3"
+        assert dump["reason"] == "crash"
+        assert dump["events"][0]["job"] == "job-000001"
+
+
+class TestBusSubscription:
+    def test_recorder_subscribes_to_structured_kinds(self):
+        from repro.telemetry.bus import TraceBus
+
+        bus = TraceBus()
+        recorder = FlightRecorder("w")
+        recorder.attach(bus)
+        bus.emit("trap.enter", cycle=7, cause=8)
+        events = recorder.dump("test")["events"]
+        assert events and events[-1]["kind"] == "trap.enter"
+        assert events[-1]["cycle"] == 7
+
+
+class TestDumpFiles:
+    def test_write_then_read_roundtrips(self, tmp_path):
+        recorder = FlightRecorder("w")
+        recorder.note("tick")
+        path = tmp_path / "dump.json"
+        recorder.write(path, "test")
+        loaded = read_dump(path)
+        assert loaded == recorder.dump("test")
+        assert validate_flightrec(loaded) == []
+        # No torn tmp file left behind.
+        assert os.listdir(tmp_path) == ["dump.json"]
+
+    def test_read_dump_is_none_for_missing_or_torn_files(self, tmp_path):
+        assert read_dump(tmp_path / "absent.json") is None
+        torn = tmp_path / "torn.json"
+        torn.write_text('{"schema": "repro.telemetry/fli')
+        assert read_dump(torn) is None
+
+    def test_write_is_deterministic_json(self, tmp_path):
+        recorder = FlightRecorder("w")
+        recorder.note("tick", value=1)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        recorder.write(a, "test")
+        recorder.write(b, "test")
+        assert a.read_text() == b.read_text()
+        json.loads(a.read_text())
+
+
+def _sigterm_child(path):
+    recorder = FlightRecorder("doomed")
+    recorder.note("work.start", step=1)
+    install_sigterm_dump(recorder, path)
+    time.sleep(60)
+
+
+class TestSigtermDump:
+    def test_sigterm_writes_the_post_mortem_and_exits_143(self, tmp_path):
+        path = tmp_path / "dump.json"
+        ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        process = ctx.Process(target=_sigterm_child, args=(str(path),))
+        process.start()
+        deadline = time.monotonic() + 10
+        while not process.is_alive() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        time.sleep(0.2)  # let the child install its handler
+        os.kill(process.pid, signal.SIGTERM)
+        process.join(10)
+        assert process.exitcode == 143
+        dump = read_dump(path)
+        assert dump is not None
+        assert validate_flightrec(dump) == []
+        assert dump["reason"] == "sigterm"
+        kinds = [event["kind"] for event in dump["events"]]
+        assert kinds == ["work.start", "signal.sigterm"]

@@ -1,0 +1,178 @@
+"""OpenMetrics exposition: rendering, grammar checks, live server."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+from pathlib import Path
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.openmetrics import (
+    MetricsServer,
+    render_openmetrics,
+    validate_openmetrics_text,
+)
+
+
+def _snapshot() -> dict:
+    registry = MetricsRegistry()
+    registry.inc("fleet.jobs.ok", 7)
+    registry.set("bootcache.templates", 2)
+    registry.set("fleet.mode", "parallel")
+    registry.set("fleet.ready", True)
+    for value in (3, 5, 900):
+        registry.observe("fleet.fork_us", value)
+    return registry.to_json()
+
+
+class TestRender:
+    def test_counters_render_with_total_suffix(self):
+        text = render_openmetrics(_snapshot())
+        assert "# TYPE repro_fleet_jobs_ok counter" in text
+        assert "repro_fleet_jobs_ok_total 7" in text
+
+    def test_gauges_split_numeric_bool_and_info(self):
+        text = render_openmetrics(_snapshot())
+        assert "repro_bootcache_templates 2" in text
+        assert "repro_fleet_ready 1" in text
+        assert 'repro_fleet_mode_info{value="parallel"} 1' in text
+
+    def test_histogram_buckets_are_cumulative_and_closed(self):
+        text = render_openmetrics(_snapshot())
+        lines = [
+            line for line in text.splitlines()
+            if line.startswith("repro_fleet_fork_us")
+        ]
+        assert lines == [
+            'repro_fleet_fork_us_bucket{le="4"} 1',
+            'repro_fleet_fork_us_bucket{le="8"} 2',
+            'repro_fleet_fork_us_bucket{le="1024"} 3',
+            'repro_fleet_fork_us_bucket{le="+Inf"} 3',
+            "repro_fleet_fork_us_sum 908",
+            "repro_fleet_fork_us_count 3",
+        ]
+
+    def test_rendering_is_deterministic_and_eof_terminated(self):
+        assert render_openmetrics(_snapshot()) == (
+            render_openmetrics(_snapshot())
+        )
+        assert render_openmetrics(_snapshot()).endswith("# EOF\n")
+
+    def test_none_gauges_are_skipped(self):
+        registry = MetricsRegistry()
+        registry.set("empty", None)
+        text = render_openmetrics(registry.to_json())
+        assert "empty" not in text
+
+    def test_prefix_is_optional(self):
+        registry = MetricsRegistry()
+        registry.inc("a.b")
+        text = render_openmetrics(registry.to_json(), prefix="")
+        assert "a_b_total 1" in text
+
+
+class TestGrammar:
+    def test_rendered_text_passes(self):
+        assert validate_openmetrics_text(render_openmetrics(_snapshot())) == []
+
+    def test_missing_eof_is_a_problem(self):
+        assert any(
+            "# EOF" in problem
+            for problem in validate_openmetrics_text("repro_x_total 1\n")
+        )
+
+    def test_undeclared_family_is_a_problem(self):
+        text = "repro_x_total 1\n# EOF\n"
+        assert any(
+            "no TYPE declaration" in problem
+            for problem in validate_openmetrics_text(text)
+        )
+
+    def test_malformed_sample_is_a_problem(self):
+        text = "# TYPE x counter\nx_total one\n# EOF\n"
+        assert any(
+            "malformed" in problem
+            for problem in validate_openmetrics_text(text)
+        )
+
+
+class TestGoldenFile:
+    """The checked-in sample pins the exposition format byte-for-byte:
+    CI re-renders ``metrics-sample.json`` and diffs against the
+    ``.om.txt`` golden, so any format drift is an explicit choice."""
+
+    GOLDEN = Path(__file__).parent / "golden"
+
+    def test_sample_renders_exactly_to_the_golden_text(self):
+        document = json.loads(
+            (self.GOLDEN / "metrics-sample.json").read_text()
+        )
+        expected = (self.GOLDEN / "metrics-sample.om.txt").read_text()
+        assert render_openmetrics(document) == expected
+        assert validate_openmetrics_text(expected) == []
+
+
+def _get(port: int, path: str):
+    request = urllib.request.Request(f"http://127.0.0.1:{port}{path}")
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, response.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode()
+
+
+class TestMetricsServer:
+    def test_endpoints_serve_metrics_health_and_readiness(self):
+        health = {"ready": True, "queue_depth": 3}
+        server = MetricsServer(lambda: (_snapshot(), health))
+        port = server.start()
+        try:
+            status, body = _get(port, "/metrics")
+            assert status == 200
+            assert validate_openmetrics_text(body) == []
+            status, body = _get(port, "/healthz")
+            assert status == 200
+            assert json.loads(body) == health
+            status, body = _get(port, "/readyz")
+            assert status == 200 and body.strip() == "ready"
+            status, _ = _get(port, "/nope")
+            assert status == 404
+        finally:
+            server.stop()
+
+    def test_not_ready_reports_503(self):
+        server = MetricsServer(lambda: (_snapshot(), {"ready": False}))
+        port = server.start()
+        try:
+            status, body = _get(port, "/readyz")
+            assert status == 503 and body.strip() == "not ready"
+        finally:
+            server.stop()
+
+    def test_snapshot_failure_degrades_to_500(self):
+        def broken():
+            raise RuntimeError("registry gone")
+
+        server = MetricsServer(broken)
+        port = server.start()
+        try:
+            status, body = _get(port, "/metrics")
+            assert status == 500
+            assert "registry gone" in body
+        finally:
+            server.stop()
+
+    def test_scrapes_see_current_state(self):
+        registry = MetricsRegistry()
+        server = MetricsServer(
+            lambda: (registry.to_json(), {"ready": True})
+        )
+        port = server.start()
+        try:
+            _, before = _get(port, "/metrics")
+            assert "repro_live_total" not in before
+            registry.inc("live", 2)
+            _, after = _get(port, "/metrics")
+            assert "repro_live_total 2" in after
+        finally:
+            server.stop()

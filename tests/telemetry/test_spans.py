@@ -1,0 +1,150 @@
+"""Distributed spans: recorder semantics, merge, trace extraction."""
+
+from __future__ import annotations
+
+from repro.telemetry.schema import validate_chrome_trace, validate_spans
+from repro.telemetry.spans import (
+    SPANS_SCHEMA,
+    SpanRecorder,
+    merge_span_logs,
+    mint_trace_id,
+    spans_to_chrome_trace,
+    trace_for,
+)
+
+
+class TestMintTraceId:
+    def test_is_deterministic_and_job_specific(self):
+        assert mint_trace_id("job-000001") == mint_trace_id("job-000001")
+        assert mint_trace_id("job-000001") != mint_trace_id("job-000002")
+
+    def test_is_sixteen_hex_digits(self):
+        trace_id = mint_trace_id("job-000042")
+        assert len(trace_id) == 16
+        int(trace_id, 16)
+
+
+class TestSpanRecorder:
+    def test_span_ids_are_process_scoped_and_unique(self):
+        recorder = SpanRecorder("worker-1")
+        a = recorder.start("a")
+        b = recorder.start("b")
+        assert a.span_id == "worker-1:1"
+        assert b.span_id == "worker-1:2"
+
+    def test_context_spans_nest_and_inherit_trace(self):
+        recorder = SpanRecorder("scheduler")
+        with recorder.span("outer", trace_id="t1") as outer:
+            with recorder.span("inner") as inner:
+                assert inner.trace_id == "t1"
+                assert inner.parent_id == outer.span_id
+        assert outer.finished and inner.finished
+        assert inner.end_us >= inner.start_us
+
+    def test_explicit_parent_overrides_the_stack(self):
+        recorder = SpanRecorder("worker-1")
+        with recorder.span("execute", trace_id="t1",
+                           parent_id="scheduler:1") as span:
+            pass
+        assert span.parent_id == "scheduler:1"
+
+    def test_end_is_idempotent_and_merges_attrs(self):
+        recorder = SpanRecorder("p")
+        span = recorder.start("s", trace_id="t")
+        span.end(status="ok")
+        first_end = span.end_us
+        span.end(attempts=2)
+        assert span.end_us == first_end
+        assert span.attrs == {"status": "ok", "attempts": 2}
+
+    def test_limit_counts_drops_instead_of_growing(self):
+        recorder = SpanRecorder("p", limit=2)
+        for _ in range(5):
+            recorder.start("s").end()
+        assert len(recorder) == 2
+        assert recorder.dropped == 3
+        assert recorder.to_json()["dropped"] == 3
+
+    def test_drain_ships_only_finished_spans(self):
+        recorder = SpanRecorder("worker-1")
+        open_span = recorder.start("open")
+        recorder.start("closed").end()
+        shipped = recorder.drain()
+        assert [span["name"] for span in shipped] == ["closed"]
+        assert [span.name for span in recorder.spans] == ["open"]
+        open_span.end()
+        assert [span["name"] for span in recorder.drain()] == ["open"]
+
+    def test_recorder_document_validates(self):
+        recorder = SpanRecorder("p")
+        recorder.start("s", trace_id="t").end()
+        document = recorder.to_json()
+        assert document["schema"] == SPANS_SCHEMA
+        assert validate_spans(document) == []
+
+
+class TestMergeAndExtract:
+    def _two_process_logs(self):
+        scheduler = SpanRecorder("scheduler")
+        worker = SpanRecorder("worker-1")
+        trace = mint_trace_id("job-000001")
+        with scheduler.span("job", trace_id=trace) as root:
+            with worker.span("execute", trace_id=trace,
+                             parent_id=root.span_id):
+                pass
+        scheduler.start("batch", trace_ids=[trace]).end()
+        return scheduler.to_json(), worker.to_json(), trace
+
+    def test_merge_orders_by_time_and_lists_processes(self):
+        sched, work, _ = self._two_process_logs()
+        merged = merge_span_logs([sched, work])
+        assert merged["merged"] is True
+        assert set(merged["processes"]) == {"scheduler", "worker-1"}
+        starts = [span["start_us"] for span in merged["spans"]]
+        assert starts == sorted(starts)
+        assert validate_spans(merged) == []
+
+    def test_trace_for_includes_batch_membership(self):
+        sched, work, trace = self._two_process_logs()
+        merged = merge_span_logs([sched, work])
+        names = sorted(span["name"] for span in trace_for(merged, trace))
+        assert names == ["batch", "execute", "job"]
+        assert trace_for(merged, "no-such-trace") == []
+
+    def test_chrome_trace_has_one_lane_per_process(self):
+        sched, work, _ = self._two_process_logs()
+        merged = merge_span_logs([sched, work])
+        document = spans_to_chrome_trace(merged)
+        assert validate_chrome_trace(document) == []
+        metas = [
+            event for event in document["traceEvents"]
+            if event["ph"] == "M"
+        ]
+        assert {meta["args"]["name"] for meta in metas} == {
+            "scheduler", "worker-1",
+        }
+        assert len({meta["pid"] for meta in metas}) == 2
+        slices = [
+            event for event in document["traceEvents"]
+            if event["ph"] == "X"
+        ]
+        assert min(event["ts"] for event in slices) == 0
+        assert all(event["dur"] >= 0 for event in slices)
+
+    def test_validator_rejects_duplicate_span_ids(self):
+        recorder = SpanRecorder("p")
+        recorder.start("s", trace_id="t").end()
+        document = recorder.to_json()
+        document["spans"].append(dict(document["spans"][0]))
+        assert any(
+            "duplicate" in problem for problem in validate_spans(document)
+        )
+
+    def test_validator_rejects_backwards_intervals(self):
+        recorder = SpanRecorder("p")
+        recorder.start("s", trace_id="t").end()
+        document = recorder.to_json()
+        document["spans"][0]["end_us"] = (
+            document["spans"][0]["start_us"] - 1
+        )
+        assert validate_spans(document) != []
