@@ -163,6 +163,7 @@ def restore(snapshot: MachineSnapshot) -> Machine:
     for page_index in snapshot.memory.watched_pages:
         memory.watch_code_page(page_index)
     machine.hart.blocks.flush()
+    machine.hart.superblocks.flush()
     clear_decode_cache()
     if telemetry.active():
         telemetry.emit(

@@ -154,6 +154,8 @@ class TestBoundedTemplates:
         assert stats == {
             "templates": 1, "max_templates": 1, "boots": 2,
             "forks": 2, "fallbacks": 0, "evictions": 1,
+            "layout_tables": 2, "shared_code_tables": 2,
+            "shared_code_binds": 0,
         }
         registry = MetricsRegistry()
         cache.publish_metrics(registry)
@@ -208,13 +210,65 @@ class TestSharedLayouts:
         b = KernelSession(config, _exit_module(2), boot_cache=cache)
         assert b.run().exit_code == 2
 
-    def test_template_eviction_drops_its_layouts(self):
+    def test_layout_tables_survive_template_eviction(self):
+        # Eviction used to drop the shared layout table with the
+        # template, orphaning live sibling forks mid-flight and
+        # throwing away every translation when the same config
+        # re-booted.  Tables now outlive templates (bounded separately
+        # by MAX_LAYOUT_TABLES).
         cache = BootCache(max_templates=1)
-        KernelSession(
-            KernelConfig.baseline(), _exit_module(1), boot_cache=cache
+        first = KernelSession(
+            KernelConfig.baseline(), _exit_module(11), boot_cache=cache
         ).run()
-        assert len(cache._layouts) == 1
         KernelSession(
             KernelConfig.full(), _exit_module(1), boot_cache=cache
         ).run()
-        assert len(cache._layouts) == 1
+        assert cache.evictions == 1
+        assert cache.stats()["layout_tables"] == 2
+        # The evicted config re-boots into the retained table and
+        # still serves byte-identical sessions.
+        again = KernelSession(
+            KernelConfig.baseline(), _exit_module(11), boot_cache=cache
+        ).run()
+        assert cache.boots == 3
+        assert (first.exit_code, first.console, first.instructions) == (
+            again.exit_code, again.console, again.instructions)
+
+    def test_layout_tables_are_bounded(self):
+        from repro.kernel.bootcache import MAX_LAYOUT_TABLES
+
+        cache = BootCache(max_templates=2)
+        cache._layouts.update(
+            ((f"fake{i}",), {}) for i in range(MAX_LAYOUT_TABLES + 3)
+        )
+        cache._trim_tables()
+        assert len(cache._layouts) == MAX_LAYOUT_TABLES
+
+
+class TestTemplateCacheKeys:
+    def test_templates_publish_persistent_cache_keys(self):
+        cache = BootCache()
+        KernelSession(
+            KernelConfig.baseline(), _exit_module(1), boot_cache=cache
+        ).run()
+        KernelSession(
+            KernelConfig.full(), _exit_module(1), boot_cache=cache
+        ).run()
+        keys = cache.template_cache_keys()
+        assert len(keys) == 2
+        values = list(keys.values())
+        # 16-hex-digit keys, distinct per configuration.
+        assert all(
+            len(value) == 16 and int(value, 16) >= 0 for value in values
+        )
+        assert len(set(values)) == 2
+
+    def test_same_config_same_key_across_caches(self):
+        keys = []
+        for _ in range(2):
+            cache = BootCache()
+            KernelSession(
+                KernelConfig.full(), _exit_module(1), boot_cache=cache
+            ).run()
+            keys.extend(cache.template_cache_keys().values())
+        assert keys[0] == keys[1]
